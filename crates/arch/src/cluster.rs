@@ -1,0 +1,97 @@
+//! Chip cluster: a wheel of ConvLayer chips around an FcLayer hub
+//! (paper §3.3.1, Figure 12).
+
+use crate::chip::ChipConfig;
+use crate::error::Result;
+
+/// Configuration of one chip cluster.
+///
+/// ConvLayer chips sit on the wheel's rim processing different network
+/// inputs in parallel; the FcLayer chip at the hub batches their FC-layer
+/// inputs. Spokes connect each rim chip to the hub; arcs connect adjacent
+/// rim chips (used to partition large CONV stacks across chips and to
+/// accumulate weight gradients after each minibatch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of ConvLayer chips on the rim.
+    pub conv_chips: usize,
+    /// The rim chip configuration.
+    pub conv_chip: ChipConfig,
+    /// The hub chip configuration.
+    pub fc_chip: ChipConfig,
+    /// Spoke (rim → hub) bandwidth, bytes/second.
+    pub spoke_bw: f64,
+    /// Arc (rim → rim) bandwidth, bytes/second.
+    pub arc_bw: f64,
+}
+
+impl ClusterConfig {
+    /// Total CompHeavy tiles in the cluster.
+    pub const fn comp_heavy_tiles(&self) -> usize {
+        self.conv_chips * self.conv_chip.comp_heavy_tiles() + self.fc_chip.comp_heavy_tiles()
+    }
+
+    /// Total MemHeavy tiles in the cluster.
+    pub const fn mem_heavy_tiles(&self) -> usize {
+        self.conv_chips * self.conv_chip.mem_heavy_tiles() + self.fc_chip.mem_heavy_tiles()
+    }
+
+    /// Peak FLOPs of the cluster at `freq_hz`.
+    pub fn peak_flops(&self, freq_hz: f64) -> f64 {
+        self.conv_chips as f64 * self.conv_chip.peak_flops(freq_hz)
+            + self.fc_chip.peak_flops(freq_hz)
+    }
+
+    /// The FC batch size the wheel naturally aggregates: one input per rim
+    /// chip (reduced when CONV layers span multiple rim chips).
+    pub const fn wheel_batch(&self) -> usize {
+        self.conv_chips
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidConfig`] when the rim is empty or a
+    /// chip config is invalid.
+    pub fn validate(&self) -> Result<()> {
+        if self.conv_chips == 0 {
+            return Err(crate::Error::InvalidConfig {
+                component: "cluster",
+                detail: "at least one ConvLayer chip is required".into(),
+            });
+        }
+        if self.spoke_bw <= 0.0 || self.arc_bw <= 0.0 {
+            return Err(crate::Error::InvalidConfig {
+                component: "cluster",
+                detail: "spoke/arc bandwidths must be positive".into(),
+            });
+        }
+        self.conv_chip.validate()?;
+        self.fc_chip.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets;
+
+    #[test]
+    fn cluster_peak_is_169_tflops() {
+        let node = presets::single_precision();
+        let t = node.cluster.peak_flops(node.frequency_hz()) / 1e12;
+        assert!((t - 169.2).abs() < 1.0, "got {t}");
+    }
+
+    #[test]
+    fn cluster_tile_counts() {
+        let c = presets::single_precision().cluster;
+        assert_eq!(c.comp_heavy_tiles(), 4 * 288 + 144);
+        assert_eq!(c.mem_heavy_tiles(), 4 * 102 + 54);
+    }
+
+    #[test]
+    fn wheel_batch_equals_rim_size() {
+        assert_eq!(presets::single_precision().cluster.wheel_batch(), 4);
+    }
+}

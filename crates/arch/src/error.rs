@@ -1,0 +1,31 @@
+//! Error type for configuration validation.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from validating architecture configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A structural parameter was zero or otherwise out of range.
+    InvalidConfig {
+        /// Which component failed validation.
+        component: &'static str,
+        /// Explanation of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { component, detail } => {
+                write!(f, "invalid {component} configuration: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,44 @@
+//! Architecture model of the ScaleDeep node (paper §3 and Figure 14).
+//!
+//! This crate describes the *hardware*: heterogeneous processing tiles
+//! (CompHeavy / MemHeavy), the two chip types built from the common template
+//! (ConvLayer / FcLayer), chip clusters wired as a wheel, and the node-level
+//! ring — together with the peak-FLOPs derivation and the calibrated power
+//! model that Figures 14 and 20 are built from.
+//!
+//! The [`presets`] module provides the paper's two design points:
+//! [`presets::single_precision`] (680 TFLOPS SP @ 1.4 kW) and
+//! [`presets::half_precision`] (1.35 PFLOPS FP16 at roughly the same power).
+//!
+//! # Example
+//!
+//! ```
+//! use scaledeep_arch::presets;
+//!
+//! let node = presets::single_precision();
+//! // Figure 14: 5184 CompHeavy + 1848 MemHeavy = 7032 processing tiles.
+//! assert_eq!(node.total_tiles(), 7032);
+//! // 0.68 PFLOPS single-precision peak.
+//! let pf = node.peak_flops() / 1e12;
+//! assert!((pf - 680.0).abs() < 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chip;
+mod cluster;
+mod error;
+mod link;
+mod node;
+mod power;
+pub mod presets;
+mod tile;
+
+pub use chip::{ChipConfig, ChipKind};
+pub use cluster::ClusterConfig;
+pub use error::{Error, Result};
+pub use link::LinkClass;
+pub use node::{NodeConfig, Precision};
+pub use power::{ComponentPower, PowerBreakdown, PowerModel, UtilizationProfile};
+pub use tile::{CompHeavyConfig, MemHeavyConfig};

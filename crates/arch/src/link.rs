@@ -1,0 +1,101 @@
+//! The link classes of the 3-tiered grid–wheel–ring interconnect
+//! (paper §3.2/§3.3, reported in Figure 21).
+
+use crate::node::NodeConfig;
+use std::fmt;
+
+/// One class of interconnect link, at chip, cluster or node tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LinkClass {
+    /// On-chip CompHeavy ↔ MemHeavy point-to-point links.
+    CompMem,
+    /// On-chip MemHeavy ↔ MemHeavy links (vertical + horizontal).
+    MemMem,
+    /// ConvLayer chip ↔ external memory channels.
+    ConvExtMem,
+    /// FcLayer chip ↔ external memory channels.
+    FcExtMem,
+    /// Wheel spoke: ConvLayer rim chip ↔ FcLayer hub.
+    Spoke,
+    /// Wheel arc: adjacent ConvLayer rim chips.
+    Arc,
+    /// Node ring between adjacent chip clusters.
+    Ring,
+}
+
+impl LinkClass {
+    /// All link classes, in Figure 21's reporting order.
+    pub const ALL: [LinkClass; 7] = [
+        LinkClass::CompMem,
+        LinkClass::MemMem,
+        LinkClass::ConvExtMem,
+        LinkClass::FcExtMem,
+        LinkClass::Arc,
+        LinkClass::Spoke,
+        LinkClass::Ring,
+    ];
+
+    /// The tier this class belongs to: 0 = on-chip, 1 = cluster, 2 = node.
+    pub const fn tier(self) -> u8 {
+        match self {
+            LinkClass::CompMem | LinkClass::MemMem => 0,
+            LinkClass::ConvExtMem | LinkClass::FcExtMem | LinkClass::Spoke | LinkClass::Arc => 1,
+            LinkClass::Ring => 2,
+        }
+    }
+
+    /// The configured bandwidth of one link of this class, bytes/second.
+    pub fn bandwidth(self, node: &NodeConfig) -> f64 {
+        let c = &node.cluster;
+        match self {
+            LinkClass::CompMem => c.conv_chip.comp_mem_bw,
+            LinkClass::MemMem => c.conv_chip.mem_mem_bw,
+            LinkClass::ConvExtMem => c.conv_chip.ext_mem_bw,
+            LinkClass::FcExtMem => c.fc_chip.ext_mem_bw,
+            LinkClass::Spoke => c.spoke_bw,
+            LinkClass::Arc => c.arc_bw,
+            LinkClass::Ring => node.ring_bw,
+        }
+    }
+}
+
+impl fmt::Display for LinkClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LinkClass::CompMem => "Comp-Mem",
+            LinkClass::MemMem => "Mem-Mem",
+            LinkClass::ConvExtMem => "Conv-Mem",
+            LinkClass::FcExtMem => "Fc-Mem",
+            LinkClass::Spoke => "Spoke",
+            LinkClass::Arc => "Arc",
+            LinkClass::Ring => "Ring",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn bandwidths_match_figure14() {
+        let node = presets::single_precision();
+        let gb = 1e9;
+        assert_eq!(LinkClass::ConvExtMem.bandwidth(&node), 150.0 * gb);
+        assert_eq!(LinkClass::FcExtMem.bandwidth(&node), 300.0 * gb);
+        assert_eq!(LinkClass::CompMem.bandwidth(&node), 24.0 * gb);
+        assert_eq!(LinkClass::MemMem.bandwidth(&node), 36.0 * gb);
+        assert_eq!(LinkClass::Spoke.bandwidth(&node), 0.5 * gb);
+        assert_eq!(LinkClass::Arc.bandwidth(&node), 16.0 * gb);
+        assert_eq!(LinkClass::Ring.bandwidth(&node), 12.0 * gb);
+    }
+
+    #[test]
+    fn tiers_partition_the_classes() {
+        let on_chip = LinkClass::ALL.iter().filter(|l| l.tier() == 0).count();
+        let cluster = LinkClass::ALL.iter().filter(|l| l.tier() == 1).count();
+        let ring = LinkClass::ALL.iter().filter(|l| l.tier() == 2).count();
+        assert_eq!((on_chip, cluster, ring), (2, 4, 1));
+    }
+}

@@ -1,0 +1,253 @@
+//! Calibrated power model (paper §5 and Figure 14).
+//!
+//! The paper measured per-component power by synthesizing the tile RTL to
+//! Intel's 14 nm node and folded the numbers into its simulator. We cannot
+//! synthesize RTL, so — per the substitution documented in DESIGN.md — the
+//! *published* per-component peak powers and their (logic, memory,
+//! interconnect) fractions are the model constants here, and average power
+//! is integrated against simulated activity exactly as the paper describes
+//! in §6.2: compute and interconnect power scale with the respective
+//! utilizations while memory power (leakage-dominated) stays constant.
+
+use std::fmt;
+
+/// Peak power of one component and its split across subsystems.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentPower {
+    /// Peak power in watts.
+    pub peak_watts: f64,
+    /// Fraction attributed to compute logic.
+    pub frac_logic: f64,
+    /// Fraction attributed to memories.
+    pub frac_mem: f64,
+    /// Fraction attributed to interconnect.
+    pub frac_interconnect: f64,
+}
+
+impl ComponentPower {
+    /// Creates a component power entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fractions do not sum to ~1.
+    pub fn new(peak_watts: f64, frac_logic: f64, frac_mem: f64, frac_interconnect: f64) -> Self {
+        let sum = frac_logic + frac_mem + frac_interconnect;
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "power fractions must sum to 1, got {sum}"
+        );
+        Self {
+            peak_watts,
+            frac_logic,
+            frac_mem,
+            frac_interconnect,
+        }
+    }
+}
+
+/// Activity observed during simulation, used to scale peak power down to
+/// average power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationProfile {
+    /// Fraction of peak compute activity (2D-PE + SFU busy fraction).
+    pub compute: f64,
+    /// Fraction of peak interconnect activity (mean link utilization).
+    pub interconnect: f64,
+}
+
+impl UtilizationProfile {
+    /// A fully-busy profile (peak power).
+    pub const PEAK: UtilizationProfile = UtilizationProfile {
+        compute: 1.0,
+        interconnect: 1.0,
+    };
+}
+
+/// Average power split by subsystem (the stacked bars of Figure 20).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Compute-logic watts.
+    pub compute_watts: f64,
+    /// Memory watts (leakage-dominated; constant with activity).
+    pub memory_watts: f64,
+    /// Interconnect watts.
+    pub interconnect_watts: f64,
+}
+
+impl PowerBreakdown {
+    /// Total watts.
+    pub fn total(&self) -> f64 {
+        self.compute_watts + self.memory_watts + self.interconnect_watts
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} W (compute {:.1}, memory {:.1}, interconnect {:.1})",
+            self.total(),
+            self.compute_watts,
+            self.memory_watts,
+            self.interconnect_watts
+        )
+    }
+}
+
+/// The full component power table of Figure 14.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// The whole node.
+    pub node: ComponentPower,
+    /// One chip cluster.
+    pub cluster: ComponentPower,
+    /// One ConvLayer chip.
+    pub conv_chip: ComponentPower,
+    /// One FcLayer chip.
+    pub fc_chip: ComponentPower,
+    /// One ConvLayer-chip CompHeavy tile.
+    pub conv_comp_tile: ComponentPower,
+    /// One ConvLayer-chip MemHeavy tile.
+    pub conv_mem_tile: ComponentPower,
+    /// One FcLayer-chip CompHeavy tile.
+    pub fc_comp_tile: ComponentPower,
+    /// One FcLayer-chip MemHeavy tile.
+    pub fc_mem_tile: ComponentPower,
+}
+
+impl PowerModel {
+    /// The single-precision design's published power table (Figure 14).
+    pub fn paper_sp() -> Self {
+        Self {
+            node: ComponentPower::new(1400.0, 0.5, 0.1, 0.4),
+            cluster: ComponentPower::new(325.6, 0.55, 0.1, 0.35),
+            conv_chip: ComponentPower::new(57.8, 0.7, 0.1, 0.2),
+            fc_chip: ComponentPower::new(15.2, 0.45, 0.25, 0.3),
+            conv_comp_tile: ComponentPower::new(0.1438, 0.95, 0.05, 0.0),
+            conv_mem_tile: ComponentPower::new(0.047, 0.3, 0.7, 0.0),
+            fc_comp_tile: ComponentPower::new(0.0459, 0.95, 0.05, 0.0),
+            fc_mem_tile: ComponentPower::new(0.0786, 0.2, 0.8, 0.0),
+        }
+    }
+
+    /// The half-precision design point: per-tile power halves (FP16 units)
+    /// while tile counts double (8×24 / 8×12 grids), keeping chip, cluster
+    /// and node power approximately at the single-precision values —
+    /// the paper's "roughly the same power" iso-power scaling (§6.1).
+    pub fn paper_hp() -> Self {
+        let sp = Self::paper_sp();
+        let halve = |c: ComponentPower| ComponentPower {
+            peak_watts: c.peak_watts / 2.0,
+            ..c
+        };
+        Self {
+            conv_comp_tile: halve(sp.conv_comp_tile),
+            conv_mem_tile: halve(sp.conv_mem_tile),
+            fc_comp_tile: halve(sp.fc_comp_tile),
+            fc_mem_tile: halve(sp.fc_mem_tile),
+            ..sp
+        }
+    }
+
+    /// Average node power for an observed utilization profile: compute and
+    /// interconnect scale with activity; memory power is constant
+    /// (Figure 20's model).
+    pub fn average_node_power(&self, util: UtilizationProfile) -> PowerBreakdown {
+        let p = self.node;
+        PowerBreakdown {
+            compute_watts: p.peak_watts * p.frac_logic * util.compute.clamp(0.0, 1.0),
+            memory_watts: p.peak_watts * p.frac_mem,
+            interconnect_watts: p.peak_watts
+                * p.frac_interconnect
+                * util.interconnect.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Average power of one chip cluster (used for the iso-power GPU
+    /// comparison of Figure 18, where one cluster ≈ one 320 W GPU card).
+    pub fn average_cluster_power(&self, util: UtilizationProfile) -> PowerBreakdown {
+        let p = self.cluster;
+        PowerBreakdown {
+            compute_watts: p.peak_watts * p.frac_logic * util.compute.clamp(0.0, 1.0),
+            memory_watts: p.peak_watts * p.frac_mem,
+            interconnect_watts: p.peak_watts
+                * p.frac_interconnect
+                * util.interconnect.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Processing efficiency in FLOPs/W for an achieved FLOP rate and
+    /// utilization profile, at node scope.
+    pub fn node_efficiency(&self, achieved_flops_per_s: f64, util: UtilizationProfile) -> f64 {
+        achieved_flops_per_s / self.average_node_power(util).total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn peak_efficiency_matches_figure14() {
+        let node = presets::single_precision();
+        let pm = PowerModel::paper_sp();
+        let eff = pm.node_efficiency(node.peak_flops(), UtilizationProfile::PEAK) / 1e9;
+        // Figure 14: 485.7 GFLOPs/W peak.
+        assert!((eff - 485.0).abs() < 5.0, "got {eff}");
+    }
+
+    #[test]
+    fn tile_efficiencies_match_figure14() {
+        let node = presets::single_precision();
+        let pm = PowerModel::paper_sp();
+        let f = node.frequency_hz();
+        let conv_tile =
+            node.cluster.conv_chip.comp_heavy.flops_per_cycle() as f64 * f / pm.conv_comp_tile.peak_watts / 1e9;
+        assert!((conv_tile - 934.6).abs() < 5.0, "conv CompHeavy {conv_tile}");
+        let fc_tile =
+            node.cluster.fc_chip.comp_heavy.flops_per_cycle() as f64 * f / pm.fc_comp_tile.peak_watts / 1e9;
+        assert!((fc_tile - 836.6).abs() < 5.0, "fc CompHeavy {fc_tile}");
+        let mem_tile =
+            node.cluster.conv_chip.mem_heavy.flops_per_cycle() as f64 * f / pm.conv_mem_tile.peak_watts / 1e9;
+        assert!((mem_tile - 408.5).abs() < 3.0, "conv MemHeavy {mem_tile}");
+    }
+
+    #[test]
+    fn memory_power_is_constant_with_activity() {
+        let pm = PowerModel::paper_sp();
+        let idle = pm.average_node_power(UtilizationProfile {
+            compute: 0.0,
+            interconnect: 0.0,
+        });
+        let busy = pm.average_node_power(UtilizationProfile::PEAK);
+        assert_eq!(idle.memory_watts, busy.memory_watts);
+        assert!(idle.total() < busy.total());
+        assert_eq!(idle.compute_watts, 0.0);
+    }
+
+    #[test]
+    fn average_power_at_typical_utilization_is_under_half_peak() {
+        // Paper §6.2: ~0.35 compute utilization yields ~331.7 GFLOPs/W.
+        let pm = PowerModel::paper_sp();
+        let p = pm.average_node_power(UtilizationProfile {
+            compute: 0.35,
+            interconnect: 0.5,
+        });
+        assert!(p.total() < 700.0 && p.total() > 400.0, "got {}", p.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions must sum to 1")]
+    fn bad_fractions_panic() {
+        let _ = ComponentPower::new(1.0, 0.5, 0.1, 0.1);
+    }
+
+    #[test]
+    fn hp_model_halves_tile_power_only() {
+        let sp = PowerModel::paper_sp();
+        let hp = PowerModel::paper_hp();
+        assert_eq!(hp.node.peak_watts, sp.node.peak_watts);
+        assert_eq!(hp.conv_comp_tile.peak_watts, sp.conv_comp_tile.peak_watts / 2.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! The paper's two design points (Figure 14 and §6.1).
+
+use crate::chip::{ChipConfig, ChipKind};
+use crate::cluster::ClusterConfig;
+use crate::node::{NodeConfig, Precision};
+use crate::tile::{CompHeavyConfig, MemHeavyConfig};
+
+const KB: usize = 1024;
+const GB: f64 = 1e9;
+
+/// The baseline single-precision ScaleDeep node of Figure 14:
+/// 4 clusters × (4 ConvLayer + 1 FcLayer chips), 600 MHz, 680 TFLOPS peak,
+/// 7032 processing tiles.
+pub fn single_precision() -> NodeConfig {
+    let conv_chip = ChipConfig {
+        kind: ChipKind::ConvLayer,
+        rows: 6,
+        cols: 16,
+        comp_heavy: CompHeavyConfig {
+            array_rows: 8,
+            array_cols: 3,
+            lanes: 4,
+            acc_units: 16,
+            left_mem_bytes: 8 * KB,
+            top_mem_bytes: 4 * KB,
+            bottom_mem_bytes: 4 * KB,
+            scratch_bytes: 16 * KB,
+        },
+        mem_heavy: MemHeavyConfig {
+            capacity_bytes: 512 * KB,
+            num_sfu: 32,
+            num_trackers: 16,
+        },
+        ext_mem_bw: 150.0 * GB,
+        comp_mem_bw: 24.0 * GB,
+        mem_mem_bw: 36.0 * GB,
+    };
+    let fc_chip = ChipConfig {
+        kind: ChipKind::FcLayer,
+        rows: 6,
+        cols: 8,
+        comp_heavy: CompHeavyConfig {
+            array_rows: 4,
+            array_cols: 8,
+            lanes: 1,
+            acc_units: 0,
+            left_mem_bytes: 8 * KB,
+            top_mem_bytes: 12 * KB,
+            bottom_mem_bytes: 12 * KB,
+            scratch_bytes: 0,
+        },
+        mem_heavy: MemHeavyConfig {
+            capacity_bytes: 1024 * KB,
+            num_sfu: 32,
+            num_trackers: 16,
+        },
+        ext_mem_bw: 300.0 * GB,
+        comp_mem_bw: 48.0 * GB,
+        mem_mem_bw: 144.0 * GB,
+    };
+    NodeConfig {
+        clusters: 4,
+        cluster: ClusterConfig {
+            conv_chips: 4,
+            conv_chip,
+            fc_chip,
+            spoke_bw: 0.5 * GB,
+            arc_bw: 16.0 * GB,
+        },
+        ring_bw: 12.0 * GB,
+        frequency_mhz: 600.0,
+        precision: Precision::Single,
+    }
+}
+
+/// The half-precision design point (§6.1): FP16 datapaths, per-tile memory
+/// capacity and link bandwidth halved, grids grown to 8×24 (ConvLayer) and
+/// 8×12 (FcLayer) to return to the single-precision power envelope.
+/// Delivers ~1.35 PFLOPS peak.
+pub fn half_precision() -> NodeConfig {
+    let mut node = single_precision();
+    node.precision = Precision::Half;
+
+    let conv = &mut node.cluster.conv_chip;
+    conv.rows = 8;
+    conv.cols = 24;
+    conv.mem_heavy.capacity_bytes /= 2;
+    conv.ext_mem_bw /= 2.0;
+    conv.comp_mem_bw /= 2.0;
+    conv.mem_mem_bw /= 2.0;
+
+    let fc = &mut node.cluster.fc_chip;
+    fc.rows = 8;
+    fc.cols = 12;
+    fc.mem_heavy.capacity_bytes /= 2;
+    fc.ext_mem_bw /= 2.0;
+    fc.comp_mem_bw /= 2.0;
+    fc.mem_mem_bw /= 2.0;
+
+    node.cluster.spoke_bw /= 2.0;
+    node.cluster.arc_bw /= 2.0;
+    node.ring_bw /= 2.0;
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sp_matches_figure14_structure() {
+        let node = single_precision();
+        assert_eq!(node.clusters, 4);
+        assert_eq!(node.cluster.conv_chips, 4);
+        let conv = node.cluster.conv_chip;
+        assert_eq!((conv.rows, conv.cols), (6, 16));
+        assert_eq!(
+            (
+                conv.comp_heavy.array_rows,
+                conv.comp_heavy.array_cols,
+                conv.comp_heavy.lanes
+            ),
+            (8, 3, 4)
+        );
+        let fc = node.cluster.fc_chip;
+        assert_eq!((fc.rows, fc.cols), (6, 8));
+        assert_eq!(
+            (fc.comp_heavy.array_rows, fc.comp_heavy.array_cols, fc.comp_heavy.lanes),
+            (4, 8, 1)
+        );
+    }
+
+    #[test]
+    fn hp_grows_grid_and_halves_memory() {
+        let hp = half_precision();
+        assert_eq!((hp.cluster.conv_chip.rows, hp.cluster.conv_chip.cols), (8, 24));
+        assert_eq!((hp.cluster.fc_chip.rows, hp.cluster.fc_chip.cols), (8, 12));
+        assert_eq!(hp.cluster.conv_chip.mem_heavy.capacity_bytes, 256 * KB);
+        assert_eq!(hp.precision, Precision::Half);
+    }
+
+    #[test]
+    fn hp_tile_count_grows_2x() {
+        let sp = single_precision();
+        let hp = half_precision();
+        assert_eq!(
+            hp.cluster.conv_chip.comp_heavy_tiles(),
+            2 * sp.cluster.conv_chip.comp_heavy_tiles()
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! GPU baselines: published throughput tables and a roofline model.
+
+mod published;
+mod roofline;
+
+pub use published::{published_training_throughput, PublishedEntry, PUBLISHED};
+pub use roofline::{GpuDevice, GpuRoofline};
+
+use std::fmt;
+
+/// The GPU software stacks the paper charts in Figure 18.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GpuFramework {
+    /// NVIDIA cuDNN R2 (the 2015-era baseline — Figure 18's tallest bars).
+    CudnnR2,
+    /// Nervana Neon (hand-tuned SASS kernels).
+    NervanaNeon,
+    /// Google TensorFlow.
+    TensorFlow,
+    /// cuDNN with Winograd convolutions (R5-era).
+    CudnnWinograd,
+    /// Nervana Neon with Winograd convolutions.
+    NervanaWinograd,
+}
+
+impl GpuFramework {
+    /// All frameworks in Figure 18's legend order.
+    pub const ALL: [GpuFramework; 5] = [
+        GpuFramework::CudnnR2,
+        GpuFramework::NervanaNeon,
+        GpuFramework::TensorFlow,
+        GpuFramework::CudnnWinograd,
+        GpuFramework::NervanaWinograd,
+    ];
+
+    /// Fraction of GPU peak FLOPs this stack sustains on CNN training
+    /// (roofline calibration constants; see `published.rs` provenance).
+    pub const fn compute_efficiency(self) -> f64 {
+        match self {
+            GpuFramework::CudnnR2 => 0.25,
+            GpuFramework::NervanaNeon => 0.52,
+            GpuFramework::TensorFlow => 0.42,
+            GpuFramework::CudnnWinograd => 0.55,
+            GpuFramework::NervanaWinograd => 0.62,
+        }
+    }
+
+    /// FLOP-reduction factor Winograd F(2x2, 3x3) achieves on 3×3
+    /// convolutions (2.25× fewer multiplies), 1.0 for direct algorithms.
+    pub const fn winograd_reduction(self) -> f64 {
+        match self {
+            GpuFramework::CudnnWinograd | GpuFramework::NervanaWinograd => 2.25,
+            _ => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for GpuFramework {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GpuFramework::CudnnR2 => "TitanX-cuDNN-R2",
+            GpuFramework::NervanaNeon => "TitanX-Nervana",
+            GpuFramework::TensorFlow => "TensorFlow",
+            GpuFramework::CudnnWinograd => "TitanX-cuDNN-Winograd",
+            GpuFramework::NervanaWinograd => "TitanX-Nervana-Winograd",
+        })
+    }
+}

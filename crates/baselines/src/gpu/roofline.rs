@@ -1,0 +1,158 @@
+//! Roofline model of GPU CNN training.
+//!
+//! Per-layer time is the larger of the compute roof (training FLOPs over
+//! the stack's sustained fraction of peak) and the memory roof (features +
+//! weights streamed at memory bandwidth). Layer times add: GPU frameworks
+//! execute layers back-to-back, without ScaleDeep's inter-layer pipeline.
+
+use super::GpuFramework;
+use scaledeep_dnn::{Kernel, Network, Step};
+
+/// A GPU device's roofline parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuDevice {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Peak single-precision FLOPs/s.
+    pub peak_flops: f64,
+    /// Memory bandwidth, bytes/s.
+    pub mem_bw: f64,
+    /// Board power in watts (for iso-power comparisons).
+    pub watts: f64,
+}
+
+impl GpuDevice {
+    /// NVIDIA Titan X, Maxwell (the paper's comparison GPU): ~6.1-7 TFLOPS
+    /// SP, 336 GB/s, ~250 W board (~320 W system, pairing with one
+    /// ScaleDeep chip cluster at 325.6 W).
+    pub const fn titan_x_maxwell() -> Self {
+        Self {
+            name: "TitanX (Maxwell)",
+            peak_flops: 7.0e12,
+            mem_bw: 336.0e9,
+            watts: 320.0,
+        }
+    }
+
+    /// NVIDIA Titan X, Pascal: ~11 TFLOPS SP, 480 GB/s. The paper assumes
+    /// perfect 1.5× scaling from Maxwell for its §6.1 extrapolation.
+    pub const fn titan_x_pascal() -> Self {
+        Self {
+            name: "TitanX (Pascal)",
+            peak_flops: 11.0e12,
+            mem_bw: 480.0e9,
+            watts: 320.0,
+        }
+    }
+}
+
+/// Roofline estimator for one (device, framework) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuRoofline {
+    /// The modeled device.
+    pub device: GpuDevice,
+    /// The modeled software stack.
+    pub framework: GpuFramework,
+    /// Assumed training minibatch (weights are re-read once per batch).
+    pub minibatch: usize,
+}
+
+impl GpuRoofline {
+    /// A Titan X Maxwell roofline for the given framework, minibatch 128.
+    pub const fn titan_x(framework: GpuFramework) -> Self {
+        Self {
+            device: GpuDevice::titan_x_maxwell(),
+            framework,
+            minibatch: 128,
+        }
+    }
+
+    /// Estimated training throughput (images/second) for a network.
+    pub fn training_images_per_sec(&self, net: &Network) -> f64 {
+        let a = net.analyze();
+        let mut seconds_per_image = 0.0f64;
+        for node in net.layers() {
+            let cost = a.layer(node.id());
+            let mut flops = cost.training_flops() as f64;
+            // Winograd reduces only the convolution multiplies of 3x3
+            // kernels; approximate by discounting the NdConv share when
+            // the layer uses a 3x3 kernel.
+            if let scaledeep_dnn::Layer::Conv(c) = node.layer() {
+                if c.kernel == 3 && self.framework.winograd_reduction() > 1.0 {
+                    let conv_share: f64 = Step::ALL
+                        .iter()
+                        .map(|&s| cost.step(s).flops(Kernel::NdConv) as f64)
+                        .sum();
+                    flops -= conv_share * (1.0 - 1.0 / self.framework.winograd_reduction());
+                }
+            }
+            let compute =
+                flops / (self.device.peak_flops * self.framework.compute_efficiency());
+            // Memory roof: features in/out each step plus the weights read
+            // once per minibatch.
+            let feature_bytes = 3.0
+                * (net.fan_in_elems(node.id()) as f64 + node.output_shape().elems() as f64)
+                * 4.0;
+            let weight_bytes = cost.weights as f64 * 4.0 / self.minibatch.max(1) as f64;
+            let memory = (feature_bytes + weight_bytes) / self.device.mem_bw;
+            seconds_per_image += compute.max(memory);
+        }
+        1.0 / seconds_per_image
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::published_training_throughput;
+    use scaledeep_dnn::zoo;
+
+    #[test]
+    fn roofline_tracks_published_numbers_within_2x() {
+        for (name, net) in [
+            ("alexnet", zoo::alexnet()),
+            ("overfeat-fast", zoo::overfeat_fast()),
+            ("vgg-a", zoo::vgg_a()),
+        ] {
+            for fw in [GpuFramework::CudnnR2, GpuFramework::NervanaNeon] {
+                let published = published_training_throughput(name, fw).unwrap();
+                let modeled = GpuRoofline::titan_x(fw).training_images_per_sec(&net);
+                let ratio = modeled / published;
+                assert!(
+                    (0.4..2.5).contains(&ratio),
+                    "{name}/{fw}: modeled {modeled:.0} vs published {published:.0}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn winograd_beats_direct_convolution() {
+        let net = zoo::vgg_a(); // all-3x3 network: maximum Winograd benefit
+        let direct = GpuRoofline::titan_x(GpuFramework::NervanaNeon).training_images_per_sec(&net);
+        let wino =
+            GpuRoofline::titan_x(GpuFramework::NervanaWinograd).training_images_per_sec(&net);
+        assert!(wino > direct, "winograd {wino:.0} vs direct {direct:.0}");
+    }
+
+    #[test]
+    fn pascal_is_faster_than_maxwell() {
+        let net = zoo::alexnet();
+        let mut maxwell = GpuRoofline::titan_x(GpuFramework::NervanaNeon);
+        let mut pascal = maxwell;
+        pascal.device = GpuDevice::titan_x_pascal();
+        let m = maxwell.training_images_per_sec(&net);
+        let p = pascal.training_images_per_sec(&net);
+        let scale = p / m;
+        assert!(scale > 1.2 && scale < 1.8, "Pascal scaling {scale}");
+        let _ = &mut maxwell;
+    }
+
+    #[test]
+    fn faster_stacks_predict_higher_throughput() {
+        let net = zoo::googlenet();
+        let r2 = GpuRoofline::titan_x(GpuFramework::CudnnR2).training_images_per_sec(&net);
+        let neon = GpuRoofline::titan_x(GpuFramework::NervanaNeon).training_images_per_sec(&net);
+        assert!(neon > 1.5 * r2, "neon {neon:.0} vs r2 {r2:.0}");
+    }
+}

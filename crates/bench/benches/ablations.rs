@@ -1,0 +1,21 @@
+//! Criterion bench: regenerates design-choice ablations (ablations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scaledeep::experiments;
+use scaledeep_bench::SIM_SAMPLE_SIZE;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(SIM_SAMPLE_SIZE);
+    g.bench_function("ablations", |b| {
+        b.iter(|| {
+            let tables = experiments::run_by_id("ablations").expect("known experiment");
+            assert!(!tables.is_empty());
+            tables
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench: regenerates fig1-style FLOP analysis across the zoo (fig01_flops).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scaledeep::experiments;
+use scaledeep_bench::SIM_SAMPLE_SIZE;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01_flops");
+    g.sample_size(SIM_SAMPLE_SIZE);
+    g.bench_function("fig1", |b| {
+        b.iter(|| {
+            let tables = experiments::run_by_id("fig1").expect("known experiment");
+            assert!(!tables.is_empty());
+            tables
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench: regenerates suite kernel summary (fig05_kernels).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scaledeep::experiments;
+use scaledeep_bench::SIM_SAMPLE_SIZE;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_kernels");
+    g.sample_size(SIM_SAMPLE_SIZE);
+    g.bench_function("fig5", |b| {
+        b.iter(|| {
+            let tables = experiments::run_by_id("fig5").expect("known experiment");
+            assert!(!tables.is_empty());
+            tables
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

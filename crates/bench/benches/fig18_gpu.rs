@@ -1,0 +1,21 @@
+//! Criterion bench: regenerates GPU speedup comparison (fig18_gpu).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scaledeep::experiments;
+use scaledeep_bench::SIM_SAMPLE_SIZE;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig18_gpu");
+    g.sample_size(SIM_SAMPLE_SIZE);
+    g.bench_function("fig18", |b| {
+        b.iter(|| {
+            let tables = experiments::run_by_id("fig18").expect("known experiment");
+            assert!(!tables.is_empty());
+            tables
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

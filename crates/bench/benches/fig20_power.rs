@@ -1,0 +1,21 @@
+//! Criterion bench: regenerates power/efficiency sweep (fig20_power).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scaledeep::experiments;
+use scaledeep_bench::SIM_SAMPLE_SIZE;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig20_power");
+    g.sample_size(SIM_SAMPLE_SIZE);
+    g.bench_function("fig20", |b| {
+        b.iter(|| {
+            let tables = experiments::run_by_id("fig20").expect("known experiment");
+            assert!(!tables.is_empty());
+            tables
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

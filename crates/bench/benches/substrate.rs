@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks of the substrates the figure benches stand
+//! on: compiler mapping latency, functional-simulator instruction
+//! throughput, ISA encode/decode, and the DES pipeline engine. These act
+//! as performance regressions for the simulator itself (the paper's
+//! simulator had to be fast enough to sweep 11 networks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scaledeep_arch::presets;
+use scaledeep_compiler::codegen::{compile_functional, FuncTargetOptions};
+use scaledeep_compiler::Compiler;
+use scaledeep_dnn::{zoo, Activation, Conv, Fc, FeatureShape, NetworkBuilder};
+use scaledeep_isa::Program;
+use scaledeep_sim::func::FuncSim;
+use scaledeep_sim::perf::PerfSim;
+use scaledeep_tensor::Executor;
+
+fn bench_mapping(c: &mut Criterion) {
+    let node = presets::single_precision();
+    let compiler = Compiler::new(&node);
+    let nets = [zoo::alexnet(), zoo::googlenet(), zoo::vgg_e()];
+    let mut g = c.benchmark_group("substrate/mapping");
+    for net in &nets {
+        g.bench_function(net.name(), |b| {
+            b.iter(|| compiler.map(net).expect("maps"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_perf_sim(c: &mut Criterion) {
+    let node = presets::single_precision();
+    let sim = PerfSim::new(&node);
+    let net = zoo::vgg_d();
+    let mut g = c.benchmark_group("substrate/perf-sim");
+    g.sample_size(20);
+    g.bench_function("train-vgg-d", |b| b.iter(|| sim.train(&net).expect("simulates")));
+    g.finish();
+}
+
+fn bench_functional_sim(c: &mut Criterion) {
+    let mut b = NetworkBuilder::new("bench", FeatureShape::new(1, 12, 12));
+    b.conv(
+        "c1",
+        Conv {
+            out_features: 4,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            groups: 1,
+            bias: false,
+            activation: Activation::Relu,
+        },
+    )
+    .unwrap();
+    let f = b
+        .fc(
+            "f1",
+            Fc {
+                out_neurons: 8,
+                bias: false,
+                activation: Activation::None,
+            },
+        )
+        .unwrap();
+    let net = b.finish_with_loss(f).unwrap();
+    let compiled = compile_functional(&net, &FuncTargetOptions::default()).unwrap();
+    let reference = Executor::new(&net, 1).unwrap();
+    let mut sim = FuncSim::new(&net, &compiled).unwrap();
+    sim.import_params(&reference).unwrap();
+    let image = vec![0.5f32; 144];
+    let golden = vec![0.25f32; 8];
+
+    let mut g = c.benchmark_group("substrate/functional-sim");
+    g.bench_function("training-iteration", |b| {
+        b.iter(|| sim.run_iteration(&image, &golden).expect("runs"))
+    });
+    g.finish();
+}
+
+fn bench_isa_codec(c: &mut Criterion) {
+    let net = zoo::alexnet();
+    // A realistic instruction stream: compile a reduced AlexNet head.
+    let mut b = NetworkBuilder::new("head", FeatureShape::new(3, 16, 16));
+    b.conv(
+        "c1",
+        Conv {
+            out_features: 8,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            groups: 1,
+            bias: false,
+            activation: Activation::Relu,
+        },
+    )
+    .unwrap();
+    let f = b
+        .fc(
+            "f",
+            Fc {
+                out_neurons: 10,
+                bias: false,
+                activation: Activation::None,
+            },
+        )
+        .unwrap();
+    let head = b.finish_with_loss(f).unwrap();
+    let compiled = compile_functional(&head, &FuncTargetOptions::default()).unwrap();
+    let program = &compiled.programs[0];
+    let bytes = program.encode();
+    let _ = net;
+
+    let mut g = c.benchmark_group("substrate/isa");
+    g.bench_function("encode", |b| b.iter(|| program.encode()));
+    g.bench_function("decode", |b| {
+        b.iter(|| Program::decode("p", &bytes).expect("decodes"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mapping,
+    bench_perf_sim,
+    bench_functional_sim,
+    bench_isa_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench: regenerates the training-time projection
+//! (training-time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scaledeep::experiments;
+use scaledeep_bench::SIM_SAMPLE_SIZE;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("training_time");
+    g.sample_size(SIM_SAMPLE_SIZE);
+    g.bench_function("training-time", |b| {
+        b.iter(|| {
+            let tables = experiments::run_by_id("training-time").expect("known experiment");
+            assert!(!tables.is_empty());
+            tables
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! `repro` — regenerates every table and figure of the ScaleDeep paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro                # run every experiment
+//! repro fig16 fig18    # run selected experiments
+//! repro --list         # list experiment ids
+//! repro --net alexnet  # drill into one benchmark's mapping & pipeline
+//! ```
+
+use scaledeep::experiments::{run_by_id, EXPERIMENT_IDS};
+use scaledeep::Session;
+use scaledeep_dnn::zoo;
+
+fn drill_into(name: &str) -> Result<(), String> {
+    let net = zoo::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    println!("{net}");
+    let session = Session::single_precision();
+    let mapping = session.compile(&net).map_err(|e| e.to_string())?;
+    println!(
+        "mapping: {} ConvLayer cols on {} chip(s) / {} cluster(s); {} FcLayer cols\n",
+        mapping.conv_cols_used(),
+        mapping.chips_spanned(),
+        mapping.clusters_spanned(),
+        mapping.fc_cols_used()
+    );
+    let r = session.train(&net).map_err(|e| e.to_string())?;
+    println!("training pipeline ({} replicas):", r.pipelines);
+    for s in &r.stages {
+        println!(
+            "  {:24} {:>10} cycles/image{}",
+            s.name,
+            s.service_cycles,
+            if s.bottleneck { "  <- bottleneck" } else { "" }
+        );
+    }
+    println!(
+        "\n{:.0} images/s, utilization {:.2}, {:.0} W, {:.1} GFLOPs/W",
+        r.images_per_sec,
+        r.pe_utilization,
+        r.avg_power.total(),
+        r.gflops_per_watt
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in EXPERIMENT_IDS {
+            println!("{id}");
+        }
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--net") {
+        match args.get(pos + 1) {
+            Some(name) => {
+                if let Err(e) = drill_into(name) {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+            None => {
+                eprintln!("--net requires a benchmark name");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.is_empty() {
+        EXPERIMENT_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        match run_by_id(id) {
+            Some(tables) => {
+                for t in tables {
+                    println!("{t}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment `{id}` (try --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,1275 @@
+//! Template instantiation: emits the FP / BP / WG programs of every layer.
+
+use super::layout::{Allocator, BufferLoc, LayerBuffers, TrackerSpec};
+use super::{CompiledNetwork, FuncTargetOptions};
+use crate::error::{Error, Result};
+use scaledeep_dnn::{Activation, Layer, LayerId, Network};
+use scaledeep_isa::{ActKind, Addr, Inst, MemRef, PoolMode, Program, Reg, TileRef};
+use std::collections::HashMap;
+
+/// Compiles a network for the functional ISA simulator.
+///
+/// # Errors
+///
+/// Returns [`Error::Codegen`] for constructs the functional target cannot
+/// express: convolutions with stride > 1 or non-square error "kernels",
+/// buffers exceeding the tile capacity, or tracker counts beyond the
+/// 16-bit hardware counters.
+pub fn compile_functional(net: &Network, opts: &FuncTargetOptions) -> Result<CompiledNetwork> {
+    compile_functional_minibatch(net, opts, 1)
+}
+
+/// Compiles a network whose programs loop over a `batch`-image minibatch
+/// using the scalar-control ISA: each program wraps its per-image body in
+/// an `LDRI` / `SUBRI` / `BNEZ` loop, the first layer and the loss head
+/// walk the input/golden arrays through register-indirect addressing, and
+/// all intermediate buffers are *reused* across images — the data-flow
+/// trackers' generation-wrap semantics provide the cross-image
+/// synchronization (a consumer must drain a buffer before the producer may
+/// write the next image into it, exactly the paper's pipelined hand-off).
+///
+/// # Errors
+///
+/// In addition to [`compile_functional`]'s restrictions, `batch > 1`
+/// requires a single-consumer graph (no residual fan-out): accumulating
+/// error contributions from multiple consumers would need host-side
+/// zeroing between images, which the looped mode by design does without.
+pub fn compile_functional_minibatch(
+    net: &Network,
+    opts: &FuncTargetOptions,
+    batch: usize,
+) -> Result<CompiledNetwork> {
+    if batch == 0 {
+        return Err(Error::Codegen {
+            detail: "minibatch must be at least 1".into(),
+        });
+    }
+    if batch > 1 {
+        for node in net.layers() {
+            if node.consumers().len() > 1 {
+                return Err(Error::Codegen {
+                    detail: format!(
+                        "minibatch-looped target requires a single-consumer graph; `{}` has {} consumers",
+                        node.name(),
+                        node.consumers().len()
+                    ),
+                });
+            }
+        }
+    }
+    let mut cg = Codegen::new(net, opts)?;
+    cg.batch = batch;
+    cg.allocate()?;
+    cg.emit_all()?;
+    cg.finish()
+}
+
+type BufKey = (u16, u32, u32);
+
+fn key(b: BufferLoc) -> BufKey {
+    (b.tile, b.offset, b.len)
+}
+
+struct Codegen<'n> {
+    net: &'n Network,
+    alloc: Allocator,
+    buffers: Vec<LayerBuffers>,
+    /// Tracked buffer -> (updates, reads) observed during emission.
+    counts: HashMap<BufKey, (u32, u32)>,
+    programs: Vec<(LayerId, &'static str, Vec<Inst>)>,
+    const_neg_one: Option<BufferLoc>,
+    dropped_biases: usize,
+    mem_tiles: usize,
+    batch: usize,
+    zeros: Option<BufferLoc>,
+    epoch_token: Option<BufferLoc>,
+    token_scratch: Option<BufferLoc>,
+    /// Set while emitting a program whose body indexes the input/golden
+    /// arrays: (base element offset, per-image stride).
+    image_reg: Option<(u32, u32)>,
+}
+
+impl<'n> Codegen<'n> {
+    fn new(net: &'n Network, opts: &FuncTargetOptions) -> Result<Self> {
+        if opts.mem_tiles == 0 {
+            return Err(Error::Codegen {
+                detail: "functional target needs at least one MemHeavy tile".into(),
+            });
+        }
+        Ok(Self {
+            net,
+            alloc: Allocator::new(opts.mem_tiles, opts.tile_capacity_elems),
+            buffers: vec![LayerBuffers::default(); net.len()],
+            counts: HashMap::new(),
+            programs: Vec::new(),
+            const_neg_one: None,
+            dropped_biases: 0,
+            mem_tiles: opts.mem_tiles,
+            batch: 1,
+            zeros: None,
+            epoch_token: None,
+            token_scratch: None,
+            image_reg: None,
+        })
+    }
+
+    fn track(&mut self, b: Option<BufferLoc>) {
+        if let Some(b) = b {
+            self.counts.entry(key(b)).or_insert((0, 0));
+        }
+    }
+
+    /// Allocates all buffers (home-tile assignment).
+    fn allocate(&mut self) -> Result<()> {
+        self.const_neg_one = Some(self.alloc.alloc(1)?);
+        // Zeros region: clears self-zeroing scatter targets (looped mode)
+        // and initializes element-wise-product accumulators.
+        let largest = self
+            .net
+            .layers()
+            .map(|n| n.output_shape().elems() as u32)
+            .max()
+            .unwrap_or(1);
+        self.zeros = Some(self.alloc.alloc(largest)?);
+        if self.looped() {
+            self.epoch_token = Some(self.alloc.alloc(1)?);
+            self.token_scratch = Some(self.alloc.alloc(1)?);
+        }
+        for node in self.net.layers() {
+            let id = node.id();
+            let out_elems = node.output_shape().elems() as u32;
+            let mut b = LayerBuffers::default();
+            match node.layer() {
+                Layer::Input(_) => {
+                    // In looped mode the input array is a host-owned,
+                    // never-rewritten region read freely by every image's
+                    // iteration: it stays untracked (see `track` below).
+                    b.output = Some(self.alloc.alloc(out_elems * self.batch as u32)?);
+                }
+                Layer::Conv(c) => {
+                    let in_shape = self.net.input_shapes(id)[0];
+                    let w_len = (c.weights(in_shape.features)
+                        - if c.bias { c.out_features as u64 } else { 0 })
+                        as u32;
+                    if c.bias {
+                        self.dropped_biases += 1;
+                    }
+                    b.output = Some(self.alloc.alloc(out_elems)?);
+                    b.pre = Some(self.alloc.alloc(out_elems)?);
+                    b.err = Some(self.alloc.alloc(out_elems)?);
+                    b.dz = Some(self.alloc.alloc(out_elems)?);
+                    b.weights = Some(self.alloc.alloc(w_len)?);
+                    b.wgrad = Some(self.alloc.alloc(w_len)?);
+                }
+                Layer::Fc(f) => {
+                    let n_in = self.net.fan_in_elems(id) as u32;
+                    let n_out = f.out_neurons as u32;
+                    if f.bias {
+                        self.dropped_biases += 1;
+                    }
+                    b.output = Some(self.alloc.alloc(n_out)?);
+                    b.pre = Some(self.alloc.alloc(n_out)?);
+                    b.err = Some(self.alloc.alloc(n_out)?);
+                    b.dz = Some(self.alloc.alloc(n_out)?);
+                    b.weights = Some(self.alloc.alloc(n_in * n_out)?);
+                    b.weights_t = Some(self.alloc.alloc(n_in * n_out)?);
+                    b.wgrad = Some(self.alloc.alloc(n_in * n_out)?);
+                }
+                Layer::Pool(_) | Layer::Concat | Layer::Shortcut { .. } => {
+                    b.output = Some(self.alloc.alloc(out_elems)?);
+                    b.err = Some(self.alloc.alloc(out_elems)?);
+                }
+                Layer::EltwiseAdd(_) | Layer::EltwiseMul(_) => {
+                    b.output = Some(self.alloc.alloc(out_elems)?);
+                    b.pre = Some(self.alloc.alloc(out_elems)?);
+                    b.err = Some(self.alloc.alloc(out_elems)?);
+                    b.dz = Some(self.alloc.alloc(out_elems)?);
+                }
+                Layer::Act(_) => {
+                    // The pre-activation values are the producer's output;
+                    // only the result, error and derivative need homes.
+                    b.output = Some(self.alloc.alloc(out_elems)?);
+                    b.err = Some(self.alloc.alloc(out_elems)?);
+                    b.dz = Some(self.alloc.alloc(out_elems)?);
+                }
+                Layer::Loss => {
+                    b.golden = Some(self.alloc.alloc(out_elems * self.batch as u32)?);
+                }
+                other => {
+                    return Err(Error::Codegen {
+                        detail: format!("unsupported layer kind {}", other.type_tag()),
+                    })
+                }
+            }
+            let host_owned_input =
+                self.looped() && matches!(node.layer(), Layer::Input(_));
+            if !host_owned_input {
+                self.track(b.output);
+            }
+            self.track(b.pre);
+            self.track(b.err);
+            self.track(b.dz);
+            self.buffers[id.index()] = b;
+        }
+        Ok(())
+    }
+
+    // --- access recording -------------------------------------------------
+
+    fn read(&mut self, b: BufferLoc) {
+        if let Some(c) = self.counts.get_mut(&key(b)) {
+            c.1 += 1;
+        }
+    }
+
+    fn write(&mut self, b: BufferLoc) {
+        if let Some(c) = self.counts.get_mut(&key(b)) {
+            c.0 += 1;
+        }
+    }
+
+    // --- emission ----------------------------------------------------------
+
+    fn bufs(&self, id: LayerId) -> LayerBuffers {
+        self.buffers[id.index()]
+    }
+
+    fn looped(&self) -> bool {
+        self.batch > 1
+    }
+
+    fn input_id(&self) -> LayerId {
+        self.net.input().id()
+    }
+
+    /// A reference `elems` into `buf`. When the buffer belongs to the
+    /// input layer (or the golden array) in looped mode, the reference is
+    /// register-indirect off the per-image base in `r1` (computing the
+    /// concrete address into `r2` first), and the program gets a loop
+    /// wrapper advancing `r1` by the image stride.
+    fn read_ref(
+        &mut self,
+        insts: &mut Vec<Inst>,
+        owner: LayerId,
+        buf: BufferLoc,
+        elems: u32,
+        per_image_len: u32,
+    ) -> MemRef {
+        if self.looped() && owner == self.input_id() {
+            self.image_reg = Some((buf.offset, per_image_len));
+            insts.push(Inst::Addri {
+                rd: Reg::R2,
+                rs: Reg::R1,
+                imm: i64::from(elems),
+            });
+            MemRef {
+                tile: TileRef(buf.tile),
+                addr: Addr::Reg(Reg::R2),
+            }
+        } else {
+            buf.mem_at(elems)
+        }
+    }
+
+    /// Zeroes `len` elements at `dst` from the zeros region (looped-mode
+    /// self-clearing before scatter accumulation). Counts as an update on
+    /// the destination buffer `owner_buf`.
+    fn emit_zero(&mut self, insts: &mut Vec<Inst>, dst: MemRef, len: u32, owner_buf: BufferLoc) {
+        let zeros = self.zeros.expect("zeros region allocated in looped mode");
+        assert!(len <= zeros.len, "zeros region sized to the largest buffer");
+        insts.push(Inst::DmaLoad {
+            src: zeros.mem(),
+            dst,
+            len,
+            accumulate: false,
+        });
+        self.write(owner_buf);
+    }
+
+    fn emit_all(&mut self) -> Result<()> {
+        let ids: Vec<LayerId> = self.net.layers().map(|n| n.id()).collect();
+        for id in ids {
+            match *self.net.node(id).layer() {
+                Layer::Conv(c) => self.emit_conv(id, c)?,
+                Layer::Pool(p) => self.emit_pool(id, p),
+                Layer::Fc(f) => self.emit_fc(id, f),
+                Layer::EltwiseAdd(act) => self.emit_eltwise(id, act),
+                Layer::EltwiseMul(act) => self.emit_eltwise_mul(id, act),
+                Layer::Act(act) => self.emit_standalone_act(id, act),
+                Layer::Concat => self.emit_concat(id),
+                Layer::Shortcut {
+                    stride,
+                    out_features,
+                } => self.emit_shortcut(id, stride, out_features),
+                Layer::Loss => self.emit_loss(id),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn act_kind(a: Activation) -> Option<ActKind> {
+        match a {
+            Activation::None => None,
+            Activation::Relu => Some(ActKind::Relu),
+            Activation::Tanh => Some(ActKind::Tanh),
+            Activation::Sigmoid => Some(ActKind::Sigmoid),
+        }
+    }
+
+    /// Emits `dst = act(src)`, or a copy for the identity activation.
+    fn emit_act(&mut self, insts: &mut Vec<Inst>, a: Activation, src: BufferLoc, dst: BufferLoc) {
+        match Self::act_kind(a) {
+            Some(kind) => insts.push(Inst::NdActFn {
+                kind,
+                src: src.mem(),
+                len: src.len,
+                dst: dst.mem(),
+            }),
+            None => insts.push(Inst::DmaLoad {
+                src: src.mem(),
+                dst: dst.mem(),
+                len: src.len,
+                accumulate: false,
+            }),
+        }
+        self.read(src);
+        self.write(dst);
+    }
+
+    /// Emits `dz = err * act'(pre)`, or a copy for the identity activation.
+    fn emit_act_bwd(
+        &mut self,
+        insts: &mut Vec<Inst>,
+        a: Activation,
+        pre: Option<BufferLoc>,
+        err: BufferLoc,
+        dz: BufferLoc,
+    ) {
+        match (Self::act_kind(a), pre) {
+            (Some(kind), Some(pre)) => {
+                insts.push(Inst::NdActBwd {
+                    kind,
+                    pre: pre.mem(),
+                    err: err.mem(),
+                    len: err.len,
+                    dst: dz.mem(),
+                });
+                self.read(pre);
+                self.read(err);
+                self.write(dz);
+            }
+            _ => {
+                insts.push(Inst::DmaLoad {
+                    src: err.mem(),
+                    dst: dz.mem(),
+                    len: err.len,
+                    accumulate: false,
+                });
+                self.read(err);
+                self.write(dz);
+            }
+        }
+    }
+
+    fn push_program(&mut self, id: LayerId, step: &'static str, insts: Vec<Inst>) {
+        let mut insts = insts;
+        if self.looped() && !insts.is_empty() {
+            // Epoch barrier: every program announces the start of its
+            // image by an accumulating write into the epoch token and
+            // retires the image by reading it. The token's tracker
+            // (updates = reads = #programs per generation) then gates each
+            // program's next-image *start-write* on every program having
+            // *finished* the previous image — a full inter-image barrier
+            // built purely from MEMTRACK generation-wrap semantics. (The
+            // paper instead double-buffers features/errors to pipeline
+            // images; the functional target favors the simpler barrier —
+            // pipelining is the performance simulator's concern.)
+            let token = self.epoch_token.expect("token allocated in looped mode");
+            let scratch = self.token_scratch.expect("scratch allocated");
+            let zeros = self.zeros.expect("zeros allocated");
+            let mut body = vec![Inst::DmaStore {
+                src: zeros.mem(),
+                dst: token.mem(),
+                len: 1,
+                accumulate: true,
+            }];
+            body.append(&mut insts);
+            body.push(Inst::DmaLoad {
+                src: token.mem(),
+                dst: scratch.mem(),
+                len: 1,
+                accumulate: false,
+            });
+            insts = body;
+            let image_reg = self.image_reg.take();
+            let mut wrapped = vec![Inst::Ldri {
+                rd: Reg::R0,
+                value: self.batch as i64,
+            }];
+            if let Some((base, _)) = image_reg {
+                wrapped.push(Inst::Ldri {
+                    rd: Reg::R1,
+                    value: i64::from(base),
+                });
+            }
+            let top = wrapped.len();
+            let body_len = insts.len();
+            wrapped.append(&mut insts);
+            if let Some((_, stride)) = image_reg {
+                wrapped.push(Inst::Addri {
+                    rd: Reg::R1,
+                    rs: Reg::R1,
+                    imm: i64::from(stride),
+                });
+            }
+            wrapped.push(Inst::Subri {
+                rd: Reg::R0,
+                rs: Reg::R0,
+                imm: 1,
+            });
+            // BNEZ at index `at` jumps to `at + 1 + offset`; target = top.
+            let at = wrapped.len();
+            let offset = top as i64 - at as i64 - 1;
+            wrapped.push(Inst::Bnez {
+                rs: Reg::R0,
+                offset: i32::try_from(offset).expect("program fits i32 offsets"),
+            });
+            let _ = body_len;
+            insts = wrapped;
+        } else {
+            self.image_reg = None;
+        }
+        insts.push(Inst::Halt);
+        self.programs.push((id, step, insts));
+    }
+
+    fn emit_conv(&mut self, id: LayerId, c: scaledeep_dnn::Conv) -> Result<()> {
+        let node = self.net.node(id);
+        let prev_id = node.inputs()[0];
+        let prev = self.bufs(prev_id);
+        let me = self.bufs(id);
+        let in_shape = self.net.input_shapes(id)[0];
+        let out = node.output_shape();
+        if c.stride != 1 {
+            return Err(Error::Codegen {
+                detail: format!(
+                    "functional target requires stride-1 convolutions, `{}` has stride {}",
+                    node.name(),
+                    c.stride
+                ),
+            });
+        }
+        if out.height != out.width || out.height > u8::MAX as usize {
+            return Err(Error::Codegen {
+                detail: format!(
+                    "WG needs square output features <= 255, `{}` is {}x{}",
+                    node.name(),
+                    out.height,
+                    out.width
+                ),
+            });
+        }
+        let (ih, iw) = (in_shape.height as u16, in_shape.width as u16);
+        let (oh, ow) = (out.height as u16, out.width as u16);
+        let k = c.kernel as u8;
+        let cin_g = in_shape.features / c.groups;
+        let cout_g = c.out_features / c.groups;
+        let fe_in = (in_shape.height * in_shape.width) as u32;
+        let fe_out = (out.height * out.width) as u32;
+        let k2 = (c.kernel * c.kernel) as u32;
+        let prev_out = prev.output.expect("producer has an output buffer");
+        let prev_out_len = in_shape.elems() as u32;
+        let weights = me.weights.expect("conv has weights");
+        let pre = me.pre.expect("conv has pre buffer");
+        // Kernel index in input-major layout [i_global][o_in_group][k][k].
+        let widx = |i: usize, o_local: usize| (i as u32 * cout_g as u32 + o_local as u32) * k2;
+
+        // ---- FP ----
+        let lanes = cout_g.min(4);
+        let mut fp = Vec::new();
+        for g in 0..c.groups {
+            let mut ob = 0;
+            while ob < cout_g {
+                let nl = lanes.min(cout_g - ob);
+                // Batch convolution: nl kernels per input feature, but the
+                // kernels for distinct lanes must be contiguous — they are
+                // for a fixed input feature in input-major layout only if
+                // they sit at consecutive o_local. Emit per input feature.
+                for (idx, ig) in (0..cin_g).enumerate() {
+                    let i = g * cin_g + ig;
+                    let input_ref =
+                        self.read_ref(&mut fp, prev_id, prev_out, i as u32 * fe_in, prev_out_len);
+                    fp.push(Inst::NdConv {
+                        input: input_ref,
+                        in_h: ih,
+                        in_w: iw,
+                        kernel: weights.mem_at(widx(i, ob)),
+                        k,
+                        stride: 1,
+                        pad: c.pad as u8,
+                        lanes: nl as u8,
+                        output: pre.mem_at((g * cout_g + ob) as u32 * fe_out),
+                        out_h: oh,
+                        out_w: ow,
+                        accumulate: idx > 0,
+                        flip: false,
+                    });
+                    self.read(prev_out);
+                    self.write(pre);
+                }
+                ob += nl;
+            }
+        }
+        self.emit_act(
+            &mut fp,
+            c.activation,
+            pre,
+            me.output.expect("conv has output"),
+        );
+        self.push_program(id, "FP", fp);
+
+        // ---- BP ----
+        let mut bp = Vec::new();
+        let dz = me.dz.expect("conv has dz");
+        self.emit_act_bwd(&mut bp, c.activation, me.pre, me.err.expect("conv err"), dz);
+        if let Some(prev_err) = prev.err {
+            let bp_pad = (c.kernel - 1 - c.pad) as u8;
+            for g in 0..c.groups {
+                for ig in 0..cin_g {
+                    let i = g * cin_g + ig;
+                    for ol in 0..cout_g {
+                        let o = g * cout_g + ol;
+                        // In looped mode the error buffer is reused across
+                        // images: the first contribution overwrites.
+                        let accumulate = !(self.looped() && ol == 0);
+                        bp.push(Inst::NdConv {
+                            input: dz.mem_at(o as u32 * fe_out),
+                            in_h: oh,
+                            in_w: ow,
+                            kernel: weights.mem_at(widx(i, ol)),
+                            k,
+                            stride: 1,
+                            pad: bp_pad,
+                            lanes: 1,
+                            output: prev_err.mem_at(i as u32 * fe_in),
+                            out_h: ih,
+                            out_w: iw,
+                            accumulate,
+                            flip: true,
+                        });
+                        self.read(dz);
+                        self.write(prev_err);
+                    }
+                }
+            }
+        }
+        self.push_program(id, "BP", bp);
+
+        // ---- WG ----
+        let mut wg = Vec::new();
+        let wgrad = me.wgrad.expect("conv has wgrad");
+        for g in 0..c.groups {
+            for ig in 0..cin_g {
+                let i = g * cin_g + ig;
+                for ol in 0..cout_g {
+                    let o = g * cout_g + ol;
+                    let input_ref =
+                        self.read_ref(&mut wg, prev_id, prev_out, i as u32 * fe_in, prev_out_len);
+                    wg.push(Inst::NdConv {
+                        input: input_ref,
+                        in_h: ih,
+                        in_w: iw,
+                        kernel: dz.mem_at(o as u32 * fe_out),
+                        k: oh as u8,
+                        stride: 1,
+                        pad: c.pad as u8,
+                        lanes: 1,
+                        output: wgrad.mem_at(widx(i, ol)),
+                        out_h: k as u16,
+                        out_w: k as u16,
+                        accumulate: true,
+                        flip: false,
+                    });
+                    self.read(prev_out);
+                    self.read(dz);
+                }
+            }
+        }
+        self.push_program(id, "WG", wg);
+        Ok(())
+    }
+
+    fn emit_pool(&mut self, id: LayerId, p: scaledeep_dnn::Pool) {
+        let node = self.net.node(id);
+        let prev_id = node.inputs()[0];
+        let prev = self.bufs(prev_id);
+        let me = self.bufs(id);
+        let in_shape = self.net.input_shapes(id)[0];
+        let out = node.output_shape();
+        let fe_in = (in_shape.height * in_shape.width) as u32;
+        let fe_out = (out.height * out.width) as u32;
+        let mode = match p.kind {
+            scaledeep_dnn::PoolKind::Max => PoolMode::Max,
+            scaledeep_dnn::PoolKind::Avg => PoolMode::Avg,
+        };
+        let prev_out = prev.output.expect("producer output");
+        let prev_out_len = in_shape.elems() as u32;
+        let output = me.output.expect("pool output");
+
+        let mut fp = Vec::new();
+        for f in 0..in_shape.features {
+            let src = self.read_ref(&mut fp, prev_id, prev_out, f as u32 * fe_in, prev_out_len);
+            fp.push(Inst::NdSubsamp {
+                mode,
+                src,
+                in_h: in_shape.height as u16,
+                in_w: in_shape.width as u16,
+                window: p.window as u8,
+                stride: p.stride as u8,
+                pad: p.pad as u8,
+                ceil: p.ceil_mode,
+                dst: output.mem_at(f as u32 * fe_out),
+            });
+            self.read(prev_out);
+            self.write(output);
+        }
+        self.push_program(id, "FP", fp);
+
+        let mut bp = Vec::new();
+        if let Some(prev_err) = prev.err {
+            let err = me.err.expect("pool err");
+            for f in 0..in_shape.features {
+                if self.looped() {
+                    // Scatter targets must start from zero each image.
+                    let dst = prev_err.mem_at(f as u32 * fe_in);
+                    self.emit_zero(&mut bp, dst, fe_in, prev_err);
+                }
+                let fwd = self.read_ref(&mut bp, prev_id, prev_out, f as u32 * fe_in, prev_out_len);
+                bp.push(Inst::NdUpsamp {
+                    mode,
+                    err: err.mem_at(f as u32 * fe_out),
+                    fwd,
+                    in_h: in_shape.height as u16,
+                    in_w: in_shape.width as u16,
+                    window: p.window as u8,
+                    stride: p.stride as u8,
+                    pad: p.pad as u8,
+                    ceil: p.ceil_mode,
+                    dst: prev_err.mem_at(f as u32 * fe_in),
+                });
+                self.read(err);
+                self.read(prev_out);
+                self.write(prev_err);
+            }
+        }
+        self.push_program(id, "BP", bp);
+    }
+
+    fn emit_fc(&mut self, id: LayerId, f: scaledeep_dnn::Fc) {
+        let node = self.net.node(id);
+        let prev_id = node.inputs()[0];
+        let prev = self.bufs(prev_id);
+        let me = self.bufs(id);
+        let n_in = self.net.fan_in_elems(id) as u32;
+        let n_out = f.out_neurons as u32;
+        let prev_out = prev.output.expect("producer output");
+        let weights = me.weights.expect("fc weights");
+        let pre = me.pre.expect("fc pre");
+
+        let mut fp = Vec::new();
+        let input_ref = self.read_ref(&mut fp, prev_id, prev_out, 0, n_in);
+        fp.push(Inst::MatMul {
+            input: input_ref,
+            n_in,
+            matrix: weights.mem(),
+            rows: n_out,
+            output: pre.mem(),
+            accumulate: false,
+        });
+        self.read(prev_out);
+        self.write(pre);
+        self.emit_act(&mut fp, f.activation, pre, me.output.expect("fc output"));
+        self.push_program(id, "FP", fp);
+
+        let mut bp = Vec::new();
+        let dz = me.dz.expect("fc dz");
+        self.emit_act_bwd(&mut bp, f.activation, me.pre, me.err.expect("fc err"), dz);
+        if let Some(prev_err) = prev.err {
+            bp.push(Inst::MatMul {
+                input: dz.mem(),
+                n_in: n_out,
+                matrix: me.weights_t.expect("fc transposed weights").mem(),
+                rows: n_in,
+                output: prev_err.mem(),
+                // Looped mode reuses the buffer: the single consumer's
+                // write overwrites the previous image's errors.
+                accumulate: !self.looped(),
+            });
+            self.read(dz);
+            self.write(prev_err);
+        }
+        self.push_program(id, "BP", bp);
+
+        let mut wg = Vec::new();
+        let wgrad = me.wgrad.expect("fc wgrad");
+        for o in 0..n_out {
+            let src = self.read_ref(&mut wg, prev_id, prev_out, 0, n_in);
+            wg.push(Inst::VecScaleAcc {
+                src,
+                len: n_in,
+                scalar: dz.mem_at(o),
+                dst: wgrad.mem_at(o * n_in),
+                elementwise: false,
+            });
+            self.read(prev_out);
+            self.read(dz);
+        }
+        self.push_program(id, "WG", wg);
+    }
+
+    fn emit_eltwise(&mut self, id: LayerId, act: Activation) {
+        let node = self.net.node(id);
+        let (a_id, b_id) = (node.inputs()[0], node.inputs()[1]);
+        let a = self.bufs(a_id);
+        let b = self.bufs(b_id);
+        let me = self.bufs(id);
+        let pre = me.pre.expect("eltwise pre");
+        let a_out = a.output.expect("branch a output");
+        let b_out = b.output.expect("branch b output");
+
+        let mut fp = vec![
+            Inst::DmaLoad {
+                src: a_out.mem(),
+                dst: pre.mem(),
+                len: pre.len,
+                accumulate: false,
+            },
+            Inst::NdAcc {
+                dst: pre.mem(),
+                src: b_out.mem(),
+                len: pre.len,
+            },
+        ];
+        self.read(a_out);
+        self.write(pre);
+        self.read(b_out);
+        self.write(pre);
+        self.emit_act(&mut fp, act, pre, me.output.expect("eltwise output"));
+        self.push_program(id, "FP", fp);
+
+        let mut bp = Vec::new();
+        let dz = me.dz.expect("eltwise dz");
+        self.emit_act_bwd(&mut bp, act, me.pre, me.err.expect("eltwise err"), dz);
+        for branch in [a, b] {
+            if let Some(err) = branch.err {
+                bp.push(Inst::DmaStore {
+                    src: dz.mem(),
+                    dst: err.mem(),
+                    len: dz.len,
+                    accumulate: !self.looped(),
+                });
+                self.read(dz);
+                self.write(err);
+            }
+        }
+        self.push_program(id, "BP", bp);
+    }
+
+    fn emit_eltwise_mul(&mut self, id: LayerId, act: Activation) {
+        let node = self.net.node(id);
+        let (a_id, b_id) = (node.inputs()[0], node.inputs()[1]);
+        let a = self.bufs(a_id);
+        let b = self.bufs(b_id);
+        let me = self.bufs(id);
+        let pre = me.pre.expect("eltmul pre");
+        let a_out = a.output.expect("branch a output");
+        let b_out = b.output.expect("branch b output");
+
+        // FP: pre = a (*) b via the SFU vector multiply, accumulated into
+        // a zero-initialized buffer.
+        let mut fp = Vec::new();
+        self.emit_zero(&mut fp, pre.mem(), pre.len, pre);
+        fp.push(Inst::VecScaleAcc {
+            src: a_out.mem(),
+            len: pre.len,
+            scalar: b_out.mem(),
+            dst: pre.mem(),
+            elementwise: true,
+        });
+        self.read(a_out);
+        self.read(b_out);
+        self.write(pre);
+        self.emit_act(&mut fp, act, pre, me.output.expect("eltmul output"));
+        self.push_program(id, "FP", fp);
+
+        // BP: da = dz (*) b, db = dz (*) a.
+        let mut bp = Vec::new();
+        let dz = me.dz.expect("eltmul dz");
+        self.emit_act_bwd(&mut bp, act, me.pre, me.err.expect("eltmul err"), dz);
+        for (branch, other_out) in [(a, b_out), (b, a_out)] {
+            if let Some(err) = branch.err {
+                if self.looped() {
+                    self.emit_zero(&mut bp, err.mem(), err.len, err);
+                }
+                bp.push(Inst::VecScaleAcc {
+                    src: dz.mem(),
+                    len: dz.len,
+                    scalar: other_out.mem(),
+                    dst: err.mem(),
+                    elementwise: true,
+                });
+                self.read(dz);
+                self.read(other_out);
+                self.write(err);
+            }
+        }
+        self.push_program(id, "BP", bp);
+    }
+
+    fn emit_standalone_act(&mut self, id: LayerId, act: Activation) {
+        let node = self.net.node(id);
+        let prev_id = node.inputs()[0];
+        let prev = self.bufs(prev_id);
+        let me = self.bufs(id);
+        let prev_out = prev.output.expect("producer output");
+
+        let mut fp = Vec::new();
+        self.emit_act(&mut fp, act, prev_out, me.output.expect("act output"));
+        self.push_program(id, "FP", fp);
+
+        // BP: the pre-activation values are the producer's output.
+        let mut bp = Vec::new();
+        let dz = me.dz.expect("act dz");
+        self.emit_act_bwd(&mut bp, act, Some(prev_out), me.err.expect("act err"), dz);
+        if let Some(prev_err) = prev.err {
+            bp.push(Inst::DmaStore {
+                src: dz.mem(),
+                dst: prev_err.mem(),
+                len: dz.len,
+                accumulate: !self.looped(),
+            });
+            self.read(dz);
+            self.write(prev_err);
+        }
+        self.push_program(id, "BP", bp);
+    }
+
+    fn emit_concat(&mut self, id: LayerId) {
+        let node = self.net.node(id).clone();
+        let me = self.bufs(id);
+        let output = me.output.expect("concat output");
+        let err = me.err.expect("concat err");
+
+        let mut fp = Vec::new();
+        let mut bp = Vec::new();
+        let mut offset = 0u32;
+        for &input in node.inputs() {
+            let branch = self.bufs(input);
+            let b_out = branch.output.expect("branch output");
+            fp.push(Inst::DmaLoad {
+                src: b_out.mem(),
+                dst: output.mem_at(offset),
+                len: b_out.len,
+                accumulate: false,
+            });
+            self.read(b_out);
+            self.write(output);
+            if let Some(b_err) = branch.err {
+                bp.push(Inst::DmaStore {
+                    src: err.mem_at(offset),
+                    dst: b_err.mem(),
+                    len: b_err.len,
+                    accumulate: !self.looped(),
+                });
+                self.read(err);
+                self.write(b_err);
+            }
+            offset += b_out.len;
+        }
+        self.push_program(id, "FP", fp);
+        self.push_program(id, "BP", bp);
+    }
+
+    fn emit_shortcut(&mut self, id: LayerId, stride: usize, _out_features: usize) {
+        let node = self.net.node(id);
+        let prev_id = node.inputs()[0];
+        let prev = self.bufs(prev_id);
+        let me = self.bufs(id);
+        let in_shape = self.net.input_shapes(id)[0];
+        let out = node.output_shape();
+        let fe_in = (in_shape.height * in_shape.width) as u32;
+        let fe_out = (out.height * out.width) as u32;
+        let prev_out = prev.output.expect("producer output");
+        let prev_out_len = in_shape.elems() as u32;
+        let output = me.output.expect("shortcut output");
+
+        // FP: 1x1 strided max-subsampling is an exact strided copy; the
+        // zero-padded extra features stay at zero (host-cleared in
+        // unrolled mode; self-cleared per image in looped mode).
+        let mut fp = Vec::new();
+        if self.looped() {
+            self.emit_zero(&mut fp, output.mem(), output.len, output);
+        }
+        for f in 0..in_shape.features {
+            let src = self.read_ref(&mut fp, prev_id, prev_out, f as u32 * fe_in, prev_out_len);
+            fp.push(Inst::NdSubsamp {
+                mode: PoolMode::Max,
+                src,
+                in_h: in_shape.height as u16,
+                in_w: in_shape.width as u16,
+                window: 1,
+                stride: stride as u8,
+                pad: 0,
+                ceil: false,
+                dst: output.mem_at(f as u32 * fe_out),
+            });
+            self.read(prev_out);
+            self.write(output);
+        }
+        self.push_program(id, "FP", fp);
+
+        let mut bp = Vec::new();
+        if let Some(prev_err) = prev.err {
+            let err = me.err.expect("shortcut err");
+            for f in 0..in_shape.features {
+                if self.looped() {
+                    let dst = prev_err.mem_at(f as u32 * fe_in);
+                    self.emit_zero(&mut bp, dst, fe_in, prev_err);
+                }
+                let fwd = self.read_ref(&mut bp, prev_id, prev_out, f as u32 * fe_in, prev_out_len);
+                bp.push(Inst::NdUpsamp {
+                    mode: PoolMode::Max,
+                    err: err.mem_at(f as u32 * fe_out),
+                    fwd,
+                    in_h: in_shape.height as u16,
+                    in_w: in_shape.width as u16,
+                    window: 1,
+                    stride: stride as u8,
+                    pad: 0,
+                    ceil: false,
+                    dst: prev_err.mem_at(f as u32 * fe_in),
+                });
+                self.read(err);
+                self.read(prev_out);
+                self.write(prev_err);
+            }
+        }
+        self.push_program(id, "BP", bp);
+    }
+
+    fn emit_loss(&mut self, id: LayerId) {
+        let node = self.net.node(id);
+        let prev_id = node.inputs()[0];
+        let prev = self.bufs(prev_id);
+        let me = self.bufs(id);
+        let prev_out = prev.output.expect("classifier output");
+        let prev_err = prev.err.expect("classifier error");
+        let golden = me.golden.expect("loss golden");
+        let neg_one = self.const_neg_one.expect("constant pool allocated");
+
+        // err = output - golden. Unrolled mode accumulates into the
+        // host-cleared buffer; looped mode overwrites and walks the golden
+        // array register-indirectly.
+        let per_image = self.net.node(prev_id).output_shape().elems() as u32;
+        let mut bp = Vec::new();
+        bp.push(Inst::DmaLoad {
+            src: prev_out.mem(),
+            dst: prev_err.mem(),
+            len: prev_out.len,
+            accumulate: !self.looped(),
+        });
+        let golden_ref = if self.looped() {
+            self.image_reg = Some((golden.offset, per_image));
+            bp.push(Inst::Addri {
+                rd: Reg::R2,
+                rs: Reg::R1,
+                imm: 0,
+            });
+            MemRef {
+                tile: TileRef(golden.tile),
+                addr: Addr::Reg(Reg::R2),
+            }
+        } else {
+            golden.mem()
+        };
+        bp.push(Inst::VecScaleAcc {
+            src: golden_ref,
+            len: per_image,
+            scalar: neg_one.mem(),
+            dst: prev_err.mem(),
+            elementwise: false,
+        });
+        self.read(prev_out);
+        self.write(prev_err);
+        self.write(prev_err);
+        self.push_program(id, "BP", bp);
+    }
+
+    // --- finalization -------------------------------------------------------
+
+    fn finish(mut self) -> Result<CompiledNetwork> {
+        // The epoch token is written once and read once by every program
+        // per image (generation).
+        if let Some(token) = self.epoch_token {
+            let n = u32::try_from(self.programs.len()).expect("program count fits u32");
+            self.counts.insert(key(token), (n, n));
+        }
+        // Build tracker specs from the observed access counts. Buffers with
+        // zero observed updates (e.g. the input image) are host-written and
+        // become immediately readable (num_updates = 0).
+        let mut trackers = Vec::new();
+        let mut by_buffer: HashMap<BufKey, TrackerSpec> = HashMap::new();
+        for (&(tile, addr, len), &(updates, reads)) in &self.counts {
+            let num_updates = u16::try_from(updates).map_err(|_| Error::Codegen {
+                detail: format!("tracker update count {updates} exceeds 16-bit counter"),
+            })?;
+            let num_reads = u16::try_from(reads).map_err(|_| Error::Codegen {
+                detail: format!("tracker read count {reads} exceeds 16-bit counter"),
+            })?;
+            let spec = TrackerSpec {
+                tile,
+                addr,
+                len,
+                num_updates,
+                num_reads,
+            };
+            trackers.push(spec);
+            by_buffer.insert((tile, addr, len), spec);
+        }
+        trackers.sort_by_key(|t| (t.tile, t.addr));
+
+        // Prepend MEMTRACK preambles: each layer's first program arms the
+        // trackers for the buffers that layer owns.
+        let mut programs = Vec::new();
+        let mut armed_for_layer: HashMap<usize, Vec<Inst>> = HashMap::new();
+        for (idx, b) in self.buffers.iter().enumerate() {
+            let mut pre = Vec::new();
+            for buf in [b.output, b.pre, b.err, b.dz].into_iter().flatten() {
+                if let Some(spec) = by_buffer.get(&key(buf)) {
+                    pre.push(Inst::MemTrack {
+                        tile: scaledeep_isa::TileRef(spec.tile),
+                        addr: spec.addr,
+                        len: spec.len,
+                        num_updates: spec.num_updates,
+                        num_reads: spec.num_reads,
+                    });
+                }
+            }
+            armed_for_layer.insert(idx, pre);
+        }
+        let mut first_program_of_layer: HashMap<usize, bool> = HashMap::new();
+        for (id, step, mut insts) in self.programs {
+            let idx = id.index();
+            if !first_program_of_layer.get(&idx).copied().unwrap_or(false) {
+                let preamble = armed_for_layer.remove(&idx).unwrap_or_default();
+                let mut with_pre = preamble;
+                with_pre.append(&mut insts);
+                insts = with_pre;
+                first_program_of_layer.insert(idx, true);
+            }
+            programs.push(Program::new(format!("L{idx}.{step}"), insts));
+        }
+
+        Ok(CompiledNetwork {
+            net_name: self.net.name().to_string(),
+            buffers: self.buffers,
+            programs,
+            trackers,
+            mem_tiles: self.mem_tiles,
+            const_neg_one: self.const_neg_one.expect("allocated"),
+            dropped_biases: self.dropped_biases,
+            minibatch: self.batch,
+            zeros: self.zeros,
+        })
+    }
+}
+
+/// Converts reference-executor conv weights (`[out][in_g][k][k]`) to the
+/// compiled input-major layout (`[in][out_g][k][k]`).
+pub fn conv_weights_to_input_major(
+    weights: &[f32],
+    cin: usize,
+    cout: usize,
+    groups: usize,
+    k: usize,
+) -> Vec<f32> {
+    let cin_g = cin / groups;
+    let cout_g = cout / groups;
+    let k2 = k * k;
+    let mut out = vec![0.0; weights.len()];
+    for o in 0..cout {
+        let g = o / cout_g;
+        let ol = o % cout_g;
+        for igl in 0..cin_g {
+            let i = g * cin_g + igl;
+            let src = (o * cin_g + igl) * k2;
+            let dst = (i * cout_g + ol) * k2;
+            out[dst..dst + k2].copy_from_slice(&weights[src..src + k2]);
+        }
+    }
+    out
+}
+
+/// Converts compiled input-major conv weight *gradients* back to the
+/// reference layout (`[out][in_g][k][k]`).
+pub fn conv_grads_to_output_major(
+    grads: &[f32],
+    cin: usize,
+    cout: usize,
+    groups: usize,
+    k: usize,
+) -> Vec<f32> {
+    let cin_g = cin / groups;
+    let cout_g = cout / groups;
+    let k2 = k * k;
+    let mut out = vec![0.0; grads.len()];
+    for o in 0..cout {
+        let g = o / cout_g;
+        let ol = o % cout_g;
+        for igl in 0..cin_g {
+            let i = g * cin_g + igl;
+            let src = (i * cout_g + ol) * k2;
+            let dst = (o * cin_g + igl) * k2;
+            out[dst..dst + k2].copy_from_slice(&grads[src..src + k2]);
+        }
+    }
+    out
+}
+
+/// Transposes FC weights from row-major `[out][in]` to `[in][out]`.
+pub fn fc_weights_transpose(weights: &[f32], n_in: usize, n_out: usize) -> Vec<f32> {
+    let mut t = vec![0.0; weights.len()];
+    for o in 0..n_out {
+        for i in 0..n_in {
+            t[i * n_out + o] = weights[o * n_in + i];
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scaledeep_dnn::{Conv, Fc, FeatureShape, NetworkBuilder, Pool};
+
+    fn tiny_net() -> Network {
+        let mut b = NetworkBuilder::new("t", FeatureShape::new(1, 6, 6));
+        b.conv(
+            "c1",
+            Conv {
+                out_features: 2,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                groups: 1,
+                bias: false,
+                activation: Activation::Relu,
+            },
+        )
+        .unwrap();
+        b.pool("s1", Pool::max(2, 2)).unwrap();
+        let f = b
+            .fc(
+                "f1",
+                Fc {
+                    out_neurons: 3,
+                    bias: false,
+                    activation: Activation::None,
+                },
+            )
+            .unwrap();
+        b.finish_with_loss(f).unwrap()
+    }
+
+    #[test]
+    fn compiles_tiny_network() {
+        let net = tiny_net();
+        let c = compile_functional(&net, &FuncTargetOptions::default()).unwrap();
+        assert_eq!(c.dropped_biases, 0);
+        // conv: FP+BP+WG, pool: FP+BP, fc: FP+BP+WG, loss: BP = 9 programs.
+        assert_eq!(c.programs.len(), 9);
+        assert!(c.total_insts() > 10);
+    }
+
+    #[test]
+    fn programs_end_with_halt() {
+        let net = tiny_net();
+        let c = compile_functional(&net, &FuncTargetOptions::default()).unwrap();
+        for p in &c.programs {
+            assert_eq!(*p.insts().last().unwrap(), Inst::Halt, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn trackers_cover_dataflow_buffers() {
+        let net = tiny_net();
+        let c = compile_functional(&net, &FuncTargetOptions::default()).unwrap();
+        // input.output, conv.{output,pre,err,dz}, pool.{output,err},
+        // fc.{output,pre,err,dz}, = 11 tracked ranges.
+        assert_eq!(c.trackers.len(), 11);
+        // The input image has no program writes: readable immediately.
+        let input_buf = c.buffers[0].output.unwrap();
+        let t = c
+            .trackers
+            .iter()
+            .find(|t| t.tile == input_buf.tile && t.addr == input_buf.offset)
+            .unwrap();
+        assert_eq!(t.num_updates, 0);
+        assert!(t.num_reads > 0);
+    }
+
+    #[test]
+    fn stride_2_conv_is_rejected() {
+        let mut b = NetworkBuilder::new("s2", FeatureShape::new(1, 8, 8));
+        let c = b.conv("c", Conv::relu(2, 3, 2, 1)).unwrap();
+        let net = b.finish_with_loss(c).unwrap();
+        let err = compile_functional(&net, &FuncTargetOptions::default()).unwrap_err();
+        assert!(matches!(err, Error::Codegen { .. }));
+    }
+
+    #[test]
+    fn bias_layers_are_counted() {
+        let mut b = NetworkBuilder::new("bias", FeatureShape::new(1, 6, 6));
+        let c = b.conv("c", Conv::relu(2, 3, 1, 1)).unwrap(); // bias: true
+        let net = b.finish_with_loss(c).unwrap();
+        let c = compile_functional(&net, &FuncTargetOptions::default()).unwrap();
+        assert_eq!(c.dropped_biases, 1);
+    }
+
+    #[test]
+    fn weight_layout_round_trips() {
+        let cin = 3;
+        let cout = 4;
+        let k = 2;
+        let w: Vec<f32> = (0..cin * cout * k * k).map(|i| i as f32).collect();
+        let im = conv_weights_to_input_major(&w, cin, cout, 1, k);
+        let back = conv_grads_to_output_major(&im, cin, cout, 1, k);
+        assert_eq!(w, back);
+        // Input-major: kernels for consecutive outputs of one input are
+        // contiguous.
+        let k2 = k * k;
+        assert_eq!(im[0..k2], w[0..k2]); // (i=0, o=0)
+        assert_eq!(im[k2..2 * k2], w[cin * k2..cin * k2 + k2]); // (i=0, o=1)
+    }
+
+    #[test]
+    fn grouped_weight_layout_round_trips() {
+        let (cin, cout, groups, k) = (4, 6, 2, 3);
+        let n = cout * (cin / groups) * k * k;
+        let w: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        let im = conv_weights_to_input_major(&w, cin, cout, groups, k);
+        let back = conv_grads_to_output_major(&im, cin, cout, groups, k);
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn fc_transpose_is_involution() {
+        let w: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let t = fc_weights_transpose(&w, 4, 3);
+        let back = fc_weights_transpose(&t, 3, 4);
+        assert_eq!(w, back);
+        assert_eq!(t[0], w[0]);
+        assert_eq!(t[1], w[4]); // t[i=0,o=1] = w[o=1,i=0]
+    }
+}

@@ -1,0 +1,177 @@
+//! Buffer layout: assigns every network-state buffer a region in a
+//! MemHeavy tile scratchpad (STEP 4's "home tile" assignment, concretized
+//! for the functional target).
+
+use crate::error::{Error, Result};
+use scaledeep_isa::{MemRef, TileRef};
+
+/// A concrete buffer location: tile + element offset + element length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferLoc {
+    /// Home MemHeavy tile index.
+    pub tile: u16,
+    /// Element offset within the tile scratchpad.
+    pub offset: u32,
+    /// Length in elements.
+    pub len: u32,
+}
+
+impl BufferLoc {
+    /// A [`MemRef`] to the buffer start.
+    pub fn mem(&self) -> MemRef {
+        MemRef::at(TileRef(self.tile), self.offset)
+    }
+
+    /// A [`MemRef`] `elems` into the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `elems > len` (points past the buffer).
+    pub fn mem_at(&self, elems: u32) -> MemRef {
+        assert!(elems <= self.len, "offset {elems} past buffer of {}", self.len);
+        MemRef::at(TileRef(self.tile), self.offset + elems)
+    }
+}
+
+/// All buffers owned by one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayerBuffers {
+    /// Post-activation output features (FP result; the input image for the
+    /// input layer).
+    pub output: Option<BufferLoc>,
+    /// Pre-activation values (CONV / FC / ELTWISE), kept for BP.
+    pub pre: Option<BufferLoc>,
+    /// Error at this layer's output (written by consumers during BP).
+    pub err: Option<BufferLoc>,
+    /// Error after the activation derivative (`dz`), input to BP/WG math.
+    pub dz: Option<BufferLoc>,
+    /// Kernel weights, input-major `[in][out][kh][kw]` for CONV (so the
+    /// `lanes` kernels of one NDCONV are contiguous) or row-major
+    /// `[out][in]` for FC.
+    pub weights: Option<BufferLoc>,
+    /// FC only: the transposed weight copy `[in][out]` used by BP.
+    pub weights_t: Option<BufferLoc>,
+    /// Weight gradients, same layout as `weights`.
+    pub wgrad: Option<BufferLoc>,
+    /// Loss only: the golden output vector (written by the host).
+    pub golden: Option<BufferLoc>,
+}
+
+/// A data-flow tracker to arm: the MEMTRACK parameters for one range
+/// (paper Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackerSpec {
+    /// Tracked tile.
+    pub tile: u16,
+    /// Element offset of the tracked range.
+    pub addr: u32,
+    /// Element length of the tracked range.
+    pub len: u32,
+    /// Updates required before the range becomes readable.
+    pub num_updates: u16,
+    /// Reads allowed before the range may be overwritten.
+    pub num_reads: u16,
+}
+
+/// First-fit bump allocator over the functional chip's MemHeavy tiles.
+#[derive(Debug)]
+pub(super) struct Allocator {
+    next_free: Vec<u32>,
+    capacity: u32,
+    cursor: usize,
+}
+
+impl Allocator {
+    pub(super) fn new(tiles: usize, capacity: u32) -> Self {
+        Self {
+            next_free: vec![0; tiles],
+            capacity,
+            cursor: 0,
+        }
+    }
+
+    /// Allocates `len` elements, preferring to rotate across tiles so the
+    /// layout spreads like the paper's even feature distribution.
+    pub(super) fn alloc(&mut self, len: u32) -> Result<BufferLoc> {
+        let tiles = self.next_free.len();
+        for probe in 0..tiles {
+            let t = (self.cursor + probe) % tiles;
+            if self.next_free[t] + len <= self.capacity {
+                let offset = self.next_free[t];
+                self.next_free[t] += len;
+                self.cursor = (t + 1) % tiles;
+                return Ok(BufferLoc {
+                    tile: t as u16,
+                    offset,
+                    len,
+                });
+            }
+        }
+        Err(Error::Codegen {
+            detail: format!(
+                "buffer of {len} elements does not fit any tile (capacity {}, {} tiles)",
+                self.capacity, tiles
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_rotates_tiles() {
+        let mut a = Allocator::new(3, 100);
+        let b0 = a.alloc(10).unwrap();
+        let b1 = a.alloc(10).unwrap();
+        let b2 = a.alloc(10).unwrap();
+        let tiles = [b0.tile, b1.tile, b2.tile];
+        assert_eq!(tiles, [0, 1, 2]);
+    }
+
+    #[test]
+    fn allocator_bumps_within_tile() {
+        let mut a = Allocator::new(1, 100);
+        let b0 = a.alloc(30).unwrap();
+        let b1 = a.alloc(30).unwrap();
+        assert_eq!((b0.offset, b1.offset), (0, 30));
+    }
+
+    #[test]
+    fn allocator_skips_full_tiles() {
+        let mut a = Allocator::new(2, 50);
+        a.alloc(45).unwrap(); // tile 0 nearly full
+        let b = a.alloc(20).unwrap();
+        assert_eq!(b.tile, 1);
+    }
+
+    #[test]
+    fn allocator_reports_exhaustion() {
+        let mut a = Allocator::new(1, 10);
+        assert!(a.alloc(11).is_err());
+        a.alloc(10).unwrap();
+        assert!(a.alloc(1).is_err());
+    }
+
+    #[test]
+    fn mem_at_bounds_checked() {
+        let b = BufferLoc {
+            tile: 0,
+            offset: 5,
+            len: 10,
+        };
+        assert_eq!(b.mem_at(10), scaledeep_isa::MemRef::at(TileRef(0), 15));
+    }
+
+    #[test]
+    #[should_panic(expected = "past buffer")]
+    fn mem_at_panics_out_of_range() {
+        let b = BufferLoc {
+            tile: 0,
+            offset: 0,
+            len: 4,
+        };
+        let _ = b.mem_at(5);
+    }
+}

@@ -1,0 +1,79 @@
+//! Compiler error type.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from workload mapping or code generation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The network cannot fit: even using every chip in the node, the
+    /// per-layer memory floor exceeds the available columns.
+    DoesNotFit {
+        /// Columns required by the memory floor.
+        required_cols: usize,
+        /// Columns available across all ConvLayer chips in the node.
+        available_cols: usize,
+    },
+    /// A graph error bubbled up from `scaledeep-dnn`.
+    Graph(scaledeep_dnn::Error),
+    /// An architecture validation error bubbled up from `scaledeep-arch`.
+    Arch(scaledeep_arch::Error),
+    /// An ISA assembly error bubbled up from `scaledeep-isa`.
+    Isa(scaledeep_isa::Error),
+    /// Code generation hit an unsupported construct for the functional
+    /// target (e.g. a layer too large for the reduced chip's scratchpads).
+    Codegen {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DoesNotFit {
+                required_cols,
+                available_cols,
+            } => write!(
+                f,
+                "network state needs {required_cols} chip columns but the node has only {available_cols}"
+            ),
+            Error::Graph(e) => write!(f, "graph error: {e}"),
+            Error::Arch(e) => write!(f, "architecture error: {e}"),
+            Error::Isa(e) => write!(f, "ISA error: {e}"),
+            Error::Codegen { detail } => write!(f, "code generation failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Graph(e) => Some(e),
+            Error::Arch(e) => Some(e),
+            Error::Isa(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<scaledeep_dnn::Error> for Error {
+    fn from(e: scaledeep_dnn::Error) -> Self {
+        Error::Graph(e)
+    }
+}
+
+impl From<scaledeep_arch::Error> for Error {
+    fn from(e: scaledeep_arch::Error) -> Self {
+        Error::Arch(e)
+    }
+}
+
+impl From<scaledeep_isa::Error> for Error {
+    fn from(e: scaledeep_isa::Error) -> Self {
+        Error::Isa(e)
+    }
+}

@@ -1,0 +1,634 @@
+//! Workload mapping (paper §4.1, Figure 13 STEP 1–6).
+
+mod arrays;
+mod columns;
+mod state;
+
+pub use arrays::ArrayPlan;
+pub use state::StateBudget;
+
+use crate::error::Result;
+use scaledeep_arch::NodeConfig;
+use scaledeep_dnn::{Layer, LayerId, Network, Step};
+
+/// Which chip family a layer executes on (STEP 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// CONV / SAMP / element-wise layers → ConvLayer chips.
+    Conv,
+    /// FC layers → the FcLayer hub chip.
+    Fc,
+    /// Input / loss / pure-placement nodes: no column allocation.
+    None,
+}
+
+/// The column placement of one layer (STEP 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Columns on the ConvLayer chip sequence. `first_col` is a global
+    /// column index across the chips the network spans (column 16 is the
+    /// first column of the second rim chip, and so on).
+    Conv {
+        /// First allocated global column.
+        first_col: usize,
+        /// Number of allocated columns.
+        cols: usize,
+    },
+    /// Columns on the FcLayer hub chip.
+    Fc {
+        /// First allocated column on the hub chip.
+        first_col: usize,
+        /// Number of allocated columns.
+        cols: usize,
+    },
+    /// No dedicated columns (input, loss, concat — pure data placement).
+    Inline,
+}
+
+impl Placement {
+    /// Number of columns allocated (0 for [`Placement::Inline`]).
+    pub const fn cols(&self) -> usize {
+        match self {
+            Placement::Conv { cols, .. } | Placement::Fc { cols, .. } => *cols,
+            Placement::Inline => 0,
+        }
+    }
+
+    /// The side this placement lives on.
+    pub const fn side(&self) -> Side {
+        match self {
+            Placement::Conv { .. } => Side::Conv,
+            Placement::Fc { .. } => Side::Fc,
+            Placement::Inline => Side::None,
+        }
+    }
+}
+
+/// A concrete MemHeavy tile coordinate within the ConvLayer chip
+/// sequence: which rim chip, which column on it, which row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileCoord {
+    /// Rim-chip index along the network's span (0-based).
+    pub chip: usize,
+    /// Column within that chip.
+    pub col: usize,
+    /// Row within the column.
+    pub row: usize,
+}
+
+/// The complete plan for one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPlan {
+    /// The planned layer.
+    pub id: LayerId,
+    /// Its name in the network.
+    pub name: String,
+    /// Chip side and columns (STEP 1 + 3).
+    pub placement: Placement,
+    /// FLOPs per image on CompHeavy arrays, per step [FP, BP, WG].
+    pub comp_flops: [u64; 3],
+    /// FLOPs per image on MemHeavy SFUs, per step [FP, BP, WG].
+    pub mem_flops: [u64; 3],
+    /// On-chip state requirement in bytes (STEP 3a; excludes weights).
+    pub state_bytes: u64,
+    /// Learned weight bytes (including biases).
+    pub weight_bytes: u64,
+    /// Whether weights + gradients reside on chip (STEP 6).
+    pub weights_on_chip: bool,
+    /// MemHeavy tiles available to this layer (cols × rows).
+    pub tiles_total: usize,
+    /// MemHeavy tiles actually holding features (STEP 4).
+    pub tiles_used: usize,
+    /// Output feature count.
+    pub out_features: usize,
+    /// Elements per output feature.
+    pub feature_elems: usize,
+    /// Bytes read from the previous layer's tiles per image.
+    pub in_bytes: u64,
+    /// Bytes written to this layer's home tiles per image.
+    pub out_bytes: u64,
+    /// CompHeavy array configuration and its residue utilization (STEP 5).
+    pub array: ArrayPlan,
+    /// Kernel edge for CONV layers (None otherwise) — lets the simulator
+    /// apply Winograd's 3x3 FLOP reduction (paper §6.1 future work).
+    pub conv_kernel: Option<usize>,
+}
+
+impl LayerPlan {
+    /// Total compute-array FLOPs per image over a full training iteration.
+    pub fn comp_flops_training(&self) -> u64 {
+        self.comp_flops.iter().sum()
+    }
+
+    /// Total SFU FLOPs per image over a full training iteration.
+    pub fn mem_flops_training(&self) -> u64 {
+        self.mem_flops.iter().sum()
+    }
+
+    /// The concrete home tiles of this layer's features (STEP 4): the
+    /// first `tiles_used` MemHeavy tiles of its column range, walked
+    /// column-major. Layers sharing a column group return overlapping
+    /// coordinates — they time-multiplex the same tiles.
+    ///
+    /// Returns an empty vector for [`Placement::Inline`] and FC-side
+    /// layers (hub-chip tile coordinates use a separate numbering).
+    pub fn home_tiles(&self, cols_per_chip: usize, rows: usize) -> Vec<TileCoord> {
+        let Placement::Conv { first_col, cols } = self.placement else {
+            return Vec::new();
+        };
+        let mut tiles = Vec::with_capacity(self.tiles_used);
+        'outer: for c in first_col..first_col + cols {
+            for row in 0..rows {
+                if tiles.len() == self.tiles_used {
+                    break 'outer;
+                }
+                tiles.push(TileCoord {
+                    chip: c / cols_per_chip.max(1),
+                    col: c % cols_per_chip.max(1),
+                    row,
+                });
+            }
+        }
+        tiles
+    }
+
+    /// Fraction of the layer's MemHeavy tiles holding features
+    /// (Figure 19's second utilization factor).
+    pub fn feature_distribution_util(&self) -> f64 {
+        if self.tiles_total == 0 {
+            1.0
+        } else {
+            self.tiles_used as f64 / self.tiles_total as f64
+        }
+    }
+}
+
+/// The result of the workload-mapping phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    net_name: String,
+    plans: Vec<LayerPlan>,
+    conv_cols_used: usize,
+    fc_cols_used: usize,
+    chips_spanned: usize,
+    clusters_spanned: usize,
+    conv_cols_per_chip: usize,
+    wheel_batch: usize,
+    elem_bytes: u64,
+}
+
+impl Mapping {
+    /// The mapped network's name.
+    pub fn network_name(&self) -> &str {
+        &self.net_name
+    }
+
+    /// Per-layer plans, indexed by [`LayerId`] order.
+    pub fn plans(&self) -> &[LayerPlan] {
+        &self.plans
+    }
+
+    /// The plan for one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to the mapped network.
+    pub fn plan(&self, id: LayerId) -> &LayerPlan {
+        &self.plans[id.index()]
+    }
+
+    /// Columns used on the ConvLayer chip sequence.
+    pub fn conv_cols_used(&self) -> usize {
+        self.conv_cols_used
+    }
+
+    /// Columns used on the FcLayer hub chip.
+    pub fn fc_cols_used(&self) -> usize {
+        self.fc_cols_used
+    }
+
+    /// ConvLayer chips the CONV stack spans (1 for networks that fit one
+    /// chip; up to 16 for VGG-D/E).
+    pub fn chips_spanned(&self) -> usize {
+        self.chips_spanned
+    }
+
+    /// Chip clusters the network spans.
+    pub fn clusters_spanned(&self) -> usize {
+        self.clusters_spanned
+    }
+
+    /// Concurrent training pipelines per cluster: rim chips divided by the
+    /// chips each pipeline occupies.
+    pub fn pipelines_per_cluster(&self, conv_chips_per_cluster: usize) -> usize {
+        if self.chips_spanned >= conv_chips_per_cluster {
+            1
+        } else {
+            conv_chips_per_cluster / self.chips_spanned
+        }
+    }
+
+    /// The effective FC input batch aggregated by the wheel: one input per
+    /// concurrently running pipeline feeding the hub (reduced when the CONV
+    /// stack spans several rim chips — paper §3.3.1), multiplied across
+    /// clusters by FC model parallelism (§3.3.2).
+    pub fn fc_batch(&self, conv_chips_per_cluster: usize, clusters: usize) -> usize {
+        self.pipelines_per_cluster(conv_chips_per_cluster) * clusters
+    }
+
+    /// Bytes per element of the mapped precision.
+    pub fn elem_bytes(&self) -> u64 {
+        self.elem_bytes
+    }
+
+    /// Columns per ConvLayer chip in the target (for chip-boundary math).
+    pub fn conv_cols_per_chip(&self) -> usize {
+        self.conv_cols_per_chip
+    }
+
+    /// ConvLayer chips per cluster wheel in the target.
+    pub fn wheel_size(&self) -> usize {
+        self.wheel_batch
+    }
+
+    /// Sum of a closure over conv-side plans.
+    pub fn conv_plans(&self) -> impl Iterator<Item = &LayerPlan> + '_ {
+        self.plans
+            .iter()
+            .filter(|p| p.placement.side() == Side::Conv)
+    }
+
+    /// Iterator over FC-side plans.
+    pub fn fc_plans(&self) -> impl Iterator<Item = &LayerPlan> + '_ {
+        self.plans.iter().filter(|p| p.placement.side() == Side::Fc)
+    }
+
+    /// Checks the mapping's structural invariants: conv-side placements
+    /// tile `[0, conv_cols_used)` contiguously (column groups repeat their
+    /// range), tile usage stays within each allocation, and the span is
+    /// deployable. The compiler upholds these by construction; the check
+    /// exists for downstream tools that transform mappings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Codegen`] describing the first violated
+    /// invariant.
+    pub fn validate(&self) -> crate::Result<()> {
+        let fail = |detail: String| crate::Error::Codegen { detail };
+        let mut expected = 0usize;
+        let mut last_range = None;
+        for p in self.conv_plans() {
+            let Placement::Conv { first_col, cols } = p.placement else {
+                return Err(fail(format!("conv-side `{}` lacks a conv placement", p.name)));
+            };
+            if cols == 0 {
+                return Err(fail(format!("`{}` allocated zero columns", p.name)));
+            }
+            if last_range != Some((first_col, cols)) {
+                if first_col != expected {
+                    return Err(fail(format!(
+                        "`{}` starts at column {first_col}, expected {expected}",
+                        p.name
+                    )));
+                }
+                expected = first_col + cols;
+                last_range = Some((first_col, cols));
+            }
+            if p.tiles_used > p.tiles_total {
+                return Err(fail(format!(
+                    "`{}` uses {} of {} tiles",
+                    p.name, p.tiles_used, p.tiles_total
+                )));
+            }
+        }
+        if expected != self.conv_cols_used {
+            return Err(fail(format!(
+                "placements cover {expected} columns, mapping claims {}",
+                self.conv_cols_used
+            )));
+        }
+        if self.chips_spanned * self.conv_cols_per_chip < self.conv_cols_used {
+            return Err(fail(format!(
+                "{} columns exceed the {}-chip span",
+                self.conv_cols_used, self.chips_spanned
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The ScaleDeep compiler front-end, parameterized by the target node.
+///
+/// ```
+/// use scaledeep_arch::presets;
+/// use scaledeep_compiler::Compiler;
+/// use scaledeep_dnn::zoo;
+///
+/// # fn main() -> Result<(), scaledeep_compiler::Error> {
+/// let compiler = Compiler::new(&presets::single_precision());
+/// let mapping = compiler.map(&zoo::overfeat_fast())?;
+/// assert_eq!(mapping.chips_spanned(), 1); // fits one ConvLayer chip
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    node: NodeConfig,
+}
+
+impl Compiler {
+    /// Creates a compiler for the given node configuration.
+    pub fn new(node: &NodeConfig) -> Self {
+        Self { node: *node }
+    }
+
+    /// The target node configuration.
+    pub fn node(&self) -> &NodeConfig {
+        &self.node
+    }
+
+    /// Runs the workload-mapping phase (STEP 1–6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::DoesNotFit`] when the per-layer memory floor
+    /// exceeds the node's total ConvLayer columns, or validation errors for
+    /// malformed configurations.
+    pub fn map(&self, net: &Network) -> Result<Mapping> {
+        self.node.validate()?;
+        let elem_bytes = self.node.precision.elem_bytes();
+        let analysis = net.analyze_with_elem_bytes(elem_bytes);
+
+        // STEP 1: separate layer types; STEP 2: per-layer FLOPs.
+        let sides: Vec<Side> = net.layers().map(|n| classify(n.layer())).collect();
+
+        // STEP 3a: memory floor per conv-side layer.
+        let conv_chip = &self.node.cluster.conv_chip;
+        let fc_chip = &self.node.cluster.fc_chip;
+        let budgets: Vec<StateBudget> = net
+            .layers()
+            .map(|n| state::state_budget(net, &analysis, n.id(), conv_chip, elem_bytes))
+            .collect();
+
+        let conv_ids: Vec<LayerId> = net
+            .layers()
+            .filter(|n| sides[n.id().index()] == Side::Conv)
+            .map(|n| n.id())
+            .collect();
+        let fc_ids: Vec<LayerId> = net
+            .layers()
+            .filter(|n| sides[n.id().index()] == Side::Fc)
+            .map(|n| n.id())
+            .collect();
+
+        // STEP 3: allocate columns (memory floor + load balancing).
+        let conv_chips_per_cluster = self.node.cluster.conv_chips;
+        let alloc = columns::allocate(
+            &conv_ids,
+            &fc_ids,
+            &budgets,
+            &analysis,
+            conv_chip,
+            fc_chip,
+            conv_chips_per_cluster,
+            self.node.clusters,
+        )?;
+
+        // STEP 4–6: partition state, configure arrays, place weights.
+        let mut plans = Vec::with_capacity(net.len());
+        for node_ref in net.layers() {
+            let id = node_ref.id();
+            let side = sides[id.index()];
+            let cost = analysis.layer(id);
+            let placement = alloc.placement(id);
+            let (chip, rows) = match side {
+                Side::Fc => (fc_chip, fc_chip.rows),
+                _ => (conv_chip, conv_chip.rows),
+            };
+            let cols = placement.cols();
+            let tiles_total = cols * rows;
+            let out_shape = node_ref.output_shape();
+            let (tiles_used, _features_per_tile) =
+                state::distribute_features(out_shape.features, tiles_total);
+            let array = arrays::configure(net, node_ref, cols.max(1), chip);
+            let comp_flops = [
+                cost.step(Step::Fp).compute_heavy_flops(),
+                cost.step(Step::Bp).compute_heavy_flops(),
+                cost.step(Step::Wg).compute_heavy_flops(),
+            ];
+            let mem_flops = [
+                cost.step(Step::Fp).mem_heavy_flops(),
+                cost.step(Step::Bp).mem_heavy_flops(),
+                cost.step(Step::Wg).mem_heavy_flops(),
+            ];
+            let conv_kernel = match node_ref.layer() {
+                Layer::Conv(c) => Some(c.kernel),
+                _ => None,
+            };
+            let budget = &budgets[id.index()];
+            // STEP 6: weights fit in the leftover column capacity?
+            let capacity = cols as u64 * chip.col_mem_capacity() as u64;
+            let weight_and_grad = 2 * budget.weight_bytes;
+            let weights_on_chip = budget.weight_bytes > 0
+                && budget.state_bytes + weight_and_grad <= capacity;
+            plans.push(LayerPlan {
+                id,
+                name: node_ref.name().to_string(),
+                placement,
+                comp_flops,
+                mem_flops,
+                state_bytes: budget.state_bytes,
+                weight_bytes: budget.weight_bytes,
+                weights_on_chip,
+                tiles_total,
+                tiles_used,
+                out_features: out_shape.features,
+                feature_elems: out_shape.feature_elems(),
+                in_bytes: net.fan_in_elems(id) as u64 * elem_bytes,
+                out_bytes: out_shape.elems() as u64 * elem_bytes,
+                array,
+                conv_kernel,
+            });
+        }
+
+        let mapping = Mapping {
+            net_name: net.name().to_string(),
+            plans,
+            conv_cols_used: alloc.conv_cols_used,
+            fc_cols_used: alloc.fc_cols_used,
+            chips_spanned: alloc.chips_spanned,
+            clusters_spanned: alloc.clusters_spanned,
+            conv_cols_per_chip: conv_chip.cols,
+            wheel_batch: conv_chips_per_cluster,
+            elem_bytes,
+        };
+        mapping.validate()?;
+        Ok(mapping)
+    }
+}
+
+/// STEP 1: designate each layer to a chip family.
+fn classify(layer: &Layer) -> Side {
+    match layer {
+        Layer::Conv(_)
+        | Layer::Pool(_)
+        | Layer::EltwiseAdd(_)
+        | Layer::EltwiseMul(_)
+        | Layer::Act(_)
+        | Layer::Shortcut { .. } => Side::Conv,
+        Layer::Fc(_) => Side::Fc,
+        _ => Side::None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scaledeep_arch::presets;
+    use scaledeep_dnn::zoo;
+
+    fn map(name: &str) -> Mapping {
+        let net = zoo::by_name(name).unwrap();
+        Compiler::new(&presets::single_precision())
+            .map(&net)
+            .unwrap()
+    }
+
+    #[test]
+    fn alexnet_fits_one_chip() {
+        let m = map("alexnet");
+        assert_eq!(m.chips_spanned(), 1);
+        assert_eq!(m.conv_cols_used(), 16);
+        assert_eq!(m.clusters_spanned(), 1);
+        assert_eq!(m.pipelines_per_cluster(4), 4);
+    }
+
+    #[test]
+    fn vgg_d_spans_multiple_clusters() {
+        let m = map("vgg-d");
+        assert!(m.chips_spanned() > 4, "chips {}", m.chips_spanned());
+        assert!(m.clusters_spanned() >= 2);
+        assert_eq!(m.pipelines_per_cluster(4), 1);
+    }
+
+    #[test]
+    fn conv_layers_go_to_conv_chips() {
+        let net = zoo::alexnet();
+        let m = Compiler::new(&presets::single_precision()).map(&net).unwrap();
+        for node in net.layers() {
+            let plan = m.plan(node.id());
+            match node.layer().type_tag() {
+                "CONV" | "SAMP" => assert_eq!(plan.placement.side(), Side::Conv, "{}", plan.name),
+                "FC" => assert_eq!(plan.placement.side(), Side::Fc, "{}", plan.name),
+                _ => assert_eq!(plan.placement.side(), Side::None, "{}", plan.name),
+            }
+        }
+    }
+
+    #[test]
+    fn fc_batch_shrinks_when_conv_spans_chips() {
+        let alexnet = map("alexnet");
+        let vgg = map("vgg-d");
+        assert!(alexnet.fc_batch(4, 4) > vgg.fc_batch(4, 4));
+    }
+
+    #[test]
+    fn column_allocation_covers_all_conv_layers() {
+        let m = map("overfeat-fast");
+        let mut covered = vec![false; m.conv_cols_used()];
+        for p in m.conv_plans() {
+            if let Placement::Conv { first_col, cols } = p.placement {
+                for slot in covered.iter_mut().skip(first_col).take(cols) {
+                    *slot = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "all columns owned by a layer");
+    }
+
+    #[test]
+    fn big_conv_layers_get_more_columns() {
+        let net = zoo::overfeat_fast();
+        let m = Compiler::new(&presets::single_precision()).map(&net).unwrap();
+        let c5 = m.plan(net.node_by_name("c5").unwrap().id());
+        let s1 = m.plan(net.node_by_name("s1").unwrap().id());
+        assert!(
+            c5.placement.cols() >= s1.placement.cols(),
+            "heavy conv should outrank pooling"
+        );
+    }
+
+    #[test]
+    fn small_conv_weights_live_on_chip_fc_weights_do_not() {
+        let net = zoo::alexnet();
+        let m = Compiler::new(&presets::single_precision()).map(&net).unwrap();
+        let f6 = m.plan(net.node_by_name("f6").unwrap().id());
+        assert!(!f6.weights_on_chip, "37M-weight FC layer cannot fit on chip");
+    }
+
+    #[test]
+    fn all_benchmarks_map_successfully() {
+        for name in zoo::BENCHMARK_NAMES {
+            let m = map(name);
+            assert!(m.conv_cols_used() > 0, "{name}");
+            assert!(m.fc_cols_used() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn home_tiles_stay_within_the_allocation() {
+        let node = presets::single_precision();
+        let net = zoo::alexnet();
+        let m = Compiler::new(&node).map(&net).unwrap();
+        let cols_per_chip = node.cluster.conv_chip.cols;
+        let rows = node.cluster.conv_chip.rows;
+        for p in m.conv_plans() {
+            let tiles = p.home_tiles(cols_per_chip, rows);
+            assert_eq!(tiles.len(), p.tiles_used, "{}", p.name);
+            let Placement::Conv { first_col, cols } = p.placement else {
+                unreachable!()
+            };
+            for t in &tiles {
+                let global_col = t.chip * cols_per_chip + t.col;
+                assert!(
+                    (first_col..first_col + cols).contains(&global_col),
+                    "{}: tile outside its columns",
+                    p.name
+                );
+                assert!(t.row < rows);
+                assert!(t.chip < m.chips_spanned());
+            }
+            // Coordinates are unique per layer.
+            let mut sorted = tiles.clone();
+            sorted.sort_unstable_by_key(|t| (t.chip, t.col, t.row));
+            sorted.dedup();
+            assert_eq!(sorted.len(), tiles.len(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn fc_layers_have_no_conv_home_tiles() {
+        let node = presets::single_precision();
+        let net = zoo::alexnet();
+        let m = Compiler::new(&node).map(&net).unwrap();
+        let f6 = m.plan(net.node_by_name("f6").unwrap().id());
+        assert!(f6.home_tiles(16, 6).is_empty());
+    }
+
+    #[test]
+    fn every_benchmark_mapping_validates() {
+        for name in zoo::BENCHMARK_NAMES {
+            map(name).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn half_precision_maps_with_fewer_state_bytes() {
+        let net = zoo::vgg_a();
+        let sp = Compiler::new(&presets::single_precision()).map(&net).unwrap();
+        let hp = Compiler::new(&presets::half_precision()).map(&net).unwrap();
+        assert!(hp.elem_bytes() < sp.elem_bytes());
+        // HP chips have 24 columns; spanning should not exceed SP's.
+        assert!(hp.chips_spanned() <= sp.chips_spanned());
+    }
+}

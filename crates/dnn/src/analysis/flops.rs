@@ -1,0 +1,306 @@
+//! Per-layer, per-step FLOP and byte accounting.
+//!
+//! The accounting rules mirror the paper's Figure 4/5 conventions:
+//!
+//! * a multiply–accumulate inside a dot product counts 2 FLOPs and is
+//!   charged to `NdConv` (CONV) or `MatMul` (FC);
+//! * accumulating partial output features across input features counts one
+//!   FLOP per (input feature, output element) pair and is charged to
+//!   `NdAccumulate` with one streamed memory access per FLOP (B/F = elem
+//!   size, i.e. 4 at single precision — the paper's 4.01);
+//! * activation functions count 1 FLOP per element with a read and a write
+//!   (B/F = 8 at single precision);
+//! * sampling counts one FLOP per window element (down-sampling) or per
+//!   scattered error (up-sampling) and streams the input and output feature
+//!   maps (B/F ≈ 5 for 2×2/2 windows);
+//! * the FC weight-gradient outer product is charged to `VecEltwiseMul`
+//!   with 2 FLOPs (multiply + accumulate-into-gradient) and a
+//!   read-modify-write of the gradient per element (B/F = 4).
+
+use super::{Kernel, LayerCost, Step};
+use crate::graph::{LayerNode, Network};
+use crate::layer::{Activation, Conv, Fc, Layer, Pool};
+use crate::shape::FeatureShape;
+
+/// Computes the full cost of one layer.
+pub(super) fn layer_cost(net: &Network, node: &LayerNode, e: u64) -> LayerCost {
+    let out = node.output_shape();
+    let ins = net.input_shapes(node.id());
+    match node.layer() {
+        Layer::Input(_) => LayerCost::default(),
+        Layer::Conv(c) => conv_cost(*c, ins[0], out, e),
+        Layer::Pool(p) => pool_cost(*p, ins[0], out, e),
+        Layer::Fc(f) => fc_cost(*f, ins[0], out, e),
+        Layer::EltwiseAdd(act) => eltwise_cost(*act, out, e),
+        Layer::EltwiseMul(act) => eltwise_mul_cost(*act, out, e),
+        Layer::Act(act) => act_cost(*act, out, e),
+        Layer::Concat => LayerCost::default(),
+        Layer::Shortcut { .. } => shortcut_cost(ins[0], out, e),
+        Layer::Loss => loss_cost(out, e),
+    }
+}
+
+fn charge_activation(cost: &mut LayerCost, step: Step, act: Activation, elems: u64, e: u64) {
+    let f = act.flops_per_elem() * elems;
+    if f > 0 {
+        cost.step_mut(step).charge(Kernel::ActivationFn, f, 2 * e * f);
+    }
+}
+
+fn conv_cost(c: Conv, input: FeatureShape, out: FeatureShape, e: u64) -> LayerCost {
+    let mut cost = LayerCost::default();
+    let cin_g = (input.features / c.groups) as u64;
+    let out_elems = out.elems() as u64;
+    let out_feature_elems = out.feature_elems() as u64;
+    let in_elems = input.elems() as u64;
+    let k2 = (c.kernel * c.kernel) as u64;
+    let weights = c.weights(input.features);
+    // MAC pairs per image: every output element accumulates k^2 * (Cin/g)
+    // products.
+    let macs = k2 * cin_g * out_elems;
+
+    cost.weights = weights;
+    cost.neurons = out_elems;
+    cost.connections = macs;
+
+    // --- FP: convolve each input feature with each kernel, accumulate
+    // partial output features, apply the activation.
+    let fp = cost.step_mut(Step::Fp);
+    fp.charge(
+        Kernel::NdConv,
+        2 * macs,
+        e * (in_elems + weights + out_elems),
+    );
+    let acc = cin_g * out_elems;
+    fp.charge(Kernel::NdAccumulate, acc, e * acc);
+    charge_activation(&mut cost, Step::Fp, c.activation, out_elems, e);
+
+    // --- BP: transposed convolution of the output errors through the
+    // kernels, accumulating partial input errors; activation derivative is
+    // applied to the incoming error.
+    let bp = cost.step_mut(Step::Bp);
+    bp.charge(
+        Kernel::NdConv,
+        2 * macs,
+        e * (out_elems + weights + in_elems),
+    );
+    let bp_acc = (c.out_features as u64 / c.groups as u64) * in_elems;
+    bp.charge(Kernel::NdAccumulate, bp_acc, e * bp_acc);
+    charge_activation(&mut cost, Step::Bp, c.activation, out_elems, e);
+
+    // --- WG: correlate stored FP inputs with output errors; every weight
+    // gradient accumulates Hout*Wout products.
+    let wg = cost.step_mut(Step::Wg);
+    wg.charge(
+        Kernel::NdConv,
+        2 * macs,
+        e * (in_elems + out_elems + weights),
+    );
+    // Accumulating partial gradients into the gradient buffer, once per
+    // learned weight per image.
+    let _ = out_feature_elems;
+    wg.charge(Kernel::NdAccumulate, weights, e * weights);
+
+    cost
+}
+
+fn pool_cost(p: Pool, input: FeatureShape, out: FeatureShape, e: u64) -> LayerCost {
+    let mut cost = LayerCost::default();
+    let in_elems = input.elems() as u64;
+    let out_elems = out.elems() as u64;
+    let w2 = (p.window * p.window) as u64;
+
+    // FP down-sampling: one compare/add per window element.
+    cost.step_mut(Step::Fp).charge(
+        Kernel::Sampling,
+        w2 * out_elems,
+        e * (in_elems + out_elems),
+    );
+    // BP up-sampling: one scattered add per input-error element.
+    cost.step_mut(Step::Bp)
+        .charge(Kernel::Sampling, in_elems, e * (in_elems + out_elems));
+    cost
+}
+
+fn fc_cost(f: Fc, input: FeatureShape, out: FeatureShape, e: u64) -> LayerCost {
+    let mut cost = LayerCost::default();
+    let n_in = input.elems() as u64;
+    let n_out = out.elems() as u64;
+    let weights = f.weights(input.elems());
+    let macs = n_in * n_out;
+
+    cost.weights = weights;
+    cost.neurons = n_out;
+    cost.connections = macs;
+
+    cost.step_mut(Step::Fp).charge(
+        Kernel::MatMul,
+        2 * macs,
+        e * (weights + n_in + n_out),
+    );
+    charge_activation(&mut cost, Step::Fp, f.activation, n_out, e);
+
+    cost.step_mut(Step::Bp).charge(
+        Kernel::MatMul,
+        2 * macs,
+        e * (weights + n_out + n_in),
+    );
+    charge_activation(&mut cost, Step::Bp, f.activation, n_out, e);
+
+    // WG: outer product of FP input and BP error, accumulated into the
+    // gradient (read-modify-write).
+    cost.step_mut(Step::Wg).charge(
+        Kernel::VecEltwiseMul,
+        2 * macs,
+        e * (n_in + n_out + 2 * macs),
+    );
+    cost
+}
+
+fn eltwise_cost(act: Activation, out: FeatureShape, e: u64) -> LayerCost {
+    let mut cost = LayerCost::default();
+    let elems = out.elems() as u64;
+    cost.step_mut(Step::Fp)
+        .charge(Kernel::NdAccumulate, elems, e * elems);
+    charge_activation(&mut cost, Step::Fp, act, elems, e);
+    // BP: the error fans out to both branches (copy + optional derivative).
+    cost.step_mut(Step::Bp)
+        .charge(Kernel::NdAccumulate, elems, e * elems);
+    charge_activation(&mut cost, Step::Bp, act, elems, e);
+    cost
+}
+
+fn eltwise_mul_cost(act: Activation, out: FeatureShape, e: u64) -> LayerCost {
+    // The Figure 5 vector element-wise multiply kernel: one multiply per
+    // element forward; two per element backward (da = err*b, db = err*a),
+    // streaming both operands and the result (B/F = 4 at SP, like FC WG).
+    let mut cost = LayerCost::default();
+    let elems = out.elems() as u64;
+    cost.step_mut(Step::Fp)
+        .charge(Kernel::VecEltwiseMul, elems, 4 * e * elems);
+    charge_activation(&mut cost, Step::Fp, act, elems, e);
+    cost.step_mut(Step::Bp)
+        .charge(Kernel::VecEltwiseMul, 2 * elems, 4 * e * elems);
+    charge_activation(&mut cost, Step::Bp, act, elems, e);
+    cost
+}
+
+fn act_cost(act: Activation, out: FeatureShape, e: u64) -> LayerCost {
+    let mut cost = LayerCost::default();
+    let elems = out.elems() as u64;
+    charge_activation(&mut cost, Step::Fp, act, elems, e);
+    charge_activation(&mut cost, Step::Bp, act, elems, e);
+    cost
+}
+
+fn shortcut_cost(input: FeatureShape, out: FeatureShape, e: u64) -> LayerCost {
+    // A parameter-free subsample + zero-pad: pure data movement, charged as
+    // sampling traffic with one FLOP per copied element so B/F stays finite.
+    let mut cost = LayerCost::default();
+    let copied = input
+        .elems()
+        .min(out.elems())
+        .max(1) as u64;
+    cost.step_mut(Step::Fp)
+        .charge(Kernel::Sampling, copied, e * 2 * copied);
+    cost.step_mut(Step::Bp)
+        .charge(Kernel::Sampling, copied, e * 2 * copied);
+    cost
+}
+
+fn loss_cost(out: FeatureShape, e: u64) -> LayerCost {
+    let mut cost = LayerCost::default();
+    let elems = out.elems() as u64;
+    // error = network output - golden output (one subtract per class).
+    cost.step_mut(Step::Bp)
+        .charge(Kernel::NdAccumulate, elems, e * elems);
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::layer::PoolKind;
+
+    #[test]
+    fn conv_bf_is_low_for_large_features() {
+        // OverFeat C1-like: 3 -> 96 features, 11x11 kernel on 231x231.
+        let c = Conv::relu(96, 11, 4, 0);
+        let input = FeatureShape::new(3, 231, 231);
+        let out = c.output_shape(input);
+        let cost = conv_cost(c, input, out, 4);
+        let bf = cost.step(Step::Fp).bytes_per_flop();
+        assert!(bf < 0.05, "initial conv B/F should be tiny, got {bf}");
+    }
+
+    #[test]
+    fn fc_bf_is_two_at_sp() {
+        let f = Fc::relu(4096);
+        let input = FeatureShape::vector(4096);
+        let cost = fc_cost(f, input, FeatureShape::vector(4096), 4);
+        let bf = cost.step(Step::Fp).bytes_per_flop();
+        assert!((bf - 2.0).abs() < 0.05, "FC FP B/F ≈ 2, got {bf}");
+    }
+
+    #[test]
+    fn fc_wg_bf_is_four_at_sp() {
+        let f = Fc::relu(4096);
+        let input = FeatureShape::vector(4096);
+        let cost = fc_cost(f, input, FeatureShape::vector(4096), 4);
+        let bf = cost.step(Step::Wg).bytes_per_flop();
+        assert!((bf - 4.0).abs() < 0.05, "FC WG B/F ≈ 4, got {bf}");
+    }
+
+    #[test]
+    fn sampling_bf_near_five() {
+        let p = Pool {
+            ceil_mode: true,
+            kind: PoolKind::Max,
+            window: 2,
+            stride: 2,
+            pad: 0,
+        };
+        let input = FeatureShape::new(96, 56, 56);
+        let out = p.output_shape(input);
+        let cost = pool_cost(p, input, out, 4);
+        let bf = cost.step(Step::Fp).bytes_per_flop();
+        assert!((bf - 5.0).abs() < 0.1, "SAMP FP B/F ≈ 5, got {bf}");
+    }
+
+    #[test]
+    fn activation_bf_is_eight() {
+        let mut b = NetworkBuilder::new("t", FeatureShape::new(3, 16, 16));
+        b.conv("c", Conv::relu(8, 3, 1, 1)).unwrap();
+        let net = b.finish().unwrap();
+        let a = net.analyze();
+        let c = net.node_by_name("c").unwrap();
+        let step = a.layer(c.id()).step(Step::Fp);
+        let f = step.flops(Kernel::ActivationFn);
+        let by = step.bytes(Kernel::ActivationFn);
+        assert_eq!(by, 8 * f);
+    }
+
+    #[test]
+    fn mid_conv_accumulation_share_matches_paper() {
+        // Mid conv: 3x3 kernel, accumulation/conv FLOP ratio ≈ 1/(2*9) ≈ 5.6%
+        // (the paper reports 5.3% for OverFeat mid CONV layers).
+        let c = Conv::relu(1024, 3, 1, 1);
+        let input = FeatureShape::new(512, 12, 12);
+        let out = c.output_shape(input);
+        let cost = conv_cost(c, input, out, 4);
+        let fp = cost.step(Step::Fp);
+        let ratio = fp.flops(Kernel::NdAccumulate) as f64 / fp.total_flops() as f64;
+        assert!(ratio > 0.04 && ratio < 0.06, "got {ratio}");
+    }
+
+    #[test]
+    fn grouped_conv_halves_macs() {
+        let dense = Conv::relu(256, 5, 1, 2);
+        let grouped = Conv::relu_grouped(256, 5, 1, 2, 2);
+        let input = FeatureShape::new(96, 27, 27);
+        let d = conv_cost(dense, input, dense.output_shape(input), 4);
+        let g = conv_cost(grouped, input, grouped.output_shape(input), 4);
+        assert_eq!(d.connections, 2 * g.connections);
+    }
+}

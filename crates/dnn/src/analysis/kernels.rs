@@ -1,0 +1,129 @@
+//! Suite-level kernel summary (paper Figure 5): aggregates the FLOP share
+//! and Bytes/FLOP of each computational kernel across a set of networks.
+
+use super::{Kernel, OpBreakdown};
+use crate::graph::Network;
+
+/// One row of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelShare {
+    /// The kernel summarized by this row.
+    pub kernel: Kernel,
+    /// Share of total training FLOPs across the suite, in [0, 1].
+    pub flops_share: f64,
+    /// Bytes/FLOP of the kernel across the suite.
+    pub bytes_per_flop: f64,
+}
+
+/// Aggregates Figure 5 across a benchmark suite.
+///
+/// Each network contributes its full-training-iteration breakdown; shares are
+/// taken over the summed FLOPs so larger networks weigh proportionally more,
+/// matching the paper's suite-level percentages.
+///
+/// ```
+/// use scaledeep_dnn::{kernel_summary, zoo, Kernel};
+///
+/// let nets = [zoo::alexnet(), zoo::vgg_a()];
+/// let rows = kernel_summary(&nets);
+/// let conv = rows.iter().find(|r| r.kernel == Kernel::NdConv).unwrap();
+/// assert!(conv.flops_share > 0.9); // convolution dominates CNNs
+/// ```
+pub fn kernel_summary(networks: &[Network]) -> Vec<KernelShare> {
+    let mut total = OpBreakdown::default();
+    for net in networks {
+        total += net.analyze().training_breakdown();
+    }
+    let all_flops = total.total_flops().max(1) as f64;
+    Kernel::ALL
+        .iter()
+        .map(|&kernel| {
+            let f = total.flops(kernel);
+            let b = total.bytes(kernel);
+            KernelShare {
+                kernel,
+                flops_share: f as f64 / all_flops,
+                bytes_per_flop: if f == 0 { 0.0 } else { b as f64 / f as f64 },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    fn suite() -> Vec<Network> {
+        zoo::benchmark_suite()
+    }
+
+    #[test]
+    fn conv_dominates_suite_flops() {
+        let rows = kernel_summary(&suite());
+        let conv = rows.iter().find(|r| r.kernel == Kernel::NdConv).unwrap();
+        // Paper: 93.1% across the 11-net suite.
+        assert!(
+            conv.flops_share > 0.85 && conv.flops_share < 0.99,
+            "conv share {}",
+            conv.flops_share
+        );
+    }
+
+    #[test]
+    fn matmul_share_is_small() {
+        let rows = kernel_summary(&suite());
+        let mm = rows.iter().find(|r| r.kernel == Kernel::MatMul).unwrap();
+        // Paper: 3.02% FLOPs, B/F = 2.
+        assert!(mm.flops_share < 0.10, "matmul share {}", mm.flops_share);
+        assert!(
+            mm.bytes_per_flop > 1.3 && mm.bytes_per_flop < 2.7,
+            "matmul B/F {}",
+            mm.bytes_per_flop
+        );
+    }
+
+    #[test]
+    fn accumulate_bf_near_four() {
+        let rows = kernel_summary(&suite());
+        let acc = rows
+            .iter()
+            .find(|r| r.kernel == Kernel::NdAccumulate)
+            .unwrap();
+        assert!(
+            acc.bytes_per_flop > 3.5 && acc.bytes_per_flop < 4.5,
+            "acc B/F {}",
+            acc.bytes_per_flop
+        );
+    }
+
+    #[test]
+    fn activation_bf_is_eight() {
+        let rows = kernel_summary(&suite());
+        let act = rows
+            .iter()
+            .find(|r| r.kernel == Kernel::ActivationFn)
+            .unwrap();
+        assert!((act.bytes_per_flop - 8.0).abs() < 0.01);
+        assert!(act.flops_share < 0.01);
+    }
+
+    #[test]
+    fn sampling_bf_near_five() {
+        let rows = kernel_summary(&suite());
+        let s = rows.iter().find(|r| r.kernel == Kernel::Sampling).unwrap();
+        assert!(
+            s.bytes_per_flop > 3.0 && s.bytes_per_flop < 6.5,
+            "sampling B/F {}",
+            s.bytes_per_flop
+        );
+        assert!(s.flops_share < 0.01);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let rows = kernel_summary(&suite());
+        let sum: f64 = rows.iter().map(|r| r.flops_share).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for network construction and analysis.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while building or analyzing a [`crate::Network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A layer referenced an input id that does not exist in the graph.
+    UnknownLayer {
+        /// The dangling id.
+        id: usize,
+    },
+    /// A layer received a number of inputs incompatible with its kind
+    /// (e.g. a convolution with two inputs, or an element-wise add with one).
+    ArityMismatch {
+        /// Human-readable layer description.
+        layer: String,
+        /// Number of inputs the layer expects (as a description, e.g. "exactly 2").
+        expected: &'static str,
+        /// Number of inputs the layer received.
+        got: usize,
+    },
+    /// Input shapes are incompatible with the layer parameters
+    /// (e.g. kernel larger than padded input, mismatched element-wise shapes).
+    ShapeMismatch {
+        /// Human-readable layer description.
+        layer: String,
+        /// Explanation of the incompatibility.
+        detail: String,
+    },
+    /// A layer parameter is structurally invalid (zero-sized kernel,
+    /// zero stride, feature count not divisible by groups, ...).
+    InvalidParameter {
+        /// Human-readable layer description.
+        layer: String,
+        /// Explanation of the invalid parameter.
+        detail: String,
+    },
+    /// The graph contains a cycle and cannot be topologically ordered.
+    Cyclic,
+    /// The graph has no layers.
+    Empty,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownLayer { id } => write!(f, "unknown layer id {id}"),
+            Error::ArityMismatch {
+                layer,
+                expected,
+                got,
+            } => write!(f, "layer `{layer}` expects {expected} inputs, got {got}"),
+            Error::ShapeMismatch { layer, detail } => {
+                write!(f, "shape mismatch at layer `{layer}`: {detail}")
+            }
+            Error::InvalidParameter { layer, detail } => {
+                write!(f, "invalid parameter at layer `{layer}`: {detail}")
+            }
+            Error::Cyclic => write!(f, "network graph contains a cycle"),
+            Error::Empty => write!(f, "network graph is empty"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

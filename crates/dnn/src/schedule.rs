@@ -1,0 +1,177 @@
+//! The network-level training schedule of the paper's Figure 3a: FP flows
+//! forward through the layers (slots `1..=N`), BP flows backward
+//! (`N+1..=2N`), and each layer's WG runs as soon as its output error is
+//! available — in the same slot as its BP, in parallel on the dedicated WG
+//! tiles ("gradients corresponding to each weight in a layer can be
+//! computed in parallel, as soon as the error at the output of the layer
+//! is available", §2.2).
+
+use crate::analysis::Step;
+use crate::graph::{LayerId, Network};
+use crate::layer::Layer;
+
+/// One scheduled step: which training step of which layer runs in which
+/// time slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledStep {
+    /// FP, BP or WG.
+    pub step: Step,
+    /// The layer involved.
+    pub layer: LayerId,
+    /// The Figure 3a time slot (FP of the first layer = slot 1).
+    pub slot: usize,
+}
+
+/// Builds the Figure 3a schedule for one training input.
+///
+/// Layers with no compute (input, loss, concat) do not occupy slots; for
+/// DAGs the slot of a layer is one past the latest slot among its
+/// producers (FP) / consumers (BP), so branches schedule in parallel.
+pub fn training_schedule(net: &Network) -> Vec<ScheduledStep> {
+    let occupies = |layer: &Layer| {
+        matches!(
+            layer,
+            Layer::Conv(_) | Layer::Pool(_) | Layer::Fc(_) | Layer::EltwiseAdd(_)
+        )
+    };
+    let has_weights = |layer: &Layer| layer.has_weights();
+
+    // FP slots: longest-path depth over compute layers.
+    let mut fp_slot = vec![0usize; net.len()];
+    let mut depth = 0usize;
+    for node in net.layers() {
+        let base = node
+            .inputs()
+            .iter()
+            .map(|&i| fp_slot[i.index()])
+            .max()
+            .unwrap_or(0);
+        fp_slot[node.id().index()] = if occupies(node.layer()) { base + 1 } else { base };
+        depth = depth.max(fp_slot[node.id().index()]);
+    }
+
+    // BP slots mirror: the layer finishing FP last starts BP first.
+    let mut out = Vec::new();
+    for node in net.layers() {
+        if !occupies(node.layer()) {
+            continue;
+        }
+        let fp = fp_slot[node.id().index()];
+        let bp = 2 * depth + 1 - fp;
+        out.push(ScheduledStep {
+            step: Step::Fp,
+            layer: node.id(),
+            slot: fp,
+        });
+        out.push(ScheduledStep {
+            step: Step::Bp,
+            layer: node.id(),
+            slot: bp,
+        });
+        if has_weights(node.layer()) {
+            // WG runs alongside BP on the layer's WG tiles.
+            out.push(ScheduledStep {
+                step: Step::Wg,
+                layer: node.id(),
+                slot: bp,
+            });
+        }
+    }
+    out.sort_by_key(|s| (s.slot, s.layer, s.step as usize));
+    out
+}
+
+/// The pipeline depth of the schedule: `2N` slots for training
+/// (the paper's "pipeline depth is equal to twice the number of layers"),
+/// or 0 for compute-free graphs.
+pub fn pipeline_depth(net: &Network) -> usize {
+    training_schedule(net)
+        .iter()
+        .map(|s| s.slot)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::layer::{Conv, Fc, Pool};
+    use crate::shape::FeatureShape;
+    use crate::zoo;
+
+    #[test]
+    fn chain_schedule_is_2n_deep() {
+        let mut b = NetworkBuilder::new("t", FeatureShape::new(1, 8, 8));
+        b.conv("c", Conv::relu(2, 3, 1, 1)).unwrap();
+        b.pool("s", Pool::max(2, 2)).unwrap();
+        let f = b.fc("f", Fc::linear(2)).unwrap();
+        let net = b.finish_with_loss(f).unwrap();
+        // 3 compute layers -> depth 6 (paper: 2N for training).
+        assert_eq!(pipeline_depth(&net), 6);
+    }
+
+    #[test]
+    fn fp_respects_producer_order() {
+        let net = zoo::alexnet();
+        let sched = training_schedule(&net);
+        for s in sched.iter().filter(|s| s.step == Step::Fp) {
+            for &input in net.node(s.layer).inputs() {
+                if let Some(prod) = sched
+                    .iter()
+                    .find(|p| p.step == Step::Fp && p.layer == input)
+                {
+                    assert!(prod.slot < s.slot, "producer must run earlier");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bp_mirrors_fp() {
+        let net = zoo::alexnet();
+        let sched = training_schedule(&net);
+        let depth = pipeline_depth(&net);
+        for s in sched.iter().filter(|s| s.step == Step::Fp) {
+            let bp = sched
+                .iter()
+                .find(|p| p.step == Step::Bp && p.layer == s.layer)
+                .expect("every compute layer has a BP step");
+            assert_eq!(s.slot + bp.slot, depth + 1, "BP mirrors FP");
+        }
+    }
+
+    #[test]
+    fn wg_runs_with_bp_for_weighted_layers_only() {
+        let net = zoo::alexnet();
+        let sched = training_schedule(&net);
+        for s in sched.iter().filter(|s| s.step == Step::Wg) {
+            assert!(net.node(s.layer).layer().has_weights());
+            let bp = sched
+                .iter()
+                .find(|p| p.step == Step::Bp && p.layer == s.layer)
+                .unwrap();
+            assert_eq!(s.slot, bp.slot, "WG starts when the error arrives");
+        }
+        // Pools never appear in WG.
+        let s1 = net.node_by_name("s1").unwrap().id();
+        assert!(!sched.iter().any(|s| s.step == Step::Wg && s.layer == s1));
+    }
+
+    #[test]
+    fn parallel_branches_share_slots() {
+        let net = zoo::googlenet();
+        let sched = training_schedule(&net);
+        // The four branches of inception 3a run in overlapping slots.
+        let slot_of = |name: &str| {
+            let id = net.node_by_name(name).unwrap().id();
+            sched
+                .iter()
+                .find(|s| s.step == Step::Fp && s.layer == id)
+                .unwrap()
+                .slot
+        };
+        assert_eq!(slot_of("i3a_1x1"), slot_of("i3a_3x3r"));
+        assert_eq!(slot_of("i3a_3x3"), slot_of("i3a_1x1") + 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Feature-map shapes.
+
+use std::fmt;
+
+/// The shape of a set of feature maps flowing along one edge of the network:
+/// `features` 2D maps of `height` × `width` scalars each.
+///
+/// This mirrors the paper's vocabulary (Section 2.2): CONV and SAMP layers
+/// produce multi-dimensional "features", FC layers produce vectors, which are
+/// represented here as `height = width = 1`.
+///
+/// ```
+/// use scaledeep_dnn::FeatureShape;
+///
+/// let s = FeatureShape::new(96, 55, 55);
+/// assert_eq!(s.elems(), 96 * 55 * 55);
+/// assert!(!s.is_vector());
+/// assert!(FeatureShape::vector(4096).is_vector());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FeatureShape {
+    /// Number of feature maps (channels).
+    pub features: usize,
+    /// Height of each feature map.
+    pub height: usize,
+    /// Width of each feature map.
+    pub width: usize,
+}
+
+impl FeatureShape {
+    /// Creates a shape of `features` maps, each `height` × `width`.
+    pub const fn new(features: usize, height: usize, width: usize) -> Self {
+        Self {
+            features,
+            height,
+            width,
+        }
+    }
+
+    /// Creates a vector shape (`n` × 1 × 1), as produced by FC layers.
+    pub const fn vector(n: usize) -> Self {
+        Self::new(n, 1, 1)
+    }
+
+    /// Total number of scalar elements.
+    pub const fn elems(&self) -> usize {
+        self.features * self.height * self.width
+    }
+
+    /// Number of scalars in a single feature map.
+    pub const fn feature_elems(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// True when the shape is a vector (1×1 spatial extent).
+    pub const fn is_vector(&self) -> bool {
+        self.height == 1 && self.width == 1
+    }
+}
+
+impl fmt::Display for FeatureShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.features, self.height, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elems_multiplies_dimensions() {
+        assert_eq!(FeatureShape::new(3, 231, 231).elems(), 3 * 231 * 231);
+    }
+
+    #[test]
+    fn vector_is_flat() {
+        let v = FeatureShape::vector(1000);
+        assert!(v.is_vector());
+        assert_eq!(v.elems(), 1000);
+        assert_eq!(v.feature_elems(), 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(FeatureShape::new(96, 55, 55).to_string(), "96x55x55");
+    }
+}

@@ -1,0 +1,52 @@
+//! CNN-S (Chatfield et al., "Return of the Devil in the Details",
+//! BMVC 2014) — the "slow" OverFeat-accurate-like variant.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::Network;
+use crate::layer::{Conv, Fc, Pool};
+use crate::shape::FeatureShape;
+
+/// Builds CNN-S: 5 CONV / 3 FC / 3 SAMP, ~1.7M neurons, ~80M weights
+/// (Figure 15 row 3). CNN-S uses floor-mode pooling, which yields the
+/// 5×5×512 classifier input that puts the total weight count at 80M.
+pub fn cnn_s() -> Network {
+    let mut b = NetworkBuilder::new("cnn-s", FeatureShape::new(3, 224, 224));
+    b.conv("c1", Conv::relu(96, 7, 2, 0)).expect("c1");
+    b.pool("s1", Pool::max(3, 3).floor_mode()).expect("s1");
+    b.conv("c2", Conv::relu(256, 5, 1, 0)).expect("c2");
+    b.pool("s2", Pool::max(2, 2).floor_mode()).expect("s2");
+    b.conv("c3", Conv::relu(512, 3, 1, 1)).expect("c3");
+    b.conv("c4", Conv::relu(512, 3, 1, 1)).expect("c4");
+    b.conv("c5", Conv::relu(512, 3, 1, 1)).expect("c5");
+    b.pool("s3", Pool::max(3, 3).floor_mode()).expect("s3");
+    b.fc("f6", Fc::relu(4096)).expect("f6");
+    b.fc("f7", Fc::relu(4096)).expect("f7");
+    let out = b.fc("f8", Fc::linear(1000)).expect("f8");
+    b.finish_with_loss(out).expect("cnn-s is a valid graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifier_sees_5x5x512() {
+        let net = cnn_s();
+        let s3 = net.node_by_name("s3").unwrap();
+        assert_eq!(s3.output_shape(), FeatureShape::new(512, 5, 5));
+    }
+
+    #[test]
+    fn weights_are_80m() {
+        let m = cnn_s().analyze().weights() as f64 / 1e6;
+        assert!((m - 80.0).abs() < 1.0, "got {m}M");
+    }
+
+    #[test]
+    fn mid_convs_are_512_features() {
+        let net = cnn_s();
+        for name in ["c3", "c4", "c5"] {
+            assert_eq!(net.node_by_name(name).unwrap().output_shape().features, 512);
+        }
+    }
+}

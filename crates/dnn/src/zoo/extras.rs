@@ -1,0 +1,212 @@
+//! Beyond-CNN topologies (paper §1: ScaleDeep "can be programmed to
+//! execute other DNN topologies for supervised and unsupervised learning,
+//! such as RNNs, LSTM networks and autoencoders").
+//!
+//! These build on the same graph substrate: an autoencoder is an FC
+//! hourglass; a recurrent network unrolled through time is a deep chain of
+//! (untied) recurrence cells. Both map onto the FcLayer hub and exercise
+//! the wheel/ring data paths rather than the CONV grid.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::Network;
+use crate::layer::{Activation, Fc};
+use crate::shape::FeatureShape;
+
+/// A fully-connected autoencoder: `dims[0] → … → dims.last() → … →
+/// dims[0]` with tanh encoders/decoders and a linear reconstruction head.
+/// The loss compares the reconstruction against the golden input
+/// (unsupervised training uses the input itself as the golden output).
+///
+/// # Panics
+///
+/// Panics when `dims` has fewer than two entries or contains zeros.
+pub fn autoencoder(dims: &[usize]) -> Network {
+    assert!(dims.len() >= 2, "autoencoder needs input and bottleneck dims");
+    assert!(dims.iter().all(|&d| d > 0), "dims must be non-zero");
+    let mut b = NetworkBuilder::new("autoencoder", FeatureShape::vector(dims[0]));
+    for (i, &d) in dims.iter().enumerate().skip(1) {
+        b.fc(
+            format!("enc{i}"),
+            Fc {
+                out_neurons: d,
+                bias: false,
+                activation: Activation::Tanh,
+            },
+        )
+        .expect("valid encoder layer");
+    }
+    for (i, &d) in dims.iter().rev().enumerate().skip(1) {
+        let last = i == dims.len() - 1;
+        b.fc(
+            format!("dec{i}"),
+            Fc {
+                out_neurons: d,
+                bias: false,
+                activation: if last { Activation::None } else { Activation::Tanh },
+            },
+        )
+        .expect("valid decoder layer");
+    }
+    let out = b.tail();
+    b.finish_with_loss(out).expect("autoencoder is a valid graph")
+}
+
+/// An Elman-style recurrent network unrolled for `steps` timesteps:
+/// `h_t = tanh(W_t · h_{t-1})` with a linear readout. Unrolling turns the
+/// recurrence into a deep chain the ScaleDeep compiler maps like any other
+/// layer sequence; weights are untied across timesteps (the graph
+/// substrate assigns every layer its own parameters — the tied-weight
+/// update is a host-side aggregation, like minibatch gradient
+/// aggregation).
+///
+/// # Panics
+///
+/// Panics when `steps`, `input_dim` or `hidden` is zero.
+pub fn unrolled_rnn(steps: usize, input_dim: usize, hidden: usize, outputs: usize) -> Network {
+    assert!(steps > 0 && input_dim > 0 && hidden > 0 && outputs > 0);
+    let mut b = NetworkBuilder::new("unrolled-rnn", FeatureShape::vector(input_dim));
+    for t in 0..steps {
+        b.fc(
+            format!("step{t}"),
+            Fc {
+                out_neurons: hidden,
+                bias: false,
+                activation: Activation::Tanh,
+            },
+        )
+        .expect("valid recurrence cell");
+    }
+    let out = b
+        .fc(
+            "readout",
+            Fc {
+                out_neurons: outputs,
+                bias: false,
+                activation: Activation::None,
+            },
+        )
+        .expect("valid readout");
+    b.finish_with_loss(out).expect("rnn is a valid graph")
+}
+
+/// An LSTM unrolled for `steps` timesteps (untied weights), gated with
+/// the element-wise multiply kernel of Figure 5:
+///
+/// ```text
+/// i,f,o = sigmoid(W·h)   g = tanh(W·h)
+/// c' = f (*) c + i (*) g        (first step: c' = i (*) g)
+/// h' = o (*) tanh(c')
+/// ```
+///
+/// A linear readout closes the network. The input vector seeds `h_0`
+/// through a projection layer.
+///
+/// # Panics
+///
+/// Panics when any dimension is zero.
+pub fn unrolled_lstm(steps: usize, input_dim: usize, hidden: usize, outputs: usize) -> Network {
+    assert!(steps > 0 && input_dim > 0 && hidden > 0 && outputs > 0);
+    let mut b = NetworkBuilder::new("unrolled-lstm", FeatureShape::vector(input_dim));
+    let gate = |act: Activation| Fc {
+        out_neurons: hidden,
+        bias: false,
+        activation: act,
+    };
+    let mut h = b.fc("embed", gate(Activation::Tanh)).expect("embedding");
+    let mut c: Option<crate::LayerId> = None;
+    for t in 0..steps {
+        let i = b.fc_from(format!("i{t}"), h, gate(Activation::Sigmoid)).expect("i gate");
+        let f = b.fc_from(format!("f{t}"), h, gate(Activation::Sigmoid)).expect("f gate");
+        let o = b.fc_from(format!("o{t}"), h, gate(Activation::Sigmoid)).expect("o gate");
+        let g = b.fc_from(format!("g{t}"), h, gate(Activation::Tanh)).expect("g gate");
+        let ig = b
+            .eltwise_mul(format!("ig{t}"), i, g, Activation::None)
+            .expect("i*g");
+        let c_new = match c {
+            Some(prev_c) => {
+                let fc_prev = b
+                    .eltwise_mul(format!("fc{t}"), f, prev_c, Activation::None)
+                    .expect("f*c");
+                b.eltwise_add(format!("c{t}"), fc_prev, ig, Activation::None)
+                    .expect("cell update")
+            }
+            None => ig,
+        };
+        let tc = b
+            .act_from(format!("tc{t}"), c_new, Activation::Tanh)
+            .expect("tanh(c)");
+        h = b
+            .eltwise_mul(format!("h{t}"), o, tc, Activation::None)
+            .expect("o*tanh(c)");
+        c = Some(c_new);
+    }
+    let out = b
+        .fc_from(
+            "readout",
+            h,
+            Fc {
+                out_neurons: outputs,
+                bias: false,
+                activation: Activation::None,
+            },
+        )
+        .expect("readout");
+    b.finish_with_loss(out).expect("lstm is a valid graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autoencoder_is_an_hourglass() {
+        let net = autoencoder(&[784, 256, 64]);
+        let (_, fc, _) = net.layer_counts();
+        assert_eq!(fc, 4); // 784->256->64->256->784
+        let out = net.node_by_name("dec2").unwrap();
+        assert_eq!(out.output_shape().elems(), 784);
+    }
+
+    #[test]
+    fn autoencoder_weights_are_symmetric() {
+        let net = autoencoder(&[100, 20]);
+        let a = net.analyze();
+        assert_eq!(a.weights(), 2 * 100 * 20);
+    }
+
+    #[test]
+    fn rnn_unrolls_to_a_deep_chain() {
+        let net = unrolled_rnn(6, 32, 64, 10);
+        let (_, fc, _) = net.layer_counts();
+        assert_eq!(fc, 7);
+        assert_eq!(net.depth(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "input and bottleneck")]
+    fn autoencoder_rejects_single_dim() {
+        let _ = autoencoder(&[10]);
+    }
+
+    #[test]
+    fn lstm_has_four_gates_per_step() {
+        let net = unrolled_lstm(3, 8, 16, 4);
+        // embed + 3 steps x 4 gates + readout FC layers.
+        let (_, fc, _) = net.layer_counts();
+        assert_eq!(fc, 1 + 3 * 4 + 1);
+        assert!(net.node_by_name("tc2").is_some());
+        assert!(net.node_by_name("fc0").is_none(), "first step has no f*c term");
+        assert!(net.node_by_name("fc1").is_some());
+    }
+
+    #[test]
+    fn lstm_gating_uses_eltwise_multiply() {
+        let net = unrolled_lstm(2, 4, 8, 2);
+        let muls = net
+            .layers()
+            .filter(|n| n.layer().type_tag() == "ELTMUL")
+            .count();
+        // i*g and o*tc every step; f*c from step 2 on.
+        assert_eq!(muls, 2 * 2 + 1);
+    }
+}

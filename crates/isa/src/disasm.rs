@@ -1,0 +1,213 @@
+//! Textual disassembly, in the spirit of the paper's Figure 13 listing.
+
+use crate::inst::{ActKind, DmaDir, Inst, PoolMode};
+use std::fmt;
+
+impl fmt::Display for ActKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ActKind::Relu => "ReLU",
+            ActKind::Tanh => "tanh",
+            ActKind::Sigmoid => "sigmoid",
+        })
+    }
+}
+
+impl fmt::Display for PoolMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PoolMode::Max => "max",
+            PoolMode::Avg => "avg",
+        })
+    }
+}
+
+impl fmt::Display for DmaDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DmaDir::Load => "load",
+            DmaDir::Store => "store",
+        })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn acc(b: bool) -> &'static str {
+            if b {
+                ", ACC"
+            } else {
+                ""
+            }
+        }
+        match self {
+            Inst::Ldri { rd, value } => write!(f, "LDRI {rd}, {value}"),
+            Inst::Mov { rd, rs } => write!(f, "MOV {rd}, {rs}"),
+            Inst::Addr { rd, rs1, rs2 } => write!(f, "ADDR {rd}, {rs1}, {rs2}"),
+            Inst::Addri { rd, rs, imm } => write!(f, "ADDRI {rd}, {rs}, {imm}"),
+            Inst::Subr { rd, rs1, rs2 } => write!(f, "SUBR {rd}, {rs1}, {rs2}"),
+            Inst::Subri { rd, rs, imm } => write!(f, "SUBRI {rd}, {rs}, {imm}"),
+            Inst::Mulr { rd, rs1, rs2 } => write!(f, "MULR {rd}, {rs1}, {rs2}"),
+            Inst::Inv { rd, rs } => write!(f, "INV {rd}, {rs}"),
+            Inst::Bnez { rs, offset } => write!(f, "BNEZ {rs}, {offset}"),
+            Inst::Beqz { rs, offset } => write!(f, "BEQZ {rs}, {offset}"),
+            Inst::Bgtz { rs, offset } => write!(f, "BGTZ {rs}, {offset}"),
+            Inst::Branch { offset } => write!(f, "BRANCH {offset}"),
+            Inst::Halt => f.write_str("HALT"),
+            Inst::Nop => f.write_str("NOP"),
+            Inst::NdConv {
+                input,
+                in_h,
+                in_w,
+                kernel,
+                k,
+                stride,
+                pad,
+                lanes,
+                output,
+                out_h,
+                out_w,
+                accumulate,
+                flip,
+            } => write!(
+                f,
+                "ND_CONV{} {input} ({in_h}x{in_w}), {kernel} ({k}x{k}/{stride} p{pad}) x{lanes} -> {output} ({out_h}x{out_w}){}",
+                if *flip { "_T" } else { "" },
+                acc(*accumulate)
+            ),
+            Inst::MatMul {
+                input,
+                n_in,
+                matrix,
+                rows,
+                output,
+                accumulate,
+            } => write!(
+                f,
+                "MATMUL {input} ({n_in}), {matrix} ({rows}x{n_in}) -> {output}{}",
+                acc(*accumulate)
+            ),
+            Inst::NdActFn { kind, src, len, dst } => {
+                write!(f, "ND_ACT {kind} {src} ({len}) -> {dst}")
+            }
+            Inst::NdActBwd {
+                kind,
+                pre,
+                err,
+                len,
+                dst,
+            } => write!(f, "ND_ACT_BWD {kind} pre={pre} err={err} ({len}) -> {dst}"),
+            Inst::NdSubsamp {
+                mode,
+                src,
+                in_h,
+                in_w,
+                window,
+                stride,
+                ..
+            } => write!(
+                f,
+                "ND_SUBSAMP {mode} {src} ({in_h}x{in_w}) {window}x{window}/{stride}"
+            ),
+            Inst::NdUpsamp {
+                mode,
+                err,
+                dst,
+                window,
+                stride,
+                ..
+            } => write!(f, "ND_UPSAMP {mode} {err} {window}x{window}/{stride} -> {dst}"),
+            Inst::NdAcc { dst, src, len } => write!(f, "ND_ACC {dst} += {src} ({len})"),
+            Inst::VecScaleAcc {
+                src,
+                len,
+                scalar,
+                dst,
+                elementwise,
+            } => {
+                if *elementwise {
+                    write!(f, "VEC_MUL_ACC {dst} += {scalar}[..] * {src} ({len})")
+                } else {
+                    write!(f, "VEC_SCALE_ACC {dst} += [{scalar}] * {src} ({len})")
+                }
+            }
+            Inst::DmaLoad {
+                src,
+                dst,
+                len,
+                accumulate,
+            } => write!(f, "DMA_LOAD {src} -> {dst} ({len}){}", acc(*accumulate)),
+            Inst::DmaStore {
+                src,
+                dst,
+                len,
+                accumulate,
+            } => write!(f, "DMA_STORE {src} -> {dst} ({len}){}", acc(*accumulate)),
+            Inst::Prefetch { src, dst, len } => write!(f, "PREFETCH {src} -> {dst} ({len})"),
+            Inst::PassBuff { src, dst, len } => write!(f, "PASSBUFF {src} -> {dst} ({len})"),
+            Inst::MemTrack {
+                tile,
+                addr,
+                len,
+                num_updates,
+                num_reads,
+            } => write!(
+                f,
+                "MEMTRACK {tile}:[{addr}, +{len}) updates={num_updates} reads={num_reads}"
+            ),
+            Inst::DmaMemTrack {
+                tile,
+                addr,
+                len,
+                num_updates,
+                num_reads,
+            } => write!(
+                f,
+                "DMA_MEMTRACK {tile}:[{addr}, +{len}) updates={num_updates} reads={num_reads}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::inst::{Inst, MemRef, TileRef};
+    use crate::reg::Reg;
+
+    #[test]
+    fn disassembly_is_readable() {
+        let i = Inst::NdConv {
+            input: MemRef::at(TileRef(3), 0),
+            in_h: 27,
+            in_w: 27,
+            kernel: MemRef::at(TileRef(3), 1024),
+            k: 5,
+            stride: 1,
+            pad: 2,
+            lanes: 4,
+            output: MemRef::at(TileRef(4), 0),
+            out_h: 27,
+            out_w: 27,
+            accumulate: true,
+            flip: false,
+        };
+        let s = i.to_string();
+        assert!(s.contains("ND_CONV"));
+        assert!(s.contains("5x5/1"));
+        assert!(s.contains("ACC"));
+    }
+
+    #[test]
+    fn scalar_disassembly() {
+        assert_eq!(
+            Inst::Subri {
+                rd: Reg::R1,
+                rs: Reg::R1,
+                imm: 1
+            }
+            .to_string(),
+            "SUBRI r1, r1, 1"
+        );
+        assert_eq!(Inst::Branch { offset: -14 }.to_string(), "BRANCH -14");
+    }
+}

@@ -1,0 +1,773 @@
+//! Binary encoding of the instruction memory image.
+//!
+//! Variable-length little-endian encoding: one opcode byte followed by the
+//! operands in declaration order. Addresses use a 1-byte tag
+//! (0 = immediate u32, 1 = register).
+
+use crate::error::{Error, Result};
+use crate::inst::{ActKind, Addr, Inst, MemRef, PoolMode, TileRef};
+use crate::reg::Reg;
+
+// Opcode assignments (stable across versions; gaps are never reused).
+const OP_LDRI: u8 = 0;
+const OP_MOV: u8 = 1;
+const OP_ADDR: u8 = 2;
+const OP_ADDRI: u8 = 3;
+const OP_SUBR: u8 = 4;
+const OP_SUBRI: u8 = 5;
+const OP_MULR: u8 = 6;
+const OP_INV: u8 = 7;
+const OP_BNEZ: u8 = 8;
+const OP_BEQZ: u8 = 9;
+const OP_BGTZ: u8 = 10;
+const OP_BRANCH: u8 = 11;
+const OP_HALT: u8 = 12;
+const OP_NOP: u8 = 13;
+const OP_NDCONV: u8 = 14;
+const OP_MATMUL: u8 = 15;
+const OP_NDACTFN: u8 = 16;
+const OP_NDACTBWD: u8 = 17;
+const OP_NDSUBSAMP: u8 = 18;
+const OP_NDUPSAMP: u8 = 19;
+const OP_NDACC: u8 = 20;
+const OP_VECSCALEACC: u8 = 21;
+const OP_DMALOAD: u8 = 22;
+const OP_DMASTORE: u8 = 23;
+const OP_PREFETCH: u8 = 24;
+const OP_PASSBUFF: u8 = 25;
+const OP_MEMTRACK: u8 = 26;
+const OP_DMAMEMTRACK: u8 = 27;
+
+struct Writer<'a>(&'a mut Vec<u8>);
+
+impl Writer<'_> {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i32(&mut self, v: i32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn reg(&mut self, r: Reg) {
+        self.u8(r.raw());
+    }
+    fn boolean(&mut self, b: bool) {
+        self.u8(u8::from(b));
+    }
+    fn addr(&mut self, a: Addr) {
+        match a {
+            Addr::Imm(v) => {
+                self.u8(0);
+                self.u32(v);
+            }
+            Addr::Reg(r) => {
+                self.u8(1);
+                self.reg(r);
+            }
+        }
+    }
+    fn mem(&mut self, m: MemRef) {
+        self.u16(m.tile.0);
+        self.addr(m.addr);
+    }
+    fn act(&mut self, k: ActKind) {
+        self.u8(match k {
+            ActKind::Relu => 0,
+            ActKind::Tanh => 1,
+            ActKind::Sigmoid => 2,
+        });
+    }
+    fn pool(&mut self, m: PoolMode) {
+        self.u8(match m {
+            PoolMode::Max => 0,
+            PoolMode::Avg => 1,
+        });
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    start: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(Error::TruncatedStream { offset: self.pos });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+    fn i32(&mut self) -> Result<i32> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+    fn reg(&mut self) -> Result<Reg> {
+        let raw = self.u8()?;
+        Reg::try_new(raw).ok_or(Error::BadOperand {
+            what: "register",
+            offset: self.start,
+        })
+    }
+    fn boolean(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(Error::BadOperand {
+                what: "bool flag",
+                offset: self.start,
+            }),
+        }
+    }
+    fn addr(&mut self) -> Result<Addr> {
+        match self.u8()? {
+            0 => Ok(Addr::Imm(self.u32()?)),
+            1 => Ok(Addr::Reg(self.reg()?)),
+            _ => Err(Error::BadOperand {
+                what: "address tag",
+                offset: self.start,
+            }),
+        }
+    }
+    fn mem(&mut self) -> Result<MemRef> {
+        let tile = TileRef(self.u16()?);
+        let addr = self.addr()?;
+        Ok(MemRef { tile, addr })
+    }
+    fn act(&mut self) -> Result<ActKind> {
+        match self.u8()? {
+            0 => Ok(ActKind::Relu),
+            1 => Ok(ActKind::Tanh),
+            2 => Ok(ActKind::Sigmoid),
+            _ => Err(Error::BadOperand {
+                what: "activation kind",
+                offset: self.start,
+            }),
+        }
+    }
+    fn pool(&mut self) -> Result<PoolMode> {
+        match self.u8()? {
+            0 => Ok(PoolMode::Max),
+            1 => Ok(PoolMode::Avg),
+            _ => Err(Error::BadOperand {
+                what: "pool mode",
+                offset: self.start,
+            }),
+        }
+    }
+}
+
+/// Appends one encoded instruction to `out`.
+pub(crate) fn encode_inst(inst: &Inst, out: &mut Vec<u8>) {
+    let mut w = Writer(out);
+    match *inst {
+        Inst::Ldri { rd, value } => {
+            w.u8(OP_LDRI);
+            w.reg(rd);
+            w.i64(value);
+        }
+        Inst::Mov { rd, rs } => {
+            w.u8(OP_MOV);
+            w.reg(rd);
+            w.reg(rs);
+        }
+        Inst::Addr { rd, rs1, rs2 } => {
+            w.u8(OP_ADDR);
+            w.reg(rd);
+            w.reg(rs1);
+            w.reg(rs2);
+        }
+        Inst::Addri { rd, rs, imm } => {
+            w.u8(OP_ADDRI);
+            w.reg(rd);
+            w.reg(rs);
+            w.i64(imm);
+        }
+        Inst::Subr { rd, rs1, rs2 } => {
+            w.u8(OP_SUBR);
+            w.reg(rd);
+            w.reg(rs1);
+            w.reg(rs2);
+        }
+        Inst::Subri { rd, rs, imm } => {
+            w.u8(OP_SUBRI);
+            w.reg(rd);
+            w.reg(rs);
+            w.i64(imm);
+        }
+        Inst::Mulr { rd, rs1, rs2 } => {
+            w.u8(OP_MULR);
+            w.reg(rd);
+            w.reg(rs1);
+            w.reg(rs2);
+        }
+        Inst::Inv { rd, rs } => {
+            w.u8(OP_INV);
+            w.reg(rd);
+            w.reg(rs);
+        }
+        Inst::Bnez { rs, offset } => {
+            w.u8(OP_BNEZ);
+            w.reg(rs);
+            w.i32(offset);
+        }
+        Inst::Beqz { rs, offset } => {
+            w.u8(OP_BEQZ);
+            w.reg(rs);
+            w.i32(offset);
+        }
+        Inst::Bgtz { rs, offset } => {
+            w.u8(OP_BGTZ);
+            w.reg(rs);
+            w.i32(offset);
+        }
+        Inst::Branch { offset } => {
+            w.u8(OP_BRANCH);
+            w.i32(offset);
+        }
+        Inst::Halt => w.u8(OP_HALT),
+        Inst::Nop => w.u8(OP_NOP),
+        Inst::NdConv {
+            input,
+            in_h,
+            in_w,
+            kernel,
+            k,
+            stride,
+            pad,
+            lanes,
+            output,
+            out_h,
+            out_w,
+            accumulate,
+            flip,
+        } => {
+            w.u8(OP_NDCONV);
+            w.mem(input);
+            w.u16(in_h);
+            w.u16(in_w);
+            w.mem(kernel);
+            w.u8(k);
+            w.u8(stride);
+            w.u8(pad);
+            w.u8(lanes);
+            w.mem(output);
+            w.u16(out_h);
+            w.u16(out_w);
+            w.boolean(accumulate);
+            w.boolean(flip);
+        }
+        Inst::MatMul {
+            input,
+            n_in,
+            matrix,
+            rows,
+            output,
+            accumulate,
+        } => {
+            w.u8(OP_MATMUL);
+            w.mem(input);
+            w.u32(n_in);
+            w.mem(matrix);
+            w.u32(rows);
+            w.mem(output);
+            w.boolean(accumulate);
+        }
+        Inst::NdActFn { kind, src, len, dst } => {
+            w.u8(OP_NDACTFN);
+            w.act(kind);
+            w.mem(src);
+            w.u32(len);
+            w.mem(dst);
+        }
+        Inst::NdActBwd {
+            kind,
+            pre,
+            err,
+            len,
+            dst,
+        } => {
+            w.u8(OP_NDACTBWD);
+            w.act(kind);
+            w.mem(pre);
+            w.mem(err);
+            w.u32(len);
+            w.mem(dst);
+        }
+        Inst::NdSubsamp {
+            mode,
+            src,
+            in_h,
+            in_w,
+            window,
+            stride,
+            pad,
+            ceil,
+            dst,
+        } => {
+            w.u8(OP_NDSUBSAMP);
+            w.pool(mode);
+            w.mem(src);
+            w.u16(in_h);
+            w.u16(in_w);
+            w.u8(window);
+            w.u8(stride);
+            w.u8(pad);
+            w.boolean(ceil);
+            w.mem(dst);
+        }
+        Inst::NdUpsamp {
+            mode,
+            err,
+            fwd,
+            in_h,
+            in_w,
+            window,
+            stride,
+            pad,
+            ceil,
+            dst,
+        } => {
+            w.u8(OP_NDUPSAMP);
+            w.pool(mode);
+            w.mem(err);
+            w.mem(fwd);
+            w.u16(in_h);
+            w.u16(in_w);
+            w.u8(window);
+            w.u8(stride);
+            w.u8(pad);
+            w.boolean(ceil);
+            w.mem(dst);
+        }
+        Inst::NdAcc { dst, src, len } => {
+            w.u8(OP_NDACC);
+            w.mem(dst);
+            w.mem(src);
+            w.u32(len);
+        }
+        Inst::VecScaleAcc {
+            src,
+            len,
+            scalar,
+            dst,
+            elementwise,
+        } => {
+            w.u8(OP_VECSCALEACC);
+            w.mem(src);
+            w.u32(len);
+            w.mem(scalar);
+            w.mem(dst);
+            w.boolean(elementwise);
+        }
+        Inst::DmaLoad {
+            src,
+            dst,
+            len,
+            accumulate,
+        } => {
+            w.u8(OP_DMALOAD);
+            w.mem(src);
+            w.mem(dst);
+            w.u32(len);
+            w.boolean(accumulate);
+        }
+        Inst::DmaStore {
+            src,
+            dst,
+            len,
+            accumulate,
+        } => {
+            w.u8(OP_DMASTORE);
+            w.mem(src);
+            w.mem(dst);
+            w.u32(len);
+            w.boolean(accumulate);
+        }
+        Inst::Prefetch { src, dst, len } => {
+            w.u8(OP_PREFETCH);
+            w.mem(src);
+            w.mem(dst);
+            w.u32(len);
+        }
+        Inst::PassBuff { src, dst, len } => {
+            w.u8(OP_PASSBUFF);
+            w.mem(src);
+            w.mem(dst);
+            w.u32(len);
+        }
+        Inst::MemTrack {
+            tile,
+            addr,
+            len,
+            num_updates,
+            num_reads,
+        } => {
+            w.u8(OP_MEMTRACK);
+            w.u16(tile.0);
+            w.u32(addr);
+            w.u32(len);
+            w.u16(num_updates);
+            w.u16(num_reads);
+        }
+        Inst::DmaMemTrack {
+            tile,
+            addr,
+            len,
+            num_updates,
+            num_reads,
+        } => {
+            w.u8(OP_DMAMEMTRACK);
+            w.u16(tile.0);
+            w.u32(addr);
+            w.u32(len);
+            w.u16(num_updates);
+            w.u16(num_reads);
+        }
+    }
+}
+
+/// Decodes one instruction starting at `offset`, returning it and the next
+/// offset.
+pub(crate) fn decode_inst(bytes: &[u8], offset: usize) -> Result<(Inst, usize)> {
+    let mut r = Reader {
+        bytes,
+        pos: offset,
+        start: offset,
+    };
+    let opcode = r.u8()?;
+    let inst = match opcode {
+        OP_LDRI => Inst::Ldri {
+            rd: r.reg()?,
+            value: r.i64()?,
+        },
+        OP_MOV => Inst::Mov {
+            rd: r.reg()?,
+            rs: r.reg()?,
+        },
+        OP_ADDR => Inst::Addr {
+            rd: r.reg()?,
+            rs1: r.reg()?,
+            rs2: r.reg()?,
+        },
+        OP_ADDRI => Inst::Addri {
+            rd: r.reg()?,
+            rs: r.reg()?,
+            imm: r.i64()?,
+        },
+        OP_SUBR => Inst::Subr {
+            rd: r.reg()?,
+            rs1: r.reg()?,
+            rs2: r.reg()?,
+        },
+        OP_SUBRI => Inst::Subri {
+            rd: r.reg()?,
+            rs: r.reg()?,
+            imm: r.i64()?,
+        },
+        OP_MULR => Inst::Mulr {
+            rd: r.reg()?,
+            rs1: r.reg()?,
+            rs2: r.reg()?,
+        },
+        OP_INV => Inst::Inv {
+            rd: r.reg()?,
+            rs: r.reg()?,
+        },
+        OP_BNEZ => Inst::Bnez {
+            rs: r.reg()?,
+            offset: r.i32()?,
+        },
+        OP_BEQZ => Inst::Beqz {
+            rs: r.reg()?,
+            offset: r.i32()?,
+        },
+        OP_BGTZ => Inst::Bgtz {
+            rs: r.reg()?,
+            offset: r.i32()?,
+        },
+        OP_BRANCH => Inst::Branch { offset: r.i32()? },
+        OP_HALT => Inst::Halt,
+        OP_NOP => Inst::Nop,
+        OP_NDCONV => Inst::NdConv {
+            input: r.mem()?,
+            in_h: r.u16()?,
+            in_w: r.u16()?,
+            kernel: r.mem()?,
+            k: r.u8()?,
+            stride: r.u8()?,
+            pad: r.u8()?,
+            lanes: r.u8()?,
+            output: r.mem()?,
+            out_h: r.u16()?,
+            out_w: r.u16()?,
+            accumulate: r.boolean()?,
+            flip: r.boolean()?,
+        },
+        OP_MATMUL => Inst::MatMul {
+            input: r.mem()?,
+            n_in: r.u32()?,
+            matrix: r.mem()?,
+            rows: r.u32()?,
+            output: r.mem()?,
+            accumulate: r.boolean()?,
+        },
+        OP_NDACTFN => Inst::NdActFn {
+            kind: r.act()?,
+            src: r.mem()?,
+            len: r.u32()?,
+            dst: r.mem()?,
+        },
+        OP_NDACTBWD => Inst::NdActBwd {
+            kind: r.act()?,
+            pre: r.mem()?,
+            err: r.mem()?,
+            len: r.u32()?,
+            dst: r.mem()?,
+        },
+        OP_NDSUBSAMP => Inst::NdSubsamp {
+            mode: r.pool()?,
+            src: r.mem()?,
+            in_h: r.u16()?,
+            in_w: r.u16()?,
+            window: r.u8()?,
+            stride: r.u8()?,
+            pad: r.u8()?,
+            ceil: r.boolean()?,
+            dst: r.mem()?,
+        },
+        OP_NDUPSAMP => Inst::NdUpsamp {
+            mode: r.pool()?,
+            err: r.mem()?,
+            fwd: r.mem()?,
+            in_h: r.u16()?,
+            in_w: r.u16()?,
+            window: r.u8()?,
+            stride: r.u8()?,
+            pad: r.u8()?,
+            ceil: r.boolean()?,
+            dst: r.mem()?,
+        },
+        OP_NDACC => Inst::NdAcc {
+            dst: r.mem()?,
+            src: r.mem()?,
+            len: r.u32()?,
+        },
+        OP_VECSCALEACC => Inst::VecScaleAcc {
+            src: r.mem()?,
+            len: r.u32()?,
+            scalar: r.mem()?,
+            dst: r.mem()?,
+            elementwise: r.boolean()?,
+        },
+        OP_DMALOAD => Inst::DmaLoad {
+            src: r.mem()?,
+            dst: r.mem()?,
+            len: r.u32()?,
+            accumulate: r.boolean()?,
+        },
+        OP_DMASTORE => Inst::DmaStore {
+            src: r.mem()?,
+            dst: r.mem()?,
+            len: r.u32()?,
+            accumulate: r.boolean()?,
+        },
+        OP_PREFETCH => Inst::Prefetch {
+            src: r.mem()?,
+            dst: r.mem()?,
+            len: r.u32()?,
+        },
+        OP_PASSBUFF => Inst::PassBuff {
+            src: r.mem()?,
+            dst: r.mem()?,
+            len: r.u32()?,
+        },
+        OP_MEMTRACK => Inst::MemTrack {
+            tile: TileRef(r.u16()?),
+            addr: r.u32()?,
+            len: r.u32()?,
+            num_updates: r.u16()?,
+            num_reads: r.u16()?,
+        },
+        OP_DMAMEMTRACK => Inst::DmaMemTrack {
+            tile: TileRef(r.u16()?),
+            addr: r.u32()?,
+            len: r.u32()?,
+            num_updates: r.u16()?,
+            num_reads: r.u16()?,
+        },
+        op => {
+            return Err(Error::BadOpcode {
+                opcode: op,
+                offset,
+            })
+        }
+    };
+    Ok((inst, r.pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+
+    fn one_of_each() -> Vec<Inst> {
+        let m = |t: u16, a: u32| MemRef::at(TileRef(t), a);
+        vec![
+            Inst::Ldri { rd: Reg::R1, value: -7 },
+            Inst::Mov { rd: Reg::R1, rs: Reg::R2 },
+            Inst::Addr { rd: Reg::R0, rs1: Reg::R1, rs2: Reg::R2 },
+            Inst::Addri { rd: Reg::R0, rs: Reg::R1, imm: 9 },
+            Inst::Subr { rd: Reg::R0, rs1: Reg::R1, rs2: Reg::R2 },
+            Inst::Subri { rd: Reg::R0, rs: Reg::R1, imm: 1 },
+            Inst::Mulr { rd: Reg::R0, rs1: Reg::R1, rs2: Reg::R2 },
+            Inst::Inv { rd: Reg::R0, rs: Reg::R1 },
+            Inst::Bnez { rs: Reg::R0, offset: -3 },
+            Inst::Beqz { rs: Reg::R0, offset: 4 },
+            Inst::Bgtz { rs: Reg::R0, offset: 0 },
+            Inst::Branch { offset: -10 },
+            Inst::Halt,
+            Inst::Nop,
+            Inst::NdConv {
+                input: m(3, 100),
+                in_h: 27,
+                in_w: 27,
+                kernel: MemRef {
+                    tile: TileRef(4),
+                    addr: Addr::Reg(Reg::R3),
+                },
+                k: 5,
+                stride: 1,
+                pad: 2,
+                lanes: 4,
+                output: m(5, 0),
+                out_h: 27,
+                out_w: 27,
+                accumulate: true,
+                flip: false,
+            },
+            Inst::MatMul {
+                input: m(1, 0),
+                n_in: 4096,
+                matrix: m(1, 4096),
+                rows: 64,
+                output: m(2, 0),
+                accumulate: false,
+            },
+            Inst::NdActFn { kind: ActKind::Relu, src: m(1, 0), len: 64, dst: m(1, 64) },
+            Inst::NdActBwd {
+                kind: ActKind::Tanh,
+                pre: m(1, 0),
+                err: m(1, 64),
+                len: 64,
+                dst: m(1, 128),
+            },
+            Inst::NdSubsamp {
+                mode: PoolMode::Max,
+                src: m(1, 0),
+                in_h: 10,
+                in_w: 10,
+                window: 2,
+                stride: 2,
+                pad: 0,
+                ceil: true,
+                dst: m(1, 100),
+            },
+            Inst::NdUpsamp {
+                mode: PoolMode::Avg,
+                err: m(1, 0),
+                fwd: m(1, 25),
+                in_h: 10,
+                in_w: 10,
+                window: 2,
+                stride: 2,
+                pad: 0,
+                ceil: false,
+                dst: m(1, 125),
+            },
+            Inst::NdAcc { dst: m(1, 0), src: m(2, 0), len: 128 },
+            Inst::VecScaleAcc { src: m(1, 0), len: 256, scalar: m(2, 7), dst: m(3, 0), elementwise: true },
+            Inst::DmaLoad { src: MemRef::at(EXT_MEM_TILE_REF, 0), dst: m(1, 0), len: 512, accumulate: false },
+            Inst::DmaStore { src: m(1, 0), dst: m(9, 0), len: 512, accumulate: true },
+            Inst::Prefetch { src: MemRef::at(EXT_MEM_TILE_REF, 1 << 20), dst: m(1, 0), len: 2048 },
+            Inst::PassBuff { src: m(1, 0), dst: m(2, 0), len: 64 },
+            Inst::MemTrack { tile: TileRef(5), addr: 0, len: 1024, num_updates: 16, num_reads: 3 },
+            Inst::DmaMemTrack { tile: TileRef(90), addr: 4096, len: 64, num_updates: 1, num_reads: 1 },
+        ]
+    }
+
+    const EXT_MEM_TILE_REF: TileRef = crate::inst::EXT_MEM_TILE;
+
+    #[test]
+    fn isa_has_28_instructions() {
+        assert_eq!(one_of_each().len(), Inst::COUNT);
+    }
+
+    #[test]
+    fn every_instruction_round_trips() {
+        for inst in one_of_each() {
+            let mut bytes = Vec::new();
+            encode_inst(&inst, &mut bytes);
+            let (back, consumed) = decode_inst(&bytes, 0).unwrap();
+            assert_eq!(back, inst);
+            assert_eq!(consumed, bytes.len(), "{inst:?} left trailing bytes");
+        }
+    }
+
+    #[test]
+    fn program_round_trips() {
+        let prog = Program::new("all", one_of_each());
+        let bytes = prog.encode();
+        let back = Program::decode("all", &bytes).unwrap();
+        assert_eq!(prog, back);
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let prog = Program::new("t", vec![Inst::Ldri { rd: Reg::R0, value: 1 }]);
+        let bytes = prog.encode();
+        let err = Program::decode("t", &bytes[..bytes.len() - 1]).unwrap_err();
+        assert!(matches!(err, Error::TruncatedStream { .. }));
+    }
+
+    #[test]
+    fn unknown_opcode_is_detected() {
+        let err = Program::decode("t", &[0xEE]).unwrap_err();
+        assert!(matches!(err, Error::BadOpcode { opcode: 0xEE, .. }));
+    }
+
+    #[test]
+    fn bad_register_is_detected() {
+        // LDRI with register byte 200.
+        let bytes = [OP_LDRI, 200, 0, 0, 0, 0, 0, 0, 0, 0];
+        let err = Program::decode("t", &bytes).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::BadOperand {
+                what: "register",
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for program encoding/decoding and building.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from decoding or assembling programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The byte stream ended in the middle of an instruction.
+    TruncatedStream {
+        /// Byte offset at which decoding stopped.
+        offset: usize,
+    },
+    /// An unknown opcode was encountered.
+    BadOpcode {
+        /// The offending opcode byte.
+        opcode: u8,
+        /// Byte offset of the opcode.
+        offset: usize,
+    },
+    /// An operand field held an invalid value (bad register index,
+    /// bad enum tag).
+    BadOperand {
+        /// Description of the bad field.
+        what: &'static str,
+        /// Byte offset of the instruction.
+        offset: usize,
+    },
+    /// A label was referenced but never defined (program builder).
+    UndefinedLabel {
+        /// The label name.
+        label: String,
+    },
+    /// A label was defined twice (program builder).
+    DuplicateLabel {
+        /// The label name.
+        label: String,
+    },
+    /// A branch target is out of the i32 offset range.
+    OffsetOverflow {
+        /// The label whose distance overflowed.
+        label: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TruncatedStream { offset } => {
+                write!(f, "instruction stream truncated at byte {offset}")
+            }
+            Error::BadOpcode { opcode, offset } => {
+                write!(f, "unknown opcode {opcode:#x} at byte {offset}")
+            }
+            Error::BadOperand { what, offset } => {
+                write!(f, "invalid {what} operand at byte {offset}")
+            }
+            Error::UndefinedLabel { label } => write!(f, "undefined label `{label}`"),
+            Error::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+            Error::OffsetOverflow { label } => {
+                write!(f, "branch to `{label}` exceeds offset range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,413 @@
+//! Instruction definitions: 28 instructions in 5 groups.
+
+use crate::reg::Reg;
+use std::fmt;
+
+/// A MemHeavy tile (or external memory) referenced by a data instruction.
+///
+/// The compiler's workload-mapping phase resolves the paper's abstract port
+/// numbers to concrete tile indices within the chip; [`EXT_MEM_TILE`]
+/// designates the external memory channel attached to the tile's column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileRef(pub u16);
+
+/// The distinguished [`TileRef`] naming external memory.
+pub const EXT_MEM_TILE: TileRef = TileRef(u16::MAX);
+
+impl TileRef {
+    /// True when this reference names external memory rather than a
+    /// MemHeavy tile.
+    pub const fn is_ext_mem(self) -> bool {
+        self.0 == u16::MAX
+    }
+}
+
+impl fmt::Display for TileRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ext_mem() {
+            f.write_str("EXT")
+        } else {
+            write!(f, "M{}", self.0)
+        }
+    }
+}
+
+/// An address within a tile's scratchpad: an immediate (the common case —
+/// ScaleDeep data flow is static) or a scalar register holding a byte
+/// offset (loop-carried address arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Addr {
+    /// Immediate byte address.
+    Imm(u32),
+    /// Register-indirect byte address.
+    Reg(Reg),
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addr::Imm(a) => write!(f, "{a:#x}"),
+            Addr::Reg(r) => write!(f, "[{r}]"),
+        }
+    }
+}
+
+/// A memory operand: a tile plus an address within it. Elements are f32
+/// words; addresses are in elements (not bytes) for clarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// The tile holding the data.
+    pub tile: TileRef,
+    /// Element offset within the tile's scratchpad.
+    pub addr: Addr,
+}
+
+impl MemRef {
+    /// Immediate-addressed reference.
+    pub const fn at(tile: TileRef, elem_offset: u32) -> Self {
+        Self {
+            tile,
+            addr: Addr::Imm(elem_offset),
+        }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.tile, self.addr)
+    }
+}
+
+/// Activation kind carried by `NDACTFN` (the MemHeavy SFUs implement ReLU,
+/// tanh and sigmoid — paper §3.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+/// Sampling mode carried by `NDSUBSAMP` / `NDUPSAMP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolMode {
+    /// Max pooling (ceil windows when `ceil` is set in the instruction).
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// Direction of a DMA transfer relative to the issuing tile's MemHeavy
+/// neighborhood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmaDir {
+    /// Load into the destination tile.
+    Load,
+    /// Store out of the source tile.
+    Store,
+}
+
+/// The five instruction groups of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InstGroup {
+    /// Scalar control instructions (scalar PE).
+    ScalarControl,
+    /// Coarse-grained data instructions (2D PE array).
+    CoarseData,
+    /// MemHeavy tile offload instructions (SFUs).
+    MemOffload,
+    /// MemHeavy tile data-transfer instructions (DMA).
+    DataTransfer,
+    /// Data-flow track instructions (synchronization).
+    DataFlowTrack,
+}
+
+impl fmt::Display for InstGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InstGroup::ScalarControl => "scalar-control",
+            InstGroup::CoarseData => "coarse-data",
+            InstGroup::MemOffload => "mem-offload",
+            InstGroup::DataTransfer => "data-transfer",
+            InstGroup::DataFlowTrack => "data-flow-track",
+        })
+    }
+}
+
+/// One ScaleDeep instruction.
+///
+/// Branch offsets are relative to the *next* instruction (offset `-1`
+/// re-executes the branch itself's predecessor... more precisely: a branch
+/// at index `i` with offset `k` transfers control to `i + 1 + k`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // operand fields are documented by the variant docs
+pub enum Inst {
+    // ---- Group 1: scalar control (14) ----
+    /// Load an immediate into a scalar register.
+    Ldri { rd: Reg, value: i64 },
+    /// Copy a scalar register.
+    Mov { rd: Reg, rs: Reg },
+    /// `rd = rs1 + rs2`.
+    Addr { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs + imm`.
+    Addri { rd: Reg, rs: Reg, imm: i64 },
+    /// `rd = rs1 - rs2`.
+    Subr { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs - imm`.
+    Subri { rd: Reg, rs: Reg, imm: i64 },
+    /// `rd = rs1 * rs2`.
+    Mulr { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = !rs` (bitwise inversion, used for flag toggling).
+    Inv { rd: Reg, rs: Reg },
+    /// Branch if `rs != 0`.
+    Bnez { rs: Reg, offset: i32 },
+    /// Branch if `rs == 0`.
+    Beqz { rs: Reg, offset: i32 },
+    /// Branch if `rs > 0`.
+    Bgtz { rs: Reg, offset: i32 },
+    /// Unconditional branch.
+    Branch { offset: i32 },
+    /// Stop the tile's thread.
+    Halt,
+    /// No operation.
+    Nop,
+
+    // ---- Group 2: coarse-grained data (2) ----
+    /// Batch 2D convolution on the PE array: convolves one input feature
+    /// (`in_h × in_w` at `input`) with `lanes` kernels of size `k × k`
+    /// (contiguous at `kernel`), producing `lanes` partial output features
+    /// (`out_h × out_w` each, contiguous at `output`). When `accumulate`
+    /// is set the partial outputs are added into the destination
+    /// (the ISA's `isACCUM`); when `flip` is set the kernel streaming
+    /// memories are read in reverse, realizing the transposed convolution
+    /// of the BP step.
+    NdConv {
+        input: MemRef,
+        in_h: u16,
+        in_w: u16,
+        kernel: MemRef,
+        k: u8,
+        stride: u8,
+        pad: u8,
+        lanes: u8,
+        output: MemRef,
+        out_h: u16,
+        out_w: u16,
+        accumulate: bool,
+        flip: bool,
+    },
+    /// Matrix–vector multiplication on the PE array: `rows` dot products of
+    /// length `n_in` between the matrix rows at `matrix` and the vector at
+    /// `input`, written (or accumulated) to `output`.
+    MatMul {
+        input: MemRef,
+        n_in: u32,
+        matrix: MemRef,
+        rows: u32,
+        output: MemRef,
+        accumulate: bool,
+    },
+
+    // ---- Group 3: MemHeavy offload (6) ----
+    /// Apply an activation function to `len` elements (SFU).
+    NdActFn {
+        kind: ActKind,
+        src: MemRef,
+        len: u32,
+        dst: MemRef,
+    },
+    /// Multiply `len` error elements by the activation derivative evaluated
+    /// at the stored pre-activation values (BP step).
+    NdActBwd {
+        kind: ActKind,
+        pre: MemRef,
+        err: MemRef,
+        len: u32,
+        dst: MemRef,
+    },
+    /// Down-sample one `in_h × in_w` feature with a `window × window`
+    /// window at `stride` (FP step of a SAMP layer).
+    NdSubsamp {
+        mode: PoolMode,
+        src: MemRef,
+        in_h: u16,
+        in_w: u16,
+        window: u8,
+        stride: u8,
+        pad: u8,
+        ceil: bool,
+        dst: MemRef,
+    },
+    /// Up-sample one feature's errors (BP step of a SAMP layer): routes
+    /// errors to the window argmax (max mode, recomputed from the stored
+    /// forward input at `fwd`) or spreads them evenly (avg mode).
+    NdUpsamp {
+        mode: PoolMode,
+        err: MemRef,
+        fwd: MemRef,
+        in_h: u16,
+        in_w: u16,
+        window: u8,
+        stride: u8,
+        pad: u8,
+        ceil: bool,
+        dst: MemRef,
+    },
+    /// `dst[i] += src[i]` for `len` elements (feature accumulation).
+    NdAcc { dst: MemRef, src: MemRef, len: u32 },
+    /// The SFU vector element-wise multiply-accumulate (the paper's
+    /// Figure 5 kernel): `dst[i] += scale[i] * src[i]` for `len` elements.
+    /// With `elementwise` clear, `scale` is a single broadcast element —
+    /// the FC weight-gradient form (one output-error times the input
+    /// vector, accumulated into one gradient row); with it set, `scale`
+    /// is a full `len`-element vector — the Hadamard products of LSTM
+    /// gating.
+    VecScaleAcc {
+        src: MemRef,
+        len: u32,
+        scalar: MemRef,
+        dst: MemRef,
+        elementwise: bool,
+    },
+
+    // ---- Group 4: MemHeavy data transfer (4) ----
+    /// DMA `len` elements from `src` to `dst` (MemHeavy ↔ MemHeavy or
+    /// external memory). `accumulate` adds into the destination — the
+    /// commutative-accumulation transfer used for gradient aggregation.
+    DmaLoad {
+        src: MemRef,
+        dst: MemRef,
+        len: u32,
+        accumulate: bool,
+    },
+    /// DMA `len` elements out of this column's MemHeavy tile to `dst`.
+    DmaStore {
+        src: MemRef,
+        dst: MemRef,
+        len: u32,
+        accumulate: bool,
+    },
+    /// Prefetch `len` elements from external memory into a MemHeavy tile
+    /// (issued at the start of the previous output-feature-batch iteration
+    /// to hide latency — paper §3.2.3).
+    Prefetch { src: MemRef, dst: MemRef, len: u32 },
+    /// Pass `len` elements through the neighbor FIFO interface (the
+    /// `PASSBUFF` of the paper's sample listing).
+    PassBuff { src: MemRef, dst: MemRef, len: u32 },
+
+    // ---- Group 5: data-flow track (2) ----
+    /// Arm a hardware data-flow tracker on `[addr, addr+len)` of a tile:
+    /// the range must receive `num_updates` writes before it may be read,
+    /// and `num_reads` reads before it may be overwritten (paper Eq. 1).
+    MemTrack {
+        tile: TileRef,
+        addr: u32,
+        len: u32,
+        num_updates: u16,
+        num_reads: u16,
+    },
+    /// Arm a tracker on a *remote* tile via DMA (the listing's
+    /// `DMA_MEMTRACK`), used when the tracked range lives across the chip.
+    DmaMemTrack {
+        tile: TileRef,
+        addr: u32,
+        len: u32,
+        num_updates: u16,
+        num_reads: u16,
+    },
+}
+
+impl Inst {
+    /// The instruction's group (Figure 8's left column).
+    pub const fn group(&self) -> InstGroup {
+        match self {
+            Inst::Ldri { .. }
+            | Inst::Mov { .. }
+            | Inst::Addr { .. }
+            | Inst::Addri { .. }
+            | Inst::Subr { .. }
+            | Inst::Subri { .. }
+            | Inst::Mulr { .. }
+            | Inst::Inv { .. }
+            | Inst::Bnez { .. }
+            | Inst::Beqz { .. }
+            | Inst::Bgtz { .. }
+            | Inst::Branch { .. }
+            | Inst::Halt
+            | Inst::Nop => InstGroup::ScalarControl,
+            Inst::NdConv { .. } | Inst::MatMul { .. } => InstGroup::CoarseData,
+            Inst::NdActFn { .. }
+            | Inst::NdActBwd { .. }
+            | Inst::NdSubsamp { .. }
+            | Inst::NdUpsamp { .. }
+            | Inst::NdAcc { .. }
+            | Inst::VecScaleAcc { .. } => InstGroup::MemOffload,
+            Inst::DmaLoad { .. }
+            | Inst::DmaStore { .. }
+            | Inst::Prefetch { .. }
+            | Inst::PassBuff { .. } => InstGroup::DataTransfer,
+            Inst::MemTrack { .. } | Inst::DmaMemTrack { .. } => InstGroup::DataFlowTrack,
+        }
+    }
+
+    /// True for instructions that may redirect control flow.
+    pub const fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Inst::Bnez { .. } | Inst::Beqz { .. } | Inst::Bgtz { .. } | Inst::Branch { .. }
+        )
+    }
+
+    /// The number of distinct instructions in the ISA.
+    pub const COUNT: usize = 28;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_are_assigned() {
+        assert_eq!(Inst::Halt.group(), InstGroup::ScalarControl);
+        assert_eq!(
+            Inst::NdAcc {
+                dst: MemRef::at(TileRef(0), 0),
+                src: MemRef::at(TileRef(1), 0),
+                len: 4
+            }
+            .group(),
+            InstGroup::MemOffload
+        );
+        assert_eq!(
+            Inst::MemTrack {
+                tile: TileRef(0),
+                addr: 0,
+                len: 4,
+                num_updates: 1,
+                num_reads: 1
+            }
+            .group(),
+            InstGroup::DataFlowTrack
+        );
+    }
+
+    #[test]
+    fn branches_are_detected() {
+        assert!(Inst::Branch { offset: 0 }.is_branch());
+        assert!(Inst::Bnez {
+            rs: Reg::R0,
+            offset: -2
+        }
+        .is_branch());
+        assert!(!Inst::Halt.is_branch());
+    }
+
+    #[test]
+    fn ext_mem_tile_is_distinguished() {
+        assert!(EXT_MEM_TILE.is_ext_mem());
+        assert!(!TileRef(0).is_ext_mem());
+        assert_eq!(EXT_MEM_TILE.to_string(), "EXT");
+    }
+}

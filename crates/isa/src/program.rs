@@ -1,0 +1,145 @@
+//! Program container.
+
+use crate::encode;
+use crate::error::Result;
+use crate::inst::{Inst, InstGroup};
+use std::fmt;
+
+/// A program for one CompHeavy tile: the contents of its instruction memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Wraps a list of instructions as a named program.
+    pub fn new(name: impl Into<String>, insts: Vec<Inst>) -> Self {
+        Self {
+            name: name.into(),
+            insts,
+        }
+    }
+
+    /// The program name (by convention `"<chip>.<col>.<role>"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instructions.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when the program holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Instruction count per group — useful for the instruction-overhead
+    /// analysis behind Figure 19's final utilization factor.
+    pub fn group_histogram(&self) -> [(InstGroup, usize); 5] {
+        let mut h = [
+            (InstGroup::ScalarControl, 0),
+            (InstGroup::CoarseData, 0),
+            (InstGroup::MemOffload, 0),
+            (InstGroup::DataTransfer, 0),
+            (InstGroup::DataFlowTrack, 0),
+        ];
+        for inst in &self.insts {
+            let g = inst.group();
+            for slot in &mut h {
+                if slot.0 == g {
+                    slot.1 += 1;
+                }
+            }
+        }
+        h
+    }
+
+    /// Serializes the program to its binary instruction-memory image.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.insts.len() * 8);
+        for inst in &self.insts {
+            encode::encode_inst(inst, &mut out);
+        }
+        out
+    }
+
+    /// Decodes a binary image back into a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns decoding errors for truncated streams, unknown opcodes or
+    /// invalid operand fields.
+    pub fn decode(name: impl Into<String>, bytes: &[u8]) -> Result<Self> {
+        let mut insts = Vec::new();
+        let mut offset = 0;
+        while offset < bytes.len() {
+            let (inst, next) = encode::decode_inst(bytes, offset)?;
+            insts.push(inst);
+            offset = next;
+        }
+        Ok(Self::new(name, insts))
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "--- Program for {} ---", self.name)?;
+        for (i, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{i:4}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{MemRef, TileRef};
+    use crate::reg::Reg;
+
+    fn sample() -> Program {
+        Program::new(
+            "t",
+            vec![
+                Inst::Ldri {
+                    rd: Reg::R0,
+                    value: 5,
+                },
+                Inst::NdAcc {
+                    dst: MemRef::at(TileRef(1), 0),
+                    src: MemRef::at(TileRef(2), 64),
+                    len: 32,
+                },
+                Inst::Halt,
+            ],
+        )
+    }
+
+    #[test]
+    fn histogram_counts_groups() {
+        let h = sample().group_histogram();
+        assert_eq!(h[0].1, 2); // ldri + halt
+        assert_eq!(h[2].1, 1); // ndacc
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let s = sample().to_string();
+        assert!(s.contains("LDRI"));
+        assert!(s.contains("HALT"));
+    }
+
+    #[test]
+    fn empty_program_is_empty() {
+        assert!(Program::new("e", vec![]).is_empty());
+        assert!(!sample().is_empty());
+    }
+}

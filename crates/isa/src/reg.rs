@@ -1,0 +1,85 @@
+//! Scalar register file.
+
+use std::fmt;
+
+/// Number of scalar registers per CompHeavy tile.
+pub const NUM_REGS: usize = 64;
+
+/// A scalar register of the CompHeavy tile's in-order scalar PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Register 0 (conventionally a scratch/counter register; the ISA has
+    /// no hardwired zero register).
+    pub const R0: Reg = Reg(0);
+    /// Register 1.
+    pub const R1: Reg = Reg(1);
+    /// Register 2.
+    pub const R2: Reg = Reg(2);
+    /// Register 3.
+    pub const R3: Reg = Reg(3);
+
+    /// Creates a register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= NUM_REGS`.
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "register r{index} out of range (0..{NUM_REGS})"
+        );
+        Reg(index)
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(index: u8) -> Option<Self> {
+        ((index as usize) < NUM_REGS).then_some(Reg(index))
+    }
+
+    /// The register index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw encoding byte.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_full_file() {
+        for i in 0..NUM_REGS as u8 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_overflow() {
+        let _ = Reg::new(64);
+    }
+
+    #[test]
+    fn try_new_is_fallible() {
+        assert!(Reg::try_new(63).is_some());
+        assert!(Reg::try_new(64).is_none());
+    }
+
+    #[test]
+    fn display_uses_r_prefix() {
+        assert_eq!(Reg::new(17).to_string(), "r17");
+    }
+}

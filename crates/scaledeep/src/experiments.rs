@@ -1,0 +1,79 @@
+//! Experiment drivers: one function per paper figure/table, each
+//! regenerating the figure's data as a [`Table`] plus structured rows.
+//!
+//! The per-experiment index lives in DESIGN.md §4; measured-vs-paper values
+//! are recorded in EXPERIMENTS.md. Run any experiment from the command
+//! line with `cargo run --release -p scaledeep-bench --bin repro -- <id>`.
+//!
+//! [`Table`]: crate::report::Table
+
+mod ablations;
+mod arch;
+mod epochs;
+mod links;
+mod power;
+mod speedup;
+mod throughput;
+mod utilization;
+mod workload;
+
+pub use ablations::{ablations, AblationRow};
+pub use epochs::{training_time, EpochRow, EPOCHS, IMAGENET_EPOCH_IMAGES};
+pub use arch::{fig14, Fig14Row};
+pub use links::{fig21, Fig21Row};
+pub use power::{fig20, Fig20Row};
+pub use speedup::{dadiannao_comparison, fig18, Fig18Row};
+pub use throughput::{fig16, fig17, ThroughputRow};
+pub use utilization::{fig19, Fig19};
+pub use workload::{fig1, fig15, fig4, fig5, Fig15Row};
+
+use crate::report::Table;
+
+/// All experiment ids, in paper order.
+pub const EXPERIMENT_IDS: [&str; 13] = [
+    "fig1", "fig4", "fig5", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+    "fig21", "ablations", "training-time",
+];
+
+/// Runs an experiment by id, returning its rendered tables.
+///
+/// Returns `None` for unknown ids.
+pub fn run_by_id(id: &str) -> Option<Vec<Table>> {
+    match id {
+        "fig1" => Some(vec![fig1()]),
+        "fig4" => Some(vec![fig4()]),
+        "fig5" => Some(vec![fig5()]),
+        "fig14" => Some(fig14().1),
+        "fig15" => Some(vec![fig15().1]),
+        "fig16" => Some(vec![fig16().1]),
+        "fig17" => Some(vec![fig17().1]),
+        "fig18" => Some(vec![fig18().1, dadiannao_comparison()]),
+        "fig19" => Some(fig19().1),
+        "fig20" => Some(vec![fig20().1]),
+        "fig21" => Some(vec![fig21().1]),
+        "ablations" => Some(vec![ablations().1]),
+        "training-time" => Some(vec![training_time().1]),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_experiment_runs() {
+        for id in EXPERIMENT_IDS {
+            let tables = run_by_id(id).unwrap_or_else(|| panic!("{id} missing"));
+            assert!(!tables.is_empty(), "{id} produced no tables");
+            for t in &tables {
+                assert!(!t.is_empty(), "{id}: empty table `{}`", t.title());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_by_id("fig99").is_none());
+    }
+}

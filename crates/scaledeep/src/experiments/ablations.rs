@@ -1,0 +1,196 @@
+//! Ablations of ScaleDeep's design choices (DESIGN.md §5): each knob is
+//! switched off in isolation and the training-throughput cost measured.
+
+use crate::report::Table;
+use crate::Session;
+use scaledeep_dnn::{zoo, Network};
+use scaledeep_sim::perf::PerfOptions;
+
+/// One ablation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Ablation id (A1..A5).
+    pub id: &'static str,
+    /// What was disabled.
+    pub what: String,
+    /// Network measured.
+    pub network: String,
+    /// Training throughput with the feature disabled, images/s.
+    pub ablated_ips: f64,
+    /// Baseline training throughput, images/s.
+    pub baseline_ips: f64,
+    /// Slowdown factor (baseline / ablated).
+    pub slowdown: f64,
+}
+
+fn measure(net: &Network, session: &Session) -> f64 {
+    session.train(net).expect("benchmark maps").images_per_sec
+}
+
+fn row(
+    id: &'static str,
+    what: &str,
+    net: &Network,
+    baseline: f64,
+    session: &Session,
+) -> AblationRow {
+    let ablated = measure(net, session);
+    AblationRow {
+        id,
+        what: what.to_string(),
+        network: net.name().to_string(),
+        ablated_ips: ablated,
+        baseline_ips: baseline,
+        slowdown: baseline / ablated,
+    }
+}
+
+/// Runs ablations A1–A5 on OverFeat-Fast (FC-heavy, single-chip) and
+/// VGG-A (conv-heavy, multi-chip), the two regimes the design targets.
+pub fn ablations() -> (Vec<AblationRow>, Table) {
+    let baseline_session = Session::single_precision();
+    let mut rows = Vec::new();
+    for net in [zoo::overfeat_fast(), zoo::vgg_a()] {
+        let baseline = measure(&net, &baseline_session);
+
+        // A1: no wheel batching of FC inputs.
+        let s = Session::single_precision().with_options(PerfOptions {
+            force_fc_batch: Some(1),
+            ..PerfOptions::default()
+        });
+        rows.push(row("A1", "wheel FC batching off", &net, baseline, &s));
+
+        // A2: no FC model parallelism across clusters.
+        let s = Session::single_precision().with_options(PerfOptions {
+            disable_fc_model_parallelism: true,
+            ..PerfOptions::default()
+        });
+        rows.push(row("A2", "FC model parallelism off", &net, baseline, &s));
+
+        // A3: homogeneous chips — the hub becomes another ConvLayer chip
+        // (DaDianNao-style uniformity; FC layers lose their tuned
+        // bandwidth and memory provisioning).
+        let mut node = scaledeep_arch::presets::single_precision();
+        let mut fc_like_conv = node.cluster.conv_chip;
+        fc_like_conv.kind = scaledeep_arch::ChipKind::FcLayer;
+        fc_like_conv.cols = node.cluster.fc_chip.cols;
+        node.cluster.fc_chip = fc_like_conv;
+        let s = Session::with_node(node);
+        rows.push(row("A3", "homogeneous chips", &net, baseline, &s));
+
+        // A4: no inter-layer pipelining.
+        let s = Session::single_precision().with_options(PerfOptions {
+            layer_sequential: true,
+            ..PerfOptions::default()
+        });
+        rows.push(row("A4", "inter-layer pipelining off", &net, baseline, &s));
+
+        // A5: idealized zero-cost minibatch synchronization (upper bound on
+        // what a cheaper-than-MEMTRACK scheme could buy).
+        let s = Session::single_precision().with_options(PerfOptions {
+            ideal_sync: true,
+            ..PerfOptions::default()
+        });
+        rows.push(row("A5", "zero-cost minibatch sync", &net, baseline, &s));
+
+        // E1: the Winograd extension (paper §6.1: "no fundamental
+        // bottlenecks" to adopting it) — a speedup, reported as slowdown<1.
+        let s = Session::single_precision().with_options(PerfOptions {
+            winograd: true,
+            ..PerfOptions::default()
+        });
+        rows.push(row("E1", "Winograd 3x3 convolutions", &net, baseline, &s));
+    }
+
+    let mut t = Table::new("Ablations: design-choice sensitivity (training img/s)").headers([
+        "id",
+        "ablation",
+        "network",
+        "baseline",
+        "ablated",
+        "slowdown",
+    ]);
+    for r in &rows {
+        t.row([
+            r.id.to_string(),
+            r.what.clone(),
+            r.network.clone(),
+            format!("{:.0}", r.baseline_ips),
+            format!("{:.0}", r.ablated_ips),
+            format!("{:.2}x", r.slowdown),
+        ]);
+    }
+    (rows, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelining_is_the_biggest_lever() {
+        // Disabling the inter-layer pipeline serializes every layer: the
+        // slowdown must dwarf the other ablations.
+        let (rows, _) = ablations();
+        for net in ["overfeat-fast", "vgg-a"] {
+            let a4 = rows
+                .iter()
+                .find(|r| r.id == "A4" && r.network == net)
+                .unwrap();
+            assert!(a4.slowdown > 2.0, "{net}: A4 slowdown {:.2}", a4.slowdown);
+        }
+    }
+
+    #[test]
+    fn wheel_batching_matters_for_fc_heavy_networks() {
+        // OverFeat-Fast carries 146M weights, almost all FC: removing the
+        // wheel batch multiplies the FC weight stream.
+        let (rows, _) = ablations();
+        let a1 = rows
+            .iter()
+            .find(|r| r.id == "A1" && r.network == "overfeat-fast")
+            .unwrap();
+        assert!(a1.slowdown >= 1.0, "A1 slowdown {:.2}", a1.slowdown);
+    }
+
+    #[test]
+    fn ideal_sync_is_a_speedup_bound() {
+        let (rows, _) = ablations();
+        for r in rows.iter().filter(|r| r.id == "A5") {
+            assert!(
+                r.slowdown <= 1.0 + 1e-9,
+                "{}: ideal sync cannot slow things down ({:.3})",
+                r.network,
+                r.slowdown
+            );
+        }
+    }
+
+    #[test]
+    fn winograd_extension_is_a_speedup_on_3x3_networks() {
+        let (rows, _) = ablations();
+        let e1 = rows
+            .iter()
+            .find(|r| r.id == "E1" && r.network == "vgg-a")
+            .unwrap();
+        assert!(
+            e1.slowdown < 0.8,
+            "Winograd must speed VGG-A up (slowdown {:.2})",
+            e1.slowdown
+        );
+    }
+
+    #[test]
+    fn no_ablation_makes_things_faster_except_a5_and_e1() {
+        let (rows, _) = ablations();
+        for r in rows.iter().filter(|r| r.id != "A5" && r.id != "E1") {
+            assert!(
+                r.slowdown >= 0.99,
+                "{} {}: unexpected speedup {:.3}",
+                r.id,
+                r.network,
+                r.slowdown
+            );
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Figure 14: the micro-architecture table — structure, peak FLOPs and
+//! processing efficiency at every level of the hierarchy, for both design
+//! points.
+
+use crate::report::Table;
+use scaledeep_arch::{presets, NodeConfig, PowerModel, Precision};
+
+/// One Figure 14 component row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig14Row {
+    /// Component name.
+    pub component: String,
+    /// Peak FLOPs/s.
+    pub peak_flops: f64,
+    /// Peak power, watts.
+    pub watts: f64,
+    /// Processing efficiency, GFLOPs/W.
+    pub gflops_per_watt: f64,
+}
+
+fn rows_for(node: &NodeConfig, power: &PowerModel) -> Vec<Fig14Row> {
+    let f = node.frequency_hz();
+    let conv = &node.cluster.conv_chip;
+    let fc = &node.cluster.fc_chip;
+    let mk = |component: &str, peak: f64, watts: f64| Fig14Row {
+        component: component.to_string(),
+        peak_flops: peak,
+        watts,
+        gflops_per_watt: peak / watts / 1e9,
+    };
+    vec![
+        mk("node", node.peak_flops(), power.node.peak_watts),
+        mk(
+            "chip cluster",
+            node.cluster.peak_flops(f),
+            power.cluster.peak_watts,
+        ),
+        mk("ConvLayer chip", conv.peak_flops(f), power.conv_chip.peak_watts),
+        mk(
+            "Conv CompHeavy tile",
+            conv.comp_heavy.flops_per_cycle() as f64 * f,
+            power.conv_comp_tile.peak_watts,
+        ),
+        mk(
+            "Conv MemHeavy tile",
+            conv.mem_heavy.flops_per_cycle() as f64 * f,
+            power.conv_mem_tile.peak_watts,
+        ),
+        mk("FcLayer chip", fc.peak_flops(f), power.fc_chip.peak_watts),
+        mk(
+            "Fc CompHeavy tile",
+            fc.comp_heavy.flops_per_cycle() as f64 * f,
+            power.fc_comp_tile.peak_watts,
+        ),
+        mk(
+            "Fc MemHeavy tile",
+            fc.mem_heavy.flops_per_cycle() as f64 * f,
+            power.fc_mem_tile.peak_watts,
+        ),
+    ]
+}
+
+fn human_flops(v: f64) -> String {
+    if v >= 1e15 {
+        format!("{:.2}P", v / 1e15)
+    } else if v >= 1e12 {
+        format!("{:.1}T", v / 1e12)
+    } else {
+        format!("{:.1}G", v / 1e9)
+    }
+}
+
+/// Figure 14: structure + peak + efficiency tables for SP and HP designs.
+pub fn fig14() -> (Vec<Fig14Row>, Vec<Table>) {
+    let mut tables = Vec::new();
+    let mut all_rows = Vec::new();
+    for (node, power, label) in [
+        (
+            presets::single_precision(),
+            PowerModel::paper_sp(),
+            "single precision",
+        ),
+        (
+            presets::half_precision(),
+            PowerModel::paper_hp(),
+            "half precision",
+        ),
+    ] {
+        let mut structure = Table::new(format!("Figure 14: structure ({label})"))
+            .headers(["parameter", "value"]);
+        let conv = &node.cluster.conv_chip;
+        let fc = &node.cluster.fc_chip;
+        structure.row(["clusters".into(), node.clusters.to_string()]);
+        structure.row([
+            "chips per cluster (Conv/Fc)".into(),
+            format!("{}/1", node.cluster.conv_chips),
+        ]);
+        structure.row([
+            "ConvLayer chip grid".into(),
+            format!("{}x{}", conv.rows, conv.cols),
+        ]);
+        structure.row([
+            "ConvLayer Comp/Mem tiles".into(),
+            format!("{}/{}", conv.comp_heavy_tiles(), conv.mem_heavy_tiles()),
+        ]);
+        structure.row([
+            "FcLayer chip grid".into(),
+            format!("{}x{}", fc.rows, fc.cols),
+        ]);
+        structure.row([
+            "FcLayer Comp/Mem tiles".into(),
+            format!("{}/{}", fc.comp_heavy_tiles(), fc.mem_heavy_tiles()),
+        ]);
+        structure.row(["total tiles".into(), node.total_tiles().to_string()]);
+        structure.row([
+            "frequency".into(),
+            format!("{} MHz", node.frequency_mhz),
+        ]);
+        structure.row([
+            "precision".into(),
+            match node.precision {
+                Precision::Single => "FP32".to_string(),
+                Precision::Half => "FP16".to_string(),
+            },
+        ]);
+        tables.push(structure);
+
+        let rows = rows_for(&node, &power);
+        let mut t = Table::new(format!("Figure 14: peak FLOPs & efficiency ({label})"))
+            .headers(["component", "peak FLOPs", "power (W)", "GFLOPs/W"]);
+        for r in &rows {
+            t.row([
+                r.component.clone(),
+                human_flops(r.peak_flops),
+                format!("{:.4}", r.watts),
+                format!("{:.1}", r.gflops_per_watt),
+            ]);
+        }
+        tables.push(t);
+        all_rows.extend(rows);
+    }
+    (all_rows, tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sp_node_row_matches_paper_headline() {
+        let (rows, _) = fig14();
+        let node = rows.iter().find(|r| r.component == "node").unwrap();
+        assert!((node.peak_flops / 1e12 - 680.0).abs() < 5.0);
+        assert!((node.gflops_per_watt - 485.7).abs() < 5.0);
+    }
+
+    #[test]
+    fn hp_node_doubles_peak() {
+        let (rows, _) = fig14();
+        let nodes: Vec<_> = rows.iter().filter(|r| r.component == "node").collect();
+        assert_eq!(nodes.len(), 2);
+        let ratio = nodes[1].peak_flops / nodes[0].peak_flops;
+        assert!((ratio - 2.0).abs() < 0.05, "HP/SP peak ratio {ratio}");
+    }
+
+    #[test]
+    fn efficiency_ranks_tiles_above_node() {
+        // Figure 14: CompHeavy tiles peak at 934.6 GFLOPs/W, the node at
+        // 485.7 — overheads accumulate up the hierarchy.
+        let (rows, _) = fig14();
+        let tile = rows
+            .iter()
+            .find(|r| r.component == "Conv CompHeavy tile")
+            .unwrap();
+        let node = rows.iter().find(|r| r.component == "node").unwrap();
+        assert!(tile.gflops_per_watt > node.gflops_per_watt);
+    }
+}

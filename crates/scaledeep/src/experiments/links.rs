@@ -1,0 +1,97 @@
+//! Figure 21: link utilization at every interconnect tier per benchmark.
+
+use crate::report::Table;
+use crate::Session;
+use scaledeep_arch::LinkClass;
+use scaledeep_dnn::zoo;
+
+/// One Figure 21 row: a network's utilization of each link class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig21Row {
+    /// Network name.
+    pub network: String,
+    /// Utilization per link class, in [`LinkClass::ALL`] order.
+    pub utilization: [f64; 7],
+}
+
+/// Figure 21: per-benchmark link utilizations during training.
+pub fn fig21() -> (Vec<Fig21Row>, Table) {
+    let session = Session::single_precision();
+    let mut rows = Vec::new();
+    let mut headers = vec!["network".to_string()];
+    headers.extend(LinkClass::ALL.iter().map(|c| c.to_string()));
+    let mut t =
+        Table::new("Figure 21: bandwidth utilization of links (training)").headers(headers);
+    for name in zoo::FIGURE16_ORDER {
+        let net = zoo::by_name(name).expect("known benchmark");
+        let r = session.train(&net).expect("benchmark maps");
+        let mut utilization = [0.0; 7];
+        for (i, class) in LinkClass::ALL.iter().enumerate() {
+            utilization[i] = r.link_utilization(*class);
+        }
+        let mut cells = vec![name.to_string()];
+        cells.extend(utilization.iter().map(|u| format!("{u:.2}")));
+        t.row(cells);
+        rows.push(Fig21Row {
+            network: name.to_string(),
+            utilization,
+        });
+    }
+    (rows, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(class: LinkClass) -> usize {
+        LinkClass::ALL.iter().position(|&c| c == class).unwrap()
+    }
+
+    #[test]
+    fn comp_mem_is_the_best_utilized_on_chip_link() {
+        // Paper: "we find the CompHeavy-MemHeavy tile links to be the best
+        // utilized (0.87)".
+        let (rows, _) = fig21();
+        let mut higher = 0;
+        for r in &rows {
+            if r.utilization[idx(LinkClass::CompMem)] >= r.utilization[idx(LinkClass::MemMem)] {
+                higher += 1;
+            }
+        }
+        assert!(higher >= 8, "comp-mem should dominate mem-mem ({higher}/11)");
+    }
+
+    #[test]
+    fn ring_is_quiet_except_for_multicluster_networks() {
+        // Paper: "the utilization of the ring is small for all benchmarks
+        // except VGG-D/E".
+        let (rows, _) = fig21();
+        let ring = idx(LinkClass::Ring);
+        let vgg_e = rows.iter().find(|r| r.network == "vgg-e").unwrap();
+        let alexnet = rows.iter().find(|r| r.network == "alexnet").unwrap();
+        assert!(vgg_e.utilization[ring] > alexnet.utilization[ring]);
+    }
+
+    #[test]
+    fn single_chip_networks_leave_arcs_nearly_idle() {
+        // Paper: "DNNs whose CONV layers fit on a single chip have very
+        // minimal use for the wheel arcs".
+        let (rows, _) = fig21();
+        let arc = idx(LinkClass::Arc);
+        let alexnet = rows.iter().find(|r| r.network == "alexnet").unwrap();
+        assert!(alexnet.utilization[arc] < 0.1, "{}", alexnet.utilization[arc]);
+        let vgg_d = rows.iter().find(|r| r.network == "vgg-d").unwrap();
+        assert!(vgg_d.utilization[arc] > alexnet.utilization[arc]);
+    }
+
+    #[test]
+    fn all_utilizations_are_fractions() {
+        let (rows, _) = fig21();
+        for r in &rows {
+            for &u in &r.utilization {
+                assert!((0.0..=1.0).contains(&u), "{}: {u}", r.network);
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 20: average power (normalized, split by subsystem) and
+//! processing efficiency per benchmark during training.
+
+use crate::report::{geomean, Table};
+use crate::Session;
+use scaledeep_dnn::zoo;
+
+/// One Figure 20 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig20Row {
+    /// Network name.
+    pub network: String,
+    /// Average power normalized to the 1.4 kW peak.
+    pub norm_power: f64,
+    /// Compute / memory / interconnect watts.
+    pub split: (f64, f64, f64),
+    /// Processing efficiency, GFLOPs/W.
+    pub gflops_per_watt: f64,
+}
+
+/// Figure 20: per-benchmark average power and efficiency.
+pub fn fig20() -> (Vec<Fig20Row>, Table) {
+    let session = Session::single_precision();
+    let peak_watts = 1400.0;
+    let mut rows = Vec::new();
+    let mut t = Table::new("Figure 20: average power and processing efficiency (training)")
+        .headers([
+            "network",
+            "norm power",
+            "compute W",
+            "memory W",
+            "interconnect W",
+            "GFLOPs/W",
+        ]);
+    for name in zoo::FIGURE16_ORDER {
+        let net = zoo::by_name(name).expect("known benchmark");
+        let r = session.train(&net).expect("benchmark maps");
+        let row = Fig20Row {
+            network: name.to_string(),
+            norm_power: r.avg_power.total() / peak_watts,
+            split: (
+                r.avg_power.compute_watts,
+                r.avg_power.memory_watts,
+                r.avg_power.interconnect_watts,
+            ),
+            gflops_per_watt: r.gflops_per_watt,
+        };
+        t.row([
+            row.network.clone(),
+            format!("{:.2}", row.norm_power),
+            format!("{:.0}", row.split.0),
+            format!("{:.0}", row.split.1),
+            format!("{:.0}", row.split.2),
+            format!("{:.1}", row.gflops_per_watt),
+        ]);
+        rows.push(row);
+    }
+    t.row([
+        "GEOMEAN".to_string(),
+        format!("{:.2}", geomean(rows.iter().map(|r| r.norm_power))),
+        String::new(),
+        String::new(),
+        String::new(),
+        format!(
+            "{:.1}",
+            geomean(rows.iter().map(|r| r.gflops_per_watt))
+        ),
+    ]);
+    (rows, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_power_is_constant_across_benchmarks() {
+        // Figure 20: "memory power, largely dominated by leakage, remains
+        // largely constant".
+        let (rows, _) = fig20();
+        let first = rows[0].split.1;
+        for r in &rows {
+            assert!((r.split.1 - first).abs() < 1.0, "{}", r.network);
+        }
+    }
+
+    #[test]
+    fn efficiency_is_in_paper_band() {
+        // Paper: 331.7 GFLOPs/W average.
+        let (rows, _) = fig20();
+        let g = geomean(rows.iter().map(|r| r.gflops_per_watt));
+        assert!(g > 100.0 && g < 480.0, "geomean efficiency {g:.1}");
+    }
+
+    #[test]
+    fn power_never_exceeds_peak() {
+        let (rows, _) = fig20();
+        for r in &rows {
+            assert!(r.norm_power <= 1.0, "{}: {}", r.network, r.norm_power);
+            assert!(r.norm_power > 0.1, "{}: {}", r.network, r.norm_power);
+        }
+    }
+}

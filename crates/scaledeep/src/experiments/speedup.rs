@@ -1,0 +1,147 @@
+//! Figure 18: speedup of one ScaleDeep chip cluster over published GPU
+//! training implementations (iso-power: ~325 W cluster vs ~320 W Titan X),
+//! plus the §7 DaDianNao iso-power FLOPs comparison.
+
+use crate::report::{geomean, Table};
+use crate::Session;
+use scaledeep_baselines::{DaDianNaoModel, GpuFramework};
+use scaledeep_dnn::zoo;
+
+/// One Figure 18 bar: the cluster's speedup over one framework on one
+/// network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig18Row {
+    /// Network name.
+    pub network: String,
+    /// GPU stack compared against.
+    pub framework: GpuFramework,
+    /// Published GPU training throughput, images/s.
+    pub gpu_ips: f64,
+    /// ScaleDeep cluster training throughput, images/s.
+    pub cluster_ips: f64,
+    /// Speedup (cluster / GPU).
+    pub speedup: f64,
+}
+
+/// Figure 18: speedups on the four charted networks across five stacks.
+pub fn fig18() -> (Vec<Fig18Row>, Table) {
+    let session = Session::single_precision();
+    let mut rows = Vec::new();
+    let mut t = Table::new(
+        "Figure 18: ScaleDeep chip-cluster speedup over TitanX GPU implementations",
+    )
+    .headers(["network", "framework", "GPU img/s", "cluster img/s", "speedup"]);
+    for name in ["alexnet", "googlenet", "overfeat-fast", "vgg-a"] {
+        let net = zoo::by_name(name).expect("known benchmark");
+        let cluster_ips = session
+            .cluster_train_images_per_sec(&net)
+            .expect("benchmark maps");
+        for fw in GpuFramework::ALL {
+            let gpu_ips = scaledeep_baselines::gpu::published_training_throughput(name, fw)
+                .expect("published dataset covers the charted networks");
+            let row = Fig18Row {
+                network: name.to_string(),
+                framework: fw,
+                gpu_ips,
+                cluster_ips,
+                speedup: cluster_ips / gpu_ips,
+            };
+            t.row([
+                row.network.clone(),
+                fw.to_string(),
+                format!("{:.0}", row.gpu_ips),
+                format!("{:.0}", row.cluster_ips),
+                format!("{:.1}x", row.speedup),
+            ]);
+            rows.push(row);
+        }
+    }
+    for fw in GpuFramework::ALL {
+        let g = geomean(
+            rows.iter()
+                .filter(|r| r.framework == fw)
+                .map(|r| r.speedup),
+        );
+        t.row([
+            "GEOMEAN".to_string(),
+            fw.to_string(),
+            String::new(),
+            String::new(),
+            format!("{g:.1}x"),
+        ]);
+    }
+    (rows, t)
+}
+
+/// §7: iso-power peak-FLOPs ratio against a DaDianNao-style homogeneous
+/// node (the paper's "5× as many FLOPs at iso-power").
+pub fn dadiannao_comparison() -> Table {
+    let node = scaledeep_arch::presets::single_precision();
+    let dd = DaDianNaoModel::published();
+    let ratio = dd.iso_power_ratio(node.peak_flops(), 1400.0);
+    let mut t = Table::new("Section 7: iso-power comparison vs DaDianNao-style node")
+        .headers(["metric", "ScaleDeep", "DaDianNao", "ratio"]);
+    t.row([
+        "peak FLOPs @ 1.4 kW".to_string(),
+        format!("{:.0}T", node.peak_flops() / 1e12),
+        format!("{:.0}T", dd.peak_flops_at_power(1400.0) / 1e12),
+        format!("{ratio:.1}x"),
+    ]);
+    t.row([
+        "GFLOPs/W".to_string(),
+        "485.7".to_string(),
+        format!("{:.1}", dd.flops_per_watt() / 1e9),
+        format!("{:.1}x", 485.7 / (dd.flops_per_watt() / 1e9)),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cudnn_r2_speedup_matches_paper_band() {
+        // Paper: 22x-28x over cuDNN-R2.
+        let (rows, _) = fig18();
+        let g = geomean(
+            rows.iter()
+                .filter(|r| r.framework == GpuFramework::CudnnR2)
+                .map(|r| r.speedup),
+        );
+        assert!(g > 10.0 && g < 60.0, "cuDNN-R2 geomean speedup {g:.1}x");
+    }
+
+    #[test]
+    fn winograd_speedup_is_smallest() {
+        // Paper: 5x-11x vs Winograd implementations — the tightest margin.
+        let (rows, _) = fig18();
+        let wino = geomean(
+            rows.iter()
+                .filter(|r| r.framework == GpuFramework::NervanaWinograd)
+                .map(|r| r.speedup),
+        );
+        let r2 = geomean(
+            rows.iter()
+                .filter(|r| r.framework == GpuFramework::CudnnR2)
+                .map(|r| r.speedup),
+        );
+        assert!(wino < r2);
+        assert!(wino > 2.0, "winograd speedup {wino:.1}x");
+    }
+
+    #[test]
+    fn every_bar_shows_a_speedup() {
+        let (rows, _) = fig18();
+        assert_eq!(rows.len(), 20);
+        for r in &rows {
+            assert!(r.speedup > 1.0, "{}/{}: {:.1}x", r.network, r.framework, r.speedup);
+        }
+    }
+
+    #[test]
+    fn dadiannao_ratio_near_5x() {
+        let t = dadiannao_comparison();
+        assert_eq!(t.len(), 2);
+    }
+}

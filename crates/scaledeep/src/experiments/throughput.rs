@@ -1,0 +1,128 @@
+//! Figures 16 and 17: training & evaluation throughput, utilization and
+//! column allocation per benchmark, at single and half precision.
+
+use crate::report::{geomean, Table};
+use crate::Session;
+use scaledeep_dnn::zoo;
+
+/// One Figure 16/17 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRow {
+    /// Network name.
+    pub network: String,
+    /// ConvLayer columns allocated.
+    pub cols: usize,
+    /// Training throughput, images/s.
+    pub train_ips: f64,
+    /// Evaluation throughput, images/s.
+    pub eval_ips: f64,
+    /// 2D-PE utilization during training.
+    pub utilization: f64,
+}
+
+fn throughput_table(session: &Session, title: &str) -> (Vec<ThroughputRow>, Table) {
+    let mut rows = Vec::new();
+    let mut t = Table::new(title).headers([
+        "network",
+        "cols",
+        "train img/s",
+        "eval img/s",
+        "eval/train",
+        "util",
+    ]);
+    for name in zoo::FIGURE16_ORDER {
+        let net = zoo::by_name(name).expect("known benchmark");
+        let train = session.train(&net).expect("benchmark maps");
+        let eval = session.evaluate(&net).expect("benchmark maps");
+        let row = ThroughputRow {
+            network: name.to_string(),
+            cols: train.conv_cols,
+            train_ips: train.images_per_sec,
+            eval_ips: eval.images_per_sec,
+            utilization: train.pe_utilization,
+        };
+        t.row([
+            row.network.clone(),
+            row.cols.to_string(),
+            format!("{:.0}", row.train_ips),
+            format!("{:.0}", row.eval_ips),
+            format!("{:.2}", row.eval_ips / row.train_ips),
+            format!("{:.2}", row.utilization),
+        ]);
+        rows.push(row);
+    }
+    t.row([
+        "GEOMEAN".to_string(),
+        String::new(),
+        format!("{:.0}", geomean(rows.iter().map(|r| r.train_ips))),
+        format!("{:.0}", geomean(rows.iter().map(|r| r.eval_ips))),
+        format!(
+            "{:.2}",
+            geomean(rows.iter().map(|r| r.eval_ips / r.train_ips))
+        ),
+        format!("{:.2}", geomean(rows.iter().map(|r| r.utilization))),
+    ]);
+    (rows, t)
+}
+
+/// Figure 16: single-precision training & evaluation performance.
+pub fn fig16() -> (Vec<ThroughputRow>, Table) {
+    throughput_table(
+        &Session::single_precision(),
+        "Figure 16: single-precision training & evaluation performance",
+    )
+}
+
+/// Figure 17: half-precision training & evaluation performance.
+pub fn fig17() -> (Vec<ThroughputRow>, Table) {
+    throughput_table(
+        &Session::half_precision(),
+        "Figure 17: half-precision training & evaluation performance",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::geomean;
+
+    #[test]
+    fn fig16_covers_all_benchmarks_plus_geomean() {
+        let (rows, t) = fig16();
+        assert_eq!(rows.len(), 11);
+        assert_eq!(t.len(), 12);
+    }
+
+    #[test]
+    fn training_throughput_is_thousands_of_images() {
+        // Paper: "a training throughput of thousands of images/second
+        // across all networks".
+        let (rows, _) = fig16();
+        for r in &rows {
+            assert!(r.train_ips > 500.0, "{}: {}", r.network, r.train_ips);
+        }
+    }
+
+    #[test]
+    fn hp_speedup_is_near_paper_1_85x() {
+        // Paper §6.1: HP achieves 1.85x (training) over SP.
+        let (sp, _) = fig16();
+        let (hp, _) = fig17();
+        let speedup = geomean(
+            sp.iter()
+                .zip(&hp)
+                .map(|(s, h)| h.train_ips / s.train_ips),
+        );
+        assert!(
+            speedup > 1.3 && speedup < 2.6,
+            "HP geomean speedup {speedup}"
+        );
+    }
+
+    #[test]
+    fn eval_to_train_ratio_is_just_over_3() {
+        let (rows, _) = fig16();
+        let ratio = geomean(rows.iter().map(|r| r.eval_ips / r.train_ips));
+        assert!(ratio > 2.3 && ratio < 4.6, "geomean eval/train {ratio}");
+    }
+}

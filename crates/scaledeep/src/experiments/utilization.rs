@@ -1,0 +1,161 @@
+//! Figure 19: the utilization waterfall — AlexNet layer-wise analysis and
+//! the suite-wide 0.68 → 0.64 → 0.42 → 0.35 cascade.
+
+use crate::report::{geomean, Table};
+use crate::Session;
+use scaledeep_compiler::MappingReport;
+use scaledeep_dnn::zoo;
+
+/// The Figure 19 data: AlexNet rows plus suite-level cascade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig19 {
+    /// AlexNet per-layer (name, cols, PEs, util after columns / features /
+    /// array).
+    pub alexnet_rows: Vec<(String, usize, usize, f64, f64, f64)>,
+    /// Suite-wide aggregate utilization after (columns, features, array,
+    /// instruction overhead).
+    pub suite_cascade: [f64; 4],
+}
+
+/// Runs the Figure 19 analysis.
+pub fn fig19() -> (Fig19, Vec<Table>) {
+    let session = Session::single_precision();
+    let node = *session.node();
+
+    // --- AlexNet layer-wise table ---
+    let net = zoo::alexnet();
+    let mapping = session.compile(&net).expect("alexnet maps");
+    let report = MappingReport::new(&mapping, node.cluster.conv_chip);
+    let waterfall = report.waterfall();
+    let mut alexnet_rows = Vec::new();
+    let mut t1 = Table::new("Figure 19: AlexNet layer-wise utilization").headers([
+        "layer",
+        "cols",
+        "2D-PEs",
+        "peak util (cols)",
+        "after features",
+        "after array",
+    ]);
+    for r in &waterfall.rows {
+        alexnet_rows.push((
+            r.name.clone(),
+            r.cols,
+            r.pes,
+            r.util_after_columns,
+            r.util_after_features,
+            r.util_after_array,
+        ));
+        t1.row([
+            r.name.clone(),
+            r.cols.to_string(),
+            r.pes.to_string(),
+            format!("{:.2}", r.util_after_columns),
+            format!("{:.2}", r.util_after_features),
+            format!("{:.2}", r.util_after_array),
+        ]);
+    }
+
+    // --- suite-wide cascade ---
+    let mut after_cols = Vec::new();
+    let mut after_feat = Vec::new();
+    let mut after_array = Vec::new();
+    let mut achieved = Vec::new();
+    for name in zoo::BENCHMARK_NAMES {
+        let bench = zoo::by_name(name).expect("known benchmark");
+        let m = session.compile(&bench).expect("benchmark maps");
+        let w = MappingReport::new(&m, node.cluster.conv_chip).waterfall();
+        after_cols.push(w.after_columns);
+        after_feat.push(w.after_features);
+        after_array.push(w.after_array);
+        let perf = session.train(&bench).expect("benchmark simulates");
+        achieved.push(perf.pe_utilization);
+    }
+    let suite_cascade = [
+        geomean(after_cols.iter().copied()),
+        geomean(after_feat.iter().copied()),
+        geomean(after_array.iter().copied()),
+        geomean(achieved.iter().copied()),
+    ];
+    let mut t2 = Table::new("Figure 19: suite-wide utilization cascade (paper: 0.68 -> 0.64 -> 0.42 -> 0.35)")
+        .headers(["stage", "utilization"]);
+    t2.row(["after column allocation".to_string(), format!("{:.2}", suite_cascade[0])]);
+    t2.row(["after feature distribution".to_string(), format!("{:.2}", suite_cascade[1])]);
+    t2.row(["after 2D-array residue".to_string(), format!("{:.2}", suite_cascade[2])]);
+    t2.row(["achieved (with instruction overhead)".to_string(), format!("{:.2}", suite_cascade[3])]);
+
+    // --- memory-side utilization (Figure 19's right panel: SFU and
+    // memory-array usage alongside the 2D-PE waterfall) ---
+    let col_cap = node.cluster.conv_chip.col_mem_capacity() as f64;
+    let perf = session.train(&net).expect("alexnet simulates");
+    let mut t3 = Table::new("Figure 19: AlexNet memory-side utilization").headers([
+        "layer",
+        "state MB",
+        "capacity MB",
+        "mem util",
+        "tiles used/total",
+    ]);
+    for plan in mapping.conv_plans() {
+        if plan.placement.cols() == 0 {
+            continue;
+        }
+        let capacity = plan.placement.cols() as f64 * col_cap;
+        let state = plan.state_bytes as f64
+            + if plan.weights_on_chip {
+                2.0 * plan.weight_bytes as f64
+            } else {
+                0.0
+            };
+        t3.row([
+            plan.name.clone(),
+            format!("{:.2}", state / 1e6),
+            format!("{:.2}", capacity / 1e6),
+            format!("{:.2}", state / capacity),
+            format!("{}/{}", plan.tiles_used, plan.tiles_total),
+        ]);
+    }
+    t3.row([
+        "SFU utilization (chip)".to_string(),
+        String::new(),
+        String::new(),
+        format!("{:.2}", perf.sfu_utilization),
+        String::new(),
+    ]);
+
+    (
+        Fig19 {
+            alexnet_rows,
+            suite_cascade,
+        },
+        vec![t1, t2, t3],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cascade_decreases_monotonically() {
+        let (f, _) = fig19();
+        let c = f.suite_cascade;
+        assert!(c[0] >= c[1] && c[1] >= c[2], "{c:?}");
+        assert!(c[3] > 0.05, "achieved utilization sane: {c:?}");
+    }
+
+    #[test]
+    fn cascade_is_in_paper_neighborhood() {
+        // Paper: 0.68 / 0.64 / 0.42 / 0.35.
+        let (f, _) = fig19();
+        let c = f.suite_cascade;
+        assert!(c[0] > 0.4 && c[0] <= 1.0, "cols {}", c[0]);
+        assert!(c[2] > 0.2 && c[2] < 0.9, "array {}", c[2]);
+        assert!(c[3] > 0.15 && c[3] < 0.8, "achieved {}", c[3]);
+    }
+
+    #[test]
+    fn alexnet_rows_cover_conv_layers() {
+        let (f, _) = fig19();
+        assert!(f.alexnet_rows.iter().any(|r| r.0 == "c1"));
+        assert!(f.alexnet_rows.iter().any(|r| r.0 == "c5"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Plain-text table rendering shared by the experiment drivers
+//! (the `repro` binary prints these; EXPERIMENTS.md embeds them).
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+///
+/// ```
+/// use scaledeep::report::Table;
+///
+/// let mut t = Table::new("demo").headers(["network", "img/s"]);
+/// t.row(["alexnet", "71744"]);
+/// assert!(t.to_string().contains("alexnet"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the header row.
+    pub fn headers<S: Into<String>>(mut self, headers: impl IntoIterator<Item = S>) -> Self {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut w = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            w[i] = w[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        writeln!(f, "== {} ==", self.title)?;
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", c, width = w[i]));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        if !self.headers.is_empty() {
+            print_row(f, &self.headers)?;
+            let total: usize = w.iter().sum::<usize>() + 2 * w.len().saturating_sub(1);
+            writeln!(f, "{}", "-".repeat(total))?;
+        }
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Geometric mean of a non-empty series (0 for empty input).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("demo").headers(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["longer", "22"]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("name    value"));
+        assert!(s.contains("longer  22"));
+    }
+
+    #[test]
+    fn geomean_of_powers_of_two() {
+        let g = geomean([2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_ignores_nonpositive() {
+        assert_eq!(geomean([0.0, -1.0]), 0.0);
+        assert!((geomean([0.0, 4.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert!(Table::new("t").is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! The end-to-end session API.
+
+use crate::Result;
+use scaledeep_arch::{presets, NodeConfig};
+use scaledeep_compiler::{Compiler, Mapping};
+use scaledeep_dnn::Network;
+use scaledeep_sim::perf::{PerfOptions, PerfResult, PerfSim, RunKind};
+
+/// A ScaleDeep session: one node configuration plus the compiler and
+/// performance simulator bound to it.
+#[derive(Debug, Clone)]
+pub struct Session {
+    node: NodeConfig,
+    sim: PerfSim,
+}
+
+impl Session {
+    /// The paper's baseline single-precision node (680 TFLOPS, 1.4 kW).
+    pub fn single_precision() -> Self {
+        Self::with_node(presets::single_precision())
+    }
+
+    /// The half-precision design point (1.35 PFLOPS at the same power).
+    pub fn half_precision() -> Self {
+        Self::with_node(presets::half_precision())
+    }
+
+    /// A session over a custom node configuration (design-space studies).
+    pub fn with_node(node: NodeConfig) -> Self {
+        Self {
+            node,
+            sim: PerfSim::new(&node),
+        }
+    }
+
+    /// Overrides the simulator options (minibatch, ablation knobs, ...).
+    pub fn with_options(mut self, opts: PerfOptions) -> Self {
+        self.sim = PerfSim::new(&self.node).with_options(opts);
+        self
+    }
+
+    /// The session's node configuration.
+    pub fn node(&self) -> &NodeConfig {
+        &self.node
+    }
+
+    /// Runs the compiler's workload-mapping phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures (network too large for the node, ...).
+    pub fn compile(&self, net: &Network) -> Result<Mapping> {
+        Ok(Compiler::new(&self.node).map(net)?)
+    }
+
+    /// Simulates training.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures.
+    pub fn train(&self, net: &Network) -> Result<PerfResult> {
+        self.sim.train(net)
+    }
+
+    /// Simulates evaluation (inference).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures.
+    pub fn evaluate(&self, net: &Network) -> Result<PerfResult> {
+        self.sim.evaluate(net)
+    }
+
+    /// Simulates an already-compiled mapping.
+    pub fn run_mapped(&self, mapping: &Mapping, kind: RunKind) -> PerfResult {
+        self.sim.run_mapped(mapping, kind)
+    }
+
+    /// Training throughput of a single chip cluster (the iso-power unit the
+    /// paper compares against one GPU card in Figure 18).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures.
+    pub fn cluster_train_images_per_sec(&self, net: &Network) -> Result<f64> {
+        let r = self.train(net)?;
+        Ok(r.images_per_sec / self.node.clusters as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scaledeep_dnn::zoo;
+
+    #[test]
+    fn session_round_trip() {
+        let s = Session::single_precision();
+        let m = s.compile(&zoo::alexnet()).unwrap();
+        assert!(m.conv_cols_used() > 0);
+        let r = s.train(&zoo::alexnet()).unwrap();
+        assert!(r.images_per_sec > 0.0);
+    }
+
+    #[test]
+    fn cluster_rate_is_a_quarter_of_node_rate() {
+        let s = Session::single_precision();
+        let node = s.train(&zoo::alexnet()).unwrap().images_per_sec;
+        let cluster = s.cluster_train_images_per_sec(&zoo::alexnet()).unwrap();
+        assert!((node / cluster - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_precision_session_uses_hp_node() {
+        let s = Session::half_precision();
+        assert_eq!(s.node().precision, scaledeep_arch::Precision::Half);
+    }
+}

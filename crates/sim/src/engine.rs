@@ -1,0 +1,200 @@
+//! Discrete-event simulation core shared by both simulators:
+//! a monotonic event queue and busy-time resource accounting.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation time in cycles.
+pub type Cycle = u64;
+
+/// A monotonic event queue: events pop in time order; ties pop in push
+/// order (deterministic replay).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Cycle, u64, usize)>>,
+    events: Vec<Option<E>>,
+    seq: u64,
+    now: Cycle,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time 0.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the last popped event).
+    pub fn push(&mut self, at: Cycle, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
+        let idx = self.events.len();
+        self.events.push(Some(event));
+        self.heap.push(Reverse((at, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay` cycles from now.
+    pub fn push_after(&mut self, delay: Cycle, event: E) {
+        let at = self.now.saturating_add(delay);
+        self.push(at, event);
+    }
+
+    /// Pops the next event, advancing time.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let Reverse((at, _, idx)) = self.heap.pop()?;
+        self.now = at;
+        let event = self.events[idx].take().expect("event popped once");
+        Some((at, event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Busy-time accounting for one resource (a PE array, an SFU pool, a link
+/// class): accumulates busy cycles and reports utilization over a window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BusyTracker {
+    busy: f64,
+    window_start: Cycle,
+}
+
+impl BusyTracker {
+    /// A fresh tracker with its window starting at `start`.
+    pub fn new(start: Cycle) -> Self {
+        Self {
+            busy: 0.0,
+            window_start: start,
+        }
+    }
+
+    /// Records `cycles` of busy time (fractional cycles allowed — a
+    /// resource serving at partial width accumulates partial busy time).
+    pub fn add(&mut self, cycles: f64) {
+        debug_assert!(cycles >= 0.0, "negative busy time");
+        self.busy += cycles;
+    }
+
+    /// Accumulated busy cycles.
+    pub fn busy(&self) -> f64 {
+        self.busy
+    }
+
+    /// Utilization over `[window_start, now]`; 0 for an empty window.
+    pub fn utilization(&self, now: Cycle) -> f64 {
+        let elapsed = now.saturating_sub(self.window_start);
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.busy / elapsed as f64
+        }
+    }
+
+    /// Restarts the measurement window at `now`, discarding history
+    /// (used to skip pipeline warm-up).
+    pub fn reset(&mut self, now: Cycle) {
+        self.busy = 0.0;
+        self.window_start = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_pop_in_push_order() {
+        let mut q = EventQueue::new();
+        q.push(5, 1);
+        q.push(5, 2);
+        q.push(5, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(7, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 7);
+        q.push_after(3, ());
+        assert_eq!(q.pop(), Some((10, ())));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(10, ());
+        q.pop();
+        q.push(5, ());
+    }
+
+    #[test]
+    fn busy_tracker_measures_utilization() {
+        let mut b = BusyTracker::new(100);
+        b.add(25.0);
+        b.add(25.0);
+        assert!((b.utilization(200) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_tracker_reset_discards_history() {
+        let mut b = BusyTracker::new(0);
+        b.add(1000.0);
+        b.reset(1000);
+        assert_eq!(b.busy(), 0.0);
+        b.add(10.0);
+        assert!((b.utilization(1100) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_is_zero_utilization() {
+        let b = BusyTracker::new(50);
+        assert_eq!(b.utilization(50), 0.0);
+    }
+}

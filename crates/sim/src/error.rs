@@ -1,0 +1,102 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from either simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The functional simulator detected a deadlock: no tile thread can
+    /// make progress (a data-flow tracker count does not match the actual
+    /// access pattern).
+    Deadlock {
+        /// Names of the still-running programs.
+        stuck: Vec<String>,
+    },
+    /// A program accessed memory outside its tile's scratchpad.
+    OutOfBounds {
+        /// The offending program.
+        program: String,
+        /// Tile index.
+        tile: u16,
+        /// Offending element address.
+        addr: u64,
+        /// Scratchpad capacity in elements.
+        capacity: u32,
+    },
+    /// A tracked range was re-armed with a conflicting specification.
+    TrackerConflict {
+        /// Tile index.
+        tile: u16,
+        /// Range start.
+        addr: u32,
+    },
+    /// A scalar register or control-flow fault (bad branch target, missing
+    /// HALT, fuel exhaustion).
+    ControlFault {
+        /// The offending program.
+        program: String,
+        /// Explanation.
+        detail: String,
+    },
+    /// Host-side setup error (missing buffer, length mismatch).
+    Setup {
+        /// Explanation.
+        detail: String,
+    },
+    /// A compiler error bubbled up.
+    Compiler(scaledeep_compiler::Error),
+    /// A reference-executor error bubbled up.
+    Tensor(scaledeep_tensor::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Deadlock { stuck } => {
+                write!(f, "deadlock: programs {} cannot progress", stuck.join(", "))
+            }
+            Error::OutOfBounds {
+                program,
+                tile,
+                addr,
+                capacity,
+            } => write!(
+                f,
+                "{program}: access at M{tile}:{addr} outside scratchpad of {capacity} elements"
+            ),
+            Error::TrackerConflict { tile, addr } => {
+                write!(f, "conflicting tracker re-arm at M{tile}:{addr}")
+            }
+            Error::ControlFault { program, detail } => write!(f, "{program}: {detail}"),
+            Error::Setup { detail } => write!(f, "setup error: {detail}"),
+            Error::Compiler(e) => write!(f, "compiler error: {e}"),
+            Error::Tensor(e) => write!(f, "reference executor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Compiler(e) => Some(e),
+            Error::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<scaledeep_compiler::Error> for Error {
+    fn from(e: scaledeep_compiler::Error) -> Self {
+        Error::Compiler(e)
+    }
+}
+
+impl From<scaledeep_tensor::Error> for Error {
+    fn from(e: scaledeep_tensor::Error) -> Self {
+        Error::Tensor(e)
+    }
+}

@@ -1,0 +1,408 @@
+//! Functional ISA simulator: executes compiled ScaleDeep programs
+//! bit-accurately, one thread per CompHeavy-tile program, synchronized
+//! purely by hardware data-flow trackers (paper §3.2.4).
+
+mod exec;
+mod machine;
+mod tracker;
+
+pub use machine::{Machine, RunStats};
+pub use tracker::{Tracker, TrackerTable};
+
+use crate::error::{Error, Result};
+use scaledeep_compiler::codegen::{
+    conv_grads_to_output_major, conv_weights_to_input_major, fc_weights_transpose, BufferLoc,
+    CompiledNetwork,
+};
+use scaledeep_dnn::{Layer, LayerId, Network};
+use scaledeep_tensor::Executor;
+
+/// Host harness around the [`Machine`]: loads a [`CompiledNetwork`],
+/// manages per-image buffer hygiene (zeroing error/gradient state the way
+/// the host runtime would), imports parameters from a reference
+/// [`Executor`], and applies the end-of-minibatch SGD update.
+///
+/// ```no_run
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use scaledeep_compiler::codegen::{compile_functional, FuncTargetOptions};
+/// use scaledeep_dnn::{Conv, Fc, FeatureShape, NetworkBuilder, Activation};
+/// use scaledeep_sim::func::FuncSim;
+/// use scaledeep_tensor::{Executor, Tensor};
+///
+/// let mut b = NetworkBuilder::new("toy", FeatureShape::new(1, 6, 6));
+/// let c = b.conv("c", Conv { out_features: 2, kernel: 3, stride: 1, pad: 1,
+///     groups: 1, bias: false, activation: Activation::Relu })?;
+/// let f = b.fc_from("f", c, Fc { out_neurons: 3, bias: false,
+///     activation: Activation::None })?;
+/// let net = b.finish_with_loss(f)?;
+///
+/// let compiled = compile_functional(&net, &FuncTargetOptions::default())?;
+/// let reference = Executor::new(&net, 7)?;
+/// let mut sim = FuncSim::new(&net, &compiled)?;
+/// sim.import_params(&reference)?;
+/// let x = Tensor::zeros(FeatureShape::new(1, 6, 6));
+/// let golden = Tensor::zeros(FeatureShape::vector(3));
+/// sim.run_iteration(x.as_slice(), golden.as_slice())?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FuncSim {
+    net: Network,
+    compiled: CompiledNetwork,
+    machine: Machine,
+    capacity: u32,
+}
+
+impl FuncSim {
+    /// Builds the simulator for a compiled network, sizing scratchpads to
+    /// fit the compiled layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Setup`] when the compiled layout is inconsistent
+    /// with the network.
+    pub fn new(net: &Network, compiled: &CompiledNetwork) -> Result<Self> {
+        if compiled.buffers.len() != net.len() {
+            return Err(Error::Setup {
+                detail: format!(
+                    "compiled network has {} layers, graph has {}",
+                    compiled.buffers.len(),
+                    net.len()
+                ),
+            });
+        }
+        // Capacity: the highest end offset across all buffers.
+        let mut capacity: u32 = 1;
+        let mut scan = |b: Option<BufferLoc>| {
+            if let Some(b) = b {
+                capacity = capacity.max(b.offset + b.len);
+            }
+        };
+        for lb in &compiled.buffers {
+            scan(lb.output);
+            scan(lb.pre);
+            scan(lb.err);
+            scan(lb.dz);
+            scan(lb.weights);
+            scan(lb.weights_t);
+            scan(lb.wgrad);
+            scan(lb.golden);
+        }
+        scan(Some(compiled.const_neg_one));
+        scan(compiled.zeros);
+        // The looped target's epoch token and scratch are single elements
+        // allocated right after the zeros region; covering two extra slots
+        // on every tile keeps them in range regardless of rotation.
+        capacity += 2;
+        let machine = Machine::new(compiled.mem_tiles, capacity);
+        let mut sim = Self {
+            net: net.clone(),
+            compiled: compiled.clone(),
+            machine,
+            capacity,
+        };
+        sim.write_buffer(compiled.const_neg_one, &[-1.0])?;
+        Ok(sim)
+    }
+
+    /// Scratchpad capacity per tile, in elements.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Writes raw data into a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Setup`] on length mismatch.
+    pub fn write_buffer(&mut self, loc: BufferLoc, data: &[f32]) -> Result<()> {
+        if data.len() != loc.len as usize {
+            return Err(Error::Setup {
+                detail: format!("buffer length {} != data length {}", loc.len, data.len()),
+            });
+        }
+        self.machine.mem_mut(loc.tile)[loc.offset as usize..(loc.offset + loc.len) as usize]
+            .copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads a buffer's contents.
+    pub fn read_buffer(&self, loc: BufferLoc) -> Vec<f32> {
+        self.machine.mem(loc.tile)[loc.offset as usize..(loc.offset + loc.len) as usize].to_vec()
+    }
+
+    /// Imports weights from the reference executor, converting to the
+    /// compiled layouts (input-major CONV kernels, FC row-major + its
+    /// transpose).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Setup`] when a parameterized layer lacks reference
+    /// parameters.
+    pub fn import_params(&mut self, reference: &Executor) -> Result<()> {
+        let ids: Vec<LayerId> = self.net.layers().map(|n| n.id()).collect();
+        for id in ids {
+            let node = self.net.node(id).clone();
+            let buffers = self.compiled.buffers[id.index()];
+            match node.layer() {
+                Layer::Conv(c) => {
+                    let (w, _) = reference.params(id).ok_or_else(|| Error::Setup {
+                        detail: format!("no reference params for {}", node.name()),
+                    })?;
+                    let in_shape = self.net.input_shapes(id)[0];
+                    let im = conv_weights_to_input_major(
+                        w,
+                        in_shape.features,
+                        c.out_features,
+                        c.groups,
+                        c.kernel,
+                    );
+                    let loc = buffers.weights.expect("conv weights allocated");
+                    self.write_buffer(loc, &im)?;
+                }
+                Layer::Fc(f) => {
+                    let (w, _) = reference.params(id).ok_or_else(|| Error::Setup {
+                        detail: format!("no reference params for {}", node.name()),
+                    })?;
+                    let n_in = self.net.fan_in_elems(id);
+                    self.write_buffer(buffers.weights.expect("fc weights"), w)?;
+                    let wt = fc_weights_transpose(w, n_in, f.out_neurons);
+                    self.write_buffer(buffers.weights_t.expect("fc weights_t"), &wt)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Zeroes the per-image state: error and dz buffers (errors accumulate
+    /// from multiple consumers) and shortcut outputs (whose padding
+    /// features must read as zero).
+    fn clear_image_state(&mut self) {
+        let net = self.net.clone();
+        for node in net.layers() {
+            let b = self.compiled.buffers[node.id().index()];
+            for loc in [b.err, b.dz].into_iter().flatten() {
+                self.machine.mem_mut(loc.tile)
+                    [loc.offset as usize..(loc.offset + loc.len) as usize]
+                    .fill(0.0);
+            }
+            if matches!(node.layer(), Layer::Shortcut { .. }) {
+                if let Some(loc) = b.output {
+                    self.machine.mem_mut(loc.tile)
+                        [loc.offset as usize..(loc.offset + loc.len) as usize]
+                        .fill(0.0);
+                }
+            }
+        }
+    }
+
+    /// Zeroes all weight-gradient accumulators (start of a minibatch).
+    pub fn clear_gradients(&mut self) {
+        for b in self.compiled.buffers.clone() {
+            if let Some(loc) = b.wgrad {
+                self.machine.mem_mut(loc.tile)
+                    [loc.offset as usize..(loc.offset + loc.len) as usize]
+                    .fill(0.0);
+            }
+        }
+    }
+
+    /// Runs one full training iteration (FP + BP + WG) for one image:
+    /// loads the image and golden output, arms the data-flow trackers,
+    /// launches every compiled program concurrently and runs to
+    /// completion. Weight gradients accumulate across calls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine faults ([`Error::Deadlock`],
+    /// [`Error::OutOfBounds`], ...).
+    pub fn run_iteration(&mut self, image: &[f32], golden: &[f32]) -> Result<RunStats> {
+        if self.compiled.minibatch != 1 {
+            return Err(Error::Setup {
+                detail: "network compiled for a looped minibatch; use run_minibatch".into(),
+            });
+        }
+        self.clear_image_state();
+        let input_loc = self.compiled.buffers[self.net.input().id().index()]
+            .output
+            .ok_or_else(|| Error::Setup {
+                detail: "input layer has no output buffer".into(),
+            })?;
+        self.write_buffer(input_loc, image)?;
+        let loss_node = self
+            .net
+            .layers()
+            .find(|n| matches!(n.layer(), Layer::Loss))
+            .ok_or_else(|| Error::Setup {
+                detail: "network has no loss head; use run_evaluation".into(),
+            })?;
+        let golden_loc = self.compiled.buffers[loss_node.id().index()]
+            .golden
+            .expect("loss has golden buffer");
+        self.write_buffer(golden_loc, golden)?;
+
+        self.machine
+            .run(&self.compiled.programs, &self.compiled.trackers)
+    }
+
+    /// Runs one full minibatch through programs compiled with
+    /// [`scaledeep_compiler::codegen::compile_functional_minibatch`]: the
+    /// scalar loops inside each program iterate over the images, walking
+    /// the input/golden arrays with register-indirect addressing, while
+    /// the data-flow trackers' generation-wrap hands each reused buffer
+    /// from producer to consumer image after image. Weight gradients
+    /// accumulate across the whole batch.
+    ///
+    /// `images` and `goldens` hold the whole batch, concatenated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Setup`] on length mismatches or when the network
+    /// was compiled for single-image (unrolled) execution; propagates
+    /// machine faults.
+    pub fn run_minibatch(&mut self, images: &[f32], goldens: &[f32]) -> Result<RunStats> {
+        let batch = self.compiled.minibatch;
+        if batch < 2 {
+            return Err(Error::Setup {
+                detail: "network compiled for single images; use run_iteration".into(),
+            });
+        }
+        let input_loc = self.compiled.buffers[self.net.input().id().index()]
+            .output
+            .ok_or_else(|| Error::Setup {
+                detail: "input layer has no output buffer".into(),
+            })?;
+        if images.len() != input_loc.len as usize {
+            return Err(Error::Setup {
+                detail: format!(
+                    "expected {} input elements ({} images), got {}",
+                    input_loc.len,
+                    batch,
+                    images.len()
+                ),
+            });
+        }
+        self.write_buffer(input_loc, images)?;
+        let loss_node = self
+            .net
+            .layers()
+            .find(|n| matches!(n.layer(), Layer::Loss))
+            .ok_or_else(|| Error::Setup {
+                detail: "network has no loss head".into(),
+            })?;
+        let golden_loc = self.compiled.buffers[loss_node.id().index()]
+            .golden
+            .expect("loss has golden buffer");
+        if goldens.len() != golden_loc.len as usize {
+            return Err(Error::Setup {
+                detail: format!(
+                    "expected {} golden elements ({} images), got {}",
+                    golden_loc.len,
+                    batch,
+                    goldens.len()
+                ),
+            });
+        }
+        self.write_buffer(golden_loc, goldens)?;
+        self.machine
+            .run(&self.compiled.programs, &self.compiled.trackers)
+    }
+
+    /// Runs forward propagation only (network evaluation): executes the FP
+    /// programs, skipping BP/WG and the loss head.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine faults.
+    pub fn run_evaluation(&mut self, image: &[f32]) -> Result<RunStats> {
+        self.clear_image_state();
+        let input_loc = self.compiled.buffers[self.net.input().id().index()]
+            .output
+            .ok_or_else(|| Error::Setup {
+                detail: "input layer has no output buffer".into(),
+            })?;
+        self.write_buffer(input_loc, image)?;
+        let fp_programs: Vec<_> = self
+            .compiled
+            .programs
+            .iter()
+            .filter(|p| p.name().ends_with(".FP"))
+            .cloned()
+            .collect();
+        // The full-training tracker specs also serve FP-only runs: reads
+        // become ready once all updates land, and within a single image no
+        // buffer needs the (never-arriving) BP/WG reads before being
+        // rewritten.
+        self.machine.run(&fp_programs, &self.compiled.trackers)
+    }
+
+    /// The post-activation output of a layer after a run.
+    pub fn layer_output(&self, id: LayerId) -> Option<Vec<f32>> {
+        self.compiled.buffers[id.index()]
+            .output
+            .map(|loc| self.read_buffer(loc))
+    }
+
+    /// The accumulated error at a layer's output after a run.
+    pub fn layer_error(&self, id: LayerId) -> Option<Vec<f32>> {
+        self.compiled.buffers[id.index()]
+            .err
+            .map(|loc| self.read_buffer(loc))
+    }
+
+    /// The accumulated weight gradients of a layer, converted back to the
+    /// reference executor's layout.
+    pub fn layer_wgrad(&self, id: LayerId) -> Option<Vec<f32>> {
+        let node = self.net.node(id);
+        let loc = self.compiled.buffers[id.index()].wgrad?;
+        let raw = self.read_buffer(loc);
+        match node.layer() {
+            Layer::Conv(c) => {
+                let in_shape = self.net.input_shapes(id)[0];
+                Some(conv_grads_to_output_major(
+                    &raw,
+                    in_shape.features,
+                    c.out_features,
+                    c.groups,
+                    c.kernel,
+                ))
+            }
+            _ => Some(raw),
+        }
+    }
+
+    /// Applies the end-of-minibatch SGD update host-side (the paper
+    /// distributes updated weights over the wheel arcs / ring after
+    /// aggregating gradients): `w -= lr/batch * grad`, refreshing the FC
+    /// transposed copies, then clears the gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Setup`] if buffers are missing.
+    pub fn apply_sgd(&mut self, lr: f32, batch: usize) -> Result<()> {
+        let ids: Vec<LayerId> = self.net.layers().map(|n| n.id()).collect();
+        for id in ids {
+            let node = self.net.node(id).clone();
+            let b = self.compiled.buffers[id.index()];
+            let (Some(w_loc), Some(g_loc)) = (b.weights, b.wgrad) else {
+                continue;
+            };
+            let mut w = self.read_buffer(w_loc);
+            let g = self.read_buffer(g_loc);
+            let scale = lr / batch as f32;
+            for (wv, gv) in w.iter_mut().zip(&g) {
+                *wv -= scale * gv;
+            }
+            self.write_buffer(w_loc, &w)?;
+            if let Layer::Fc(f) = node.layer() {
+                let n_in = self.net.fan_in_elems(id);
+                let wt = fc_weights_transpose(&w, n_in, f.out_neurons);
+                self.write_buffer(b.weights_t.expect("fc weights_t"), &wt)?;
+            }
+        }
+        self.clear_gradients();
+        Ok(())
+    }
+}

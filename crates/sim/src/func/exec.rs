@@ -1,0 +1,876 @@
+//! Data-instruction semantics: operand range resolution and bit-accurate
+//! execution against the tile scratchpads.
+
+use crate::error::{Error, Result};
+use scaledeep_isa::{ActKind, Addr, Inst, MemRef, PoolMode, Reg};
+
+/// A resolved operand range: (tile, element offset, element length).
+/// External memory uses `u16::MAX` as the tile index.
+pub(super) type Range = (u16, u32, u32);
+
+/// The tracked accesses one data instruction performs.
+#[derive(Debug, Default, Clone)]
+pub(super) struct Access {
+    pub reads: Vec<Range>,
+    pub writes: Vec<Range>,
+}
+
+fn resolve(m: MemRef, regs: &[i64], program: &str) -> Result<(u16, u32)> {
+    let addr = match m.addr {
+        Addr::Imm(a) => a,
+        Addr::Reg(r) => {
+            let v = regs[r.index()];
+            u32::try_from(v).map_err(|_| Error::ControlFault {
+                program: program.to_string(),
+                detail: format!("register {r} holds invalid address {v}"),
+            })?
+        }
+    };
+    Ok((m.tile.0, addr))
+}
+
+/// Output spatial extent of a sampling window (matches
+/// `scaledeep_dnn::Pool::output_shape`).
+fn samp_out(in_d: usize, window: usize, stride: usize, pad: usize, ceil: bool) -> usize {
+    let span = in_d + 2 * pad - window;
+    if ceil {
+        span.div_ceil(stride) + 1
+    } else {
+        span / stride + 1
+    }
+}
+
+/// Resolves the tracked ranges of a data instruction; `None` for scalar,
+/// control and tracker instructions.
+pub(super) fn accesses(inst: &Inst, regs: &[i64], program: &str) -> Result<Option<Access>> {
+    let r = |m: MemRef, len: u32, regs: &[i64]| -> Result<Range> {
+        let (tile, addr) = resolve(m, regs, program)?;
+        Ok((tile, addr, len))
+    };
+    let acc = match *inst {
+        Inst::NdConv {
+            input,
+            in_h,
+            in_w,
+            kernel,
+            k,
+            lanes,
+            output,
+            out_h,
+            out_w,
+            ..
+        } => {
+            let in_len = u32::from(in_h) * u32::from(in_w);
+            let ker_len = u32::from(lanes) * u32::from(k) * u32::from(k);
+            let out_len = u32::from(lanes) * u32::from(out_h) * u32::from(out_w);
+            Access {
+                reads: vec![r(input, in_len, regs)?, r(kernel, ker_len, regs)?],
+                writes: vec![r(output, out_len, regs)?],
+            }
+        }
+        Inst::MatMul {
+            input,
+            n_in,
+            matrix,
+            rows,
+            output,
+            ..
+        } => Access {
+            reads: vec![r(input, n_in, regs)?, r(matrix, rows * n_in, regs)?],
+            writes: vec![r(output, rows, regs)?],
+        },
+        Inst::NdActFn { src, len, dst, .. } => Access {
+            reads: vec![r(src, len, regs)?],
+            writes: vec![r(dst, len, regs)?],
+        },
+        Inst::NdActBwd {
+            pre, err, len, dst, ..
+        } => Access {
+            reads: vec![r(pre, len, regs)?, r(err, len, regs)?],
+            writes: vec![r(dst, len, regs)?],
+        },
+        Inst::NdSubsamp {
+            src,
+            in_h,
+            in_w,
+            window,
+            stride,
+            pad,
+            ceil,
+            dst,
+            ..
+        } => {
+            let oh = samp_out(in_h as usize, window as usize, stride as usize, pad as usize, ceil);
+            let ow = samp_out(in_w as usize, window as usize, stride as usize, pad as usize, ceil);
+            Access {
+                reads: vec![r(src, u32::from(in_h) * u32::from(in_w), regs)?],
+                writes: vec![r(dst, (oh * ow) as u32, regs)?],
+            }
+        }
+        Inst::NdUpsamp {
+            err,
+            fwd,
+            in_h,
+            in_w,
+            window,
+            stride,
+            pad,
+            ceil,
+            dst,
+            ..
+        } => {
+            let oh = samp_out(in_h as usize, window as usize, stride as usize, pad as usize, ceil);
+            let ow = samp_out(in_w as usize, window as usize, stride as usize, pad as usize, ceil);
+            let in_len = u32::from(in_h) * u32::from(in_w);
+            Access {
+                reads: vec![r(err, (oh * ow) as u32, regs)?, r(fwd, in_len, regs)?],
+                writes: vec![r(dst, in_len, regs)?],
+            }
+        }
+        Inst::NdAcc { dst, src, len } => Access {
+            reads: vec![r(src, len, regs)?],
+            writes: vec![r(dst, len, regs)?],
+        },
+        Inst::VecScaleAcc {
+            src,
+            len,
+            scalar,
+            dst,
+            elementwise,
+        } => Access {
+            reads: vec![
+                r(src, len, regs)?,
+                r(scalar, if elementwise { len } else { 1 }, regs)?,
+            ],
+            writes: vec![r(dst, len, regs)?],
+        },
+        Inst::DmaLoad { src, dst, len, .. }
+        | Inst::DmaStore { src, dst, len, .. }
+        | Inst::Prefetch { src, dst, len }
+        | Inst::PassBuff { src, dst, len } => Access {
+            reads: vec![r(src, len, regs)?],
+            writes: vec![r(dst, len, regs)?],
+        },
+        _ => return Ok(None),
+    };
+    Ok(Some(acc))
+}
+
+/// Memory view used during execution: on-chip tiles plus external memory.
+pub(super) struct MemView<'a> {
+    pub tiles: &'a mut [Vec<f32>],
+    pub ext: &'a mut Vec<f32>,
+}
+
+impl MemView<'_> {
+    fn slice(&mut self, tile: u16, addr: u32, len: u32, program: &str) -> Result<&mut [f32]> {
+        let (mem, cap): (&mut Vec<f32>, usize) = if tile == u16::MAX {
+            let cap = self.ext.len();
+            (self.ext, cap)
+        } else {
+            let m = self
+                .tiles
+                .get_mut(tile as usize)
+                .ok_or_else(|| Error::ControlFault {
+                    program: program.to_string(),
+                    detail: format!("tile M{tile} does not exist"),
+                })?;
+            let cap = m.len();
+            (m, cap)
+        };
+        let end = addr as u64 + len as u64;
+        if end > cap as u64 {
+            return Err(Error::OutOfBounds {
+                program: program.to_string(),
+                tile,
+                addr: end,
+                capacity: cap as u32,
+            });
+        }
+        Ok(&mut mem[addr as usize..(addr + len) as usize])
+    }
+
+    fn copy(&mut self, tile: u16, addr: u32, len: u32, program: &str) -> Result<Vec<f32>> {
+        Ok(self.slice(tile, addr, len, program)?.to_vec())
+    }
+}
+
+/// Executes one data instruction. Operands were already resolved and
+/// bounds are checked on access.
+pub(super) fn execute(inst: &Inst, regs: &[i64], mem: &mut MemView<'_>, program: &str) -> Result<()> {
+    match *inst {
+        Inst::NdConv {
+            input,
+            in_h,
+            in_w,
+            kernel,
+            k,
+            stride,
+            pad,
+            lanes,
+            output,
+            out_h,
+            out_w,
+            accumulate,
+            flip,
+        } => {
+            let (it, ia) = resolve(input, regs, program)?;
+            let (kt, ka) = resolve(kernel, regs, program)?;
+            let (ot, oa) = resolve(output, regs, program)?;
+            let (ih, iw) = (in_h as usize, in_w as usize);
+            let (oh, ow) = (out_h as usize, out_w as usize);
+            let (k, stride, pad) = (k as usize, stride as usize, pad as usize);
+            let x = mem.copy(it, ia, (ih * iw) as u32, program)?;
+            let kers = mem.copy(kt, ka, (lanes as usize * k * k) as u32, program)?;
+            let out = mem.slice(ot, oa, (lanes as usize * oh * ow) as u32, program)?;
+            for lane in 0..lanes as usize {
+                let ker = &kers[lane * k * k..(lane + 1) * k * k];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut sum = 0.0f32;
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= ih as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= iw as isize {
+                                    continue;
+                                }
+                                let kv = if flip {
+                                    ker[(k - 1 - ky) * k + (k - 1 - kx)]
+                                } else {
+                                    ker[ky * k + kx]
+                                };
+                                sum += x[iy as usize * iw + ix as usize] * kv;
+                            }
+                        }
+                        let o = &mut out[lane * oh * ow + oy * ow + ox];
+                        if accumulate {
+                            *o += sum;
+                        } else {
+                            *o = sum;
+                        }
+                    }
+                }
+            }
+        }
+        Inst::MatMul {
+            input,
+            n_in,
+            matrix,
+            rows,
+            output,
+            accumulate,
+        } => {
+            let (it, ia) = resolve(input, regs, program)?;
+            let (mt, ma) = resolve(matrix, regs, program)?;
+            let (ot, oa) = resolve(output, regs, program)?;
+            let x = mem.copy(it, ia, n_in, program)?;
+            let w = mem.copy(mt, ma, rows * n_in, program)?;
+            let out = mem.slice(ot, oa, rows, program)?;
+            for (o, row) in out.iter_mut().zip(w.chunks_exact(n_in as usize)) {
+                let dot: f32 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+                if accumulate {
+                    *o += dot;
+                } else {
+                    *o = dot;
+                }
+            }
+        }
+        Inst::NdActFn { kind, src, len, dst } => {
+            let (st, sa) = resolve(src, regs, program)?;
+            let (dt, da) = resolve(dst, regs, program)?;
+            let x = mem.copy(st, sa, len, program)?;
+            let out = mem.slice(dt, da, len, program)?;
+            for (o, v) in out.iter_mut().zip(&x) {
+                *o = apply_act(kind, *v);
+            }
+        }
+        Inst::NdActBwd {
+            kind,
+            pre,
+            err,
+            len,
+            dst,
+        } => {
+            let (pt, pa) = resolve(pre, regs, program)?;
+            let (et, ea) = resolve(err, regs, program)?;
+            let (dt, da) = resolve(dst, regs, program)?;
+            let z = mem.copy(pt, pa, len, program)?;
+            let e = mem.copy(et, ea, len, program)?;
+            let out = mem.slice(dt, da, len, program)?;
+            for ((o, z), e) in out.iter_mut().zip(&z).zip(&e) {
+                *o = e * act_derivative(kind, *z);
+            }
+        }
+        Inst::NdSubsamp {
+            mode,
+            src,
+            in_h,
+            in_w,
+            window,
+            stride,
+            pad,
+            ceil,
+            dst,
+        } => {
+            let (st, sa) = resolve(src, regs, program)?;
+            let (dt, da) = resolve(dst, regs, program)?;
+            let (ih, iw) = (in_h as usize, in_w as usize);
+            let (win, stride, pad) = (window as usize, stride as usize, pad as usize);
+            let oh = samp_out(ih, win, stride, pad, ceil);
+            let ow = samp_out(iw, win, stride, pad, ceil);
+            let x = mem.copy(st, sa, (ih * iw) as u32, program)?;
+            let out = mem.slice(dt, da, (oh * ow) as u32, program)?;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut sum = 0.0f32;
+                    let mut n = 0u32;
+                    for wy in 0..win {
+                        let iy = (oy * stride + wy) as isize - pad as isize;
+                        if iy < 0 || iy >= ih as isize {
+                            continue;
+                        }
+                        for wx in 0..win {
+                            let ix = (ox * stride + wx) as isize - pad as isize;
+                            if ix < 0 || ix >= iw as isize {
+                                continue;
+                            }
+                            let v = x[iy as usize * iw + ix as usize];
+                            best = best.max(v);
+                            sum += v;
+                            n += 1;
+                        }
+                    }
+                    out[oy * ow + ox] = match (mode, n) {
+                        (_, 0) => 0.0,
+                        (PoolMode::Max, _) => best,
+                        (PoolMode::Avg, _) => sum / n as f32,
+                    };
+                }
+            }
+        }
+        Inst::NdUpsamp {
+            mode,
+            err,
+            fwd,
+            in_h,
+            in_w,
+            window,
+            stride,
+            pad,
+            ceil,
+            dst,
+        } => {
+            let (et, ea) = resolve(err, regs, program)?;
+            let (ft, fa) = resolve(fwd, regs, program)?;
+            let (dt, da) = resolve(dst, regs, program)?;
+            let (ih, iw) = (in_h as usize, in_w as usize);
+            let (win, stride, pad) = (window as usize, stride as usize, pad as usize);
+            let oh = samp_out(ih, win, stride, pad, ceil);
+            let ow = samp_out(iw, win, stride, pad, ceil);
+            let e = mem.copy(et, ea, (oh * ow) as u32, program)?;
+            let x = mem.copy(ft, fa, (ih * iw) as u32, program)?;
+            let out = mem.slice(dt, da, (ih * iw) as u32, program)?;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    // Find the window population (and argmax for max mode).
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = None;
+                    let mut idxs: Vec<usize> = Vec::new();
+                    for wy in 0..win {
+                        let iy = (oy * stride + wy) as isize - pad as isize;
+                        if iy < 0 || iy >= ih as isize {
+                            continue;
+                        }
+                        for wx in 0..win {
+                            let ix = (ox * stride + wx) as isize - pad as isize;
+                            if ix < 0 || ix >= iw as isize {
+                                continue;
+                            }
+                            let idx = iy as usize * iw + ix as usize;
+                            idxs.push(idx);
+                            if x[idx] > best {
+                                best = x[idx];
+                                best_idx = Some(idx);
+                            }
+                        }
+                    }
+                    let ev = e[oy * ow + ox];
+                    match mode {
+                        PoolMode::Max => {
+                            if let Some(idx) = best_idx {
+                                out[idx] += ev;
+                            }
+                        }
+                        PoolMode::Avg => {
+                            let share = ev / idxs.len().max(1) as f32;
+                            for idx in idxs {
+                                out[idx] += share;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Inst::NdAcc { dst, src, len } => {
+            let (st, sa) = resolve(src, regs, program)?;
+            let (dt, da) = resolve(dst, regs, program)?;
+            let x = mem.copy(st, sa, len, program)?;
+            let out = mem.slice(dt, da, len, program)?;
+            for (o, v) in out.iter_mut().zip(&x) {
+                *o += v;
+            }
+        }
+        Inst::VecScaleAcc {
+            src,
+            len,
+            scalar,
+            dst,
+            elementwise,
+        } => {
+            let (st, sa) = resolve(src, regs, program)?;
+            let (ct, ca) = resolve(scalar, regs, program)?;
+            let (dt, da) = resolve(dst, regs, program)?;
+            let x = mem.copy(st, sa, len, program)?;
+            let scales = mem.copy(ct, ca, if elementwise { len } else { 1 }, program)?;
+            let out = mem.slice(dt, da, len, program)?;
+            for (i, (o, v)) in out.iter_mut().zip(&x).enumerate() {
+                let s = if elementwise { scales[i] } else { scales[0] };
+                *o += s * v;
+            }
+        }
+        Inst::DmaLoad {
+            src,
+            dst,
+            len,
+            accumulate,
+        }
+        | Inst::DmaStore {
+            src,
+            dst,
+            len,
+            accumulate,
+        } => {
+            let (st, sa) = resolve(src, regs, program)?;
+            let (dt, da) = resolve(dst, regs, program)?;
+            let x = mem.copy(st, sa, len, program)?;
+            let out = mem.slice(dt, da, len, program)?;
+            if accumulate {
+                for (o, v) in out.iter_mut().zip(&x) {
+                    *o += v;
+                }
+            } else {
+                out.copy_from_slice(&x);
+            }
+        }
+        Inst::Prefetch { src, dst, len } | Inst::PassBuff { src, dst, len } => {
+            let (st, sa) = resolve(src, regs, program)?;
+            let (dt, da) = resolve(dst, regs, program)?;
+            let x = mem.copy(st, sa, len, program)?;
+            mem.slice(dt, da, len, program)?.copy_from_slice(&x);
+        }
+        _ => {
+            return Err(Error::ControlFault {
+                program: program.to_string(),
+                detail: format!("not a data instruction: {inst}"),
+            })
+        }
+    }
+    Ok(())
+}
+
+fn apply_act(kind: ActKind, v: f32) -> f32 {
+    match kind {
+        ActKind::Relu => v.max(0.0),
+        ActKind::Tanh => v.tanh(),
+        ActKind::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+    }
+}
+
+fn act_derivative(kind: ActKind, z: f32) -> f32 {
+    match kind {
+        ActKind::Relu => {
+            if z > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        ActKind::Tanh => {
+            let t = z.tanh();
+            1.0 - t * t
+        }
+        ActKind::Sigmoid => {
+            let s = 1.0 / (1.0 + (-z).exp());
+            s * (1.0 - s)
+        }
+    }
+}
+
+/// Executes a scalar-control instruction, returning the next pc.
+pub(super) fn execute_scalar(
+    inst: &Inst,
+    pc: usize,
+    regs: &mut [i64],
+    program: &str,
+) -> Result<ScalarOutcome> {
+    let rd = |r: Reg| r.index();
+    let next = match *inst {
+        Inst::Ldri { rd: d, value } => {
+            regs[rd(d)] = value;
+            pc + 1
+        }
+        Inst::Mov { rd: d, rs } => {
+            regs[rd(d)] = regs[rd(rs)];
+            pc + 1
+        }
+        Inst::Addr { rd: d, rs1, rs2 } => {
+            regs[rd(d)] = regs[rd(rs1)].wrapping_add(regs[rd(rs2)]);
+            pc + 1
+        }
+        Inst::Addri { rd: d, rs, imm } => {
+            regs[rd(d)] = regs[rd(rs)].wrapping_add(imm);
+            pc + 1
+        }
+        Inst::Subr { rd: d, rs1, rs2 } => {
+            regs[rd(d)] = regs[rd(rs1)].wrapping_sub(regs[rd(rs2)]);
+            pc + 1
+        }
+        Inst::Subri { rd: d, rs, imm } => {
+            regs[rd(d)] = regs[rd(rs)].wrapping_sub(imm);
+            pc + 1
+        }
+        Inst::Mulr { rd: d, rs1, rs2 } => {
+            regs[rd(d)] = regs[rd(rs1)].wrapping_mul(regs[rd(rs2)]);
+            pc + 1
+        }
+        Inst::Inv { rd: d, rs } => {
+            regs[rd(d)] = !regs[rd(rs)];
+            pc + 1
+        }
+        Inst::Bnez { rs, offset } => branch(pc, regs[rd(rs)] != 0, offset),
+        Inst::Beqz { rs, offset } => branch(pc, regs[rd(rs)] == 0, offset),
+        Inst::Bgtz { rs, offset } => branch(pc, regs[rd(rs)] > 0, offset),
+        Inst::Branch { offset } => branch(pc, true, offset),
+        Inst::Halt => return Ok(ScalarOutcome::Halt),
+        Inst::Nop => pc + 1,
+        _ => {
+            return Err(Error::ControlFault {
+                program: program.to_string(),
+                detail: format!("not a scalar instruction: {inst}"),
+            })
+        }
+    };
+    Ok(ScalarOutcome::Next(next))
+}
+
+/// Result of a scalar step.
+pub(super) enum ScalarOutcome {
+    /// Continue at the given pc.
+    Next(usize),
+    /// The thread halted.
+    Halt,
+}
+
+fn branch(pc: usize, taken: bool, offset: i32) -> usize {
+    if taken {
+        (pc as i64 + 1 + offset as i64).max(0) as usize
+    } else {
+        pc + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scaledeep_isa::{MemRef, TileRef};
+
+    fn mem1(data: Vec<f32>) -> Vec<Vec<f32>> {
+        vec![data]
+    }
+
+    #[test]
+    fn ndconv_matches_hand_computation() {
+        // 3x3 input, 2x2 kernel, stride 1, no pad -> 2x2 out.
+        let mut tiles = mem1(vec![
+            1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, // input
+            1.0, 0.0, 0.0, 1.0, // kernel
+            0.0, 0.0, 0.0, 0.0, // out
+        ]);
+        let mut ext = Vec::new();
+        let inst = Inst::NdConv {
+            input: MemRef::at(TileRef(0), 0),
+            in_h: 3,
+            in_w: 3,
+            kernel: MemRef::at(TileRef(0), 9),
+            k: 2,
+            stride: 1,
+            pad: 0,
+            lanes: 1,
+            output: MemRef::at(TileRef(0), 13),
+            out_h: 2,
+            out_w: 2,
+            accumulate: false,
+            flip: false,
+        };
+        let mut view = MemView {
+            tiles: &mut tiles,
+            ext: &mut ext,
+        };
+        execute(&inst, &[0; 64], &mut view, "t").unwrap();
+        assert_eq!(&tiles[0][13..17], &[6.0, 8.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn ndconv_flip_reverses_kernel() {
+        let mut tiles = mem1(vec![
+            1.0, 0.0, 0.0, 0.0, // 2x2 input (impulse)
+            1.0, 2.0, 3.0, 4.0, // kernel
+            0.0, // 1x1 out (k=2, no pad)
+        ]);
+        let mut ext = Vec::new();
+        let mk = |flip| Inst::NdConv {
+            input: MemRef::at(TileRef(0), 0),
+            in_h: 2,
+            in_w: 2,
+            kernel: MemRef::at(TileRef(0), 4),
+            k: 2,
+            stride: 1,
+            pad: 0,
+            lanes: 1,
+            output: MemRef::at(TileRef(0), 8),
+            out_h: 1,
+            out_w: 1,
+            accumulate: false,
+            flip,
+        };
+        let mut view = MemView {
+            tiles: &mut tiles,
+            ext: &mut ext,
+        };
+        execute(&mk(false), &[0; 64], &mut view, "t").unwrap();
+        let unflipped = tiles[0][8];
+        let mut view = MemView {
+            tiles: &mut tiles,
+            ext: &mut ext,
+        };
+        execute(&mk(true), &[0; 64], &mut view, "t").unwrap();
+        let flipped = tiles[0][8];
+        assert_eq!(unflipped, 1.0); // impulse picks ker[0][0]
+        assert_eq!(flipped, 4.0); // flipped picks ker[1][1]
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut tiles = mem1(vec![0.0; 4]);
+        let mut ext = Vec::new();
+        let inst = Inst::NdAcc {
+            dst: MemRef::at(TileRef(0), 2),
+            src: MemRef::at(TileRef(0), 0),
+            len: 4,
+        };
+        let mut view = MemView {
+            tiles: &mut tiles,
+            ext: &mut ext,
+        };
+        let err = execute(&inst, &[0; 64], &mut view, "t").unwrap_err();
+        assert!(matches!(err, Error::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn scalar_loop_terminates() {
+        // r0 = 2; loop: r0 -= 1; bnez r0, loop; halt.
+        let prog = [
+            Inst::Ldri {
+                rd: Reg::R0,
+                value: 2,
+            },
+            Inst::Subri {
+                rd: Reg::R0,
+                rs: Reg::R0,
+                imm: 1,
+            },
+            Inst::Bnez {
+                rs: Reg::R0,
+                offset: -2,
+            },
+            Inst::Halt,
+        ];
+        let mut regs = [0i64; 64];
+        let mut pc = 0;
+        let mut steps = 0;
+        while let ScalarOutcome::Next(next) = execute_scalar(&prog[pc], pc, &mut regs, "t").unwrap()
+        {
+            pc = next;
+            steps += 1;
+            assert!(steps < 20, "loop must terminate");
+        }
+        assert_eq!(regs[0], 0);
+    }
+
+    #[test]
+    fn vec_scale_acc_is_axpy() {
+        let mut tiles = mem1(vec![1.0, 2.0, /*scalar*/ -2.0, /*dst*/ 10.0, 10.0]);
+        let mut ext = Vec::new();
+        let inst = Inst::VecScaleAcc {
+            src: MemRef::at(TileRef(0), 0),
+            len: 2,
+            scalar: MemRef::at(TileRef(0), 2),
+            dst: MemRef::at(TileRef(0), 3),
+            elementwise: false,
+        };
+        let mut view = MemView {
+            tiles: &mut tiles,
+            ext: &mut ext,
+        };
+        execute(&inst, &[0; 64], &mut view, "t").unwrap();
+        assert_eq!(&tiles[0][3..5], &[8.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_accumulates_when_asked() {
+        let mut tiles = mem1(vec![
+            1.0, 2.0, // x
+            3.0, 4.0, 5.0, 6.0, // W rows [3,4], [5,6]
+            10.0, 20.0, // y (pre-filled)
+        ]);
+        let mut ext = Vec::new();
+        let mk = |accumulate| Inst::MatMul {
+            input: MemRef::at(TileRef(0), 0),
+            n_in: 2,
+            matrix: MemRef::at(TileRef(0), 2),
+            rows: 2,
+            output: MemRef::at(TileRef(0), 6),
+            accumulate,
+        };
+        let mut view = MemView {
+            tiles: &mut tiles,
+            ext: &mut ext,
+        };
+        execute(&mk(true), &[0; 64], &mut view, "t").unwrap();
+        assert_eq!(&tiles[0][6..8], &[10.0 + 11.0, 20.0 + 17.0]);
+        let mut view = MemView {
+            tiles: &mut tiles,
+            ext: &mut ext,
+        };
+        execute(&mk(false), &[0; 64], &mut view, "t").unwrap();
+        assert_eq!(&tiles[0][6..8], &[11.0, 17.0]);
+    }
+
+    #[test]
+    fn avg_subsample_with_padding_counts_valid_elements() {
+        // 2x2 input, 3x3 window with pad 1: the single output averages
+        // only the 4 valid elements.
+        let mut tiles = mem1(vec![1.0, 2.0, 3.0, 4.0, 0.0]);
+        let mut ext = Vec::new();
+        let inst = Inst::NdSubsamp {
+            mode: PoolMode::Avg,
+            src: MemRef::at(TileRef(0), 0),
+            in_h: 2,
+            in_w: 2,
+            window: 3,
+            stride: 3,
+            pad: 1,
+            ceil: false,
+            dst: MemRef::at(TileRef(0), 4),
+        };
+        let mut view = MemView {
+            tiles: &mut tiles,
+            ext: &mut ext,
+        };
+        execute(&inst, &[0; 64], &mut view, "t").unwrap();
+        assert_eq!(tiles[0][4], 2.5);
+    }
+
+    #[test]
+    fn max_upsample_routes_error_to_argmax() {
+        // 2x2 input pooled 2x2 -> one output; the error returns to the max.
+        let mut tiles = mem1(vec![
+            /*fwd*/ 1.0, 9.0, 3.0, 4.0, /*err*/ 7.0, /*dst*/ 0.0, 0.0, 0.0, 0.0,
+        ]);
+        let mut ext = Vec::new();
+        let inst = Inst::NdUpsamp {
+            mode: PoolMode::Max,
+            err: MemRef::at(TileRef(0), 4),
+            fwd: MemRef::at(TileRef(0), 0),
+            in_h: 2,
+            in_w: 2,
+            window: 2,
+            stride: 2,
+            pad: 0,
+            ceil: true,
+            dst: MemRef::at(TileRef(0), 5),
+        };
+        let mut view = MemView {
+            tiles: &mut tiles,
+            ext: &mut ext,
+        };
+        execute(&inst, &[0; 64], &mut view, "t").unwrap();
+        assert_eq!(&tiles[0][5..9], &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn prefetch_copies_from_external_memory() {
+        let mut tiles = mem1(vec![0.0; 4]);
+        let mut ext = vec![5.0, 6.0, 7.0, 8.0];
+        let inst = Inst::Prefetch {
+            src: MemRef::at(scaledeep_isa::EXT_MEM_TILE, 1),
+            dst: MemRef::at(TileRef(0), 0),
+            len: 3,
+        };
+        let mut view = MemView {
+            tiles: &mut tiles,
+            ext: &mut ext,
+        };
+        execute(&inst, &[0; 64], &mut view, "t").unwrap();
+        assert_eq!(&tiles[0][0..3], &[6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn activation_backward_applies_derivatives() {
+        let mut tiles = mem1(vec![
+            /*pre*/ -1.0, 0.5, /*err*/ 2.0, 2.0, /*dst*/ 0.0, 0.0,
+        ]);
+        let mut ext = Vec::new();
+        let inst = Inst::NdActBwd {
+            kind: ActKind::Relu,
+            pre: MemRef::at(TileRef(0), 0),
+            err: MemRef::at(TileRef(0), 2),
+            len: 2,
+            dst: MemRef::at(TileRef(0), 4),
+        };
+        let mut view = MemView {
+            tiles: &mut tiles,
+            ext: &mut ext,
+        };
+        execute(&inst, &[0; 64], &mut view, "t").unwrap();
+        assert_eq!(&tiles[0][4..6], &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn register_indirect_addressing_resolves() {
+        let mut tiles = mem1(vec![5.0, 0.0]);
+        let mut ext = Vec::new();
+        let mut regs = [0i64; 64];
+        regs[3] = 1; // destination address in r3
+        let inst = Inst::DmaLoad {
+            src: MemRef::at(TileRef(0), 0),
+            dst: MemRef {
+                tile: TileRef(0),
+                addr: Addr::Reg(Reg::R3),
+            },
+            len: 1,
+            accumulate: false,
+        };
+        let mut view = MemView {
+            tiles: &mut tiles,
+            ext: &mut ext,
+        };
+        execute(&inst, &regs, &mut view, "t").unwrap();
+        assert_eq!(tiles[0][1], 5.0);
+    }
+}

@@ -1,0 +1,446 @@
+//! The tile machine: one thread per compiled program, round-robin
+//! scheduled, synchronized only by the data-flow trackers.
+
+use super::exec::{self, MemView, ScalarOutcome};
+use super::tracker::TrackerTable;
+use crate::error::{Error, Result};
+use scaledeep_compiler::codegen::TrackerSpec;
+use scaledeep_isa::{Inst, InstGroup, Program, NUM_REGS};
+
+/// Default instruction budget per [`Machine::run`] call — a backstop
+/// against runaway control flow, far above any compiled program's needs.
+pub const DEFAULT_FUEL: u64 = 500_000_000;
+
+/// Statistics from one machine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Instructions executed (completed, not counting blocked polls).
+    pub instructions: u64,
+    /// Scheduler rounds taken.
+    pub rounds: u64,
+    /// Times a thread found an operand range not yet ready and stalled —
+    /// the synchronization traffic MEMTRACK absorbs.
+    pub stalls: u64,
+}
+
+struct Thread {
+    program: Program,
+    pc: usize,
+    regs: [i64; NUM_REGS],
+    halted: bool,
+}
+
+impl Thread {
+    fn new(program: Program) -> Self {
+        let halted = program.is_empty();
+        Self {
+            program,
+            pc: 0,
+            regs: [0; NUM_REGS],
+            halted,
+        }
+    }
+}
+
+/// The functional machine: MemHeavy scratchpads, an external memory, the
+/// tracker table, and a set of tile threads.
+#[derive(Debug)]
+pub struct Machine {
+    mems: Vec<Vec<f32>>,
+    ext: Vec<f32>,
+    trackers: TrackerTable,
+    fuel: u64,
+}
+
+impl Machine {
+    /// A machine with `tiles` scratchpads of `capacity` f32 elements each.
+    pub fn new(tiles: usize, capacity: u32) -> Self {
+        Self {
+            mems: vec![vec![0.0; capacity as usize]; tiles],
+            ext: Vec::new(),
+            trackers: TrackerTable::new(tiles),
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Overrides the instruction budget.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Sizes the external memory (elements).
+    pub fn set_ext_capacity(&mut self, elems: usize) {
+        self.ext.resize(elems, 0.0);
+    }
+
+    /// Read access to one tile's scratchpad.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tile` does not exist.
+    pub fn mem(&self, tile: u16) -> &[f32] {
+        &self.mems[tile as usize]
+    }
+
+    /// Mutable access to one tile's scratchpad (host-side setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tile` does not exist.
+    pub fn mem_mut(&mut self, tile: u16) -> &mut [f32] {
+        &mut self.mems[tile as usize]
+    }
+
+    /// External memory view.
+    pub fn ext_mem(&self) -> &[f32] {
+        &self.ext
+    }
+
+    /// Mutable external memory view.
+    pub fn ext_mem_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.ext
+    }
+
+    /// Runs the given programs to completion: trackers are re-armed from
+    /// `specs` (the host pre-arm; program MEMTRACK preambles then re-execute
+    /// as no-ops), threads run round-robin, and the call returns when every
+    /// thread halts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Deadlock`] when no thread can progress,
+    /// [`Error::ControlFault`] on fuel exhaustion or control-flow faults,
+    /// and memory/tracker errors from instruction execution.
+    pub fn run(&mut self, programs: &[Program], specs: &[TrackerSpec]) -> Result<RunStats> {
+        self.trackers.clear();
+        for s in specs {
+            self.trackers
+                .arm(s.tile, s.addr, s.len, s.num_updates, s.num_reads)?;
+        }
+        let mut threads: Vec<Thread> = programs.iter().cloned().map(Thread::new).collect();
+        let mut stats = RunStats::default();
+        loop {
+            if threads.iter().all(|t| t.halted) {
+                return Ok(stats);
+            }
+            stats.rounds += 1;
+            let mut progressed = false;
+            for t in &mut threads {
+                if t.halted {
+                    continue;
+                }
+                match Self::step(
+                    &mut self.mems,
+                    &mut self.ext,
+                    &mut self.trackers,
+                    t,
+                )? {
+                    StepOutcome::Executed => {
+                        progressed = true;
+                        stats.instructions += 1;
+                        if stats.instructions > self.fuel {
+                            return Err(Error::ControlFault {
+                                program: t.program.name().to_string(),
+                                detail: format!("fuel exhausted after {} instructions", self.fuel),
+                            });
+                        }
+                    }
+                    StepOutcome::Blocked => stats.stalls += 1,
+                    StepOutcome::Halted => {
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                let stuck = threads
+                    .iter()
+                    .filter(|t| !t.halted)
+                    .map(|t| t.program.name().to_string())
+                    .collect();
+                return Err(Error::Deadlock { stuck });
+            }
+        }
+    }
+
+    fn step(
+        mems: &mut [Vec<f32>],
+        ext: &mut Vec<f32>,
+        trackers: &mut TrackerTable,
+        t: &mut Thread,
+    ) -> Result<StepOutcome> {
+        let name = t.program.name().to_string();
+        let Some(&inst) = t.program.insts().get(t.pc) else {
+            return Err(Error::ControlFault {
+                program: name,
+                detail: format!("fell off program end at pc {}", t.pc),
+            });
+        };
+        match inst.group() {
+            InstGroup::ScalarControl => {
+                match exec::execute_scalar(&inst, t.pc, &mut t.regs, &name)? {
+                    ScalarOutcome::Next(pc) => {
+                        if pc > t.program.len() {
+                            return Err(Error::ControlFault {
+                                program: name,
+                                detail: format!("branch target {pc} out of range"),
+                            });
+                        }
+                        t.pc = pc;
+                        Ok(StepOutcome::Executed)
+                    }
+                    ScalarOutcome::Halt => {
+                        t.halted = true;
+                        Ok(StepOutcome::Halted)
+                    }
+                }
+            }
+            InstGroup::DataFlowTrack => {
+                let (tile, addr, len, updates, reads) = match inst {
+                    Inst::MemTrack {
+                        tile,
+                        addr,
+                        len,
+                        num_updates,
+                        num_reads,
+                    }
+                    | Inst::DmaMemTrack {
+                        tile,
+                        addr,
+                        len,
+                        num_updates,
+                        num_reads,
+                    } => (tile, addr, len, num_updates, num_reads),
+                    _ => unreachable!("group covers exactly the two track insts"),
+                };
+                trackers.arm(tile.0, addr, len, updates, reads)?;
+                t.pc += 1;
+                Ok(StepOutcome::Executed)
+            }
+            _ => {
+                let access = exec::accesses(&inst, &t.regs, &name)?
+                    .expect("data groups always resolve accesses");
+                // External-memory ranges (tile u16::MAX) are host-managed
+                // and untracked.
+                let ready = access
+                    .reads
+                    .iter()
+                    .filter(|r| r.0 != u16::MAX)
+                    .all(|&(tile, addr, len)| trackers.read_ready(tile, addr, len))
+                    && access
+                        .writes
+                        .iter()
+                        .filter(|r| r.0 != u16::MAX)
+                        .all(|&(tile, addr, len)| trackers.write_ready(tile, addr, len));
+                if !ready {
+                    return Ok(StepOutcome::Blocked);
+                }
+                {
+                    let mut view = MemView { tiles: mems, ext };
+                    exec::execute(&inst, &t.regs, &mut view, &name)?;
+                }
+                for &(tile, addr, len) in &access.reads {
+                    if tile != u16::MAX {
+                        trackers.record_read(tile, addr, len);
+                    }
+                }
+                for &(tile, addr, len) in &access.writes {
+                    if tile != u16::MAX {
+                        trackers.record_write(tile, addr, len);
+                    }
+                }
+                t.pc += 1;
+                Ok(StepOutcome::Executed)
+            }
+        }
+    }
+}
+
+enum StepOutcome {
+    Executed,
+    Blocked,
+    Halted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scaledeep_isa::{Inst, MemRef, Reg, TileRef};
+
+    fn prog(name: &str, insts: Vec<Inst>) -> Program {
+        Program::new(name, insts)
+    }
+
+    #[test]
+    fn single_thread_runs_to_halt() {
+        let mut m = Machine::new(1, 16);
+        m.mem_mut(0)[0] = 5.0;
+        let p = prog(
+            "t",
+            vec![
+                Inst::DmaLoad {
+                    src: MemRef::at(TileRef(0), 0),
+                    dst: MemRef::at(TileRef(0), 1),
+                    len: 1,
+                    accumulate: false,
+                },
+                Inst::Halt,
+            ],
+        );
+        let stats = m.run(&[p], &[]).unwrap();
+        assert_eq!(m.mem(0)[1], 5.0);
+        assert_eq!(stats.instructions, 1);
+    }
+
+    #[test]
+    fn trackers_order_producer_consumer() {
+        // Producer writes [0,4) in two chunks; consumer copies [0,4) to
+        // [4,8) but must observe both chunks (tracker updates=2).
+        let mut m = Machine::new(1, 16);
+        let producer = prog(
+            "producer",
+            vec![
+                // Scalar detour so the consumer polls first in round 1.
+                Inst::Nop,
+                Inst::Nop,
+                Inst::Ldri {
+                    rd: Reg::R0,
+                    value: 8,
+                },
+                Inst::DmaLoad {
+                    src: MemRef::at(TileRef(0), 8),
+                    dst: MemRef::at(TileRef(0), 0),
+                    len: 2,
+                    accumulate: false,
+                },
+                Inst::DmaLoad {
+                    src: MemRef::at(TileRef(0), 10),
+                    dst: MemRef::at(TileRef(0), 2),
+                    len: 2,
+                    accumulate: false,
+                },
+                Inst::Halt,
+            ],
+        );
+        let consumer = prog(
+            "consumer",
+            vec![
+                Inst::DmaLoad {
+                    src: MemRef::at(TileRef(0), 0),
+                    dst: MemRef::at(TileRef(0), 4),
+                    len: 4,
+                    accumulate: false,
+                },
+                Inst::Halt,
+            ],
+        );
+        m.mem_mut(0)[8..12].copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let specs = [TrackerSpec {
+            tile: 0,
+            addr: 0,
+            len: 4,
+            num_updates: 2,
+            num_reads: 1,
+        }];
+        let stats = m.run(&[consumer, producer], &specs).unwrap();
+        assert_eq!(&m.mem(0)[4..8], &[1.0, 2.0, 3.0, 4.0]);
+        assert!(stats.stalls > 0, "consumer must have stalled at least once");
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        // Consumer waits for an update that never comes.
+        let mut m = Machine::new(1, 8);
+        let consumer = prog(
+            "starved",
+            vec![
+                Inst::DmaLoad {
+                    src: MemRef::at(TileRef(0), 0),
+                    dst: MemRef::at(TileRef(0), 4),
+                    len: 2,
+                    accumulate: false,
+                },
+                Inst::Halt,
+            ],
+        );
+        let specs = [TrackerSpec {
+            tile: 0,
+            addr: 0,
+            len: 2,
+            num_updates: 1,
+            num_reads: 1,
+        }];
+        let err = m.run(&[consumer], &specs).unwrap_err();
+        match err {
+            Error::Deadlock { stuck } => assert_eq!(stuck, vec!["starved".to_string()]),
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_halt_is_a_control_fault() {
+        let mut m = Machine::new(1, 8);
+        let p = prog("nohalt", vec![Inst::Nop]);
+        let err = m.run(&[p], &[]).unwrap_err();
+        assert!(matches!(err, Error::ControlFault { .. }));
+    }
+
+    #[test]
+    fn accumulating_writers_commute() {
+        // Two writers accumulate into the same range in either order; a
+        // reader waits for both. Result independent of scheduling order.
+        let mk_writer = |name: &str, src: u32| {
+            prog(
+                name,
+                vec![
+                    Inst::DmaStore {
+                        src: MemRef::at(TileRef(0), src),
+                        dst: MemRef::at(TileRef(0), 0),
+                        len: 1,
+                        accumulate: true,
+                    },
+                    Inst::Halt,
+                ],
+            )
+        };
+        let reader = prog(
+            "reader",
+            vec![
+                Inst::DmaLoad {
+                    src: MemRef::at(TileRef(0), 0),
+                    dst: MemRef::at(TileRef(0), 3),
+                    len: 1,
+                    accumulate: false,
+                },
+                Inst::Halt,
+            ],
+        );
+        let specs = [TrackerSpec {
+            tile: 0,
+            addr: 0,
+            len: 1,
+            num_updates: 2,
+            num_reads: 1,
+        }];
+        for order in [[0usize, 1, 2], [2, 1, 0], [1, 2, 0]] {
+            let mut m = Machine::new(1, 8);
+            m.mem_mut(0)[1] = 10.0;
+            m.mem_mut(0)[2] = 32.0;
+            let progs = [mk_writer("w1", 1), mk_writer("w2", 2), reader.clone()];
+            let ordered: Vec<Program> = order.iter().map(|&i| progs[i].clone()).collect();
+            m.run(&ordered, &specs).unwrap();
+            assert_eq!(m.mem(0)[3], 42.0, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported() {
+        let mut m = Machine::new(1, 8);
+        m.set_fuel(10);
+        let p = prog(
+            "spin",
+            vec![Inst::Branch { offset: -1 }],
+        );
+        let err = m.run(&[p], &[]).unwrap_err();
+        assert!(matches!(err, Error::ControlFault { .. }));
+    }
+}

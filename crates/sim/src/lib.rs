@@ -1,0 +1,29 @@
+//! The ScaleDeep architectural simulators (paper §5).
+//!
+//! Two simulators share one discrete-event core:
+//!
+//! * [`perf`] — the **performance simulator**: an event-driven model of the
+//!   nested pipeline (paper §3.2.3) over a compiled [`Mapping`]. It models
+//!   the events the paper's simulator models — compute operations on the
+//!   2D PE arrays and SFUs, on-/off-chip memory accesses, link transfers at
+//!   every tier of the grid–wheel–ring interconnect, and minibatch-end
+//!   gradient aggregation — and reports throughput (images/second),
+//!   per-resource utilization, link utilization per class, and average
+//!   power / energy efficiency via the calibrated power model.
+//! * [`func`] — the **functional simulator**: a bit-accurate interpreter of
+//!   compiled ScaleDeep ISA programs running one thread per CompHeavy tile
+//!   program, with real f32 scratchpads and hardware data-flow trackers
+//!   enforcing the MEMTRACK synchronization semantics (§3.2.4). Validated
+//!   against the `scaledeep-tensor` reference executor.
+//!
+//! [`Mapping`]: scaledeep_compiler::Mapping
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+mod error;
+pub mod func;
+pub mod perf;
+
+pub use error::{Error, Result};

@@ -1,0 +1,263 @@
+//! Metric assembly: throughput, utilizations, link utilizations, power.
+
+use super::pipeline;
+use super::stage::{link_idx, RunKind, StageCost, N_LINK_CLASSES};
+use crate::engine::Cycle;
+use scaledeep_arch::{LinkClass, NodeConfig, PowerBreakdown, PowerModel, UtilizationProfile};
+use scaledeep_compiler::Mapping;
+
+/// Utilization of one link class (Figure 21's bars).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkUtilization {
+    /// The link class.
+    pub class: LinkClass,
+    /// Mean utilization in [0, 1].
+    pub utilization: f64,
+    /// Total bytes moved per image across the node.
+    pub bytes_per_image: f64,
+}
+
+/// Per-stage statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStat {
+    /// Layer name.
+    pub name: String,
+    /// Per-image service cycles.
+    pub service_cycles: u64,
+    /// Whether this stage is the pipeline bottleneck.
+    pub bottleneck: bool,
+}
+
+/// The result of one performance-simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfResult {
+    /// The simulated network.
+    pub network: String,
+    /// Training or evaluation.
+    pub kind: RunKind,
+    /// Node throughput in images per second (all pipeline replicas).
+    pub images_per_sec: f64,
+    /// 2D-PE lane utilization across the spanned chips (Figure 16's
+    /// right axis).
+    pub pe_utilization: f64,
+    /// SFU utilization across the spanned chips.
+    pub sfu_utilization: f64,
+    /// Link utilization per class (Figure 21).
+    pub links: Vec<LinkUtilization>,
+    /// Achieved FLOPs per second across the node.
+    pub achieved_flops: f64,
+    /// Average node power (Figure 20's stacked bars).
+    pub avg_power: PowerBreakdown,
+    /// Processing efficiency in GFLOPs/W (Figure 20's line).
+    pub gflops_per_watt: f64,
+    /// Energy per image in joules.
+    pub joules_per_image: f64,
+    /// ConvLayer-chip columns used by the mapping (Figure 16's footer).
+    pub conv_cols: usize,
+    /// Number of concurrent pipeline replicas.
+    pub pipelines: usize,
+    /// Per-stage detail.
+    pub stages: Vec<StageStat>,
+}
+
+impl PerfResult {
+    /// Utilization of one link class (0 when the class is unused).
+    pub fn link_utilization(&self, class: LinkClass) -> f64 {
+        self.links
+            .iter()
+            .find(|l| l.class == class)
+            .map(|l| l.utilization)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Counts the links of each class available to the mapped network.
+fn link_counts(mapping: &Mapping, node: &NodeConfig) -> [f64; N_LINK_CLASSES] {
+    let conv = &node.cluster.conv_chip;
+    let fc = &node.cluster.fc_chip;
+    let chips = mapping.chips_spanned() as f64;
+    let clusters = node.clusters as f64;
+    let mut n = [0.0; N_LINK_CLASSES];
+    n[link_idx(LinkClass::CompMem)] = chips * (conv.comp_heavy_tiles() * 2) as f64;
+    n[link_idx(LinkClass::MemMem)] = chips * (conv.mem_heavy_tiles() * 2) as f64;
+    n[link_idx(LinkClass::ConvExtMem)] = chips;
+    let _ = fc;
+    n[link_idx(LinkClass::FcExtMem)] = clusters;
+    n[link_idx(LinkClass::Spoke)] = clusters * node.cluster.conv_chips as f64;
+    n[link_idx(LinkClass::Arc)] = clusters * node.cluster.conv_chips as f64;
+    n[link_idx(LinkClass::Ring)] = clusters;
+    n
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(super) fn assemble(
+    mapping: &Mapping,
+    node: &NodeConfig,
+    power: &PowerModel,
+    kind: RunKind,
+    stages: &[StageCost],
+    window: Cycle,
+    done: usize,
+    pipelines: usize,
+) -> PerfResult {
+    let freq = node.frequency_hz();
+    let cycles_per_image = window as f64 / done.max(1) as f64;
+    let images_per_sec = pipelines as f64 * freq / cycles_per_image;
+
+    // --- utilization over the spanned compute resources ---
+    // One pipeline's useful lane-cycles per image vs. the lanes of the
+    // chips it spans (replicas are identical, so pipeline util = node
+    // util over the replicated span).
+    let conv = &node.cluster.conv_chip;
+    let fc = &node.cluster.fc_chip;
+    let span_lanes = (mapping.chips_spanned() * conv.comp_heavy_tiles() * conv.comp_heavy.total_lanes())
+        as f64
+        + (fc.comp_heavy_tiles() * fc.comp_heavy.total_lanes()) as f64;
+    let useful_lanes: f64 = stages.iter().map(|s| s.useful_lane_cycles).sum();
+    let pe_utilization = (useful_lanes / cycles_per_image / span_lanes).min(1.0);
+
+    let span_sfus = (mapping.chips_spanned() * conv.mem_heavy_tiles() * conv.mem_heavy.num_sfu)
+        as f64
+        + (fc.mem_heavy_tiles() * fc.mem_heavy.num_sfu) as f64;
+    let useful_sfu: f64 = stages.iter().map(|s| s.useful_sfu_cycles).sum();
+    let sfu_utilization = (useful_sfu / cycles_per_image / span_sfus).min(1.0);
+
+    // --- link utilizations ---
+    // On-chip classes (Comp-Mem, Mem-Mem) are point-to-point links owned
+    // by each stage's columns: their utilization is measured over the
+    // links the mapping engages, like the paper's Figure 21. The shared
+    // chip/cluster/node resources use the global link counts.
+    let counts = link_counts(mapping, node);
+    let mut links = Vec::with_capacity(N_LINK_CLASSES);
+    for (i, &class) in LinkClass::ALL.iter().enumerate() {
+        let bytes: f64 = stages.iter().map(|s| s.traffic[i]).sum();
+        let bw = class.bandwidth(node);
+        // On-chip classes: capacity over each stage's engaged links during
+        // its service window (the paper's per-link measurement); shared
+        // chip/cluster/node resources: global links over the image period.
+        let engaged_capacity: f64 = stages
+            .iter()
+            .map(|s| s.links[i] * s.service_cycles.min(cycles_per_image.ceil() as u64) as f64)
+            .sum::<f64>()
+            * bw
+            / freq;
+        let capacity_bytes = if engaged_capacity > 0.0 {
+            engaged_capacity
+        } else {
+            counts[i] * bw / freq * cycles_per_image
+        };
+        let utilization = if capacity_bytes > 0.0 {
+            (bytes / capacity_bytes).min(1.0)
+        } else {
+            0.0
+        };
+        links.push(LinkUtilization {
+            class,
+            utilization,
+            bytes_per_image: bytes * pipelines as f64,
+        });
+    }
+
+    // --- power & efficiency ---
+    let flops_per_image: f64 = stages
+        .iter()
+        .map(|s| s.useful_lane_cycles * 2.0 + s.useful_sfu_cycles)
+        .sum();
+    let achieved_flops = flops_per_image * images_per_sec;
+    let interconnect_util = {
+        let on_chip = [LinkClass::CompMem, LinkClass::MemMem, LinkClass::ConvExtMem];
+        let sum: f64 = links
+            .iter()
+            .filter(|l| on_chip.contains(&l.class))
+            .map(|l| l.utilization)
+            .sum();
+        sum / on_chip.len() as f64
+    };
+    // Blend 2D-PE and SFU activity by their peak-FLOP shares for the
+    // compute-power scaling.
+    let compute_util = 0.9 * pe_utilization + 0.1 * sfu_utilization;
+    let profile = UtilizationProfile {
+        compute: compute_util,
+        interconnect: interconnect_util,
+    };
+    let avg_power = power.average_node_power(profile);
+    let gflops_per_watt = achieved_flops / avg_power.total() / 1e9;
+    let joules_per_image = avg_power.total() / images_per_sec;
+
+    let bottleneck = stages
+        .iter()
+        .map(|s| s.service_cycles)
+        .max()
+        .unwrap_or(0);
+    let stage_stats = stages
+        .iter()
+        .map(|s| StageStat {
+            name: s.name.clone(),
+            service_cycles: s.service_cycles,
+            bottleneck: s.service_cycles == bottleneck,
+        })
+        .collect();
+
+    let _ = pipeline::total_pipelines(mapping, node);
+    PerfResult {
+        network: mapping.network_name().to_string(),
+        kind,
+        images_per_sec,
+        pe_utilization,
+        sfu_utilization,
+        links,
+        achieved_flops,
+        avg_power,
+        gflops_per_watt,
+        joules_per_image,
+        conv_cols: mapping.conv_cols_used(),
+        pipelines,
+        stages: stage_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)]
+    use super::*;
+    use crate::perf::{PerfSim, RunKind};
+    use scaledeep_arch::presets;
+    use scaledeep_dnn::zoo;
+
+    #[test]
+    fn result_reports_every_link_class() {
+        let r = PerfSim::new(&presets::single_precision())
+            .train(&zoo::alexnet())
+            .unwrap();
+        assert_eq!(r.links.len(), 7);
+        for l in &r.links {
+            assert!(l.utilization >= 0.0 && l.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn exactly_one_bottleneck_class_is_marked() {
+        let r = PerfSim::new(&presets::single_precision())
+            .train(&zoo::alexnet())
+            .unwrap();
+        assert!(r.stages.iter().any(|s| s.bottleneck));
+        assert_eq!(r.kind, RunKind::Training);
+    }
+
+    #[test]
+    fn energy_per_image_is_consistent() {
+        let r = PerfSim::new(&presets::single_precision())
+            .train(&zoo::alexnet())
+            .unwrap();
+        let implied = r.avg_power.total() / r.images_per_sec;
+        assert!((implied - r.joules_per_image).abs() < 1e-9);
+    }
+
+    #[test]
+    fn achieved_flops_below_peak() {
+        let node = presets::single_precision();
+        let r = PerfSim::new(&node).train(&zoo::vgg_a()).unwrap();
+        assert!(r.achieved_flops < node.peak_flops());
+        assert!(r.achieved_flops > node.peak_flops() * 0.005);
+    }
+}

@@ -1,0 +1,228 @@
+//! The inter-layer pipeline DES: images flow through layer stages; the
+//! pipeline stalls at minibatch boundaries for gradient aggregation.
+
+use super::metrics::{self, PerfResult};
+use super::stage::{RunKind, StageCost};
+use super::PerfOptions;
+use crate::engine::{BusyTracker, Cycle, EventQueue};
+use scaledeep_arch::{NodeConfig, PowerModel};
+use scaledeep_compiler::Mapping;
+
+/// Events of the pipeline simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Try to admit the next image into stage 0.
+    Admit,
+    /// Image `img` finished stage `stage`.
+    StageDone { stage: usize, img: usize },
+    /// A minibatch's gradient aggregation + weight distribution completed.
+    SyncDone,
+}
+
+/// Cycles spent aggregating weight gradients and distributing updated
+/// weights at a minibatch boundary: a reduce + broadcast of the CONV
+/// weights over the wheel arcs, then a multi-cluster reduction over the
+/// ring (paper §3.3).
+fn sync_cycles(mapping: &Mapping, node: &NodeConfig) -> Cycle {
+    let conv_w: u64 = mapping.conv_plans().map(|p| p.weight_bytes).sum();
+    let arc_bpc = node.cluster.arc_bw / node.frequency_hz();
+    let ring_bpc = node.ring_bw / node.frequency_hz();
+    let arc = 2.0 * conv_w as f64 / arc_bpc.max(1e-9);
+    let ring = 2.0 * conv_w as f64 / ring_bpc.max(1e-9) / node.clusters as f64;
+    (arc + ring).ceil() as Cycle
+}
+
+/// Runs the tandem-stage pipeline for `images` images with a barrier every
+/// `minibatch` images (when `barrier` is set). Returns
+/// `(steady-window cycles, images completed in the window, per-stage
+/// utilization over the whole run)`.
+///
+/// # Panics
+///
+/// Panics when `stages` is empty or `images == 0`.
+pub fn run_pipeline(
+    stages: &[StageCost],
+    images: usize,
+    minibatch: usize,
+    sync: Cycle,
+    barrier: bool,
+) -> (Cycle, usize, Vec<f64>) {
+    assert!(!stages.is_empty(), "pipeline needs at least one stage");
+    assert!(images > 0, "need at least one image");
+    let n = stages.len();
+    let minibatch = minibatch.max(1);
+    let mut q: EventQueue<Event> = EventQueue::new();
+    let mut stage_free: Vec<Cycle> = vec![0; n];
+    let mut busy = vec![BusyTracker::new(0); n];
+    let mut next_admit = 0usize;
+    let mut completed = 0usize;
+    let mut syncs_completed = 0usize;
+    let mut waiting_for_sync = false;
+    let mut first_done: Cycle = 0;
+    let mut last_done: Cycle = 0;
+
+    q.push(0, Event::Admit);
+    while let Some((now, ev)) = q.pop() {
+        match ev {
+            Event::Admit => {
+                if next_admit >= images {
+                    continue;
+                }
+                let batch = next_admit / minibatch;
+                if barrier && batch > syncs_completed {
+                    waiting_for_sync = true;
+                    continue;
+                }
+                let img = next_admit;
+                next_admit += 1;
+                let start = stage_free[0].max(now);
+                let fin = start + stages[0].service_cycles.max(1);
+                stage_free[0] = fin;
+                busy[0].add(stages[0].service_cycles.max(1) as f64);
+                q.push(fin, Event::StageDone { stage: 0, img });
+                q.push(fin, Event::Admit);
+            }
+            Event::StageDone { stage, img } => {
+                if stage + 1 < n {
+                    let s = stage + 1;
+                    let start = stage_free[s].max(now);
+                    let fin = start + stages[s].service_cycles.max(1);
+                    stage_free[s] = fin;
+                    busy[s].add(stages[s].service_cycles.max(1) as f64);
+                    q.push(fin, Event::StageDone { stage: s, img });
+                } else {
+                    completed += 1;
+                    if completed == 1 {
+                        first_done = now;
+                    }
+                    last_done = now;
+                    if barrier && completed.is_multiple_of(minibatch) {
+                        q.push(now + sync.max(1), Event::SyncDone);
+                    }
+                }
+            }
+            Event::SyncDone => {
+                syncs_completed += 1;
+                if waiting_for_sync {
+                    waiting_for_sync = false;
+                    q.push(now, Event::Admit);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(completed, images, "all images must drain");
+    let window = last_done.saturating_sub(first_done).max(1);
+    let util = busy
+        .iter()
+        .map(|b| b.busy() / last_done.max(1) as f64)
+        .collect();
+    (window, images - 1, util)
+}
+
+/// Full simulation entry: runs the pipeline and assembles metrics.
+pub(super) fn simulate(
+    mapping: &Mapping,
+    node: &NodeConfig,
+    power: &PowerModel,
+    opts: &PerfOptions,
+    kind: RunKind,
+    stages: &[StageCost],
+) -> PerfResult {
+    let barrier = kind == RunKind::Training;
+    let minibatch = opts.minibatch.max(1);
+    let images = minibatch * (opts.minibatches.max(1) + 1);
+    let sync = if barrier && !opts.ideal_sync {
+        sync_cycles(mapping, node)
+    } else {
+        0
+    };
+    let (window, done, _stage_util) = if opts.layer_sequential {
+        // Ablation A4: no inter-layer pipelining — each image traverses
+        // every stage before the next is admitted.
+        let per_image: u64 = stages.iter().map(|s| s.service_cycles.max(1)).sum();
+        let syncs = if barrier { images / minibatch } else { 0 };
+        let total = per_image * images as u64 + sync * syncs as u64;
+        (total, images, Vec::new())
+    } else {
+        run_pipeline(stages, images, minibatch, sync, barrier)
+    };
+
+    let pipelines = total_pipelines(mapping, node);
+    metrics::assemble(mapping, node, power, kind, stages, window, done, pipelines)
+}
+
+/// Concurrent pipeline replicas across the node: rim chips not consumed by
+/// one replica host more replicas; networks spanning several clusters
+/// leave fewer (down to a single) replicas.
+pub(super) fn total_pipelines(mapping: &Mapping, node: &NodeConfig) -> usize {
+    let per_cluster = mapping.pipelines_per_cluster(node.cluster.conv_chips);
+    let cluster_groups = (node.clusters / mapping.clusters_spanned().max(1)).max(1);
+    per_cluster * cluster_groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scaledeep_dnn::LayerId;
+
+    fn stage(cycles: u64) -> StageCost {
+        StageCost {
+            id: LayerId::from_index(0),
+            name: "s".into(),
+            service_cycles: cycles,
+            useful_lane_cycles: 0.0,
+            useful_sfu_cycles: 0.0,
+            traffic: [0.0; 7],
+            links: [0.0; 7],
+        }
+    }
+
+    #[test]
+    fn throughput_is_set_by_the_slowest_stage() {
+        let stages = vec![stage(10), stage(50), stage(20)];
+        let (window, done, _) = run_pipeline(&stages, 40, 40, 0, false);
+        let per_image = window as f64 / done as f64;
+        assert!(
+            (per_image - 50.0).abs() < 2.0,
+            "expected ~50 cycles/image, got {per_image}"
+        );
+    }
+
+    #[test]
+    fn single_stage_pipeline_serializes() {
+        let stages = vec![stage(7)];
+        let (window, done, _) = run_pipeline(&stages, 10, 10, 0, false);
+        assert_eq!(window as usize, 7 * done);
+    }
+
+    #[test]
+    fn barrier_slows_training() {
+        let stages = vec![stage(10), stage(10)];
+        let (w_free, d_free, _) = run_pipeline(&stages, 32, 8, 0, false);
+        let (w_sync, d_sync, _) = run_pipeline(&stages, 32, 8, 500, true);
+        let free = w_free as f64 / d_free as f64;
+        let synced = w_sync as f64 / d_sync as f64;
+        assert!(
+            synced > free * 1.5,
+            "sync must cost: {free} vs {synced} cycles/image"
+        );
+    }
+
+    #[test]
+    fn bottleneck_stage_is_busiest() {
+        let stages = vec![stage(10), stage(40)];
+        let (_, _, util) = run_pipeline(&stages, 50, 50, 0, false);
+        assert!(util[1] > util[0]);
+        assert!(util[1] > 0.9, "bottleneck near fully busy: {}", util[1]);
+    }
+
+    #[test]
+    fn all_images_complete_with_barriers() {
+        // Barriers must not strand images (regression for the admission
+        // gate logic).
+        let stages = vec![stage(3), stage(5), stage(2)];
+        let (window, done, _) = run_pipeline(&stages, 24, 4, 100, true);
+        assert_eq!(done, 23);
+        assert!(window > 0);
+    }
+}

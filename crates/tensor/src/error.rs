@@ -1,0 +1,55 @@
+//! Error type for the reference executor.
+
+use scaledeep_dnn::FeatureShape;
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by tensor operations and the executor.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A tensor had an unexpected shape.
+    ShapeMismatch {
+        /// What the operation expected.
+        expected: FeatureShape,
+        /// What it received.
+        got: FeatureShape,
+    },
+    /// The network contains a layer kind the executor cannot run
+    /// (never the case for layers produced by `scaledeep-dnn` builders).
+    Unsupported {
+        /// Description of the unsupported construct.
+        what: String,
+    },
+    /// A graph-construction error bubbled up from `scaledeep-dnn`.
+    Graph(scaledeep_dnn::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            Error::Unsupported { what } => write!(f, "unsupported operation: {what}"),
+            Error::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<scaledeep_dnn::Error> for Error {
+    fn from(e: scaledeep_dnn::Error) -> Self {
+        Error::Graph(e)
+    }
+}

@@ -1,0 +1,642 @@
+//! The reference training executor: runs FP / BP / WG for a whole
+//! [`Network`] and applies minibatch SGD, exactly mirroring the training
+//! data flow of the paper's Figure 3a.
+
+use crate::error::{Error, Result};
+use crate::init::xavier_init;
+use crate::ops::{
+    activation_backward, activation_forward, concat_backward, concat_forward, conv_backward_input,
+    conv_backward_weights, conv_forward, fc_backward_input, fc_backward_weights, fc_forward,
+    pool_backward, pool_forward, shortcut_backward, shortcut_forward, ConvParams, PoolOutput,
+};
+use crate::sgd::Sgd;
+use crate::tensor::Tensor;
+use scaledeep_dnn::{Layer, LayerId, Network};
+
+/// Learned parameters of one layer plus their gradient accumulators.
+#[derive(Debug, Clone)]
+struct Params {
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    w_grad: Vec<f32>,
+    b_grad: Vec<f32>,
+}
+
+/// Per-node runtime state: parameters and forward/backward caches.
+#[derive(Debug, Clone, Default)]
+struct NodeState {
+    params: Option<Params>,
+    /// Pre-activation output (CONV/FC/ELTWISE).
+    pre: Option<Tensor>,
+    /// Post-activation output.
+    out: Option<Tensor>,
+    /// Pooling forward byproducts (argmax / counts).
+    pool: Option<PoolOutput>,
+    /// Accumulated error at this node's output.
+    err: Option<Tensor>,
+}
+
+/// Statistics from one training minibatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainStats {
+    /// Mean squared-error loss over the minibatch.
+    pub loss: f32,
+    /// Number of images processed.
+    pub batch: usize,
+}
+
+/// Reference executor for a [`Network`]: forward propagation, error
+/// backpropagation, weight-gradient accumulation and SGD updates.
+///
+/// Parameters are initialized deterministically from a seed, so two
+/// executors built with the same seed (or an executor and the functional
+/// ISA simulator sharing exported parameters) compute identical results.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    net: Network,
+    states: Vec<NodeState>,
+}
+
+impl Executor {
+    /// Creates an executor with Xavier-initialized parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] if the network contains a layer the
+    /// executor cannot run (not the case for `scaledeep-dnn` graphs).
+    pub fn new(net: &Network, seed: u64) -> Result<Self> {
+        let mut states: Vec<NodeState> = Vec::with_capacity(net.len());
+        for node in net.layers() {
+            let mut state = NodeState::default();
+            match node.layer() {
+                Layer::Conv(c) => {
+                    let input = net.input_shapes(node.id())[0];
+                    let p = ConvParams::new(*c, input)?;
+                    let n = p.kernel_len();
+                    let mut weights = vec![0.0; n];
+                    let fan_in = p.cin_per_group() * c.kernel * c.kernel;
+                    let fan_out = p.cout_per_group() * c.kernel * c.kernel;
+                    xavier_init(&mut weights, fan_in, fan_out, seed ^ node.id().index() as u64);
+                    let bias_n = if c.bias { c.out_features } else { 0 };
+                    state.params = Some(Params {
+                        weights,
+                        bias: vec![0.0; bias_n],
+                        w_grad: vec![0.0; n],
+                        b_grad: vec![0.0; bias_n],
+                    });
+                }
+                Layer::Fc(f) => {
+                    let n_in = net.fan_in_elems(node.id());
+                    let n = n_in * f.out_neurons;
+                    let mut weights = vec![0.0; n];
+                    xavier_init(&mut weights, n_in, f.out_neurons, seed ^ node.id().index() as u64);
+                    let bias_n = if f.bias { f.out_neurons } else { 0 };
+                    state.params = Some(Params {
+                        weights,
+                        bias: vec![0.0; bias_n],
+                        w_grad: vec![0.0; n],
+                        b_grad: vec![0.0; bias_n],
+                    });
+                }
+                _ => {}
+            }
+            states.push(state);
+        }
+        Ok(Self {
+            net: net.clone(),
+            states,
+        })
+    }
+
+    /// The executed network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Read access to a layer's (weights, bias), if it has parameters.
+    pub fn params(&self, id: LayerId) -> Option<(&[f32], &[f32])> {
+        self.states[id.index()]
+            .params
+            .as_ref()
+            .map(|p| (p.weights.as_slice(), p.bias.as_slice()))
+    }
+
+    /// Read access to a layer's accumulated (weight, bias) gradients.
+    pub fn grads(&self, id: LayerId) -> Option<(&[f32], &[f32])> {
+        self.states[id.index()]
+            .params
+            .as_ref()
+            .map(|p| (p.w_grad.as_slice(), p.b_grad.as_slice()))
+    }
+
+    /// Overwrites a layer's parameters (used to mirror parameters into the
+    /// functional ISA simulator).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] when the layer has no parameters or
+    /// lengths differ.
+    pub fn set_params(&mut self, id: LayerId, weights: &[f32], bias: &[f32]) -> Result<()> {
+        let p = self.states[id.index()]
+            .params
+            .as_mut()
+            .ok_or_else(|| Error::Unsupported {
+                what: format!("layer {id} has no parameters"),
+            })?;
+        if p.weights.len() != weights.len() || p.bias.len() != bias.len() {
+            return Err(Error::Unsupported {
+                what: format!(
+                    "parameter length mismatch for {id}: {}x{} vs {}x{}",
+                    p.weights.len(),
+                    p.bias.len(),
+                    weights.len(),
+                    bias.len()
+                ),
+            });
+        }
+        p.weights.copy_from_slice(weights);
+        p.bias.copy_from_slice(bias);
+        Ok(())
+    }
+
+    /// The cached post-activation output of a layer from the last
+    /// [`forward`](Self::forward) call.
+    pub fn output(&self, id: LayerId) -> Option<&Tensor> {
+        self.states[id.index()].out.as_ref()
+    }
+
+    /// The accumulated error at a layer's output from the last
+    /// [`backward`](Self::backward) call.
+    pub fn error(&self, id: LayerId) -> Option<&Tensor> {
+        self.states[id.index()].err.as_ref()
+    }
+
+    /// Runs forward propagation, returning the network output (the input of
+    /// the loss node, or the last layer's output for loss-free graphs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape mismatches between `input` and the network's input
+    /// layer.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let ids: Vec<LayerId> = self.net.layers().map(|n| n.id()).collect();
+        for id in ids {
+            let node = self.net.node(id).clone();
+            let in_tensors: Vec<Tensor> = node
+                .inputs()
+                .iter()
+                .map(|&i| {
+                    self.states[i.index()]
+                        .out
+                        .clone()
+                        .expect("topological order guarantees inputs are computed")
+                })
+                .collect();
+            let state = &mut self.states[id.index()];
+            state.err = None;
+            match node.layer() {
+                Layer::Input(shape) => {
+                    if input.shape().elems() != shape.elems() {
+                        return Err(Error::ShapeMismatch {
+                            expected: *shape,
+                            got: input.shape(),
+                        });
+                    }
+                    state.out = Some(input.clone());
+                }
+                Layer::Conv(c) => {
+                    let p = ConvParams::new(*c, in_tensors[0].shape())?;
+                    let params = state.params.as_ref().expect("conv has params");
+                    let pre = conv_forward(&p, &in_tensors[0], &params.weights, &params.bias)?;
+                    let out = activation_forward(c.activation, &pre);
+                    state.pre = Some(pre);
+                    state.out = Some(out);
+                }
+                Layer::Pool(p) => {
+                    let fwd = pool_forward(p, in_tensors[0].shape(), &in_tensors[0])?;
+                    state.out = Some(fwd.output.clone());
+                    state.pool = Some(fwd);
+                }
+                Layer::Fc(f) => {
+                    let x = in_tensors[0].clone().flatten();
+                    let params = state.params.as_ref().expect("fc has params");
+                    let pre = fc_forward(&x, f.out_neurons, &params.weights, &params.bias)?;
+                    let out = activation_forward(f.activation, &pre);
+                    state.pre = Some(pre);
+                    state.out = Some(out);
+                }
+                Layer::EltwiseAdd(act) => {
+                    let mut pre = in_tensors[0].clone();
+                    for (d, s) in pre
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(in_tensors[1].as_slice())
+                    {
+                        *d += s;
+                    }
+                    let out = activation_forward(*act, &pre);
+                    state.pre = Some(pre);
+                    state.out = Some(out);
+                }
+                Layer::EltwiseMul(act) => {
+                    let mut pre = in_tensors[0].clone();
+                    for (d, s) in pre
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(in_tensors[1].as_slice())
+                    {
+                        *d *= s;
+                    }
+                    let out = activation_forward(*act, &pre);
+                    state.pre = Some(pre);
+                    state.out = Some(out);
+                }
+                Layer::Act(act) => {
+                    let pre = in_tensors[0].clone();
+                    let out = activation_forward(*act, &pre);
+                    state.pre = Some(pre);
+                    state.out = Some(out);
+                }
+                Layer::Concat => {
+                    let refs: Vec<&Tensor> = in_tensors.iter().collect();
+                    state.out = Some(concat_forward(&refs)?);
+                }
+                Layer::Shortcut {
+                    stride,
+                    out_features,
+                } => {
+                    state.out = Some(shortcut_forward(&in_tensors[0], *stride, *out_features)?);
+                }
+                Layer::Loss => {
+                    state.out = Some(in_tensors[0].clone());
+                }
+                other => {
+                    return Err(Error::Unsupported {
+                        what: format!("layer kind {}", other.type_tag()),
+                    })
+                }
+            }
+        }
+        let last = self.net.layers().last().expect("non-empty network");
+        Ok(self.states[last.id().index()]
+            .out
+            .clone()
+            .expect("forward computed all outputs"))
+    }
+
+    fn add_err(&mut self, id: LayerId, err: Tensor) {
+        let slot = &mut self.states[id.index()].err;
+        match slot {
+            Some(existing) => {
+                for (d, s) in existing.as_mut_slice().iter_mut().zip(err.as_slice()) {
+                    *d += s;
+                }
+            }
+            None => *slot = Some(err),
+        }
+    }
+
+    /// Runs backpropagation and weight-gradient accumulation for the last
+    /// forward pass, against the golden output `golden`. Returns the
+    /// squared-error loss.
+    ///
+    /// The loss is `L = 0.5 Σ (y − g)²`, so the initial error is `y − g`
+    /// (the paper's "difference between the network's output and golden
+    /// output").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] when no forward pass has been run, or
+    /// shape errors when `golden` does not match the network output.
+    pub fn backward(&mut self, golden: &Tensor) -> Result<f32> {
+        let ids: Vec<LayerId> = self.net.layers().map(|n| n.id()).collect();
+        let last = *ids.last().expect("non-empty");
+        let output = self.states[last.index()]
+            .out
+            .clone()
+            .ok_or_else(|| Error::Unsupported {
+                what: "backward called before forward".into(),
+            })?;
+        if output.shape().elems() != golden.shape().elems() {
+            return Err(Error::ShapeMismatch {
+                expected: output.shape(),
+                got: golden.shape(),
+            });
+        }
+        let mut err0 = output.clone();
+        for (d, g) in err0.as_mut_slice().iter_mut().zip(golden.as_slice()) {
+            *d -= g;
+        }
+        let loss = 0.5 * err0.squared_norm();
+        self.states[last.index()].err = Some(err0);
+
+        for &id in ids.iter().rev() {
+            let node = self.net.node(id).clone();
+            let Some(err) = self.states[id.index()].err.clone() else {
+                continue;
+            };
+            let in_tensors: Vec<Tensor> = node
+                .inputs()
+                .iter()
+                .map(|&i| {
+                    self.states[i.index()]
+                        .out
+                        .clone()
+                        .expect("forward ran before backward")
+                })
+                .collect();
+            match node.layer() {
+                Layer::Input(_) => {}
+                Layer::Conv(c) => {
+                    let p = ConvParams::new(*c, in_tensors[0].shape())?;
+                    let pre = self.states[id.index()].pre.clone().expect("fp cached pre");
+                    let dz = activation_backward(c.activation, &pre, &err);
+                    let in_err = {
+                        let params = self.states[id.index()].params.as_ref().expect("params");
+                        conv_backward_input(&p, &dz, &params.weights)?
+                    };
+                    {
+                        let params = self.states[id.index()].params.as_mut().expect("params");
+                        let (wg, bg) = (&mut params.w_grad, &mut params.b_grad);
+                        conv_backward_weights(&p, &in_tensors[0], &dz, wg, bg)?;
+                    }
+                    self.add_err(node.inputs()[0], in_err);
+                }
+                Layer::Pool(p) => {
+                    let fwd = self.states[id.index()].pool.clone().expect("fp cached pool");
+                    let in_err = pool_backward(p, in_tensors[0].shape(), &fwd, &err)?;
+                    self.add_err(node.inputs()[0], in_err);
+                }
+                Layer::Fc(f) => {
+                    let pre = self.states[id.index()].pre.clone().expect("fp cached pre");
+                    let dz = activation_backward(f.activation, &pre, &err);
+                    let x = in_tensors[0].clone().flatten();
+                    let in_err = {
+                        let params = self.states[id.index()].params.as_ref().expect("params");
+                        fc_backward_input(&dz, x.shape(), &params.weights)?
+                    };
+                    {
+                        let params = self.states[id.index()].params.as_mut().expect("params");
+                        fc_backward_weights(&x, &dz, &mut params.w_grad, &mut params.b_grad)?;
+                    }
+                    // Reshape the flat error back to the producer's shape.
+                    let producer_shape = in_tensors[0].shape();
+                    let reshaped = Tensor::from_vec(producer_shape, in_err.into_vec())?;
+                    self.add_err(node.inputs()[0], reshaped);
+                    let _ = f;
+                }
+                Layer::EltwiseAdd(act) => {
+                    let pre = self.states[id.index()].pre.clone().expect("fp cached pre");
+                    let dz = activation_backward(*act, &pre, &err);
+                    self.add_err(node.inputs()[0], dz.clone());
+                    self.add_err(node.inputs()[1], dz);
+                }
+                Layer::EltwiseMul(act) => {
+                    let pre = self.states[id.index()].pre.clone().expect("fp cached pre");
+                    let dz = activation_backward(*act, &pre, &err);
+                    // d(a*b)/da = b, /db = a.
+                    let mut da = dz.clone();
+                    for (d, b) in da.as_mut_slice().iter_mut().zip(in_tensors[1].as_slice()) {
+                        *d *= b;
+                    }
+                    let mut db = dz;
+                    for (d, a) in db.as_mut_slice().iter_mut().zip(in_tensors[0].as_slice()) {
+                        *d *= a;
+                    }
+                    self.add_err(node.inputs()[0], da);
+                    self.add_err(node.inputs()[1], db);
+                }
+                Layer::Act(act) => {
+                    let pre = self.states[id.index()].pre.clone().expect("fp cached pre");
+                    let dz = activation_backward(*act, &pre, &err);
+                    self.add_err(node.inputs()[0], dz);
+                }
+                Layer::Concat => {
+                    let shapes: Vec<_> = in_tensors.iter().map(|t| t.shape()).collect();
+                    let parts = concat_backward(&err, &shapes)?;
+                    for (&input, part) in node.inputs().iter().zip(parts) {
+                        self.add_err(input, part);
+                    }
+                }
+                Layer::Shortcut { stride, .. } => {
+                    let in_err = shortcut_backward(&err, in_tensors[0].shape(), *stride)?;
+                    self.add_err(node.inputs()[0], in_err);
+                }
+                Layer::Loss => {
+                    self.add_err(node.inputs()[0], err);
+                }
+                other => {
+                    return Err(Error::Unsupported {
+                        what: format!("layer kind {}", other.type_tag()),
+                    })
+                }
+            }
+        }
+        Ok(loss)
+    }
+
+    /// Applies one SGD step from the accumulated gradients, clearing them.
+    pub fn step(&mut self, lr: f32, batch: usize) {
+        let opt = Sgd::new(lr);
+        for state in &mut self.states {
+            if let Some(p) = state.params.as_mut() {
+                opt.step(&mut p.weights, &mut p.w_grad, batch);
+                opt.step(&mut p.bias, &mut p.b_grad, batch);
+            }
+        }
+    }
+
+    /// Trains one minibatch: FP + BP + WG per image, then a single weight
+    /// update with the aggregated gradients (the paper's minibatch flow).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward/backward errors; `inputs` and `goldens` must have
+    /// equal, non-zero length.
+    pub fn train_minibatch(
+        &mut self,
+        inputs: &[Tensor],
+        goldens: &[Tensor],
+        lr: f32,
+    ) -> Result<TrainStats> {
+        if inputs.is_empty() || inputs.len() != goldens.len() {
+            return Err(Error::Unsupported {
+                what: format!(
+                    "minibatch inputs ({}) and goldens ({}) must match and be non-empty",
+                    inputs.len(),
+                    goldens.len()
+                ),
+            });
+        }
+        let mut total_loss = 0.0;
+        for (x, g) in inputs.iter().zip(goldens) {
+            self.forward(x)?;
+            total_loss += self.backward(g)?;
+        }
+        self.step(lr, inputs.len());
+        Ok(TrainStats {
+            loss: total_loss / inputs.len() as f32,
+            batch: inputs.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use scaledeep_dnn::{Activation, Conv, Fc, FeatureShape, NetworkBuilder, Pool};
+
+    fn rand_tensor(shape: FeatureShape, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_vec(
+            shape,
+            (0..shape.elems()).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap()
+    }
+
+    fn tiny_net() -> Network {
+        let mut b = NetworkBuilder::new("t", FeatureShape::new(1, 6, 6));
+        b.conv("c1", Conv::relu(2, 3, 1, 1)).unwrap();
+        b.pool("s1", Pool::max(2, 2)).unwrap();
+        let f = b.fc("f1", Fc::linear(3)).unwrap();
+        b.finish_with_loss(f).unwrap()
+    }
+
+    #[test]
+    fn forward_produces_output_shape() {
+        let net = tiny_net();
+        let mut exec = Executor::new(&net, 1).unwrap();
+        let y = exec.forward(&rand_tensor(FeatureShape::new(1, 6, 6), 2)).unwrap();
+        assert_eq!(y.shape().elems(), 3);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let net = tiny_net();
+        let mut exec = Executor::new(&net, 3).unwrap();
+        let xs: Vec<Tensor> = (0..4)
+            .map(|i| rand_tensor(FeatureShape::new(1, 6, 6), 10 + i))
+            .collect();
+        let gs: Vec<Tensor> = (0..4)
+            .map(|i| rand_tensor(FeatureShape::vector(3), 20 + i))
+            .collect();
+        let first = exec.train_minibatch(&xs, &gs, 0.01).unwrap().loss;
+        let mut last = first;
+        for _ in 0..30 {
+            last = exec.train_minibatch(&xs, &gs, 0.01).unwrap().loss;
+        }
+        assert!(last < first * 0.7, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_end_to_end() {
+        let net = tiny_net();
+        let mut exec = Executor::new(&net, 5).unwrap();
+        let x = rand_tensor(FeatureShape::new(1, 6, 6), 6);
+        let g = rand_tensor(FeatureShape::vector(3), 7);
+
+        exec.forward(&x).unwrap();
+        exec.backward(&g).unwrap();
+
+        let conv_id = net.node_by_name("c1").unwrap().id();
+        let (w, _) = exec.params(conv_id).unwrap();
+        let (wg, _) = exec.grads(conv_id).unwrap();
+        let w0 = w.to_vec();
+        let analytic = wg.to_vec();
+
+        let eps = 1e-3;
+        for wi in (0..w0.len()).step_by(5) {
+            let mut wp = w0.clone();
+            wp[wi] += eps;
+            let (_, b) = exec.params(conv_id).unwrap();
+            let b = b.to_vec();
+            exec.set_params(conv_id, &wp, &b).unwrap();
+            exec.forward(&x).unwrap();
+            let mut out_p = exec.output(net.node_by_name("f1").unwrap().id()).unwrap().clone();
+            for (o, gv) in out_p.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                *o -= gv;
+            }
+            let lp = 0.5 * out_p.squared_norm();
+
+            let mut wm = w0.clone();
+            wm[wi] -= eps;
+            exec.set_params(conv_id, &wm, &b).unwrap();
+            exec.forward(&x).unwrap();
+            let mut out_m = exec.output(net.node_by_name("f1").unwrap().id()).unwrap().clone();
+            for (o, gv) in out_m.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                *o -= gv;
+            }
+            let lm = 0.5 * out_m.squared_norm();
+
+            exec.set_params(conv_id, &w0, &b).unwrap();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic[wi]).abs() < 2e-2,
+                "w{wi}: fd {fd} vs analytic {}",
+                analytic[wi]
+            );
+        }
+    }
+
+    #[test]
+    fn residual_network_trains() {
+        let mut b = NetworkBuilder::new("res", FeatureShape::new(2, 4, 4));
+        let trunk = b.tail();
+        let c1 = b.conv("c1", Conv::relu(2, 3, 1, 1)).unwrap();
+        let c2 = b.conv_from("c2", c1, Conv::linear(2, 3, 1, 1)).unwrap();
+        let add = b
+            .eltwise_add("add", trunk, c2, Activation::Relu)
+            .unwrap();
+        let f = b.fc_from("f", add, Fc::linear(2)).unwrap();
+        let net = b.finish_with_loss(f).unwrap();
+
+        let mut exec = Executor::new(&net, 9).unwrap();
+        let x = rand_tensor(FeatureShape::new(2, 4, 4), 1);
+        let g = rand_tensor(FeatureShape::vector(2), 2);
+        let first = {
+            exec.forward(&x).unwrap();
+            exec.backward(&g).unwrap()
+        };
+        for _ in 0..40 {
+            exec.forward(&x).unwrap();
+            exec.backward(&g).unwrap();
+            exec.step(0.02, 1);
+        }
+        exec.forward(&x).unwrap();
+        let last = exec.backward(&g).unwrap();
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn branching_errors_accumulate_on_trunk() {
+        // A node consumed by two branches must receive both branch errors.
+        let mut b = NetworkBuilder::new("y", FeatureShape::new(1, 2, 2));
+        let trunk = b.tail();
+        let a = b.conv_from("a", trunk, Conv::linear(1, 1, 1, 0)).unwrap();
+        let c = b.conv_from("c", trunk, Conv::linear(1, 1, 1, 0)).unwrap();
+        let add = b.eltwise_add("add", a, c, Activation::None).unwrap();
+        let f = b.fc_from("f", add, Fc::linear(1)).unwrap();
+        let net = b.finish_with_loss(f).unwrap();
+        let mut exec = Executor::new(&net, 11).unwrap();
+        let x = rand_tensor(FeatureShape::new(1, 2, 2), 3);
+        let g = rand_tensor(FeatureShape::vector(1), 4);
+        exec.forward(&x).unwrap();
+        exec.backward(&g).unwrap();
+        let trunk_err = exec.error(trunk).unwrap();
+        // trunk error = err(a-branch) + err(c-branch); both convs are 1x1
+        // identity-shaped so trunk error should be non-zero.
+        assert!(trunk_err.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn minibatch_rejects_mismatched_lengths() {
+        let net = tiny_net();
+        let mut exec = Executor::new(&net, 1).unwrap();
+        let x = vec![rand_tensor(FeatureShape::new(1, 6, 6), 1)];
+        let err = exec.train_minibatch(&x, &[], 0.1).unwrap_err();
+        assert!(matches!(err, Error::Unsupported { .. }));
+    }
+}

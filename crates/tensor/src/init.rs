@@ -1,0 +1,48 @@
+//! Weight initialization.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fills `weights` with Xavier/Glorot-uniform values for a layer with the
+/// given fan-in and fan-out, using a deterministic seeded RNG so compiled
+/// and reference executions see identical parameters.
+pub fn xavier_init(weights: &mut [f32], fan_in: usize, fan_out: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bound = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    for w in weights {
+        *w = rng.gen_range(-bound..=bound);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_deterministic() {
+        let mut a = vec![0.0; 16];
+        let mut b = vec![0.0; 16];
+        xavier_init(&mut a, 8, 8, 7);
+        xavier_init(&mut b, 8, 8, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn init_is_bounded() {
+        let mut w = vec![0.0; 1000];
+        xavier_init(&mut w, 100, 100, 1);
+        let bound = (6.0f64 / 200.0).sqrt() as f32;
+        assert!(w.iter().all(|v| v.abs() <= bound));
+        // and not all zero
+        assert!(w.iter().any(|v| v.abs() > 1e-4));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = vec![0.0; 16];
+        let mut b = vec![0.0; 16];
+        xavier_init(&mut a, 8, 8, 1);
+        xavier_init(&mut b, 8, 8, 2);
+        assert_ne!(a, b);
+    }
+}

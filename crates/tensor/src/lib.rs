@@ -1,0 +1,48 @@
+//! Reference tensor library and DNN training executor.
+//!
+//! ScaleDeep's compiler and functional simulator need a *golden model*: a
+//! plain, obviously-correct implementation of forward propagation,
+//! backpropagation and weight-gradient computation for every layer type in
+//! [`scaledeep_dnn`]. This crate provides exactly that — dense f32 tensors,
+//! direct (non-optimized) layer kernels, and an [`Executor`] that trains a
+//! [`scaledeep_dnn::Network`] with minibatch SGD.
+//!
+//! Numerical fidelity is favored over speed everywhere: kernels are written
+//! as straight loops matching the textbook definitions, and gradients are
+//! verified against finite differences in the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use scaledeep_dnn::{NetworkBuilder, Conv, Fc, FeatureShape};
+//! use scaledeep_tensor::{Executor, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = NetworkBuilder::new("toy", FeatureShape::new(1, 6, 6));
+//! b.conv("c", Conv::relu(2, 3, 1, 1))?;
+//! let out = b.fc("f", Fc::linear(4))?;
+//! let net = b.finish_with_loss(out)?;
+//!
+//! let mut exec = Executor::new(&net, 42)?;
+//! let x = Tensor::zeros(FeatureShape::new(1, 6, 6));
+//! let y = exec.forward(&x)?;
+//! assert_eq!(y.shape(), FeatureShape::vector(4));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod executor;
+mod init;
+pub mod ops;
+mod sgd;
+mod tensor;
+
+pub use error::{Error, Result};
+pub use executor::{Executor, TrainStats};
+pub use init::xavier_init;
+pub use sgd::Sgd;
+pub use tensor::Tensor;

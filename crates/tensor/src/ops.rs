@@ -1,0 +1,18 @@
+//! Reference layer kernels: forward, input-gradient (BP) and
+//! weight-gradient (WG) implementations for every layer type.
+//!
+//! All kernels are direct loop implementations of the textbook definitions;
+//! they are the crate's source of truth and are cross-checked by finite
+//! differences in the test suite.
+
+mod act;
+mod conv;
+mod eltwise;
+mod fc;
+mod pool;
+
+pub use act::{activation_backward, activation_forward};
+pub use conv::{conv_backward_input, conv_backward_weights, conv_forward, ConvParams};
+pub use eltwise::{concat_backward, concat_forward, shortcut_backward, shortcut_forward};
+pub use fc::{fc_backward_input, fc_backward_weights, fc_forward};
+pub use pool::{pool_backward, pool_forward, PoolOutput};

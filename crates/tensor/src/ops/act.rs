@@ -1,0 +1,109 @@
+//! Activation functions and their derivatives (MemHeavy SFU operations).
+
+use crate::tensor::Tensor;
+use scaledeep_dnn::Activation;
+
+/// Applies an activation element-wise to a pre-activation tensor.
+pub fn activation_forward(act: Activation, pre: &Tensor) -> Tensor {
+    let mut out = pre.clone();
+    match act {
+        Activation::None => {}
+        Activation::Relu => {
+            for v in out.as_mut_slice() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        Activation::Tanh => {
+            for v in out.as_mut_slice() {
+                *v = v.tanh();
+            }
+        }
+        Activation::Sigmoid => {
+            for v in out.as_mut_slice() {
+                *v = 1.0 / (1.0 + (-*v).exp());
+            }
+        }
+    }
+    out
+}
+
+/// Multiplies an incoming error by the activation derivative evaluated at
+/// the stored pre-activation values: `dz = da * act'(z)`.
+pub fn activation_backward(act: Activation, pre: &Tensor, out_err: &Tensor) -> Tensor {
+    let mut dz = out_err.clone();
+    match act {
+        Activation::None => {}
+        Activation::Relu => {
+            for (d, &z) in dz.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+                if z <= 0.0 {
+                    *d = 0.0;
+                }
+            }
+        }
+        Activation::Tanh => {
+            for (d, &z) in dz.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+                let t = z.tanh();
+                *d *= 1.0 - t * t;
+            }
+        }
+        Activation::Sigmoid => {
+            for (d, &z) in dz.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+                let s = 1.0 / (1.0 + (-z).exp());
+                *d *= s * (1.0 - s);
+            }
+        }
+    }
+    dz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scaledeep_dnn::FeatureShape;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(FeatureShape::vector(v.len()), v).unwrap()
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let out = activation_forward(Activation::Relu, &t(vec![-1.0, 0.0, 2.0]));
+        assert_eq!(out.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_negatives() {
+        let pre = t(vec![-1.0, 0.5]);
+        let err = t(vec![3.0, 3.0]);
+        let dz = activation_backward(Activation::Relu, &pre, &err);
+        assert_eq!(dz.as_slice(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded() {
+        let out = activation_forward(Activation::Sigmoid, &t(vec![-10.0, 0.0, 10.0]));
+        let s = out.as_slice();
+        assert!(s[0] < 0.001 && (s[1] - 0.5).abs() < 1e-6 && s[2] > 0.999);
+    }
+
+    #[test]
+    fn tanh_derivative_matches_finite_difference() {
+        let z = 0.3f32;
+        let pre = t(vec![z]);
+        let err = t(vec![1.0]);
+        let dz = activation_backward(Activation::Tanh, &pre, &err);
+        let eps = 1e-3;
+        let fd = ((z + eps).tanh() - (z - eps).tanh()) / (2.0 * eps);
+        assert!((dz.as_slice()[0] - fd).abs() < 1e-4);
+    }
+
+    #[test]
+    fn none_is_identity_both_ways() {
+        let pre = t(vec![-1.0, 2.0]);
+        let err = t(vec![0.5, 0.25]);
+        assert_eq!(activation_forward(Activation::None, &pre), pre);
+        assert_eq!(activation_backward(Activation::None, &pre, &err), err);
+    }
+}

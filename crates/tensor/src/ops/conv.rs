@@ -1,0 +1,345 @@
+//! 2D convolution: forward, input gradient and weight gradient.
+
+use crate::error::{Error, Result};
+use crate::tensor::Tensor;
+use scaledeep_dnn::{Conv, FeatureShape};
+
+/// Resolved convolution geometry: the layer parameters plus the concrete
+/// input shape (which fixes the group fan-in and output shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvParams {
+    /// The layer definition.
+    pub conv: Conv,
+    /// The input shape this convolution is applied to.
+    pub input: FeatureShape,
+}
+
+impl ConvParams {
+    /// Creates parameters, validating divisibility by groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Unsupported`] when `groups` does not divide the
+    /// feature counts.
+    pub fn new(conv: Conv, input: FeatureShape) -> Result<Self> {
+        if !input.features.is_multiple_of(conv.groups) || !conv.out_features.is_multiple_of(conv.groups) {
+            return Err(Error::Unsupported {
+                what: format!(
+                    "groups {} does not divide features {}/{}",
+                    conv.groups, input.features, conv.out_features
+                ),
+            });
+        }
+        Ok(Self { conv, input })
+    }
+
+    /// Input features per group.
+    pub fn cin_per_group(&self) -> usize {
+        self.input.features / self.conv.groups
+    }
+
+    /// Output features per group.
+    pub fn cout_per_group(&self) -> usize {
+        self.conv.out_features / self.conv.groups
+    }
+
+    /// Output shape.
+    pub fn output(&self) -> FeatureShape {
+        self.conv.output_shape(self.input)
+    }
+
+    /// Number of kernel weights (excluding biases), laid out
+    /// `[out][in_per_group][kh][kw]`.
+    pub fn kernel_len(&self) -> usize {
+        self.conv.out_features * self.cin_per_group() * self.conv.kernel * self.conv.kernel
+    }
+
+    /// Flat index of kernel weight (out feature `o`, in-group feature `i`,
+    /// kernel row `ky`, kernel col `kx`).
+    #[inline]
+    pub fn widx(&self, o: usize, i: usize, ky: usize, kx: usize) -> usize {
+        ((o * self.cin_per_group() + i) * self.conv.kernel + ky) * self.conv.kernel + kx
+    }
+}
+
+fn check_shape(t: &Tensor, want: FeatureShape) -> Result<()> {
+    if t.shape().elems() != want.elems() {
+        return Err(Error::ShapeMismatch {
+            expected: want,
+            got: t.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Forward convolution producing the *pre-activation* output.
+///
+/// `weights` is `[out][in_per_group][kh][kw]`; `bias` has one entry per
+/// output feature (may be empty when the layer has no bias).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when the input tensor does not match
+/// the declared geometry.
+pub fn conv_forward(p: &ConvParams, input: &Tensor, weights: &[f32], bias: &[f32]) -> Result<Tensor> {
+    check_shape(input, p.input)?;
+    let out_shape = p.output();
+    let mut out = Tensor::zeros(out_shape);
+    let k = p.conv.kernel;
+    let stride = p.conv.stride;
+    let pad = p.conv.pad as isize;
+    let cin_g = p.cin_per_group();
+    let cout_g = p.cout_per_group();
+
+    for o in 0..p.conv.out_features {
+        let g = o / cout_g;
+        let b = bias.get(o).copied().unwrap_or(0.0);
+        for oy in 0..out_shape.height {
+            for ox in 0..out_shape.width {
+                let mut acc = b;
+                for ig in 0..cin_g {
+                    let i = g * cin_g + ig;
+                    for ky in 0..k {
+                        let iy = (oy * stride + ky) as isize - pad;
+                        if iy < 0 || iy >= p.input.height as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * stride + kx) as isize - pad;
+                            if ix < 0 || ix >= p.input.width as isize {
+                                continue;
+                            }
+                            acc += input.at(i, iy as usize, ix as usize)
+                                * weights[p.widx(o, ig, ky, kx)];
+                        }
+                    }
+                }
+                *out.at_mut(o, oy, ox) = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backpropagates output errors to input errors (transposed convolution).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when `out_err` does not match the
+/// declared output geometry.
+pub fn conv_backward_input(p: &ConvParams, out_err: &Tensor, weights: &[f32]) -> Result<Tensor> {
+    let out_shape = p.output();
+    check_shape(out_err, out_shape)?;
+    let mut in_err = Tensor::zeros(p.input);
+    let k = p.conv.kernel;
+    let stride = p.conv.stride;
+    let pad = p.conv.pad as isize;
+    let cin_g = p.cin_per_group();
+    let cout_g = p.cout_per_group();
+
+    for o in 0..p.conv.out_features {
+        let g = o / cout_g;
+        for oy in 0..out_shape.height {
+            for ox in 0..out_shape.width {
+                let e = out_err.at(o, oy, ox);
+                if e == 0.0 {
+                    continue;
+                }
+                for ig in 0..cin_g {
+                    let i = g * cin_g + ig;
+                    for ky in 0..k {
+                        let iy = (oy * stride + ky) as isize - pad;
+                        if iy < 0 || iy >= p.input.height as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * stride + kx) as isize - pad;
+                            if ix < 0 || ix >= p.input.width as isize {
+                                continue;
+                            }
+                            *in_err.at_mut(i, iy as usize, ix as usize) +=
+                                e * weights[p.widx(o, ig, ky, kx)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(in_err)
+}
+
+/// Accumulates weight and bias gradients from stored FP inputs and BP
+/// output errors. `w_grad` has [`ConvParams::kernel_len`] entries and
+/// `b_grad` one per output feature; both are accumulated into (so minibatch
+/// gradients aggregate naturally, as on the ScaleDeep wheel arcs).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when the tensors do not match the
+/// declared geometry.
+pub fn conv_backward_weights(
+    p: &ConvParams,
+    input: &Tensor,
+    out_err: &Tensor,
+    w_grad: &mut [f32],
+    b_grad: &mut [f32],
+) -> Result<()> {
+    check_shape(input, p.input)?;
+    let out_shape = p.output();
+    check_shape(out_err, out_shape)?;
+    let k = p.conv.kernel;
+    let stride = p.conv.stride;
+    let pad = p.conv.pad as isize;
+    let cin_g = p.cin_per_group();
+    let cout_g = p.cout_per_group();
+
+    for o in 0..p.conv.out_features {
+        let g = o / cout_g;
+        for oy in 0..out_shape.height {
+            for ox in 0..out_shape.width {
+                let e = out_err.at(o, oy, ox);
+                if e == 0.0 {
+                    continue;
+                }
+                if !b_grad.is_empty() {
+                    b_grad[o] += e;
+                }
+                for ig in 0..cin_g {
+                    let i = g * cin_g + ig;
+                    for ky in 0..k {
+                        let iy = (oy * stride + ky) as isize - pad;
+                        if iy < 0 || iy >= p.input.height as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * stride + kx) as isize - pad;
+                            if ix < 0 || ix >= p.input.width as isize {
+                                continue;
+                            }
+                            w_grad[p.widx(o, ig, ky, kx)] +=
+                                e * input.at(i, iy as usize, ix as usize);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_params() -> ConvParams {
+        ConvParams::new(Conv::linear(1, 2, 1, 0), FeatureShape::new(1, 3, 3)).unwrap()
+    }
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let p = simple_params();
+        let input = Tensor::from_vec(
+            p.input,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        )
+        .unwrap();
+        let weights = vec![1.0, 0.0, 0.0, 1.0]; // identity-ish 2x2 kernel
+        let out = conv_forward(&p, &input, &weights, &[0.0]).unwrap();
+        // out(0,0) = 1*1 + 5*1 = 6, out(0,1) = 2 + 6 = 8, ...
+        assert_eq!(out.as_slice(), &[6.0, 8.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn forward_respects_bias() {
+        let p = simple_params();
+        let input = Tensor::zeros(p.input);
+        let out = conv_forward(&p, &input, &[0.0; 4], &[2.5]).unwrap();
+        assert!(out.as_slice().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn padding_pads_with_zeros() {
+        let p = ConvParams::new(Conv::linear(1, 3, 1, 1), FeatureShape::new(1, 2, 2)).unwrap();
+        let input = Tensor::from_vec(p.input, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let weights = vec![1.0; 9];
+        let out = conv_forward(&p, &input, &weights, &[0.0]).unwrap();
+        // Corner output only sees the 2x2 valid region.
+        assert_eq!(out.at(0, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn backward_input_is_transpose_of_forward() {
+        // For a linear map y = Wx, <W e, x> must equal <e, W^T ... > — check
+        // the adjoint identity <conv(x), e> == <x, conv_bwd(e)>.
+        let p = ConvParams::new(Conv::linear(2, 3, 2, 1), FeatureShape::new(2, 5, 5)).unwrap();
+        let n_in = p.input.elems();
+        let out_shape = p.output();
+        let weights: Vec<f32> = (0..p.kernel_len()).map(|i| (i as f32 * 0.7).sin()).collect();
+        let x = Tensor::from_vec(
+            p.input,
+            (0..n_in).map(|i| (i as f32 * 0.3).cos()).collect(),
+        )
+        .unwrap();
+        let e = Tensor::from_vec(
+            out_shape,
+            (0..out_shape.elems()).map(|i| (i as f32 * 0.11).sin()).collect(),
+        )
+        .unwrap();
+        let y = conv_forward(&p, &x, &weights, &[]).unwrap();
+        let xt = conv_backward_input(&p, &e, &weights).unwrap();
+        let lhs: f32 = y.as_slice().iter().zip(e.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.as_slice().iter().zip(xt.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let p = ConvParams::new(Conv::linear(1, 2, 1, 0), FeatureShape::new(1, 3, 3)).unwrap();
+        let x = Tensor::from_vec(
+            p.input,
+            vec![0.5, -0.2, 0.3, 0.9, -0.4, 0.1, 0.0, 0.7, -0.6],
+        )
+        .unwrap();
+        let mut weights = vec![0.3, -0.1, 0.2, 0.05];
+        // Loss L = 0.5 * |y|^2, so dL/dy = y.
+        let y = conv_forward(&p, &x, &weights, &[]).unwrap();
+        let mut w_grad = vec![0.0; 4];
+        conv_backward_weights(&p, &x, &y, &mut w_grad, &mut []).unwrap();
+        let eps = 1e-3;
+        for wi in 0..4 {
+            let orig = weights[wi];
+            weights[wi] = orig + eps;
+            let lp = 0.5 * conv_forward(&p, &x, &weights, &[]).unwrap().squared_norm();
+            weights[wi] = orig - eps;
+            let lm = 0.5 * conv_forward(&p, &x, &weights, &[]).unwrap().squared_norm();
+            weights[wi] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - w_grad[wi]).abs() < 1e-2,
+                "w{wi}: fd {fd} vs analytic {}",
+                w_grad[wi]
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_conv_keeps_groups_independent() {
+        let p = ConvParams::new(
+            Conv {
+                out_features: 2,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+                groups: 2,
+                bias: false,
+                activation: scaledeep_dnn::Activation::None,
+            },
+            FeatureShape::new(2, 1, 1),
+        )
+        .unwrap();
+        let x = Tensor::from_vec(p.input, vec![3.0, 5.0]).unwrap();
+        // weight[o=0] sees input 0, weight[o=1] sees input 1.
+        let out = conv_forward(&p, &x, &[2.0, 10.0], &[]).unwrap();
+        assert_eq!(out.as_slice(), &[6.0, 50.0]);
+    }
+}

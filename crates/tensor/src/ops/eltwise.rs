@@ -1,0 +1,176 @@
+//! Element-wise add, concatenation, and ResNet option-A shortcuts.
+
+use crate::error::{Error, Result};
+use crate::tensor::Tensor;
+use scaledeep_dnn::FeatureShape;
+
+/// Concatenates inputs along the feature dimension.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when spatial extents differ.
+pub fn concat_forward(inputs: &[&Tensor]) -> Result<Tensor> {
+    let first = inputs
+        .first()
+        .ok_or_else(|| Error::Unsupported {
+            what: "concat of zero tensors".into(),
+        })?
+        .shape();
+    let mut features = 0;
+    for t in inputs {
+        let s = t.shape();
+        if s.height != first.height || s.width != first.width {
+            return Err(Error::ShapeMismatch {
+                expected: first,
+                got: s,
+            });
+        }
+        features += s.features;
+    }
+    let out_shape = FeatureShape::new(features, first.height, first.width);
+    let mut out = Tensor::zeros(out_shape);
+    let mut offset = 0;
+    for t in inputs {
+        let n = t.shape().elems();
+        out.as_mut_slice()[offset..offset + n].copy_from_slice(t.as_slice());
+        offset += n;
+    }
+    Ok(out)
+}
+
+/// Splits a concatenated output error back into per-branch errors.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when the branch shapes do not tile the
+/// error tensor exactly.
+pub fn concat_backward(out_err: &Tensor, branch_shapes: &[FeatureShape]) -> Result<Vec<Tensor>> {
+    let total: usize = branch_shapes.iter().map(|s| s.elems()).sum();
+    if total != out_err.shape().elems() {
+        return Err(Error::ShapeMismatch {
+            expected: FeatureShape::vector(total),
+            got: out_err.shape(),
+        });
+    }
+    let mut parts = Vec::with_capacity(branch_shapes.len());
+    let mut offset = 0;
+    for &s in branch_shapes {
+        let n = s.elems();
+        let part = Tensor::from_vec(s, out_err.as_slice()[offset..offset + n].to_vec())?;
+        parts.push(part);
+        offset += n;
+    }
+    Ok(parts)
+}
+
+/// Parameter-free shortcut forward: subsamples spatially by `stride` and
+/// zero-pads features to `out_features` (ResNet option A).
+///
+/// # Errors
+///
+/// Returns [`Error::Unsupported`] when `out_features` is smaller than the
+/// input feature count.
+pub fn shortcut_forward(input: &Tensor, stride: usize, out_features: usize) -> Result<Tensor> {
+    let s = input.shape();
+    if out_features < s.features {
+        return Err(Error::Unsupported {
+            what: format!("shortcut shrinking features {} -> {out_features}", s.features),
+        });
+    }
+    let out_shape = FeatureShape::new(
+        out_features,
+        s.height.div_ceil(stride),
+        s.width.div_ceil(stride),
+    );
+    let mut out = Tensor::zeros(out_shape);
+    for f in 0..s.features {
+        for oy in 0..out_shape.height {
+            for ox in 0..out_shape.width {
+                *out.at_mut(f, oy, ox) = input.at(f, oy * stride, ox * stride);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Shortcut backward: scatters errors back to the sampled positions;
+/// errors in the zero-padded features vanish.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when `out_err` does not match the
+/// shortcut output shape for `in_shape`.
+pub fn shortcut_backward(
+    out_err: &Tensor,
+    in_shape: FeatureShape,
+    stride: usize,
+) -> Result<Tensor> {
+    let es = out_err.shape();
+    if es.height != in_shape.height.div_ceil(stride) || es.width != in_shape.width.div_ceil(stride)
+    {
+        return Err(Error::ShapeMismatch {
+            expected: in_shape,
+            got: es,
+        });
+    }
+    let mut in_err = Tensor::zeros(in_shape);
+    for f in 0..in_shape.features.min(es.features) {
+        for oy in 0..es.height {
+            for ox in 0..es.width {
+                *in_err.at_mut(f, oy * stride, ox * stride) = out_err.at(f, oy, ox);
+            }
+        }
+    }
+    Ok(in_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_round_trips() {
+        let a = Tensor::from_vec(FeatureShape::new(1, 1, 2), vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(FeatureShape::new(2, 1, 2), vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        let cat = concat_forward(&[&a, &b]).unwrap();
+        assert_eq!(cat.shape(), FeatureShape::new(3, 1, 2));
+        let parts = concat_backward(&cat, &[a.shape(), b.shape()]).unwrap();
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_spatial() {
+        let a = Tensor::zeros(FeatureShape::new(1, 2, 2));
+        let b = Tensor::zeros(FeatureShape::new(1, 3, 3));
+        assert!(concat_forward(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn shortcut_subsamples_and_pads() {
+        let input = Tensor::from_vec(
+            FeatureShape::new(1, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        let out = shortcut_forward(&input, 2, 2).unwrap();
+        assert_eq!(out.shape(), FeatureShape::new(2, 1, 1));
+        assert_eq!(out.as_slice(), &[1.0, 0.0]); // sampled + zero-padded feature
+    }
+
+    #[test]
+    fn shortcut_backward_scatters() {
+        let in_shape = FeatureShape::new(1, 2, 2);
+        let err = Tensor::from_vec(FeatureShape::new(2, 1, 1), vec![5.0, 9.0]).unwrap();
+        let back = shortcut_backward(&err, in_shape, 2).unwrap();
+        // The padded feature's error (9.0) has no source and is dropped.
+        assert_eq!(back.as_slice(), &[5.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn identity_shortcut_is_identity() {
+        let input = Tensor::from_vec(FeatureShape::new(2, 1, 1), vec![1.0, 2.0]).unwrap();
+        let out = shortcut_forward(&input, 1, 2).unwrap();
+        assert_eq!(out, input);
+    }
+}

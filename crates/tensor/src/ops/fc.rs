@@ -1,0 +1,154 @@
+//! Fully-connected layer: vector–matrix multiply forward, transpose
+//! backward, outer-product weight gradient.
+
+use crate::error::{Error, Result};
+use crate::tensor::Tensor;
+use scaledeep_dnn::FeatureShape;
+
+/// Forward FC producing the pre-activation output:
+/// `y[o] = sum_i W[o][i] * x[i] + b[o]`. `weights` is row-major
+/// `[out][in]`; `bias` may be empty.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when `weights.len() != n_in * n_out`.
+pub fn fc_forward(input: &Tensor, n_out: usize, weights: &[f32], bias: &[f32]) -> Result<Tensor> {
+    let n_in = input.shape().elems();
+    if weights.len() != n_in * n_out {
+        return Err(Error::ShapeMismatch {
+            expected: FeatureShape::vector(n_in * n_out),
+            got: FeatureShape::vector(weights.len()),
+        });
+    }
+    let x = input.as_slice();
+    let mut out = Tensor::zeros(FeatureShape::vector(n_out));
+    let y = out.as_mut_slice();
+    for (o, yo) in y.iter_mut().enumerate() {
+        let row = &weights[o * n_in..(o + 1) * n_in];
+        let mut acc = bias.get(o).copied().unwrap_or(0.0);
+        for (w, v) in row.iter().zip(x) {
+            acc += w * v;
+        }
+        *yo = acc;
+    }
+    Ok(out)
+}
+
+/// Backpropagates output errors to input errors: `dx = W^T dy`.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when `weights.len() != n_in * n_out`.
+pub fn fc_backward_input(
+    out_err: &Tensor,
+    in_shape: FeatureShape,
+    weights: &[f32],
+) -> Result<Tensor> {
+    let n_in = in_shape.elems();
+    let n_out = out_err.shape().elems();
+    if weights.len() != n_in * n_out {
+        return Err(Error::ShapeMismatch {
+            expected: FeatureShape::vector(n_in * n_out),
+            got: FeatureShape::vector(weights.len()),
+        });
+    }
+    let mut in_err = Tensor::zeros(in_shape);
+    let dx = in_err.as_mut_slice();
+    for (o, &e) in out_err.as_slice().iter().enumerate() {
+        if e == 0.0 {
+            continue;
+        }
+        let row = &weights[o * n_in..(o + 1) * n_in];
+        for (d, w) in dx.iter_mut().zip(row) {
+            *d += e * w;
+        }
+    }
+    Ok(in_err)
+}
+
+/// Accumulates the outer-product weight gradient `dW[o][i] += dy[o] * x[i]`
+/// and bias gradient `db[o] += dy[o]` (the paper's vector element-wise
+/// multiply kernel).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when `w_grad.len()` does not match the
+/// input/output sizes.
+pub fn fc_backward_weights(
+    input: &Tensor,
+    out_err: &Tensor,
+    w_grad: &mut [f32],
+    b_grad: &mut [f32],
+) -> Result<()> {
+    let n_in = input.shape().elems();
+    let n_out = out_err.shape().elems();
+    if w_grad.len() != n_in * n_out {
+        return Err(Error::ShapeMismatch {
+            expected: FeatureShape::vector(n_in * n_out),
+            got: FeatureShape::vector(w_grad.len()),
+        });
+    }
+    let x = input.as_slice();
+    for (o, &e) in out_err.as_slice().iter().enumerate() {
+        if !b_grad.is_empty() {
+            b_grad[o] += e;
+        }
+        if e == 0.0 {
+            continue;
+        }
+        let row = &mut w_grad[o * n_in..(o + 1) * n_in];
+        for (g, v) in row.iter_mut().zip(x) {
+            *g += e * v;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_is_matvec_plus_bias() {
+        let x = Tensor::from_vec(FeatureShape::vector(2), vec![1.0, 2.0]).unwrap();
+        // W = [[1, 2], [3, 4], [5, 6]], b = [0.5, 0, -0.5]
+        let w = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y = fc_forward(&x, 3, &w, &[0.5, 0.0, -0.5]).unwrap();
+        assert_eq!(y.as_slice(), &[5.5, 11.0, 16.5]);
+    }
+
+    #[test]
+    fn backward_is_transpose() {
+        let e = Tensor::from_vec(FeatureShape::vector(2), vec![1.0, -1.0]).unwrap();
+        let w = vec![1.0, 2.0, 3.0, 4.0]; // rows [1,2], [3,4]
+        let dx = fc_backward_input(&e, FeatureShape::vector(2), &w).unwrap();
+        assert_eq!(dx.as_slice(), &[1.0 - 3.0, 2.0 - 4.0]);
+    }
+
+    #[test]
+    fn weight_gradient_is_outer_product() {
+        let x = Tensor::from_vec(FeatureShape::vector(2), vec![2.0, 3.0]).unwrap();
+        let e = Tensor::from_vec(FeatureShape::vector(2), vec![1.0, -1.0]).unwrap();
+        let mut wg = vec![0.0; 4];
+        let mut bg = vec![0.0; 2];
+        fc_backward_weights(&x, &e, &mut wg, &mut bg).unwrap();
+        assert_eq!(wg, vec![2.0, 3.0, -2.0, -3.0]);
+        assert_eq!(bg, vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_calls() {
+        let x = Tensor::from_vec(FeatureShape::vector(1), vec![1.0]).unwrap();
+        let e = Tensor::from_vec(FeatureShape::vector(1), vec![1.0]).unwrap();
+        let mut wg = vec![0.0; 1];
+        fc_backward_weights(&x, &e, &mut wg, &mut []).unwrap();
+        fc_backward_weights(&x, &e, &mut wg, &mut []).unwrap();
+        assert_eq!(wg, vec![2.0]);
+    }
+
+    #[test]
+    fn mismatched_weights_rejected() {
+        let x = Tensor::from_vec(FeatureShape::vector(2), vec![1.0, 2.0]).unwrap();
+        assert!(fc_forward(&x, 3, &[0.0; 5], &[]).is_err());
+    }
+}

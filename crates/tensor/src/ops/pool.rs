@@ -1,0 +1,210 @@
+//! Max/average pooling: forward (with argmax capture) and backward.
+
+use crate::error::{Error, Result};
+use crate::tensor::Tensor;
+use scaledeep_dnn::{FeatureShape, Pool, PoolKind};
+
+/// The result of a pooling forward pass: the down-sampled output and, for
+/// max pooling, the flat input index chosen per output element (needed to
+/// route errors during BP).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolOutput {
+    /// Down-sampled features.
+    pub output: Tensor,
+    /// For max pooling: argmax input offsets, one per output element.
+    /// Empty for average pooling.
+    pub argmax: Vec<u32>,
+    /// For average pooling: the window element count per output element
+    /// (border windows may be smaller). Empty for max pooling.
+    pub counts: Vec<u32>,
+}
+
+fn check_shape(t: &Tensor, want: FeatureShape) -> Result<()> {
+    if t.shape().elems() != want.elems() {
+        return Err(Error::ShapeMismatch {
+            expected: want,
+            got: t.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Forward pooling.
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when `input` does not match `in_shape`.
+pub fn pool_forward(p: &Pool, in_shape: FeatureShape, input: &Tensor) -> Result<PoolOutput> {
+    check_shape(input, in_shape)?;
+    let out_shape = p.output_shape(in_shape);
+    let mut output = Tensor::zeros(out_shape);
+    let is_max = p.kind == PoolKind::Max;
+    let mut argmax = if is_max {
+        vec![0u32; out_shape.elems()]
+    } else {
+        Vec::new()
+    };
+    let mut counts = if is_max {
+        Vec::new()
+    } else {
+        vec![0u32; out_shape.elems()]
+    };
+    let pad = p.pad as isize;
+
+    for f in 0..out_shape.features {
+        for oy in 0..out_shape.height {
+            for ox in 0..out_shape.width {
+                let oi = (f * out_shape.height + oy) * out_shape.width + ox;
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0u32;
+                let mut sum = 0.0f32;
+                let mut n = 0u32;
+                for wy in 0..p.window {
+                    let iy = (oy * p.stride + wy) as isize - pad;
+                    if iy < 0 || iy >= in_shape.height as isize {
+                        continue;
+                    }
+                    for wx in 0..p.window {
+                        let ix = (ox * p.stride + wx) as isize - pad;
+                        if ix < 0 || ix >= in_shape.width as isize {
+                            continue;
+                        }
+                        let v = input.at(f, iy as usize, ix as usize);
+                        let flat = ((f * in_shape.height + iy as usize) * in_shape.width
+                            + ix as usize) as u32;
+                        if v > best {
+                            best = v;
+                            best_idx = flat;
+                        }
+                        sum += v;
+                        n += 1;
+                    }
+                }
+                if is_max {
+                    *output.as_mut_slice().get_mut(oi).expect("in range") =
+                        if n == 0 { 0.0 } else { best };
+                    argmax[oi] = best_idx;
+                } else {
+                    output.as_mut_slice()[oi] = if n == 0 { 0.0 } else { sum / n as f32 };
+                    counts[oi] = n.max(1);
+                }
+            }
+        }
+    }
+    Ok(PoolOutput {
+        output,
+        argmax,
+        counts,
+    })
+}
+
+/// Backward pooling: routes output errors back to input positions
+/// (to the argmax for max pooling; spread evenly for average pooling).
+///
+/// # Errors
+///
+/// Returns [`Error::ShapeMismatch`] when `out_err` does not match the
+/// pooled output shape.
+pub fn pool_backward(
+    p: &Pool,
+    in_shape: FeatureShape,
+    fwd: &PoolOutput,
+    out_err: &Tensor,
+) -> Result<Tensor> {
+    let out_shape = p.output_shape(in_shape);
+    check_shape(out_err, out_shape)?;
+    let mut in_err = Tensor::zeros(in_shape);
+    match p.kind {
+        PoolKind::Max => {
+            for (oi, &src) in fwd.argmax.iter().enumerate() {
+                in_err.as_mut_slice()[src as usize] += out_err.as_slice()[oi];
+            }
+        }
+        PoolKind::Avg => {
+            let pad = p.pad as isize;
+            for f in 0..out_shape.features {
+                for oy in 0..out_shape.height {
+                    for ox in 0..out_shape.width {
+                        let oi = (f * out_shape.height + oy) * out_shape.width + ox;
+                        let share = out_err.as_slice()[oi] / fwd.counts[oi] as f32;
+                        for wy in 0..p.window {
+                            let iy = (oy * p.stride + wy) as isize - pad;
+                            if iy < 0 || iy >= in_shape.height as isize {
+                                continue;
+                            }
+                            for wx in 0..p.window {
+                                let ix = (ox * p.stride + wx) as isize - pad;
+                                if ix < 0 || ix >= in_shape.width as isize {
+                                    continue;
+                                }
+                                *in_err.at_mut(f, iy as usize, ix as usize) += share;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(in_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_window_maximum() {
+        let in_shape = FeatureShape::new(1, 2, 2);
+        let input = Tensor::from_vec(in_shape, vec![1.0, 4.0, 3.0, 2.0]).unwrap();
+        let p = Pool::max(2, 2);
+        let out = pool_forward(&p, in_shape, &input).unwrap();
+        assert_eq!(out.output.as_slice(), &[4.0]);
+        assert_eq!(out.argmax, vec![1]);
+    }
+
+    #[test]
+    fn avg_pool_averages_window() {
+        let in_shape = FeatureShape::new(1, 2, 2);
+        let input = Tensor::from_vec(in_shape, vec![1.0, 4.0, 3.0, 2.0]).unwrap();
+        let p = Pool::avg(2, 2);
+        let out = pool_forward(&p, in_shape, &input).unwrap();
+        assert_eq!(out.output.as_slice(), &[2.5]);
+    }
+
+    #[test]
+    fn max_backward_routes_to_argmax() {
+        let in_shape = FeatureShape::new(1, 2, 2);
+        let input = Tensor::from_vec(in_shape, vec![1.0, 4.0, 3.0, 2.0]).unwrap();
+        let p = Pool::max(2, 2);
+        let fwd = pool_forward(&p, in_shape, &input).unwrap();
+        let err = Tensor::from_vec(FeatureShape::new(1, 1, 1), vec![5.0]).unwrap();
+        let back = pool_backward(&p, in_shape, &fwd, &err).unwrap();
+        assert_eq!(back.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_backward_spreads_evenly() {
+        let in_shape = FeatureShape::new(1, 2, 2);
+        let input = Tensor::zeros(in_shape);
+        let p = Pool::avg(2, 2);
+        let fwd = pool_forward(&p, in_shape, &input).unwrap();
+        let err = Tensor::from_vec(FeatureShape::new(1, 1, 1), vec![8.0]).unwrap();
+        let back = pool_backward(&p, in_shape, &fwd, &err).unwrap();
+        assert_eq!(back.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn ceil_mode_handles_partial_windows() {
+        // 3x3 input, 2x2/2 ceil pooling -> 2x2 output with partial windows.
+        let in_shape = FeatureShape::new(1, 3, 3);
+        let input = Tensor::from_vec(
+            in_shape,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        )
+        .unwrap();
+        let p = Pool::max(2, 2);
+        let out = pool_forward(&p, in_shape, &input).unwrap();
+        assert_eq!(out.output.shape(), FeatureShape::new(1, 2, 2));
+        assert_eq!(out.output.as_slice(), &[5.0, 6.0, 8.0, 9.0]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Stochastic gradient descent update rule.
+
+/// Plain minibatch SGD: `w -= lr * grad / batch`, then gradients are
+/// cleared — mirroring ScaleDeep's end-of-minibatch weight update after
+/// gradient aggregation over the wheel arcs and ring (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate.
+    pub const fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    /// Applies one update to `weights` from accumulated `grads` (scaled by
+    /// `1/batch`), then zeroes `grads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices differ in length or `batch` is zero.
+    pub fn step(&self, weights: &mut [f32], grads: &mut [f32], batch: usize) {
+        assert_eq!(weights.len(), grads.len(), "weight/grad length mismatch");
+        assert!(batch > 0, "batch must be non-zero");
+        let scale = self.lr / batch as f32;
+        for (w, g) in weights.iter_mut().zip(grads.iter_mut()) {
+            *w -= scale * *g;
+            *g = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_updates_and_clears() {
+        let opt = Sgd::new(0.5);
+        let mut w = vec![1.0, 2.0];
+        let mut g = vec![2.0, -4.0];
+        opt.step(&mut w, &mut g, 2);
+        assert_eq!(w, vec![1.0 - 0.5, 2.0 + 1.0]);
+        assert_eq!(g, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Sgd::new(0.1).step(&mut [0.0], &mut [0.0, 0.0], 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Dense f32 tensors in feature-major (CHW) layout.
+
+use crate::error::{Error, Result};
+use scaledeep_dnn::FeatureShape;
+use std::fmt;
+
+/// A dense, owned f32 tensor shaped as `features × height × width`
+/// (feature-major / CHW layout, matching the per-feature-map distribution
+/// the ScaleDeep chip uses).
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: FeatureShape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// An all-zeros tensor of the given shape.
+    pub fn zeros(shape: FeatureShape) -> Self {
+        Self {
+            shape,
+            data: vec![0.0; shape.elems()],
+        }
+    }
+
+    /// Builds a tensor from raw data in CHW order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when `data.len() != shape.elems()`.
+    pub fn from_vec(shape: FeatureShape, data: Vec<f32>) -> Result<Self> {
+        if data.len() != shape.elems() {
+            return Err(Error::ShapeMismatch {
+                expected: shape,
+                got: FeatureShape::vector(data.len()),
+            });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> FeatureShape {
+        self.shape
+    }
+
+    /// Flat view of the data in CHW order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view of the data in CHW order.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its backing storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at (feature, row, col).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates are out of bounds.
+    #[inline]
+    pub fn at(&self, f: usize, y: usize, x: usize) -> f32 {
+        debug_assert!(f < self.shape.features && y < self.shape.height && x < self.shape.width);
+        self.data[(f * self.shape.height + y) * self.shape.width + x]
+    }
+
+    /// Mutable element at (feature, row, col).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates are out of bounds.
+    #[inline]
+    pub fn at_mut(&mut self, f: usize, y: usize, x: usize) -> &mut f32 {
+        debug_assert!(f < self.shape.features && y < self.shape.height && x < self.shape.width);
+        &mut self.data[(f * self.shape.height + y) * self.shape.width + x]
+    }
+
+    /// Reinterprets the tensor as a flat vector shape (n × 1 × 1), without
+    /// copying. Used at the CONV → FC boundary.
+    pub fn flatten(mut self) -> Self {
+        self.shape = FeatureShape::vector(self.data.len());
+        self
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        if self.shape.elems() != other.shape.elems() {
+            return Err(Error::ShapeMismatch {
+                expected: self.shape,
+                got: other.shape,
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max))
+    }
+
+    /// Sum of squares of all elements (used for loss computation).
+    pub fn squared_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({} elems, shape {})", self.data.len(), self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_chw() {
+        let mut t = Tensor::zeros(FeatureShape::new(2, 3, 4));
+        *t.at_mut(1, 2, 3) = 7.0;
+        assert_eq!(t.as_slice()[12 + 2 * 4 + 3], 7.0);
+        assert_eq!(t.at(1, 2, 3), 7.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        let err = Tensor::from_vec(FeatureShape::new(1, 2, 2), vec![1.0; 3]).unwrap_err();
+        assert!(matches!(err, Error::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn flatten_preserves_data() {
+        let t = Tensor::from_vec(FeatureShape::new(2, 1, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let f = t.clone().flatten();
+        assert_eq!(f.shape(), FeatureShape::vector(4));
+        assert_eq!(f.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn max_abs_diff_detects_divergence() {
+        let a = Tensor::from_vec(FeatureShape::vector(3), vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(FeatureShape::vector(3), vec![1.0, 2.5, 3.0]).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
+    }
+}

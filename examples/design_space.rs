@@ -1,0 +1,53 @@
+//! Design-space exploration: ScaleDeep's architecture template is
+//! parametric — sweep cluster count, wheel size and operating frequency
+//! and chart the training-throughput/power frontier on OverFeat-Fast.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use scaledeep::report::Table;
+use scaledeep::Session;
+use scaledeep_arch::presets;
+use scaledeep_dnn::zoo;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = zoo::overfeat_fast();
+    let mut t = Table::new("Design space: OverFeat-Fast training").headers([
+        "clusters",
+        "wheel",
+        "MHz",
+        "peak TFLOPS",
+        "img/s",
+        "W",
+        "img/s/W",
+    ]);
+
+    for clusters in [1usize, 2, 4] {
+        for wheel in [2usize, 4] {
+            for mhz in [450.0, 600.0, 750.0] {
+                let mut node = presets::single_precision();
+                node.clusters = clusters;
+                node.cluster.conv_chips = wheel;
+                node.frequency_mhz = mhz;
+                let session = Session::with_node(node);
+                let r = session.train(&net)?;
+                t.row([
+                    clusters.to_string(),
+                    wheel.to_string(),
+                    format!("{mhz:.0}"),
+                    format!("{:.0}", node.peak_flops() / 1e12),
+                    format!("{:.0}", r.images_per_sec),
+                    format!("{:.0}", r.avg_power.total()),
+                    format!("{:.1}", r.images_per_sec / r.avg_power.total()),
+                ]);
+            }
+        }
+    }
+    println!("{t}");
+    println!(
+        "note: the power model's component watts are calibrated at 600 MHz; rows at other\n\
+         frequencies scale compute time only, so treat them as performance-scaling studies."
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: compile AlexNet onto the baseline ScaleDeep node and
+//! simulate one training and one evaluation run.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use scaledeep::Session;
+use scaledeep_dnn::{zoo, Step};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = zoo::alexnet();
+    let analysis = net.analyze();
+    println!("network: {}", net.name());
+    println!(
+        "  layers (CONV/FC/SAMP): {:?}   weights: {:.1}M   eval FLOPs: {:.2}G",
+        net.layer_counts(),
+        analysis.weights() as f64 / 1e6,
+        analysis.total_flops(Step::Fp) as f64 / 1e9
+    );
+
+    let session = Session::single_precision();
+    let node = session.node();
+    println!(
+        "node: {} tiles, {:.0} TFLOPS peak @ {} MHz",
+        node.total_tiles(),
+        node.peak_flops() / 1e12,
+        node.frequency_mhz
+    );
+
+    let mapping = session.compile(&net)?;
+    println!(
+        "mapping: {} ConvLayer columns on {} chip(s), {} FcLayer columns",
+        mapping.conv_cols_used(),
+        mapping.chips_spanned(),
+        mapping.fc_cols_used()
+    );
+
+    let train = session.train(&net)?;
+    let eval = session.evaluate(&net)?;
+    println!(
+        "training:   {:>8.0} images/s   (utilization {:.2}, {:.0} W, {:.1} GFLOPs/W)",
+        train.images_per_sec,
+        train.pe_utilization,
+        train.avg_power.total(),
+        train.gflops_per_watt
+    );
+    println!(
+        "evaluation: {:>8.0} images/s   ({:.2}x training)",
+        eval.images_per_sec,
+        eval.images_per_sec / train.images_per_sec
+    );
+    Ok(())
+}

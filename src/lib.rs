@@ -1,0 +1,10 @@
+//! Umbrella crate for the ScaleDeep reproduction: re-exports the workspace
+//! crates so examples and integration tests can use one import root.
+pub use scaledeep as core;
+pub use scaledeep_arch as arch;
+pub use scaledeep_baselines as baselines;
+pub use scaledeep_compiler as compiler;
+pub use scaledeep_dnn as dnn;
+pub use scaledeep_isa as isa;
+pub use scaledeep_sim as sim;
+pub use scaledeep_tensor as tensor;

@@ -1,0 +1,102 @@
+//! Error types across the workspace: every public error renders a
+//! meaningful, lowercase-start message (C-GOOD-ERR) and implements
+//! `std::error::Error` with sources where applicable.
+
+use std::error::Error as StdError;
+
+fn check_display<E: StdError>(e: &E) {
+    let msg = e.to_string();
+    assert!(!msg.is_empty(), "error messages must not be empty");
+    assert!(
+        !msg.ends_with('.'),
+        "error messages carry no trailing punctuation: `{msg}`"
+    );
+}
+
+#[test]
+fn dnn_errors_render() {
+    use scaledeep_dnn::{Conv, FeatureShape, NetworkBuilder};
+    let mut b = NetworkBuilder::new("t", FeatureShape::new(3, 4, 4));
+    let err = b.conv("c", Conv::relu(8, 9, 1, 0)).unwrap_err();
+    check_display(&err);
+    assert!(err.to_string().contains("kernel"));
+
+    let mut b = NetworkBuilder::new("t", FeatureShape::new(3, 8, 8));
+    let err = b
+        .conv("g", Conv::relu_grouped(8, 3, 1, 1, 5))
+        .unwrap_err();
+    check_display(&err);
+    assert!(err.to_string().contains("groups"));
+}
+
+#[test]
+fn tensor_errors_render_and_chain() {
+    use scaledeep_dnn::FeatureShape;
+    use scaledeep_tensor::Tensor;
+    let err = Tensor::from_vec(FeatureShape::new(1, 2, 2), vec![0.0; 3]).unwrap_err();
+    check_display(&err);
+    assert!(err.to_string().contains("shape mismatch"));
+    // Graph errors chain through as sources.
+    let graph_err = scaledeep_tensor::Error::from(scaledeep_dnn::Error::Empty);
+    assert!(graph_err.source().is_some());
+}
+
+#[test]
+fn compiler_errors_render() {
+    use scaledeep_arch::presets;
+    use scaledeep_compiler::Compiler;
+    use scaledeep_dnn::zoo;
+    let mut node = presets::single_precision();
+    node.clusters = 1;
+    node.cluster.conv_chips = 1;
+    node.cluster.conv_chip.cols = 1;
+    node.cluster.conv_chip.mem_heavy.capacity_bytes = 16 * 1024;
+    let err = Compiler::new(&node).map(&zoo::vgg_e()).unwrap_err();
+    check_display(&err);
+    assert!(err.to_string().contains("columns"));
+}
+
+#[test]
+fn isa_errors_render() {
+    use scaledeep_isa::Program;
+    let err = Program::decode("t", &[0xEE]).unwrap_err();
+    check_display(&err);
+    assert!(err.to_string().contains("opcode"));
+}
+
+#[test]
+fn sim_errors_render_and_chain() {
+    use scaledeep_sim::func::Machine;
+    use scaledeep_isa::{Inst, MemRef, Program, TileRef};
+    let mut m = Machine::new(1, 4);
+    let p = Program::new(
+        "oops",
+        vec![
+            Inst::DmaLoad {
+                src: MemRef::at(TileRef(0), 0),
+                dst: MemRef::at(TileRef(0), 2),
+                len: 4,
+                accumulate: false,
+            },
+            Inst::Halt,
+        ],
+    );
+    let err = m.run(&[p], &[]).unwrap_err();
+    check_display(&err);
+    assert!(err.to_string().contains("scratchpad"));
+    // Wrapped compiler errors expose a source.
+    let wrapped = scaledeep_sim::Error::from(scaledeep_compiler::Error::Codegen {
+        detail: "x".into(),
+    });
+    assert!(wrapped.source().is_some());
+}
+
+#[test]
+fn arch_errors_render() {
+    use scaledeep_arch::presets;
+    let mut node = presets::single_precision();
+    node.frequency_mhz = 0.0;
+    let err = node.validate().unwrap_err();
+    check_display(&err);
+    assert!(err.to_string().contains("frequency"));
+}

@@ -1,0 +1,168 @@
+//! MEMTRACK synchronization under adversarial interleavings: the round-
+//! robin scheduler's interleaving is perturbed by padding threads with
+//! NOPs and permuting launch order; the data-flow trackers must enforce
+//! the same final memory state regardless (the paper's §3.2.4 claims:
+//! reads see completed updates; accumulation order never matters).
+
+use proptest::prelude::*;
+use scaledeep_compiler::codegen::TrackerSpec;
+use scaledeep_isa::{Inst, MemRef, Program, TileRef};
+use scaledeep_sim::func::Machine;
+
+fn pad(n: usize) -> Vec<Inst> {
+    vec![Inst::Nop; n]
+}
+
+/// Builds a producer that writes `chunks` pieces of [0,len) after `delay`
+/// NOPs, a transformer that doubles it into [len, 2len), and a consumer
+/// that accumulates both halves into [2len, 3len).
+fn build_programs(delays: [usize; 3], len: u32, chunks: u32) -> Vec<Program> {
+    let t = TileRef(0);
+    let mut producer = pad(delays[0]);
+    let chunk = len / chunks;
+    for i in 0..chunks {
+        producer.push(Inst::DmaLoad {
+            src: MemRef::at(t, 1000 + i * chunk),
+            dst: MemRef::at(t, i * chunk),
+            len: chunk,
+            accumulate: false,
+        });
+    }
+    producer.push(Inst::Halt);
+
+    let mut transformer = pad(delays[1]);
+    // out[len..2len] = in + in (via two accumulating copies).
+    transformer.push(Inst::DmaLoad {
+        src: MemRef::at(t, 0),
+        dst: MemRef::at(t, len),
+        len,
+        accumulate: true,
+    });
+    transformer.push(Inst::DmaLoad {
+        src: MemRef::at(t, 0),
+        dst: MemRef::at(t, len),
+        len,
+        accumulate: true,
+    });
+    transformer.push(Inst::Halt);
+
+    let mut consumer = pad(delays[2]);
+    consumer.push(Inst::DmaLoad {
+        src: MemRef::at(t, 0),
+        dst: MemRef::at(t, 2 * len),
+        len,
+        accumulate: true,
+    });
+    consumer.push(Inst::DmaLoad {
+        src: MemRef::at(t, len),
+        dst: MemRef::at(t, 2 * len),
+        len,
+        accumulate: true,
+    });
+    consumer.push(Inst::Halt);
+
+    vec![
+        Program::new("producer", producer),
+        Program::new("transformer", transformer),
+        Program::new("consumer", consumer),
+    ]
+}
+
+fn trackers(len: u32, chunks: u32) -> Vec<TrackerSpec> {
+    vec![
+        // Raw data: written in `chunks` pieces, read 3 times (2 by the
+        // transformer, 1 by the consumer).
+        TrackerSpec {
+            tile: 0,
+            addr: 0,
+            len,
+            num_updates: chunks as u16,
+            num_reads: 3,
+        },
+        // Transformed data: 2 accumulating updates, 1 read.
+        TrackerSpec {
+            tile: 0,
+            addr: len,
+            len,
+            num_updates: 2,
+            num_reads: 1,
+        },
+        // Result: 2 accumulating updates, host-read.
+        TrackerSpec {
+            tile: 0,
+            addr: 2 * len,
+            len,
+            num_updates: 2,
+            num_reads: 0,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn final_state_is_schedule_independent(
+        d0 in 0usize..12,
+        d1 in 0usize..12,
+        d2 in 0usize..12,
+        order in Just([0usize, 1, 2]).prop_shuffle(),
+        chunks in prop_oneof![Just(1u32), Just(2), Just(4)],
+    ) {
+        let len = 8u32;
+        let progs = build_programs([d0, d1, d2], len, chunks);
+        let specs = trackers(len, chunks);
+
+        let mut m = Machine::new(1, 4096);
+        for i in 0..len {
+            m.mem_mut(0)[(1000 + i) as usize] = (i + 1) as f32;
+        }
+        let ordered: Vec<Program> = order.iter().map(|&i| progs[i].clone()).collect();
+        m.run(&ordered, &specs).expect("no deadlock under any schedule");
+
+        // result = in + 2*in = 3*in regardless of schedule.
+        for i in 0..len as usize {
+            let expect = 3.0 * (i + 1) as f32;
+            prop_assert_eq!(m.mem(0)[2 * len as usize + i], expect);
+        }
+    }
+
+    #[test]
+    fn under_counted_trackers_deadlock_not_corrupt(
+        d0 in 0usize..6,
+        extra in 1u16..4,
+    ) {
+        // If the compiler over-states the update count, consumers block
+        // forever: the machine must report a deadlock, never hand out
+        // partially-updated data.
+        let len = 4u32;
+        let progs = build_programs([d0, 0, 0], len, 1);
+        let mut specs = trackers(len, 1);
+        specs[0].num_updates += extra;
+        let mut m = Machine::new(1, 4096);
+        let err = m.run(&progs, &specs).unwrap_err();
+        let is_deadlock = matches!(err, scaledeep_sim::Error::Deadlock { .. });
+        prop_assert!(is_deadlock, "expected deadlock, got {err}");
+    }
+}
+
+#[test]
+fn reader_never_sees_partial_updates() {
+    // The consumer's read is a single instruction over the whole range; if
+    // trackers were broken it could observe only the first chunk. Exhaust
+    // all launch orders for the 4-chunk case.
+    let len = 8u32;
+    for order in [[0usize, 1, 2], [2, 1, 0], [1, 0, 2], [2, 0, 1], [0, 2, 1], [1, 2, 0]] {
+        let progs = build_programs([0, 0, 0], len, 4);
+        let specs = trackers(len, 4);
+        let mut m = Machine::new(1, 4096);
+        for i in 0..len {
+            m.mem_mut(0)[(1000 + i) as usize] = (i + 1) as f32;
+        }
+        let ordered: Vec<Program> = order.iter().map(|&i| progs[i].clone()).collect();
+        m.run(&ordered, &specs).unwrap();
+        for i in 0..len as usize {
+            assert_eq!(m.mem(0)[2 * len as usize + i], 3.0 * (i + 1) as f32, "{order:?}");
+        }
+    }
+}
