@@ -202,14 +202,20 @@ mod tests {
         let node = presets::single_precision();
         let pm = PowerModel::paper_sp();
         let f = node.frequency_hz();
-        let conv_tile =
-            node.cluster.conv_chip.comp_heavy.flops_per_cycle() as f64 * f / pm.conv_comp_tile.peak_watts / 1e9;
-        assert!((conv_tile - 934.6).abs() < 5.0, "conv CompHeavy {conv_tile}");
-        let fc_tile =
-            node.cluster.fc_chip.comp_heavy.flops_per_cycle() as f64 * f / pm.fc_comp_tile.peak_watts / 1e9;
+        let conv_tile = node.cluster.conv_chip.comp_heavy.flops_per_cycle() as f64 * f
+            / pm.conv_comp_tile.peak_watts
+            / 1e9;
+        assert!(
+            (conv_tile - 934.6).abs() < 5.0,
+            "conv CompHeavy {conv_tile}"
+        );
+        let fc_tile = node.cluster.fc_chip.comp_heavy.flops_per_cycle() as f64 * f
+            / pm.fc_comp_tile.peak_watts
+            / 1e9;
         assert!((fc_tile - 836.6).abs() < 5.0, "fc CompHeavy {fc_tile}");
-        let mem_tile =
-            node.cluster.conv_chip.mem_heavy.flops_per_cycle() as f64 * f / pm.conv_mem_tile.peak_watts / 1e9;
+        let mem_tile = node.cluster.conv_chip.mem_heavy.flops_per_cycle() as f64 * f
+            / pm.conv_mem_tile.peak_watts
+            / 1e9;
         assert!((mem_tile - 408.5).abs() < 3.0, "conv MemHeavy {mem_tile}");
     }
 
@@ -248,6 +254,9 @@ mod tests {
         let sp = PowerModel::paper_sp();
         let hp = PowerModel::paper_hp();
         assert_eq!(hp.node.peak_watts, sp.node.peak_watts);
-        assert_eq!(hp.conv_comp_tile.peak_watts, sp.conv_comp_tile.peak_watts / 2.0);
+        assert_eq!(
+            hp.conv_comp_tile.peak_watts,
+            sp.conv_comp_tile.peak_watts / 2.0
+        );
     }
 }

@@ -125,7 +125,11 @@ mod tests {
         let fc = node.cluster.fc_chip;
         assert_eq!((fc.rows, fc.cols), (6, 8));
         assert_eq!(
-            (fc.comp_heavy.array_rows, fc.comp_heavy.array_cols, fc.comp_heavy.lanes),
+            (
+                fc.comp_heavy.array_rows,
+                fc.comp_heavy.array_cols,
+                fc.comp_heavy.lanes
+            ),
             (4, 8, 1)
         );
     }
@@ -133,7 +137,10 @@ mod tests {
     #[test]
     fn hp_grows_grid_and_halves_memory() {
         let hp = half_precision();
-        assert_eq!((hp.cluster.conv_chip.rows, hp.cluster.conv_chip.cols), (8, 24));
+        assert_eq!(
+            (hp.cluster.conv_chip.rows, hp.cluster.conv_chip.cols),
+            (8, 24)
+        );
         assert_eq!((hp.cluster.fc_chip.rows, hp.cluster.fc_chip.cols), (8, 12));
         assert_eq!(hp.cluster.conv_chip.mem_heavy.capacity_bytes, 256 * KB);
         assert_eq!(hp.precision, Precision::Half);

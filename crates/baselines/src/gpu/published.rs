@@ -27,29 +27,109 @@ pub struct PublishedEntry {
 /// The embedded dataset: the four networks Figure 18 charts × five stacks.
 pub const PUBLISHED: [PublishedEntry; 20] = [
     // --- AlexNet (minibatch 128) ---
-    PublishedEntry { network: "alexnet", framework: GpuFramework::CudnnR2, images_per_sec: 555.0 },
-    PublishedEntry { network: "alexnet", framework: GpuFramework::NervanaNeon, images_per_sec: 1460.0 },
-    PublishedEntry { network: "alexnet", framework: GpuFramework::TensorFlow, images_per_sec: 1250.0 },
-    PublishedEntry { network: "alexnet", framework: GpuFramework::CudnnWinograd, images_per_sec: 1800.0 },
-    PublishedEntry { network: "alexnet", framework: GpuFramework::NervanaWinograd, images_per_sec: 2050.0 },
+    PublishedEntry {
+        network: "alexnet",
+        framework: GpuFramework::CudnnR2,
+        images_per_sec: 555.0,
+    },
+    PublishedEntry {
+        network: "alexnet",
+        framework: GpuFramework::NervanaNeon,
+        images_per_sec: 1460.0,
+    },
+    PublishedEntry {
+        network: "alexnet",
+        framework: GpuFramework::TensorFlow,
+        images_per_sec: 1250.0,
+    },
+    PublishedEntry {
+        network: "alexnet",
+        framework: GpuFramework::CudnnWinograd,
+        images_per_sec: 1800.0,
+    },
+    PublishedEntry {
+        network: "alexnet",
+        framework: GpuFramework::NervanaWinograd,
+        images_per_sec: 2050.0,
+    },
     // --- GoogLeNet (minibatch 128) ---
-    PublishedEntry { network: "googlenet", framework: GpuFramework::CudnnR2, images_per_sec: 147.0 },
-    PublishedEntry { network: "googlenet", framework: GpuFramework::NervanaNeon, images_per_sec: 460.0 },
-    PublishedEntry { network: "googlenet", framework: GpuFramework::TensorFlow, images_per_sec: 380.0 },
-    PublishedEntry { network: "googlenet", framework: GpuFramework::CudnnWinograd, images_per_sec: 540.0 },
-    PublishedEntry { network: "googlenet", framework: GpuFramework::NervanaWinograd, images_per_sec: 620.0 },
+    PublishedEntry {
+        network: "googlenet",
+        framework: GpuFramework::CudnnR2,
+        images_per_sec: 147.0,
+    },
+    PublishedEntry {
+        network: "googlenet",
+        framework: GpuFramework::NervanaNeon,
+        images_per_sec: 460.0,
+    },
+    PublishedEntry {
+        network: "googlenet",
+        framework: GpuFramework::TensorFlow,
+        images_per_sec: 380.0,
+    },
+    PublishedEntry {
+        network: "googlenet",
+        framework: GpuFramework::CudnnWinograd,
+        images_per_sec: 540.0,
+    },
+    PublishedEntry {
+        network: "googlenet",
+        framework: GpuFramework::NervanaWinograd,
+        images_per_sec: 620.0,
+    },
     // --- OverFeat-Fast (minibatch 128) ---
-    PublishedEntry { network: "overfeat-fast", framework: GpuFramework::CudnnR2, images_per_sec: 170.0 },
-    PublishedEntry { network: "overfeat-fast", framework: GpuFramework::NervanaNeon, images_per_sec: 490.0 },
-    PublishedEntry { network: "overfeat-fast", framework: GpuFramework::TensorFlow, images_per_sec: 410.0 },
-    PublishedEntry { network: "overfeat-fast", framework: GpuFramework::CudnnWinograd, images_per_sec: 560.0 },
-    PublishedEntry { network: "overfeat-fast", framework: GpuFramework::NervanaWinograd, images_per_sec: 650.0 },
+    PublishedEntry {
+        network: "overfeat-fast",
+        framework: GpuFramework::CudnnR2,
+        images_per_sec: 170.0,
+    },
+    PublishedEntry {
+        network: "overfeat-fast",
+        framework: GpuFramework::NervanaNeon,
+        images_per_sec: 490.0,
+    },
+    PublishedEntry {
+        network: "overfeat-fast",
+        framework: GpuFramework::TensorFlow,
+        images_per_sec: 410.0,
+    },
+    PublishedEntry {
+        network: "overfeat-fast",
+        framework: GpuFramework::CudnnWinograd,
+        images_per_sec: 560.0,
+    },
+    PublishedEntry {
+        network: "overfeat-fast",
+        framework: GpuFramework::NervanaWinograd,
+        images_per_sec: 650.0,
+    },
     // --- VGG-A (minibatch 64) ---
-    PublishedEntry { network: "vgg-a", framework: GpuFramework::CudnnR2, images_per_sec: 74.0 },
-    PublishedEntry { network: "vgg-a", framework: GpuFramework::NervanaNeon, images_per_sec: 180.0 },
-    PublishedEntry { network: "vgg-a", framework: GpuFramework::TensorFlow, images_per_sec: 155.0 },
-    PublishedEntry { network: "vgg-a", framework: GpuFramework::CudnnWinograd, images_per_sec: 240.0 },
-    PublishedEntry { network: "vgg-a", framework: GpuFramework::NervanaWinograd, images_per_sec: 280.0 },
+    PublishedEntry {
+        network: "vgg-a",
+        framework: GpuFramework::CudnnR2,
+        images_per_sec: 74.0,
+    },
+    PublishedEntry {
+        network: "vgg-a",
+        framework: GpuFramework::NervanaNeon,
+        images_per_sec: 180.0,
+    },
+    PublishedEntry {
+        network: "vgg-a",
+        framework: GpuFramework::TensorFlow,
+        images_per_sec: 155.0,
+    },
+    PublishedEntry {
+        network: "vgg-a",
+        framework: GpuFramework::CudnnWinograd,
+        images_per_sec: 240.0,
+    },
+    PublishedEntry {
+        network: "vgg-a",
+        framework: GpuFramework::NervanaWinograd,
+        images_per_sec: 280.0,
+    },
 ];
 
 /// Looks up the published training throughput for (network, framework).
@@ -80,8 +160,7 @@ mod tests {
     fn newer_stacks_are_faster() {
         for net in ["alexnet", "googlenet", "overfeat-fast", "vgg-a"] {
             let r2 = published_training_throughput(net, GpuFramework::CudnnR2).unwrap();
-            let wino =
-                published_training_throughput(net, GpuFramework::NervanaWinograd).unwrap();
+            let wino = published_training_throughput(net, GpuFramework::NervanaWinograd).unwrap();
             assert!(wino > 2.0 * r2, "{net}: winograd should be >2x cuDNN R2");
         }
     }

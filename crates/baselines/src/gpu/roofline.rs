@@ -86,8 +86,7 @@ impl GpuRoofline {
                     flops -= conv_share * (1.0 - 1.0 / self.framework.winograd_reduction());
                 }
             }
-            let compute =
-                flops / (self.device.peak_flops * self.framework.compute_efficiency());
+            let compute = flops / (self.device.peak_flops * self.framework.compute_efficiency());
             // Memory roof: features in/out each step plus the weights read
             // once per minibatch.
             let feature_bytes = 3.0

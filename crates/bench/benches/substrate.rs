@@ -20,9 +20,7 @@ fn bench_mapping(c: &mut Criterion) {
     let nets = [zoo::alexnet(), zoo::googlenet(), zoo::vgg_e()];
     let mut g = c.benchmark_group("substrate/mapping");
     for net in &nets {
-        g.bench_function(net.name(), |b| {
-            b.iter(|| compiler.map(net).expect("maps"))
-        });
+        g.bench_function(net.name(), |b| b.iter(|| compiler.map(net).expect("maps")));
     }
     g.finish();
 }
@@ -33,7 +31,9 @@ fn bench_perf_sim(c: &mut Criterion) {
     let net = zoo::vgg_d();
     let mut g = c.benchmark_group("substrate/perf-sim");
     g.sample_size(20);
-    g.bench_function("train-vgg-d", |b| b.iter(|| sim.train(&net).expect("simulates")));
+    g.bench_function("train-vgg-d", |b| {
+        b.iter(|| sim.train(&net).expect("simulates"))
+    });
     g.finish();
 }
 

@@ -12,6 +12,51 @@
 use scaledeep::experiments::{run_by_id, EXPERIMENT_IDS};
 use scaledeep::Session;
 use scaledeep_dnn::zoo;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs every experiment in `ids` across a scoped worker pool. Each
+/// experiment's tables are rendered into a private buffer and printed in
+/// the original order once all workers join, so the output is
+/// byte-identical to a sequential run. Returns `false` when any id is
+/// unknown.
+fn run_experiments(ids: &[&str]) -> bool {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(ids.len().max(1));
+    let next = AtomicUsize::new(0);
+    let outputs: Vec<Mutex<Option<String>>> = ids.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                use std::fmt::Write;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(id) = ids.get(i) else { break };
+                    if let Some(tables) = run_by_id(id) {
+                        let mut buf = String::new();
+                        for t in tables {
+                            writeln!(buf, "{t}").expect("write to String cannot fail");
+                        }
+                        *outputs[i].lock().expect("no panics hold this lock") = Some(buf);
+                    }
+                }
+            });
+        }
+    });
+    let mut ok = true;
+    for (id, slot) in ids.iter().zip(outputs) {
+        match slot.into_inner().expect("workers joined") {
+            Some(buf) => print!("{buf}"),
+            None => {
+                eprintln!("unknown experiment `{id}` (try --list)");
+                ok = false;
+            }
+        }
+    }
+    ok
+}
 
 fn drill_into(name: &str) -> Result<(), String> {
     let net = zoo::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
@@ -73,21 +118,7 @@ fn main() {
     } else {
         args.iter().map(String::as_str).collect()
     };
-    let mut failed = false;
-    for id in ids {
-        match run_by_id(id) {
-            Some(tables) => {
-                for t in tables {
-                    println!("{t}");
-                }
-            }
-            None => {
-                eprintln!("unknown experiment `{id}` (try --list)");
-                failed = true;
-            }
-        }
-    }
-    if failed {
+    if !run_experiments(&ids) {
         std::process::exit(1);
     }
 }

@@ -201,8 +201,7 @@ impl<'n> Codegen<'n> {
                     })
                 }
             }
-            let host_owned_input =
-                self.looped() && matches!(node.layer(), Layer::Input(_));
+            let host_owned_input = self.looped() && matches!(node.layer(), Layer::Input(_));
             if !host_owned_input {
                 self.track(b.output);
             }

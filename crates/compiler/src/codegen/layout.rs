@@ -28,7 +28,11 @@ impl BufferLoc {
     ///
     /// Panics when `elems > len` (points past the buffer).
     pub fn mem_at(&self, elems: u32) -> MemRef {
-        assert!(elems <= self.len, "offset {elems} past buffer of {}", self.len);
+        assert!(
+            elems <= self.len,
+            "offset {elems} past buffer of {}",
+            self.len
+        );
         MemRef::at(TileRef(self.tile), self.offset + elems)
     }
 }

@@ -279,7 +279,10 @@ impl Mapping {
         let mut last_range = None;
         for p in self.conv_plans() {
             let Placement::Conv { first_col, cols } = p.placement else {
-                return Err(fail(format!("conv-side `{}` lacks a conv placement", p.name)));
+                return Err(fail(format!(
+                    "conv-side `{}` lacks a conv placement",
+                    p.name
+                )));
             };
             if cols == 0 {
                 return Err(fail(format!("`{}` allocated zero columns", p.name)));
@@ -429,8 +432,8 @@ impl Compiler {
             // STEP 6: weights fit in the leftover column capacity?
             let capacity = cols as u64 * chip.col_mem_capacity() as u64;
             let weight_and_grad = 2 * budget.weight_bytes;
-            let weights_on_chip = budget.weight_bytes > 0
-                && budget.state_bytes + weight_and_grad <= capacity;
+            let weights_on_chip =
+                budget.weight_bytes > 0 && budget.state_bytes + weight_and_grad <= capacity;
             plans.push(LayerPlan {
                 id,
                 name: node_ref.name().to_string(),
@@ -514,7 +517,9 @@ mod tests {
     #[test]
     fn conv_layers_go_to_conv_chips() {
         let net = zoo::alexnet();
-        let m = Compiler::new(&presets::single_precision()).map(&net).unwrap();
+        let m = Compiler::new(&presets::single_precision())
+            .map(&net)
+            .unwrap();
         for node in net.layers() {
             let plan = m.plan(node.id());
             match node.layer().type_tag() {
@@ -549,7 +554,9 @@ mod tests {
     #[test]
     fn big_conv_layers_get_more_columns() {
         let net = zoo::overfeat_fast();
-        let m = Compiler::new(&presets::single_precision()).map(&net).unwrap();
+        let m = Compiler::new(&presets::single_precision())
+            .map(&net)
+            .unwrap();
         let c5 = m.plan(net.node_by_name("c5").unwrap().id());
         let s1 = m.plan(net.node_by_name("s1").unwrap().id());
         assert!(
@@ -561,9 +568,14 @@ mod tests {
     #[test]
     fn small_conv_weights_live_on_chip_fc_weights_do_not() {
         let net = zoo::alexnet();
-        let m = Compiler::new(&presets::single_precision()).map(&net).unwrap();
+        let m = Compiler::new(&presets::single_precision())
+            .map(&net)
+            .unwrap();
         let f6 = m.plan(net.node_by_name("f6").unwrap().id());
-        assert!(!f6.weights_on_chip, "37M-weight FC layer cannot fit on chip");
+        assert!(
+            !f6.weights_on_chip,
+            "37M-weight FC layer cannot fit on chip"
+        );
     }
 
     #[test]
@@ -625,7 +637,9 @@ mod tests {
     #[test]
     fn half_precision_maps_with_fewer_state_bytes() {
         let net = zoo::vgg_a();
-        let sp = Compiler::new(&presets::single_precision()).map(&net).unwrap();
+        let sp = Compiler::new(&presets::single_precision())
+            .map(&net)
+            .unwrap();
         let hp = Compiler::new(&presets::half_precision()).map(&net).unwrap();
         assert!(hp.elem_bytes() < sp.elem_bytes());
         // HP chips have 24 columns; spanning should not exceed SP's.

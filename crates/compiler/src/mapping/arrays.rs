@@ -72,7 +72,12 @@ fn residue(work: usize, capacity: usize) -> f64 {
 
 /// Chooses the best array configuration for a layer mapped onto `cols`
 /// chip columns of `chip`.
-pub(super) fn configure(net: &Network, node: &LayerNode, cols: usize, chip: &ChipConfig) -> ArrayPlan {
+pub(super) fn configure(
+    net: &Network,
+    node: &LayerNode,
+    cols: usize,
+    chip: &ChipConfig,
+) -> ArrayPlan {
     let out = node.output_shape();
     match node.layer() {
         Layer::Conv(c) => {

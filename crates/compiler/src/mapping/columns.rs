@@ -107,12 +107,15 @@ pub(super) fn allocate(
         groups.push(current);
     }
 
-    let group_state = |g: &[LayerId]| -> u64 {
-        g.iter().map(|id| budgets[id.index()].state_bytes).sum()
-    };
+    let group_state =
+        |g: &[LayerId]| -> u64 { g.iter().map(|id| budgets[id.index()].state_bytes).sum() };
     let mut group_cols: Vec<usize> = groups
         .iter()
-        .map(|g| usize::try_from(group_state(g).div_ceil(col_cap)).unwrap_or(usize::MAX).max(1))
+        .map(|g| {
+            usize::try_from(group_state(g).div_ceil(col_cap))
+                .unwrap_or(usize::MAX)
+                .max(1)
+        })
         .collect();
     let min_total: usize = group_cols.iter().sum();
     let available_total = clusters * wheel * conv_chip.cols;

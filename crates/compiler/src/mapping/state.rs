@@ -57,7 +57,9 @@ pub(super) fn state_budget(
     let state_bytes = pipeline_copies + partial_batch;
     let weight_bytes = analysis.layer(id).weights * elem_bytes;
     let col_cap = chip.col_mem_capacity() as u64;
-    let min_cols = usize::try_from(state_bytes.div_ceil(col_cap)).unwrap_or(usize::MAX).max(1);
+    let min_cols = usize::try_from(state_bytes.div_ceil(col_cap))
+        .unwrap_or(usize::MAX)
+        .max(1);
     StateBudget {
         state_bytes,
         weight_bytes,

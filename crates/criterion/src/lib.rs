@@ -1,0 +1,151 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no cargo-registry access, so the workspace
+//! vendors the benchmarking API subset its benches use: `Criterion`,
+//! `benchmark_group`/`bench_function`/`sample_size`/`finish`, `Bencher::
+//! iter`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. It measures wall-clock time over a fixed warm-up + sample loop
+//! and prints mean time per iteration — no statistics, plots, or baseline
+//! comparisons.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::Instant;
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level bench context.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, 10, f);
+        self
+    }
+}
+
+/// A named group sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name);
+        run_bench(&id, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (upstream compatibility; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(id: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters: samples as u64,
+        elapsed_ns: 0,
+    };
+    // One warm-up pass, then the timed pass.
+    let mut warm = Bencher {
+        iters: 1,
+        elapsed_ns: 0,
+    };
+    f(&mut warm);
+    f(&mut b);
+    let per_iter = b.elapsed_ns / b.iters.max(1);
+    println!("bench {id:<40} {per_iter:>12} ns/iter ({} iters)", b.iters);
+}
+
+/// Timing handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of times.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as u64;
+    }
+}
+
+/// Bundles bench functions into a runner (subset of upstream's macro:
+/// plain `criterion_group!(name, fn, ...)` form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_routine() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut count = 0u64;
+        g.sample_size(3)
+            .bench_function("count", |b| b.iter(|| count += 1));
+        g.finish();
+        // warm-up (1) + timed (3), possibly re-entered: at least 4 calls.
+        assert!(count >= 4, "routine ran {count} times");
+    }
+}

@@ -43,7 +43,8 @@ pub(super) fn layer_cost(net: &Network, node: &LayerNode, e: u64) -> LayerCost {
 fn charge_activation(cost: &mut LayerCost, step: Step, act: Activation, elems: u64, e: u64) {
     let f = act.flops_per_elem() * elems;
     if f > 0 {
-        cost.step_mut(step).charge(Kernel::ActivationFn, f, 2 * e * f);
+        cost.step_mut(step)
+            .charge(Kernel::ActivationFn, f, 2 * e * f);
     }
 }
 
@@ -111,11 +112,8 @@ fn pool_cost(p: Pool, input: FeatureShape, out: FeatureShape, e: u64) -> LayerCo
     let w2 = (p.window * p.window) as u64;
 
     // FP down-sampling: one compare/add per window element.
-    cost.step_mut(Step::Fp).charge(
-        Kernel::Sampling,
-        w2 * out_elems,
-        e * (in_elems + out_elems),
-    );
+    cost.step_mut(Step::Fp)
+        .charge(Kernel::Sampling, w2 * out_elems, e * (in_elems + out_elems));
     // BP up-sampling: one scattered add per input-error element.
     cost.step_mut(Step::Bp)
         .charge(Kernel::Sampling, in_elems, e * (in_elems + out_elems));
@@ -133,18 +131,12 @@ fn fc_cost(f: Fc, input: FeatureShape, out: FeatureShape, e: u64) -> LayerCost {
     cost.neurons = n_out;
     cost.connections = macs;
 
-    cost.step_mut(Step::Fp).charge(
-        Kernel::MatMul,
-        2 * macs,
-        e * (weights + n_in + n_out),
-    );
+    cost.step_mut(Step::Fp)
+        .charge(Kernel::MatMul, 2 * macs, e * (weights + n_in + n_out));
     charge_activation(&mut cost, Step::Fp, f.activation, n_out, e);
 
-    cost.step_mut(Step::Bp).charge(
-        Kernel::MatMul,
-        2 * macs,
-        e * (weights + n_out + n_in),
-    );
+    cost.step_mut(Step::Bp)
+        .charge(Kernel::MatMul, 2 * macs, e * (weights + n_out + n_in));
     charge_activation(&mut cost, Step::Bp, f.activation, n_out, e);
 
     // WG: outer product of FP input and BP error, accumulated into the
@@ -197,10 +189,7 @@ fn shortcut_cost(input: FeatureShape, out: FeatureShape, e: u64) -> LayerCost {
     // A parameter-free subsample + zero-pad: pure data movement, charged as
     // sampling traffic with one FLOP per copied element so B/F stays finite.
     let mut cost = LayerCost::default();
-    let copied = input
-        .elems()
-        .min(out.elems())
-        .max(1) as u64;
+    let copied = input.elems().min(out.elems()).max(1) as u64;
     cost.step_mut(Step::Fp)
         .charge(Kernel::Sampling, copied, e * 2 * copied);
     cost.step_mut(Step::Bp)

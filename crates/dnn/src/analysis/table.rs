@@ -110,7 +110,10 @@ pub fn layer_class_breakdown(net: &Network, analysis: &Analysis) -> Vec<LayerCla
             fp_bp += *cost.step(Step::Fp) + *cost.step(Step::Bp);
             wg += *cost.step(Step::Wg);
             let s = n.output_shape();
-            feature_count = (feature_count.0.min(s.features), feature_count.1.max(s.features));
+            feature_count = (
+                feature_count.0.min(s.features),
+                feature_count.1.max(s.features),
+            );
             feature_size = (feature_size.0.min(s.height), feature_size.1.max(s.height));
             if cost.weights > 0 || class != LayerClass::Sampling {
                 weights = (weights.0.min(cost.weights), weights.1.max(cost.weights));
@@ -155,7 +158,10 @@ mod tests {
             .iter()
             .find(|r| r.class == LayerClass::InitialConv)
             .unwrap();
-        let mid = rows.iter().find(|r| r.class == LayerClass::MidConv).unwrap();
+        let mid = rows
+            .iter()
+            .find(|r| r.class == LayerClass::MidConv)
+            .unwrap();
         // Paper: C1, C2 initial; C3-C5 mid.
         assert_eq!(initial.layers, 2);
         assert_eq!(mid.layers, 3);
@@ -173,7 +179,11 @@ mod tests {
             .iter()
             .find(|r| r.class == LayerClass::FullyConnected)
             .unwrap();
-        assert!(fc.bf_fp_bp > 1.5 && fc.bf_fp_bp < 2.5, "got {}", fc.bf_fp_bp);
+        assert!(
+            fc.bf_fp_bp > 1.5 && fc.bf_fp_bp < 2.5,
+            "got {}",
+            fc.bf_fp_bp
+        );
         assert!(fc.bf_wg > 3.5 && fc.bf_wg < 4.5, "got {}", fc.bf_wg);
     }
 

@@ -61,7 +61,12 @@ impl NetworkBuilder {
         self.nodes[id.index()].output_shape()
     }
 
-    fn push(&mut self, name: impl Into<String>, layer: Layer, inputs: Vec<LayerId>) -> Result<LayerId> {
+    fn push(
+        &mut self,
+        name: impl Into<String>,
+        layer: Layer,
+        inputs: Vec<LayerId>,
+    ) -> Result<LayerId> {
         let id = Network::push_node(&mut self.nodes, name.into(), layer, inputs)?;
         self.tail = id;
         Ok(id)
@@ -254,9 +259,7 @@ mod tests {
         let trunk = b.tail();
         let c1 = b.conv("c1", Conv::relu(16, 3, 1, 1)).unwrap();
         let c2 = b.conv_from("c2", c1, Conv::linear(16, 3, 1, 1)).unwrap();
-        let add = b
-            .eltwise_add("add", trunk, c2, Activation::Relu)
-            .unwrap();
+        let add = b.eltwise_add("add", trunk, c2, Activation::Relu).unwrap();
         let net = b.finish_with_loss(add).unwrap();
         let join = net.node_by_name("add").unwrap();
         assert_eq!(join.inputs().len(), 2);

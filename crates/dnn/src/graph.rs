@@ -212,12 +212,7 @@ impl Network {
         let mut depth = vec![0usize; self.nodes.len()];
         let mut max = 0;
         for n in &self.nodes {
-            let base = n
-                .inputs()
-                .iter()
-                .map(|&i| depth[i.0])
-                .max()
-                .unwrap_or(0);
+            let base = n.inputs().iter().map(|&i| depth[i.0]).max().unwrap_or(0);
             let own = usize::from(matches!(
                 n.layer(),
                 Layer::Conv(_) | Layer::Fc(_) | Layer::Pool(_)

@@ -154,7 +154,9 @@ impl Conv {
                 detail: "kernel, stride, out_features and groups must be non-zero".into(),
             });
         }
-        if !input.features.is_multiple_of(self.groups) || !self.out_features.is_multiple_of(self.groups) {
+        if !input.features.is_multiple_of(self.groups)
+            || !self.out_features.is_multiple_of(self.groups)
+        {
             return Err(Error::InvalidParameter {
                 layer: name.to_string(),
                 detail: format!(
@@ -267,7 +269,10 @@ impl Pool {
         let span_h = input.height + 2 * self.pad - self.window;
         let span_w = input.width + 2 * self.pad - self.window;
         let (h, w) = if self.ceil_mode {
-            (span_h.div_ceil(self.stride) + 1, span_w.div_ceil(self.stride) + 1)
+            (
+                span_h.div_ceil(self.stride) + 1,
+                span_w.div_ceil(self.stride) + 1,
+            )
         } else {
             (span_h / self.stride + 1, span_w / self.stride + 1)
         };

@@ -46,7 +46,11 @@ pub fn training_schedule(net: &Network) -> Vec<ScheduledStep> {
             .map(|&i| fp_slot[i.index()])
             .max()
             .unwrap_or(0);
-        fp_slot[node.id().index()] = if occupies(node.layer()) { base + 1 } else { base };
+        fp_slot[node.id().index()] = if occupies(node.layer()) {
+            base + 1
+        } else {
+            base
+        };
         depth = depth.max(fp_slot[node.id().index()]);
     }
 

@@ -49,9 +49,10 @@ pub fn fig15_neurons(net: &Network) -> u64 {
                 // is a reduce conv whose only consumer is a branch conv that
                 // feeds a concat.
                 let internal = feeds_concat(n.id())
-                    || n.consumers().iter().all(|&c| {
-                        matches!(net.node(c).layer(), Layer::Conv(_)) && feeds_concat(c)
-                    }) && !n.consumers().is_empty();
+                    || n.consumers()
+                        .iter()
+                        .all(|&c| matches!(net.node(c).layer(), Layer::Conv(_)) && feeds_concat(c))
+                        && !n.consumers().is_empty();
                 if internal {
                     0
                 } else {
@@ -237,7 +238,10 @@ mod tests {
             let net = by_name(name).unwrap();
             assert_eq!(net.layer_counts(), (5, 3, 3), "{name}");
         }
-        assert_eq!(by_name("overfeat-accurate").unwrap().layer_counts(), (6, 3, 3));
+        assert_eq!(
+            by_name("overfeat-accurate").unwrap().layer_counts(),
+            (6, 3, 3)
+        );
         assert_eq!(by_name("vgg-a").unwrap().layer_counts(), (8, 3, 5));
         assert_eq!(by_name("vgg-d").unwrap().layer_counts(), (13, 3, 5));
         assert_eq!(by_name("vgg-e").unwrap().layer_counts(), (16, 3, 5));

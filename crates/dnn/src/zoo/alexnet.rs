@@ -15,11 +15,14 @@ pub fn alexnet() -> Network {
     let mut b = NetworkBuilder::new("alexnet", FeatureShape::new(3, 227, 227));
     b.conv("c1", Conv::relu(96, 11, 4, 0)).expect("c1");
     b.pool("s1", Pool::max(3, 2)).expect("s1");
-    b.conv("c2", Conv::relu_grouped(256, 5, 1, 2, 2)).expect("c2");
+    b.conv("c2", Conv::relu_grouped(256, 5, 1, 2, 2))
+        .expect("c2");
     b.pool("s2", Pool::max(3, 2)).expect("s2");
     b.conv("c3", Conv::relu(384, 3, 1, 1)).expect("c3");
-    b.conv("c4", Conv::relu_grouped(384, 3, 1, 1, 2)).expect("c4");
-    b.conv("c5", Conv::relu_grouped(256, 3, 1, 1, 2)).expect("c5");
+    b.conv("c4", Conv::relu_grouped(384, 3, 1, 1, 2))
+        .expect("c4");
+    b.conv("c5", Conv::relu_grouped(256, 3, 1, 1, 2))
+        .expect("c5");
     b.pool("s3", Pool::max(3, 2)).expect("s3");
     b.fc("f6", Fc::relu(4096)).expect("f6");
     b.fc("f7", Fc::relu(4096)).expect("f7");

@@ -21,7 +21,10 @@ use crate::shape::FeatureShape;
 ///
 /// Panics when `dims` has fewer than two entries or contains zeros.
 pub fn autoencoder(dims: &[usize]) -> Network {
-    assert!(dims.len() >= 2, "autoencoder needs input and bottleneck dims");
+    assert!(
+        dims.len() >= 2,
+        "autoencoder needs input and bottleneck dims"
+    );
     assert!(dims.iter().all(|&d| d > 0), "dims must be non-zero");
     let mut b = NetworkBuilder::new("autoencoder", FeatureShape::vector(dims[0]));
     for (i, &d) in dims.iter().enumerate().skip(1) {
@@ -42,13 +45,18 @@ pub fn autoencoder(dims: &[usize]) -> Network {
             Fc {
                 out_neurons: d,
                 bias: false,
-                activation: if last { Activation::None } else { Activation::Tanh },
+                activation: if last {
+                    Activation::None
+                } else {
+                    Activation::Tanh
+                },
             },
         )
         .expect("valid decoder layer");
     }
     let out = b.tail();
-    b.finish_with_loss(out).expect("autoencoder is a valid graph")
+    b.finish_with_loss(out)
+        .expect("autoencoder is a valid graph")
 }
 
 /// An Elman-style recurrent network unrolled for `steps` timesteps:
@@ -115,10 +123,18 @@ pub fn unrolled_lstm(steps: usize, input_dim: usize, hidden: usize, outputs: usi
     let mut h = b.fc("embed", gate(Activation::Tanh)).expect("embedding");
     let mut c: Option<crate::LayerId> = None;
     for t in 0..steps {
-        let i = b.fc_from(format!("i{t}"), h, gate(Activation::Sigmoid)).expect("i gate");
-        let f = b.fc_from(format!("f{t}"), h, gate(Activation::Sigmoid)).expect("f gate");
-        let o = b.fc_from(format!("o{t}"), h, gate(Activation::Sigmoid)).expect("o gate");
-        let g = b.fc_from(format!("g{t}"), h, gate(Activation::Tanh)).expect("g gate");
+        let i = b
+            .fc_from(format!("i{t}"), h, gate(Activation::Sigmoid))
+            .expect("i gate");
+        let f = b
+            .fc_from(format!("f{t}"), h, gate(Activation::Sigmoid))
+            .expect("f gate");
+        let o = b
+            .fc_from(format!("o{t}"), h, gate(Activation::Sigmoid))
+            .expect("o gate");
+        let g = b
+            .fc_from(format!("g{t}"), h, gate(Activation::Tanh))
+            .expect("g gate");
         let ig = b
             .eltwise_mul(format!("ig{t}"), i, g, Activation::None)
             .expect("i*g");
@@ -195,7 +211,10 @@ mod tests {
         let (_, fc, _) = net.layer_counts();
         assert_eq!(fc, 1 + 3 * 4 + 1);
         assert!(net.node_by_name("tc2").is_some());
-        assert!(net.node_by_name("fc0").is_none(), "first step has no f*c term");
+        assert!(
+            net.node_by_name("fc0").is_none(),
+            "first step has no f*c term"
+        );
         assert!(net.node_by_name("fc1").is_some());
     }
 

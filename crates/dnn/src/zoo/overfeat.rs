@@ -22,7 +22,8 @@ pub fn overfeat_fast() -> Network {
     b.fc("f6", Fc::relu(3072)).expect("f6");
     b.fc("f7", Fc::relu(4096)).expect("f7");
     let out = b.fc("f8", Fc::linear(1000)).expect("f8");
-    b.finish_with_loss(out).expect("overfeat-fast is a valid graph")
+    b.finish_with_loss(out)
+        .expect("overfeat-fast is a valid graph")
 }
 
 /// Builds OverFeat-Accurate: 6 CONV / 3 FC / 3 SAMP on 221×221 inputs,

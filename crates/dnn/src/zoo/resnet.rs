@@ -50,12 +50,19 @@ fn resnet(name: &str, blocks: [usize; 4]) -> Network {
     let planes = [64usize, 128, 256, 512];
     let mut b = NetworkBuilder::new(name, FeatureShape::new(3, 224, 224));
     b.conv("c1", Conv::relu(64, 7, 2, 3)).expect("c1");
-    b.pool("s1", Pool::max(3, 2).with_pad(1).floor_mode()).expect("s1");
+    b.pool("s1", Pool::max(3, 2).with_pad(1).floor_mode())
+        .expect("s1");
     let mut tail = b.tail();
     for (stage, (&n, &p)) in blocks.iter().zip(planes.iter()).enumerate() {
         for i in 0..n {
             let stride = if stage > 0 && i == 0 { 2 } else { 1 };
-            tail = basic_block(&mut b, &format!("b{}_{}", stage + 2, i + 1), tail, p, stride);
+            tail = basic_block(
+                &mut b,
+                &format!("b{}_{}", stage + 2, i + 1),
+                tail,
+                p,
+                stride,
+            );
         }
     }
     let pooled = b.pool_from("avg", tail, Pool::avg(7, 1)).expect("avgpool");

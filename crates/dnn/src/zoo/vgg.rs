@@ -17,7 +17,8 @@ fn vgg(name: &str, stage_convs: [usize; 5]) -> Network {
             let layer_name = format!("c{}_{}", stage + 1, i + 1);
             b.conv(layer_name, Conv::relu(ch, 3, 1, 1)).expect("conv");
         }
-        b.pool(format!("s{}", stage + 1), Pool::max(2, 2)).expect("pool");
+        b.pool(format!("s{}", stage + 1), Pool::max(2, 2))
+            .expect("pool");
     }
     b.fc("f6", Fc::relu(4096)).expect("f6");
     b.fc("f7", Fc::relu(4096)).expect("f7");

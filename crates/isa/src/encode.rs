@@ -294,7 +294,12 @@ pub(crate) fn encode_inst(inst: &Inst, out: &mut Vec<u8>) {
             w.mem(output);
             w.boolean(accumulate);
         }
-        Inst::NdActFn { kind, src, len, dst } => {
+        Inst::NdActFn {
+            kind,
+            src,
+            len,
+            dst,
+        } => {
             w.u8(OP_NDACTFN);
             w.act(kind);
             w.mem(src);
@@ -617,12 +622,7 @@ pub(crate) fn decode_inst(bytes: &[u8], offset: usize) -> Result<(Inst, usize)> 
             num_updates: r.u16()?,
             num_reads: r.u16()?,
         },
-        op => {
-            return Err(Error::BadOpcode {
-                opcode: op,
-                offset,
-            })
-        }
+        op => return Err(Error::BadOpcode { opcode: op, offset }),
     };
     Ok((inst, r.pos))
 }
@@ -635,17 +635,55 @@ mod tests {
     fn one_of_each() -> Vec<Inst> {
         let m = |t: u16, a: u32| MemRef::at(TileRef(t), a);
         vec![
-            Inst::Ldri { rd: Reg::R1, value: -7 },
-            Inst::Mov { rd: Reg::R1, rs: Reg::R2 },
-            Inst::Addr { rd: Reg::R0, rs1: Reg::R1, rs2: Reg::R2 },
-            Inst::Addri { rd: Reg::R0, rs: Reg::R1, imm: 9 },
-            Inst::Subr { rd: Reg::R0, rs1: Reg::R1, rs2: Reg::R2 },
-            Inst::Subri { rd: Reg::R0, rs: Reg::R1, imm: 1 },
-            Inst::Mulr { rd: Reg::R0, rs1: Reg::R1, rs2: Reg::R2 },
-            Inst::Inv { rd: Reg::R0, rs: Reg::R1 },
-            Inst::Bnez { rs: Reg::R0, offset: -3 },
-            Inst::Beqz { rs: Reg::R0, offset: 4 },
-            Inst::Bgtz { rs: Reg::R0, offset: 0 },
+            Inst::Ldri {
+                rd: Reg::R1,
+                value: -7,
+            },
+            Inst::Mov {
+                rd: Reg::R1,
+                rs: Reg::R2,
+            },
+            Inst::Addr {
+                rd: Reg::R0,
+                rs1: Reg::R1,
+                rs2: Reg::R2,
+            },
+            Inst::Addri {
+                rd: Reg::R0,
+                rs: Reg::R1,
+                imm: 9,
+            },
+            Inst::Subr {
+                rd: Reg::R0,
+                rs1: Reg::R1,
+                rs2: Reg::R2,
+            },
+            Inst::Subri {
+                rd: Reg::R0,
+                rs: Reg::R1,
+                imm: 1,
+            },
+            Inst::Mulr {
+                rd: Reg::R0,
+                rs1: Reg::R1,
+                rs2: Reg::R2,
+            },
+            Inst::Inv {
+                rd: Reg::R0,
+                rs: Reg::R1,
+            },
+            Inst::Bnez {
+                rs: Reg::R0,
+                offset: -3,
+            },
+            Inst::Beqz {
+                rs: Reg::R0,
+                offset: 4,
+            },
+            Inst::Bgtz {
+                rs: Reg::R0,
+                offset: 0,
+            },
             Inst::Branch { offset: -10 },
             Inst::Halt,
             Inst::Nop,
@@ -675,7 +713,12 @@ mod tests {
                 output: m(2, 0),
                 accumulate: false,
             },
-            Inst::NdActFn { kind: ActKind::Relu, src: m(1, 0), len: 64, dst: m(1, 64) },
+            Inst::NdActFn {
+                kind: ActKind::Relu,
+                src: m(1, 0),
+                len: 64,
+                dst: m(1, 64),
+            },
             Inst::NdActBwd {
                 kind: ActKind::Tanh,
                 pre: m(1, 0),
@@ -706,14 +749,54 @@ mod tests {
                 ceil: false,
                 dst: m(1, 125),
             },
-            Inst::NdAcc { dst: m(1, 0), src: m(2, 0), len: 128 },
-            Inst::VecScaleAcc { src: m(1, 0), len: 256, scalar: m(2, 7), dst: m(3, 0), elementwise: true },
-            Inst::DmaLoad { src: MemRef::at(EXT_MEM_TILE_REF, 0), dst: m(1, 0), len: 512, accumulate: false },
-            Inst::DmaStore { src: m(1, 0), dst: m(9, 0), len: 512, accumulate: true },
-            Inst::Prefetch { src: MemRef::at(EXT_MEM_TILE_REF, 1 << 20), dst: m(1, 0), len: 2048 },
-            Inst::PassBuff { src: m(1, 0), dst: m(2, 0), len: 64 },
-            Inst::MemTrack { tile: TileRef(5), addr: 0, len: 1024, num_updates: 16, num_reads: 3 },
-            Inst::DmaMemTrack { tile: TileRef(90), addr: 4096, len: 64, num_updates: 1, num_reads: 1 },
+            Inst::NdAcc {
+                dst: m(1, 0),
+                src: m(2, 0),
+                len: 128,
+            },
+            Inst::VecScaleAcc {
+                src: m(1, 0),
+                len: 256,
+                scalar: m(2, 7),
+                dst: m(3, 0),
+                elementwise: true,
+            },
+            Inst::DmaLoad {
+                src: MemRef::at(EXT_MEM_TILE_REF, 0),
+                dst: m(1, 0),
+                len: 512,
+                accumulate: false,
+            },
+            Inst::DmaStore {
+                src: m(1, 0),
+                dst: m(9, 0),
+                len: 512,
+                accumulate: true,
+            },
+            Inst::Prefetch {
+                src: MemRef::at(EXT_MEM_TILE_REF, 1 << 20),
+                dst: m(1, 0),
+                len: 2048,
+            },
+            Inst::PassBuff {
+                src: m(1, 0),
+                dst: m(2, 0),
+                len: 64,
+            },
+            Inst::MemTrack {
+                tile: TileRef(5),
+                addr: 0,
+                len: 1024,
+                num_updates: 16,
+                num_reads: 3,
+            },
+            Inst::DmaMemTrack {
+                tile: TileRef(90),
+                addr: 4096,
+                len: 64,
+                num_updates: 1,
+                num_reads: 1,
+            },
         ]
     }
 
@@ -745,7 +828,13 @@ mod tests {
 
     #[test]
     fn truncated_stream_is_detected() {
-        let prog = Program::new("t", vec![Inst::Ldri { rd: Reg::R0, value: 1 }]);
+        let prog = Program::new(
+            "t",
+            vec![Inst::Ldri {
+                rd: Reg::R0,
+                value: 1,
+            }],
+        );
         let bytes = prog.encode();
         let err = Program::decode("t", &bytes[..bytes.len() - 1]).unwrap_err();
         assert!(matches!(err, Error::TruncatedStream { .. }));

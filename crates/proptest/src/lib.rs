@@ -1,0 +1,124 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no cargo-registry access, so the workspace
+//! vendors the property-testing API subset its tests use as a local path
+//! crate: the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`
+//! and `prop_shuffle`, range/tuple/`Just`/`prop_oneof!` strategies,
+//! `any::<T>()`, `prop::collection::vec`, `prop::option::of`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Semantics differ from upstream in two deliberate ways:
+//!
+//! * **Deterministic**: each test derives its RNG seed from the test name,
+//!   so a failure reproduces on every run (no persistence files needed).
+//! * **No shrinking**: a failing case is reported verbatim (its `Debug`
+//!   form is printed before the panic propagates).
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseSkip);
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    (cfg = $cfg:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                let strat = ( $( $strat, )+ );
+                for case in 0..cfg.cases {
+                    let value = $crate::strategy::Strategy::generate(&strat, &mut rng);
+                    let shown = format!("{:?}", value);
+                    let ( $($arg,)+ ) = value;
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::core::result::Result<(), $crate::test_runner::TestCaseSkip> {
+                                { $body }
+                                ::core::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    match outcome {
+                        Ok(_pass_or_skip) => {}
+                        Err(payload) => {
+                            eprintln!(
+                                "proptest `{}`: case {}/{} failed with input {}",
+                                stringify!($name), case + 1, cfg.cases, shown,
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}

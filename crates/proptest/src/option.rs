@@ -1,0 +1,47 @@
+//! Option strategies (subset of `proptest::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+
+/// Generates `Some(element)` three times out of four, `None` otherwise
+/// (matching upstream's default 75% `Some` weighting).
+pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+    OptionStrategy { element }
+}
+
+/// Strategy produced by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    element: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.element.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn both_variants_occur() {
+        let mut rng = TestRng::from_name("opt");
+        let s = of(Just(1u8));
+        let draws: Vec<_> = (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.iter().any(Option::is_some));
+        assert!(draws.iter().any(Option::is_none));
+    }
+}

@@ -1,0 +1,382 @@
+//! Strategies: composable deterministic value generators.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A source of random values of one type (subset of
+/// `proptest::strategy::Strategy`; no shrinking).
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Shuffles the generated collection (Fisher–Yates).
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+        Self::Value: Shufflable,
+    {
+        Shuffle { inner: self }
+    }
+}
+
+impl<V: Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.as_ref().generate(rng)
+    }
+}
+
+/// Boxes a strategy (coercion helper used by `prop_oneof!`).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Collections that `prop_shuffle` can permute.
+pub trait Shufflable: Debug {
+    /// Permutes the collection in place.
+    fn shuffle(&mut self, rng: &mut TestRng);
+}
+
+fn fisher_yates<T>(slice: &mut [T], rng: &mut TestRng) {
+    for i in (1..slice.len()).rev() {
+        let j = rng.below(i + 1);
+        slice.swap(i, j);
+    }
+}
+
+impl<T: Debug> Shufflable for Vec<T> {
+    fn shuffle(&mut self, rng: &mut TestRng) {
+        fisher_yates(self, rng);
+    }
+}
+
+impl<T: Debug, const N: usize> Shufflable for [T; N] {
+    fn shuffle(&mut self, rng: &mut TestRng) {
+        fisher_yates(self, rng);
+    }
+}
+
+/// `prop_shuffle` adapter.
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S> Strategy for Shuffle<S>
+where
+    S: Strategy,
+    S::Value: Shufflable,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let mut v = self.inner.generate(rng);
+        v.shuffle(rng);
+        v
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct OneOf<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V: Debug> OneOf<V> {
+    /// A choice over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V: Debug> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$v:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(S0 / v0 / 0);
+tuple_strategy!(S0 / v0 / 0, S1 / v1 / 1);
+tuple_strategy!(S0 / v0 / 0, S1 / v1 / 1, S2 / v2 / 2);
+tuple_strategy!(S0 / v0 / 0, S1 / v1 / 1, S2 / v2 / 2, S3 / v3 / 3);
+tuple_strategy!(
+    S0 / v0 / 0,
+    S1 / v1 / 1,
+    S2 / v2 / 2,
+    S3 / v3 / 3,
+    S4 / v4 / 4
+);
+tuple_strategy!(
+    S0 / v0 / 0,
+    S1 / v1 / 1,
+    S2 / v2 / 2,
+    S3 / v3 / 3,
+    S4 / v4 / 4,
+    S5 / v5 / 5
+);
+tuple_strategy!(
+    S0 / v0 / 0,
+    S1 / v1 / 1,
+    S2 / v2 / 2,
+    S3 / v3 / 3,
+    S4 / v4 / 4,
+    S5 / v5 / 5,
+    S6 / v6 / 6
+);
+tuple_strategy!(
+    S0 / v0 / 0,
+    S1 / v1 / 1,
+    S2 / v2 / 2,
+    S3 / v3 / 3,
+    S4 / v4 / 4,
+    S5 / v5 / 5,
+    S6 / v6 / 6,
+    S7 / v7 / 7
+);
+tuple_strategy!(
+    S0 / v0 / 0,
+    S1 / v1 / 1,
+    S2 / v2 / 2,
+    S3 / v3 / 3,
+    S4 / v4 / 4,
+    S5 / v5 / 5,
+    S6 / v6 / 6,
+    S7 / v7 / 7,
+    S8 / v8 / 8
+);
+tuple_strategy!(
+    S0 / v0 / 0,
+    S1 / v1 / 1,
+    S2 / v2 / 2,
+    S3 / v3 / 3,
+    S4 / v4 / 4,
+    S5 / v5 / 5,
+    S6 / v6 / 6,
+    S7 / v7 / 7,
+    S8 / v8 / 8,
+    S9 / v9 / 9
+);
+tuple_strategy!(
+    S0 / v0 / 0,
+    S1 / v1 / 1,
+    S2 / v2 / 2,
+    S3 / v3 / 3,
+    S4 / v4 / 4,
+    S5 / v5 / 5,
+    S6 / v6 / 6,
+    S7 / v7 / 7,
+    S8 / v8 / 8,
+    S9 / v9 / 9,
+    S10 / v10 / 10
+);
+tuple_strategy!(
+    S0 / v0 / 0,
+    S1 / v1 / 1,
+    S2 / v2 / 2,
+    S3 / v3 / 3,
+    S4 / v4 / 4,
+    S5 / v5 / 5,
+    S6 / v6 / 6,
+    S7 / v7 / 7,
+    S8 / v8 / 8,
+    S9 / v9 / 9,
+    S10 / v10 / 10,
+    S11 / v11 / 11
+);
+
+/// Types with a whole-domain default strategy (`any::<T>()`).
+pub trait Arbitrary: Debug + Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Finite values spanning several orders of magnitude.
+        let mantissa = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let exp = (rng.next_u64() % 41) as i32 - 20;
+        ((mantissa * 2.0 - 1.0) * 2f64.powi(exp)) as f32
+    }
+}
+
+/// Strategy wrapper for [`Arbitrary`] types.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T` (subset of `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        let s = 3u32..17;
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn map_applies() {
+        let mut r = rng();
+        let s = (0u8..4).prop_map(|v| v as usize * 10);
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut r) % 10, 0);
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = rng();
+        let s = Just([0usize, 1, 2, 3]).prop_shuffle();
+        let mut saw_non_identity = false;
+        for _ in 0..50 {
+            let mut v = s.generate(&mut r);
+            if v != [0, 1, 2, 3] {
+                saw_non_identity = true;
+            }
+            v.sort_unstable();
+            assert_eq!(v, [0, 1, 2, 3], "shuffle is a permutation");
+        }
+        assert!(saw_non_identity);
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut r = rng();
+        let s = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut r = rng();
+        let s = ((0u8..2), (10u16..12), Just("x"));
+        let (a, b, c) = s.generate(&mut r);
+        assert!(a < 2 && (10..12).contains(&b) && c == "x");
+    }
+}

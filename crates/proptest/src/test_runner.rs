@@ -1,0 +1,90 @@
+//! Test-runner support: per-test configuration and the deterministic RNG.
+
+/// Marker returned by `prop_assume!` to skip a case.
+#[derive(Debug, Clone, Copy)]
+pub struct TestCaseSkip;
+
+/// Per-`proptest!` configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// Deterministic generator used to drive strategies: SplitMix64, seeded by
+/// hashing the test name so every run of a test replays the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG seeded from a test's name (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self { state: h }
+    }
+
+    /// The next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound` is 0.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty choice");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// A uniform bool.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("t");
+        let mut b = TestRng::from_name("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("u");
+        assert_ne!(TestRng::from_name("t").next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut r = TestRng::from_name("bounds");
+        for _ in 0..100 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

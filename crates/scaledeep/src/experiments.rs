@@ -18,8 +18,8 @@ mod utilization;
 mod workload;
 
 pub use ablations::{ablations, AblationRow};
-pub use epochs::{training_time, EpochRow, EPOCHS, IMAGENET_EPOCH_IMAGES};
 pub use arch::{fig14, Fig14Row};
+pub use epochs::{training_time, EpochRow, EPOCHS, IMAGENET_EPOCH_IMAGES};
 pub use links::{fig21, Fig21Row};
 pub use power::{fig20, Fig20Row};
 pub use speedup::{dadiannao_comparison, fig18, Fig18Row};
@@ -31,8 +31,19 @@ use crate::report::Table;
 
 /// All experiment ids, in paper order.
 pub const EXPERIMENT_IDS: [&str; 13] = [
-    "fig1", "fig4", "fig5", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-    "fig21", "ablations", "training-time",
+    "fig1",
+    "fig4",
+    "fig5",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "ablations",
+    "training-time",
 ];
 
 /// Runs an experiment by id, returning its rendered tables.

@@ -103,12 +103,7 @@ pub fn ablations() -> (Vec<AblationRow>, Table) {
     }
 
     let mut t = Table::new("Ablations: design-choice sensitivity (training img/s)").headers([
-        "id",
-        "ablation",
-        "network",
-        "baseline",
-        "ablated",
-        "slowdown",
+        "id", "ablation", "network", "baseline", "ablated", "slowdown",
     ]);
     for r in &rows {
         t.row([

@@ -35,7 +35,11 @@ fn rows_for(node: &NodeConfig, power: &PowerModel) -> Vec<Fig14Row> {
             node.cluster.peak_flops(f),
             power.cluster.peak_watts,
         ),
-        mk("ConvLayer chip", conv.peak_flops(f), power.conv_chip.peak_watts),
+        mk(
+            "ConvLayer chip",
+            conv.peak_flops(f),
+            power.conv_chip.peak_watts,
+        ),
         mk(
             "Conv CompHeavy tile",
             conv.comp_heavy.flops_per_cycle() as f64 * f,
@@ -86,8 +90,8 @@ pub fn fig14() -> (Vec<Fig14Row>, Vec<Table>) {
             "half precision",
         ),
     ] {
-        let mut structure = Table::new(format!("Figure 14: structure ({label})"))
-            .headers(["parameter", "value"]);
+        let mut structure =
+            Table::new(format!("Figure 14: structure ({label})")).headers(["parameter", "value"]);
         let conv = &node.cluster.conv_chip;
         let fc = &node.cluster.fc_chip;
         structure.row(["clusters".into(), node.clusters.to_string()]);
@@ -112,10 +116,7 @@ pub fn fig14() -> (Vec<Fig14Row>, Vec<Table>) {
             format!("{}/{}", fc.comp_heavy_tiles(), fc.mem_heavy_tiles()),
         ]);
         structure.row(["total tiles".into(), node.total_tiles().to_string()]);
-        structure.row([
-            "frequency".into(),
-            format!("{} MHz", node.frequency_mhz),
-        ]);
+        structure.row(["frequency".into(), format!("{} MHz", node.frequency_mhz)]);
         structure.row([
             "precision".into(),
             match node.precision {
@@ -126,8 +127,12 @@ pub fn fig14() -> (Vec<Fig14Row>, Vec<Table>) {
         tables.push(structure);
 
         let rows = rows_for(&node, &power);
-        let mut t = Table::new(format!("Figure 14: peak FLOPs & efficiency ({label})"))
-            .headers(["component", "peak FLOPs", "power (W)", "GFLOPs/W"]);
+        let mut t = Table::new(format!("Figure 14: peak FLOPs & efficiency ({label})")).headers([
+            "component",
+            "peak FLOPs",
+            "power (W)",
+            "GFLOPs/W",
+        ]);
         for r in &rows {
             t.row([
                 r.component.clone(),

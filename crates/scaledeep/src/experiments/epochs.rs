@@ -30,10 +30,8 @@ pub struct EpochRow {
 pub fn training_time() -> (Vec<EpochRow>, Table) {
     let session = Session::single_precision();
     let mut rows = Vec::new();
-    let mut t = Table::new(
-        "Training-time projection: 90 ImageNet epochs on one ScaleDeep node",
-    )
-    .headers(["network", "Pops/epoch", "hours (90 ep)", "kWh (90 ep)"]);
+    let mut t = Table::new("Training-time projection: 90 ImageNet epochs on one ScaleDeep node")
+        .headers(["network", "Pops/epoch", "hours (90 ep)", "kWh (90 ep)"]);
     for name in zoo::FIGURE16_ORDER {
         let net = zoo::by_name(name).expect("known benchmark");
         let a = net.analyze();
@@ -68,10 +66,7 @@ mod tests {
         // operations" (MAC-counted; our FLOP count doubles MACs and adds
         // BP/WG, landing near 22 P FLOPs per epoch).
         let (rows, _) = training_time();
-        let of = rows
-            .iter()
-            .find(|r| r.network == "overfeat-fast")
-            .unwrap();
+        let of = rows.iter().find(|r| r.network == "overfeat-fast").unwrap();
         assert!(
             of.peta_ops_per_epoch > 10.0 && of.peta_ops_per_epoch < 40.0,
             "got {:.1} Pops",

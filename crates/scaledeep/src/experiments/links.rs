@@ -20,8 +20,7 @@ pub fn fig21() -> (Vec<Fig21Row>, Table) {
     let mut rows = Vec::new();
     let mut headers = vec!["network".to_string()];
     headers.extend(LinkClass::ALL.iter().map(|c| c.to_string()));
-    let mut t =
-        Table::new("Figure 21: bandwidth utilization of links (training)").headers(headers);
+    let mut t = Table::new("Figure 21: bandwidth utilization of links (training)").headers(headers);
     for name in zoo::FIGURE16_ORDER {
         let net = zoo::by_name(name).expect("known benchmark");
         let r = session.train(&net).expect("benchmark maps");
@@ -59,7 +58,10 @@ mod tests {
                 higher += 1;
             }
         }
-        assert!(higher >= 8, "comp-mem should dominate mem-mem ({higher}/11)");
+        assert!(
+            higher >= 8,
+            "comp-mem should dominate mem-mem ({higher}/11)"
+        );
     }
 
     #[test]
@@ -80,7 +82,11 @@ mod tests {
         let (rows, _) = fig21();
         let arc = idx(LinkClass::Arc);
         let alexnet = rows.iter().find(|r| r.network == "alexnet").unwrap();
-        assert!(alexnet.utilization[arc] < 0.1, "{}", alexnet.utilization[arc]);
+        assert!(
+            alexnet.utilization[arc] < 0.1,
+            "{}",
+            alexnet.utilization[arc]
+        );
         let vgg_d = rows.iter().find(|r| r.network == "vgg-d").unwrap();
         assert!(vgg_d.utilization[arc] > alexnet.utilization[arc]);
     }

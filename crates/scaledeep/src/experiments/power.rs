@@ -61,10 +61,7 @@ pub fn fig20() -> (Vec<Fig20Row>, Table) {
         String::new(),
         String::new(),
         String::new(),
-        format!(
-            "{:.1}",
-            geomean(rows.iter().map(|r| r.gflops_per_watt))
-        ),
+        format!("{:.1}", geomean(rows.iter().map(|r| r.gflops_per_watt))),
     ]);
     (rows, t)
 }

@@ -27,10 +27,15 @@ pub struct Fig18Row {
 pub fn fig18() -> (Vec<Fig18Row>, Table) {
     let session = Session::single_precision();
     let mut rows = Vec::new();
-    let mut t = Table::new(
-        "Figure 18: ScaleDeep chip-cluster speedup over TitanX GPU implementations",
-    )
-    .headers(["network", "framework", "GPU img/s", "cluster img/s", "speedup"]);
+    let mut t =
+        Table::new("Figure 18: ScaleDeep chip-cluster speedup over TitanX GPU implementations")
+            .headers([
+                "network",
+                "framework",
+                "GPU img/s",
+                "cluster img/s",
+                "speedup",
+            ]);
     for name in ["alexnet", "googlenet", "overfeat-fast", "vgg-a"] {
         let net = zoo::by_name(name).expect("known benchmark");
         let cluster_ips = session
@@ -57,11 +62,7 @@ pub fn fig18() -> (Vec<Fig18Row>, Table) {
         }
     }
     for fw in GpuFramework::ALL {
-        let g = geomean(
-            rows.iter()
-                .filter(|r| r.framework == fw)
-                .map(|r| r.speedup),
-        );
+        let g = geomean(rows.iter().filter(|r| r.framework == fw).map(|r| r.speedup));
         t.row([
             "GEOMEAN".to_string(),
             fw.to_string(),
@@ -79,8 +80,12 @@ pub fn dadiannao_comparison() -> Table {
     let node = scaledeep_arch::presets::single_precision();
     let dd = DaDianNaoModel::published();
     let ratio = dd.iso_power_ratio(node.peak_flops(), 1400.0);
-    let mut t = Table::new("Section 7: iso-power comparison vs DaDianNao-style node")
-        .headers(["metric", "ScaleDeep", "DaDianNao", "ratio"]);
+    let mut t = Table::new("Section 7: iso-power comparison vs DaDianNao-style node").headers([
+        "metric",
+        "ScaleDeep",
+        "DaDianNao",
+        "ratio",
+    ]);
     t.row([
         "peak FLOPs @ 1.4 kW".to_string(),
         format!("{:.0}T", node.peak_flops() / 1e12),
@@ -135,7 +140,13 @@ mod tests {
         let (rows, _) = fig18();
         assert_eq!(rows.len(), 20);
         for r in &rows {
-            assert!(r.speedup > 1.0, "{}/{}: {:.1}x", r.network, r.framework, r.speedup);
+            assert!(
+                r.speedup > 1.0,
+                "{}/{}: {:.1}x",
+                r.network,
+                r.framework,
+                r.speedup
+            );
         }
     }
 

@@ -108,11 +108,7 @@ mod tests {
         // Paper §6.1: HP achieves 1.85x (training) over SP.
         let (sp, _) = fig16();
         let (hp, _) = fig17();
-        let speedup = geomean(
-            sp.iter()
-                .zip(&hp)
-                .map(|(s, h)| h.train_ips / s.train_ips),
-        );
+        let speedup = geomean(sp.iter().zip(&hp).map(|(s, h)| h.train_ips / s.train_ips));
         assert!(
             speedup > 1.3 && speedup < 2.6,
             "HP geomean speedup {speedup}"

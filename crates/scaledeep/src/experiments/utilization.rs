@@ -76,12 +76,26 @@ pub fn fig19() -> (Fig19, Vec<Table>) {
         geomean(after_array.iter().copied()),
         geomean(achieved.iter().copied()),
     ];
-    let mut t2 = Table::new("Figure 19: suite-wide utilization cascade (paper: 0.68 -> 0.64 -> 0.42 -> 0.35)")
-        .headers(["stage", "utilization"]);
-    t2.row(["after column allocation".to_string(), format!("{:.2}", suite_cascade[0])]);
-    t2.row(["after feature distribution".to_string(), format!("{:.2}", suite_cascade[1])]);
-    t2.row(["after 2D-array residue".to_string(), format!("{:.2}", suite_cascade[2])]);
-    t2.row(["achieved (with instruction overhead)".to_string(), format!("{:.2}", suite_cascade[3])]);
+    let mut t2 = Table::new(
+        "Figure 19: suite-wide utilization cascade (paper: 0.68 -> 0.64 -> 0.42 -> 0.35)",
+    )
+    .headers(["stage", "utilization"]);
+    t2.row([
+        "after column allocation".to_string(),
+        format!("{:.2}", suite_cascade[0]),
+    ]);
+    t2.row([
+        "after feature distribution".to_string(),
+        format!("{:.2}", suite_cascade[1]),
+    ]);
+    t2.row([
+        "after 2D-array residue".to_string(),
+        format!("{:.2}", suite_cascade[2]),
+    ]);
+    t2.row([
+        "achieved (with instruction overhead)".to_string(),
+        format!("{:.2}", suite_cascade[3]),
+    ]);
 
     // --- memory-side utilization (Figure 19's right panel: SFU and
     // memory-array usage alongside the 2D-PE waterfall) ---

@@ -20,8 +20,11 @@ pub fn fig1() -> Table {
         "vgg-d",
         "vgg-e",
     ];
-    let mut t = Table::new("Figure 1: DNN evaluation FLOPs (billions, one image)")
-        .headers(["network", "GFLOPs (FP)", "G-MACs"]);
+    let mut t = Table::new("Figure 1: DNN evaluation FLOPs (billions, one image)").headers([
+        "network",
+        "GFLOPs (FP)",
+        "G-MACs",
+    ]);
     for name in order {
         let net = zoo::by_name(name).expect("known benchmark");
         let a = net.analyze();
@@ -65,7 +68,11 @@ pub fn fig4() -> Table {
             r.layers.to_string(),
             format!("{}-{}", r.feature_count.0, r.feature_count.1),
             format!("{}x{0}-{1}x{1}", r.feature_size.0, r.feature_size.1),
-            format!("{:.2}M-{:.2}M", r.weights.0 as f64 / 1e6, r.weights.1 as f64 / 1e6),
+            format!(
+                "{:.2}M-{:.2}M",
+                r.weights.0 as f64 / 1e6,
+                r.weights.1 as f64 / 1e6
+            ),
             format!("{:.1}", r.flops_share * 100.0),
             format!("{:.3}", r.bf_fp_bp),
             format!("{:.2}", r.bf_wg),
@@ -74,7 +81,10 @@ pub fn fig4() -> Table {
                 "{:.1}",
                 share(Kernel::NdAccumulate) + share(Kernel::VecEltwiseMul)
             ),
-            format!("{:.1}", share(Kernel::ActivationFn) + share(Kernel::Sampling)),
+            format!(
+                "{:.1}",
+                share(Kernel::ActivationFn) + share(Kernel::Sampling)
+            ),
         ]);
     }
     t
@@ -84,8 +94,11 @@ pub fn fig4() -> Table {
 pub fn fig5() -> Table {
     let suite = zoo::benchmark_suite();
     let rows = kernel_summary(&suite);
-    let mut t = Table::new("Figure 5: operations in DNN training (11-network suite)")
-        .headers(["kernel", "FLOPs %", "Bytes/FLOP"]);
+    let mut t = Table::new("Figure 5: operations in DNN training (11-network suite)").headers([
+        "kernel",
+        "FLOPs %",
+        "Bytes/FLOP",
+    ]);
     for r in rows {
         t.row([
             r.kernel.to_string(),
@@ -133,7 +146,13 @@ pub fn fig15() -> (Vec<Fig15Row>, Table) {
         };
         t.row([
             row.network.clone(),
-            format!("{} ({}/{}/{})", row.layers.0 + row.layers.1 + row.layers.2, row.layers.0, row.layers.1, row.layers.2),
+            format!(
+                "{} ({}/{}/{})",
+                row.layers.0 + row.layers.1 + row.layers.2,
+                row.layers.0,
+                row.layers.1,
+                row.layers.2
+            ),
             format!("{:.2}", row.neurons_m),
             format!("{:.1}", row.weights_m),
             format!("{:.2}", row.connections_b),

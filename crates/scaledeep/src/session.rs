@@ -1,10 +1,37 @@
 //! The end-to-end session API.
 
-use crate::Result;
+use crate::{Error, Result};
 use scaledeep_arch::{presets, NodeConfig};
+use scaledeep_compiler::codegen::{compile_functional, FuncTargetOptions};
 use scaledeep_compiler::{Compiler, Mapping};
-use scaledeep_dnn::Network;
+use scaledeep_dnn::{Layer, Network};
+use scaledeep_sim::func::{FuncSim, RunStats};
 use scaledeep_sim::perf::{PerfOptions, PerfResult, PerfSim, RunKind};
+use scaledeep_tensor::Executor;
+
+/// Cycle counts from both simulators over the same network, produced by
+/// [`Session::cross_check`]: the event-driven functional simulator's
+/// cycle-grounded execution of one training image against the analytic
+/// performance model's per-image service cycles. The two models share
+/// the §3.2 tile parameters, so the counts should agree to within a
+/// small factor — a drift flags a regression in either model.
+#[derive(Debug, Clone)]
+pub struct CycleCrossCheck {
+    /// Statistics from the functional simulator's event-driven run of one
+    /// full training iteration (FP + BP + WG, single image).
+    pub functional: RunStats,
+    /// The performance model's per-image service cycles: the sum of every
+    /// pipeline stage's service time (the layer-sequential, single-image
+    /// interpretation — the same quantity the A4 ablation uses).
+    pub perf_per_image_cycles: u64,
+}
+
+impl CycleCrossCheck {
+    /// Functional cycles over perf-model cycles.
+    pub fn ratio(&self) -> f64 {
+        self.functional.cycles as f64 / self.perf_per_image_cycles.max(1) as f64
+    }
+}
 
 /// A ScaleDeep session: one node configuration plus the compiler and
 /// performance simulator bound to it.
@@ -76,6 +103,53 @@ impl Session {
         self.sim.run_mapped(mapping, kind)
     }
 
+    /// Runs `net` through both simulators and returns their cycle counts
+    /// for one training image: the functional simulator executes the
+    /// compiled ISA programs event-driven (bit-accurate, cycle-grounded
+    /// by the §3.2 cost table), while the performance model prices the
+    /// same layers analytically. Parameters are seeded deterministically;
+    /// the input image is an arbitrary constant (cycle counts are
+    /// data-independent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional-compilation and machine faults, and
+    /// [`Error::Setup`] when the network has no loss head.
+    pub fn cross_check(&self, net: &Network) -> Result<CycleCrossCheck> {
+        let compiled = compile_functional(net, &FuncTargetOptions::default())?;
+        let reference = Executor::new(net, 0xC0FFEE)?;
+        let mut fsim = FuncSim::new(net, &compiled)?;
+        fsim.import_params(&reference)?;
+        let input_len = compiled.buffers[net.input().id().index()]
+            .output
+            .map(|loc| loc.len as usize)
+            .ok_or_else(|| Error::Setup {
+                detail: "input layer has no output buffer".into(),
+            })?;
+        let golden_len = net
+            .layers()
+            .find(|n| matches!(n.layer(), Layer::Loss))
+            .and_then(|n| compiled.buffers[n.id().index()].golden)
+            .map(|loc| loc.len as usize)
+            .ok_or_else(|| Error::Setup {
+                detail: "network has no loss head; cross_check needs a training graph".into(),
+            })?;
+        let functional = fsim.run_iteration(&vec![0.5; input_len], &vec![0.0; golden_len])?;
+
+        // Per-image service cycles at minibatch 1, so neither batching
+        // efficiency nor the pipeline overlap distorts the comparison.
+        let perf = PerfSim::new(&self.node).with_options(PerfOptions {
+            minibatch: 1,
+            ..PerfOptions::default()
+        });
+        let result = perf.train(net)?;
+        let perf_per_image_cycles = result.stages.iter().map(|s| s.service_cycles.max(1)).sum();
+        Ok(CycleCrossCheck {
+            functional,
+            perf_per_image_cycles,
+        })
+    }
+
     /// Training throughput of a single chip cluster (the iso-power unit the
     /// paper compares against one GPU card in Figure 18).
     ///
@@ -108,6 +182,57 @@ mod tests {
         let node = s.train(&zoo::alexnet()).unwrap().images_per_sec;
         let cluster = s.cluster_train_images_per_sec(&zoo::alexnet()).unwrap();
         assert!((node / cluster - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn functional_and_perf_cycles_cross_check() {
+        use scaledeep_dnn::{Activation, Conv, Fc, FeatureShape, NetworkBuilder};
+        let mut b = NetworkBuilder::new("xcheck", FeatureShape::new(1, 8, 8));
+        let c = b
+            .conv(
+                "c",
+                Conv {
+                    out_features: 4,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    groups: 1,
+                    bias: false,
+                    activation: Activation::Relu,
+                },
+            )
+            .unwrap();
+        let f = b
+            .fc_from(
+                "f",
+                c,
+                Fc {
+                    out_neurons: 10,
+                    bias: false,
+                    activation: Activation::None,
+                },
+            )
+            .unwrap();
+        let net = b.finish_with_loss(f).unwrap();
+        // The functional machine models on-chip execution; lift the
+        // wheel-spoke bottleneck (an off-chip link the compiled programs
+        // never traverse) so both models price the same work.
+        let mut node = presets::single_precision();
+        node.cluster.spoke_bw = node.cluster.arc_bw;
+        let x = Session::with_node(node).cross_check(&net).unwrap();
+        println!(
+            "functional {} cycles vs perf {} cycles (ratio {:.3})",
+            x.functional.cycles,
+            x.perf_per_image_cycles,
+            x.ratio()
+        );
+        assert!(x.functional.cycles > 0);
+        assert!(
+            x.ratio() > 0.5 && x.ratio() < 2.0,
+            "functional {} vs perf {} cycles diverge more than 2x",
+            x.functional.cycles,
+            x.perf_per_image_cycles
+        );
     }
 
     #[test]

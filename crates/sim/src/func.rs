@@ -1,12 +1,25 @@
 //! Functional ISA simulator: executes compiled ScaleDeep programs
-//! bit-accurately, one thread per CompHeavy-tile program, synchronized
-//! purely by hardware data-flow trackers (paper §3.2.4).
+//! bit-accurately, one thread per compiled per-layer program,
+//! synchronized purely by hardware data-flow trackers (paper §3.2.4).
+//!
+//! Scheduling runs on the shared discrete-event engine
+//! ([`crate::engine`]): each instruction dispatch is an event priced by
+//! the [`CycleCosts`] table (derived from the §3.2 tile parameters), so a
+//! run yields a cycle count ([`RunStats::cycles`]) alongside the
+//! bit-accurate memory state. A thread whose operands fail the MEMTRACK
+//! readiness check parks once on the awaited address ranges and is
+//! re-dispatched only by the tracker update that touches them — there is
+//! no polling. The retired round-robin scheduler survives as
+//! [`Machine::run_round_robin`], a timing-free oracle used by the
+//! schedule-independence tests.
 
+mod cost;
 mod exec;
 mod machine;
 mod tracker;
 
-pub use machine::{Machine, RunStats};
+pub use cost::CycleCosts;
+pub use machine::{Machine, RunStats, TileStats};
 pub use tracker::{Tracker, TrackerTable};
 
 use crate::error::{Error, Result};

@@ -1,0 +1,158 @@
+//! Per-instruction-group cycle costs for the functional machine.
+//!
+//! The functional simulator is bit-accurate but executes each data
+//! instruction atomically; this table grounds every dispatch in cycles so
+//! [`super::RunStats::cycles`] approximates the time a ScaleDeep chip
+//! would take. A compiled program's thread stands for one layer *role*
+//! (FP, BP or WG), which the mapper places on a chip column of tiles —
+//! so rates are per column, matching the performance model's role unit:
+//!
+//! | group          | work unit       | rate (source, §3.2 / Figure 14)        |
+//! |----------------|-----------------|----------------------------------------|
+//! | ScalarControl  | 1 instruction   | 1 cycle (scalar control PE)            |
+//! | DataFlowTrack  | 1 tracker arm   | 1 cycle (MEMTRACK entry write)         |
+//! | CoarseData conv| MACs            | rows × CompHeavy FMA lanes (ConvLayer) |
+//! | CoarseData fc  | MACs            | rows × CompHeavy FMA lanes (FcLayer)   |
+//! | MemOffload     | output elements | rows × MemHeavy SFU count              |
+//! | DataTransfer   | elements moved  | column CompHeavy↔MemHeavy link bytes   |
+//!
+//! The table is a throughput model, not a latency model: issue overheads
+//! and bank conflicts are folded into the minimum cost of one cycle per
+//! instruction.
+
+use crate::engine::Cycle;
+use scaledeep_arch::NodeConfig;
+use scaledeep_isa::{Inst, InstGroup};
+
+/// Cycle-cost table for one chip column of CompHeavy/MemHeavy tile pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleCosts {
+    /// Cycles per scalar-control instruction.
+    pub scalar_cycles: Cycle,
+    /// Cycles to arm one data-flow tracker.
+    pub track_cycles: Cycle,
+    /// Convolution multiply-accumulates retired per cycle (a ConvLayer
+    /// column's FMA lanes).
+    pub conv_macs_per_cycle: u64,
+    /// Matrix-multiply MACs retired per cycle (an FcLayer column's FMA
+    /// lanes).
+    pub fc_macs_per_cycle: u64,
+    /// Special-function operations retired per cycle (a column's MemHeavy
+    /// SFUs).
+    pub sfu_ops_per_cycle: u64,
+    /// Elements moved per cycle over a column's CompHeavy↔MemHeavy links.
+    pub transfer_elems_per_cycle: u64,
+}
+
+impl CycleCosts {
+    /// Derives the table from a node configuration: ConvLayer-chip column
+    /// rates for convolutions, SFU work and transfers, FcLayer-chip
+    /// column rate for matrix multiplies.
+    pub fn from_node(node: &NodeConfig) -> Self {
+        let conv = &node.cluster.conv_chip;
+        let fc = &node.cluster.fc_chip;
+        let hz = node.frequency_mhz * 1e6;
+        // Each tile pair in the column has two CompHeavy<->MemHeavy links;
+        // single-precision elements are 4 bytes.
+        let link_elems = (conv.comp_mem_bw / hz * (conv.rows * 2) as f64 / 4.0) as u64;
+        Self {
+            scalar_cycles: 1,
+            track_cycles: 1,
+            conv_macs_per_cycle: (conv.rows * conv.comp_heavy.total_lanes()).max(1) as u64,
+            fc_macs_per_cycle: (fc.rows * fc.comp_heavy.total_lanes()).max(1) as u64,
+            sfu_ops_per_cycle: (conv.rows * conv.mem_heavy.num_sfu).max(1) as u64,
+            transfer_elems_per_cycle: link_elems.max(1),
+        }
+    }
+
+    /// Cycles to execute `inst`, never less than one.
+    pub fn cost(&self, inst: &Inst) -> Cycle {
+        let per = |work: u64, rate: u64| work.div_ceil(rate.max(1)).max(1);
+        match *inst {
+            Inst::NdConv {
+                k,
+                lanes,
+                out_h,
+                out_w,
+                ..
+            } => {
+                let macs = u64::from(lanes)
+                    * u64::from(out_h)
+                    * u64::from(out_w)
+                    * u64::from(k)
+                    * u64::from(k);
+                per(macs, self.conv_macs_per_cycle)
+            }
+            Inst::MatMul { n_in, rows, .. } => {
+                per(u64::from(rows) * u64::from(n_in), self.fc_macs_per_cycle)
+            }
+            Inst::NdActFn { len, .. }
+            | Inst::NdActBwd { len, .. }
+            | Inst::NdAcc { len, .. }
+            | Inst::VecScaleAcc { len, .. } => per(u64::from(len), self.sfu_ops_per_cycle),
+            Inst::NdSubsamp { in_h, in_w, .. } | Inst::NdUpsamp { in_h, in_w, .. } => {
+                per(u64::from(in_h) * u64::from(in_w), self.sfu_ops_per_cycle)
+            }
+            Inst::DmaLoad { len, .. }
+            | Inst::DmaStore { len, .. }
+            | Inst::Prefetch { len, .. }
+            | Inst::PassBuff { len, .. } => per(u64::from(len), self.transfer_elems_per_cycle),
+            _ => match inst.group() {
+                InstGroup::DataFlowTrack => self.track_cycles,
+                _ => self.scalar_cycles,
+            },
+        }
+    }
+}
+
+impl Default for CycleCosts {
+    /// The baseline single-precision node of Figure 14.
+    fn default() -> Self {
+        Self::from_node(&scaledeep_arch::presets::single_precision())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scaledeep_isa::{MemRef, TileRef};
+
+    #[test]
+    fn default_table_matches_figure14_columns() {
+        let c = CycleCosts::default();
+        assert_eq!(c.conv_macs_per_cycle, 576); // 6 rows x (8x3x4) lanes
+        assert_eq!(c.fc_macs_per_cycle, 192); // 6 rows x (4x8x1) lanes
+        assert_eq!(c.sfu_ops_per_cycle, 192); // 6 rows x 32 SFUs
+                                              // 24 GB/s / 600 MHz = 40 B/cycle per link, 12 links, 4 B/elem.
+        assert_eq!(c.transfer_elems_per_cycle, 120);
+    }
+
+    #[test]
+    fn matmul_cost_scales_with_macs() {
+        let c = CycleCosts::default();
+        let mk = |rows| Inst::MatMul {
+            input: MemRef::at(TileRef(0), 0),
+            n_in: 192,
+            matrix: MemRef::at(TileRef(0), 0),
+            rows,
+            output: MemRef::at(TileRef(0), 0),
+            accumulate: false,
+        };
+        assert_eq!(c.cost(&mk(1)), 1); // 192 MACs / 192 lanes
+        assert_eq!(c.cost(&mk(10)), 10);
+    }
+
+    #[test]
+    fn every_instruction_costs_at_least_one_cycle() {
+        let c = CycleCosts::default();
+        let tiny = Inst::DmaLoad {
+            src: MemRef::at(TileRef(0), 0),
+            dst: MemRef::at(TileRef(0), 4),
+            len: 1,
+            accumulate: false,
+        };
+        assert_eq!(c.cost(&tiny), 1);
+        assert_eq!(c.cost(&Inst::Nop), 1);
+        assert_eq!(c.cost(&Inst::Halt), 1);
+    }
+}

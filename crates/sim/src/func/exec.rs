@@ -100,8 +100,20 @@ pub(super) fn accesses(inst: &Inst, regs: &[i64], program: &str) -> Result<Optio
             dst,
             ..
         } => {
-            let oh = samp_out(in_h as usize, window as usize, stride as usize, pad as usize, ceil);
-            let ow = samp_out(in_w as usize, window as usize, stride as usize, pad as usize, ceil);
+            let oh = samp_out(
+                in_h as usize,
+                window as usize,
+                stride as usize,
+                pad as usize,
+                ceil,
+            );
+            let ow = samp_out(
+                in_w as usize,
+                window as usize,
+                stride as usize,
+                pad as usize,
+                ceil,
+            );
             Access {
                 reads: vec![r(src, u32::from(in_h) * u32::from(in_w), regs)?],
                 writes: vec![r(dst, (oh * ow) as u32, regs)?],
@@ -119,8 +131,20 @@ pub(super) fn accesses(inst: &Inst, regs: &[i64], program: &str) -> Result<Optio
             dst,
             ..
         } => {
-            let oh = samp_out(in_h as usize, window as usize, stride as usize, pad as usize, ceil);
-            let ow = samp_out(in_w as usize, window as usize, stride as usize, pad as usize, ceil);
+            let oh = samp_out(
+                in_h as usize,
+                window as usize,
+                stride as usize,
+                pad as usize,
+                ceil,
+            );
+            let ow = samp_out(
+                in_w as usize,
+                window as usize,
+                stride as usize,
+                pad as usize,
+                ceil,
+            );
             let in_len = u32::from(in_h) * u32::from(in_w);
             Access {
                 reads: vec![r(err, (oh * ow) as u32, regs)?, r(fwd, in_len, regs)?],
@@ -197,7 +221,12 @@ impl MemView<'_> {
 
 /// Executes one data instruction. Operands were already resolved and
 /// bounds are checked on access.
-pub(super) fn execute(inst: &Inst, regs: &[i64], mem: &mut MemView<'_>, program: &str) -> Result<()> {
+pub(super) fn execute(
+    inst: &Inst,
+    regs: &[i64],
+    mem: &mut MemView<'_>,
+    program: &str,
+) -> Result<()> {
     match *inst {
         Inst::NdConv {
             input,
@@ -279,7 +308,12 @@ pub(super) fn execute(inst: &Inst, regs: &[i64], mem: &mut MemView<'_>, program:
                 }
             }
         }
-        Inst::NdActFn { kind, src, len, dst } => {
+        Inst::NdActFn {
+            kind,
+            src,
+            len,
+            dst,
+        } => {
             let (st, sa) = resolve(src, regs, program)?;
             let (dt, da) = resolve(dst, regs, program)?;
             let x = mem.copy(st, sa, len, program)?;
@@ -714,7 +748,9 @@ mod tests {
 
     #[test]
     fn vec_scale_acc_is_axpy() {
-        let mut tiles = mem1(vec![1.0, 2.0, /*scalar*/ -2.0, /*dst*/ 10.0, 10.0]);
+        let mut tiles = mem1(vec![
+            1.0, 2.0, /*scalar*/ -2.0, /*dst*/ 10.0, 10.0,
+        ]);
         let mut ext = Vec::new();
         let inst = Inst::VecScaleAcc {
             src: MemRef::at(TileRef(0), 0),

@@ -1,8 +1,19 @@
-//! The tile machine: one thread per compiled program, round-robin
-//! scheduled, synchronized only by the data-flow trackers.
+//! The tile machine: one thread per compiled program, scheduled by the
+//! shared discrete-event engine and synchronized only by the data-flow
+//! trackers.
+//!
+//! [`Machine::run`] dispatches threads from an [`EventQueue`]: each
+//! executed instruction reschedules its thread one [`CycleCosts`]-priced
+//! cost later, and a thread whose operand ranges are not tracker-ready
+//! parks exactly once in a [`WaitMap`] — it is revisited only when a
+//! tracker update touches an awaited range, never re-polled. The old
+//! round-robin scheduler survives as [`Machine::run_round_robin`], a
+//! validation oracle for schedule-independence tests.
 
-use super::exec::{self, MemView, ScalarOutcome};
+use super::cost::CycleCosts;
+use super::exec::{self, MemView, Range, ScalarOutcome};
 use super::tracker::TrackerTable;
+use crate::engine::{BusyTracker, Cycle, EventQueue, WaitMap};
 use crate::error::{Error, Result};
 use scaledeep_compiler::codegen::TrackerSpec;
 use scaledeep_isa::{Inst, InstGroup, Program, NUM_REGS};
@@ -11,16 +22,49 @@ use scaledeep_isa::{Inst, InstGroup, Program, NUM_REGS};
 /// against runaway control flow, far above any compiled program's needs.
 pub const DEFAULT_FUEL: u64 = 500_000_000;
 
-/// Statistics from one machine run.
+/// Busy/stall accounting for one MemHeavy tile over a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct RunStats {
-    /// Instructions executed (completed, not counting blocked polls).
-    pub instructions: u64,
-    /// Scheduler rounds taken.
-    pub rounds: u64,
-    /// Times a thread found an operand range not yet ready and stalled —
-    /// the synchronization traffic MEMTRACK absorbs.
+pub struct TileStats {
+    /// Cycles spent executing instructions whose destination lives on
+    /// this tile.
+    pub busy: u64,
+    /// Times a thread parked waiting for a tracker range on this tile.
     pub stalls: u64,
+}
+
+/// Statistics from one machine run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Instructions executed (completed, not counting blocked attempts).
+    pub instructions: u64,
+    /// Scheduler dispatches: events processed in event-driven mode,
+    /// polling rounds in [`Machine::run_round_robin`].
+    pub rounds: u64,
+    /// Genuine waits: times a thread parked on a not-yet-ready tracker
+    /// range (event-driven), or blocked polls (round-robin oracle) — the
+    /// synchronization traffic MEMTRACK absorbs.
+    pub stalls: u64,
+    /// Simulated cycles to completion (0 in the round-robin oracle,
+    /// which has no timing model).
+    pub cycles: Cycle,
+    /// Per-tile busy/stall breakdown, indexed by MemHeavy tile id
+    /// (empty in the round-robin oracle).
+    pub per_tile: Vec<TileStats>,
+}
+
+impl RunStats {
+    /// Utilization of `tile` over the run window: busy cycles over total
+    /// cycles, 0 for unknown tiles or an empty window. Comparable to the
+    /// performance simulator's per-resource utilizations — both sides
+    /// accumulate busy time through [`BusyTracker`].
+    pub fn tile_utilization(&self, tile: u16) -> f64 {
+        let busy = self.per_tile.get(tile as usize).map_or(0, |t| t.busy);
+        if self.cycles == 0 {
+            0.0
+        } else {
+            busy as f64 / self.cycles as f64
+        }
+    }
 }
 
 struct Thread {
@@ -101,10 +145,17 @@ impl Machine {
         &mut self.ext
     }
 
-    /// Runs the given programs to completion: trackers are re-armed from
-    /// `specs` (the host pre-arm; program MEMTRACK preambles then re-execute
-    /// as no-ops), threads run round-robin, and the call returns when every
-    /// thread halts.
+    fn arm_from_specs(&mut self, specs: &[TrackerSpec]) -> Result<()> {
+        self.trackers.clear();
+        for s in specs {
+            self.trackers
+                .arm(s.tile, s.addr, s.len, s.num_updates, s.num_reads)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the given programs to completion with the default
+    /// (Figure 14 ConvLayer chip) cycle-cost table.
     ///
     /// # Errors
     ///
@@ -112,11 +163,137 @@ impl Machine {
     /// [`Error::ControlFault`] on fuel exhaustion or control-flow faults,
     /// and memory/tracker errors from instruction execution.
     pub fn run(&mut self, programs: &[Program], specs: &[TrackerSpec]) -> Result<RunStats> {
-        self.trackers.clear();
-        for s in specs {
-            self.trackers
-                .arm(s.tile, s.addr, s.len, s.num_updates, s.num_reads)?;
+        self.run_with_costs(programs, specs, &CycleCosts::default())
+    }
+
+    /// Runs the given programs to completion, event-driven: trackers are
+    /// re-armed from `specs` (the host pre-arm; program MEMTRACK preambles
+    /// then re-execute as no-ops), every thread is seeded into the event
+    /// queue at cycle 0, and each executed instruction reschedules its
+    /// thread `costs.cost(inst)` cycles later. A thread whose operands
+    /// are not tracker-ready parks once and is re-dispatched only by the
+    /// tracker update that touches an awaited range.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::run`].
+    pub fn run_with_costs(
+        &mut self,
+        programs: &[Program],
+        specs: &[TrackerSpec],
+        costs: &CycleCosts,
+    ) -> Result<RunStats> {
+        self.arm_from_specs(specs)?;
+        let mut threads: Vec<Thread> = programs.iter().cloned().map(Thread::new).collect();
+        let mut stats = RunStats {
+            per_tile: vec![TileStats::default(); self.mems.len()],
+            ..RunStats::default()
+        };
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        let mut waits = WaitMap::new();
+        // Per-tile busy time flows through the same engine accounting the
+        // performance simulator uses for its resource utilization.
+        let mut busy: Vec<BusyTracker> =
+            (0..self.mems.len()).map(|_| BusyTracker::new(0)).collect();
+        for (i, t) in threads.iter().enumerate() {
+            if !t.halted {
+                queue.push(0, i);
+            }
         }
+        while let Some((now, tid)) = queue.pop() {
+            stats.rounds += 1;
+            let t = &mut threads[tid];
+            match Self::step(&mut self.mems, &mut self.ext, &mut self.trackers, t, costs)? {
+                StepOutcome::Executed {
+                    cost,
+                    busy_tile,
+                    touched,
+                } => {
+                    stats.instructions += 1;
+                    if stats.instructions > self.fuel {
+                        return Err(Error::ControlFault {
+                            program: t.program.name().to_string(),
+                            detail: format!("fuel exhausted after {} instructions", self.fuel),
+                        });
+                    }
+                    if let Some(tile) = busy_tile {
+                        busy[tile as usize].add(cost as f64);
+                    }
+                    queue.push_after(cost, tid);
+                    // The instruction's tracker records may have made
+                    // ranges readable/overwritable: re-dispatch every
+                    // waiter parked on a touched range (in id order).
+                    for (tile, addr, len) in touched {
+                        for waiter in waits.wake_overlapping(tile, addr, len) {
+                            queue.push(now, waiter);
+                        }
+                    }
+                }
+                StepOutcome::Blocked { awaited } => {
+                    stats.stalls += 1;
+                    if let Some(&(tile, _, _)) = awaited.first() {
+                        if (tile as usize) < stats.per_tile.len() {
+                            stats.per_tile[tile as usize].stalls += 1;
+                        }
+                    }
+                    waits.park(tid, awaited);
+                }
+                StepOutcome::Halted => {}
+            }
+        }
+        stats.cycles = queue.now();
+        for (ts, b) in stats.per_tile.iter_mut().zip(&busy) {
+            ts.busy = b.busy() as u64;
+        }
+        if threads.iter().all(|t| t.halted) {
+            Ok(stats)
+        } else {
+            Err(Error::Deadlock {
+                stuck: Self::deadlock_diagnostics(&threads, &waits),
+            })
+        }
+    }
+
+    /// Names each non-halted thread and the tracker ranges it is parked
+    /// on, e.g. `"L0.BP awaiting M2[0..512)"`.
+    fn deadlock_diagnostics(threads: &[Thread], waits: &WaitMap) -> Vec<String> {
+        threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.halted)
+            .map(|(i, t)| {
+                let ranges: Vec<String> = waits
+                    .entries()
+                    .filter(|&&(_, waiter)| waiter == i)
+                    .map(|&((tile, addr, len), _)| {
+                        format!("M{tile}[{addr}..{})", u64::from(addr) + u64::from(len))
+                    })
+                    .collect();
+                if ranges.is_empty() {
+                    t.program.name().to_string()
+                } else {
+                    format!("{} awaiting {}", t.program.name(), ranges.join(", "))
+                }
+            })
+            .collect()
+    }
+
+    /// The pre-event-queue scheduler, kept as a validation oracle: polls
+    /// every thread each round and counts every blocked poll as a stall.
+    /// Produces no timing ([`RunStats::cycles`] stays 0) but must reach
+    /// bit-identical memory state to [`Machine::run`] — the trackers, not
+    /// the schedule, order the computation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::run`].
+    pub fn run_round_robin(
+        &mut self,
+        programs: &[Program],
+        specs: &[TrackerSpec],
+    ) -> Result<RunStats> {
+        self.arm_from_specs(specs)?;
+        let costs = CycleCosts::default();
         let mut threads: Vec<Thread> = programs.iter().cloned().map(Thread::new).collect();
         let mut stats = RunStats::default();
         loop {
@@ -129,13 +306,8 @@ impl Machine {
                 if t.halted {
                     continue;
                 }
-                match Self::step(
-                    &mut self.mems,
-                    &mut self.ext,
-                    &mut self.trackers,
-                    t,
-                )? {
-                    StepOutcome::Executed => {
+                match Self::step(&mut self.mems, &mut self.ext, &mut self.trackers, t, &costs)? {
+                    StepOutcome::Executed { .. } => {
                         progressed = true;
                         stats.instructions += 1;
                         if stats.instructions > self.fuel {
@@ -145,7 +317,7 @@ impl Machine {
                             });
                         }
                     }
-                    StepOutcome::Blocked => stats.stalls += 1,
+                    StepOutcome::Blocked { .. } => stats.stalls += 1,
                     StepOutcome::Halted => {
                         progressed = true;
                     }
@@ -167,6 +339,7 @@ impl Machine {
         ext: &mut Vec<f32>,
         trackers: &mut TrackerTable,
         t: &mut Thread,
+        costs: &CycleCosts,
     ) -> Result<StepOutcome> {
         let name = t.program.name().to_string();
         let Some(&inst) = t.program.insts().get(t.pc) else {
@@ -186,7 +359,11 @@ impl Machine {
                             });
                         }
                         t.pc = pc;
-                        Ok(StepOutcome::Executed)
+                        Ok(StepOutcome::Executed {
+                            cost: costs.cost(&inst),
+                            busy_tile: None,
+                            touched: Vec::new(),
+                        })
                     }
                     ScalarOutcome::Halt => {
                         t.halted = true;
@@ -214,50 +391,84 @@ impl Machine {
                 };
                 trackers.arm(tile.0, addr, len, updates, reads)?;
                 t.pc += 1;
-                Ok(StepOutcome::Executed)
+                Ok(StepOutcome::Executed {
+                    cost: costs.cost(&inst),
+                    busy_tile: None,
+                    touched: Vec::new(),
+                })
             }
             _ => {
                 let access = exec::accesses(&inst, &t.regs, &name)?
                     .expect("data groups always resolve accesses");
                 // External-memory ranges (tile u16::MAX) are host-managed
                 // and untracked.
+                let tracked = |r: &&Range| r.0 != u16::MAX;
                 let ready = access
                     .reads
                     .iter()
-                    .filter(|r| r.0 != u16::MAX)
+                    .filter(tracked)
                     .all(|&(tile, addr, len)| trackers.read_ready(tile, addr, len))
                     && access
                         .writes
                         .iter()
-                        .filter(|r| r.0 != u16::MAX)
+                        .filter(tracked)
                         .all(|&(tile, addr, len)| trackers.write_ready(tile, addr, len));
                 if !ready {
-                    return Ok(StepOutcome::Blocked);
+                    // Park on every tracked operand range: whichever
+                    // tracker record arrives first re-checks the lot.
+                    let awaited: Vec<Range> = access
+                        .reads
+                        .iter()
+                        .chain(access.writes.iter())
+                        .filter(tracked)
+                        .copied()
+                        .collect();
+                    return Ok(StepOutcome::Blocked { awaited });
                 }
                 {
                     let mut view = MemView { tiles: mems, ext };
                     exec::execute(&inst, &t.regs, &mut view, &name)?;
                 }
+                // Wake on the full extents of the trackers each record
+                // touched: a tracker can span more than the accessed
+                // range, and its readiness flips as a whole.
+                let mut touched: Vec<Range> = Vec::new();
                 for &(tile, addr, len) in &access.reads {
                     if tile != u16::MAX {
-                        trackers.record_read(tile, addr, len);
+                        for (t_addr, t_len) in trackers.record_read(tile, addr, len) {
+                            touched.push((tile, t_addr, t_len));
+                        }
                     }
                 }
+                let mut busy_tile = None;
                 for &(tile, addr, len) in &access.writes {
                     if tile != u16::MAX {
-                        trackers.record_write(tile, addr, len);
+                        for (t_addr, t_len) in trackers.record_write(tile, addr, len) {
+                            touched.push((tile, t_addr, t_len));
+                        }
+                        busy_tile.get_or_insert(tile);
                     }
                 }
                 t.pc += 1;
-                Ok(StepOutcome::Executed)
+                Ok(StepOutcome::Executed {
+                    cost: costs.cost(&inst),
+                    busy_tile,
+                    touched,
+                })
             }
         }
     }
 }
 
 enum StepOutcome {
-    Executed,
-    Blocked,
+    Executed {
+        cost: Cycle,
+        busy_tile: Option<u16>,
+        touched: Vec<Range>,
+    },
+    Blocked {
+        awaited: Vec<Range>,
+    },
     Halted,
 }
 
@@ -289,6 +500,11 @@ mod tests {
         let stats = m.run(&[p], &[]).unwrap();
         assert_eq!(m.mem(0)[1], 5.0);
         assert_eq!(stats.instructions, 1);
+        assert!(stats.cycles >= 1, "dispatch must advance time");
+        assert_eq!(stats.per_tile[0].busy, 1);
+        let u = stats.tile_utilization(0);
+        assert!(u > 0.0 && u <= 1.0, "utilization {u} out of range");
+        assert_eq!(stats.tile_utilization(9), 0.0, "unknown tile");
     }
 
     #[test]
@@ -343,11 +559,50 @@ mod tests {
         }];
         let stats = m.run(&[consumer, producer], &specs).unwrap();
         assert_eq!(&m.mem(0)[4..8], &[1.0, 2.0, 3.0, 4.0]);
-        assert!(stats.stalls > 0, "consumer must have stalled at least once");
+        assert!(stats.stalls > 0, "consumer must have parked at least once");
+        assert_eq!(stats.per_tile[0].stalls, stats.stalls);
     }
 
     #[test]
-    fn deadlock_is_detected() {
+    fn blocked_thread_parks_exactly_once_per_wait() {
+        // The consumer waits behind a producer burning many scalar cycles;
+        // a polling scheduler would re-check every round, the event-driven
+        // one parks once (a single stall) until the producer's write.
+        let mut m = Machine::new(1, 16);
+        let mut producer_insts = vec![Inst::Nop; 50];
+        producer_insts.push(Inst::DmaLoad {
+            src: MemRef::at(TileRef(0), 4),
+            dst: MemRef::at(TileRef(0), 0),
+            len: 1,
+            accumulate: false,
+        });
+        producer_insts.push(Inst::Halt);
+        let producer = prog("producer", producer_insts);
+        let consumer = prog(
+            "consumer",
+            vec![
+                Inst::DmaLoad {
+                    src: MemRef::at(TileRef(0), 0),
+                    dst: MemRef::at(TileRef(0), 8),
+                    len: 1,
+                    accumulate: false,
+                },
+                Inst::Halt,
+            ],
+        );
+        let specs = [TrackerSpec {
+            tile: 0,
+            addr: 0,
+            len: 1,
+            num_updates: 1,
+            num_reads: 1,
+        }];
+        let stats = m.run(&[consumer, producer], &specs).unwrap();
+        assert_eq!(stats.stalls, 1, "exactly one park for one wait");
+    }
+
+    #[test]
+    fn deadlock_names_the_awaited_range() {
         // Consumer waits for an update that never comes.
         let mut m = Machine::new(1, 8);
         let consumer = prog(
@@ -371,9 +626,56 @@ mod tests {
         }];
         let err = m.run(&[consumer], &specs).unwrap_err();
         match err {
-            Error::Deadlock { stuck } => assert_eq!(stuck, vec!["starved".to_string()]),
+            Error::Deadlock { stuck } => {
+                assert_eq!(stuck.len(), 1);
+                assert!(
+                    stuck[0].starts_with("starved"),
+                    "diagnostic names the thread: {}",
+                    stuck[0]
+                );
+                assert!(
+                    stuck[0].contains("M0[0..2)"),
+                    "diagnostic names the awaited range: {}",
+                    stuck[0]
+                );
+            }
             other => panic!("expected deadlock, got {other}"),
         }
+    }
+
+    #[test]
+    fn round_robin_oracle_matches_event_driven_state() {
+        let mk_writer = |name: &str, src: u32| {
+            prog(
+                name,
+                vec![
+                    Inst::DmaStore {
+                        src: MemRef::at(TileRef(0), src),
+                        dst: MemRef::at(TileRef(0), 0),
+                        len: 1,
+                        accumulate: true,
+                    },
+                    Inst::Halt,
+                ],
+            )
+        };
+        let specs = [TrackerSpec {
+            tile: 0,
+            addr: 0,
+            len: 1,
+            num_updates: 2,
+            num_reads: 0,
+        }];
+        let progs = [mk_writer("w1", 1), mk_writer("w2", 2)];
+        let mut event = Machine::new(1, 8);
+        event.mem_mut(0)[1] = 1.5;
+        event.mem_mut(0)[2] = 2.5;
+        event.run(&progs, &specs).unwrap();
+        let mut rr = Machine::new(1, 8);
+        rr.mem_mut(0)[1] = 1.5;
+        rr.mem_mut(0)[2] = 2.5;
+        rr.run_round_robin(&progs, &specs).unwrap();
+        assert_eq!(event.mem(0), rr.mem(0));
     }
 
     #[test]
@@ -436,10 +738,7 @@ mod tests {
     fn fuel_exhaustion_is_reported() {
         let mut m = Machine::new(1, 8);
         m.set_fuel(10);
-        let p = prog(
-            "spin",
-            vec![Inst::Branch { offset: -1 }],
-        );
+        let p = prog("spin", vec![Inst::Branch { offset: -1 }]);
         let err = m.run(&[p], &[]).unwrap_err();
         assert!(matches!(err, Error::ControlFault { .. }));
     }

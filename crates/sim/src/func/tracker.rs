@@ -179,22 +179,34 @@ impl TrackerTable {
         self.overlapping(tile, addr, len).all(Tracker::write_ready)
     }
 
-    /// Records a completed read.
-    pub fn record_read(&mut self, tile: u16, addr: u32, len: u32) {
+    /// Records a completed read on every overlapping tracker, returning
+    /// the `(addr, len)` extent of each tracker touched. A tracker's
+    /// extent can exceed the access range, and readiness is a property of
+    /// the whole tracker — wakeups must cover the full extents, not just
+    /// the accessed range.
+    pub fn record_read(&mut self, tile: u16, addr: u32, len: u32) -> Vec<(u32, u32)> {
+        let mut touched = Vec::new();
         if let Some(slot) = self.per_tile.get_mut(tile as usize) {
             for t in slot.iter_mut().filter(|t| t.overlaps(addr, len)) {
                 t.record_read();
+                touched.push((t.addr, t.len));
             }
         }
+        touched
     }
 
-    /// Records a completed write.
-    pub fn record_write(&mut self, tile: u16, addr: u32, len: u32) {
+    /// Records a completed write on every overlapping tracker, returning
+    /// the `(addr, len)` extent of each tracker touched (see
+    /// [`TrackerTable::record_read`]).
+    pub fn record_write(&mut self, tile: u16, addr: u32, len: u32) -> Vec<(u32, u32)> {
+        let mut touched = Vec::new();
         if let Some(slot) = self.per_tile.get_mut(tile as usize) {
             for t in slot.iter_mut().filter(|t| t.overlaps(addr, len)) {
                 t.record_write();
+                touched.push((t.addr, t.len));
             }
         }
+        touched
     }
 }
 
@@ -289,7 +301,10 @@ mod tests {
         assert!(tab.read_ready(0, 0, 4));
         tab.record_read(0, 0, 4);
         tab.record_read(0, 0, 4);
-        assert!(!tab.read_ready(0, 0, 4), "drained generation must block reads");
+        assert!(
+            !tab.read_ready(0, 0, 4),
+            "drained generation must block reads"
+        );
         tab.record_write(0, 0, 4); // next generation
         assert!(tab.read_ready(0, 0, 4));
     }

@@ -1,6 +1,11 @@
 //! The ScaleDeep architectural simulators (paper §5).
 //!
-//! Two simulators share one discrete-event core:
+//! Two simulators share one discrete-event core, [`engine`]: an
+//! [`EventQueue`] (time-ordered dispatch with free-list slot recycling
+//! and FIFO tie-breaking), a [`WaitMap`] (threads park on tracker
+//! address-range conditions and are woken only by the update that
+//! satisfies them — never re-polled), and a [`BusyTracker`] (shared
+//! resource accounting).
 //!
 //! * [`perf`] — the **performance simulator**: an event-driven model of the
 //!   nested pipeline (paper §3.2.3) over a compiled [`Mapping`]. It models
@@ -13,10 +18,18 @@
 //! * [`func`] — the **functional simulator**: a bit-accurate interpreter of
 //!   compiled ScaleDeep ISA programs running one thread per CompHeavy tile
 //!   program, with real f32 scratchpads and hardware data-flow trackers
-//!   enforcing the MEMTRACK synchronization semantics (§3.2.4). Validated
-//!   against the `scaledeep-tensor` reference executor.
+//!   enforcing the MEMTRACK synchronization semantics (§3.2.4). Threads
+//!   are scheduled event-driven on the shared engine: every instruction
+//!   is priced in cycles by the §3.2-derived [`CycleCosts`] table, so a
+//!   run yields both the final memory image (validated against the
+//!   `scaledeep-tensor` reference executor) and a cycle count
+//!   cross-checkable against [`perf`].
 //!
 //! [`Mapping`]: scaledeep_compiler::Mapping
+//! [`EventQueue`]: engine::EventQueue
+//! [`WaitMap`]: engine::WaitMap
+//! [`BusyTracker`]: engine::BusyTracker
+//! [`CycleCosts`]: func::CycleCosts
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -110,9 +110,9 @@ pub(super) fn assemble(
     // util over the replicated span).
     let conv = &node.cluster.conv_chip;
     let fc = &node.cluster.fc_chip;
-    let span_lanes = (mapping.chips_spanned() * conv.comp_heavy_tiles() * conv.comp_heavy.total_lanes())
-        as f64
-        + (fc.comp_heavy_tiles() * fc.comp_heavy.total_lanes()) as f64;
+    let span_lanes =
+        (mapping.chips_spanned() * conv.comp_heavy_tiles() * conv.comp_heavy.total_lanes()) as f64
+            + (fc.comp_heavy_tiles() * fc.comp_heavy.total_lanes()) as f64;
     let useful_lanes: f64 = stages.iter().map(|s| s.useful_lane_cycles).sum();
     let pe_utilization = (useful_lanes / cycles_per_image / span_lanes).min(1.0);
 
@@ -184,11 +184,7 @@ pub(super) fn assemble(
     let gflops_per_watt = achieved_flops / avg_power.total() / 1e9;
     let joules_per_image = avg_power.total() / images_per_sec;
 
-    let bottleneck = stages
-        .iter()
-        .map(|s| s.service_cycles)
-        .max()
-        .unwrap_or(0);
+    let bottleneck = stages.iter().map(|s| s.service_cycles).max().unwrap_or(0);
     let stage_stats = stages
         .iter()
         .map(|s| StageStat {

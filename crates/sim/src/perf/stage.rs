@@ -180,7 +180,12 @@ fn conv_stage(
     // the output). Training spills FP features to external memory and
     // fetches them back for WG (paper §3.2.3), and streams off-chip
     // weights each step.
-    let elem = 4.0_f64.min((plan.out_bytes as f64 / plan.feature_elems.max(1) as f64 / plan.out_features.max(1) as f64).max(2.0));
+    let elem = 4.0_f64.min(
+        (plan.out_bytes as f64
+            / plan.feature_elems.max(1) as f64
+            / plan.out_features.max(1) as f64)
+            .max(2.0),
+    );
     // While a role tile computes, its input streaming memory pulls one
     // fresh element per 2D-array row per cycle over the CompHeavy<->
     // MemHeavy link: array_rows x elem bytes/cycle per tile, across the
@@ -351,7 +356,11 @@ fn fc_stage(
     let ext = w_ext_per_image * steps;
     // The first FC layer's inputs arrive over the wheel spokes (and their
     // errors return during training).
-    let spoke = if is_first_fc { inb * steps.min(2.0) } else { 0.0 };
+    let spoke = if is_first_fc {
+        inb * steps.min(2.0)
+    } else {
+        0.0
+    };
     // Model-parallel feature circulation over the ring; without model
     // parallelism the ring instead carries the replicated FC weights to
     // every cluster once per wheel batch (the paper's motivation for
@@ -431,7 +440,11 @@ mod tests {
         // fewer stages than layers but every layer name appears.
         let s = stages("alexnet", RunKind::Training);
         assert!(s.len() <= 11 && s.len() >= 4, "got {}", s.len());
-        let joined: String = s.iter().map(|st| st.name.clone()).collect::<Vec<_>>().join("|");
+        let joined: String = s
+            .iter()
+            .map(|st| st.name.clone())
+            .collect::<Vec<_>>()
+            .join("|");
         for layer in ["c1", "c2", "c3", "c4", "c5", "s1", "s3", "f6", "f7", "f8"] {
             assert!(joined.contains(layer), "missing {layer} in {joined}");
         }
@@ -482,10 +495,16 @@ mod tests {
     #[test]
     fn multi_chip_networks_use_arcs() {
         let s = stages("vgg-d", RunKind::Training);
-        let arc_total: f64 = s.iter().map(|st| st.traffic[link_idx(LinkClass::Arc)]).sum();
+        let arc_total: f64 = s
+            .iter()
+            .map(|st| st.traffic[link_idx(LinkClass::Arc)])
+            .sum();
         assert!(arc_total > 0.0, "VGG-D spans chips and must use arcs");
         let s1 = stages("alexnet", RunKind::Training);
-        let arc1: f64 = s1.iter().map(|st| st.traffic[link_idx(LinkClass::Arc)]).sum();
+        let arc1: f64 = s1
+            .iter()
+            .map(|st| st.traffic[link_idx(LinkClass::Arc)])
+            .sum();
         assert_eq!(arc1, 0.0, "AlexNet fits one chip");
     }
 }

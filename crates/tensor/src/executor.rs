@@ -76,7 +76,12 @@ impl Executor {
                     let mut weights = vec![0.0; n];
                     let fan_in = p.cin_per_group() * c.kernel * c.kernel;
                     let fan_out = p.cout_per_group() * c.kernel * c.kernel;
-                    xavier_init(&mut weights, fan_in, fan_out, seed ^ node.id().index() as u64);
+                    xavier_init(
+                        &mut weights,
+                        fan_in,
+                        fan_out,
+                        seed ^ node.id().index() as u64,
+                    );
                     let bias_n = if c.bias { c.out_features } else { 0 };
                     state.params = Some(Params {
                         weights,
@@ -89,7 +94,12 @@ impl Executor {
                     let n_in = net.fan_in_elems(node.id());
                     let n = n_in * f.out_neurons;
                     let mut weights = vec![0.0; n];
-                    xavier_init(&mut weights, n_in, f.out_neurons, seed ^ node.id().index() as u64);
+                    xavier_init(
+                        &mut weights,
+                        n_in,
+                        f.out_neurons,
+                        seed ^ node.id().index() as u64,
+                    );
                     let bias_n = if f.bias { f.out_neurons } else { 0 };
                     state.params = Some(Params {
                         weights,
@@ -227,11 +237,7 @@ impl Executor {
                 }
                 Layer::EltwiseAdd(act) => {
                     let mut pre = in_tensors[0].clone();
-                    for (d, s) in pre
-                        .as_mut_slice()
-                        .iter_mut()
-                        .zip(in_tensors[1].as_slice())
-                    {
+                    for (d, s) in pre.as_mut_slice().iter_mut().zip(in_tensors[1].as_slice()) {
                         *d += s;
                     }
                     let out = activation_forward(*act, &pre);
@@ -240,11 +246,7 @@ impl Executor {
                 }
                 Layer::EltwiseMul(act) => {
                     let mut pre = in_tensors[0].clone();
-                    for (d, s) in pre
-                        .as_mut_slice()
-                        .iter_mut()
-                        .zip(in_tensors[1].as_slice())
-                    {
+                    for (d, s) in pre.as_mut_slice().iter_mut().zip(in_tensors[1].as_slice()) {
                         *d *= s;
                     }
                     let out = activation_forward(*act, &pre);
@@ -363,7 +365,10 @@ impl Executor {
                     self.add_err(node.inputs()[0], in_err);
                 }
                 Layer::Pool(p) => {
-                    let fwd = self.states[id.index()].pool.clone().expect("fp cached pool");
+                    let fwd = self.states[id.index()]
+                        .pool
+                        .clone()
+                        .expect("fp cached pool");
                     let in_err = pool_backward(p, in_tensors[0].shape(), &fwd, &err)?;
                     self.add_err(node.inputs()[0], in_err);
                 }
@@ -492,7 +497,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         Tensor::from_vec(
             shape,
-            (0..shape.elems()).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            (0..shape.elems())
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect(),
         )
         .unwrap()
     }
@@ -509,7 +516,9 @@ mod tests {
     fn forward_produces_output_shape() {
         let net = tiny_net();
         let mut exec = Executor::new(&net, 1).unwrap();
-        let y = exec.forward(&rand_tensor(FeatureShape::new(1, 6, 6), 2)).unwrap();
+        let y = exec
+            .forward(&rand_tensor(FeatureShape::new(1, 6, 6), 2))
+            .unwrap();
         assert_eq!(y.shape().elems(), 3);
     }
 
@@ -555,7 +564,10 @@ mod tests {
             let b = b.to_vec();
             exec.set_params(conv_id, &wp, &b).unwrap();
             exec.forward(&x).unwrap();
-            let mut out_p = exec.output(net.node_by_name("f1").unwrap().id()).unwrap().clone();
+            let mut out_p = exec
+                .output(net.node_by_name("f1").unwrap().id())
+                .unwrap()
+                .clone();
             for (o, gv) in out_p.as_mut_slice().iter_mut().zip(g.as_slice()) {
                 *o -= gv;
             }
@@ -565,7 +577,10 @@ mod tests {
             wm[wi] -= eps;
             exec.set_params(conv_id, &wm, &b).unwrap();
             exec.forward(&x).unwrap();
-            let mut out_m = exec.output(net.node_by_name("f1").unwrap().id()).unwrap().clone();
+            let mut out_m = exec
+                .output(net.node_by_name("f1").unwrap().id())
+                .unwrap()
+                .clone();
             for (o, gv) in out_m.as_mut_slice().iter_mut().zip(g.as_slice()) {
                 *o -= gv;
             }
@@ -587,9 +602,7 @@ mod tests {
         let trunk = b.tail();
         let c1 = b.conv("c1", Conv::relu(2, 3, 1, 1)).unwrap();
         let c2 = b.conv_from("c2", c1, Conv::linear(2, 3, 1, 1)).unwrap();
-        let add = b
-            .eltwise_add("add", trunk, c2, Activation::Relu)
-            .unwrap();
+        let add = b.eltwise_add("add", trunk, c2, Activation::Relu).unwrap();
         let f = b.fc_from("f", add, Fc::linear(2)).unwrap();
         let net = b.finish_with_loss(f).unwrap();
 

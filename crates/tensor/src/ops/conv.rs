@@ -22,7 +22,9 @@ impl ConvParams {
     /// Returns [`Error::Unsupported`] when `groups` does not divide the
     /// feature counts.
     pub fn new(conv: Conv, input: FeatureShape) -> Result<Self> {
-        if !input.features.is_multiple_of(conv.groups) || !conv.out_features.is_multiple_of(conv.groups) {
+        if !input.features.is_multiple_of(conv.groups)
+            || !conv.out_features.is_multiple_of(conv.groups)
+        {
             return Err(Error::Unsupported {
                 what: format!(
                     "groups {} does not divide features {}/{}",
@@ -81,7 +83,12 @@ fn check_shape(t: &Tensor, want: FeatureShape) -> Result<()> {
 ///
 /// Returns [`Error::ShapeMismatch`] when the input tensor does not match
 /// the declared geometry.
-pub fn conv_forward(p: &ConvParams, input: &Tensor, weights: &[f32], bias: &[f32]) -> Result<Tensor> {
+pub fn conv_forward(
+    p: &ConvParams,
+    input: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+) -> Result<Tensor> {
     check_shape(input, p.input)?;
     let out_shape = p.output();
     let mut out = Tensor::zeros(out_shape);
@@ -238,11 +245,8 @@ mod tests {
     #[test]
     fn forward_matches_hand_computation() {
         let p = simple_params();
-        let input = Tensor::from_vec(
-            p.input,
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(p.input, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).unwrap();
         let weights = vec![1.0, 0.0, 0.0, 1.0]; // identity-ish 2x2 kernel
         let out = conv_forward(&p, &input, &weights, &[0.0]).unwrap();
         // out(0,0) = 1*1 + 5*1 = 6, out(0,1) = 2 + 6 = 8, ...
@@ -274,22 +278,36 @@ mod tests {
         let p = ConvParams::new(Conv::linear(2, 3, 2, 1), FeatureShape::new(2, 5, 5)).unwrap();
         let n_in = p.input.elems();
         let out_shape = p.output();
-        let weights: Vec<f32> = (0..p.kernel_len()).map(|i| (i as f32 * 0.7).sin()).collect();
-        let x = Tensor::from_vec(
-            p.input,
-            (0..n_in).map(|i| (i as f32 * 0.3).cos()).collect(),
-        )
-        .unwrap();
+        let weights: Vec<f32> = (0..p.kernel_len())
+            .map(|i| (i as f32 * 0.7).sin())
+            .collect();
+        let x =
+            Tensor::from_vec(p.input, (0..n_in).map(|i| (i as f32 * 0.3).cos()).collect()).unwrap();
         let e = Tensor::from_vec(
             out_shape,
-            (0..out_shape.elems()).map(|i| (i as f32 * 0.11).sin()).collect(),
+            (0..out_shape.elems())
+                .map(|i| (i as f32 * 0.11).sin())
+                .collect(),
         )
         .unwrap();
         let y = conv_forward(&p, &x, &weights, &[]).unwrap();
         let xt = conv_backward_input(&p, &e, &weights).unwrap();
-        let lhs: f32 = y.as_slice().iter().zip(e.as_slice()).map(|(a, b)| a * b).sum();
-        let rhs: f32 = x.as_slice().iter().zip(xt.as_slice()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        let lhs: f32 = y
+            .as_slice()
+            .iter()
+            .zip(e.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(xt.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

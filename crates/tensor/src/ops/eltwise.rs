@@ -74,7 +74,10 @@ pub fn shortcut_forward(input: &Tensor, stride: usize, out_features: usize) -> R
     let s = input.shape();
     if out_features < s.features {
         return Err(Error::Unsupported {
-            what: format!("shortcut shrinking features {} -> {out_features}", s.features),
+            what: format!(
+                "shortcut shrinking features {} -> {out_features}",
+                s.features
+            ),
         });
     }
     let out_shape = FeatureShape::new(
@@ -148,11 +151,7 @@ mod tests {
 
     #[test]
     fn shortcut_subsamples_and_pads() {
-        let input = Tensor::from_vec(
-            FeatureShape::new(1, 2, 2),
-            vec![1.0, 2.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let input = Tensor::from_vec(FeatureShape::new(1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let out = shortcut_forward(&input, 2, 2).unwrap();
         assert_eq!(out.shape(), FeatureShape::new(2, 1, 1));
         assert_eq!(out.as_slice(), &[1.0, 0.0]); // sampled + zero-padded feature

@@ -197,11 +197,8 @@ mod tests {
     fn ceil_mode_handles_partial_windows() {
         // 3x3 input, 2x2/2 ceil pooling -> 2x2 output with partial windows.
         let in_shape = FeatureShape::new(1, 3, 3);
-        let input = Tensor::from_vec(
-            in_shape,
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(in_shape, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).unwrap();
         let p = Pool::max(2, 2);
         let out = pool_forward(&p, in_shape, &input).unwrap();
         assert_eq!(out.output.shape(), FeatureShape::new(1, 2, 2));

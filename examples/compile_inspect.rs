@@ -66,7 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sim.import_params(&reference)?;
     sim.clear_gradients();
 
-    let image: Vec<f32> = (0..144).map(|i| ((i * 37 % 100) as f32 / 50.0) - 1.0).collect();
+    let image: Vec<f32> = (0..144)
+        .map(|i| ((i * 37 % 100) as f32 / 50.0) - 1.0)
+        .collect();
     let golden = vec![1.0, -0.5, 0.25, 0.0];
     let f1 = net.node_by_name("f1").expect("f1 exists").id();
 

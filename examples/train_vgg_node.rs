@@ -12,9 +12,12 @@ use scaledeep_dnn::zoo;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = zoo::vgg_d();
-    println!("network: {} ({:.1}M weights, {:.1}B connections)", net.name(),
+    println!(
+        "network: {} ({:.1}M weights, {:.1}B connections)",
+        net.name(),
         net.analyze().weights() as f64 / 1e6,
-        net.analyze().connections() as f64 / 1e9);
+        net.analyze().connections() as f64 / 1e9
+    );
 
     for (label, session) in [
         ("single precision", Session::single_precision()),

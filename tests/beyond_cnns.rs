@@ -164,7 +164,10 @@ fn winograd_speeds_up_3x3_networks_most() {
     let alex_gain =
         wino.train(&alex).unwrap().images_per_sec / base.train(&alex).unwrap().images_per_sec;
     assert!(vgg_gain > 1.3, "VGG Winograd gain {vgg_gain:.2}");
-    assert!(vgg_gain <= 2.30, "gain bounded by the 2.25x multiply reduction");
+    assert!(
+        vgg_gain <= 2.30,
+        "gain bounded by the 2.25x multiply reduction"
+    );
     assert!(
         vgg_gain > alex_gain,
         "all-3x3 VGG must gain more than AlexNet ({vgg_gain:.2} vs {alex_gain:.2})"

@@ -22,9 +22,7 @@ fn dnn_errors_render() {
     assert!(err.to_string().contains("kernel"));
 
     let mut b = NetworkBuilder::new("t", FeatureShape::new(3, 8, 8));
-    let err = b
-        .conv("g", Conv::relu_grouped(8, 3, 1, 1, 5))
-        .unwrap_err();
+    let err = b.conv("g", Conv::relu_grouped(8, 3, 1, 1, 5)).unwrap_err();
     check_display(&err);
     assert!(err.to_string().contains("groups"));
 }
@@ -66,8 +64,8 @@ fn isa_errors_render() {
 
 #[test]
 fn sim_errors_render_and_chain() {
-    use scaledeep_sim::func::Machine;
     use scaledeep_isa::{Inst, MemRef, Program, TileRef};
+    use scaledeep_sim::func::Machine;
     let mut m = Machine::new(1, 4);
     let p = Program::new(
         "oops",
@@ -85,9 +83,8 @@ fn sim_errors_render_and_chain() {
     check_display(&err);
     assert!(err.to_string().contains("scratchpad"));
     // Wrapped compiler errors expose a source.
-    let wrapped = scaledeep_sim::Error::from(scaledeep_compiler::Error::Codegen {
-        detail: "x".into(),
-    });
+    let wrapped =
+        scaledeep_sim::Error::from(scaledeep_compiler::Error::Codegen { detail: "x".into() });
     assert!(wrapped.source().is_some());
 }
 

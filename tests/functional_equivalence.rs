@@ -5,9 +5,7 @@
 //! f32 reassociation noise).
 
 use scaledeep_compiler::codegen::{compile_functional, FuncTargetOptions};
-use scaledeep_dnn::{
-    Activation, Conv, Fc, FeatureShape, Network, NetworkBuilder, Pool,
-};
+use scaledeep_dnn::{Activation, Conv, Fc, FeatureShape, Network, NetworkBuilder, Pool};
 use scaledeep_sim::func::FuncSim;
 use scaledeep_tensor::{Executor, Tensor};
 
@@ -72,7 +70,9 @@ fn check_equivalence(net: &Network, seed: u64, tol: f32) {
 
     // Simulator: the same, through compiled ISA programs.
     sim.clear_gradients();
-    let stats = sim.run_iteration(&image, &golden).expect("simulation completes");
+    let stats = sim
+        .run_iteration(&image, &golden)
+        .expect("simulation completes");
     assert!(stats.instructions > 0);
 
     for node in net.layers() {
@@ -185,9 +185,7 @@ fn shortcut_projection_matches_reference() {
     // Option-A shortcut: channel growth + spatial stride.
     let mut b = NetworkBuilder::new("proj", FeatureShape::new(2, 8, 8));
     let trunk = b.tail();
-    let c1 = b
-        .conv("c1", conv(4, 3, 1, Activation::Relu))
-        .unwrap();
+    let c1 = b.conv("c1", conv(4, 3, 1, Activation::Relu)).unwrap();
     let p1 = b.pool_from("p1", c1, Pool::max(2, 2)).unwrap();
     let sc = b.shortcut_from("sc", trunk, 2, 4).unwrap();
     let add = b.eltwise_add("add", p1, sc, Activation::None).unwrap();
@@ -200,9 +198,15 @@ fn shortcut_projection_matches_reference() {
 fn inception_style_concat_matches_reference() {
     let mut b = NetworkBuilder::new("inception", FeatureShape::new(3, 8, 8));
     let root = b.tail();
-    let a = b.conv_from("a", root, conv(2, 1, 0, Activation::Relu)).unwrap();
-    let c = b.conv_from("c", root, conv(3, 3, 1, Activation::Relu)).unwrap();
-    let e = b.conv_from("e", root, conv(2, 5, 2, Activation::Relu)).unwrap();
+    let a = b
+        .conv_from("a", root, conv(2, 1, 0, Activation::Relu))
+        .unwrap();
+    let c = b
+        .conv_from("c", root, conv(3, 3, 1, Activation::Relu))
+        .unwrap();
+    let e = b
+        .conv_from("e", root, conv(2, 5, 2, Activation::Relu))
+        .unwrap();
     let cat = b.concat("cat", &[a, c, e]).unwrap();
     let out = b.fc_from("f", cat, fc(4, Activation::None)).unwrap();
     let net = b.finish_with_loss(out).unwrap();
@@ -250,7 +254,10 @@ fn multi_iteration_training_tracks_reference() {
         .zip(ref_out.as_slice())
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
-    assert!(max_diff < 1e-3, "after 3 SGD steps outputs diverge by {max_diff}");
+    assert!(
+        max_diff < 1e-3,
+        "after 3 SGD steps outputs diverge by {max_diff}"
+    );
 }
 
 #[test]
@@ -284,5 +291,8 @@ fn minibatch_gradients_accumulate_like_reference() {
         .zip(ref_g)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
-    assert!(max_diff < 5e-4, "4-image gradient accumulation diverges by {max_diff}");
+    assert!(
+        max_diff < 5e-4,
+        "4-image gradient accumulation diverges by {max_diff}"
+    );
 }

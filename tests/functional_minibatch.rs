@@ -90,9 +90,7 @@ fn looped_programs_contain_scalar_loops() {
     // The first-layer and loss programs use register-indirect addressing.
     let fp1 = compiled.program("L1.FP").expect("c1 FP exists");
     assert!(
-        fp1.insts()
-            .iter()
-            .any(|i| matches!(i, Inst::Addri { .. })),
+        fp1.insts().iter().any(|i| matches!(i, Inst::Addri { .. })),
         "first-layer FP must compute per-image addresses"
     );
 }

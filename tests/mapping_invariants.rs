@@ -88,7 +88,10 @@ fn chip_spans_are_deployable() {
                 "{name}: multi-cluster span must be whole wheels"
             );
         }
-        assert!(m.conv_cols_used() <= chips * node.cluster.conv_chip.cols, "{name}");
+        assert!(
+            m.conv_cols_used() <= chips * node.cluster.conv_chip.cols,
+            "{name}"
+        );
     }
 }
 
@@ -164,8 +167,5 @@ fn oversized_networks_are_rejected_cleanly() {
     node.cluster.conv_chip.cols = 2;
     node.cluster.conv_chip.mem_heavy.capacity_bytes = 64 * 1024;
     let err = Compiler::new(&node).map(&zoo::vgg_e()).unwrap_err();
-    assert!(matches!(
-        err,
-        scaledeep_compiler::Error::DoesNotFit { .. }
-    ));
+    assert!(matches!(err, scaledeep_compiler::Error::DoesNotFit { .. }));
 }

@@ -128,6 +128,51 @@ proptest! {
     }
 
     #[test]
+    fn event_driven_is_bit_identical_to_round_robin(
+        d0 in 0usize..12,
+        d1 in 0usize..12,
+        d2 in 0usize..12,
+        order in Just([0usize, 1, 2]).prop_shuffle(),
+        chunks in prop_oneof![Just(1u32), Just(2), Just(4)],
+    ) {
+        // The event-driven scheduler visits threads in cycle order, the
+        // round-robin oracle in launch order; the trackers alone order the
+        // computation, so both must produce the same memory image.
+        let len = 8u32;
+        let progs = build_programs([d0, d1, d2], len, chunks);
+        let specs = trackers(len, chunks);
+        let ordered: Vec<Program> = order.iter().map(|&i| progs[i].clone()).collect();
+
+        let mut ed = Machine::new(1, 4096);
+        let mut rr = Machine::new(1, 4096);
+        for i in 0..len {
+            ed.mem_mut(0)[(1000 + i) as usize] = (i + 1) as f32;
+            rr.mem_mut(0)[(1000 + i) as usize] = (i + 1) as f32;
+        }
+        let ed_stats = ed.run(&ordered, &specs).expect("event-driven run");
+        let rr_stats = rr.run_round_robin(&ordered, &specs).expect("round-robin run");
+
+        prop_assert_eq!(ed.mem(0), rr.mem(0), "memory images diverge");
+        prop_assert_eq!(ed_stats.instructions, rr_stats.instructions);
+
+        // Event-driven stalls are genuine waits: a blocked thread parks
+        // once and is woken only by a tracker update overlapping its
+        // awaited range (it may re-park if the update was a partial
+        // chunk). Each of the two reads of the raw data can therefore
+        // stall at most `chunks` times and the read of the transformed
+        // data at most twice — a bound independent of the NOP padding,
+        // which is what separates waiting from re-polling.
+        let wait_bound = u64::from(2 * chunks + 2);
+        prop_assert!(
+            ed_stats.stalls <= wait_bound,
+            "{} stalls exceeds the {} genuine-wait bound — scheduler is re-polling",
+            ed_stats.stalls,
+            wait_bound
+        );
+        prop_assert!(ed_stats.cycles > 0);
+    }
+
+    #[test]
     fn under_counted_trackers_deadlock_not_corrupt(
         d0 in 0usize..6,
         extra in 1u16..4,
@@ -152,7 +197,14 @@ fn reader_never_sees_partial_updates() {
     // trackers were broken it could observe only the first chunk. Exhaust
     // all launch orders for the 4-chunk case.
     let len = 8u32;
-    for order in [[0usize, 1, 2], [2, 1, 0], [1, 0, 2], [2, 0, 1], [0, 2, 1], [1, 2, 0]] {
+    for order in [
+        [0usize, 1, 2],
+        [2, 1, 0],
+        [1, 0, 2],
+        [2, 0, 1],
+        [0, 2, 1],
+        [1, 2, 0],
+    ] {
         let progs = build_programs([0, 0, 0], len, 4);
         let specs = trackers(len, 4);
         let mut m = Machine::new(1, 4096);
@@ -162,7 +214,11 @@ fn reader_never_sees_partial_updates() {
         let ordered: Vec<Program> = order.iter().map(|&i| progs[i].clone()).collect();
         m.run(&ordered, &specs).unwrap();
         for i in 0..len as usize {
-            assert_eq!(m.mem(0)[2 * len as usize + i], 3.0 * (i + 1) as f32, "{order:?}");
+            assert_eq!(
+                m.mem(0)[2 * len as usize + i],
+                3.0 * (i + 1) as f32,
+                "{order:?}"
+            );
         }
     }
 }

@@ -50,12 +50,10 @@ fn half_precision_scaling() {
     let mut eval_speedups = Vec::new();
     for name in ["alexnet", "overfeat-fast", "vgg-a", "googlenet"] {
         let net = zoo::by_name(name).unwrap();
-        train_speedups.push(
-            hp.train(&net).unwrap().images_per_sec / sp.train(&net).unwrap().images_per_sec,
-        );
+        train_speedups
+            .push(hp.train(&net).unwrap().images_per_sec / sp.train(&net).unwrap().images_per_sec);
         eval_speedups.push(
-            hp.evaluate(&net).unwrap().images_per_sec
-                / sp.evaluate(&net).unwrap().images_per_sec,
+            hp.evaluate(&net).unwrap().images_per_sec / sp.evaluate(&net).unwrap().images_per_sec,
         );
     }
     let t = geomean(train_speedups.iter().copied());

@@ -58,22 +58,32 @@ fn inst_strategy() -> impl Strategy<Value = Inst> {
                     }
                 }
             ),
-        (memref_strategy(), memref_strategy(), 1u32..1_000_000, any::<bool>())
+        (
+            memref_strategy(),
+            memref_strategy(),
+            1u32..1_000_000,
+            any::<bool>()
+        )
             .prop_map(|(src, dst, len, accumulate)| Inst::DmaLoad {
                 src,
                 dst,
                 len,
                 accumulate
             }),
-        (0u16..32, 0u32..1_000_000, 1u32..1_000_000, 0u16..512, 0u16..512).prop_map(
-            |(tile, addr, len, num_updates, num_reads)| Inst::MemTrack {
+        (
+            0u16..32,
+            0u32..1_000_000,
+            1u32..1_000_000,
+            0u16..512,
+            0u16..512
+        )
+            .prop_map(|(tile, addr, len, num_updates, num_reads)| Inst::MemTrack {
                 tile: TileRef(tile),
                 addr,
                 len,
                 num_updates,
                 num_reads
-            }
-        ),
+            }),
     ]
 }
 
@@ -203,7 +213,18 @@ fn random_net_strategy() -> impl Strategy<Value = RandomNetSpec> {
         any::<bool>(),
     )
         .prop_map(
-            |(in_feats, in_edge, conv1_out, conv1_k, use_pool, pool_avg, conv2_out, act1, fc_out, gated_tail)| {
+            |(
+                in_feats,
+                in_edge,
+                conv1_out,
+                conv1_k,
+                use_pool,
+                pool_avg,
+                conv2_out,
+                act1,
+                fc_out,
+                gated_tail,
+            )| {
                 RandomNetSpec {
                     in_feats,
                     in_edge,
@@ -277,7 +298,8 @@ fn build_random_net(spec: &RandomNetSpec) -> scaledeep_dnn::Network {
         let m = b
             .eltwise_mul("gate_m", a, v, Activation::None)
             .expect("gate product");
-        b.act_from("gate_t", m, Activation::Tanh).expect("gate tanh")
+        b.act_from("gate_t", m, Activation::Tanh)
+            .expect("gate tanh")
     } else {
         b.tail()
     };

@@ -129,5 +129,9 @@ fn sequential_ablation_matches_stage_sum() {
     let stage_sum: u64 = piped.stages.iter().map(|s| s.service_cycles).sum();
     let expected = piped.pipelines as f64 * node.frequency_hz() / stage_sum as f64;
     let rel = (seq.images_per_sec - expected).abs() / expected;
-    assert!(rel < 0.02, "sequential throughput off by {:.1}%", rel * 100.0);
+    assert!(
+        rel < 0.02,
+        "sequential throughput off by {:.1}%",
+        rel * 100.0
+    );
 }
