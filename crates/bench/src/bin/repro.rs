@@ -3,14 +3,16 @@
 //! Usage:
 //!
 //! ```text
-//! repro                # run every experiment
-//! repro fig16 fig18    # run selected experiments
-//! repro --list         # list experiment ids
-//! repro --net alexnet  # drill into one benchmark's mapping & pipeline
+//! repro                      # run every experiment
+//! repro fig16 fig18          # run selected experiments
+//! repro --list               # list experiment ids
+//! repro --net alexnet        # drill into one benchmark's mapping & pipeline
+//! repro --degraded alexnet 2 # remap around 2 dead columns and compare
 //! ```
 
 use scaledeep::experiments::{run_by_id, EXPERIMENT_IDS};
 use scaledeep::Session;
+use scaledeep_compiler::FailedTiles;
 use scaledeep_dnn::zoo;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -90,11 +92,53 @@ fn drill_into(name: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn degraded_drill(name: &str, dead_cols: usize) -> Result<(), String> {
+    let net = zoo::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let session = Session::single_precision();
+    let healthy = session.compile(&net).map_err(|e| e.to_string())?;
+    let failed = FailedTiles::from_columns(0..dead_cols);
+    let degraded = session
+        .compile_degraded(&net, &failed)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "healthy:  {} cols on {} chip(s)",
+        healthy.conv_cols_used(),
+        healthy.chips_spanned()
+    );
+    println!(
+        "degraded: {} cols on {} chip(s), routing around {:?}",
+        degraded.conv_cols_used(),
+        degraded.chips_spanned(),
+        degraded.failed_cols()
+    );
+    let base = session.run_mapped(&healthy, scaledeep_sim::perf::RunKind::Training);
+    let deg = session.run_mapped(&degraded, scaledeep_sim::perf::RunKind::Training);
+    println!(
+        "throughput: {:.0} -> {:.0} images/s ({:.1}% retained)",
+        base.images_per_sec,
+        deg.images_per_sec,
+        100.0 * deg.images_per_sec / base.images_per_sec
+    );
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list") {
         for id in EXPERIMENT_IDS {
             println!("{id}");
+        }
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--degraded") {
+        let name = args.get(pos + 1).map(String::as_str).unwrap_or("alexnet");
+        let dead = args
+            .get(pos + 2)
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(1);
+        if let Err(e) = degraded_drill(name, dead) {
+            eprintln!("{e}");
+            std::process::exit(1);
         }
         return;
     }

@@ -23,8 +23,8 @@ mod emit;
 mod layout;
 
 pub use emit::{
-    compile_functional, compile_functional_minibatch, conv_grads_to_output_major,
-    conv_weights_to_input_major, fc_weights_transpose,
+    compile_functional, compile_functional_degraded, compile_functional_minibatch,
+    conv_grads_to_output_major, conv_weights_to_input_major, fc_weights_transpose,
 };
 pub use layout::{BufferLoc, LayerBuffers, TrackerSpec};
 

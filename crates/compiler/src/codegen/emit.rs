@@ -39,6 +39,26 @@ pub fn compile_functional_minibatch(
     opts: &FuncTargetOptions,
     batch: usize,
 ) -> Result<CompiledNetwork> {
+    compile_functional_degraded(net, opts, batch, &[])
+}
+
+/// Compiles a network for a functional chip with permanently failed
+/// MemHeavy tiles: no buffer is placed on a `dead_tiles` member, while the
+/// surviving tiles keep their indices so programs address them exactly as
+/// on a healthy chip. With an empty `dead_tiles` this is
+/// [`compile_functional_minibatch`].
+///
+/// # Errors
+///
+/// In addition to [`compile_functional_minibatch`]'s restrictions, fails
+/// with [`Error::Codegen`] when every tile is dead or the survivors run
+/// out of scratchpad capacity for the network's buffers.
+pub fn compile_functional_degraded(
+    net: &Network,
+    opts: &FuncTargetOptions,
+    batch: usize,
+    dead_tiles: &[u16],
+) -> Result<CompiledNetwork> {
     if batch == 0 {
         return Err(Error::Codegen {
             detail: "minibatch must be at least 1".into(),
@@ -58,6 +78,17 @@ pub fn compile_functional_minibatch(
         }
     }
     let mut cg = Codegen::new(net, opts)?;
+    if !dead_tiles.is_empty() {
+        cg.alloc = Allocator::new_excluding(opts.mem_tiles, opts.tile_capacity_elems, dead_tiles);
+        if cg.alloc.live_tiles() == 0 {
+            return Err(Error::Codegen {
+                detail: format!(
+                    "all {} MemHeavy tiles of the functional chip are dead",
+                    opts.mem_tiles
+                ),
+            });
+        }
+    }
     cg.batch = batch;
     cg.allocate()?;
     cg.emit_all()?;
@@ -1216,6 +1247,43 @@ mod tests {
             .unwrap();
         assert_eq!(t.num_updates, 0);
         assert!(t.num_reads > 0);
+    }
+
+    #[test]
+    fn degraded_compile_avoids_dead_tiles() {
+        let net = tiny_net();
+        let opts = FuncTargetOptions::default();
+        let c = compile_functional_degraded(&net, &opts, 1, &[0, 3]).unwrap();
+        let on_dead = |b: &Option<BufferLoc>| b.is_some_and(|b| b.tile == 0 || b.tile == 3);
+        for lb in &c.buffers {
+            for loc in [
+                &lb.output,
+                &lb.pre,
+                &lb.err,
+                &lb.dz,
+                &lb.weights,
+                &lb.weights_t,
+                &lb.wgrad,
+                &lb.golden,
+            ] {
+                assert!(!on_dead(loc), "buffer placed on a dead tile: {loc:?}");
+            }
+        }
+        assert!(c.const_neg_one.tile != 0 && c.const_neg_one.tile != 3);
+        // Same program structure as the healthy compile.
+        let healthy = compile_functional(&net, &opts).unwrap();
+        assert_eq!(c.programs.len(), healthy.programs.len());
+    }
+
+    #[test]
+    fn degraded_compile_with_no_live_tiles_is_an_error() {
+        let net = tiny_net();
+        let opts = FuncTargetOptions {
+            mem_tiles: 2,
+            ..FuncTargetOptions::default()
+        };
+        let err = compile_functional_degraded(&net, &opts, 1, &[0, 1]).unwrap_err();
+        assert!(matches!(err, Error::Codegen { .. }));
     }
 
     #[test]

@@ -94,6 +94,28 @@ impl Allocator {
         }
     }
 
+    /// An allocator that never places a buffer on the `dead` tiles: they
+    /// start full, so the rotate-first-fit probe skips them while every
+    /// live tile keeps its index (degraded layouts stay address-compatible
+    /// with healthy ones on the surviving tiles).
+    pub(super) fn new_excluding(tiles: usize, capacity: u32, dead: &[u16]) -> Self {
+        let mut a = Self::new(tiles, capacity);
+        for &d in dead {
+            if let Some(slot) = a.next_free.get_mut(d as usize) {
+                *slot = capacity;
+            }
+        }
+        a
+    }
+
+    /// Number of tiles that can still accept at least one element.
+    pub(super) fn live_tiles(&self) -> usize {
+        self.next_free
+            .iter()
+            .filter(|&&n| n < self.capacity)
+            .count()
+    }
+
     /// Allocates `len` elements, preferring to rotate across tiles so the
     /// layout spreads like the paper's even feature distribution.
     pub(super) fn alloc(&mut self, len: u32) -> Result<BufferLoc> {
@@ -148,6 +170,23 @@ mod tests {
         a.alloc(45).unwrap(); // tile 0 nearly full
         let b = a.alloc(20).unwrap();
         assert_eq!(b.tile, 1);
+    }
+
+    #[test]
+    fn allocator_excluding_never_places_on_dead_tiles() {
+        let mut a = Allocator::new_excluding(4, 100, &[1, 2]);
+        assert_eq!(a.live_tiles(), 2);
+        for _ in 0..6 {
+            let b = a.alloc(10).unwrap();
+            assert!(b.tile == 0 || b.tile == 3, "placed on dead tile {}", b.tile);
+        }
+    }
+
+    #[test]
+    fn allocator_excluding_everything_is_exhausted() {
+        let mut a = Allocator::new_excluding(2, 100, &[0, 1]);
+        assert_eq!(a.live_tiles(), 0);
+        assert!(a.alloc(1).is_err());
     }
 
     #[test]

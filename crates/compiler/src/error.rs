@@ -17,6 +17,25 @@ pub enum Error {
         /// Columns available across all ConvLayer chips in the node.
         available_cols: usize,
     },
+    /// A degraded remap ran out of capacity: after excluding the failed
+    /// columns, the surviving columns cannot hold the network's memory
+    /// floor. Distinguished from [`Error::DoesNotFit`] so the host can
+    /// tell "the network never fit" from "the failures ate the headroom".
+    NoCapacity {
+        /// Columns required by the memory floor.
+        required_cols: usize,
+        /// Surviving (non-failed) columns across the node.
+        live_cols: usize,
+        /// Columns condemned by the failed-tile set.
+        failed_cols: usize,
+    },
+    /// A degraded remap cannot route: an entire rim chip inside the
+    /// required span is dead, breaking the wheel's spoke/arc path through
+    /// it — no column re-allocation can compensate.
+    NoRoute {
+        /// The dead rim chip's index along the span.
+        chip: usize,
+    },
     /// A graph error bubbled up from `scaledeep-dnn`.
     Graph(scaledeep_dnn::Error),
     /// An architecture validation error bubbled up from `scaledeep-arch`.
@@ -40,6 +59,18 @@ impl fmt::Display for Error {
             } => write!(
                 f,
                 "network state needs {required_cols} chip columns but the node has only {available_cols}"
+            ),
+            Error::NoCapacity {
+                required_cols,
+                live_cols,
+                failed_cols,
+            } => write!(
+                f,
+                "degraded remap impossible: {required_cols} columns required, only {live_cols} survive ({failed_cols} failed)"
+            ),
+            Error::NoRoute { chip } => write!(
+                f,
+                "degraded remap impossible: rim chip {chip} is entirely dead, wheel route broken"
             ),
             Error::Graph(e) => write!(f, "graph error: {e}"),
             Error::Arch(e) => write!(f, "architecture error: {e}"),

@@ -41,6 +41,6 @@ mod report;
 
 pub use error::{Error, Result};
 pub use mapping::{
-    ArrayPlan, Compiler, LayerPlan, Mapping, Placement, Side, StateBudget, TileCoord,
+    ArrayPlan, Compiler, FailedTiles, LayerPlan, Mapping, Placement, Side, StateBudget, TileCoord,
 };
 pub use report::{MappingReport, UtilizationWaterfall};

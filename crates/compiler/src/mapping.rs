@@ -76,6 +76,58 @@ pub struct TileCoord {
     pub row: usize,
 }
 
+/// The set of permanently failed tiles a degraded remap must route
+/// around, expressed at the mapping's failure granularity: whole
+/// ConvLayer-chip columns (a column shares its memory ports and
+/// CompHeavy neighbours, so one dead tile condemns its column).
+///
+/// Columns are *physical* global indices across the rim-chip sequence —
+/// the same numbering [`Placement::Conv`] uses on a healthy node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailedTiles {
+    cols: std::collections::BTreeSet<usize>,
+}
+
+impl FailedTiles {
+    /// No failures: [`Compiler::map_degraded`] degenerates to
+    /// [`Compiler::map`].
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Condemns the given physical global columns.
+    pub fn from_columns<I: IntoIterator<Item = usize>>(cols: I) -> Self {
+        Self {
+            cols: cols.into_iter().collect(),
+        }
+    }
+
+    /// Condemns the columns containing the given tile coordinates.
+    pub fn from_coords(coords: &[TileCoord], cols_per_chip: usize) -> Self {
+        Self::from_columns(coords.iter().map(|t| t.chip * cols_per_chip.max(1) + t.col))
+    }
+
+    /// Whether no tiles are condemned.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Number of condemned columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether a physical global column is condemned.
+    pub fn contains(&self, col: usize) -> bool {
+        self.cols.contains(&col)
+    }
+
+    /// The condemned physical global columns, ascending.
+    pub fn columns(&self) -> impl Iterator<Item = usize> + '_ {
+        self.cols.iter().copied()
+    }
+}
+
 /// The complete plan for one layer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerPlan {
@@ -175,6 +227,8 @@ pub struct Mapping {
     conv_cols_per_chip: usize,
     wheel_batch: usize,
     elem_bytes: u64,
+    col_map: Vec<usize>,
+    failed_cols: Vec<usize>,
 }
 
 impl Mapping {
@@ -251,6 +305,31 @@ impl Mapping {
         self.wheel_batch
     }
 
+    /// The physical conv column backing logical column `logical`.
+    /// Placements number *logical* columns `0..conv_cols_used`; on a
+    /// degraded mapping the indirection skips the failed physical
+    /// columns. Identity on a healthy mapping.
+    pub fn physical_col(&self, logical: usize) -> usize {
+        self.col_map.get(logical).copied().unwrap_or(logical)
+    }
+
+    /// The full logical→physical conv-column map (ascending; length is
+    /// the live columns within the span).
+    pub fn col_map(&self) -> &[usize] {
+        &self.col_map
+    }
+
+    /// Physical columns within the span condemned by the failed-tile
+    /// set this mapping was compiled against (empty when healthy).
+    pub fn failed_cols(&self) -> &[usize] {
+        &self.failed_cols
+    }
+
+    /// Whether this mapping routes around failed tiles.
+    pub fn is_degraded(&self) -> bool {
+        !self.failed_cols.is_empty()
+    }
+
     /// Sum of a closure over conv-side plans.
     pub fn conv_plans(&self) -> impl Iterator<Item = &LayerPlan> + '_ {
         self.plans
@@ -316,6 +395,27 @@ impl Mapping {
                 self.conv_cols_used, self.chips_spanned
             )));
         }
+        if self.col_map.len() < self.conv_cols_used {
+            return Err(fail(format!(
+                "column map covers {} physical columns, {} logical columns placed",
+                self.col_map.len(),
+                self.conv_cols_used
+            )));
+        }
+        if self.col_map.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(fail("column map is not strictly ascending".to_string()));
+        }
+        if let Some(&c) = self.col_map.iter().find(|c| self.failed_cols.contains(c)) {
+            return Err(fail(format!("column map routes through failed column {c}")));
+        }
+        if let Some(&last) = self.col_map.last() {
+            if last >= self.chips_spanned * self.conv_cols_per_chip {
+                return Err(fail(format!(
+                    "column map reaches physical column {last}, outside the {}-chip span",
+                    self.chips_spanned
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -358,6 +458,22 @@ impl Compiler {
     /// exceeds the node's total ConvLayer columns, or validation errors for
     /// malformed configurations.
     pub fn map(&self, net: &Network) -> Result<Mapping> {
+        self.map_degraded(net, &FailedTiles::none())
+    }
+
+    /// Runs the workload-mapping phase around a set of failed tiles:
+    /// column allocation excludes the condemned physical columns and the
+    /// resulting mapping carries a logical→physical indirection
+    /// ([`Mapping::physical_col`]). With [`FailedTiles::none`] this is
+    /// exactly [`Compiler::map`].
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`Compiler::map`]'s errors, returns
+    /// [`crate::Error::NoCapacity`] when the surviving columns cannot hold
+    /// the memory floor and [`crate::Error::NoRoute`] when an entire rim
+    /// chip inside the required span is dead.
+    pub fn map_degraded(&self, net: &Network, failed: &FailedTiles) -> Result<Mapping> {
         self.node.validate()?;
         let elem_bytes = self.node.precision.elem_bytes();
         let analysis = net.analyze_with_elem_bytes(elem_bytes);
@@ -395,6 +511,7 @@ impl Compiler {
             fc_chip,
             conv_chips_per_cluster,
             self.node.clusters,
+            failed,
         )?;
 
         // STEP 4–6: partition state, configure arrays, place weights.
@@ -464,6 +581,8 @@ impl Compiler {
             conv_cols_per_chip: conv_chip.cols,
             wheel_batch: conv_chips_per_cluster,
             elem_bytes,
+            col_map: alloc.col_map,
+            failed_cols: alloc.failed_cols,
         };
         mapping.validate()?;
         Ok(mapping)
@@ -632,6 +751,111 @@ mod tests {
         for name in zoo::BENCHMARK_NAMES {
             map(name).validate().unwrap();
         }
+    }
+
+    #[test]
+    fn healthy_mapping_has_identity_column_map() {
+        let m = map("alexnet");
+        assert!(!m.is_degraded());
+        assert!(m.failed_cols().is_empty());
+        for logical in 0..m.conv_cols_used() {
+            assert_eq!(m.physical_col(logical), logical);
+        }
+    }
+
+    #[test]
+    fn degraded_map_routes_around_a_dead_column() {
+        let node = presets::single_precision();
+        let net = zoo::alexnet();
+        let failed = FailedTiles::from_columns([3]);
+        let m = Compiler::new(&node).map_degraded(&net, &failed).unwrap();
+        m.validate().unwrap();
+        assert!(m.is_degraded());
+        assert_eq!(m.failed_cols(), &[3]);
+        // Logical columns skip the dead physical column...
+        assert!(m.col_map().iter().all(|&c| c != 3));
+        assert_eq!(m.physical_col(2), 2);
+        assert_eq!(m.physical_col(3), 4);
+        // ...and the healthy variant of the same network still fits the
+        // span, one live column poorer.
+        let healthy = Compiler::new(&node).map(&net).unwrap();
+        assert_eq!(m.chips_spanned(), healthy.chips_spanned());
+        assert_eq!(m.conv_cols_used(), healthy.conv_cols_used() - 1);
+    }
+
+    #[test]
+    fn degraded_map_from_tile_coords_condemns_the_column() {
+        let node = presets::single_precision();
+        let coords = [TileCoord {
+            chip: 0,
+            col: 5,
+            row: 2,
+        }];
+        let failed = FailedTiles::from_coords(&coords, node.cluster.conv_chip.cols);
+        assert!(failed.contains(5));
+        assert_eq!(failed.len(), 1);
+        let m = Compiler::new(&node)
+            .map_degraded(&zoo::alexnet(), &failed)
+            .unwrap();
+        assert!(m.col_map().iter().all(|&c| c != 5));
+    }
+
+    #[test]
+    fn degraded_map_grows_the_span_when_failures_crowd_a_chip() {
+        let node = presets::single_precision();
+        let net = zoo::vgg_a();
+        let healthy = Compiler::new(&node).map(&net).unwrap();
+        // Kill columns off the end of the healthy span: the remap must
+        // still validate (VGG-A needs most of its span's columns, so the
+        // allocator either absorbs the loss or widens the span).
+        let cols = node.cluster.conv_chip.cols;
+        let last_chip = healthy.chips_spanned() - 1;
+        let failed = FailedTiles::from_columns([last_chip * cols, last_chip * cols + 1]);
+        let m = Compiler::new(&node).map_degraded(&net, &failed).unwrap();
+        m.validate().unwrap();
+        assert!(m.chips_spanned() >= healthy.chips_spanned());
+    }
+
+    #[test]
+    fn remap_without_capacity_is_a_typed_error() {
+        let node = presets::single_precision();
+        let total = node.clusters * node.cluster.conv_chips * node.cluster.conv_chip.cols;
+        // Condemn every column but one: VGG-E's memory floor cannot fit.
+        let failed = FailedTiles::from_columns(1..total);
+        let err = Compiler::new(&node)
+            .map_degraded(&zoo::vgg_e(), &failed)
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::Error::NoCapacity { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn fully_dead_rim_chip_breaks_the_route() {
+        let node = presets::single_precision();
+        let cols = node.cluster.conv_chip.cols;
+        // Chip 1 entirely dead; VGG-A spans several chips, so its span
+        // includes the dead one.
+        let failed = FailedTiles::from_columns(cols..2 * cols);
+        let err = Compiler::new(&node)
+            .map_degraded(&zoo::vgg_a(), &failed)
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::Error::NoRoute { chip: 1 }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn empty_failed_set_maps_identically() {
+        let node = presets::single_precision();
+        let net = zoo::overfeat_fast();
+        let healthy = Compiler::new(&node).map(&net).unwrap();
+        let degraded = Compiler::new(&node)
+            .map_degraded(&net, &FailedTiles::none())
+            .unwrap();
+        assert_eq!(healthy, degraded);
     }
 
     #[test]

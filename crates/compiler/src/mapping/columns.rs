@@ -1,7 +1,7 @@
 //! STEP 3: column allocation — memory floor (3a) then load balancing (3b).
 
 use super::state::StateBudget;
-use super::Placement;
+use super::{FailedTiles, Placement};
 use crate::error::{Error, Result};
 use scaledeep_arch::ChipConfig;
 use scaledeep_dnn::{Analysis, LayerId};
@@ -15,6 +15,12 @@ pub(super) struct Allocation {
     pub fc_cols_used: usize,
     pub chips_spanned: usize,
     pub clusters_spanned: usize,
+    /// Logical→physical conv-column indirection: placements use logical
+    /// columns `0..`, and `col_map[logical]` names the live physical
+    /// column backing each one (identity when nothing failed).
+    pub col_map: Vec<usize>,
+    /// Physical columns within the span condemned by the failed-tile set.
+    pub failed_cols: Vec<usize>,
 }
 
 impl Allocation {
@@ -39,7 +45,10 @@ fn balance(cols: &mut [usize], flops: &[u64], budget: usize) {
     }
     while used < budget {
         let total_cols: usize = cols.iter().sum();
-        let (best, _) = cols
+        // With `total_flops > 0` some layer carries FLOPs, but stay
+        // graceful regardless: leftover budget is preferable to a panic
+        // inside a degraded remap.
+        let Some((best, _)) = cols
             .iter()
             .enumerate()
             .filter(|&(i, _)| flops[i] > 0)
@@ -49,7 +58,9 @@ fn balance(cols: &mut [usize], flops: &[u64], budget: usize) {
                 (i, norm_ops / norm_cols)
             })
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("at least one layer carries FLOPs");
+        else {
+            return;
+        };
         cols[best] += 1;
         used += 1;
     }
@@ -81,6 +92,7 @@ pub(super) fn allocate(
     fc_chip: &ChipConfig,
     wheel: usize,
     clusters: usize,
+    failed: &FailedTiles,
 ) -> Result<Allocation> {
     let mut placements = vec![Placement::Inline; budgets.len()];
 
@@ -119,15 +131,57 @@ pub(super) fn allocate(
         .collect();
     let min_total: usize = group_cols.iter().sum();
     let available_total = clusters * wheel * conv_chip.cols;
-    if min_total > available_total {
-        return Err(Error::DoesNotFit {
-            required_cols: min_total,
-            available_cols: available_total,
+    let failed_in_node = failed.columns().filter(|&c| c < available_total).count();
+    let live_total = available_total - failed_in_node;
+    if min_total > live_total {
+        // "The network never fit" and "the failures ate the headroom" are
+        // different operator problems; report them as different errors.
+        return Err(if failed.is_empty() {
+            Error::DoesNotFit {
+                required_cols: min_total,
+                available_cols: available_total,
+            }
+        } else {
+            Error::NoCapacity {
+                required_cols: min_total,
+                live_cols: live_total,
+                failed_cols: failed_in_node,
+            }
         });
     }
-    let raw_chips = min_total.div_ceil(conv_chip.cols);
-    let (chips_spanned, clusters_spanned) = round_span(raw_chips, wheel, clusters);
-    let budget = chips_spanned * conv_chip.cols;
+
+    // Grow the span until it holds `min_total` *live* columns (on a
+    // healthy node the first candidate already does).
+    let live_within = |chips: usize| {
+        let span_cols = chips * conv_chip.cols;
+        span_cols - failed.columns().filter(|&c| c < span_cols).count()
+    };
+    let (mut chips_spanned, mut clusters_spanned) =
+        round_span(min_total.div_ceil(conv_chip.cols), wheel, clusters);
+    while live_within(chips_spanned) < min_total {
+        let next = round_span(chips_spanned + 1, wheel, clusters);
+        if next.0 == chips_spanned {
+            // Capped at the node and still short — unreachable given the
+            // live_total check above, but degrade gracefully regardless.
+            return Err(Error::NoCapacity {
+                required_cols: min_total,
+                live_cols: live_within(chips_spanned),
+                failed_cols: failed_in_node,
+            });
+        }
+        (chips_spanned, clusters_spanned) = next;
+    }
+
+    // A rim chip with every column dead breaks the wheel's spoke/arc
+    // route through it; no column re-allocation can compensate.
+    for chip in 0..chips_spanned {
+        let base = chip * conv_chip.cols;
+        if (base..base + conv_chip.cols).all(|c| failed.contains(c)) {
+            return Err(Error::NoRoute { chip });
+        }
+    }
+
+    let budget = live_within(chips_spanned);
     let group_flops: Vec<u64> = groups
         .iter()
         .map(|g| g.iter().map(|id| load_flops(analysis, *id)).sum())
@@ -164,12 +218,18 @@ pub(super) fn allocate(
         fc_cols_used = cursor;
     }
 
+    let span_cols = chips_spanned * conv_chip.cols;
+    let col_map: Vec<usize> = (0..span_cols).filter(|&c| !failed.contains(c)).collect();
+    let failed_cols: Vec<usize> = (0..span_cols).filter(|&c| failed.contains(c)).collect();
+
     Ok(Allocation {
         placements,
         conv_cols_used,
         fc_cols_used,
         chips_spanned,
         clusters_spanned,
+        col_map,
+        failed_cols,
     })
 }
 

@@ -10,6 +10,7 @@
 mod ablations;
 mod arch;
 mod epochs;
+mod faults;
 mod links;
 mod power;
 mod speedup;
@@ -20,6 +21,7 @@ mod workload;
 pub use ablations::{ablations, AblationRow};
 pub use arch::{fig14, Fig14Row};
 pub use epochs::{training_time, EpochRow, EPOCHS, IMAGENET_EPOCH_IMAGES};
+pub use faults::{faults, FaultRow, FAULT_SWEEP_SEED};
 pub use links::{fig21, Fig21Row};
 pub use power::{fig20, Fig20Row};
 pub use speedup::{dadiannao_comparison, fig18, Fig18Row};
@@ -29,8 +31,9 @@ pub use workload::{fig1, fig15, fig4, fig5, Fig15Row};
 
 use crate::report::Table;
 
-/// All experiment ids, in paper order.
-pub const EXPERIMENT_IDS: [&str; 13] = [
+/// All experiment ids, in paper order (with the non-paper robustness
+/// sweep last).
+pub const EXPERIMENT_IDS: [&str; 14] = [
     "fig1",
     "fig4",
     "fig5",
@@ -44,6 +47,7 @@ pub const EXPERIMENT_IDS: [&str; 13] = [
     "fig21",
     "ablations",
     "training-time",
+    "faults",
 ];
 
 /// Runs an experiment by id, returning its rendered tables.
@@ -64,6 +68,7 @@ pub fn run_by_id(id: &str) -> Option<Vec<Table>> {
         "fig21" => Some(vec![fig21().1]),
         "ablations" => Some(vec![ablations().1]),
         "training-time" => Some(vec![training_time().1]),
+        "faults" => Some(vec![faults().1]),
         _ => None,
     }
 }

@@ -2,9 +2,12 @@
 
 use crate::{Error, Result};
 use scaledeep_arch::{presets, NodeConfig};
-use scaledeep_compiler::codegen::{compile_functional, FuncTargetOptions};
-use scaledeep_compiler::{Compiler, Mapping};
+use scaledeep_compiler::codegen::{
+    compile_functional, compile_functional_degraded, CompiledNetwork, FuncTargetOptions,
+};
+use scaledeep_compiler::{Compiler, FailedTiles, Mapping};
 use scaledeep_dnn::{Layer, Network};
+use scaledeep_sim::fault::FaultPlan;
 use scaledeep_sim::func::{FuncSim, RunStats};
 use scaledeep_sim::perf::{PerfOptions, PerfResult, PerfSim, RunKind};
 use scaledeep_tensor::Executor;
@@ -31,6 +34,21 @@ impl CycleCrossCheck {
     pub fn ratio(&self) -> f64 {
         self.functional.cycles as f64 / self.perf_per_image_cycles.max(1) as f64
     }
+}
+
+/// The outcome of a fault-resilient functional run
+/// ([`Session::run_resilient`]): the iteration's statistics plus whether
+/// graceful degradation had to kick in.
+#[derive(Debug, Clone)]
+pub struct ResilientRun {
+    /// Statistics of the (possibly retried) successful iteration.
+    pub stats: RunStats,
+    /// Whether a permanent tile failure forced a degraded recompile and a
+    /// retry from the checkpoint.
+    pub retried: bool,
+    /// MemHeavy tiles condemned by the fault plan and excluded from the
+    /// degraded layout (empty when no retry happened).
+    pub dead_tiles: Vec<u16>,
 }
 
 /// A ScaleDeep session: one node configuration plus the compiler and
@@ -80,6 +98,18 @@ impl Session {
         Ok(Compiler::new(&self.node).map(net)?)
     }
 
+    /// Runs the workload-mapping phase around a set of failed tiles: the
+    /// column allocation excludes the condemned columns and the mapping
+    /// carries the logical→physical indirection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures, including the degraded-specific
+    /// `NoCapacity` and `NoRoute` conditions.
+    pub fn compile_degraded(&self, net: &Network, failed: &FailedTiles) -> Result<Mapping> {
+        Ok(Compiler::new(&self.node).map_degraded(net, failed)?)
+    }
+
     /// Simulates training.
     ///
     /// # Errors
@@ -103,6 +133,62 @@ impl Session {
         self.sim.run_mapped(mapping, kind)
     }
 
+    /// Simulates an already-compiled mapping under a fault plan: transient
+    /// link errors charge retry/back-off latency, reported in the result's
+    /// fault statistics. The empty plan is bit-identical to
+    /// [`Session::run_mapped`].
+    pub fn run_mapped_faulted(
+        &self,
+        mapping: &Mapping,
+        kind: RunKind,
+        plan: &FaultPlan,
+    ) -> PerfResult {
+        self.sim.run_mapped_faulted(mapping, kind, plan)
+    }
+
+    /// Runs one functional training iteration under a fault plan with
+    /// graceful degradation: the iteration state is checkpointed up front;
+    /// if a permanent tile failure faults the run, the network is
+    /// recompiled around the dead tiles, the checkpoint restored into the
+    /// degraded layout, and the iteration retried with the permanent
+    /// failures dropped from the plan (they are now mapped around).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile errors, non-tile-failure machine faults
+    /// (deadlock, watchdog), and degraded-recompile failures (e.g. every
+    /// tile dead).
+    pub fn run_resilient(&self, net: &Network, plan: &FaultPlan) -> Result<ResilientRun> {
+        let opts = FuncTargetOptions::default();
+        let compiled = compile_functional(net, &opts)?;
+        let reference = Executor::new(net, 0xC0FFEE)?;
+        let mut fsim = FuncSim::new(net, &compiled)?;
+        fsim.import_params(&reference)?;
+        let (image, golden) = iteration_io(net, &compiled)?;
+        let ckpt = fsim.checkpoint();
+        match fsim.run_iteration_faulted(&image, &golden, plan) {
+            Ok(stats) => Ok(ResilientRun {
+                stats,
+                retried: false,
+                dead_tiles: Vec::new(),
+            }),
+            Err(Error::TileFailed { .. }) => {
+                let dead_tiles = plan.condemned_tiles();
+                let degraded = compile_functional_degraded(net, &opts, 1, &dead_tiles)?;
+                let mut fsim = FuncSim::new(net, &degraded)?;
+                fsim.restore(&ckpt)?;
+                let retry_plan = plan.without_tile_failures();
+                let stats = fsim.run_iteration_faulted(&image, &golden, &retry_plan)?;
+                Ok(ResilientRun {
+                    stats,
+                    retried: true,
+                    dead_tiles,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Runs `net` through both simulators and returns their cycle counts
     /// for one training image: the functional simulator executes the
     /// compiled ISA programs event-driven (bit-accurate, cycle-grounded
@@ -120,21 +206,8 @@ impl Session {
         let reference = Executor::new(net, 0xC0FFEE)?;
         let mut fsim = FuncSim::new(net, &compiled)?;
         fsim.import_params(&reference)?;
-        let input_len = compiled.buffers[net.input().id().index()]
-            .output
-            .map(|loc| loc.len as usize)
-            .ok_or_else(|| Error::Setup {
-                detail: "input layer has no output buffer".into(),
-            })?;
-        let golden_len = net
-            .layers()
-            .find(|n| matches!(n.layer(), Layer::Loss))
-            .and_then(|n| compiled.buffers[n.id().index()].golden)
-            .map(|loc| loc.len as usize)
-            .ok_or_else(|| Error::Setup {
-                detail: "network has no loss head; cross_check needs a training graph".into(),
-            })?;
-        let functional = fsim.run_iteration(&vec![0.5; input_len], &vec![0.0; golden_len])?;
+        let (image, golden) = iteration_io(net, &compiled)?;
+        let functional = fsim.run_iteration(&image, &golden)?;
 
         // Per-image service cycles at minibatch 1, so neither batching
         // efficiency nor the pipeline overlap distorts the comparison.
@@ -160,6 +233,28 @@ impl Session {
         let r = self.train(net)?;
         Ok(r.images_per_sec / self.node.clusters as f64)
     }
+}
+
+/// The constant input image and golden vector session-driven iterations
+/// use (cycle counts and fault behaviour are data-independent; functional
+/// correctness is checked against the reference executor on the same
+/// constants).
+fn iteration_io(net: &Network, compiled: &CompiledNetwork) -> Result<(Vec<f32>, Vec<f32>)> {
+    let input_len = compiled.buffers[net.input().id().index()]
+        .output
+        .map(|loc| loc.len as usize)
+        .ok_or_else(|| Error::Setup {
+            detail: "input layer has no output buffer".into(),
+        })?;
+    let golden_len = net
+        .layers()
+        .find(|n| matches!(n.layer(), Layer::Loss))
+        .and_then(|n| compiled.buffers[n.id().index()].golden)
+        .map(|loc| loc.len as usize)
+        .ok_or_else(|| Error::Setup {
+            detail: "network has no loss head; a training iteration needs one".into(),
+        })?;
+    Ok((vec![0.5; input_len], vec![0.0; golden_len]))
 }
 
 #[cfg(test)]
@@ -233,6 +328,63 @@ mod tests {
             x.functional.cycles,
             x.perf_per_image_cycles
         );
+    }
+
+    fn tiny_training_net() -> Network {
+        use scaledeep_dnn::{Activation, Conv, Fc, FeatureShape, NetworkBuilder};
+        let mut b = NetworkBuilder::new("resil", FeatureShape::new(1, 6, 6));
+        let c = b
+            .conv(
+                "c",
+                Conv {
+                    out_features: 2,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    groups: 1,
+                    bias: false,
+                    activation: Activation::Relu,
+                },
+            )
+            .unwrap();
+        let f = b
+            .fc_from(
+                "f",
+                c,
+                Fc {
+                    out_neurons: 4,
+                    bias: false,
+                    activation: Activation::None,
+                },
+            )
+            .unwrap();
+        b.finish_with_loss(f).unwrap()
+    }
+
+    #[test]
+    fn clean_plan_runs_without_retry() {
+        let s = Session::single_precision();
+        let r = s
+            .run_resilient(&tiny_training_net(), &FaultPlan::none())
+            .unwrap();
+        assert!(!r.retried);
+        assert!(r.dead_tiles.is_empty());
+        assert!(r.stats.cycles > 0);
+    }
+
+    #[test]
+    fn tile_failure_triggers_degraded_retry() {
+        use scaledeep_sim::fault::FaultKind;
+        let s = Session::single_precision();
+        let net = tiny_training_net();
+        let clean = s.run_resilient(&net, &FaultPlan::none()).unwrap();
+        let plan = FaultPlan::seeded(7).with_fault(1, FaultKind::TileFailure { tile: 0 });
+        let r = s.run_resilient(&net, &plan).unwrap();
+        assert!(r.retried, "tile failure must force the degraded retry");
+        assert_eq!(r.dead_tiles, vec![0]);
+        // The retried iteration runs the same programs on the degraded
+        // layout — same instruction count, possibly different cycles.
+        assert_eq!(r.stats.instructions, clean.stats.instructions);
     }
 
     #[test]

@@ -226,6 +226,44 @@ fn overlaps(a_start: u32, a_len: u32, b_start: u32, b_len: u32) -> bool {
     a_start < b_end && b_start < a_end
 }
 
+/// A cycle-budget fuse: an event loop consults it on every dispatch and
+/// aborts the run once simulation time passes the budget, turning hangs
+/// (livelock, lost wakeups) into a typed error instead of
+/// non-termination.
+///
+/// An unarmed watchdog ([`Watchdog::unarmed`]) never blows, so the
+/// fault-free path can consult it unconditionally with zero behavioral
+/// difference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Watchdog {
+    budget: Option<Cycle>,
+}
+
+impl Watchdog {
+    /// A fuse that blows when simulation time exceeds `max_cycles`.
+    pub fn armed(max_cycles: Cycle) -> Self {
+        Self {
+            budget: Some(max_cycles),
+        }
+    }
+
+    /// A fuse that never blows.
+    pub fn unarmed() -> Self {
+        Self { budget: None }
+    }
+
+    /// True once `now` exceeds the budget (an armed fuse tolerates
+    /// dispatches *at* the budget cycle itself).
+    pub fn expired(&self, now: Cycle) -> bool {
+        self.budget.is_some_and(|max| now > max)
+    }
+
+    /// The configured budget, if armed.
+    pub fn budget(&self) -> Option<Cycle> {
+        self.budget
+    }
+}
+
 /// Busy-time accounting for one resource (a PE array, an SFU pool, a link
 /// class): accumulates busy cycles and reports utilization over a window.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -399,6 +437,22 @@ mod tests {
         let mut w = WaitMap::new();
         w.park(4, [(0, 0, 1)]);
         w.park(4, [(0, 8, 1)]);
+    }
+
+    #[test]
+    fn watchdog_unarmed_never_expires() {
+        let w = Watchdog::unarmed();
+        assert!(!w.expired(u64::MAX));
+        assert_eq!(w.budget(), None);
+    }
+
+    #[test]
+    fn watchdog_armed_expires_strictly_past_budget() {
+        let w = Watchdog::armed(100);
+        assert!(!w.expired(99));
+        assert!(!w.expired(100), "dispatch at the budget cycle is allowed");
+        assert!(w.expired(101));
+        assert_eq!(w.budget(), Some(100));
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::engine::Cycle;
+
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, Error>;
 
@@ -13,8 +15,34 @@ pub enum Error {
     /// make progress (a data-flow tracker count does not match the actual
     /// access pattern).
     Deadlock {
-        /// Names of the still-running programs.
+        /// Per-thread diagnostics: program name, awaited range, and the
+        /// nearest tracker's satisfaction watermark.
         stuck: Vec<String>,
+        /// Simulation cycle at which the deadlock was detected.
+        at: Cycle,
+    },
+    /// The watchdog fuse blew: the run was still active past its
+    /// `max_cycles` budget (livelock, lost wakeup, or a genuinely
+    /// under-budgeted run).
+    Watchdog {
+        /// Per-thread diagnostics for threads that had not halted: parked
+        /// ranges and tracker watermarks, same format as [`Deadlock`].
+        ///
+        /// [`Deadlock`]: Error::Deadlock
+        stuck: Vec<String>,
+        /// Simulation cycle at which the fuse blew.
+        at: Cycle,
+    },
+    /// An instruction touched the scratchpad of a tile condemned by a
+    /// [`FaultKind::TileFailure`](crate::fault::FaultKind::TileFailure).
+    /// The host should remap around the dead tile and retry.
+    TileFailed {
+        /// The offending program.
+        program: String,
+        /// The dead tile.
+        tile: u16,
+        /// Simulation cycle of the faulting access.
+        at: Cycle,
     },
     /// A program accessed memory outside its tile's scratchpad.
     OutOfBounds {
@@ -56,8 +84,22 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::Deadlock { stuck } => {
-                write!(f, "deadlock: programs {} cannot progress", stuck.join(", "))
+            Error::Deadlock { stuck, at } => {
+                write!(
+                    f,
+                    "deadlock at cycle {at}: programs {} cannot progress",
+                    stuck.join(", ")
+                )
+            }
+            Error::Watchdog { stuck, at } => {
+                write!(
+                    f,
+                    "watchdog fired at cycle {at}: still running {}",
+                    stuck.join(", ")
+                )
+            }
+            Error::TileFailed { program, tile, at } => {
+                write!(f, "{program}: access to failed tile M{tile} at cycle {at}")
             }
             Error::OutOfBounds {
                 program,

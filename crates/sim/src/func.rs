@@ -23,12 +23,36 @@ pub use machine::{Machine, RunStats, TileStats};
 pub use tracker::{Tracker, TrackerTable};
 
 use crate::error::{Error, Result};
+use crate::fault::FaultPlan;
 use scaledeep_compiler::codegen::{
     conv_grads_to_output_major, conv_weights_to_input_major, fc_weights_transpose, BufferLoc,
     CompiledNetwork,
 };
 use scaledeep_dnn::{Layer, LayerId, Network};
 use scaledeep_tensor::Executor;
+
+/// A host-side snapshot of the learning state: per-layer weights, FC
+/// weight transposes, and accumulated weight gradients, in their *raw*
+/// compiled layouts.
+///
+/// Those layouts (input-major CONV kernels, row-major FC + transpose) are
+/// a property of the network, not of the tile placement — a degraded
+/// recompile moves buffers to different tiles/offsets but never changes
+/// their element order. A checkpoint taken on one [`FuncSim`] therefore
+/// restores onto a simulator built from a *different* (remapped) compile
+/// of the same network, which is exactly the failure-recovery path:
+/// checkpoint, remap around the dead tile, rebuild, restore, retry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    layers: Vec<LayerCheckpoint>,
+}
+
+#[derive(Debug, Clone, Default, PartialEq)]
+struct LayerCheckpoint {
+    weights: Option<Vec<f32>>,
+    weights_t: Option<Vec<f32>>,
+    wgrad: Option<Vec<f32>>,
+}
 
 /// Host harness around the [`Machine`]: loads a [`CompiledNetwork`],
 /// manages per-image buffer hygiene (zeroing error/gradient state the way
@@ -258,6 +282,108 @@ impl FuncSim {
 
         self.machine
             .run(&self.compiled.programs, &self.compiled.trackers)
+    }
+
+    /// [`FuncSim::run_iteration`] under a [`FaultPlan`] (see
+    /// [`Machine::run_faulted`] for the fault semantics). With the empty
+    /// plan this is bit-identical to `run_iteration`.
+    ///
+    /// # Errors
+    ///
+    /// See [`FuncSim::run_iteration`], plus
+    /// [`Error::TileFailed`](crate::Error::TileFailed) and
+    /// [`Error::Watchdog`](crate::Error::Watchdog) from injected faults.
+    pub fn run_iteration_faulted(
+        &mut self,
+        image: &[f32],
+        golden: &[f32],
+        plan: &FaultPlan,
+    ) -> Result<RunStats> {
+        if self.compiled.minibatch != 1 {
+            return Err(Error::Setup {
+                detail: "network compiled for a looped minibatch; use run_minibatch".into(),
+            });
+        }
+        self.clear_image_state();
+        let input_loc = self.compiled.buffers[self.net.input().id().index()]
+            .output
+            .ok_or_else(|| Error::Setup {
+                detail: "input layer has no output buffer".into(),
+            })?;
+        self.write_buffer(input_loc, image)?;
+        let loss_node = self
+            .net
+            .layers()
+            .find(|n| matches!(n.layer(), Layer::Loss))
+            .ok_or_else(|| Error::Setup {
+                detail: "network has no loss head; use run_evaluation".into(),
+            })?;
+        let golden_loc = self.compiled.buffers[loss_node.id().index()]
+            .golden
+            .expect("loss has golden buffer");
+        self.write_buffer(golden_loc, golden)?;
+        self.machine.run_faulted(
+            &self.compiled.programs,
+            &self.compiled.trackers,
+            &CycleCosts::default(),
+            plan,
+        )
+    }
+
+    /// Snapshots the learning state (weights, FC transposes, gradient
+    /// accumulators) in layout-invariant raw form; see [`Checkpoint`].
+    pub fn checkpoint(&self) -> Checkpoint {
+        let layers = self
+            .compiled
+            .buffers
+            .iter()
+            .map(|b| LayerCheckpoint {
+                weights: b.weights.map(|loc| self.read_buffer(loc)),
+                weights_t: b.weights_t.map(|loc| self.read_buffer(loc)),
+                wgrad: b.wgrad.map(|loc| self.read_buffer(loc)),
+            })
+            .collect();
+        Checkpoint { layers }
+    }
+
+    /// Restores a [`Checkpoint`] into this simulator's buffers — which
+    /// may live at different tiles/offsets than where the snapshot was
+    /// taken (degraded recompile).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Setup`] when the checkpoint's shape does not
+    /// match this simulator's network (different layer count or buffer
+    /// lengths).
+    pub fn restore(&mut self, ckpt: &Checkpoint) -> Result<()> {
+        if ckpt.layers.len() != self.compiled.buffers.len() {
+            return Err(Error::Setup {
+                detail: format!(
+                    "checkpoint has {} layers, network has {}",
+                    ckpt.layers.len(),
+                    self.compiled.buffers.len()
+                ),
+            });
+        }
+        for (i, layer) in ckpt.layers.iter().enumerate() {
+            let b = self.compiled.buffers[i];
+            for (loc, data) in [
+                (b.weights, &layer.weights),
+                (b.weights_t, &layer.weights_t),
+                (b.wgrad, &layer.wgrad),
+            ] {
+                match (loc, data) {
+                    (Some(loc), Some(data)) => self.write_buffer(loc, data)?,
+                    (None, None) => {}
+                    _ => {
+                        return Err(Error::Setup {
+                            detail: format!("checkpoint/layout mismatch at layer {i}"),
+                        })
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Runs one full minibatch through programs compiled with

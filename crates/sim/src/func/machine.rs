@@ -13,8 +13,9 @@
 use super::cost::CycleCosts;
 use super::exec::{self, MemView, Range, ScalarOutcome};
 use super::tracker::TrackerTable;
-use crate::engine::{BusyTracker, Cycle, EventQueue, WaitMap};
+use crate::engine::{BusyTracker, Cycle, EventQueue, WaitMap, Watchdog};
 use crate::error::{Error, Result};
+use crate::fault::{FaultKind, FaultPlan};
 use scaledeep_compiler::codegen::TrackerSpec;
 use scaledeep_isa::{Inst, InstGroup, Program, NUM_REGS};
 
@@ -50,6 +51,9 @@ pub struct RunStats {
     /// Per-tile busy/stall breakdown, indexed by MemHeavy tile id
     /// (empty in the round-robin oracle).
     pub per_tile: Vec<TileStats>,
+    /// Fault events applied from the run's [`FaultPlan`] (always 0 on the
+    /// fault-free path, so stats stay bit-identical under an empty plan).
+    pub faults: u64,
 }
 
 impl RunStats {
@@ -183,6 +187,41 @@ impl Machine {
         specs: &[TrackerSpec],
         costs: &CycleCosts,
     ) -> Result<RunStats> {
+        self.run_faulted(programs, specs, costs, &FaultPlan::none())
+    }
+
+    /// [`Machine::run_with_costs`] under a [`FaultPlan`]: scheduled
+    /// faults apply immediately before the first dispatch at or after
+    /// their cycle, and the plan's watchdog (if armed) bounds simulation
+    /// time. The fault-free entry points delegate here with the empty
+    /// plan, so an empty plan is bit-identical to pre-fault behavior by
+    /// construction.
+    ///
+    /// Fault semantics:
+    ///
+    /// * [`FaultKind::TileFailure`] — the tile is marked dead; the next
+    ///   instruction touching its scratchpad (or arming a tracker on it)
+    ///   fails the run with [`Error::TileFailed`] so the host can remap.
+    /// * [`FaultKind::BitFlip`] — one bit of the stored f32 flips in
+    ///   place, silently (no tracker traffic, no wakeups: pure data
+    ///   corruption, observable only in the memory image).
+    /// * [`FaultKind::DroppedWakeup`] — the next tracker wake broadcast
+    ///   on the tile is lost; threads parked on it stay parked unless a
+    ///   later update touches their ranges. Without a watchdog this
+    ///   surfaces as [`Error::Deadlock`] at drain; with one, as
+    ///   [`Error::Watchdog`] mid-flight.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::run`], plus [`Error::TileFailed`] and
+    /// [`Error::Watchdog`] as above.
+    pub fn run_faulted(
+        &mut self,
+        programs: &[Program],
+        specs: &[TrackerSpec],
+        costs: &CycleCosts,
+        plan: &FaultPlan,
+    ) -> Result<RunStats> {
         self.arm_from_specs(specs)?;
         let mut threads: Vec<Thread> = programs.iter().cloned().map(Thread::new).collect();
         let mut stats = RunStats {
@@ -195,15 +234,58 @@ impl Machine {
         // performance simulator uses for its resource utilization.
         let mut busy: Vec<BusyTracker> =
             (0..self.mems.len()).map(|_| BusyTracker::new(0)).collect();
+        let watchdog = plan
+            .watchdog()
+            .map_or_else(Watchdog::unarmed, Watchdog::armed);
+        let fault_events = plan.events();
+        let mut next_fault = 0usize;
+        let mut dead: Vec<bool> = vec![false; self.mems.len()];
+        // Tiles whose next tracker wake broadcast is scheduled to vanish.
+        let mut pending_drops: Vec<u16> = Vec::new();
         for (i, t) in threads.iter().enumerate() {
             if !t.halted {
                 queue.push(0, i);
             }
         }
         while let Some((now, tid)) = queue.pop() {
+            if watchdog.expired(now) {
+                return Err(Error::Watchdog {
+                    stuck: Self::stuck_diagnostics(&threads, &waits, &self.trackers),
+                    at: now,
+                });
+            }
+            while let Some(e) = fault_events.get(next_fault).filter(|e| e.at <= now) {
+                match e.kind {
+                    FaultKind::TileFailure { tile } => {
+                        if let Some(d) = dead.get_mut(tile as usize) {
+                            *d = true;
+                        }
+                    }
+                    FaultKind::BitFlip { tile, addr, bit } => {
+                        if let Some(cell) = self
+                            .mems
+                            .get_mut(tile as usize)
+                            .and_then(|m| m.get_mut(addr as usize))
+                        {
+                            *cell = f32::from_bits(cell.to_bits() ^ (1 << (bit % 32)));
+                        }
+                    }
+                    FaultKind::DroppedWakeup { tile } => pending_drops.push(tile),
+                }
+                stats.faults += 1;
+                next_fault += 1;
+            }
             stats.rounds += 1;
             let t = &mut threads[tid];
-            match Self::step(&mut self.mems, &mut self.ext, &mut self.trackers, t, costs)? {
+            match Self::step(
+                &mut self.mems,
+                &mut self.ext,
+                &mut self.trackers,
+                t,
+                costs,
+                &dead,
+                now,
+            )? {
                 StepOutcome::Executed {
                     cost,
                     busy_tile,
@@ -224,6 +306,13 @@ impl Machine {
                     // ranges readable/overwritable: re-dispatch every
                     // waiter parked on a touched range (in id order).
                     for (tile, addr, len) in touched {
+                        if let Some(pos) = pending_drops.iter().position(|&d| d == tile) {
+                            // The injected fault eats this broadcast:
+                            // waiters stay parked as if the signal never
+                            // left the tracker.
+                            pending_drops.swap_remove(pos);
+                            continue;
+                        }
                         for waiter in waits.wake_overlapping(tile, addr, len) {
                             queue.push(now, waiter);
                         }
@@ -249,14 +338,20 @@ impl Machine {
             Ok(stats)
         } else {
             Err(Error::Deadlock {
-                stuck: Self::deadlock_diagnostics(&threads, &waits),
+                stuck: Self::stuck_diagnostics(&threads, &waits, &self.trackers),
+                at: queue.now(),
             })
         }
     }
 
-    /// Names each non-halted thread and the tracker ranges it is parked
-    /// on, e.g. `"L0.BP awaiting M2[0..512)"`.
-    fn deadlock_diagnostics(threads: &[Thread], waits: &WaitMap) -> Vec<String> {
+    /// Names each non-halted thread, the tracker ranges it is parked on,
+    /// and the nearest tracker's satisfaction watermark, e.g.
+    /// `"L0.BP awaiting M2[0..512) (updates 3/4, reads 0/1)"`.
+    fn stuck_diagnostics(
+        threads: &[Thread],
+        waits: &WaitMap,
+        trackers: &TrackerTable,
+    ) -> Vec<String> {
         threads
             .iter()
             .enumerate()
@@ -266,7 +361,11 @@ impl Machine {
                     .entries()
                     .filter(|&&(_, waiter)| waiter == i)
                     .map(|&((tile, addr, len), _)| {
-                        format!("M{tile}[{addr}..{})", u64::from(addr) + u64::from(len))
+                        let span = format!("M{tile}[{addr}..{})", u64::from(addr) + u64::from(len));
+                        match trackers.nearest_watermark(tile, addr, len) {
+                            Some(mark) => format!("{span} ({mark})"),
+                            None => span,
+                        }
                     })
                     .collect();
                 if ranges.is_empty() {
@@ -306,7 +405,15 @@ impl Machine {
                 if t.halted {
                     continue;
                 }
-                match Self::step(&mut self.mems, &mut self.ext, &mut self.trackers, t, &costs)? {
+                match Self::step(
+                    &mut self.mems,
+                    &mut self.ext,
+                    &mut self.trackers,
+                    t,
+                    &costs,
+                    &[],
+                    0,
+                )? {
                     StepOutcome::Executed { .. } => {
                         progressed = true;
                         stats.instructions += 1;
@@ -329,7 +436,8 @@ impl Machine {
                     .filter(|t| !t.halted)
                     .map(|t| t.program.name().to_string())
                     .collect();
-                return Err(Error::Deadlock { stuck });
+                // The oracle has no timing model, so detection time is 0.
+                return Err(Error::Deadlock { stuck, at: 0 });
             }
         }
     }
@@ -340,6 +448,8 @@ impl Machine {
         trackers: &mut TrackerTable,
         t: &mut Thread,
         costs: &CycleCosts,
+        dead: &[bool],
+        now: Cycle,
     ) -> Result<StepOutcome> {
         let name = t.program.name().to_string();
         let Some(&inst) = t.program.insts().get(t.pc) else {
@@ -389,6 +499,13 @@ impl Machine {
                     } => (tile, addr, len, num_updates, num_reads),
                     _ => unreachable!("group covers exactly the two track insts"),
                 };
+                if dead.get(tile.0 as usize).copied().unwrap_or(false) {
+                    return Err(Error::TileFailed {
+                        program: name,
+                        tile: tile.0,
+                        at: now,
+                    });
+                }
                 trackers.arm(tile.0, addr, len, updates, reads)?;
                 t.pc += 1;
                 Ok(StepOutcome::Executed {
@@ -403,6 +520,19 @@ impl Machine {
                 // External-memory ranges (tile u16::MAX) are host-managed
                 // and untracked.
                 let tracked = |r: &&Range| r.0 != u16::MAX;
+                if let Some(&(tile, _, _)) = access
+                    .reads
+                    .iter()
+                    .chain(access.writes.iter())
+                    .filter(tracked)
+                    .find(|&&(tile, _, _)| dead.get(tile as usize).copied().unwrap_or(false))
+                {
+                    return Err(Error::TileFailed {
+                        program: name,
+                        tile,
+                        at: now,
+                    });
+                }
                 let ready = access
                     .reads
                     .iter()
@@ -626,7 +756,7 @@ mod tests {
         }];
         let err = m.run(&[consumer], &specs).unwrap_err();
         match err {
-            Error::Deadlock { stuck } => {
+            Error::Deadlock { stuck, at } => {
                 assert_eq!(stuck.len(), 1);
                 assert!(
                     stuck[0].starts_with("starved"),
@@ -638,6 +768,14 @@ mod tests {
                     "diagnostic names the awaited range: {}",
                     stuck[0]
                 );
+                assert!(
+                    stuck[0].contains("updates 0/1, reads 0/1"),
+                    "diagnostic carries the tracker watermark: {}",
+                    stuck[0]
+                );
+                // Lone thread parks on its first dispatch, so detection
+                // happens when the queue drains at cycle 0.
+                assert_eq!(at, 0);
             }
             other => panic!("expected deadlock, got {other}"),
         }
@@ -741,5 +879,160 @@ mod tests {
         let p = prog("spin", vec![Inst::Branch { offset: -1 }]);
         let err = m.run(&[p], &[]).unwrap_err();
         assert!(matches!(err, Error::ControlFault { .. }));
+    }
+
+    fn copy_prog(name: &str, src: u32, dst: u32) -> Program {
+        prog(
+            name,
+            vec![
+                Inst::DmaLoad {
+                    src: MemRef::at(TileRef(0), src),
+                    dst: MemRef::at(TileRef(0), dst),
+                    len: 1,
+                    accumulate: false,
+                },
+                Inst::Halt,
+            ],
+        )
+    }
+
+    #[test]
+    fn empty_plan_matches_fault_free_run_exactly() {
+        let costs = CycleCosts::default();
+        let mk = || {
+            let mut m = Machine::new(1, 16);
+            m.mem_mut(0)[0] = 3.0;
+            m
+        };
+        let mut plain = mk();
+        let a = plain.run(&[copy_prog("t", 0, 1)], &[]).unwrap();
+        let mut faulted = mk();
+        let b = faulted
+            .run_faulted(&[copy_prog("t", 0, 1)], &[], &costs, &FaultPlan::none())
+            .unwrap();
+        assert_eq!(a, b, "stats must be bit-identical");
+        assert_eq!(plain.mem(0), faulted.mem(0), "memory image identical");
+        assert_eq!(b.faults, 0);
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_bit() {
+        let costs = CycleCosts::default();
+        let mut m = Machine::new(1, 16);
+        m.mem_mut(0)[5] = 1.0;
+        // Flip the top mantissa bit of M0:5 before the first dispatch.
+        let plan = FaultPlan::none().with_fault(
+            0,
+            FaultKind::BitFlip {
+                tile: 0,
+                addr: 5,
+                bit: 22,
+            },
+        );
+        let stats = m
+            .run_faulted(&[copy_prog("t", 5, 6)], &[], &costs, &plan)
+            .unwrap();
+        assert_eq!(stats.faults, 1);
+        let expected = f32::from_bits(1.0f32.to_bits() ^ (1 << 22));
+        assert_eq!(m.mem(0)[5], expected);
+        assert_eq!(m.mem(0)[6], expected, "copy propagated the corruption");
+    }
+
+    #[test]
+    fn tile_failure_faults_the_next_access() {
+        let costs = CycleCosts::default();
+        let mut m = Machine::new(2, 16);
+        let plan = FaultPlan::none().with_fault(0, FaultKind::TileFailure { tile: 0 });
+        let err = m
+            .run_faulted(&[copy_prog("t", 0, 1)], &[], &costs, &plan)
+            .unwrap_err();
+        match err {
+            Error::TileFailed { program, tile, .. } => {
+                assert_eq!(program, "t");
+                assert_eq!(tile, 0);
+            }
+            other => panic!("expected TileFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn dropped_wakeup_strands_the_consumer() {
+        // Producer satisfies the tracker, but the wake broadcast is lost:
+        // the parked consumer never reruns and the drain reports deadlock
+        // even though the data is actually ready.
+        let costs = CycleCosts::default();
+        let mut m = Machine::new(1, 16);
+        m.mem_mut(0)[4] = 9.0;
+        let producer = prog(
+            "producer",
+            vec![
+                Inst::DmaLoad {
+                    src: MemRef::at(TileRef(0), 4),
+                    dst: MemRef::at(TileRef(0), 0),
+                    len: 1,
+                    accumulate: false,
+                },
+                Inst::Halt,
+            ],
+        );
+        let consumer = copy_prog("consumer", 0, 8);
+        let specs = [TrackerSpec {
+            tile: 0,
+            addr: 0,
+            len: 1,
+            num_updates: 1,
+            num_reads: 1,
+        }];
+        let plan = FaultPlan::none().with_fault(0, FaultKind::DroppedWakeup { tile: 0 });
+        let err = m
+            .run_faulted(&[consumer, producer], &specs, &costs, &plan)
+            .unwrap_err();
+        match err {
+            Error::Deadlock { stuck, .. } => {
+                assert_eq!(stuck.len(), 1);
+                assert!(stuck[0].starts_with("consumer"), "stuck: {}", stuck[0]);
+                assert!(
+                    stuck[0].contains("updates 1/1"),
+                    "watermark shows the data was ready: {}",
+                    stuck[0]
+                );
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_converts_hang_into_typed_error() {
+        // Same lost-wakeup hang, but the producer keeps spinning so the
+        // queue never drains — only the watchdog terminates the run.
+        let costs = CycleCosts::default();
+        let mut m = Machine::new(1, 16);
+        let spinner = prog("spinner", vec![Inst::Branch { offset: -1 }]);
+        let consumer = copy_prog("consumer", 0, 8);
+        let specs = [TrackerSpec {
+            tile: 0,
+            addr: 0,
+            len: 1,
+            num_updates: 1,
+            num_reads: 1,
+        }];
+        let plan = FaultPlan::none().with_watchdog(500);
+        let err = m
+            .run_faulted(&[consumer, spinner], &specs, &costs, &plan)
+            .unwrap_err();
+        match err {
+            Error::Watchdog { stuck, at } => {
+                assert!(at > 500, "fires strictly past the budget, got {at}");
+                assert!(
+                    stuck.iter().any(|s| s.starts_with("consumer")),
+                    "parked consumer reported: {stuck:?}"
+                );
+                assert!(
+                    stuck.iter().any(|s| s.starts_with("spinner")),
+                    "live spinner reported: {stuck:?}"
+                );
+            }
+            other => panic!("expected watchdog, got {other}"),
+        }
     }
 }

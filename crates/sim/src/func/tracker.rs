@@ -195,6 +195,26 @@ impl TrackerTable {
         touched
     }
 
+    /// The satisfaction watermark of the tracker nearest to
+    /// `[addr, addr + len)` on `tile`, formatted as
+    /// `"updates U/N, reads R/M"` — an overlapping tracker if one exists,
+    /// otherwise the tracker whose start is closest to `addr`. `None`
+    /// when the tile holds no trackers (or does not exist). Deadlock and
+    /// watchdog diagnostics attach this to each stuck thread so the
+    /// report shows *how far* the hand-off got, not just where it stalled.
+    pub fn nearest_watermark(&self, tile: u16, addr: u32, len: u32) -> Option<String> {
+        let slot = self.per_tile.get(tile as usize)?;
+        let t = slot
+            .iter()
+            .find(|t| t.overlaps(addr, len))
+            .or_else(|| slot.iter().min_by_key(|t| t.addr.abs_diff(addr)))?;
+        let (u, r) = t.counters();
+        Some(format!(
+            "updates {u}/{}, reads {r}/{}",
+            t.num_updates, t.num_reads
+        ))
+    }
+
     /// Records a completed write on every overlapping tracker, returning
     /// the `(addr, len)` extent of each tracker touched (see
     /// [`TrackerTable::record_read`]).
@@ -307,6 +327,27 @@ mod tests {
         );
         tab.record_write(0, 0, 4); // next generation
         assert!(tab.read_ready(0, 0, 4));
+    }
+
+    #[test]
+    fn nearest_watermark_reports_progress() {
+        let mut tab = TrackerTable::new(2);
+        tab.arm(0, 0, 16, 4, 1).unwrap();
+        tab.record_write(0, 0, 8);
+        tab.record_write(0, 8, 8);
+        // Overlapping query sees the live counters.
+        assert_eq!(
+            tab.nearest_watermark(0, 4, 4).as_deref(),
+            Some("updates 2/4, reads 0/1")
+        );
+        // Non-overlapping query falls back to the closest tracker.
+        assert_eq!(
+            tab.nearest_watermark(0, 100, 4).as_deref(),
+            Some("updates 2/4, reads 0/1")
+        );
+        // Tile without trackers: nothing to report.
+        assert_eq!(tab.nearest_watermark(1, 0, 4), None);
+        assert_eq!(tab.nearest_watermark(9, 0, 4), None);
     }
 
     #[test]

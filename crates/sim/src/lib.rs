@@ -36,6 +36,7 @@
 
 pub mod engine;
 mod error;
+pub mod fault;
 pub mod func;
 pub mod perf;
 

@@ -29,11 +29,12 @@ mod metrics;
 mod pipeline;
 mod stage;
 
-pub use metrics::{LinkUtilization, PerfResult, StageStat};
-pub use pipeline::run_pipeline;
+pub use metrics::{FaultStats, LinkUtilization, PerfResult, StageStat};
+pub use pipeline::{run_pipeline, run_pipeline_faulted};
 pub use stage::{RunKind, StageCost};
 
 use crate::error::Result;
+use crate::fault::FaultPlan;
 use scaledeep_arch::{NodeConfig, PowerModel, Precision};
 use scaledeep_compiler::{Compiler, Mapping};
 use scaledeep_dnn::Network;
@@ -158,8 +159,30 @@ impl PerfSim {
 
     /// Simulates an already-mapped network.
     pub fn run_mapped(&self, mapping: &Mapping, kind: RunKind) -> PerfResult {
+        self.run_mapped_faulted(mapping, kind, &FaultPlan::none())
+    }
+
+    /// Simulates an already-mapped network under a [`FaultPlan`]: the
+    /// plan's [`LinkFaults`](crate::fault::LinkFaults) model charges
+    /// retry/back-off latency on stage hand-offs and minibatch syncs, and
+    /// the result's [`PerfResult::faults`] reports the toll. The empty
+    /// plan is bit-identical to [`PerfSim::run_mapped`].
+    pub fn run_mapped_faulted(
+        &self,
+        mapping: &Mapping,
+        kind: RunKind,
+        plan: &FaultPlan,
+    ) -> PerfResult {
         let stages = stage::build_stages(mapping, &self.node, &self.opts, kind);
-        pipeline::simulate(mapping, &self.node, &self.power, &self.opts, kind, &stages)
+        pipeline::simulate(
+            mapping,
+            &self.node,
+            &self.power,
+            &self.opts,
+            kind,
+            &stages,
+            plan,
+        )
     }
 }
 

@@ -6,6 +6,18 @@ use crate::engine::Cycle;
 use scaledeep_arch::{LinkClass, NodeConfig, PowerBreakdown, PowerModel, UtilizationProfile};
 use scaledeep_compiler::Mapping;
 
+/// Transient link-fault accounting for one run (all zeros on the
+/// fault-free path, keeping [`PerfResult`] equality exact under an empty
+/// plan).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Link transfers that needed at least one retry, summed over all
+    /// retries.
+    pub link_retries: u64,
+    /// Total back-off cycles charged to retried transfers.
+    pub retry_cycles: Cycle,
+}
+
 /// Utilization of one link class (Figure 21's bars).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkUtilization {
@@ -58,6 +70,8 @@ pub struct PerfResult {
     pub pipelines: usize,
     /// Per-stage detail.
     pub stages: Vec<StageStat>,
+    /// Transient link-fault accounting (all zeros without a fault plan).
+    pub faults: FaultStats,
 }
 
 impl PerfResult {
@@ -209,6 +223,7 @@ pub(super) fn assemble(
         conv_cols: mapping.conv_cols_used(),
         pipelines,
         stages: stage_stats,
+        faults: FaultStats::default(),
     }
 }
 

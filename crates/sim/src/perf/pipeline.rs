@@ -1,10 +1,11 @@
 //! The inter-layer pipeline DES: images flow through layer stages; the
 //! pipeline stalls at minibatch boundaries for gradient aggregation.
 
-use super::metrics::{self, PerfResult};
+use super::metrics::{self, FaultStats, PerfResult};
 use super::stage::{RunKind, StageCost};
 use super::PerfOptions;
 use crate::engine::{BusyTracker, Cycle, EventQueue};
+use crate::fault::{FaultPlan, LinkFaults};
 use scaledeep_arch::{NodeConfig, PowerModel};
 use scaledeep_compiler::Mapping;
 
@@ -47,6 +48,35 @@ pub fn run_pipeline(
     sync: Cycle,
     barrier: bool,
 ) -> (Cycle, usize, Vec<f64>) {
+    let (window, done, util, _) =
+        run_pipeline_faulted(stages, images, minibatch, sync, barrier, 0, None);
+    (window, done, util)
+}
+
+/// [`run_pipeline`] with a transient link-fault model: every stage
+/// hand-off (the grid/spoke transfer admitting an image into a stage) and
+/// every minibatch sync (wheel arcs + ring) independently suffers
+/// [`LinkFaults`]-drawn retries, each adding its exponential back-off to
+/// the transfer's completion time. Draws are keyed on
+/// `(seed, stage, image)` / `(seed, sync index)` — order-independent, so
+/// the same plan replays identically. `link: None` (the empty plan) takes
+/// the exact same code path with zero added latency.
+///
+/// The extra tuple element reports the retries and the total cycles they
+/// cost.
+///
+/// # Panics
+///
+/// Panics when `stages` is empty or `images == 0`.
+pub fn run_pipeline_faulted(
+    stages: &[StageCost],
+    images: usize,
+    minibatch: usize,
+    sync: Cycle,
+    barrier: bool,
+    seed: u64,
+    link: Option<&LinkFaults>,
+) -> (Cycle, usize, Vec<f64>, FaultStats) {
     assert!(!stages.is_empty(), "pipeline needs at least one stage");
     assert!(images > 0, "need at least one image");
     let n = stages.len();
@@ -57,9 +87,26 @@ pub fn run_pipeline(
     let mut next_admit = 0usize;
     let mut completed = 0usize;
     let mut syncs_completed = 0usize;
+    let mut syncs_started = 0u64;
     let mut waiting_for_sync = false;
     let mut first_done: Cycle = 0;
     let mut last_done: Cycle = 0;
+    let mut faults = FaultStats::default();
+    // Retry penalty of the transfer identified by `salt`, accumulated
+    // into the fault stats.
+    let penalty = |salt: u64, faults: &mut FaultStats| -> Cycle {
+        let Some(lf) = link else { return 0 };
+        let retries = lf.retries(seed, salt);
+        if retries == 0 {
+            return 0;
+        }
+        let cost = lf.backoff_cycles(retries);
+        faults.link_retries += u64::from(retries);
+        faults.retry_cycles += cost;
+        cost
+    };
+    let stage_salt = |stage: usize, img: usize| ((stage as u64) << 32) | img as u64;
+    const SYNC_SALT: u64 = 1 << 62;
 
     q.push(0, Event::Admit);
     while let Some((now, ev)) = q.pop() {
@@ -76,7 +123,9 @@ pub fn run_pipeline(
                 let img = next_admit;
                 next_admit += 1;
                 let start = stage_free[0].max(now);
-                let fin = start + stages[0].service_cycles.max(1);
+                let fin = start
+                    + stages[0].service_cycles.max(1)
+                    + penalty(stage_salt(0, img), &mut faults);
                 stage_free[0] = fin;
                 busy[0].add(stages[0].service_cycles.max(1) as f64);
                 q.push(fin, Event::StageDone { stage: 0, img });
@@ -86,7 +135,9 @@ pub fn run_pipeline(
                 if stage + 1 < n {
                     let s = stage + 1;
                     let start = stage_free[s].max(now);
-                    let fin = start + stages[s].service_cycles.max(1);
+                    let fin = start
+                        + stages[s].service_cycles.max(1)
+                        + penalty(stage_salt(s, img), &mut faults);
                     stage_free[s] = fin;
                     busy[s].add(stages[s].service_cycles.max(1) as f64);
                     q.push(fin, Event::StageDone { stage: s, img });
@@ -97,7 +148,9 @@ pub fn run_pipeline(
                     }
                     last_done = now;
                     if barrier && completed.is_multiple_of(minibatch) {
-                        q.push(now + sync.max(1), Event::SyncDone);
+                        let delay = sync.max(1) + penalty(SYNC_SALT | syncs_started, &mut faults);
+                        syncs_started += 1;
+                        q.push(now + delay, Event::SyncDone);
                     }
                 }
             }
@@ -116,10 +169,11 @@ pub fn run_pipeline(
         .iter()
         .map(|b| b.busy() / last_done.max(1) as f64)
         .collect();
-    (window, images - 1, util)
+    (window, images - 1, util, faults)
 }
 
-/// Full simulation entry: runs the pipeline and assembles metrics.
+/// Full simulation entry: runs the pipeline under `plan` and assembles
+/// metrics. The fault-free path passes the empty plan.
 pub(super) fn simulate(
     mapping: &Mapping,
     node: &NodeConfig,
@@ -127,6 +181,7 @@ pub(super) fn simulate(
     opts: &PerfOptions,
     kind: RunKind,
     stages: &[StageCost],
+    plan: &FaultPlan,
 ) -> PerfResult {
     let barrier = kind == RunKind::Training;
     let minibatch = opts.minibatch.max(1);
@@ -136,19 +191,30 @@ pub(super) fn simulate(
     } else {
         0
     };
-    let (window, done, _stage_util) = if opts.layer_sequential {
+    let (window, done, _stage_util, faults) = if opts.layer_sequential {
         // Ablation A4: no inter-layer pipelining — each image traverses
-        // every stage before the next is admitted.
+        // every stage before the next is admitted. (The link-fault model
+        // targets pipelined transfers and does not apply here.)
         let per_image: u64 = stages.iter().map(|s| s.service_cycles.max(1)).sum();
         let syncs = if barrier { images / minibatch } else { 0 };
         let total = per_image * images as u64 + sync * syncs as u64;
-        (total, images, Vec::new())
+        (total, images, Vec::new(), FaultStats::default())
     } else {
-        run_pipeline(stages, images, minibatch, sync, barrier)
+        run_pipeline_faulted(
+            stages,
+            images,
+            minibatch,
+            sync,
+            barrier,
+            plan.seed(),
+            plan.link_faults(),
+        )
     };
 
     let pipelines = total_pipelines(mapping, node);
-    metrics::assemble(mapping, node, power, kind, stages, window, done, pipelines)
+    let mut result = metrics::assemble(mapping, node, power, kind, stages, window, done, pipelines);
+    result.faults = faults;
+    result
 }
 
 /// Concurrent pipeline replicas across the node: rim chips not consumed by
@@ -214,6 +280,56 @@ mod tests {
         let (_, _, util) = run_pipeline(&stages, 50, 50, 0, false);
         assert!(util[1] > util[0]);
         assert!(util[1] > 0.9, "bottleneck near fully busy: {}", util[1]);
+    }
+
+    #[test]
+    fn empty_plan_path_is_identical_to_fault_free() {
+        let stages = vec![stage(10), stage(30)];
+        let plain = run_pipeline(&stages, 32, 8, 100, true);
+        let (w, d, u, f) = run_pipeline_faulted(&stages, 32, 8, 100, true, 7, None);
+        assert_eq!(plain, (w, d, u));
+        assert_eq!(f, FaultStats::default());
+    }
+
+    #[test]
+    fn single_link_retry_latency_is_accounted_exactly() {
+        // prob = 1.0 forces every transfer to exhaust its retry budget, so
+        // the latency toll is fully predictable: every transfer of every
+        // image (and every sync) pays base * (2^retries - 1).
+        let lf = LinkFaults {
+            prob: 1.0,
+            base_backoff: 5,
+            max_retries: 1,
+        };
+        let per_transfer = lf.backoff_cycles(1);
+        assert_eq!(per_transfer, 5);
+        let stages = vec![stage(10)];
+        let images = 4;
+        let (w_free, d, _, _) = run_pipeline_faulted(&stages, images, images, 0, false, 3, None);
+        let (w_faulty, d2, _, f) =
+            run_pipeline_faulted(&stages, images, images, 0, false, 3, Some(&lf));
+        assert_eq!(d, d2);
+        assert_eq!(f.link_retries, images as u64);
+        assert_eq!(f.retry_cycles, per_transfer * images as u64);
+        // Single-stage pipeline serializes, so every retry after the
+        // first completion lands in the measurement window.
+        assert_eq!(w_faulty - w_free, per_transfer * (images as u64 - 1));
+    }
+
+    #[test]
+    fn link_faults_slow_the_pipeline_deterministically() {
+        let lf = LinkFaults {
+            prob: 0.3,
+            base_backoff: 8,
+            max_retries: 4,
+        };
+        let stages = vec![stage(10), stage(25), stage(15)];
+        let a = run_pipeline_faulted(&stages, 48, 8, 200, true, 11, Some(&lf));
+        let b = run_pipeline_faulted(&stages, 48, 8, 200, true, 11, Some(&lf));
+        assert_eq!(a, b, "same seed replays identically");
+        let (w_free, ..) = run_pipeline_faulted(&stages, 48, 8, 200, true, 11, None);
+        assert!(a.0 > w_free, "retries must cost wall-clock");
+        assert!(a.3.link_retries > 0);
     }
 
     #[test]
