@@ -1,0 +1,117 @@
+//! Tracing-overhead regression: a functional-simulator training
+//! iteration with a disabled tracer (`NullSink`) must cost the same as
+//! the untraced entry point. The criterion display times both paths plus
+//! a fully-recording `VecSink` run for scale; a manual min-of-N check
+//! then asserts the disabled-tracer path stays within noise of the
+//! baseline (the `wants` guards compile to a branch on a constant, so a
+//! real regression here means a guard was lost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scaledeep_compiler::codegen::{compile_functional, FuncTargetOptions};
+use scaledeep_dnn::{zoo, Activation, Conv, Fc, FeatureShape, NetworkBuilder};
+use scaledeep_sim::fault::FaultPlan;
+use scaledeep_sim::func::FuncSim;
+use scaledeep_tensor::Executor;
+use scaledeep_trace::{MetricsRegistry, Tracer, VecSink};
+use std::time::Instant;
+
+fn bench_net() -> (FuncSim, Vec<f32>, Vec<f32>) {
+    let mut b = NetworkBuilder::new("overhead", FeatureShape::new(1, 12, 12));
+    b.conv(
+        "c1",
+        Conv {
+            out_features: 4,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            groups: 1,
+            bias: false,
+            activation: Activation::Relu,
+        },
+    )
+    .unwrap();
+    let f = b
+        .fc(
+            "f1",
+            Fc {
+                out_neurons: 8,
+                bias: false,
+                activation: Activation::None,
+            },
+        )
+        .unwrap();
+    let net = b.finish_with_loss(f).unwrap();
+    let compiled = compile_functional(&net, &FuncTargetOptions::default()).unwrap();
+    let reference = Executor::new(&net, 1).unwrap();
+    let mut sim = FuncSim::new(&net, &compiled).unwrap();
+    sim.import_params(&reference).unwrap();
+    let _ = zoo::BENCHMARK_NAMES;
+    (sim, vec![0.5f32; 144], vec![0.25f32; 8])
+}
+
+fn bench_tracing(c: &mut Criterion) {
+    let (mut sim, image, golden) = bench_net();
+    let mut g = c.benchmark_group("trace-overhead/functional-iteration");
+    g.sample_size(30);
+    g.bench_function("untraced-baseline", |b| {
+        b.iter(|| sim.run_iteration(&image, &golden).expect("runs"))
+    });
+    g.bench_function("null-sink", |b| {
+        b.iter(|| {
+            let mut tracer = Tracer::disabled();
+            let mut reg = MetricsRegistry::new();
+            sim.run_iteration_traced(&image, &golden, &FaultPlan::none(), &mut tracer, &mut reg)
+                .expect("runs")
+        })
+    });
+    g.bench_function("vec-sink-recording", |b| {
+        b.iter(|| {
+            let mut tracer = Tracer::new(VecSink::new());
+            let mut reg = MetricsRegistry::new();
+            sim.run_iteration_traced(&image, &golden, &FaultPlan::none(), &mut tracer, &mut reg)
+                .expect("runs")
+        })
+    });
+    g.finish();
+}
+
+/// Best-of-N wall-clock time of `f`, in nanoseconds.
+fn min_of_n<F: FnMut()>(n: usize, mut f: F) -> u128 {
+    (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .unwrap_or(0)
+}
+
+fn assert_null_sink_is_free(c: &mut Criterion) {
+    let _ = c;
+    let (mut sim, image, golden) = bench_net();
+    // Warm up both paths before timing.
+    for _ in 0..3 {
+        sim.run_iteration(&image, &golden).expect("runs");
+    }
+    let baseline = min_of_n(20, || {
+        black_box(sim.run_iteration(&image, &golden).expect("runs"));
+    });
+    let disabled = min_of_n(20, || {
+        let mut tracer = Tracer::disabled();
+        let mut reg = MetricsRegistry::new();
+        black_box(
+            sim.run_iteration_traced(&image, &golden, &FaultPlan::none(), &mut tracer, &mut reg)
+                .expect("runs"),
+        );
+    });
+    let ratio = disabled as f64 / baseline.max(1) as f64;
+    println!("null-sink / baseline min-of-20 ratio: {ratio:.3}");
+    assert!(
+        ratio < 1.5,
+        "disabled tracing regressed the functional sim: {disabled} ns vs {baseline} ns"
+    );
+}
+
+criterion_group!(benches, bench_tracing, assert_null_sink_is_free);
+criterion_main!(benches);

@@ -8,12 +8,15 @@
 //! repro --list               # list experiment ids
 //! repro --net alexnet        # drill into one benchmark's mapping & pipeline
 //! repro --degraded alexnet 2 # remap around 2 dead columns and compare
+//! repro --trace out.json     # trace a training run: Chrome JSON + CSV
+//! repro --trace out.json --trace-net vgg_a --trace-filter stage,fault
 //! ```
 
 use scaledeep::experiments::{run_by_id, EXPERIMENT_IDS};
-use scaledeep::Session;
+use scaledeep::{Session, TraceConfig};
 use scaledeep_compiler::FailedTiles;
 use scaledeep_dnn::zoo;
+use scaledeep_trace::{validate_chrome_trace, CategoryMask};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -122,11 +125,81 @@ fn degraded_drill(name: &str, dead_cols: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Traces a training run of `name` through the performance pipeline,
+/// writing the Chrome/Perfetto JSON to `path` and the per-cycle CSV next
+/// to it, then self-validates the JSON and prints the metrics report.
+fn trace_run(name: &str, path: &str, filter: CategoryMask) -> Result<(), String> {
+    let net = zoo::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let cfg = TraceConfig {
+        filter,
+        ..TraceConfig::default()
+    };
+    let session = Session::single_precision();
+    let traced = session
+        .run_traced(&net, scaledeep_sim::perf::RunKind::Training, &cfg)
+        .map_err(|e| e.to_string())?;
+
+    let json = traced.trace.chrome_trace();
+    let summary = validate_chrome_trace(&json)
+        .map_err(|e| format!("generated trace failed validation: {e}"))?;
+    std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    let csv_path = if let Some(stem) = path.strip_suffix(".json") {
+        format!("{stem}.csv")
+    } else {
+        format!("{path}.csv")
+    };
+    std::fs::write(&csv_path, traced.trace.cycle_csv())
+        .map_err(|e| format!("writing {csv_path}: {e}"))?;
+
+    println!(
+        "{name}: {} events on {} tracks ({} spans, {} instants, {} dropped)",
+        traced.trace.events.len(),
+        summary.tracks,
+        summary.spans,
+        summary.instants,
+        traced.trace.dropped
+    );
+    println!("wrote {path} (chrome://tracing) and {csv_path}\n");
+    println!("{}", traced.trace.metrics_report());
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list") {
         for id in EXPERIMENT_IDS {
             println!("{id}");
+        }
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("--trace requires an output path");
+            std::process::exit(1);
+        };
+        let name = args
+            .iter()
+            .position(|a| a == "--trace-net")
+            .and_then(|p| args.get(p + 1))
+            .map(String::as_str)
+            .unwrap_or("alexnet");
+        let filter = match args
+            .iter()
+            .position(|a| a == "--trace-filter")
+            .and_then(|p| args.get(p + 1))
+        {
+            Some(spec) => match CategoryMask::parse_list(spec) {
+                Ok(mask) => mask,
+                Err(e) => {
+                    eprintln!("--trace-filter: {e}");
+                    std::process::exit(1);
+                }
+            },
+            None => CategoryMask::all(),
+        };
+        if let Err(e) = trace_run(name, path, filter) {
+            eprintln!("{e}");
+            std::process::exit(1);
         }
         return;
     }

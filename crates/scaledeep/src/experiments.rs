@@ -26,14 +26,14 @@ pub use links::{fig21, Fig21Row};
 pub use power::{fig20, Fig20Row};
 pub use speedup::{dadiannao_comparison, fig18, Fig18Row};
 pub use throughput::{fig16, fig17, ThroughputRow};
-pub use utilization::{fig19, Fig19};
+pub use utilization::{fig19, utilization_trace, Fig19, UtilizationTrace};
 pub use workload::{fig1, fig15, fig4, fig5, Fig15Row};
 
 use crate::report::Table;
 
 /// All experiment ids, in paper order (with the non-paper robustness
 /// sweep last).
-pub const EXPERIMENT_IDS: [&str; 14] = [
+pub const EXPERIMENT_IDS: [&str; 15] = [
     "fig1",
     "fig4",
     "fig5",
@@ -48,6 +48,7 @@ pub const EXPERIMENT_IDS: [&str; 14] = [
     "ablations",
     "training-time",
     "faults",
+    "utilization",
 ];
 
 /// Runs an experiment by id, returning its rendered tables.
@@ -69,6 +70,7 @@ pub fn run_by_id(id: &str) -> Option<Vec<Table>> {
         "ablations" => Some(vec![ablations().1]),
         "training-time" => Some(vec![training_time().1]),
         "faults" => Some(vec![faults().1]),
+        "utilization" => Some(utilization_trace().1),
         _ => None,
     }
 }

@@ -38,4 +38,4 @@ pub mod report;
 mod session;
 
 pub use scaledeep_sim::{Error, Result};
-pub use session::{CycleCrossCheck, ResilientRun, Session};
+pub use session::{CycleCrossCheck, ResilientRun, Session, Trace, TraceConfig, TracedRun};

@@ -11,6 +11,115 @@ use scaledeep_sim::fault::FaultPlan;
 use scaledeep_sim::func::{FuncSim, RunStats};
 use scaledeep_sim::perf::{PerfOptions, PerfResult, PerfSim, RunKind};
 use scaledeep_tensor::Executor;
+use scaledeep_trace::{
+    chrome_trace, cycle_csv, utilization_heatmap, CategoryMask, Event, FilterSink, MetricsRegistry,
+    Payload, RingSink, TraceSink, Tracer, TrackTable,
+};
+
+/// How a traced run records events: which categories pass, how densely
+/// they are sampled, and how many events are retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Per-category enable mask (default: all categories).
+    pub filter: CategoryMask,
+    /// Keep one event in every `sample` per category (`<= 1` keeps all).
+    pub sample: u32,
+    /// Retain at most this many events, evicting the oldest (flight
+    /// recorder). `0` means unbounded.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            filter: CategoryMask::all(),
+            sample: 1,
+            capacity: 0,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A bounded flight-recorder configuration keeping the most recent
+    /// `capacity` events of every category.
+    pub fn flight_recorder(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+}
+
+/// The observability artifacts of one traced run: the recorded events,
+/// the track table naming their timelines, and the metrics registry every
+/// run counter was assembled from.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// All metrics the run recorded (counters, gauges, histograms).
+    pub metrics: MetricsRegistry,
+    /// The retained events, in emission order.
+    pub events: Vec<Event>,
+    /// Track names for the events' `track` ids.
+    pub tracks: TrackTable,
+    /// Events evicted by the flight-recorder bound (0 when unbounded).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// The events rendered as Chrome/Perfetto `trace.json` (load in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>).
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace(&self.events, &self.tracks)
+    }
+
+    /// The events rendered as a SCALE-Sim-style per-cycle CSV.
+    pub fn cycle_csv(&self) -> String {
+        cycle_csv(&self.events, &self.tracks)
+    }
+
+    /// A textual per-track utilization heatmap over `bins` time bins.
+    pub fn utilization_report(&self, bins: usize) -> String {
+        utilization_heatmap(&self.events, &self.tracks, bins)
+    }
+
+    /// The metrics registry rendered as an aligned text report.
+    pub fn metrics_report(&self) -> String {
+        self.metrics.report()
+    }
+}
+
+/// A performance-simulation run plus its trace ([`Session::run_traced`]).
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// The simulation result, assembled from `trace.metrics`.
+    pub perf: PerfResult,
+    /// The run's observability artifacts.
+    pub trace: Trace,
+}
+
+/// Builds the sink every traced session entry point uses: a
+/// category/sampling filter over a ring (unbounded when `capacity` is 0 —
+/// a `usize::MAX` ring never evicts).
+fn session_sink(cfg: &TraceConfig) -> FilterSink<RingSink> {
+    let capacity = if cfg.capacity == 0 {
+        usize::MAX
+    } else {
+        cfg.capacity
+    };
+    FilterSink::new(RingSink::new(capacity), cfg.filter, cfg.sample)
+}
+
+/// Unwraps the tracer built by [`session_sink`] into a [`Trace`].
+fn into_trace(tracer: Tracer<FilterSink<RingSink>>, metrics: MetricsRegistry) -> Trace {
+    let (sink, tracks) = tracer.into_parts();
+    let (events, dropped) = sink.into_inner().into_parts();
+    Trace {
+        metrics,
+        events,
+        tracks,
+        dropped,
+    }
+}
 
 /// Cycle counts from both simulators over the same network, produced by
 /// [`Session::cross_check`]: the event-driven functional simulator's
@@ -27,12 +136,56 @@ pub struct CycleCrossCheck {
     /// pipeline stage's service time (the layer-sequential, single-image
     /// interpretation — the same quantity the A4 ablation uses).
     pub perf_per_image_cycles: u64,
+    /// The functional run's full metrics registry (instruction, stall,
+    /// per-tile busy counters, instruction-cost histogram).
+    pub functional_metrics: MetricsRegistry,
+    /// Flight-recorder tail of the functional run's trace: the most
+    /// recent events, oldest first.
+    pub trace_tail: Vec<Event>,
+    /// Track names for [`CycleCrossCheck::trace_tail`].
+    pub tracks: TrackTable,
+    /// Events the flight recorder evicted before the run ended.
+    pub dropped: u64,
 }
 
 impl CycleCrossCheck {
     /// Functional cycles over perf-model cycles.
     pub fn ratio(&self) -> f64 {
         self.functional.cycles as f64 / self.perf_per_image_cycles.max(1) as f64
+    }
+
+    /// True when the two models agree within the expected 2x band.
+    pub fn agrees(&self) -> bool {
+        let r = self.ratio();
+        r > 0.5 && r < 2.0
+    }
+
+    /// A diagnostic report when the two models diverge more than 2x:
+    /// the cycle counts, the functional run's metrics, and the trace
+    /// tail — everything needed to see where the functional machine spent
+    /// its final cycles. `None` while the models agree.
+    pub fn mismatch_report(&self) -> Option<String> {
+        if self.agrees() {
+            return None;
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cycle cross-check mismatch: functional {} vs perf {} cycles (ratio {:.3})\n",
+            self.functional.cycles,
+            self.perf_per_image_cycles,
+            self.ratio()
+        ));
+        out.push_str(&format!(
+            "\nfunctional metrics:\n{}",
+            self.functional_metrics.report()
+        ));
+        out.push_str(&format!(
+            "\ntrace tail ({} retained, {} dropped):\n{}",
+            self.trace_tail.len(),
+            self.dropped,
+            cycle_csv(&self.trace_tail, &self.tracks)
+        ));
+        Some(out)
     }
 }
 
@@ -146,6 +299,29 @@ impl Session {
         self.sim.run_mapped_faulted(mapping, kind, plan)
     }
 
+    /// Compiles and simulates `net` with observability: the performance
+    /// pipeline's stage-occupancy spans, sync spans, and retry instants
+    /// are recorded per `cfg`, and the returned [`TracedRun`] carries the
+    /// trace (exportable to Chrome JSON / per-cycle CSV) alongside the
+    /// result — whose every scalar was assembled from the trace's
+    /// [`MetricsRegistry`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures.
+    pub fn run_traced(&self, net: &Network, kind: RunKind, cfg: &TraceConfig) -> Result<TracedRun> {
+        let mapping = self.compile(net)?;
+        let mut tracer = Tracer::new(session_sink(cfg));
+        let mut reg = MetricsRegistry::new();
+        let perf =
+            self.sim
+                .run_mapped_traced(&mapping, kind, &FaultPlan::none(), &mut tracer, &mut reg);
+        Ok(TracedRun {
+            perf,
+            trace: into_trace(tracer, reg),
+        })
+    }
+
     /// Runs one functional training iteration under a fault plan with
     /// graceful degradation: the iteration state is checkpointed up front;
     /// if a permanent tile failure faults the run, the network is
@@ -159,14 +335,56 @@ impl Session {
     /// (deadlock, watchdog), and degraded-recompile failures (e.g. every
     /// tile dead).
     pub fn run_resilient(&self, net: &Network, plan: &FaultPlan) -> Result<ResilientRun> {
+        let mut tracer = Tracer::disabled();
+        let mut reg = MetricsRegistry::new();
+        self.run_resilient_impl(net, plan, &mut tracer, &mut reg)
+    }
+
+    /// [`Session::run_resilient`] with observability. The trace is a
+    /// flight recording of the *first* attempt — the one the faults hit —
+    /// plus run-level instants on the `session` track:
+    /// [`Payload::Checkpoint`] when the iteration state is snapshotted and
+    /// [`Payload::Remap`] when a tile failure forces the degraded
+    /// recompile. The degraded retry contributes its counters to the
+    /// trace's metrics (they back the returned stats) but not its events,
+    /// so every track's timeline stays monotone.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run_resilient`].
+    pub fn run_resilient_traced(
+        &self,
+        net: &Network,
+        plan: &FaultPlan,
+        cfg: &TraceConfig,
+    ) -> Result<(ResilientRun, Trace)> {
+        let mut tracer = Tracer::new(session_sink(cfg));
+        let mut reg = MetricsRegistry::new();
+        let run = self.run_resilient_impl(net, plan, &mut tracer, &mut reg)?;
+        Ok((run, into_trace(tracer, reg)))
+    }
+
+    fn run_resilient_impl<S: TraceSink>(
+        &self,
+        net: &Network,
+        plan: &FaultPlan,
+        tracer: &mut Tracer<S>,
+        reg: &mut MetricsRegistry,
+    ) -> Result<ResilientRun> {
         let opts = FuncTargetOptions::default();
         let compiled = compile_functional(net, &opts)?;
         let reference = Executor::new(net, 0xC0FFEE)?;
         let mut fsim = FuncSim::new(net, &compiled)?;
         fsim.import_params(&reference)?;
         let (image, golden) = iteration_io(net, &compiled)?;
+        let session_track = if tracer.active() {
+            tracer.track("session")
+        } else {
+            0
+        };
         let ckpt = fsim.checkpoint();
-        match fsim.run_iteration_faulted(&image, &golden, plan) {
+        tracer.instant(0, session_track, Payload::Checkpoint);
+        match fsim.run_iteration_traced(&image, &golden, plan, tracer, reg) {
             Ok(stats) => Ok(ResilientRun {
                 stats,
                 retried: false,
@@ -174,11 +392,27 @@ impl Session {
             }),
             Err(Error::TileFailed { .. }) => {
                 let dead_tiles = plan.condemned_tiles();
+                tracer.instant(
+                    0,
+                    session_track,
+                    Payload::Remap {
+                        dead_tiles: dead_tiles.len() as u16,
+                    },
+                );
                 let degraded = compile_functional_degraded(net, &opts, 1, &dead_tiles)?;
                 let mut fsim = FuncSim::new(net, &degraded)?;
                 fsim.restore(&ckpt)?;
                 let retry_plan = plan.without_tile_failures();
-                let stats = fsim.run_iteration_faulted(&image, &golden, &retry_plan)?;
+                // The retry restarts the machine clock at cycle 0; keep
+                // its events out of the trace (the tracks would travel
+                // back in time) but let its counters land in `reg`.
+                let stats = fsim.run_iteration_traced(
+                    &image,
+                    &golden,
+                    &retry_plan,
+                    &mut Tracer::disabled(),
+                    reg,
+                )?;
                 Ok(ResilientRun {
                     stats,
                     retried: true,
@@ -207,7 +441,14 @@ impl Session {
         let mut fsim = FuncSim::new(net, &compiled)?;
         fsim.import_params(&reference)?;
         let (image, golden) = iteration_io(net, &compiled)?;
-        let functional = fsim.run_iteration(&image, &golden)?;
+        // A bounded flight recorder rides along so a divergence can be
+        // diagnosed from the run's final events without re-running.
+        let mut tracer = Tracer::new(session_sink(&TraceConfig::flight_recorder(
+            CROSS_CHECK_TAIL_EVENTS,
+        )));
+        let mut reg = MetricsRegistry::new();
+        let functional =
+            fsim.run_iteration_traced(&image, &golden, &FaultPlan::none(), &mut tracer, &mut reg)?;
 
         // Per-image service cycles at minibatch 1, so neither batching
         // efficiency nor the pipeline overlap distorts the comparison.
@@ -217,9 +458,14 @@ impl Session {
         });
         let result = perf.train(net)?;
         let perf_per_image_cycles = result.stages.iter().map(|s| s.service_cycles.max(1)).sum();
+        let trace = into_trace(tracer, reg);
         Ok(CycleCrossCheck {
             functional,
             perf_per_image_cycles,
+            functional_metrics: trace.metrics,
+            trace_tail: trace.events,
+            tracks: trace.tracks,
+            dropped: trace.dropped,
         })
     }
 
@@ -234,6 +480,9 @@ impl Session {
         Ok(r.images_per_sec / self.node.clusters as f64)
     }
 }
+
+/// Flight-recorder depth for [`Session::cross_check`]'s mismatch tail.
+const CROSS_CHECK_TAIL_EVENTS: usize = 256;
 
 /// The constant input image and golden vector session-driven iterations
 /// use (cycle counts and fault behaviour are data-independent; functional
@@ -391,5 +640,68 @@ mod tests {
     fn half_precision_session_uses_hp_node() {
         let s = Session::half_precision();
         assert_eq!(s.node().precision, scaledeep_arch::Precision::Half);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_result_and_exports() {
+        use scaledeep_sim::perf::RunKind;
+        let s = Session::single_precision();
+        let net = zoo::alexnet();
+        let traced = s
+            .run_traced(&net, RunKind::Training, &TraceConfig::default())
+            .unwrap();
+        let plain = s.train(&net).unwrap();
+        assert_eq!(traced.perf, plain, "tracing must not perturb the result");
+        assert!(!traced.trace.events.is_empty());
+        assert_eq!(traced.trace.dropped, 0);
+        let summary = scaledeep_trace::validate_chrome_trace(&traced.trace.chrome_trace()).unwrap();
+        assert!(summary.spans > 0);
+        // The registry backs the result: spot-check one scalar.
+        assert_eq!(
+            traced.trace.metrics.gauge_value("perf.images_per_sec"),
+            Some(plain.images_per_sec)
+        );
+    }
+
+    #[test]
+    fn resilient_trace_records_checkpoint_and_remap() {
+        use scaledeep_sim::fault::FaultKind;
+        use scaledeep_trace::Payload;
+        let s = Session::single_precision();
+        let net = tiny_training_net();
+        let plan = FaultPlan::seeded(7).with_fault(1, FaultKind::TileFailure { tile: 0 });
+        let (run, trace) = s
+            .run_resilient_traced(&net, &plan, &TraceConfig::default())
+            .unwrap();
+        assert!(run.retried);
+        let has = |want: fn(&Payload) -> bool| trace.events.iter().any(|e| want(&e.payload));
+        assert!(has(|p| matches!(p, Payload::Checkpoint)));
+        assert!(has(|p| matches!(p, Payload::Remap { dead_tiles: 1 })));
+        assert!(has(|p| matches!(p, Payload::Fault { .. })));
+        // Even with the retry's events excluded, the export stays valid.
+        scaledeep_trace::validate_chrome_trace(&trace.chrome_trace()).unwrap();
+        // The metrics back the returned stats (successful attempt only).
+        assert_eq!(
+            trace.metrics.counter_value("func.instructions"),
+            Some(run.stats.instructions)
+        );
+    }
+
+    #[test]
+    fn cross_check_carries_a_trace_tail_and_reports_only_on_mismatch() {
+        let mut node = presets::single_precision();
+        node.cluster.spoke_bw = node.cluster.arc_bw;
+        let x = Session::with_node(node)
+            .cross_check(&tiny_training_net())
+            .unwrap();
+        assert!(!x.trace_tail.is_empty());
+        assert!(x.functional_metrics.counter_value("func.cycles").is_some());
+        if x.agrees() {
+            assert!(x.mismatch_report().is_none());
+        } else {
+            let report = x.mismatch_report().unwrap();
+            assert!(report.contains("cycle cross-check mismatch"));
+            assert!(report.contains("func.instructions"));
+        }
     }
 }

@@ -83,7 +83,9 @@ impl<E> EventQueue<E> {
         self.seq += 1;
     }
 
-    /// Schedules `event` `delay` cycles from now.
+    /// Schedules `event` `delay` cycles from now, saturating at
+    /// [`Cycle::MAX`] — fault back-off retries can ask for far-future
+    /// times, and wrap-around would schedule into the past.
     pub fn push_after(&mut self, delay: Cycle, event: E) {
         let at = self.now.saturating_add(delay);
         self.push(at, event);
@@ -219,8 +221,13 @@ impl WaitMap {
     }
 }
 
-/// Half-open range overlap; zero-length ranges overlap nothing.
+/// Half-open range overlap; zero-length ranges overlap nothing — not
+/// even when the other range encloses their position (the bare interval
+/// formula would claim an interior zero-length touch overlaps).
 fn overlaps(a_start: u32, a_len: u32, b_start: u32, b_len: u32) -> bool {
+    if a_len == 0 || b_len == 0 {
+        return false;
+    }
     let a_end = a_start.saturating_add(a_len);
     let b_end = b_start.saturating_add(b_len);
     a_start < b_end && b_start < a_end
@@ -293,13 +300,16 @@ impl BusyTracker {
         self.busy
     }
 
-    /// Utilization over `[window_start, now]`; 0 for an empty window.
+    /// Utilization over `[window_start, now]`, clamped to `[0, 1]`.
+    /// Returns `0.0` (never NaN or inf) for an empty or inverted window
+    /// (`now <= window_start`); accumulation error or double-charging
+    /// that pushes busy time past the elapsed window reports `1.0`.
     pub fn utilization(&self, now: Cycle) -> f64 {
         let elapsed = now.saturating_sub(self.window_start);
         if elapsed == 0 {
             0.0
         } else {
-            self.busy / elapsed as f64
+            (self.busy / elapsed as f64).clamp(0.0, 1.0)
         }
     }
 
@@ -477,5 +487,38 @@ mod tests {
     fn empty_window_is_zero_utilization() {
         let b = BusyTracker::new(50);
         assert_eq!(b.utilization(50), 0.0);
+    }
+
+    #[test]
+    fn utilization_is_finite_when_now_precedes_window() {
+        let mut b = BusyTracker::new(100);
+        b.add(40.0);
+        // `now` before the window start: elapsed saturates to 0, and the
+        // accumulated busy time must not turn that into inf or NaN.
+        assert_eq!(b.utilization(50), 0.0);
+        assert_eq!(b.utilization(100), 0.0);
+    }
+
+    #[test]
+    fn utilization_clamps_busy_exceeding_elapsed() {
+        let mut b = BusyTracker::new(0);
+        // Double-charged busy time (e.g. two resources folded into one
+        // tracker) must cap at 100%, not report >1.
+        b.add(300.0);
+        assert_eq!(b.utilization(100), 1.0);
+    }
+
+    #[test]
+    fn push_after_saturates_near_cycle_max() {
+        // Regression: a far-future back-off delay near Cycle::MAX must
+        // saturate, not wrap into the past and panic.
+        let mut q = EventQueue::new();
+        q.push(10, "tick");
+        q.pop();
+        q.push_after(Cycle::MAX - 5, "far");
+        assert_eq!(q.pop(), Some((Cycle::MAX, "far")));
+        // And again from the saturated point itself.
+        q.push_after(Cycle::MAX, "edge");
+        assert_eq!(q.pop(), Some((Cycle::MAX, "edge")));
     }
 }

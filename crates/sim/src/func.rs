@@ -24,6 +24,8 @@ pub use tracker::{Tracker, TrackerTable};
 
 use crate::error::{Error, Result};
 use crate::fault::FaultPlan;
+use scaledeep_trace::{MetricsRegistry, TraceSink, Tracer};
+
 use scaledeep_compiler::codegen::{
     conv_grads_to_output_major, conv_weights_to_input_major, fc_weights_transpose, BufferLoc,
     CompiledNetwork,
@@ -256,6 +258,12 @@ impl FuncSim {
     /// Propagates machine faults ([`Error::Deadlock`],
     /// [`Error::OutOfBounds`], ...).
     pub fn run_iteration(&mut self, image: &[f32], golden: &[f32]) -> Result<RunStats> {
+        self.run_iteration_faulted(image, golden, &FaultPlan::none())
+    }
+
+    /// Shared per-iteration setup: clears per-image state and loads the
+    /// image and golden output into their compiled buffers.
+    fn prepare_iteration(&mut self, image: &[f32], golden: &[f32]) -> Result<()> {
         if self.compiled.minibatch != 1 {
             return Err(Error::Setup {
                 detail: "network compiled for a looped minibatch; use run_minibatch".into(),
@@ -278,10 +286,7 @@ impl FuncSim {
         let golden_loc = self.compiled.buffers[loss_node.id().index()]
             .golden
             .expect("loss has golden buffer");
-        self.write_buffer(golden_loc, golden)?;
-
-        self.machine
-            .run(&self.compiled.programs, &self.compiled.trackers)
+        self.write_buffer(golden_loc, golden)
     }
 
     /// [`FuncSim::run_iteration`] under a [`FaultPlan`] (see
@@ -299,34 +304,39 @@ impl FuncSim {
         golden: &[f32],
         plan: &FaultPlan,
     ) -> Result<RunStats> {
-        if self.compiled.minibatch != 1 {
-            return Err(Error::Setup {
-                detail: "network compiled for a looped minibatch; use run_minibatch".into(),
-            });
-        }
-        self.clear_image_state();
-        let input_loc = self.compiled.buffers[self.net.input().id().index()]
-            .output
-            .ok_or_else(|| Error::Setup {
-                detail: "input layer has no output buffer".into(),
-            })?;
-        self.write_buffer(input_loc, image)?;
-        let loss_node = self
-            .net
-            .layers()
-            .find(|n| matches!(n.layer(), Layer::Loss))
-            .ok_or_else(|| Error::Setup {
-                detail: "network has no loss head; use run_evaluation".into(),
-            })?;
-        let golden_loc = self.compiled.buffers[loss_node.id().index()]
-            .golden
-            .expect("loss has golden buffer");
-        self.write_buffer(golden_loc, golden)?;
+        self.prepare_iteration(image, golden)?;
         self.machine.run_faulted(
             &self.compiled.programs,
             &self.compiled.trackers,
             &CycleCosts::default(),
             plan,
+        )
+    }
+
+    /// [`FuncSim::run_iteration_faulted`] with observability: dispatches
+    /// through [`Machine::run_traced`], emitting retire/park/wake/fault
+    /// events into `tracer` and all run counters into `reg` (see
+    /// [`Machine::run_traced`] for the track layout and metric names).
+    ///
+    /// # Errors
+    ///
+    /// See [`FuncSim::run_iteration_faulted`].
+    pub fn run_iteration_traced<S: TraceSink>(
+        &mut self,
+        image: &[f32],
+        golden: &[f32],
+        plan: &FaultPlan,
+        tracer: &mut Tracer<S>,
+        reg: &mut MetricsRegistry,
+    ) -> Result<RunStats> {
+        self.prepare_iteration(image, golden)?;
+        self.machine.run_traced(
+            &self.compiled.programs,
+            &self.compiled.trackers,
+            &CycleCosts::default(),
+            plan,
+            tracer,
+            reg,
         )
     }
 

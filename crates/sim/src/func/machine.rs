@@ -13,11 +13,12 @@
 use super::cost::CycleCosts;
 use super::exec::{self, MemView, Range, ScalarOutcome};
 use super::tracker::TrackerTable;
-use crate::engine::{BusyTracker, Cycle, EventQueue, WaitMap, Watchdog};
+use crate::engine::{Cycle, EventQueue, WaitMap, Watchdog};
 use crate::error::{Error, Result};
 use crate::fault::{FaultKind, FaultPlan};
 use scaledeep_compiler::codegen::TrackerSpec;
 use scaledeep_isa::{Inst, InstGroup, Program, NUM_REGS};
+use scaledeep_trace::{MetricId, MetricsRegistry, Payload, TraceSink, Tracer, TrackId};
 
 /// Default instruction budget per [`Machine::run`] call — a backstop
 /// against runaway control flow, far above any compiled program's needs.
@@ -60,7 +61,7 @@ impl RunStats {
     /// Utilization of `tile` over the run window: busy cycles over total
     /// cycles, 0 for unknown tiles or an empty window. Comparable to the
     /// performance simulator's per-resource utilizations — both sides
-    /// accumulate busy time through [`BusyTracker`].
+    /// accumulate busy time into `MetricsRegistry` counters.
     pub fn tile_utilization(&self, tile: u16) -> f64 {
         let busy = self.per_tile.get(tile as usize).map_or(0, |t| t.busy);
         if self.cycles == 0 {
@@ -222,18 +223,74 @@ impl Machine {
         costs: &CycleCosts,
         plan: &FaultPlan,
     ) -> Result<RunStats> {
+        let mut tracer = Tracer::disabled();
+        let mut reg = MetricsRegistry::new();
+        self.run_traced(programs, specs, costs, plan, &mut tracer, &mut reg)
+    }
+
+    /// [`Machine::run_faulted`] with observability: every dispatch updates
+    /// named counters in a per-run [`MetricsRegistry`] (the single source
+    /// the returned [`RunStats`] is assembled from — merged into `reg` on
+    /// success so retried attempts never double-count), and `tracer`
+    /// receives cycle-stamped events: instruction-retire spans on
+    /// per-tile tracks (their durations sum exactly to the per-tile busy
+    /// cycles), park/wake instants on per-thread tracks, and fault
+    /// instants on a `faults` track. With a disabled tracer the event
+    /// calls compile down to constant-false branches; the fault-free,
+    /// untraced entry points delegate here, so an empty plan plus a
+    /// [`scaledeep_trace::NullSink`] is bit-identical to pre-trace
+    /// behavior by construction.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::run_faulted`].
+    pub fn run_traced<S: TraceSink>(
+        &mut self,
+        programs: &[Program],
+        specs: &[TrackerSpec],
+        costs: &CycleCosts,
+        plan: &FaultPlan,
+        tracer: &mut Tracer<S>,
+        reg: &mut MetricsRegistry,
+    ) -> Result<RunStats> {
         self.arm_from_specs(specs)?;
         let mut threads: Vec<Thread> = programs.iter().cloned().map(Thread::new).collect();
-        let mut stats = RunStats {
-            per_tile: vec![TileStats::default(); self.mems.len()],
-            ..RunStats::default()
-        };
+        // Every run counter lives in this per-run registry; RunStats is
+        // read back out of it at the end (no parallel bookkeeping).
+        let mut run = MetricsRegistry::new();
+        let m_insts = run.counter("func.instructions");
+        let m_rounds = run.counter("func.rounds");
+        let m_stalls = run.counter("func.stalls");
+        let m_faults = run.counter("func.faults");
+        let m_cycles = run.counter("func.cycles");
+        let m_cost = run.histogram("func.instruction_cost");
+        let tile_metrics: Vec<(MetricId, MetricId)> = (0..self.mems.len())
+            .map(|i| {
+                (
+                    run.counter(&format!("func.tile.{i:04}.busy")),
+                    run.counter(&format!("func.tile.{i:04}.stalls")),
+                )
+            })
+            .collect();
+        // Track interning is skipped wholesale (names never formatted)
+        // when the tracer records nothing.
+        let (tile_tracks, thread_tracks, fault_track): (Vec<TrackId>, Vec<TrackId>, TrackId) =
+            if tracer.active() {
+                (
+                    (0..self.mems.len())
+                        .map(|i| tracer.track(&format!("tile {i:04}")))
+                        .collect(),
+                    threads
+                        .iter()
+                        .map(|t| tracer.track(&format!("thread {}", t.program.name())))
+                        .collect(),
+                    tracer.track("faults"),
+                )
+            } else {
+                (vec![0; self.mems.len()], vec![0; threads.len()], 0)
+            };
         let mut queue: EventQueue<usize> = EventQueue::new();
         let mut waits = WaitMap::new();
-        // Per-tile busy time flows through the same engine accounting the
-        // performance simulator uses for its resource utilization.
-        let mut busy: Vec<BusyTracker> =
-            (0..self.mems.len()).map(|_| BusyTracker::new(0)).collect();
         let watchdog = plan
             .watchdog()
             .map_or_else(Watchdog::unarmed, Watchdog::armed);
@@ -272,10 +329,21 @@ impl Machine {
                     }
                     FaultKind::DroppedWakeup { tile } => pending_drops.push(tile),
                 }
-                stats.faults += 1;
+                // Faults apply at the dispatch that first observes them,
+                // so the instant is stamped `now` (keeps per-track
+                // timestamps monotone even for backdated plan entries).
+                tracer.instant(
+                    now,
+                    fault_track,
+                    Payload::Fault {
+                        kind: fault_kind_name(&e.kind),
+                        tile: fault_kind_tile(&e.kind),
+                    },
+                );
+                run.add(m_faults, 1);
                 next_fault += 1;
             }
-            stats.rounds += 1;
+            run.add(m_rounds, 1);
             let t = &mut threads[tid];
             match Self::step(
                 &mut self.mems,
@@ -291,15 +359,25 @@ impl Machine {
                     busy_tile,
                     touched,
                 } => {
-                    stats.instructions += 1;
-                    if stats.instructions > self.fuel {
+                    run.add(m_insts, 1);
+                    if run.counter_get(m_insts) > self.fuel {
                         return Err(Error::ControlFault {
                             program: t.program.name().to_string(),
                             detail: format!("fuel exhausted after {} instructions", self.fuel),
                         });
                     }
+                    run.observe(m_cost, cost as f64);
                     if let Some(tile) = busy_tile {
-                        busy[tile as usize].add(cost as f64);
+                        run.add(tile_metrics[tile as usize].0, cost);
+                        tracer.span(
+                            now,
+                            cost,
+                            tile_tracks[tile as usize],
+                            Payload::Retire {
+                                thread: tid as u16,
+                                cost,
+                            },
+                        );
                     }
                     queue.push_after(cost, tid);
                     // The instruction's tracker records may have made
@@ -314,27 +392,57 @@ impl Machine {
                             continue;
                         }
                         for waiter in waits.wake_overlapping(tile, addr, len) {
+                            tracer.instant(
+                                now,
+                                thread_tracks[waiter],
+                                Payload::Wake {
+                                    thread: waiter as u16,
+                                    tile,
+                                },
+                            );
                             queue.push(now, waiter);
                         }
                     }
                 }
                 StepOutcome::Blocked { awaited } => {
-                    stats.stalls += 1;
-                    if let Some(&(tile, _, _)) = awaited.first() {
-                        if (tile as usize) < stats.per_tile.len() {
-                            stats.per_tile[tile as usize].stalls += 1;
+                    run.add(m_stalls, 1);
+                    if let Some(&(tile, addr, len)) = awaited.first() {
+                        if let Some(&(_, stall_id)) = tile_metrics.get(tile as usize) {
+                            run.add(stall_id, 1);
                         }
+                        tracer.instant(
+                            now,
+                            thread_tracks[tid],
+                            Payload::Park {
+                                thread: tid as u16,
+                                tile,
+                                addr,
+                                len,
+                            },
+                        );
                     }
                     waits.park(tid, awaited);
                 }
                 StepOutcome::Halted => {}
             }
         }
-        stats.cycles = queue.now();
-        for (ts, b) in stats.per_tile.iter_mut().zip(&busy) {
-            ts.busy = b.busy() as u64;
-        }
+        run.add(m_cycles, queue.now());
+        let stats = RunStats {
+            instructions: run.counter_get(m_insts),
+            rounds: run.counter_get(m_rounds),
+            stalls: run.counter_get(m_stalls),
+            cycles: queue.now(),
+            per_tile: tile_metrics
+                .iter()
+                .map(|&(busy_id, stall_id)| TileStats {
+                    busy: run.counter_get(busy_id),
+                    stalls: run.counter_get(stall_id),
+                })
+                .collect(),
+            faults: run.counter_get(m_faults),
+        };
         if threads.iter().all(|t| t.halted) {
+            reg.merge(&run);
             Ok(stats)
         } else {
             Err(Error::Deadlock {
@@ -587,6 +695,24 @@ impl Machine {
                 })
             }
         }
+    }
+}
+
+/// Stable trace-payload name for a fault kind.
+fn fault_kind_name(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::TileFailure { .. } => "tile_failure",
+        FaultKind::BitFlip { .. } => "bit_flip",
+        FaultKind::DroppedWakeup { .. } => "dropped_wakeup",
+    }
+}
+
+/// The tile a fault kind targets.
+fn fault_kind_tile(kind: &FaultKind) -> u16 {
+    match kind {
+        FaultKind::TileFailure { tile }
+        | FaultKind::BitFlip { tile, .. }
+        | FaultKind::DroppedWakeup { tile } => *tile,
     }
 }
 

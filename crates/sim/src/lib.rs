@@ -25,6 +25,17 @@
 //!   `scaledeep-tensor` reference executor) and a cycle count
 //!   cross-checkable against [`perf`].
 //!
+//! Both simulators are instrumented with the `scaledeep-trace`
+//! observability subsystem: the `*_traced` entry points
+//! ([`func::Machine::run_traced`], [`perf::PerfSim::run_mapped_traced`])
+//! accept a `Tracer` (cycle-stamped spans/instants on named tracks,
+//! exportable to Chrome/Perfetto JSON or per-cycle CSV) and a
+//! `MetricsRegistry` — the single source all run counters ([`RunStats`],
+//! [`PerfResult`] scalars, fault statistics) are assembled from. The
+//! untraced entry points delegate with a statically-free `NullSink`.
+//!
+//! [`RunStats`]: func::RunStats
+//! [`PerfResult`]: perf::PerfResult
 //! [`Mapping`]: scaledeep_compiler::Mapping
 //! [`EventQueue`]: engine::EventQueue
 //! [`WaitMap`]: engine::WaitMap

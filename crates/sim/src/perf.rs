@@ -30,7 +30,7 @@ mod pipeline;
 mod stage;
 
 pub use metrics::{FaultStats, LinkUtilization, PerfResult, StageStat};
-pub use pipeline::{run_pipeline, run_pipeline_faulted};
+pub use pipeline::{run_pipeline, run_pipeline_faulted, run_pipeline_traced};
 pub use stage::{RunKind, StageCost};
 
 use crate::error::Result;
@@ -38,6 +38,7 @@ use crate::fault::FaultPlan;
 use scaledeep_arch::{NodeConfig, PowerModel, Precision};
 use scaledeep_compiler::{Compiler, Mapping};
 use scaledeep_dnn::Network;
+use scaledeep_trace::{MetricsRegistry, TraceSink, Tracer};
 
 /// Tunable simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -173,6 +174,26 @@ impl PerfSim {
         kind: RunKind,
         plan: &FaultPlan,
     ) -> PerfResult {
+        let mut tracer = Tracer::disabled();
+        let mut reg = MetricsRegistry::new();
+        self.run_mapped_traced(mapping, kind, plan, &mut tracer, &mut reg)
+    }
+
+    /// [`PerfSim::run_mapped_faulted`] with observability: the pipeline
+    /// emits stage-occupancy spans, sync spans, and retry instants into
+    /// `tracer`, and every assembled scalar (utilizations, link
+    /// utilizations, throughput, power efficiency) plus the pipeline's
+    /// counters land in `reg` — the returned [`PerfResult`] is populated
+    /// from the registry. The untraced entry points delegate here with a
+    /// disabled tracer and a throwaway registry.
+    pub fn run_mapped_traced<S: TraceSink>(
+        &self,
+        mapping: &Mapping,
+        kind: RunKind,
+        plan: &FaultPlan,
+        tracer: &mut Tracer<S>,
+        reg: &mut MetricsRegistry,
+    ) -> PerfResult {
         let stages = stage::build_stages(mapping, &self.node, &self.opts, kind);
         pipeline::simulate(
             mapping,
@@ -182,6 +203,8 @@ impl PerfSim {
             kind,
             &stages,
             plan,
+            tracer,
+            reg,
         )
     }
 }

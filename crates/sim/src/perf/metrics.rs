@@ -5,6 +5,7 @@ use super::stage::{link_idx, RunKind, StageCost, N_LINK_CLASSES};
 use crate::engine::Cycle;
 use scaledeep_arch::{LinkClass, NodeConfig, PowerBreakdown, PowerModel, UtilizationProfile};
 use scaledeep_compiler::Mapping;
+use scaledeep_trace::MetricsRegistry;
 
 /// Transient link-fault accounting for one run (all zeros on the
 /// fault-free path, keeping [`PerfResult`] equality exact under an empty
@@ -103,6 +104,15 @@ fn link_counts(mapping: &Mapping, node: &NodeConfig) -> [f64; N_LINK_CLASSES] {
     n
 }
 
+/// Publishes `value` as the gauge `name` and reads it back — the
+/// registry, not a local, is the value [`PerfResult`] carries, making it
+/// the single source for every assembled scalar.
+fn publish(reg: &mut MetricsRegistry, name: &str, value: f64) -> f64 {
+    let id = reg.gauge(name);
+    reg.set(id, value);
+    reg.gauge_value(name).unwrap_or(value)
+}
+
 #[allow(clippy::too_many_arguments)]
 pub(super) fn assemble(
     mapping: &Mapping,
@@ -113,10 +123,15 @@ pub(super) fn assemble(
     window: Cycle,
     done: usize,
     pipelines: usize,
+    reg: &mut MetricsRegistry,
 ) -> PerfResult {
     let freq = node.frequency_hz();
     let cycles_per_image = window as f64 / done.max(1) as f64;
-    let images_per_sec = pipelines as f64 * freq / cycles_per_image;
+    let images_per_sec = publish(
+        reg,
+        "perf.images_per_sec",
+        pipelines as f64 * freq / cycles_per_image,
+    );
 
     // --- utilization over the spanned compute resources ---
     // One pipeline's useful lane-cycles per image vs. the lanes of the
@@ -128,13 +143,21 @@ pub(super) fn assemble(
         (mapping.chips_spanned() * conv.comp_heavy_tiles() * conv.comp_heavy.total_lanes()) as f64
             + (fc.comp_heavy_tiles() * fc.comp_heavy.total_lanes()) as f64;
     let useful_lanes: f64 = stages.iter().map(|s| s.useful_lane_cycles).sum();
-    let pe_utilization = (useful_lanes / cycles_per_image / span_lanes).min(1.0);
+    let pe_utilization = publish(
+        reg,
+        "perf.pe_utilization",
+        (useful_lanes / cycles_per_image / span_lanes).min(1.0),
+    );
 
     let span_sfus = (mapping.chips_spanned() * conv.mem_heavy_tiles() * conv.mem_heavy.num_sfu)
         as f64
         + (fc.mem_heavy_tiles() * fc.mem_heavy.num_sfu) as f64;
     let useful_sfu: f64 = stages.iter().map(|s| s.useful_sfu_cycles).sum();
-    let sfu_utilization = (useful_sfu / cycles_per_image / span_sfus).min(1.0);
+    let sfu_utilization = publish(
+        reg,
+        "perf.sfu_utilization",
+        (useful_sfu / cycles_per_image / span_sfus).min(1.0),
+    );
 
     // --- link utilizations ---
     // On-chip classes (Comp-Mem, Mem-Mem) are point-to-point links owned
@@ -160,15 +183,24 @@ pub(super) fn assemble(
         } else {
             counts[i] * bw / freq * cycles_per_image
         };
-        let utilization = if capacity_bytes > 0.0 {
-            (bytes / capacity_bytes).min(1.0)
-        } else {
-            0.0
-        };
+        let utilization = publish(
+            reg,
+            &format!("perf.link.{class:?}.utilization"),
+            if capacity_bytes > 0.0 {
+                (bytes / capacity_bytes).min(1.0)
+            } else {
+                0.0
+            },
+        );
+        let bytes_per_image = publish(
+            reg,
+            &format!("perf.link.{class:?}.bytes_per_image"),
+            bytes * pipelines as f64,
+        );
         links.push(LinkUtilization {
             class,
             utilization,
-            bytes_per_image: bytes * pipelines as f64,
+            bytes_per_image,
         });
     }
 
@@ -177,7 +209,7 @@ pub(super) fn assemble(
         .iter()
         .map(|s| s.useful_lane_cycles * 2.0 + s.useful_sfu_cycles)
         .sum();
-    let achieved_flops = flops_per_image * images_per_sec;
+    let achieved_flops = publish(reg, "perf.achieved_flops", flops_per_image * images_per_sec);
     let interconnect_util = {
         let on_chip = [LinkClass::CompMem, LinkClass::MemMem, LinkClass::ConvExtMem];
         let sum: f64 = links
@@ -195,16 +227,32 @@ pub(super) fn assemble(
         interconnect: interconnect_util,
     };
     let avg_power = power.average_node_power(profile);
-    let gflops_per_watt = achieved_flops / avg_power.total() / 1e9;
-    let joules_per_image = avg_power.total() / images_per_sec;
+    let gflops_per_watt = publish(
+        reg,
+        "perf.gflops_per_watt",
+        achieved_flops / avg_power.total() / 1e9,
+    );
+    let joules_per_image = publish(
+        reg,
+        "perf.joules_per_image",
+        avg_power.total() / images_per_sec,
+    );
 
     let bottleneck = stages.iter().map(|s| s.service_cycles).max().unwrap_or(0);
     let stage_stats = stages
         .iter()
-        .map(|s| StageStat {
-            name: s.name.clone(),
-            service_cycles: s.service_cycles,
-            bottleneck: s.service_cycles == bottleneck,
+        .enumerate()
+        .map(|(i, s)| {
+            let service_cycles = publish(
+                reg,
+                &format!("perf.stage.{i:02}.service_cycles"),
+                s.service_cycles as f64,
+            ) as u64;
+            StageStat {
+                name: s.name.clone(),
+                service_cycles,
+                bottleneck: s.service_cycles == bottleneck,
+            }
         })
         .collect();
 

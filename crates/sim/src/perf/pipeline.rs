@@ -4,10 +4,11 @@
 use super::metrics::{self, FaultStats, PerfResult};
 use super::stage::{RunKind, StageCost};
 use super::PerfOptions;
-use crate::engine::{BusyTracker, Cycle, EventQueue};
+use crate::engine::{Cycle, EventQueue};
 use crate::fault::{FaultPlan, LinkFaults};
 use scaledeep_arch::{NodeConfig, PowerModel};
 use scaledeep_compiler::Mapping;
+use scaledeep_trace::{MetricsRegistry, Payload, TraceSink, Tracer, TrackId};
 
 /// Events of the pipeline simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,13 +78,76 @@ pub fn run_pipeline_faulted(
     seed: u64,
     link: Option<&LinkFaults>,
 ) -> (Cycle, usize, Vec<f64>, FaultStats) {
+    let mut tracer = Tracer::disabled();
+    let mut reg = MetricsRegistry::new();
+    run_pipeline_traced(
+        stages,
+        images,
+        minibatch,
+        sync,
+        barrier,
+        seed,
+        link,
+        &mut tracer,
+        &mut reg,
+    )
+}
+
+/// [`run_pipeline_faulted`] with observability: every stage admission
+/// emits an occupancy span on that stage's track (span start/duration are
+/// the image's admission/service interval, so per-track timestamps are
+/// monotone by construction), minibatch syncs emit spans on a `sync`
+/// track, and link retries emit instants on a `link retries` track. All
+/// counters (per-stage busy cycles, retry counts/cycles, completions)
+/// live in a per-run [`MetricsRegistry`] — the returned utilizations and
+/// [`FaultStats`] are read back out of it, and it is merged into `reg` at
+/// the end. A disabled tracer takes the identical timing path.
+///
+/// # Panics
+///
+/// Panics when `stages` is empty or `images == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipeline_traced<S: TraceSink>(
+    stages: &[StageCost],
+    images: usize,
+    minibatch: usize,
+    sync: Cycle,
+    barrier: bool,
+    seed: u64,
+    link: Option<&LinkFaults>,
+    tracer: &mut Tracer<S>,
+    reg: &mut MetricsRegistry,
+) -> (Cycle, usize, Vec<f64>, FaultStats) {
     assert!(!stages.is_empty(), "pipeline needs at least one stage");
     assert!(images > 0, "need at least one image");
     let n = stages.len();
     let minibatch = minibatch.max(1);
+    // All run counters live here; utilizations and fault stats are read
+    // back out at the end (no parallel bookkeeping).
+    let mut run = MetricsRegistry::new();
+    let m_retries = run.counter("perf.link.retries");
+    let m_retry_cycles = run.counter("perf.link.retry_cycles");
+    let m_completed = run.counter("perf.images.completed");
+    let m_syncs = run.counter("perf.syncs");
+    let stage_busy: Vec<_> = (0..n)
+        .map(|s| run.counter(&format!("perf.stage.{s:02}.busy")))
+        .collect();
+    let (stage_tracks, sync_track, retry_track): (Vec<TrackId>, TrackId, TrackId) =
+        if tracer.active() {
+            (
+                stages
+                    .iter()
+                    .enumerate()
+                    .map(|(s, st)| tracer.track(&format!("stage {s:02} {}", st.name)))
+                    .collect(),
+                tracer.track("sync"),
+                tracer.track("link retries"),
+            )
+        } else {
+            (vec![0; n], 0, 0)
+        };
     let mut q: EventQueue<Event> = EventQueue::new();
     let mut stage_free: Vec<Cycle> = vec![0; n];
-    let mut busy = vec![BusyTracker::new(0); n];
     let mut next_admit = 0usize;
     let mut completed = 0usize;
     let mut syncs_completed = 0usize;
@@ -91,19 +155,18 @@ pub fn run_pipeline_faulted(
     let mut waiting_for_sync = false;
     let mut first_done: Cycle = 0;
     let mut last_done: Cycle = 0;
-    let mut faults = FaultStats::default();
-    // Retry penalty of the transfer identified by `salt`, accumulated
-    // into the fault stats.
-    let penalty = |salt: u64, faults: &mut FaultStats| -> Cycle {
-        let Some(lf) = link else { return 0 };
+    // Retry `(count, back-off cycles)` of the transfer identified by
+    // `salt`, accumulated into the run registry.
+    let penalty = |salt: u64, run: &mut MetricsRegistry| -> (u32, Cycle) {
+        let Some(lf) = link else { return (0, 0) };
         let retries = lf.retries(seed, salt);
         if retries == 0 {
-            return 0;
+            return (0, 0);
         }
         let cost = lf.backoff_cycles(retries);
-        faults.link_retries += u64::from(retries);
-        faults.retry_cycles += cost;
-        cost
+        run.add(m_retries, u64::from(retries));
+        run.add(m_retry_cycles, cost);
+        (retries, cost)
     };
     let stage_salt = |stage: usize, img: usize| ((stage as u64) << 32) | img as u64;
     const SYNC_SALT: u64 = 1 << 62;
@@ -123,11 +186,30 @@ pub fn run_pipeline_faulted(
                 let img = next_admit;
                 next_admit += 1;
                 let start = stage_free[0].max(now);
-                let fin = start
-                    + stages[0].service_cycles.max(1)
-                    + penalty(stage_salt(0, img), &mut faults);
+                let service = stages[0].service_cycles.max(1);
+                let (retries, toll) = penalty(stage_salt(0, img), &mut run);
+                let fin = start + service + toll;
                 stage_free[0] = fin;
-                busy[0].add(stages[0].service_cycles.max(1) as f64);
+                run.add(stage_busy[0], service);
+                tracer.span(
+                    start,
+                    fin - start,
+                    stage_tracks[0],
+                    Payload::Stage {
+                        stage: 0,
+                        image: img as u32,
+                    },
+                );
+                if retries > 0 {
+                    tracer.instant(
+                        now,
+                        retry_track,
+                        Payload::Retry {
+                            retries,
+                            cost: toll,
+                        },
+                    );
+                }
                 q.push(fin, Event::StageDone { stage: 0, img });
                 q.push(fin, Event::Admit);
             }
@@ -135,11 +217,30 @@ pub fn run_pipeline_faulted(
                 if stage + 1 < n {
                     let s = stage + 1;
                     let start = stage_free[s].max(now);
-                    let fin = start
-                        + stages[s].service_cycles.max(1)
-                        + penalty(stage_salt(s, img), &mut faults);
+                    let service = stages[s].service_cycles.max(1);
+                    let (retries, toll) = penalty(stage_salt(s, img), &mut run);
+                    let fin = start + service + toll;
                     stage_free[s] = fin;
-                    busy[s].add(stages[s].service_cycles.max(1) as f64);
+                    run.add(stage_busy[s], service);
+                    tracer.span(
+                        start,
+                        fin - start,
+                        stage_tracks[s],
+                        Payload::Stage {
+                            stage: s as u16,
+                            image: img as u32,
+                        },
+                    );
+                    if retries > 0 {
+                        tracer.instant(
+                            now,
+                            retry_track,
+                            Payload::Retry {
+                                retries,
+                                cost: toll,
+                            },
+                        );
+                    }
                     q.push(fin, Event::StageDone { stage: s, img });
                 } else {
                     completed += 1;
@@ -148,7 +249,26 @@ pub fn run_pipeline_faulted(
                     }
                     last_done = now;
                     if barrier && completed.is_multiple_of(minibatch) {
-                        let delay = sync.max(1) + penalty(SYNC_SALT | syncs_started, &mut faults);
+                        let (retries, toll) = penalty(SYNC_SALT | syncs_started, &mut run);
+                        let delay = sync.max(1) + toll;
+                        tracer.span(
+                            now,
+                            delay,
+                            sync_track,
+                            Payload::Sync {
+                                index: syncs_started as u32,
+                            },
+                        );
+                        if retries > 0 {
+                            tracer.instant(
+                                now,
+                                retry_track,
+                                Payload::Retry {
+                                    retries,
+                                    cost: toll,
+                                },
+                            );
+                        }
                         syncs_started += 1;
                         q.push(now + delay, Event::SyncDone);
                     }
@@ -164,17 +284,26 @@ pub fn run_pipeline_faulted(
         }
     }
     debug_assert_eq!(completed, images, "all images must drain");
+    run.add(m_completed, completed as u64);
+    run.add(m_syncs, syncs_started);
     let window = last_done.saturating_sub(first_done).max(1);
-    let util = busy
+    let util = stage_busy
         .iter()
-        .map(|b| b.busy() / last_done.max(1) as f64)
+        .map(|&id| run.counter_get(id) as f64 / last_done.max(1) as f64)
         .collect();
+    let faults = FaultStats {
+        link_retries: run.counter_get(m_retries),
+        retry_cycles: run.counter_get(m_retry_cycles),
+    };
+    reg.merge(&run);
     (window, images - 1, util, faults)
 }
 
-/// Full simulation entry: runs the pipeline under `plan` and assembles
-/// metrics. The fault-free path passes the empty plan.
-pub(super) fn simulate(
+/// Full simulation entry: runs the pipeline under `plan`, assembles
+/// metrics into `reg`, and reads [`PerfResult`] back out of it. The
+/// fault-free, untraced path passes the empty plan and a disabled tracer.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn simulate<S: TraceSink>(
     mapping: &Mapping,
     node: &NodeConfig,
     power: &PowerModel,
@@ -182,6 +311,8 @@ pub(super) fn simulate(
     kind: RunKind,
     stages: &[StageCost],
     plan: &FaultPlan,
+    tracer: &mut Tracer<S>,
+    reg: &mut MetricsRegistry,
 ) -> PerfResult {
     let barrier = kind == RunKind::Training;
     let minibatch = opts.minibatch.max(1);
@@ -200,7 +331,7 @@ pub(super) fn simulate(
         let total = per_image * images as u64 + sync * syncs as u64;
         (total, images, Vec::new(), FaultStats::default())
     } else {
-        run_pipeline_faulted(
+        run_pipeline_traced(
             stages,
             images,
             minibatch,
@@ -208,11 +339,15 @@ pub(super) fn simulate(
             barrier,
             plan.seed(),
             plan.link_faults(),
+            tracer,
+            reg,
         )
     };
 
     let pipelines = total_pipelines(mapping, node);
-    let mut result = metrics::assemble(mapping, node, power, kind, stages, window, done, pipelines);
+    let mut result = metrics::assemble(
+        mapping, node, power, kind, stages, window, done, pipelines, reg,
+    );
     result.faults = faults;
     result
 }

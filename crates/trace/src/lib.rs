@@ -1,0 +1,43 @@
+//! `scaledeep-trace`: a zero-dependency observability subsystem for the
+//! ScaleDeep reproduction — structured, cycle-stamped event tracing, a
+//! unified metrics registry, and Perfetto/CSV exporters shared by the
+//! functional and performance simulators.
+//!
+//! # Architecture
+//!
+//! - **Events** ([`Event`], [`Payload`], [`Category`]): cycle-stamped spans
+//!   and instants with typed, allocation-free payloads, organized on named
+//!   tracks ([`TrackTable`]).
+//! - **Sinks** ([`TraceSink`]): [`NullSink`] is statically free (disabled
+//!   tracing compiles to a constant-false branch), [`VecSink`] records
+//!   everything, [`RingSink`] keeps a bounded flight-recorder tail with a
+//!   drop count, [`FilterSink`] layers a per-category mask and 1-in-N
+//!   sampling over any sink. Instrumented code talks to a [`Tracer`],
+//!   which owns the sink and the track table.
+//! - **Exporters**: [`chrome_trace`] renders Chrome/Perfetto trace JSON
+//!   (tracks as threads, spans as duration events);
+//!   [`validate_chrome_trace`] re-parses it with the bundled JSON parser
+//!   and checks per-track timestamp monotonicity; [`cycle_csv`] renders
+//!   SCALE-Sim-style per-cycle CSV; [`utilization_heatmap`] renders an
+//!   ASCII per-track occupancy heatmap. All output is deterministic for a
+//!   fixed event stream.
+//! - **Metrics** ([`MetricsRegistry`]): named counters, gauges, and log2
+//!   histograms with a sorted text report; simulators register metrics
+//!   once, update via [`MetricId`] handles in hot loops, and merge
+//!   registries upward.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod perfetto;
+pub mod sink;
+
+pub use csv::{cycle_csv, utilization_heatmap};
+pub use event::{Category, CategoryMask, Cycle, Event, Payload, TrackId, TrackTable};
+pub use metrics::{Hist, MetricId, MetricsRegistry, Value};
+pub use perfetto::{chrome_trace, validate_chrome_trace, TraceSummary};
+pub use sink::{FilterSink, NullSink, RingSink, TraceSink, Tracer, VecSink};

@@ -1,0 +1,364 @@
+//! A unified registry of named counters, gauges, and histograms — the
+//! single source for the scalar statistics that the simulators previously
+//! plumbed through ad-hoc struct fields.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Dense handle to a registered metric; obtained once (outside hot loops)
+/// from [`MetricsRegistry::counter`] / [`MetricsRegistry::gauge`] /
+/// [`MetricsRegistry::histogram`] and used for O(1) updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MetricId(usize);
+
+/// Log2-bucketed histogram of non-negative samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hist {
+    /// `buckets[i]` counts samples with `floor(log2(v)) == i - 1`
+    /// (`buckets[0]` counts zeros).
+    pub buckets: [u64; 65],
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest sample (`0.0` when empty).
+    pub max: f64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+        }
+    }
+}
+
+impl Hist {
+    fn bucket(v: f64) -> usize {
+        if v < 1.0 {
+            0
+        } else {
+            // floor(log2(v)) + 1, clamped into the table.
+            ((v.log2().floor() as i64).clamp(0, 63) + 1) as usize
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let v = if v.is_finite() && v >= 0.0 { v } else { 0.0 };
+        self.buckets[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the observed samples (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One metric's current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Monotonic u64 accumulator.
+    Counter(u64),
+    /// Last-write-wins f64.
+    Gauge(f64),
+    /// Log2-bucketed distribution. Boxed so that the common
+    /// counter/gauge entries stay 16 bytes instead of carrying the
+    /// 65-bucket table inline.
+    Histogram(Box<Hist>),
+}
+
+impl Value {
+    /// Short kind name (`"counter"` / `"gauge"` / `"hist"`).
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            Value::Counter(_) => "counter",
+            Value::Gauge(_) => "gauge",
+            Value::Histogram(_) => "hist",
+        }
+    }
+}
+
+/// A registry of named metrics. Names are dotted paths
+/// (`"func.tile.0003.busy"`); registration interns the name once and
+/// returns a [`MetricId`] for cheap updates.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    names: Vec<String>,
+    values: Vec<Value>,
+    index: BTreeMap<String, usize>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&mut self, name: &str, fresh: Value) -> MetricId {
+        if let Some(&i) = self.index.get(name) {
+            return MetricId(i);
+        }
+        let i = self.values.len();
+        self.names.push(name.to_string());
+        self.values.push(fresh);
+        self.index.insert(name.to_string(), i);
+        MetricId(i)
+    }
+
+    /// Registers (or finds) the counter `name`.
+    pub fn counter(&mut self, name: &str) -> MetricId {
+        self.register(name, Value::Counter(0))
+    }
+
+    /// Registers (or finds) the gauge `name`.
+    pub fn gauge(&mut self, name: &str) -> MetricId {
+        self.register(name, Value::Gauge(0.0))
+    }
+
+    /// Registers (or finds) the histogram `name`.
+    pub fn histogram(&mut self, name: &str) -> MetricId {
+        self.register(name, Value::Histogram(Box::default()))
+    }
+
+    /// Adds `delta` to a counter (no-op on non-counters).
+    #[inline]
+    pub fn add(&mut self, id: MetricId, delta: u64) {
+        if let Some(Value::Counter(c)) = self.values.get_mut(id.0) {
+            *c = c.saturating_add(delta);
+        }
+    }
+
+    /// Sets a gauge (no-op on non-gauges).
+    #[inline]
+    pub fn set(&mut self, id: MetricId, v: f64) {
+        if let Some(Value::Gauge(g)) = self.values.get_mut(id.0) {
+            *g = v;
+        }
+    }
+
+    /// Records a histogram sample (no-op on non-histograms).
+    #[inline]
+    pub fn observe(&mut self, id: MetricId, v: f64) {
+        if let Some(Value::Histogram(h)) = self.values.get_mut(id.0) {
+            h.observe(v);
+        }
+    }
+
+    /// Current value of a counter id (`0` for non-counters).
+    #[inline]
+    pub fn counter_get(&self, id: MetricId) -> u64 {
+        match self.values.get(id.0) {
+            Some(Value::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Looks a counter up by name (`None` when absent or not a counter).
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.index.get(name).map(|&i| &self.values[i]) {
+            Some(Value::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Looks a gauge up by name (`None` when absent or not a gauge).
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        match self.index.get(name).map(|&i| &self.values[i]) {
+            Some(Value::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Looks a histogram up by name.
+    pub fn histogram_value(&self, name: &str) -> Option<&Hist> {
+        match self.index.get(name).map(|&i| &self.values[i]) {
+            Some(Value::Histogram(h)) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.index
+            .iter()
+            .map(|(n, &i)| (n.as_str(), &self.values[i]))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters add, gauges overwrite,
+    /// histograms merge. On a kind mismatch the incoming value wins.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, val) in other.iter() {
+            match val {
+                Value::Counter(c) => {
+                    let id = self.counter(name);
+                    match self.values.get_mut(id.0) {
+                        Some(Value::Counter(mine)) => *mine = mine.saturating_add(*c),
+                        Some(slot) => *slot = val.clone(),
+                        None => {}
+                    }
+                }
+                Value::Gauge(_) => {
+                    let id = self.gauge(name);
+                    if let Some(slot) = self.values.get_mut(id.0) {
+                        *slot = val.clone();
+                    }
+                }
+                Value::Histogram(h) => {
+                    let id = self.histogram(name);
+                    match self.values.get_mut(id.0) {
+                        Some(Value::Histogram(mine)) => mine.merge(h),
+                        Some(slot) => *slot = val.clone(),
+                        None => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders a sorted text report: one line per metric, histograms as
+    /// `count/mean/min/max`.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let width = self.names.iter().map(String::len).max().unwrap_or(0);
+        for (name, val) in self.iter() {
+            let _ = match val {
+                Value::Counter(c) => {
+                    writeln!(out, "{name:<width$}  counter  {c}")
+                }
+                Value::Gauge(g) => {
+                    writeln!(out, "{name:<width$}  gauge    {g:.6}")
+                }
+                Value::Histogram(h) => writeln!(
+                    out,
+                    "{name:<width$}  hist     n={} mean={:.3} min={} max={}",
+                    h.count,
+                    h.mean(),
+                    if h.count == 0 { 0.0 } else { h.min },
+                    h.max,
+                ),
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = MetricsRegistry::new();
+        let id = r.counter("a.b");
+        r.add(id, 3);
+        r.add(id, 4);
+        assert_eq!(r.counter_get(id), 7);
+        assert_eq!(r.counter_value("a.b"), Some(7));
+        assert_eq!(r.counter_value("missing"), None);
+        // Re-registration returns the same id.
+        assert_eq!(r.counter("a.b"), id);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = MetricsRegistry::new();
+        let id = r.gauge("g");
+        r.set(id, 1.5);
+        r.set(id, 2.5);
+        assert_eq!(r.gauge_value("g"), Some(2.5));
+    }
+
+    #[test]
+    fn histograms_bucket_by_log2() {
+        let mut r = MetricsRegistry::new();
+        let id = r.histogram("h");
+        for v in [0.0, 1.0, 2.0, 3.0, 1000.0] {
+            r.observe(id, v);
+        }
+        let h = r.histogram_value("h").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 1000.0);
+        assert_eq!(h.buckets[0], 1); // the zero
+        assert_eq!(h.buckets[1], 1); // 1.0
+        assert_eq!(h.buckets[2], 2); // 2.0, 3.0
+    }
+
+    #[test]
+    fn merge_combines_kinds() {
+        let mut a = MetricsRegistry::new();
+        let c = a.counter("c");
+        a.add(c, 5);
+        let g = a.gauge("g");
+        a.set(g, 1.0);
+
+        let mut b = MetricsRegistry::new();
+        let c2 = b.counter("c");
+        b.add(c2, 7);
+        let g2 = b.gauge("g");
+        b.set(g2, 9.0);
+        let h2 = b.histogram("h");
+        b.observe(h2, 4.0);
+
+        a.merge(&b);
+        assert_eq!(a.counter_value("c"), Some(12));
+        assert_eq!(a.gauge_value("g"), Some(9.0));
+        assert_eq!(a.histogram_value("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn report_is_sorted_and_stable() {
+        let mut r = MetricsRegistry::new();
+        let z = r.counter("z");
+        r.add(z, 1);
+        let a = r.counter("a");
+        r.add(a, 2);
+        let rep = r.report();
+        let first = rep.lines().next().unwrap();
+        assert!(first.starts_with('a'), "{rep}");
+        assert_eq!(r.report(), rep);
+    }
+
+    #[test]
+    fn wrong_kind_updates_are_noops() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("c");
+        r.set(c, 9.0);
+        r.observe(c, 9.0);
+        assert_eq!(r.counter_get(c), 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! End-to-end checks of the `scaledeep-trace` observability subsystem:
+//! deterministic exports, trace/stats agreement (per-tile busy spans sum
+//! to exactly the stats' busy cycles), validator-clean Chrome traces,
+//! category filtering and sampling, and flight-recorder bounding.
+
+use scaledeep::{Session, TraceConfig};
+use scaledeep_dnn::{zoo, Activation, Conv, Fc, FeatureShape, Network, NetworkBuilder};
+use scaledeep_sim::fault::FaultPlan;
+use scaledeep_sim::perf::RunKind;
+use scaledeep_trace::{validate_chrome_trace, Category, CategoryMask, Payload};
+
+fn tiny_training_net() -> Network {
+    let mut b = NetworkBuilder::new("traced", FeatureShape::new(1, 6, 6));
+    let c = b
+        .conv(
+            "c",
+            Conv {
+                out_features: 2,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                groups: 1,
+                bias: false,
+                activation: Activation::Relu,
+            },
+        )
+        .unwrap();
+    let f = b
+        .fc_from(
+            "f",
+            c,
+            Fc {
+                out_neurons: 4,
+                bias: false,
+                activation: Activation::None,
+            },
+        )
+        .unwrap();
+    b.finish_with_loss(f).unwrap()
+}
+
+#[test]
+fn same_seed_runs_export_byte_identical_traces() {
+    let s = Session::single_precision();
+    let net = zoo::alexnet();
+    let cfg = TraceConfig::default();
+    let a = s.run_traced(&net, RunKind::Training, &cfg).unwrap();
+    let b = s.run_traced(&net, RunKind::Training, &cfg).unwrap();
+    assert_eq!(a.trace.chrome_trace(), b.trace.chrome_trace());
+    assert_eq!(a.trace.cycle_csv(), b.trace.cycle_csv());
+    assert_eq!(a.trace.metrics_report(), b.trace.metrics_report());
+}
+
+#[test]
+fn perf_trace_validates_and_spans_every_stage() {
+    let s = Session::single_precision();
+    let traced = s
+        .run_traced(&zoo::alexnet(), RunKind::Training, &TraceConfig::default())
+        .unwrap();
+    let summary = validate_chrome_trace(&traced.trace.chrome_trace()).unwrap();
+    assert!(summary.spans > 0);
+    // One track per weighted layer plus the sync track.
+    assert_eq!(summary.tracks as usize, traced.trace.tracks.len());
+    assert!(traced.trace.tracks.iter().any(|(_, n)| n == "sync"));
+    let csv = traced.trace.cycle_csv();
+    assert!(csv.starts_with("cycle,track,category,event,dur,detail"));
+    // Stage busy counters in the registry equal the span sums per track.
+    for (id, name) in traced.trace.tracks.iter() {
+        let Some(rest) = name.strip_prefix("stage ") else {
+            continue;
+        };
+        let stage: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let spans: u64 = traced
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.track == id && e.is_span())
+            .map(|e| e.dur)
+            .sum();
+        let counter = traced
+            .trace
+            .metrics
+            .counter_value(&format!("perf.stage.{stage}.busy"))
+            .unwrap_or_else(|| panic!("no busy counter for {name}"));
+        assert_eq!(spans, counter, "span sum vs registry for {name}");
+    }
+}
+
+#[test]
+fn functional_busy_spans_sum_to_per_tile_stats() {
+    let s = Session::single_precision();
+    let (run, trace) = s
+        .run_resilient_traced(
+            &tiny_training_net(),
+            &FaultPlan::none(),
+            &TraceConfig::default(),
+        )
+        .unwrap();
+    assert!(!run.retried);
+    validate_chrome_trace(&trace.chrome_trace()).unwrap();
+
+    // Every retire span on a tile track carries exactly the cycles the
+    // machine charged that tile, so the sums must match the stats (and
+    // the registry counters the stats were read from) exactly.
+    let mut checked = 0;
+    for (id, name) in trace.tracks.iter() {
+        let Some(idx) = name.strip_prefix("tile ") else {
+            continue;
+        };
+        let tile: usize = idx.trim().parse().unwrap();
+        let spans: u64 = trace
+            .events
+            .iter()
+            .filter(|e| e.track == id && e.is_span())
+            .map(|e| e.dur)
+            .sum();
+        let busy = run.stats.per_tile.get(tile).map_or(0, |t| t.busy);
+        assert_eq!(spans, busy, "tile {tile} busy spans vs RunStats");
+        if busy > 0 {
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no busy tile tracks recorded");
+    // Aggregate counters agree with the stats too.
+    assert_eq!(
+        trace.metrics.counter_value("func.instructions"),
+        Some(run.stats.instructions)
+    );
+    assert_eq!(
+        trace.metrics.counter_value("func.stalls"),
+        Some(run.stats.stalls)
+    );
+    assert_eq!(
+        trace.metrics.counter_value("func.cycles"),
+        Some(run.stats.cycles)
+    );
+}
+
+#[test]
+fn category_filter_drops_other_categories_without_changing_results() {
+    let s = Session::single_precision();
+    let net = tiny_training_net();
+    let full_cfg = TraceConfig::default();
+    let stage_only = TraceConfig {
+        filter: CategoryMask::just(Category::Instruction),
+        ..TraceConfig::default()
+    };
+    let (full_run, full) = s
+        .run_resilient_traced(&net, &FaultPlan::none(), &full_cfg)
+        .unwrap();
+    let (filtered_run, filtered) = s
+        .run_resilient_traced(&net, &FaultPlan::none(), &stage_only)
+        .unwrap();
+    assert_eq!(
+        full_run.stats, filtered_run.stats,
+        "filtering is observational"
+    );
+    assert!(filtered
+        .events
+        .iter()
+        .all(|e| e.payload.category() == Category::Instruction));
+    let full_inst = full
+        .events
+        .iter()
+        .filter(|e| e.payload.category() == Category::Instruction)
+        .count();
+    assert_eq!(filtered.events.len(), full_inst);
+    assert!(
+        full.events.len() > full_inst,
+        "full trace has other categories"
+    );
+}
+
+#[test]
+fn sampling_keeps_one_in_n_per_category() {
+    let s = Session::single_precision();
+    let net = tiny_training_net();
+    let (_, full) = s
+        .run_resilient_traced(&net, &FaultPlan::none(), &TraceConfig::default())
+        .unwrap();
+    let sampled_cfg = TraceConfig {
+        sample: 4,
+        ..TraceConfig::default()
+    };
+    let (_, sampled) = s
+        .run_resilient_traced(&net, &FaultPlan::none(), &sampled_cfg)
+        .unwrap();
+    let count = |events: &[scaledeep_trace::Event], cat: Category| {
+        events
+            .iter()
+            .filter(|e| e.payload.category() == cat)
+            .count()
+    };
+    for cat in [Category::Instruction, Category::Tracker] {
+        let n = count(&full.events, cat);
+        let k = count(&sampled.events, cat);
+        assert_eq!(k, n.div_ceil(4), "{cat:?}: {k} of {n} kept");
+    }
+    // Sampling keeps the first event of each category, deterministically.
+    assert_eq!(sampled.events.first(), full.events.first());
+}
+
+#[test]
+fn flight_recorder_bounds_retention_and_counts_drops() {
+    let s = Session::single_precision();
+    let (_, trace) = s
+        .run_resilient_traced(
+            &tiny_training_net(),
+            &FaultPlan::none(),
+            &TraceConfig::flight_recorder(16),
+        )
+        .unwrap();
+    assert_eq!(trace.events.len(), 16);
+    assert!(trace.dropped > 0);
+    // The retained tail is the *end* of the run: its last event must be
+    // the run's chronologically last emission (the final retire/wake).
+    let max_at = trace.events.iter().map(|e| e.at).max().unwrap();
+    assert_eq!(trace.events.last().unwrap().at, max_at);
+}
+
+#[test]
+fn fault_events_appear_on_the_fault_track() {
+    use scaledeep_sim::fault::FaultKind;
+    let s = Session::single_precision();
+    let plan = FaultPlan::seeded(3).with_fault(
+        2,
+        FaultKind::BitFlip {
+            tile: 0,
+            addr: 0,
+            bit: 3,
+        },
+    );
+    let (run, trace) = s
+        .run_resilient_traced(&tiny_training_net(), &plan, &TraceConfig::default())
+        .unwrap();
+    assert!(run.stats.faults > 0);
+    let faults: Vec<_> = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.payload, Payload::Fault { .. }))
+        .collect();
+    assert_eq!(faults.len() as u64, run.stats.faults);
+    for f in faults {
+        assert_eq!(trace.tracks.name(f.track), "faults");
+    }
+    validate_chrome_trace(&trace.chrome_trace()).unwrap();
+}
