@@ -6,13 +6,23 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use scaledeep_arch::presets;
-use scaledeep_compiler::codegen::{compile_functional, FuncTargetOptions};
-use scaledeep_compiler::Compiler;
-use scaledeep_dnn::{zoo, Activation, Conv, Fc, FeatureShape, NetworkBuilder};
+use scaledeep_compiler::pipeline;
+use scaledeep_compiler::{CompileOptions, Compiler};
+use scaledeep_dnn::{zoo, Activation, Conv, Fc, FeatureShape, Network, NetworkBuilder};
 use scaledeep_isa::Program;
 use scaledeep_sim::func::FuncSim;
 use scaledeep_sim::perf::PerfSim;
 use scaledeep_tensor::Executor;
+
+/// One pipeline compile of `net` with default options on the baseline node.
+fn compile_default(net: &Network) -> scaledeep_compiler::CompiledArtifact {
+    pipeline::compile(
+        &presets::single_precision(),
+        net,
+        &CompileOptions::default(),
+    )
+    .expect("compiles")
+}
 
 fn bench_mapping(c: &mut Criterion) {
     let node = presets::single_precision();
@@ -63,9 +73,9 @@ fn bench_functional_sim(c: &mut Criterion) {
         )
         .unwrap();
     let net = b.finish_with_loss(f).unwrap();
-    let compiled = compile_functional(&net, &FuncTargetOptions::default()).unwrap();
+    let artifact = compile_default(&net);
     let reference = Executor::new(&net, 1).unwrap();
-    let mut sim = FuncSim::new(&net, &compiled).unwrap();
+    let mut sim = FuncSim::from_artifact(&net, &artifact).unwrap();
     sim.import_params(&reference).unwrap();
     let image = vec![0.5f32; 144];
     let golden = vec![0.25f32; 8];
@@ -105,7 +115,8 @@ fn bench_isa_codec(c: &mut Criterion) {
         )
         .unwrap();
     let head = b.finish_with_loss(f).unwrap();
-    let compiled = compile_functional(&head, &FuncTargetOptions::default()).unwrap();
+    let artifact = compile_default(&head);
+    let compiled = artifact.functional().unwrap();
     let program = &compiled.programs[0];
     let bytes = program.encode();
     let _ = net;

@@ -7,7 +7,8 @@
 //! real regression here means a guard was lost).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use scaledeep_compiler::codegen::{compile_functional, FuncTargetOptions};
+use scaledeep_arch::presets;
+use scaledeep_compiler::pipeline::{compile, CompileOptions};
 use scaledeep_dnn::{zoo, Activation, Conv, Fc, FeatureShape, NetworkBuilder};
 use scaledeep_sim::fault::FaultPlan;
 use scaledeep_sim::func::FuncSim;
@@ -41,9 +42,14 @@ fn bench_net() -> (FuncSim, Vec<f32>, Vec<f32>) {
         )
         .unwrap();
     let net = b.finish_with_loss(f).unwrap();
-    let compiled = compile_functional(&net, &FuncTargetOptions::default()).unwrap();
+    let artifact = compile(
+        &presets::single_precision(),
+        &net,
+        &CompileOptions::default(),
+    )
+    .unwrap();
     let reference = Executor::new(&net, 1).unwrap();
-    let mut sim = FuncSim::new(&net, &compiled).unwrap();
+    let mut sim = FuncSim::from_artifact(&net, &artifact).unwrap();
     sim.import_params(&reference).unwrap();
     let _ = zoo::BENCHMARK_NAMES;
     (sim, vec![0.5f32; 144], vec![0.25f32; 8])

@@ -10,6 +10,7 @@
 //! repro --degraded alexnet 2 # remap around 2 dead columns and compare
 //! repro --trace out.json     # trace a training run: Chrome JSON + CSV
 //! repro --trace out.json --trace-net vgg_a --trace-filter stage,fault
+//! repro --sweep alexnet      # run-kind sweep: compile/simulate split + cache
 //! ```
 
 use scaledeep::experiments::{run_by_id, EXPERIMENT_IDS};
@@ -67,7 +68,8 @@ fn drill_into(name: &str) -> Result<(), String> {
     let net = zoo::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
     println!("{net}");
     let session = Session::single_precision();
-    let mapping = session.compile(&net).map_err(|e| e.to_string())?;
+    let artifact = session.compile(&net).map_err(|e| e.to_string())?;
+    let mapping = artifact.mapping();
     println!(
         "mapping: {} ConvLayer cols on {} chip(s) / {} cluster(s); {} FcLayer cols\n",
         mapping.conv_cols_used(),
@@ -105,14 +107,14 @@ fn degraded_drill(name: &str, dead_cols: usize) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     println!(
         "healthy:  {} cols on {} chip(s)",
-        healthy.conv_cols_used(),
-        healthy.chips_spanned()
+        healthy.mapping().conv_cols_used(),
+        healthy.mapping().chips_spanned()
     );
     println!(
         "degraded: {} cols on {} chip(s), routing around {:?}",
-        degraded.conv_cols_used(),
-        degraded.chips_spanned(),
-        degraded.failed_cols()
+        degraded.mapping().conv_cols_used(),
+        degraded.mapping().chips_spanned(),
+        degraded.mapping().failed_cols()
     );
     let base = session.run_mapped(&healthy, scaledeep_sim::perf::RunKind::Training);
     let deg = session.run_mapped(&degraded, scaledeep_sim::perf::RunKind::Training);
@@ -121,6 +123,65 @@ fn degraded_drill(name: &str, dead_cols: usize) -> Result<(), String> {
         base.images_per_sec,
         deg.images_per_sec,
         100.0 * deg.images_per_sec / base.images_per_sec
+    );
+    Ok(())
+}
+
+/// Sweeps one benchmark through every run kind of a single session —
+/// training, evaluation, and a traced training run — and reports where
+/// the wall-clock went: compile time (the phase pipeline, first run only)
+/// versus simulate time, plus the session's compile-cache ledger. With
+/// the provenance-keyed cache the whole sweep compiles the network
+/// exactly once.
+fn sweep(name: &str) -> Result<(), String> {
+    use std::time::Instant;
+    type RunFn<'a> = &'a dyn Fn() -> Result<f64, String>;
+    let net = zoo::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let session = Session::single_precision();
+    let runs: [(&str, RunFn); 3] = [
+        ("train", &|| {
+            session
+                .train(&net)
+                .map(|r| r.images_per_sec)
+                .map_err(|e| e.to_string())
+        }),
+        ("evaluate", &|| {
+            session
+                .evaluate(&net)
+                .map(|r| r.images_per_sec)
+                .map_err(|e| e.to_string())
+        }),
+        ("train (traced)", &|| {
+            session
+                .run_traced(
+                    &net,
+                    scaledeep_sim::perf::RunKind::Training,
+                    &TraceConfig::default(),
+                )
+                .map(|t| t.perf.images_per_sec)
+                .map_err(|e| e.to_string())
+        }),
+    ];
+    let mut total_nanos = 0u64;
+    for (kind, run) in runs {
+        let started = Instant::now();
+        let images_per_sec = run()?;
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        total_nanos += nanos;
+        println!("{name}: {kind:<15} {images_per_sec:>10.0} images/s  ({nanos} ns wall)");
+    }
+    let stats = session.cache_stats();
+    let simulate_nanos = total_nanos.saturating_sub(stats.compile_nanos);
+    println!(
+        "wall-clock split: compile {} ns ({:.1}%), simulate {} ns ({:.1}%)",
+        stats.compile_nanos,
+        100.0 * stats.compile_nanos as f64 / total_nanos.max(1) as f64,
+        simulate_nanos,
+        100.0 * simulate_nanos as f64 / total_nanos.max(1) as f64,
+    );
+    println!(
+        "compile cache: {} miss(es), {} hit(s) — {} run kinds, 1 pipeline run",
+        stats.misses, stats.hits, 3
     );
     Ok(())
 }
@@ -198,6 +259,14 @@ fn main() {
             None => CategoryMask::all(),
         };
         if let Err(e) = trace_run(name, path, filter) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--sweep") {
+        let name = args.get(pos + 1).map(String::as_str).unwrap_or("alexnet");
+        if let Err(e) = sweep(name) {
             eprintln!("{e}");
             std::process::exit(1);
         }

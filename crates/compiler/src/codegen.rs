@@ -22,10 +22,11 @@
 mod emit;
 mod layout;
 
-pub use emit::{
-    compile_functional, compile_functional_degraded, compile_functional_minibatch,
-    conv_grads_to_output_major, conv_weights_to_input_major, fc_weights_transpose,
-};
+pub use emit::{conv_grads_to_output_major, conv_weights_to_input_major, fc_weights_transpose};
+// The compile entry points are crate-internal: the codegen phase runs only
+// inside the pipeline (`crate::pipeline::compile`), which is the single
+// compile entry point of the whole system.
+pub(crate) use emit::compile_functional_degraded;
 pub use layout::{BufferLoc, LayerBuffers, TrackerSpec};
 
 use scaledeep_isa::Program;

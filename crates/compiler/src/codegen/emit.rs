@@ -7,52 +7,33 @@ use scaledeep_dnn::{Activation, Layer, LayerId, Network};
 use scaledeep_isa::{ActKind, Addr, Inst, MemRef, PoolMode, Program, Reg, TileRef};
 use std::collections::HashMap;
 
-/// Compiles a network for the functional ISA simulator.
+/// The codegen phase's worker: compiles a network for the functional ISA
+/// simulator. Invoked only through the phase pipeline
+/// (`crate::pipeline::compile`), which is the single compile entry point.
+///
+/// With `batch > 1` each program wraps its per-image body in an `LDRI` /
+/// `SUBRI` / `BNEZ` loop, the first layer and the loss head walk the
+/// input/golden arrays through register-indirect addressing, and all
+/// intermediate buffers are *reused* across images — the data-flow
+/// trackers' generation-wrap semantics provide the cross-image
+/// synchronization (a consumer must drain a buffer before the producer may
+/// write the next image into it, exactly the paper's pipelined hand-off).
+///
+/// With a non-empty `dead_tiles`, no buffer is placed on a member tile
+/// (permanently failed MemHeavy tiles), while the surviving tiles keep
+/// their indices so programs address them exactly as on a healthy chip.
 ///
 /// # Errors
 ///
 /// Returns [`Error::Codegen`] for constructs the functional target cannot
 /// express: convolutions with stride > 1 or non-square error "kernels",
 /// buffers exceeding the tile capacity, or tracker counts beyond the
-/// 16-bit hardware counters.
-pub fn compile_functional(net: &Network, opts: &FuncTargetOptions) -> Result<CompiledNetwork> {
-    compile_functional_minibatch(net, opts, 1)
-}
-
-/// Compiles a network whose programs loop over a `batch`-image minibatch
-/// using the scalar-control ISA: each program wraps its per-image body in
-/// an `LDRI` / `SUBRI` / `BNEZ` loop, the first layer and the loss head
-/// walk the input/golden arrays through register-indirect addressing, and
-/// all intermediate buffers are *reused* across images — the data-flow
-/// trackers' generation-wrap semantics provide the cross-image
-/// synchronization (a consumer must drain a buffer before the producer may
-/// write the next image into it, exactly the paper's pipelined hand-off).
-///
-/// # Errors
-///
-/// In addition to [`compile_functional`]'s restrictions, `batch > 1`
-/// requires a single-consumer graph (no residual fan-out): accumulating
-/// error contributions from multiple consumers would need host-side
-/// zeroing between images, which the looped mode by design does without.
-pub fn compile_functional_minibatch(
-    net: &Network,
-    opts: &FuncTargetOptions,
-    batch: usize,
-) -> Result<CompiledNetwork> {
-    compile_functional_degraded(net, opts, batch, &[])
-}
-
-/// Compiles a network for a functional chip with permanently failed
-/// MemHeavy tiles: no buffer is placed on a `dead_tiles` member, while the
-/// surviving tiles keep their indices so programs address them exactly as
-/// on a healthy chip. With an empty `dead_tiles` this is
-/// [`compile_functional_minibatch`].
-///
-/// # Errors
-///
-/// In addition to [`compile_functional_minibatch`]'s restrictions, fails
-/// with [`Error::Codegen`] when every tile is dead or the survivors run
-/// out of scratchpad capacity for the network's buffers.
+/// 16-bit hardware counters. `batch > 1` additionally requires a
+/// single-consumer graph (no residual fan-out): accumulating error
+/// contributions from multiple consumers would need host-side zeroing
+/// between images, which the looped mode by design does without. A
+/// non-empty `dead_tiles` additionally fails when every tile is dead or
+/// the survivors run out of scratchpad capacity.
 pub fn compile_functional_degraded(
     net: &Network,
     opts: &FuncTargetOptions,
@@ -1181,6 +1162,12 @@ pub fn fc_weights_transpose(weights: &[f32], n_in: usize, n_out: usize) -> Vec<f
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Healthy single-image compile (the pipeline's codegen phase with
+    /// default options).
+    fn compile_functional(net: &Network, opts: &FuncTargetOptions) -> Result<CompiledNetwork> {
+        compile_functional_degraded(net, opts, 1, &[])
+    }
     use scaledeep_dnn::{Conv, Fc, FeatureShape, NetworkBuilder, Pool};
 
     fn tiny_net() -> Network {

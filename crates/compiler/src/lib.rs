@@ -37,10 +37,12 @@
 pub mod codegen;
 mod error;
 mod mapping;
+pub mod pipeline;
 mod report;
 
 pub use error::{Error, Result};
 pub use mapping::{
     ArrayPlan, Compiler, FailedTiles, LayerPlan, Mapping, Placement, Side, StateBudget, TileCoord,
 };
+pub use pipeline::{CompileOptions, CompiledArtifact, Provenance};
 pub use report::{MappingReport, UtilizationWaterfall};

@@ -1,15 +1,15 @@
 //! Workload mapping (paper §4.1, Figure 13 STEP 1–6).
 
-mod arrays;
-mod columns;
-mod state;
+pub(crate) mod arrays;
+pub(crate) mod columns;
+pub(crate) mod state;
 
 pub use arrays::ArrayPlan;
 pub use state::StateBudget;
 
 use crate::error::Result;
 use scaledeep_arch::NodeConfig;
-use scaledeep_dnn::{Layer, LayerId, Network, Step};
+use scaledeep_dnn::{Layer, LayerId, Network};
 
 /// Which chip family a layer executes on (STEP 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,21 +76,27 @@ pub struct TileCoord {
     pub row: usize,
 }
 
-/// The set of permanently failed tiles a degraded remap must route
-/// around, expressed at the mapping's failure granularity: whole
-/// ConvLayer-chip columns (a column shares its memory ports and
-/// CompHeavy neighbours, so one dead tile condemns its column).
+/// The set of permanently failed tiles a degraded compile must route
+/// around, expressed at both failure granularities the pipeline knows:
 ///
-/// Columns are *physical* global indices across the rim-chip sequence —
-/// the same numbering [`Placement::Conv`] uses on a healthy node.
+/// * whole ConvLayer-chip columns for the workload mapping (a column
+///   shares its memory ports and CompHeavy neighbours, so one dead tile
+///   condemns its column) — *physical* global indices across the
+///   rim-chip sequence, the same numbering [`Placement::Conv`] uses on a
+///   healthy node; and
+/// * MemHeavy tile indices of the reduced functional chip for the
+///   code-generation phase (no buffer is placed on a dead tile).
+///
+/// Both sets flow through [`crate::pipeline::compile`] as one input, so a
+/// degraded recompile is the same pipeline run with a non-empty set.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FailedTiles {
     cols: std::collections::BTreeSet<usize>,
+    func_tiles: std::collections::BTreeSet<u16>,
 }
 
 impl FailedTiles {
-    /// No failures: [`Compiler::map_degraded`] degenerates to
-    /// [`Compiler::map`].
+    /// No failures: the degraded pipeline degenerates to the healthy one.
     pub fn none() -> Self {
         Self::default()
     }
@@ -99,6 +105,7 @@ impl FailedTiles {
     pub fn from_columns<I: IntoIterator<Item = usize>>(cols: I) -> Self {
         Self {
             cols: cols.into_iter().collect(),
+            func_tiles: std::collections::BTreeSet::new(),
         }
     }
 
@@ -107,9 +114,19 @@ impl FailedTiles {
         Self::from_columns(coords.iter().map(|t| t.chip * cols_per_chip.max(1) + t.col))
     }
 
-    /// Whether no tiles are condemned.
+    /// Condemns MemHeavy tiles of the reduced *functional* chip: the
+    /// code-generation phase places no buffer on them. The workload
+    /// mapping is unaffected (its failure unit is the column).
+    pub fn from_func_tiles<I: IntoIterator<Item = u16>>(tiles: I) -> Self {
+        Self {
+            cols: std::collections::BTreeSet::new(),
+            func_tiles: tiles.into_iter().collect(),
+        }
+    }
+
+    /// Whether no tiles are condemned at either granularity.
     pub fn is_empty(&self) -> bool {
-        self.cols.is_empty()
+        self.cols.is_empty() && self.func_tiles.is_empty()
     }
 
     /// Number of condemned columns.
@@ -125,6 +142,11 @@ impl FailedTiles {
     /// The condemned physical global columns, ascending.
     pub fn columns(&self) -> impl Iterator<Item = usize> + '_ {
         self.cols.iter().copied()
+    }
+
+    /// The condemned functional-chip MemHeavy tiles, ascending.
+    pub fn func_tiles(&self) -> impl Iterator<Item = u16> + '_ {
+        self.func_tiles.iter().copied()
     }
 }
 
@@ -216,19 +238,23 @@ impl LayerPlan {
 }
 
 /// The result of the workload-mapping phase.
+///
+/// Constructed only by the pipeline's assign-compute phase
+/// ([`crate::pipeline`]); every consumer receives it through
+/// [`crate::pipeline::compile`] or the [`Compiler`] facade.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mapping {
-    net_name: String,
-    plans: Vec<LayerPlan>,
-    conv_cols_used: usize,
-    fc_cols_used: usize,
-    chips_spanned: usize,
-    clusters_spanned: usize,
-    conv_cols_per_chip: usize,
-    wheel_batch: usize,
-    elem_bytes: u64,
-    col_map: Vec<usize>,
-    failed_cols: Vec<usize>,
+    pub(crate) net_name: String,
+    pub(crate) plans: Vec<LayerPlan>,
+    pub(crate) conv_cols_used: usize,
+    pub(crate) fc_cols_used: usize,
+    pub(crate) chips_spanned: usize,
+    pub(crate) clusters_spanned: usize,
+    pub(crate) conv_cols_per_chip: usize,
+    pub(crate) wheel_batch: usize,
+    pub(crate) elem_bytes: u64,
+    pub(crate) col_map: Vec<usize>,
+    pub(crate) failed_cols: Vec<usize>,
 }
 
 impl Mapping {
@@ -467,6 +493,12 @@ impl Compiler {
     /// ([`Mapping::physical_col`]). With [`FailedTiles::none`] this is
     /// exactly [`Compiler::map`].
     ///
+    /// This is a facade over the mapping prefix of the phase pipeline
+    /// (analyze → allocate-columns → partition-state → assign-compute);
+    /// [`crate::pipeline::compile`] runs the same phases plus code
+    /// generation and bundles everything into a
+    /// [`crate::pipeline::CompiledArtifact`].
+    ///
     /// # Errors
     ///
     /// In addition to [`Compiler::map`]'s errors, returns
@@ -474,123 +506,12 @@ impl Compiler {
     /// the memory floor and [`crate::Error::NoRoute`] when an entire rim
     /// chip inside the required span is dead.
     pub fn map_degraded(&self, net: &Network, failed: &FailedTiles) -> Result<Mapping> {
-        self.node.validate()?;
-        let elem_bytes = self.node.precision.elem_bytes();
-        let analysis = net.analyze_with_elem_bytes(elem_bytes);
-
-        // STEP 1: separate layer types; STEP 2: per-layer FLOPs.
-        let sides: Vec<Side> = net.layers().map(|n| classify(n.layer())).collect();
-
-        // STEP 3a: memory floor per conv-side layer.
-        let conv_chip = &self.node.cluster.conv_chip;
-        let fc_chip = &self.node.cluster.fc_chip;
-        let budgets: Vec<StateBudget> = net
-            .layers()
-            .map(|n| state::state_budget(net, &analysis, n.id(), conv_chip, elem_bytes))
-            .collect();
-
-        let conv_ids: Vec<LayerId> = net
-            .layers()
-            .filter(|n| sides[n.id().index()] == Side::Conv)
-            .map(|n| n.id())
-            .collect();
-        let fc_ids: Vec<LayerId> = net
-            .layers()
-            .filter(|n| sides[n.id().index()] == Side::Fc)
-            .map(|n| n.id())
-            .collect();
-
-        // STEP 3: allocate columns (memory floor + load balancing).
-        let conv_chips_per_cluster = self.node.cluster.conv_chips;
-        let alloc = columns::allocate(
-            &conv_ids,
-            &fc_ids,
-            &budgets,
-            &analysis,
-            conv_chip,
-            fc_chip,
-            conv_chips_per_cluster,
-            self.node.clusters,
-            failed,
-        )?;
-
-        // STEP 4–6: partition state, configure arrays, place weights.
-        let mut plans = Vec::with_capacity(net.len());
-        for node_ref in net.layers() {
-            let id = node_ref.id();
-            let side = sides[id.index()];
-            let cost = analysis.layer(id);
-            let placement = alloc.placement(id);
-            let (chip, rows) = match side {
-                Side::Fc => (fc_chip, fc_chip.rows),
-                _ => (conv_chip, conv_chip.rows),
-            };
-            let cols = placement.cols();
-            let tiles_total = cols * rows;
-            let out_shape = node_ref.output_shape();
-            let (tiles_used, _features_per_tile) =
-                state::distribute_features(out_shape.features, tiles_total);
-            let array = arrays::configure(net, node_ref, cols.max(1), chip);
-            let comp_flops = [
-                cost.step(Step::Fp).compute_heavy_flops(),
-                cost.step(Step::Bp).compute_heavy_flops(),
-                cost.step(Step::Wg).compute_heavy_flops(),
-            ];
-            let mem_flops = [
-                cost.step(Step::Fp).mem_heavy_flops(),
-                cost.step(Step::Bp).mem_heavy_flops(),
-                cost.step(Step::Wg).mem_heavy_flops(),
-            ];
-            let conv_kernel = match node_ref.layer() {
-                Layer::Conv(c) => Some(c.kernel),
-                _ => None,
-            };
-            let budget = &budgets[id.index()];
-            // STEP 6: weights fit in the leftover column capacity?
-            let capacity = cols as u64 * chip.col_mem_capacity() as u64;
-            let weight_and_grad = 2 * budget.weight_bytes;
-            let weights_on_chip =
-                budget.weight_bytes > 0 && budget.state_bytes + weight_and_grad <= capacity;
-            plans.push(LayerPlan {
-                id,
-                name: node_ref.name().to_string(),
-                placement,
-                comp_flops,
-                mem_flops,
-                state_bytes: budget.state_bytes,
-                weight_bytes: budget.weight_bytes,
-                weights_on_chip,
-                tiles_total,
-                tiles_used,
-                out_features: out_shape.features,
-                feature_elems: out_shape.feature_elems(),
-                in_bytes: net.fan_in_elems(id) as u64 * elem_bytes,
-                out_bytes: out_shape.elems() as u64 * elem_bytes,
-                array,
-                conv_kernel,
-            });
-        }
-
-        let mapping = Mapping {
-            net_name: net.name().to_string(),
-            plans,
-            conv_cols_used: alloc.conv_cols_used,
-            fc_cols_used: alloc.fc_cols_used,
-            chips_spanned: alloc.chips_spanned,
-            clusters_spanned: alloc.clusters_spanned,
-            conv_cols_per_chip: conv_chip.cols,
-            wheel_batch: conv_chips_per_cluster,
-            elem_bytes,
-            col_map: alloc.col_map,
-            failed_cols: alloc.failed_cols,
-        };
-        mapping.validate()?;
-        Ok(mapping)
+        crate::pipeline::map_phases(&self.node, net, failed)
     }
 }
 
 /// STEP 1: designate each layer to a chip family.
-fn classify(layer: &Layer) -> Side {
+pub(crate) fn classify(layer: &Layer) -> Side {
     match layer {
         Layer::Conv(_)
         | Layer::Pool(_)

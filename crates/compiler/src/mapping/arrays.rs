@@ -72,7 +72,7 @@ fn residue(work: usize, capacity: usize) -> f64 {
 
 /// Chooses the best array configuration for a layer mapped onto `cols`
 /// chip columns of `chip`.
-pub(super) fn configure(
+pub(crate) fn configure(
     net: &Network,
     node: &LayerNode,
     cols: usize,

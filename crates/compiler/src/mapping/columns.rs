@@ -8,7 +8,7 @@ use scaledeep_dnn::{Analysis, LayerId};
 
 /// The outcome of column allocation.
 #[derive(Debug, Clone)]
-pub(super) struct Allocation {
+pub(crate) struct Allocation {
     /// Placement per layer, indexed by `LayerId`.
     placements: Vec<Placement>,
     pub conv_cols_used: usize,
@@ -24,7 +24,7 @@ pub(super) struct Allocation {
 }
 
 impl Allocation {
-    pub(super) fn placement(&self, id: LayerId) -> Placement {
+    pub(crate) fn placement(&self, id: LayerId) -> Placement {
         self.placements[id.index()]
     }
 }
@@ -83,7 +83,7 @@ fn round_span(raw_chips: usize, wheel: usize, clusters: usize) -> (usize, usize)
 }
 
 #[allow(clippy::too_many_arguments)]
-pub(super) fn allocate(
+pub(crate) fn allocate(
     conv_ids: &[LayerId],
     fc_ids: &[LayerId],
     budgets: &[StateBudget],

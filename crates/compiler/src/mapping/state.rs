@@ -21,7 +21,7 @@ pub struct StateBudget {
 }
 
 /// Computes the STEP 3a budget for one layer.
-pub(super) fn state_budget(
+pub(crate) fn state_budget(
     net: &Network,
     analysis: &Analysis,
     id: LayerId,
@@ -76,7 +76,7 @@ pub(super) fn state_budget(
 /// * When features are fewer than tiles (large initial-CONV features),
 ///   each feature is split into `floor(tiles / features)` parts so every
 ///   part-holding tile participates.
-pub(super) fn distribute_features(features: usize, tiles: usize) -> (usize, usize) {
+pub(crate) fn distribute_features(features: usize, tiles: usize) -> (usize, usize) {
     if tiles == 0 || features == 0 {
         return (0, 0);
     }

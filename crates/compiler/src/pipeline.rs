@@ -1,0 +1,627 @@
+//! The phase-structured compilation pipeline (paper §4, Figure 13 + §4.2).
+//!
+//! Compilation is one explicit pipeline of five phases, each consuming and
+//! producing a typed intermediate artifact:
+//!
+//! 1. **analyze** — validate the node, run the network's FLOP/byte
+//!    analysis at the target precision, classify each layer to a chip
+//!    family (STEP 1–2) and compute the per-layer memory floor (STEP 3a),
+//!    yielding an [`AnalyzedNetwork`];
+//! 2. **allocate-columns** — memory floor + load balancing over the
+//!    surviving chip columns (STEP 3), yielding a [`ColumnPlan`];
+//! 3. **partition-state** — distribute each layer's features over its
+//!    columns' MemHeavy tiles (STEP 4) and decide weight residency
+//!    (STEP 6), yielding a [`StatePartition`];
+//! 4. **assign-compute** — configure the CompHeavy 2D arrays (STEP 5) and
+//!    assemble + validate the [`Mapping`];
+//! 5. **codegen** — instantiate the per-layer ISA program templates for
+//!    the functional target (§4.2).
+//!
+//! The pipeline terminates in one [`CompiledArtifact`] bundling the
+//! mapping (the performance simulator's input), the functional
+//! [`CompiledNetwork`] (the functional simulator's input, or the typed
+//! reason it cannot be expressed on the reduced functional chip), and
+//! [`Provenance`] — everything that went *into* the compile, which is what
+//! session-level caches key on. Degraded recompiles are not a parallel
+//! path: a [`FailedTiles`] set is a phase input like any other.
+//!
+//! Each phase can be traced: [`compile_traced`] emits one
+//! [`Payload::Phase`] span per phase on a `"compile"` track, stamped with
+//! the phase *ordinal* (compilation happens on the host, outside simulated
+//! time, and wall-clock stamps would break byte-identical trace exports).
+
+use crate::codegen::{self, CompiledNetwork, FuncTargetOptions};
+use crate::error::{Error, Result};
+use crate::mapping::{
+    arrays, classify, columns, state, FailedTiles, LayerPlan, Mapping, Placement, Side, StateBudget,
+};
+use scaledeep_arch::{ChipConfig, NodeConfig, Precision};
+use scaledeep_dnn::{Analysis, Layer, LayerId, Network, Step};
+use scaledeep_trace::{Payload, TraceSink, Tracer};
+
+/// The pipeline's phase names, in execution order (the `phase` field of
+/// the [`Payload::Phase`] spans [`compile_traced`] emits).
+pub const PHASES: [&str; 5] = [
+    "analyze",
+    "allocate-columns",
+    "partition-state",
+    "assign-compute",
+    "codegen",
+];
+
+/// Everything that parameterizes a compile besides the network and the
+/// node: the functional-target geometry, the minibatch the programs loop
+/// over, and the failed tiles a degraded compile routes around.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileOptions {
+    /// Functional-target geometry (MemHeavy tile count and capacity).
+    pub func: FuncTargetOptions,
+    /// Minibatch size the functional programs loop over (1 = straight-line
+    /// per-image programs).
+    pub minibatch: usize,
+    /// Failed tiles to route around, at both granularities (mapping
+    /// columns and functional-chip tiles). [`FailedTiles::none`] compiles
+    /// the healthy layout.
+    pub failed: FailedTiles,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self {
+            func: FuncTargetOptions::default(),
+            minibatch: 1,
+            failed: FailedTiles::none(),
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Default options with the given failed-tile set.
+    pub fn degraded(failed: FailedTiles) -> Self {
+        Self {
+            failed,
+            ..Self::default()
+        }
+    }
+}
+
+/// What went into a compile: the identity a cache may key on and the
+/// lineage a stored artifact can be audited against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provenance {
+    /// The compiled network's name.
+    pub network: String,
+    /// FNV-1a fingerprint of the network's full structure.
+    pub net_fingerprint: u64,
+    /// FNV-1a fingerprint of the node configuration.
+    pub node_fingerprint: u64,
+    /// The node's datapath precision.
+    pub precision: Precision,
+    /// The failed-tile input the pipeline routed around.
+    pub failed: FailedTiles,
+    /// The functional-target geometry.
+    pub func: FuncTargetOptions,
+    /// The functional minibatch size.
+    pub minibatch: usize,
+}
+
+impl Provenance {
+    /// Computes the provenance of a *prospective* compile — exactly what
+    /// [`compile`] would stamp into its artifact — so callers can key a
+    /// cache without running the pipeline.
+    pub fn new(node: &NodeConfig, net: &Network, opts: &CompileOptions) -> Self {
+        Self {
+            network: net.name().to_string(),
+            net_fingerprint: fingerprint(net),
+            node_fingerprint: fingerprint(node),
+            precision: node.precision,
+            failed: opts.failed.clone(),
+            func: opts.func,
+            minibatch: opts.minibatch,
+        }
+    }
+
+    /// A single fingerprint over every compile input; two compiles with
+    /// equal keys produce identical artifacts (the pipeline is
+    /// deterministic), which is what [`Provenance`]-keyed caches rely on.
+    pub fn cache_key(&self) -> u64 {
+        fingerprint(&(
+            self.net_fingerprint,
+            self.node_fingerprint,
+            &self.failed,
+            &self.func,
+            self.minibatch,
+        ))
+    }
+}
+
+/// FNV-1a over the `Debug` rendering: deterministic within a build, which
+/// is all an in-process cache key needs.
+fn fingerprint<T: std::fmt::Debug>(v: &T) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{v:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The pipeline's terminal artifact: one compile, every view of it.
+#[derive(Debug, Clone)]
+pub struct CompiledArtifact {
+    mapping: Mapping,
+    functional: std::result::Result<CompiledNetwork, Error>,
+    provenance: Provenance,
+}
+
+impl CompiledArtifact {
+    /// The workload mapping (the performance simulator's input).
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// The functionally compiled network (the functional simulator's
+    /// input).
+    ///
+    /// # Errors
+    ///
+    /// The functional target cannot express every mappable network
+    /// (stride > 1 convolutions, buffers beyond the reduced chip's
+    /// scratchpads); the codegen phase's verdict is preserved here, so
+    /// mapping-only consumers are unaffected while functional consumers
+    /// get the original typed error.
+    pub fn functional(&self) -> Result<&CompiledNetwork> {
+        self.functional.as_ref().map_err(Clone::clone)
+    }
+
+    /// Whether the codegen phase produced a functional network.
+    pub fn has_functional(&self) -> bool {
+        self.functional.is_ok()
+    }
+
+    /// What went into this compile.
+    pub fn provenance(&self) -> &Provenance {
+        &self.provenance
+    }
+
+    /// Whether the artifact routes around failed tiles (at either
+    /// granularity).
+    pub fn is_degraded(&self) -> bool {
+        !self.provenance.failed.is_empty()
+    }
+}
+
+/// Phase-1 output: the validated, analyzed, classified network.
+#[derive(Debug)]
+pub struct AnalyzedNetwork<'n> {
+    net: &'n Network,
+    node: NodeConfig,
+    elem_bytes: u64,
+    analysis: Analysis,
+    sides: Vec<Side>,
+    budgets: Vec<StateBudget>,
+    conv_ids: Vec<LayerId>,
+    fc_ids: Vec<LayerId>,
+}
+
+impl AnalyzedNetwork<'_> {
+    /// The chip family each layer was designated to (STEP 1), indexed by
+    /// `LayerId`.
+    pub fn sides(&self) -> &[Side] {
+        &self.sides
+    }
+
+    /// The per-layer state budgets (STEP 3a), indexed by `LayerId`.
+    pub fn budgets(&self) -> &[StateBudget] {
+        &self.budgets
+    }
+
+    fn chip_of(&self, side: Side) -> &ChipConfig {
+        match side {
+            Side::Fc => &self.node.cluster.fc_chip,
+            _ => &self.node.cluster.conv_chip,
+        }
+    }
+}
+
+/// Phase-2 output: the column allocation over the surviving columns.
+#[derive(Debug)]
+pub struct ColumnPlan {
+    alloc: columns::Allocation,
+}
+
+impl ColumnPlan {
+    /// The column placement of one layer.
+    pub fn placement(&self, id: LayerId) -> Placement {
+        self.alloc.placement(id)
+    }
+
+    /// Columns used on the ConvLayer chip sequence.
+    pub fn conv_cols_used(&self) -> usize {
+        self.alloc.conv_cols_used
+    }
+}
+
+/// Phase-3 output: per-layer feature distribution and weight residency.
+#[derive(Debug)]
+pub struct StatePartition {
+    layers: Vec<LayerState>,
+}
+
+/// One layer's share of [`StatePartition`].
+#[derive(Debug, Clone, Copy)]
+struct LayerState {
+    tiles_total: usize,
+    tiles_used: usize,
+    weights_on_chip: bool,
+}
+
+/// Phase 1: validate the node, analyze the network at the target
+/// precision, classify layers (STEP 1–2), compute memory floors (STEP 3a).
+///
+/// # Errors
+///
+/// Propagates node-configuration validation failures.
+pub fn analyze<'n>(node: &NodeConfig, net: &'n Network) -> Result<AnalyzedNetwork<'n>> {
+    node.validate()?;
+    let elem_bytes = node.precision.elem_bytes();
+    let analysis = net.analyze_with_elem_bytes(elem_bytes);
+    let sides: Vec<Side> = net.layers().map(|n| classify(n.layer())).collect();
+    let conv_chip = &node.cluster.conv_chip;
+    let budgets: Vec<StateBudget> = net
+        .layers()
+        .map(|n| state::state_budget(net, &analysis, n.id(), conv_chip, elem_bytes))
+        .collect();
+    let conv_ids: Vec<LayerId> = net
+        .layers()
+        .filter(|n| sides[n.id().index()] == Side::Conv)
+        .map(|n| n.id())
+        .collect();
+    let fc_ids: Vec<LayerId> = net
+        .layers()
+        .filter(|n| sides[n.id().index()] == Side::Fc)
+        .map(|n| n.id())
+        .collect();
+    Ok(AnalyzedNetwork {
+        net,
+        node: *node,
+        elem_bytes,
+        analysis,
+        sides,
+        budgets,
+        conv_ids,
+        fc_ids,
+    })
+}
+
+/// Phase 2: allocate chip columns (STEP 3) — memory floor then greedy load
+/// balancing — excluding the columns `failed` condemns.
+///
+/// # Errors
+///
+/// [`Error::DoesNotFit`] when the memory floor exceeds the node,
+/// [`Error::NoCapacity`] when the failures ate the headroom, and
+/// [`Error::NoRoute`] when an entire rim chip inside the span is dead.
+pub fn allocate_columns(
+    analyzed: &AnalyzedNetwork<'_>,
+    failed: &FailedTiles,
+) -> Result<ColumnPlan> {
+    let node = &analyzed.node;
+    let alloc = columns::allocate(
+        &analyzed.conv_ids,
+        &analyzed.fc_ids,
+        &analyzed.budgets,
+        &analyzed.analysis,
+        &node.cluster.conv_chip,
+        &node.cluster.fc_chip,
+        node.cluster.conv_chips,
+        node.clusters,
+        failed,
+    )?;
+    Ok(ColumnPlan { alloc })
+}
+
+/// Phase 3: distribute each layer's output features over its columns'
+/// MemHeavy tiles (STEP 4) and decide weight residency (STEP 6: weights +
+/// gradients live on chip when they fit the leftover column capacity).
+pub fn partition_state(analyzed: &AnalyzedNetwork<'_>, cols: &ColumnPlan) -> StatePartition {
+    let mut layers = Vec::with_capacity(analyzed.net.len());
+    for node_ref in analyzed.net.layers() {
+        let id = node_ref.id();
+        let side = analyzed.sides[id.index()];
+        let chip = analyzed.chip_of(side);
+        let ncols = cols.placement(id).cols();
+        let tiles_total = ncols * chip.rows;
+        let (tiles_used, _features_per_tile) =
+            state::distribute_features(node_ref.output_shape().features, tiles_total);
+        let budget = &analyzed.budgets[id.index()];
+        let capacity = ncols as u64 * chip.col_mem_capacity() as u64;
+        let weight_and_grad = 2 * budget.weight_bytes;
+        let weights_on_chip =
+            budget.weight_bytes > 0 && budget.state_bytes + weight_and_grad <= capacity;
+        layers.push(LayerState {
+            tiles_total,
+            tiles_used,
+            weights_on_chip,
+        });
+    }
+    StatePartition { layers }
+}
+
+/// Phase 4: configure the CompHeavy 2D arrays per layer (STEP 5) and
+/// assemble the validated [`Mapping`] — the only place in the codebase a
+/// `Mapping` is constructed.
+///
+/// # Errors
+///
+/// Propagates [`Mapping::validate`] failures (unreachable for
+/// pipeline-built inputs; kept as a structural guarantee).
+pub fn assign_compute(
+    analyzed: &AnalyzedNetwork<'_>,
+    cols: &ColumnPlan,
+    partition: &StatePartition,
+) -> Result<Mapping> {
+    let net = analyzed.net;
+    let elem_bytes = analyzed.elem_bytes;
+    let mut plans = Vec::with_capacity(net.len());
+    for node_ref in net.layers() {
+        let id = node_ref.id();
+        let side = analyzed.sides[id.index()];
+        let cost = analyzed.analysis.layer(id);
+        let placement = cols.placement(id);
+        let chip = analyzed.chip_of(side);
+        let out_shape = node_ref.output_shape();
+        let array = arrays::configure(net, node_ref, placement.cols().max(1), chip);
+        let comp_flops = [
+            cost.step(Step::Fp).compute_heavy_flops(),
+            cost.step(Step::Bp).compute_heavy_flops(),
+            cost.step(Step::Wg).compute_heavy_flops(),
+        ];
+        let mem_flops = [
+            cost.step(Step::Fp).mem_heavy_flops(),
+            cost.step(Step::Bp).mem_heavy_flops(),
+            cost.step(Step::Wg).mem_heavy_flops(),
+        ];
+        let conv_kernel = match node_ref.layer() {
+            Layer::Conv(c) => Some(c.kernel),
+            _ => None,
+        };
+        let budget = &analyzed.budgets[id.index()];
+        let st = &partition.layers[id.index()];
+        plans.push(LayerPlan {
+            id,
+            name: node_ref.name().to_string(),
+            placement,
+            comp_flops,
+            mem_flops,
+            state_bytes: budget.state_bytes,
+            weight_bytes: budget.weight_bytes,
+            weights_on_chip: st.weights_on_chip,
+            tiles_total: st.tiles_total,
+            tiles_used: st.tiles_used,
+            out_features: out_shape.features,
+            feature_elems: out_shape.feature_elems(),
+            in_bytes: net.fan_in_elems(id) as u64 * elem_bytes,
+            out_bytes: out_shape.elems() as u64 * elem_bytes,
+            array,
+            conv_kernel,
+        });
+    }
+    let mapping = Mapping {
+        net_name: net.name().to_string(),
+        plans,
+        conv_cols_used: cols.alloc.conv_cols_used,
+        fc_cols_used: cols.alloc.fc_cols_used,
+        chips_spanned: cols.alloc.chips_spanned,
+        clusters_spanned: cols.alloc.clusters_spanned,
+        conv_cols_per_chip: analyzed.node.cluster.conv_chip.cols,
+        wheel_batch: analyzed.node.cluster.conv_chips,
+        elem_bytes,
+        col_map: cols.alloc.col_map.clone(),
+        failed_cols: cols.alloc.failed_cols.clone(),
+    };
+    mapping.validate()?;
+    Ok(mapping)
+}
+
+/// The mapping prefix of the pipeline (phases 1–4), untraced — what the
+/// [`crate::Compiler`] facade runs.
+pub(crate) fn map_phases(
+    node: &NodeConfig,
+    net: &Network,
+    failed: &FailedTiles,
+) -> Result<Mapping> {
+    let analyzed = analyze(node, net)?;
+    let cols = allocate_columns(&analyzed, failed)?;
+    let partition = partition_state(&analyzed, &cols);
+    assign_compute(&analyzed, &cols, &partition)
+}
+
+/// Runs the full pipeline: analyze → allocate-columns → partition-state →
+/// assign-compute → codegen. This is the single compile entry point; every
+/// run path (perf, functional, traced, degraded) consumes its
+/// [`CompiledArtifact`].
+///
+/// # Errors
+///
+/// Propagates mapping-phase failures ([`Error::DoesNotFit`],
+/// [`Error::NoCapacity`], [`Error::NoRoute`], validation errors). A
+/// *codegen* failure is not an error here: the functional target is a
+/// reduced chip that cannot express every mappable network, so its verdict
+/// is preserved inside the artifact (see [`CompiledArtifact::functional`]).
+pub fn compile(
+    node: &NodeConfig,
+    net: &Network,
+    opts: &CompileOptions,
+) -> Result<CompiledArtifact> {
+    compile_traced(node, net, opts, &mut Tracer::disabled())
+}
+
+/// [`compile`] with per-phase observability: one [`Payload::Phase`] span
+/// per phase lands on the tracer's `"compile"` track, stamped with the
+/// phase ordinal (0–4) so same-input compiles export byte-identically.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_traced<S: TraceSink>(
+    node: &NodeConfig,
+    net: &Network,
+    opts: &CompileOptions,
+    tracer: &mut Tracer<S>,
+) -> Result<CompiledArtifact> {
+    let track = if tracer.active() {
+        tracer.track("compile")
+    } else {
+        0
+    };
+    let done = |tracer: &mut Tracer<S>, ordinal: u64| {
+        tracer.span(
+            ordinal,
+            1,
+            track,
+            Payload::Phase {
+                phase: PHASES[ordinal as usize],
+            },
+        );
+    };
+    let analyzed = analyze(node, net)?;
+    done(tracer, 0);
+    let cols = allocate_columns(&analyzed, &opts.failed)?;
+    done(tracer, 1);
+    let partition = partition_state(&analyzed, &cols);
+    done(tracer, 2);
+    let mapping = assign_compute(&analyzed, &cols, &partition)?;
+    done(tracer, 3);
+    let dead_tiles: Vec<u16> = opts.failed.func_tiles().collect();
+    let functional =
+        codegen::compile_functional_degraded(net, &opts.func, opts.minibatch, &dead_tiles);
+    done(tracer, 4);
+    Ok(CompiledArtifact {
+        mapping,
+        functional,
+        provenance: Provenance::new(node, net, opts),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scaledeep_arch::presets;
+    use scaledeep_dnn::zoo;
+    use scaledeep_trace::{Category, VecSink};
+
+    #[test]
+    fn artifact_bundles_both_views_with_provenance() {
+        let node = presets::single_precision();
+        let net = zoo::alexnet();
+        let art = compile(&node, &net, &CompileOptions::default()).unwrap();
+        assert_eq!(art.mapping().network_name(), "alexnet");
+        assert!(art.mapping().conv_cols_used() > 0);
+        // AlexNet's stride-4 c1 is outside the functional target; the
+        // artifact preserves the typed verdict instead of failing.
+        assert!(!art.is_degraded());
+        assert_eq!(art.provenance().network, "alexnet");
+        assert_eq!(art.provenance().precision, Precision::Single);
+    }
+
+    #[test]
+    fn pipeline_mapping_matches_the_compiler_facade() {
+        let node = presets::single_precision();
+        for name in ["alexnet", "overfeat-fast", "vgg-a"] {
+            let net = zoo::by_name(name).unwrap();
+            let art = compile(&node, &net, &CompileOptions::default()).unwrap();
+            let facade = crate::Compiler::new(&node).map(&net).unwrap();
+            assert_eq!(*art.mapping(), facade, "{name}");
+        }
+    }
+
+    #[test]
+    fn same_inputs_same_cache_key_different_inputs_differ() {
+        let node = presets::single_precision();
+        let net = zoo::alexnet();
+        let a = compile(&node, &net, &CompileOptions::default()).unwrap();
+        let b = compile(&node, &net, &CompileOptions::default()).unwrap();
+        assert_eq!(a.provenance().cache_key(), b.provenance().cache_key());
+        let degraded = compile(
+            &node,
+            &net,
+            &CompileOptions::degraded(FailedTiles::from_columns([3])),
+        )
+        .unwrap();
+        assert_ne!(
+            a.provenance().cache_key(),
+            degraded.provenance().cache_key()
+        );
+        let hp = compile(&presets::half_precision(), &net, &CompileOptions::default()).unwrap();
+        assert_ne!(a.provenance().cache_key(), hp.provenance().cache_key());
+        let other = compile(&node, &zoo::vgg_a(), &CompileOptions::default()).unwrap();
+        assert_ne!(a.provenance().cache_key(), other.provenance().cache_key());
+    }
+
+    #[test]
+    fn traced_compile_emits_one_span_per_phase_in_order() {
+        let node = presets::single_precision();
+        let net = zoo::alexnet();
+        let mut tracer = Tracer::new(VecSink::new());
+        compile_traced(&node, &net, &CompileOptions::default(), &mut tracer).unwrap();
+        let (sink, tracks) = tracer.into_parts();
+        let events = sink.events();
+        assert_eq!(events.len(), PHASES.len());
+        for (i, (ev, want)) in events.iter().zip(PHASES).enumerate() {
+            assert_eq!(ev.at, i as u64);
+            assert_eq!(ev.dur, 1);
+            assert_eq!(ev.payload.category(), Category::Compile);
+            assert_eq!(tracks.name(ev.track), "compile");
+            match ev.payload {
+                Payload::Phase { phase } => assert_eq!(phase, want),
+                _ => panic!("unexpected payload {:?}", ev.payload),
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_func_tiles_reach_the_codegen_phase() {
+        use scaledeep_dnn::{Activation, Fc, FeatureShape, NetworkBuilder};
+        let mut b = NetworkBuilder::new("tiny", FeatureShape::vector(8));
+        let f = b
+            .fc(
+                "f",
+                Fc {
+                    out_neurons: 4,
+                    bias: false,
+                    activation: Activation::None,
+                },
+            )
+            .unwrap();
+        let net = b.finish_with_loss(f).unwrap();
+        let node = presets::single_precision();
+        let healthy = compile(&node, &net, &CompileOptions::default()).unwrap();
+        let degraded = compile(
+            &node,
+            &net,
+            &CompileOptions::degraded(FailedTiles::from_func_tiles([0])),
+        )
+        .unwrap();
+        // Mapping is untouched (func tiles are not mapping columns)...
+        assert_eq!(healthy.mapping(), degraded.mapping());
+        assert!(degraded.is_degraded());
+        // ...but no functional buffer lands on the dead tile.
+        let compiled = degraded.functional().unwrap();
+        for lb in &compiled.buffers {
+            let locs = [
+                lb.output,
+                lb.pre,
+                lb.err,
+                lb.dz,
+                lb.weights,
+                lb.weights_t,
+                lb.wgrad,
+                lb.golden,
+            ];
+            for loc in locs.into_iter().flatten() {
+                assert_ne!(loc.tile, 0, "buffer placed on dead tile 0");
+            }
+        }
+    }
+}

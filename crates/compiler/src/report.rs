@@ -66,6 +66,50 @@ impl<'a> MappingReport<'a> {
         self.conv_chip.comp_heavy_tiles_per_col() * self.conv_chip.comp_heavy.total_lanes()
     }
 
+    /// Renders the mapping report as an aligned text table: one row per
+    /// FLOP-carrying conv-side layer, followed by the aggregate Figure 19
+    /// waterfall. The format is pinned by a golden test — tools parse it.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let w = self.waterfall();
+        let m = self.mapping;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "mapping report: {} (conv cols {}, fc cols {}, chips {}, clusters {})",
+            m.network_name(),
+            m.conv_cols_used(),
+            m.fc_cols_used(),
+            m.chips_spanned(),
+            m.clusters_spanned(),
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14} {:>5} {:>8} {:>11} {:>7} {:>7} {:>7}",
+            "layer", "flops/img", "cols", "pes", "ideal_pes", "u.cols", "u.feat", "u.arr"
+        );
+        for r in &w.rows {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>14} {:>5} {:>8} {:>11.1} {:>7.4} {:>7.4} {:>7.4}",
+                r.name,
+                r.flops,
+                r.cols,
+                r.pes,
+                r.ideal_pes,
+                r.util_after_columns,
+                r.util_after_features,
+                r.util_after_array,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "aggregate utilization: columns {:.4} -> features {:.4} -> array {:.4}",
+            w.after_columns, w.after_features, w.after_array,
+        );
+        out
+    }
+
     /// Computes the Figure 19 waterfall for the conv side of the mapping.
     ///
     /// The inter-layer pipeline runs at the rate of its slowest layer, so

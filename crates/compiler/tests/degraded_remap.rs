@@ -1,0 +1,102 @@
+//! Property tests for degraded workload mapping: the logical→physical
+//! column indirection a degraded [`Mapping`] carries must be a bijection
+//! onto the *surviving* columns — strictly ascending, no duplicates, and
+//! never landing on a condemned column.
+
+use proptest::prelude::*;
+use scaledeep_arch::presets;
+use scaledeep_compiler::{Compiler, FailedTiles, Mapping};
+use scaledeep_dnn::zoo;
+
+/// A set of condemned physical columns: between one and six distinct
+/// columns drawn from the front of the node's column space (where the
+/// small zoo networks actually land).
+fn failed_cols() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..48, 1..7).prop_map(|mut cols| {
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    })
+}
+
+fn check_bijection(mapping: &Mapping, condemned: &[usize]) {
+    let col_map = mapping.col_map();
+    // Covers every logical column the placements reference.
+    assert!(
+        col_map.len() >= mapping.conv_cols_used(),
+        "col_map ({}) must cover conv_cols_used ({})",
+        col_map.len(),
+        mapping.conv_cols_used()
+    );
+    // Strictly ascending ⇒ injective; onto the survivors by exclusion.
+    for pair in col_map.windows(2) {
+        assert!(
+            pair[0] < pair[1],
+            "col_map not strictly ascending: {:?}",
+            col_map
+        );
+    }
+    for &phys in col_map {
+        assert!(
+            !mapping.failed_cols().contains(&phys),
+            "col_map routes logical work onto failed physical column {phys}"
+        );
+        assert!(
+            !condemned.contains(&phys),
+            "col_map routes onto condemned column {phys}"
+        );
+    }
+    // The public lookup never resolves to a failed column either.
+    for logical in 0..mapping.conv_cols_used() {
+        let phys = mapping.physical_col(logical);
+        assert!(
+            !mapping.failed_cols().contains(&phys),
+            "physical_col({logical}) = {phys} is a failed column"
+        );
+    }
+    mapping.validate().expect("degraded mapping validates");
+}
+
+proptest! {
+    /// Random condemned-column sets on a conv-heavy network: whenever the
+    /// degraded map succeeds, the remap is a bijection onto survivors.
+    #[test]
+    fn degraded_col_map_is_a_bijection_onto_survivors(cols in failed_cols()) {
+        let net = zoo::by_name("alexnet").unwrap();
+        let compiler = Compiler::new(&presets::single_precision());
+        let failed = FailedTiles::from_columns(cols.iter().copied());
+        // Capacity exhaustion is a legitimate outcome for unlucky sets;
+        // the property only constrains successful mappings.
+        if let Ok(mapping) = compiler.map_degraded(&net, &failed) {
+            prop_assert!(mapping.is_degraded() || mapping.failed_cols().is_empty());
+            check_bijection(&mapping, &cols);
+        }
+    }
+
+    /// Same property on a deeper all-3x3 network with different column
+    /// pressure.
+    #[test]
+    fn degraded_vgg_remap_avoids_failed_columns(cols in failed_cols()) {
+        let net = zoo::by_name("vgg-a").unwrap();
+        let compiler = Compiler::new(&presets::single_precision());
+        let failed = FailedTiles::from_columns(cols.iter().copied());
+        if let Ok(mapping) = compiler.map_degraded(&net, &failed) {
+            check_bijection(&mapping, &cols);
+        }
+    }
+}
+
+/// The empty failure set degenerates to the healthy mapping: identity
+/// remap, nothing condemned.
+#[test]
+fn healthy_mapping_has_identity_remap() {
+    let net = zoo::by_name("alexnet").unwrap();
+    let mapping = Compiler::new(&presets::single_precision())
+        .map(&net)
+        .unwrap();
+    assert!(!mapping.is_degraded());
+    assert!(mapping.failed_cols().is_empty());
+    for logical in 0..mapping.conv_cols_used() {
+        assert_eq!(mapping.physical_col(logical), logical);
+    }
+}

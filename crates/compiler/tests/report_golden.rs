@@ -1,0 +1,33 @@
+//! Golden test pinning the `MappingReport` table format. The report is
+//! part of the repro harness's user-facing output (`repro -- drill`),
+//! so its shape — column order, widths, aggregate line — must not drift
+//! silently. Regenerate the expected text deliberately when the format
+//! (or the AlexNet mapping itself) changes.
+
+use scaledeep_arch::presets;
+use scaledeep_compiler::{Compiler, MappingReport};
+use scaledeep_dnn::zoo;
+
+const EXPECTED: &str = "\
+mapping report: alexnet (conv cols 16, fc cols 8, chips 1, clusters 1)
+layer           flops/img  cols      pes   ideal_pes  u.cols  u.feat   u.arr
+c1              632491200     2     3456      4377.6  1.2667  1.2667  1.2440
+c2             1343692800     5     8640      9299.9  1.0764  1.0405  0.8361
+c3              897122304     6    10368      6209.1  0.5989  0.5822  0.4731
+c4              672841728     6    10368      4656.8  0.4492  0.4367  0.3548
+c5              448561152     2     3456      3104.6  0.8983  0.8983  0.7299
+aggregate utilization: columns 0.7895 -> features 0.7895 -> array 0.7217
+";
+
+#[test]
+fn alexnet_mapping_report_matches_golden() {
+    let net = zoo::by_name("alexnet").unwrap();
+    let node = presets::single_precision();
+    let mapping = Compiler::new(&node).map(&net).unwrap();
+    let rendered = MappingReport::new(&mapping, node.cluster.conv_chip).render();
+    assert_eq!(
+        rendered, EXPECTED,
+        "mapping-report format drifted; update the golden only for a \
+         deliberate format or mapping change"
+    );
+}

@@ -1,0 +1,483 @@
+//! Encode/decode round-trip property: every one of the ISA's 28
+//! instruction forms, with operands driven to their register and
+//! immediate boundary values, must survive
+//! `Program::encode` → `Program::decode` bit-identically.
+
+use proptest::prelude::*;
+use proptest::strategy::boxed;
+use scaledeep_isa::{ActKind, Addr, Inst, MemRef, PoolMode, Program, Reg, TileRef, NUM_REGS};
+
+// ---------- operand strategies (boundaries over-weighted) ----------
+
+fn reg() -> impl Strategy<Value = Reg> {
+    prop_oneof![Just(0u8), Just((NUM_REGS - 1) as u8), 0u8..NUM_REGS as u8,].prop_map(Reg::new)
+}
+
+fn imm_i64() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        Just(i64::MIN),
+        Just(i64::MAX),
+        Just(0i64),
+        Just(-1i64),
+        any::<i64>(),
+    ]
+}
+
+fn offset_i32() -> impl Strategy<Value = i32> {
+    prop_oneof![
+        Just(i32::MIN),
+        Just(i32::MAX),
+        Just(0i32),
+        Just(-1i32),
+        any::<i32>(),
+    ]
+}
+
+fn len_u32() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(0u32), Just(u32::MAX), any::<u32>()]
+}
+
+fn dim_u16() -> impl Strategy<Value = u16> {
+    prop_oneof![Just(0u16), Just(u16::MAX), any::<u16>()]
+}
+
+fn small_u8() -> impl Strategy<Value = u8> {
+    prop_oneof![Just(0u8), Just(u8::MAX), any::<u8>()]
+}
+
+fn tile() -> impl Strategy<Value = TileRef> {
+    // u16::MAX is the distinguished external-memory reference — a
+    // boundary the codec must preserve exactly.
+    prop_oneof![Just(0u16), Just(u16::MAX), any::<u16>()].prop_map(TileRef)
+}
+
+fn addr() -> impl Strategy<Value = Addr> {
+    prop_oneof![
+        boxed((prop_oneof![Just(0u32), Just(u32::MAX), any::<u32>()]).prop_map(Addr::Imm)),
+        boxed(reg().prop_map(Addr::Reg)),
+    ]
+}
+
+fn mem() -> impl Strategy<Value = MemRef> {
+    (tile(), addr()).prop_map(|(tile, addr)| MemRef { tile, addr })
+}
+
+fn act_kind() -> impl Strategy<Value = ActKind> {
+    prop_oneof![
+        Just(ActKind::Relu),
+        Just(ActKind::Tanh),
+        Just(ActKind::Sigmoid)
+    ]
+}
+
+fn pool_mode() -> impl Strategy<Value = PoolMode> {
+    prop_oneof![Just(PoolMode::Max), Just(PoolMode::Avg)]
+}
+
+// ---------- one strategy per instruction form (all 28) ----------
+
+fn inst() -> impl Strategy<Value = Inst> {
+    let arms: Vec<Box<dyn Strategy<Value = Inst>>> = vec![
+        // Group 1: scalar control (14).
+        boxed((reg(), imm_i64()).prop_map(|(rd, value)| Inst::Ldri { rd, value })),
+        boxed((reg(), reg()).prop_map(|(rd, rs)| Inst::Mov { rd, rs })),
+        boxed((reg(), reg(), reg()).prop_map(|(rd, rs1, rs2)| Inst::Addr { rd, rs1, rs2 })),
+        boxed((reg(), reg(), imm_i64()).prop_map(|(rd, rs, imm)| Inst::Addri { rd, rs, imm })),
+        boxed((reg(), reg(), reg()).prop_map(|(rd, rs1, rs2)| Inst::Subr { rd, rs1, rs2 })),
+        boxed((reg(), reg(), imm_i64()).prop_map(|(rd, rs, imm)| Inst::Subri { rd, rs, imm })),
+        boxed((reg(), reg(), reg()).prop_map(|(rd, rs1, rs2)| Inst::Mulr { rd, rs1, rs2 })),
+        boxed((reg(), reg()).prop_map(|(rd, rs)| Inst::Inv { rd, rs })),
+        boxed((reg(), offset_i32()).prop_map(|(rs, offset)| Inst::Bnez { rs, offset })),
+        boxed((reg(), offset_i32()).prop_map(|(rs, offset)| Inst::Beqz { rs, offset })),
+        boxed((reg(), offset_i32()).prop_map(|(rs, offset)| Inst::Bgtz { rs, offset })),
+        boxed(offset_i32().prop_map(|offset| Inst::Branch { offset })),
+        boxed(Just(Inst::Halt)),
+        boxed(Just(Inst::Nop)),
+        // Group 2: coarse-grained data (2).
+        boxed(
+            (
+                mem(),
+                dim_u16(),
+                dim_u16(),
+                mem(),
+                small_u8(),
+                small_u8(),
+                small_u8(),
+                small_u8(),
+                mem(),
+                dim_u16(),
+                dim_u16(),
+                (any::<bool>(), any::<bool>()),
+            )
+                .prop_map(
+                    |(
+                        input,
+                        in_h,
+                        in_w,
+                        kernel,
+                        k,
+                        stride,
+                        pad,
+                        lanes,
+                        output,
+                        out_h,
+                        out_w,
+                        (accumulate, flip),
+                    )| {
+                        Inst::NdConv {
+                            input,
+                            in_h,
+                            in_w,
+                            kernel,
+                            k,
+                            stride,
+                            pad,
+                            lanes,
+                            output,
+                            out_h,
+                            out_w,
+                            accumulate,
+                            flip,
+                        }
+                    },
+                ),
+        ),
+        boxed(
+            (mem(), len_u32(), mem(), len_u32(), mem(), any::<bool>()).prop_map(
+                |(input, n_in, matrix, rows, output, accumulate)| Inst::MatMul {
+                    input,
+                    n_in,
+                    matrix,
+                    rows,
+                    output,
+                    accumulate,
+                },
+            ),
+        ),
+        // Group 3: MemHeavy offload (6).
+        boxed(
+            (act_kind(), mem(), len_u32(), mem()).prop_map(|(kind, src, len, dst)| Inst::NdActFn {
+                kind,
+                src,
+                len,
+                dst,
+            }),
+        ),
+        boxed((act_kind(), mem(), mem(), len_u32(), mem()).prop_map(
+            |(kind, pre, err, len, dst)| Inst::NdActBwd {
+                kind,
+                pre,
+                err,
+                len,
+                dst,
+            },
+        )),
+        boxed(
+            (
+                pool_mode(),
+                mem(),
+                dim_u16(),
+                dim_u16(),
+                small_u8(),
+                small_u8(),
+                small_u8(),
+                any::<bool>(),
+                mem(),
+            )
+                .prop_map(|(mode, src, in_h, in_w, window, stride, pad, ceil, dst)| {
+                    Inst::NdSubsamp {
+                        mode,
+                        src,
+                        in_h,
+                        in_w,
+                        window,
+                        stride,
+                        pad,
+                        ceil,
+                        dst,
+                    }
+                }),
+        ),
+        boxed(
+            (
+                pool_mode(),
+                mem(),
+                mem(),
+                dim_u16(),
+                dim_u16(),
+                small_u8(),
+                small_u8(),
+                small_u8(),
+                any::<bool>(),
+                mem(),
+            )
+                .prop_map(
+                    |(mode, err, fwd, in_h, in_w, window, stride, pad, ceil, dst)| Inst::NdUpsamp {
+                        mode,
+                        err,
+                        fwd,
+                        in_h,
+                        in_w,
+                        window,
+                        stride,
+                        pad,
+                        ceil,
+                        dst,
+                    },
+                ),
+        ),
+        boxed((mem(), mem(), len_u32()).prop_map(|(dst, src, len)| Inst::NdAcc { dst, src, len })),
+        boxed((mem(), len_u32(), mem(), mem(), any::<bool>()).prop_map(
+            |(src, len, scalar, dst, elementwise)| Inst::VecScaleAcc {
+                src,
+                len,
+                scalar,
+                dst,
+                elementwise,
+            },
+        )),
+        // Group 4: MemHeavy data transfer (4).
+        boxed(
+            (mem(), mem(), len_u32(), any::<bool>()).prop_map(|(src, dst, len, accumulate)| {
+                Inst::DmaLoad {
+                    src,
+                    dst,
+                    len,
+                    accumulate,
+                }
+            }),
+        ),
+        boxed(
+            (mem(), mem(), len_u32(), any::<bool>()).prop_map(|(src, dst, len, accumulate)| {
+                Inst::DmaStore {
+                    src,
+                    dst,
+                    len,
+                    accumulate,
+                }
+            }),
+        ),
+        boxed(
+            (mem(), mem(), len_u32()).prop_map(|(src, dst, len)| Inst::Prefetch { src, dst, len }),
+        ),
+        boxed(
+            (mem(), mem(), len_u32()).prop_map(|(src, dst, len)| Inst::PassBuff { src, dst, len }),
+        ),
+        // Group 5: data-flow track (2).
+        boxed(
+            (tile(), len_u32(), len_u32(), dim_u16(), dim_u16()).prop_map(
+                |(tile, addr, len, num_updates, num_reads)| Inst::MemTrack {
+                    tile,
+                    addr,
+                    len,
+                    num_updates,
+                    num_reads,
+                },
+            ),
+        ),
+        boxed(
+            (tile(), len_u32(), len_u32(), dim_u16(), dim_u16()).prop_map(
+                |(tile, addr, len, num_updates, num_reads)| Inst::DmaMemTrack {
+                    tile,
+                    addr,
+                    len,
+                    num_updates,
+                    num_reads,
+                },
+            ),
+        ),
+    ];
+    assert_eq!(arms.len(), Inst::COUNT, "one strategy arm per instruction");
+    proptest::strategy::OneOf::new(arms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary instruction streams survive the codec bit-identically.
+    #[test]
+    fn program_round_trips_bit_identically(insts in prop::collection::vec(inst(), 1..64)) {
+        let program = Program::new("rt", insts);
+        let bytes = program.encode();
+        let decoded = Program::decode("rt", &bytes).expect("decodes");
+        prop_assert_eq!(&program, &decoded);
+        // And the re-encoding is byte-identical (canonical encoding).
+        prop_assert_eq!(bytes, decoded.encode());
+    }
+}
+
+/// A deterministic sweep pinning one boundary-valued exemplar of each of
+/// the 28 forms — so a codec regression on a rare form fails even if the
+/// random sweep misses it.
+#[test]
+fn every_form_round_trips_at_the_boundaries() {
+    let r0 = Reg::new(0);
+    let r63 = Reg::new((NUM_REGS - 1) as u8);
+    let ext = MemRef {
+        tile: TileRef(u16::MAX),
+        addr: Addr::Imm(u32::MAX),
+    };
+    let ind = MemRef {
+        tile: TileRef(0),
+        addr: Addr::Reg(r63),
+    };
+    let forms = vec![
+        Inst::Ldri {
+            rd: r63,
+            value: i64::MIN,
+        },
+        Inst::Mov { rd: r0, rs: r63 },
+        Inst::Addr {
+            rd: r0,
+            rs1: r63,
+            rs2: r0,
+        },
+        Inst::Addri {
+            rd: r63,
+            rs: r0,
+            imm: i64::MAX,
+        },
+        Inst::Subr {
+            rd: r0,
+            rs1: r0,
+            rs2: r63,
+        },
+        Inst::Subri {
+            rd: r63,
+            rs: r63,
+            imm: i64::MIN,
+        },
+        Inst::Mulr {
+            rd: r63,
+            rs1: r0,
+            rs2: r63,
+        },
+        Inst::Inv { rd: r0, rs: r0 },
+        Inst::Bnez {
+            rs: r63,
+            offset: i32::MIN,
+        },
+        Inst::Beqz {
+            rs: r0,
+            offset: i32::MAX,
+        },
+        Inst::Bgtz {
+            rs: r63,
+            offset: -1,
+        },
+        Inst::Branch { offset: 0 },
+        Inst::Halt,
+        Inst::Nop,
+        Inst::NdConv {
+            input: ext,
+            in_h: u16::MAX,
+            in_w: 0,
+            kernel: ind,
+            k: u8::MAX,
+            stride: 0,
+            pad: u8::MAX,
+            lanes: 0,
+            output: ext,
+            out_h: 0,
+            out_w: u16::MAX,
+            accumulate: true,
+            flip: true,
+        },
+        Inst::MatMul {
+            input: ind,
+            n_in: u32::MAX,
+            matrix: ext,
+            rows: 0,
+            output: ind,
+            accumulate: false,
+        },
+        Inst::NdActFn {
+            kind: ActKind::Sigmoid,
+            src: ext,
+            len: u32::MAX,
+            dst: ind,
+        },
+        Inst::NdActBwd {
+            kind: ActKind::Tanh,
+            pre: ind,
+            err: ext,
+            len: 0,
+            dst: ext,
+        },
+        Inst::NdSubsamp {
+            mode: PoolMode::Max,
+            src: ext,
+            in_h: u16::MAX,
+            in_w: u16::MAX,
+            window: u8::MAX,
+            stride: u8::MAX,
+            pad: u8::MAX,
+            ceil: true,
+            dst: ind,
+        },
+        Inst::NdUpsamp {
+            mode: PoolMode::Avg,
+            err: ind,
+            fwd: ext,
+            in_h: 0,
+            in_w: 0,
+            window: 0,
+            stride: 0,
+            pad: 0,
+            ceil: false,
+            dst: ext,
+        },
+        Inst::NdAcc {
+            dst: ext,
+            src: ind,
+            len: u32::MAX,
+        },
+        Inst::VecScaleAcc {
+            src: ind,
+            len: 0,
+            scalar: ext,
+            dst: ind,
+            elementwise: true,
+        },
+        Inst::DmaLoad {
+            src: ext,
+            dst: ind,
+            len: u32::MAX,
+            accumulate: true,
+        },
+        Inst::DmaStore {
+            src: ind,
+            dst: ext,
+            len: 0,
+            accumulate: false,
+        },
+        Inst::Prefetch {
+            src: ext,
+            dst: ext,
+            len: u32::MAX,
+        },
+        Inst::PassBuff {
+            src: ind,
+            dst: ind,
+            len: 0,
+        },
+        Inst::MemTrack {
+            tile: TileRef(u16::MAX),
+            addr: u32::MAX,
+            len: u32::MAX,
+            num_updates: u16::MAX,
+            num_reads: 0,
+        },
+        Inst::DmaMemTrack {
+            tile: TileRef(0),
+            addr: 0,
+            len: 0,
+            num_updates: 0,
+            num_reads: u16::MAX,
+        },
+    ];
+    assert_eq!(forms.len(), Inst::COUNT);
+    let program = Program::new("boundary", forms);
+    let decoded = Program::decode("boundary", &program.encode()).expect("decodes");
+    assert_eq!(program, decoded);
+}

@@ -71,23 +71,23 @@ pub fn faults() -> (Vec<FaultRow>, Table) {
     // rim chip and remap around them.
     for k in [0usize, 1, 2, 4, 8] {
         let failed = FailedTiles::from_columns(0..k);
-        let mapping = session
+        let artifact = session
             .compile_degraded(&net, &failed)
             .expect("degraded remap fits");
-        let r = session.run_mapped(&mapping, RunKind::Training);
+        let r = session.run_mapped(&artifact, RunKind::Training);
         push(k, 0.0, r.images_per_sec, 0);
     }
 
     // Transient link faults on the healthy mapping: retry + exponential
     // back-off latency on every pipeline hand-off and minibatch sync.
-    let mapping = session.compile(&net).expect("benchmark maps");
+    let artifact = session.compile(&net).expect("benchmark maps");
     for prob in [1e-4, 1e-2, 1e-1] {
         let plan = FaultPlan::seeded(FAULT_SWEEP_SEED).with_link_faults(LinkFaults {
             prob,
             base_backoff: 2_000,
             max_retries: 4,
         });
-        let r = session.run_mapped_faulted(&mapping, RunKind::Training, &plan);
+        let r = session.run_mapped_faulted(&artifact, RunKind::Training, &plan);
         push(0, prob, r.images_per_sec, r.faults.link_retries);
     }
 

@@ -26,8 +26,8 @@ pub fn fig19() -> (Fig19, Vec<Table>) {
 
     // --- AlexNet layer-wise table ---
     let net = zoo::alexnet();
-    let mapping = session.compile(&net).expect("alexnet maps");
-    let report = MappingReport::new(&mapping, node.cluster.conv_chip);
+    let artifact = session.compile(&net).expect("alexnet maps");
+    let report = MappingReport::new(artifact.mapping(), node.cluster.conv_chip);
     let waterfall = report.waterfall();
     let mut alexnet_rows = Vec::new();
     let mut t1 = Table::new("Figure 19: AlexNet layer-wise utilization").headers([
@@ -65,7 +65,7 @@ pub fn fig19() -> (Fig19, Vec<Table>) {
     for name in zoo::BENCHMARK_NAMES {
         let bench = zoo::by_name(name).expect("known benchmark");
         let m = session.compile(&bench).expect("benchmark maps");
-        let w = MappingReport::new(&m, node.cluster.conv_chip).waterfall();
+        let w = MappingReport::new(m.mapping(), node.cluster.conv_chip).waterfall();
         after_cols.push(w.after_columns);
         after_feat.push(w.after_features);
         after_array.push(w.after_array);
@@ -110,7 +110,7 @@ pub fn fig19() -> (Fig19, Vec<Table>) {
         "mem util",
         "tiles used/total",
     ]);
-    for plan in mapping.conv_plans() {
+    for plan in artifact.mapping().conv_plans() {
         if plan.placement.cols() == 0 {
             continue;
         }

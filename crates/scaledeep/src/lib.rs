@@ -37,5 +37,8 @@ pub mod experiments;
 pub mod report;
 mod session;
 
+pub use scaledeep_compiler::{CompileOptions, CompiledArtifact, FailedTiles, Provenance};
 pub use scaledeep_sim::{Error, Result};
-pub use session::{CycleCrossCheck, ResilientRun, Session, Trace, TraceConfig, TracedRun};
+pub use session::{
+    CacheStats, CycleCrossCheck, ResilientRun, Session, Trace, TraceConfig, TracedRun,
+};

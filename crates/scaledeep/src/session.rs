@@ -1,11 +1,15 @@
 //! The end-to-end session API.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
 use crate::{Error, Result};
 use scaledeep_arch::{presets, NodeConfig};
-use scaledeep_compiler::codegen::{
-    compile_functional, compile_functional_degraded, CompiledNetwork, FuncTargetOptions,
-};
-use scaledeep_compiler::{Compiler, FailedTiles, Mapping};
+use scaledeep_compiler::codegen::CompiledNetwork;
+use scaledeep_compiler::pipeline::{self, Provenance};
+use scaledeep_compiler::{CompileOptions, CompiledArtifact, FailedTiles};
 use scaledeep_dnn::{Layer, Network};
 use scaledeep_sim::fault::FaultPlan;
 use scaledeep_sim::func::{FuncSim, RunStats};
@@ -204,12 +208,42 @@ pub struct ResilientRun {
     pub dead_tiles: Vec<u16>,
 }
 
-/// A ScaleDeep session: one node configuration plus the compiler and
-/// performance simulator bound to it.
+/// A snapshot of a session's compile-cache statistics
+/// ([`Session::cache_stats`]). Clones of a session share one cache, so
+/// the counts aggregate across all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Compiles served from the cache without running the pipeline.
+    pub hits: u64,
+    /// Compiles that ran the pipeline (including ones that erred).
+    pub misses: u64,
+    /// Total wall-clock nanoseconds spent inside the pipeline, summed
+    /// over the misses. Host time, never simulated cycles — report it,
+    /// don't trace it.
+    pub compile_nanos: u64,
+}
+
+/// The shared, lock-free counters behind [`CacheStats`].
+#[derive(Debug, Default)]
+struct CacheStatsCells {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compile_nanos: AtomicU64,
+}
+
+/// A ScaleDeep session: one node configuration plus the performance
+/// simulator bound to it and a compile cache keyed on [`Provenance`].
+///
+/// Every run path compiles through [`Session::compile_with`], the one
+/// entry point into the phase pipeline, so an experiment sweep that runs
+/// the same network under several run kinds compiles it exactly once.
+/// Clones share the cache (and its statistics).
 #[derive(Debug, Clone)]
 pub struct Session {
     node: NodeConfig,
     sim: PerfSim,
+    cache: Arc<Mutex<HashMap<u64, Arc<CompiledArtifact>>>>,
+    stats: Arc<CacheStatsCells>,
 }
 
 impl Session {
@@ -228,10 +262,14 @@ impl Session {
         Self {
             node,
             sim: PerfSim::new(&node),
+            cache: Arc::new(Mutex::new(HashMap::new())),
+            stats: Arc::new(CacheStatsCells::default()),
         }
     }
 
     /// Overrides the simulator options (minibatch, ablation knobs, ...).
+    /// The compile cache carries over: simulator options do not enter the
+    /// pipeline, so cached artifacts stay valid.
     pub fn with_options(mut self, opts: PerfOptions) -> Self {
         self.sim = PerfSim::new(&self.node).with_options(opts);
         self
@@ -242,25 +280,90 @@ impl Session {
         &self.node
     }
 
-    /// Runs the compiler's workload-mapping phase.
+    fn lock_cache(&self) -> MutexGuard<'_, HashMap<u64, Arc<CompiledArtifact>>> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The session's single compile entry point: runs the phase pipeline
+    /// (analyze → allocate-columns → partition-state → assign-compute →
+    /// codegen) through the in-session cache, keyed on the compile's
+    /// [`Provenance`]. A repeat compile with the same network, node, and
+    /// options returns the cached [`CompiledArtifact`] without touching
+    /// the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping-phase failures. Errors are not cached; a
+    /// failing compile re-runs (and re-counts as a miss) on retry.
+    pub fn compile_with(
+        &self,
+        net: &Network,
+        opts: &CompileOptions,
+    ) -> Result<Arc<CompiledArtifact>> {
+        let key = Provenance::new(&self.node, net, opts).cache_key();
+        if let Some(hit) = self.lock_cache().get(&key).cloned() {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let compiled = pipeline::compile(&self.node, net, opts);
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.stats.compile_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let artifact = Arc::new(compiled?);
+        self.lock_cache().insert(key, Arc::clone(&artifact));
+        Ok(artifact)
+    }
+
+    /// Compiles `net` with default options (healthy layout, minibatch 1)
+    /// through the session cache.
     ///
     /// # Errors
     ///
     /// Propagates mapping failures (network too large for the node, ...).
-    pub fn compile(&self, net: &Network) -> Result<Mapping> {
-        Ok(Compiler::new(&self.node).map(net)?)
+    pub fn compile(&self, net: &Network) -> Result<Arc<CompiledArtifact>> {
+        self.compile_with(net, &CompileOptions::default())
     }
 
-    /// Runs the workload-mapping phase around a set of failed tiles: the
-    /// column allocation excludes the condemned columns and the mapping
-    /// carries the logical→physical indirection.
+    /// Compiles `net` around a set of failed tiles: the column allocation
+    /// excludes the condemned columns, the mapping carries the
+    /// logical→physical indirection, and the functional layout avoids the
+    /// condemned MemHeavy tiles. Same pipeline, same cache — a degraded
+    /// compile is just a compile whose [`FailedTiles`] input is non-empty.
     ///
     /// # Errors
     ///
     /// Propagates mapping failures, including the degraded-specific
     /// `NoCapacity` and `NoRoute` conditions.
-    pub fn compile_degraded(&self, net: &Network, failed: &FailedTiles) -> Result<Mapping> {
-        Ok(Compiler::new(&self.node).map_degraded(net, failed)?)
+    pub fn compile_degraded(
+        &self,
+        net: &Network,
+        failed: &FailedTiles,
+    ) -> Result<Arc<CompiledArtifact>> {
+        self.compile_with(net, &CompileOptions::degraded(failed.clone()))
+    }
+
+    /// The compile cache's aggregate statistics so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            compile_nanos: self.stats.compile_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Materializes the cache statistics into `reg` as the
+    /// `compile.cache.hit` / `compile.cache.miss` counter pair (plus
+    /// `compile.nanos` for the wall-clock spent compiling). Counters are
+    /// *added*, so a registry fed from several sessions aggregates.
+    pub fn record_cache_metrics(&self, reg: &mut MetricsRegistry) {
+        let s = self.cache_stats();
+        let hit = reg.counter("compile.cache.hit");
+        let miss = reg.counter("compile.cache.miss");
+        let nanos = reg.counter("compile.nanos");
+        reg.add(hit, s.hits);
+        reg.add(miss, s.misses);
+        reg.add(nanos, s.compile_nanos);
     }
 
     /// Simulates training.
@@ -269,7 +372,8 @@ impl Session {
     ///
     /// Propagates mapping failures.
     pub fn train(&self, net: &Network) -> Result<PerfResult> {
-        self.sim.train(net)
+        let artifact = self.compile(net)?;
+        Ok(self.sim.run_mapped(artifact.mapping(), RunKind::Training))
     }
 
     /// Simulates evaluation (inference).
@@ -278,25 +382,26 @@ impl Session {
     ///
     /// Propagates mapping failures.
     pub fn evaluate(&self, net: &Network) -> Result<PerfResult> {
-        self.sim.evaluate(net)
+        let artifact = self.compile(net)?;
+        Ok(self.sim.run_mapped(artifact.mapping(), RunKind::Evaluation))
     }
 
-    /// Simulates an already-compiled mapping.
-    pub fn run_mapped(&self, mapping: &Mapping, kind: RunKind) -> PerfResult {
-        self.sim.run_mapped(mapping, kind)
+    /// Simulates an already-compiled artifact.
+    pub fn run_mapped(&self, artifact: &CompiledArtifact, kind: RunKind) -> PerfResult {
+        self.sim.run_mapped(artifact.mapping(), kind)
     }
 
-    /// Simulates an already-compiled mapping under a fault plan: transient
-    /// link errors charge retry/back-off latency, reported in the result's
-    /// fault statistics. The empty plan is bit-identical to
+    /// Simulates an already-compiled artifact under a fault plan:
+    /// transient link errors charge retry/back-off latency, reported in
+    /// the result's fault statistics. The empty plan is bit-identical to
     /// [`Session::run_mapped`].
     pub fn run_mapped_faulted(
         &self,
-        mapping: &Mapping,
+        artifact: &CompiledArtifact,
         kind: RunKind,
         plan: &FaultPlan,
     ) -> PerfResult {
-        self.sim.run_mapped_faulted(mapping, kind, plan)
+        self.sim.run_mapped_faulted(artifact.mapping(), kind, plan)
     }
 
     /// Compiles and simulates `net` with observability: the performance
@@ -306,16 +411,27 @@ impl Session {
     /// result — whose every scalar was assembled from the trace's
     /// [`MetricsRegistry`].
     ///
+    /// The compile itself is served from the session cache and stays out
+    /// of the run's trace (its spans would differ between a cache miss
+    /// and a hit, breaking byte-identical exports); use
+    /// [`scaledeep_compiler::pipeline::compile_traced`] to observe the
+    /// pipeline's phases, and [`Session::cache_stats`] for the
+    /// hit/miss/wall-clock ledger.
+    ///
     /// # Errors
     ///
     /// Propagates mapping failures.
     pub fn run_traced(&self, net: &Network, kind: RunKind, cfg: &TraceConfig) -> Result<TracedRun> {
-        let mapping = self.compile(net)?;
+        let artifact = self.compile(net)?;
         let mut tracer = Tracer::new(session_sink(cfg));
         let mut reg = MetricsRegistry::new();
-        let perf =
-            self.sim
-                .run_mapped_traced(&mapping, kind, &FaultPlan::none(), &mut tracer, &mut reg);
+        let perf = self.sim.run_mapped_traced(
+            artifact.mapping(),
+            kind,
+            &FaultPlan::none(),
+            &mut tracer,
+            &mut reg,
+        );
         Ok(TracedRun {
             perf,
             trace: into_trace(tracer, reg),
@@ -371,12 +487,11 @@ impl Session {
         tracer: &mut Tracer<S>,
         reg: &mut MetricsRegistry,
     ) -> Result<ResilientRun> {
-        let opts = FuncTargetOptions::default();
-        let compiled = compile_functional(net, &opts)?;
+        let artifact = self.compile(net)?;
         let reference = Executor::new(net, 0xC0FFEE)?;
-        let mut fsim = FuncSim::new(net, &compiled)?;
+        let mut fsim = FuncSim::from_artifact(net, &artifact)?;
         fsim.import_params(&reference)?;
-        let (image, golden) = iteration_io(net, &compiled)?;
+        let (image, golden) = iteration_io(net, artifact.functional()?)?;
         let session_track = if tracer.active() {
             tracer.track("session")
         } else {
@@ -399,8 +514,11 @@ impl Session {
                         dead_tiles: dead_tiles.len() as u16,
                     },
                 );
-                let degraded = compile_functional_degraded(net, &opts, 1, &dead_tiles)?;
-                let mut fsim = FuncSim::new(net, &degraded)?;
+                let degraded = self.compile_degraded(
+                    net,
+                    &FailedTiles::from_func_tiles(dead_tiles.iter().copied()),
+                )?;
+                let mut fsim = FuncSim::from_artifact(net, &degraded)?;
                 fsim.restore(&ckpt)?;
                 let retry_plan = plan.without_tile_failures();
                 // The retry restarts the machine clock at cycle 0; keep
@@ -427,20 +545,21 @@ impl Session {
     /// for one training image: the functional simulator executes the
     /// compiled ISA programs event-driven (bit-accurate, cycle-grounded
     /// by the §3.2 cost table), while the performance model prices the
-    /// same layers analytically. Parameters are seeded deterministically;
-    /// the input image is an arbitrary constant (cycle counts are
-    /// data-independent).
+    /// same layers analytically. Both views come from one
+    /// [`CompiledArtifact`] — the network is compiled once. Parameters
+    /// are seeded deterministically; the input image is an arbitrary
+    /// constant (cycle counts are data-independent).
     ///
     /// # Errors
     ///
     /// Propagates functional-compilation and machine faults, and
     /// [`Error::Setup`] when the network has no loss head.
     pub fn cross_check(&self, net: &Network) -> Result<CycleCrossCheck> {
-        let compiled = compile_functional(net, &FuncTargetOptions::default())?;
+        let artifact = self.compile(net)?;
         let reference = Executor::new(net, 0xC0FFEE)?;
-        let mut fsim = FuncSim::new(net, &compiled)?;
+        let mut fsim = FuncSim::from_artifact(net, &artifact)?;
         fsim.import_params(&reference)?;
-        let (image, golden) = iteration_io(net, &compiled)?;
+        let (image, golden) = iteration_io(net, artifact.functional()?)?;
         // A bounded flight recorder rides along so a divergence can be
         // diagnosed from the run's final events without re-running.
         let mut tracer = Tracer::new(session_sink(&TraceConfig::flight_recorder(
@@ -452,11 +571,13 @@ impl Session {
 
         // Per-image service cycles at minibatch 1, so neither batching
         // efficiency nor the pipeline overlap distorts the comparison.
+        // The mapping is PerfOptions-independent, so the artifact's
+        // mapping is exactly what a minibatch-1 compile would produce.
         let perf = PerfSim::new(&self.node).with_options(PerfOptions {
             minibatch: 1,
             ..PerfOptions::default()
         });
-        let result = perf.train(net)?;
+        let result = perf.run_mapped(artifact.mapping(), RunKind::Training);
         let perf_per_image_cycles = result.stages.iter().map(|s| s.service_cycles.max(1)).sum();
         let trace = into_trace(tracer, reg);
         Ok(CycleCrossCheck {
@@ -514,10 +635,62 @@ mod tests {
     #[test]
     fn session_round_trip() {
         let s = Session::single_precision();
-        let m = s.compile(&zoo::alexnet()).unwrap();
-        assert!(m.conv_cols_used() > 0);
+        let a = s.compile(&zoo::alexnet()).unwrap();
+        assert!(a.mapping().conv_cols_used() > 0);
         let r = s.train(&zoo::alexnet()).unwrap();
         assert!(r.images_per_sec > 0.0);
+    }
+
+    #[test]
+    fn sweep_compiles_each_network_exactly_once() {
+        // An experiment-style sweep: one network, three run kinds. The
+        // first run compiles; every subsequent run hits the cache.
+        let s = Session::single_precision();
+        let net = zoo::alexnet();
+        s.train(&net).unwrap();
+        s.evaluate(&net).unwrap();
+        s.run_traced(&net, RunKind::Training, &TraceConfig::default())
+            .unwrap();
+        let stats = s.cache_stats();
+        assert_eq!(stats.misses, 1, "one network, one pipeline run");
+        assert!(stats.hits >= 2, "repeat runs must hit, got {}", stats.hits);
+        let mut reg = MetricsRegistry::new();
+        s.record_cache_metrics(&mut reg);
+        assert_eq!(reg.counter_value("compile.cache.miss"), Some(1));
+        assert!(reg.counter_value("compile.cache.hit").unwrap() >= 2);
+    }
+
+    #[test]
+    fn clones_share_the_cache() {
+        let s = Session::single_precision();
+        let clone = s.clone();
+        s.compile(&zoo::alexnet()).unwrap();
+        clone.compile(&zoo::alexnet()).unwrap();
+        let stats = s.cache_stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+        assert_eq!(s.cache_stats(), clone.cache_stats());
+        assert!(stats.compile_nanos > 0);
+    }
+
+    #[test]
+    fn degraded_compile_is_its_own_cache_entry() {
+        let s = Session::single_precision();
+        let net = zoo::alexnet();
+        let healthy = s.compile(&net).unwrap();
+        let degraded = s
+            .compile_degraded(&net, &FailedTiles::from_columns([3]))
+            .unwrap();
+        assert!(degraded.is_degraded());
+        assert_ne!(
+            healthy.provenance().cache_key(),
+            degraded.provenance().cache_key()
+        );
+        // Repeating both compiles hits the cache each time.
+        s.compile(&net).unwrap();
+        s.compile_degraded(&net, &FailedTiles::from_columns([3]))
+            .unwrap();
+        let stats = s.cache_stats();
+        assert_eq!((stats.misses, stats.hits), (2, 2));
     }
 
     #[test]

@@ -30,6 +30,7 @@ use scaledeep_compiler::codegen::{
     conv_grads_to_output_major, conv_weights_to_input_major, fc_weights_transpose, BufferLoc,
     CompiledNetwork,
 };
+use scaledeep_compiler::CompiledArtifact;
 use scaledeep_dnn::{Layer, LayerId, Network};
 use scaledeep_tensor::Executor;
 
@@ -63,7 +64,8 @@ struct LayerCheckpoint {
 ///
 /// ```no_run
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// use scaledeep_compiler::codegen::{compile_functional, FuncTargetOptions};
+/// use scaledeep_arch::presets;
+/// use scaledeep_compiler::pipeline::{compile, CompileOptions};
 /// use scaledeep_dnn::{Conv, Fc, FeatureShape, NetworkBuilder, Activation};
 /// use scaledeep_sim::func::FuncSim;
 /// use scaledeep_tensor::{Executor, Tensor};
@@ -75,9 +77,10 @@ struct LayerCheckpoint {
 ///     activation: Activation::None })?;
 /// let net = b.finish_with_loss(f)?;
 ///
-/// let compiled = compile_functional(&net, &FuncTargetOptions::default())?;
+/// let node = presets::single_precision();
+/// let artifact = compile(&node, &net, &CompileOptions::default())?;
 /// let reference = Executor::new(&net, 7)?;
-/// let mut sim = FuncSim::new(&net, &compiled)?;
+/// let mut sim = FuncSim::from_artifact(&net, &artifact)?;
 /// sim.import_params(&reference)?;
 /// let x = Tensor::zeros(FeatureShape::new(1, 6, 6));
 /// let golden = Tensor::zeros(FeatureShape::vector(3));
@@ -143,6 +146,20 @@ impl FuncSim {
         };
         sim.write_buffer(compiled.const_neg_one, &[-1.0])?;
         Ok(sim)
+    }
+
+    /// Builds the simulator from a pipeline [`CompiledArtifact`] — the
+    /// preferred construction path: sessions compile once and every
+    /// consumer (perf, functional, traced) reads the same artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the artifact's codegen-phase verdict when the network
+    /// has no functional compilation (as [`Error::Compiler`]), plus
+    /// [`FuncSim::new`]'s setup errors.
+    pub fn from_artifact(net: &Network, artifact: &CompiledArtifact) -> Result<Self> {
+        let compiled = artifact.functional().map_err(Error::Compiler)?;
+        Self::new(net, compiled)
     }
 
     /// Scratchpad capacity per tile, in elements.
@@ -396,8 +413,9 @@ impl FuncSim {
         Ok(())
     }
 
-    /// Runs one full minibatch through programs compiled with
-    /// [`scaledeep_compiler::codegen::compile_functional_minibatch`]: the
+    /// Runs one full minibatch through programs compiled with a
+    /// minibatch size of two or more (see
+    /// [`scaledeep_compiler::pipeline::CompileOptions`]): the
     /// scalar loops inside each program iterate over the images, walking
     /// the input/golden arrays with register-indirect addressing, while
     /// the data-flow trackers' generation-wrap hands each reused buffer

@@ -39,6 +39,9 @@ fn detail_of(p: &Payload, out: &mut String) {
         Payload::Remap { dead_tiles } => {
             let _ = write!(out, "dead_tiles={dead_tiles}");
         }
+        Payload::Phase { phase } => {
+            let _ = write!(out, "phase={phase}");
+        }
     }
 }
 

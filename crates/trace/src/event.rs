@@ -26,10 +26,13 @@ pub enum Category {
     Fault = 4,
     /// Host-level session events: checkpoint, remap, sync barriers.
     Session = 5,
+    /// Compilation-pipeline phases (analyze → allocate-columns →
+    /// partition-state → assign-compute → codegen).
+    Compile = 6,
 }
 
 /// Number of categories (array sizing for per-category state).
-pub const N_CATEGORIES: usize = 6;
+pub const N_CATEGORIES: usize = 7;
 
 impl Category {
     /// Every category, in discriminant order.
@@ -40,6 +43,7 @@ impl Category {
         Category::Stage,
         Category::Fault,
         Category::Session,
+        Category::Compile,
     ];
 
     /// The category's bit in a [`CategoryMask`].
@@ -56,6 +60,7 @@ impl Category {
             Category::Stage => "stage",
             Category::Fault => "fault",
             Category::Session => "session",
+            Category::Compile => "compile",
         }
     }
 
@@ -200,6 +205,13 @@ pub enum Payload {
         /// Number of tiles excluded from the degraded layout.
         dead_tiles: u16,
     },
+    /// One compilation-pipeline phase ran (span; the timestamp is the
+    /// phase's ordinal, not a machine cycle — compilation happens on the
+    /// host, outside simulated time).
+    Phase {
+        /// Stable phase name (`"analyze"`, `"allocate-columns"`, ...).
+        phase: &'static str,
+    },
 }
 
 impl Payload {
@@ -212,6 +224,7 @@ impl Payload {
             Payload::Stage { .. } => Category::Stage,
             Payload::Fault { .. } => Category::Fault,
             Payload::Sync { .. } | Payload::Checkpoint | Payload::Remap { .. } => Category::Session,
+            Payload::Phase { .. } => Category::Compile,
         }
     }
 
@@ -228,6 +241,7 @@ impl Payload {
             Payload::Fault { .. } => "fault",
             Payload::Checkpoint => "checkpoint",
             Payload::Remap { .. } => "remap",
+            Payload::Phase { .. } => "phase",
         }
     }
 }

@@ -8,7 +8,8 @@
 //! cargo run --release --example compile_inspect
 //! ```
 
-use scaledeep_compiler::codegen::{compile_functional, FuncTargetOptions};
+use scaledeep_arch::presets;
+use scaledeep_compiler::pipeline::{compile, CompileOptions};
 use scaledeep_dnn::{Activation, Conv, Fc, FeatureShape, NetworkBuilder, Pool};
 use scaledeep_sim::func::FuncSim;
 use scaledeep_tensor::{Executor, Tensor};
@@ -40,7 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let net = b.finish_with_loss(out)?;
 
-    let compiled = compile_functional(&net, &FuncTargetOptions::default())?;
+    let artifact = compile(
+        &presets::single_precision(),
+        &net,
+        &CompileOptions::default(),
+    )?;
+    let compiled = artifact.functional()?;
     println!(
         "compiled {} programs, {} instructions, {} data-flow trackers\n",
         compiled.programs.len(),
@@ -62,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // functional simulator then runs 20 SGD steps through the compiled
     // programs.
     let reference = Executor::new(&net, 42)?;
-    let mut sim = FuncSim::new(&net, &compiled)?;
+    let mut sim = FuncSim::new(&net, compiled)?;
     sim.import_params(&reference)?;
     sim.clear_gradients();
 

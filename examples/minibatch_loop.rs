@@ -6,7 +6,8 @@
 //! cargo run --release --example minibatch_loop
 //! ```
 
-use scaledeep_compiler::codegen::{compile_functional_minibatch, FuncTargetOptions};
+use scaledeep_arch::presets;
+use scaledeep_compiler::pipeline::{compile, CompileOptions};
 use scaledeep_dnn::{Activation, Conv, Fc, FeatureShape, NetworkBuilder, Pool};
 use scaledeep_sim::func::FuncSim;
 use scaledeep_tensor::Executor;
@@ -37,7 +38,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = b.finish_with_loss(out)?;
 
     let batch = 4;
-    let compiled = compile_functional_minibatch(&net, &FuncTargetOptions::default(), batch)?;
+    let artifact = compile(
+        &presets::single_precision(),
+        &net,
+        &CompileOptions {
+            minibatch: batch,
+            ..CompileOptions::default()
+        },
+    )?;
+    let compiled = artifact.functional()?;
     println!(
         "compiled for a {batch}-image minibatch: {} programs, {} instructions\n",
         compiled.programs.len(),
@@ -48,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{fp}");
 
     let reference = Executor::new(&net, 17)?;
-    let mut sim = FuncSim::new(&net, &compiled)?;
+    let mut sim = FuncSim::new(&net, compiled)?;
     sim.import_params(&reference)?;
     sim.clear_gradients();
 

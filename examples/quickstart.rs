@@ -28,7 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         node.frequency_mhz
     );
 
-    let mapping = session.compile(&net)?;
+    let artifact = session.compile(&net)?;
+    let mapping = artifact.mapping();
     println!(
         "mapping: {} ConvLayer columns on {} chip(s), {} FcLayer columns",
         mapping.conv_cols_used(),

@@ -23,14 +23,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("single precision", Session::single_precision()),
         ("half precision", Session::half_precision()),
     ] {
-        let mapping = session.compile(&net)?;
+        let artifact = session.compile(&net)?;
         let r = session.train(&net)?;
         println!("\n--- {label} ---");
         println!(
             "spans {} ConvLayer chips across {} cluster(s); {} columns",
-            mapping.chips_spanned(),
-            mapping.clusters_spanned(),
-            mapping.conv_cols_used()
+            artifact.mapping().chips_spanned(),
+            artifact.mapping().clusters_spanned(),
+            artifact.mapping().conv_cols_used()
         );
         println!(
             "training: {:.0} images/s, utilization {:.2}, {:.0} W, {:.1} GFLOPs/W",

@@ -4,17 +4,34 @@
 //! the CNN suite.
 
 use scaledeep::Session;
-use scaledeep_compiler::codegen::{compile_functional, FuncTargetOptions};
+use scaledeep_compiler::codegen::{CompiledNetwork, FuncTargetOptions};
+use scaledeep_compiler::{pipeline, CompileOptions};
 use scaledeep_dnn::zoo;
 use scaledeep_sim::func::FuncSim;
 use scaledeep_sim::perf::{PerfOptions, PerfSim};
 use scaledeep_tensor::{Executor, Tensor};
 
+/// Functional compile through the phase pipeline.
+fn compile_functional(
+    net: &scaledeep_dnn::Network,
+    opts: &FuncTargetOptions,
+) -> Result<CompiledNetwork, scaledeep_compiler::Error> {
+    let artifact = pipeline::compile(
+        &scaledeep_arch::presets::single_precision(),
+        net,
+        &CompileOptions {
+            func: *opts,
+            ..CompileOptions::default()
+        },
+    )?;
+    artifact.functional().cloned()
+}
+
 #[test]
 fn autoencoder_maps_and_simulates() {
     let net = zoo::autoencoder(&[4096, 1024, 256]);
     let session = Session::single_precision();
-    let mapping = session.compile(&net).unwrap();
+    let mapping = session.compile(&net).unwrap().mapping().clone();
     // Pure-FC network: everything lands on the hub chips.
     assert!(mapping.fc_cols_used() > 0);
     let r = session.train(&net).unwrap();

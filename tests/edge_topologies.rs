@@ -3,10 +3,27 @@
 //! 1×1-convolution-only bottleneck stacks.
 
 use scaledeep::Session;
-use scaledeep_compiler::codegen::{compile_functional, FuncTargetOptions};
+use scaledeep_compiler::codegen::{CompiledNetwork, FuncTargetOptions};
+use scaledeep_compiler::{pipeline, CompileOptions};
 use scaledeep_dnn::{Activation, Conv, Fc, FeatureShape, NetworkBuilder, Pool, PoolKind};
 use scaledeep_sim::func::FuncSim;
 use scaledeep_tensor::{Executor, Tensor};
+
+/// Functional compile through the phase pipeline.
+fn compile_functional(
+    net: &scaledeep_dnn::Network,
+    opts: &FuncTargetOptions,
+) -> Result<CompiledNetwork, scaledeep_compiler::Error> {
+    let artifact = pipeline::compile(
+        &scaledeep_arch::presets::single_precision(),
+        net,
+        &CompileOptions {
+            func: *opts,
+            ..CompileOptions::default()
+        },
+    )?;
+    artifact.functional().cloned()
+}
 
 fn conv(out: usize, k: usize, pad: usize) -> Conv {
     Conv {
@@ -34,8 +51,12 @@ fn conv_only_network_maps_and_simulates() {
     let net = b.finish_with_loss(gap).unwrap();
 
     let session = Session::single_precision();
-    let mapping = session.compile(&net).unwrap();
-    assert_eq!(mapping.fc_cols_used(), 0, "no FC layers, no hub columns");
+    let artifact = session.compile(&net).unwrap();
+    assert_eq!(
+        artifact.mapping().fc_cols_used(),
+        0,
+        "no FC layers, no hub columns"
+    );
     let r = session.train(&net).unwrap();
     assert!(r.images_per_sec > 1_000.0);
     let e = session.evaluate(&net).unwrap();

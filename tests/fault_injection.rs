@@ -11,15 +11,43 @@
 
 use proptest::prelude::*;
 use scaledeep::Session;
-use scaledeep_compiler::codegen::{
-    compile_functional, compile_functional_degraded, FuncTargetOptions, LayerBuffers,
-};
+use scaledeep_arch::presets;
+use scaledeep_compiler::codegen::{CompiledNetwork, FuncTargetOptions, LayerBuffers};
+use scaledeep_compiler::{pipeline, CompileOptions, FailedTiles};
 use scaledeep_dnn::{Activation, Conv, Fc, FeatureShape, Network, NetworkBuilder};
 use scaledeep_sim::fault::{FaultKind, FaultPlan, LinkFaults};
 use scaledeep_sim::func::FuncSim;
 use scaledeep_sim::perf::RunKind;
 use scaledeep_sim::Error;
 use scaledeep_tensor::{Executor, Tensor};
+
+/// Functional compile through the phase pipeline (healthy layout).
+fn compile_functional(
+    net: &Network,
+    opts: &FuncTargetOptions,
+) -> Result<CompiledNetwork, scaledeep_compiler::Error> {
+    compile_functional_degraded(net, opts, 1, &[])
+}
+
+/// Degraded functional compile through the phase pipeline: the dead
+/// MemHeavy tiles enter as the [`FailedTiles`] phase input.
+fn compile_functional_degraded(
+    net: &Network,
+    opts: &FuncTargetOptions,
+    minibatch: usize,
+    dead_tiles: &[u16],
+) -> Result<CompiledNetwork, scaledeep_compiler::Error> {
+    let artifact = pipeline::compile(
+        &presets::single_precision(),
+        net,
+        &CompileOptions {
+            func: *opts,
+            minibatch,
+            failed: FailedTiles::from_func_tiles(dead_tiles.iter().copied()),
+        },
+    )?;
+    artifact.functional().cloned()
+}
 
 fn tiny_net(out_features: usize, neurons: usize) -> Network {
     let mut b = NetworkBuilder::new("fault-net", FeatureShape::new(1, 6, 6));

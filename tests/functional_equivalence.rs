@@ -4,10 +4,27 @@
 //! outputs, backpropagated errors, and weight gradients bit-for-bit (up to
 //! f32 reassociation noise).
 
-use scaledeep_compiler::codegen::{compile_functional, FuncTargetOptions};
+use scaledeep_compiler::codegen::{CompiledNetwork, FuncTargetOptions};
+use scaledeep_compiler::{pipeline, CompileOptions};
 use scaledeep_dnn::{Activation, Conv, Fc, FeatureShape, Network, NetworkBuilder, Pool};
 use scaledeep_sim::func::FuncSim;
 use scaledeep_tensor::{Executor, Tensor};
+
+/// Functional compile through the phase pipeline.
+fn compile_functional(
+    net: &Network,
+    opts: &FuncTargetOptions,
+) -> Result<CompiledNetwork, scaledeep_compiler::Error> {
+    let artifact = pipeline::compile(
+        &scaledeep_arch::presets::single_precision(),
+        net,
+        &CompileOptions {
+            func: *opts,
+            ..CompileOptions::default()
+        },
+    )?;
+    artifact.functional().cloned()
+}
 
 fn conv(out: usize, k: usize, pad: usize, act: Activation) -> Conv {
     Conv {

@@ -5,13 +5,39 @@
 //! The accumulated gradients must match the reference executor running
 //! the same minibatch.
 
-use scaledeep_compiler::codegen::{
-    compile_functional, compile_functional_minibatch, FuncTargetOptions,
-};
+use scaledeep_arch::presets;
+use scaledeep_compiler::codegen::{CompiledNetwork, FuncTargetOptions};
+use scaledeep_compiler::{pipeline, CompileOptions};
 use scaledeep_dnn::{Activation, Conv, Fc, FeatureShape, Network, NetworkBuilder, Pool};
 use scaledeep_isa::{Inst, InstGroup};
 use scaledeep_sim::func::FuncSim;
 use scaledeep_tensor::{Executor, Tensor};
+
+/// Single-image functional compile through the phase pipeline.
+fn compile_functional(
+    net: &Network,
+    opts: &FuncTargetOptions,
+) -> Result<CompiledNetwork, scaledeep_compiler::Error> {
+    compile_functional_minibatch(net, opts, 1)
+}
+
+/// Minibatch-looped functional compile through the phase pipeline.
+fn compile_functional_minibatch(
+    net: &Network,
+    opts: &FuncTargetOptions,
+    minibatch: usize,
+) -> Result<CompiledNetwork, scaledeep_compiler::Error> {
+    let artifact = pipeline::compile(
+        &presets::single_precision(),
+        net,
+        &CompileOptions {
+            func: *opts,
+            minibatch,
+            ..CompileOptions::default()
+        },
+    )?;
+    artifact.functional().cloned()
+}
 
 fn chain_net() -> Network {
     let mut b = NetworkBuilder::new("chain", FeatureShape::new(1, 10, 10));

@@ -5,12 +5,29 @@
 //! generated networks.
 
 use proptest::prelude::*;
-use scaledeep_compiler::codegen::{compile_functional, FuncTargetOptions};
+use scaledeep_compiler::codegen::{CompiledNetwork, FuncTargetOptions};
+use scaledeep_compiler::{pipeline, CompileOptions};
 use scaledeep_dnn::{Activation, Conv, Fc, FeatureShape, NetworkBuilder, Pool, PoolKind};
 use scaledeep_isa::{Inst, MemRef, Program, Reg, TileRef};
 use scaledeep_sim::func::FuncSim;
 use scaledeep_tensor::ops::{pool_forward, PoolOutput};
 use scaledeep_tensor::{Executor, Tensor};
+
+/// Functional compile through the phase pipeline.
+fn compile_functional(
+    net: &scaledeep_dnn::Network,
+    opts: &FuncTargetOptions,
+) -> Result<CompiledNetwork, scaledeep_compiler::Error> {
+    let artifact = pipeline::compile(
+        &scaledeep_arch::presets::single_precision(),
+        net,
+        &CompileOptions {
+            func: *opts,
+            ..CompileOptions::default()
+        },
+    )?;
+    artifact.functional().cloned()
+}
 
 // ---------- strategies ----------
 
