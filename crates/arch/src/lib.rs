@@ -40,5 +40,5 @@ pub use cluster::ClusterConfig;
 pub use error::{Error, Result};
 pub use link::LinkClass;
 pub use node::{NodeConfig, Precision};
-pub use power::{ComponentPower, PowerBreakdown, PowerModel, UtilizationProfile};
+pub use power::{ComponentPower, EnergyBreakdown, PowerBreakdown, PowerModel, UtilizationProfile};
 pub use tile::{CompHeavyConfig, MemHeavyConfig};

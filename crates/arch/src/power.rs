@@ -94,6 +94,39 @@ impl fmt::Display for PowerBreakdown {
     }
 }
 
+/// Energy split by subsystem over a measured interval — the time
+/// integral of [`PowerBreakdown`] against an observed utilization
+/// profile, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Compute-logic joules.
+    pub compute_joules: f64,
+    /// Memory joules (leakage-dominated; accrues even when idle).
+    pub memory_joules: f64,
+    /// Interconnect joules.
+    pub interconnect_joules: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total joules.
+    pub fn total(&self) -> f64 {
+        self.compute_joules + self.memory_joules + self.interconnect_joules
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} J (compute {:.3}, memory {:.3}, interconnect {:.3})",
+            self.total(),
+            self.compute_joules,
+            self.memory_joules,
+            self.interconnect_joules
+        )
+    }
+}
+
 /// The full component power table of Figure 14.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
@@ -181,6 +214,21 @@ impl PowerModel {
     pub fn node_efficiency(&self, achieved_flops_per_s: f64, util: UtilizationProfile) -> f64 {
         achieved_flops_per_s / self.average_node_power(util).total()
     }
+
+    /// Node energy over a `seconds`-long interval at a *measured*
+    /// utilization profile: average power integrated over time, split by
+    /// subsystem. This is the measured counterpart to the assumed-profile
+    /// power figures — the attribution layer feeds it the utilizations the
+    /// simulator actually observed.
+    pub fn node_energy(&self, util: UtilizationProfile, seconds: f64) -> EnergyBreakdown {
+        let seconds = seconds.max(0.0);
+        let p = self.average_node_power(util);
+        EnergyBreakdown {
+            compute_joules: p.compute_watts * seconds,
+            memory_joules: p.memory_watts * seconds,
+            interconnect_joules: p.interconnect_watts * seconds,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +295,37 @@ mod tests {
     #[should_panic(expected = "fractions must sum to 1")]
     fn bad_fractions_panic() {
         let _ = ComponentPower::new(1.0, 0.5, 0.1, 0.1);
+    }
+
+    #[test]
+    fn energy_integrates_power_over_time() {
+        let pm = PowerModel::paper_sp();
+        let util = UtilizationProfile {
+            compute: 0.35,
+            interconnect: 0.5,
+        };
+        let p = pm.average_node_power(util);
+        let e = pm.node_energy(util, 2.0);
+        assert!((e.compute_joules - 2.0 * p.compute_watts).abs() < 1e-9);
+        assert!((e.memory_joules - 2.0 * p.memory_watts).abs() < 1e-9);
+        assert!((e.interconnect_joules - 2.0 * p.interconnect_watts).abs() < 1e-9);
+        assert!((e.total() - 2.0 * p.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_energy_is_memory_leakage_only() {
+        let pm = PowerModel::paper_sp();
+        let idle = UtilizationProfile {
+            compute: 0.0,
+            interconnect: 0.0,
+        };
+        let e = pm.node_energy(idle, 1.0);
+        assert_eq!(e.compute_joules, 0.0);
+        assert_eq!(e.interconnect_joules, 0.0);
+        assert!(e.memory_joules > 0.0);
+        // Negative durations clamp to zero rather than producing
+        // negative joules.
+        assert_eq!(pm.node_energy(idle, -1.0).total(), 0.0);
     }
 
     #[test]

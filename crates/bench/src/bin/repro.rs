@@ -11,10 +11,12 @@
 //! repro --trace out.json     # trace a training run: Chrome JSON + CSV
 //! repro --trace out.json --trace-net vgg_a --trace-filter stage,fault
 //! repro --sweep alexnet      # run-kind sweep: compile/simulate split + cache
+//! repro --bench-json out.json --bench-net alexnet   # measured BENCH report
+//! repro --check BENCH_alexnet.json --tolerance 0.05 # regression gate
 //! ```
 
 use scaledeep::experiments::{run_by_id, EXPERIMENT_IDS};
-use scaledeep::{Session, TraceConfig};
+use scaledeep::{BenchReport, Session, TraceConfig};
 use scaledeep_compiler::FailedTiles;
 use scaledeep_dnn::zoo;
 use scaledeep_trace::{validate_chrome_trace, CategoryMask};
@@ -204,11 +206,7 @@ fn trace_run(name: &str, path: &str, filter: CategoryMask) -> Result<(), String>
     let summary = validate_chrome_trace(&json)
         .map_err(|e| format!("generated trace failed validation: {e}"))?;
     std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
-    let csv_path = if let Some(stem) = path.strip_suffix(".json") {
-        format!("{stem}.csv")
-    } else {
-        format!("{path}.csv")
-    };
+    let csv_path = csv_sidecar_path(path);
     std::fs::write(&csv_path, traced.trace.cycle_csv())
         .map_err(|e| format!("writing {csv_path}: {e}"))?;
 
@@ -225,11 +223,168 @@ fn trace_run(name: &str, path: &str, filter: CategoryMask) -> Result<(), String>
     Ok(())
 }
 
+/// The per-cycle CSV always rides next to a `--trace` JSON output:
+/// `out.json -> out.csv`, and any other extension just gains `.csv`.
+fn csv_sidecar_path(path: &str) -> String {
+    match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.csv"),
+        None => format!("{path}.csv"),
+    }
+}
+
+fn parse_kind(s: &str) -> Result<scaledeep_sim::perf::RunKind, String> {
+    match s {
+        "training" => Ok(scaledeep_sim::perf::RunKind::Training),
+        "evaluation" => Ok(scaledeep_sim::perf::RunKind::Evaluation),
+        other => Err(format!(
+            "unknown run kind `{other}` (expected training|evaluation)"
+        )),
+    }
+}
+
+/// Builds a session matching a report's stated precision.
+fn session_for_precision(precision: &str) -> Result<Session, String> {
+    match precision {
+        "single" => Ok(Session::single_precision()),
+        "half" => Ok(Session::half_precision()),
+        other => Err(format!("unknown precision `{other}`")),
+    }
+}
+
+/// `--bench-json`: runs `name` traced, joins the trace with the compile's
+/// provenance and the analytic costs into the versioned BENCH report, and
+/// writes it to `out` (validating it through the schema reader first).
+fn bench_json(name: &str, kind_str: &str, out: &str) -> Result<(), String> {
+    let net = zoo::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let kind = parse_kind(kind_str)?;
+    let session = Session::single_precision();
+    let report = session
+        .bench_report(&net, kind)
+        .map_err(|e| e.to_string())?;
+    let text = report.to_json();
+    BenchReport::from_json(&text)
+        .map_err(|e| format!("generated report failed validation: {e}"))?;
+    std::fs::write(out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+
+    println!(
+        "{name} ({kind_str}): {} busy cycles over {} stages, {:.0} images/s, {:.3} J/image",
+        report.totals.busy_cycles,
+        report.layers.len(),
+        report.totals.images_per_sec,
+        report.totals.joules_per_image
+    );
+    for l in &report.layers {
+        println!(
+            "  {:24} {:>12} cycles  fp/bp/wg {:>3.0}/{:>2.0}/{:>2.0}%  {:9}-bound  {:.4} J",
+            l.name,
+            l.busy_cycles,
+            100.0 * l.fp_cycles as f64 / l.busy_cycles.max(1) as f64,
+            100.0 * l.bp_cycles as f64 / l.busy_cycles.max(1) as f64,
+            100.0 * l.wg_cycles as f64 / l.busy_cycles.max(1) as f64,
+            l.bound,
+            l.joules_per_image
+        );
+    }
+    println!("wrote {out} (schema v{})", report.schema_version);
+    Ok(())
+}
+
+/// `--check`: re-runs the baseline's network/kind/precision on this tree
+/// and diffs the fresh report against the baseline with a relative
+/// tolerance. Returns the regression messages (empty = gate passes).
+fn bench_check(baseline_path: &str, tolerance: f64) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+    let baseline = BenchReport::from_json(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let net = zoo::by_name(&baseline.network)
+        .ok_or_else(|| format!("{baseline_path}: unknown benchmark `{}`", baseline.network))?;
+    let kind = parse_kind(&baseline.kind)?;
+    let session = session_for_precision(&baseline.precision)?;
+    let fresh = session
+        .bench_report(&net, kind)
+        .map_err(|e| e.to_string())?;
+    if fresh.provenance != baseline.provenance {
+        println!(
+            "note: provenance {} vs baseline {} — the compile inputs changed",
+            fresh.provenance, baseline.provenance
+        );
+    }
+    let fails = fresh.check_against(&baseline, tolerance);
+    if fails.is_empty() {
+        println!(
+            "{}: within {:.1}% of {baseline_path} ({} metrics checked across {} layers)",
+            baseline.network,
+            100.0 * tolerance,
+            15 + 2 * baseline.layers.len(),
+            baseline.layers.len()
+        );
+    }
+    Ok(fails)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list") {
         for id in EXPERIMENT_IDS {
             println!("{id}");
+        }
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--bench-json") {
+        let Some(out) = args.get(pos + 1) else {
+            eprintln!("--bench-json requires an output path");
+            std::process::exit(1);
+        };
+        let name = args
+            .iter()
+            .position(|a| a == "--bench-net")
+            .and_then(|p| args.get(p + 1))
+            .map(String::as_str)
+            .unwrap_or("alexnet");
+        let kind = args
+            .iter()
+            .position(|a| a == "--bench-kind")
+            .and_then(|p| args.get(p + 1))
+            .map(String::as_str)
+            .unwrap_or("training");
+        if let Err(e) = bench_json(name, kind, out) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--check") {
+        let Some(baseline) = args.get(pos + 1) else {
+            eprintln!("--check requires a baseline BENCH json path");
+            std::process::exit(1);
+        };
+        let tolerance = match args
+            .iter()
+            .position(|a| a == "--tolerance")
+            .and_then(|p| args.get(p + 1))
+        {
+            Some(s) => match s.parse::<f64>() {
+                Ok(t) if t >= 0.0 => t,
+                _ => {
+                    eprintln!("--tolerance requires a non-negative number, got `{s}`");
+                    std::process::exit(1);
+                }
+            },
+            None => 0.05,
+        };
+        match bench_check(baseline, tolerance) {
+            Ok(fails) if fails.is_empty() => {}
+            Ok(fails) => {
+                for f in &fails {
+                    eprintln!("regression: {f}");
+                }
+                eprintln!("{} regression(s) vs {baseline}", fails.len());
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
         }
         return;
     }
@@ -306,5 +461,31 @@ fn main() {
     };
     if !run_experiments(&ids) {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_sidecar_replaces_json_extension() {
+        assert_eq!(csv_sidecar_path("out.json"), "out.csv");
+        assert_eq!(csv_sidecar_path("a/b/trace.json"), "a/b/trace.csv");
+    }
+
+    #[test]
+    fn csv_sidecar_appends_for_other_extensions() {
+        assert_eq!(csv_sidecar_path("out.trace"), "out.trace.csv");
+        assert_eq!(csv_sidecar_path("out"), "out.csv");
+        // `.json` must be a suffix, not merely present.
+        assert_eq!(csv_sidecar_path("out.json.bak"), "out.json.bak.csv");
+    }
+
+    #[test]
+    fn run_kinds_parse() {
+        assert!(parse_kind("training").is_ok());
+        assert!(parse_kind("evaluation").is_ok());
+        assert!(parse_kind("Training").is_err());
     }
 }

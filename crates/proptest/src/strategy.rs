@@ -165,6 +165,21 @@ macro_rules! int_strategy {
 }
 int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_strategy!(f32, f64);
+
 macro_rules! tuple_strategy {
     ($($s:ident/$v:ident/$idx:tt),+) => {
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {

@@ -33,10 +33,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod experiments;
 pub mod report;
 mod session;
 
+pub use attribution::{Attribution, LayerAttribution, RooflineBound};
+pub use report::{BenchReport, BENCH_SCHEMA_VERSION};
 pub use scaledeep_compiler::{CompileOptions, CompiledArtifact, FailedTiles, Provenance};
 pub use scaledeep_sim::{Error, Result};
 pub use session::{

@@ -590,6 +590,30 @@ impl Session {
         })
     }
 
+    /// Compiles `net`, runs it traced, and joins the trace with the
+    /// compile's provenance and the analytic per-layer costs into a
+    /// versioned [`crate::report::BenchReport`] — the document
+    /// `repro --bench-json` serializes and `repro --check` diffs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures, and [`Error::Setup`] when the run's
+    /// metrics do not cover the mapping's stages (a simulator/attribution
+    /// version skew).
+    pub fn bench_report(&self, net: &Network, kind: RunKind) -> Result<crate::report::BenchReport> {
+        let artifact = self.compile(net)?;
+        let traced = self.run_traced(net, kind, &TraceConfig::default())?;
+        let attr = crate::attribution::Attribution::build(&traced, &artifact, net, &self.node)?;
+        Ok(crate::report::BenchReport::new(
+            &attr,
+            &traced.perf,
+            &self.node,
+            FaultPlan::none().seed(),
+            artifact.provenance().cache_key(),
+            self.cache_stats(),
+        ))
+    }
+
     /// Training throughput of a single chip cluster (the iso-power unit the
     /// paper compares against one GPU card in Figure 18).
     ///

@@ -126,6 +126,8 @@ pub(super) fn assemble(
     reg: &mut MetricsRegistry,
 ) -> PerfResult {
     let freq = node.frequency_hz();
+    let window = publish(reg, "perf.window_cycles", window as f64) as Cycle;
+    let done = publish(reg, "perf.images_done", done.max(1) as f64) as usize;
     let cycles_per_image = window as f64 / done.max(1) as f64;
     let images_per_sec = publish(
         reg,
@@ -239,6 +241,23 @@ pub(super) fn assemble(
     );
 
     let bottleneck = stages.iter().map(|s| s.service_cycles).max().unwrap_or(0);
+    // Per-stage interconnect-tier traffic (bytes per image), folded from
+    // the seven link classes into the paper's three physical tiers: the
+    // on-chip grid, the intra-cluster wheel (spokes + arcs), and the
+    // inter-cluster ring. The attribution layer reads these back.
+    let tier_classes: [(&str, &[LinkClass]); 3] = [
+        (
+            "grid",
+            &[
+                LinkClass::CompMem,
+                LinkClass::MemMem,
+                LinkClass::ConvExtMem,
+                LinkClass::FcExtMem,
+            ],
+        ),
+        ("wheel", &[LinkClass::Spoke, LinkClass::Arc]),
+        ("ring", &[LinkClass::Ring]),
+    ];
     let stage_stats = stages
         .iter()
         .enumerate()
@@ -248,6 +267,10 @@ pub(super) fn assemble(
                 &format!("perf.stage.{i:02}.service_cycles"),
                 s.service_cycles as f64,
             ) as u64;
+            for (tier, classes) in tier_classes {
+                let bytes: f64 = classes.iter().map(|&c| s.traffic[link_idx(c)]).sum();
+                publish(reg, &format!("perf.stage.{i:02}.bytes.{tier}"), bytes);
+            }
             StageStat {
                 name: s.name.clone(),
                 service_cycles,

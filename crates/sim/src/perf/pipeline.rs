@@ -98,7 +98,8 @@ pub fn run_pipeline_faulted(
 /// the image's admission/service interval, so per-track timestamps are
 /// monotone by construction), minibatch syncs emit spans on a `sync`
 /// track, and link retries emit instants on a `link retries` track. All
-/// counters (per-stage busy cycles, retry counts/cycles, completions)
+/// counters (per-stage busy cycles, sync cycles, retry counts/cycles,
+/// completions, and a per-visit stage-occupancy histogram)
 /// live in a per-run [`MetricsRegistry`] — the returned utilizations and
 /// [`FaultStats`] are read back out of it, and it is merged into `reg` at
 /// the end. A disabled tracer takes the identical timing path.
@@ -129,6 +130,8 @@ pub fn run_pipeline_traced<S: TraceSink>(
     let m_retry_cycles = run.counter("perf.link.retry_cycles");
     let m_completed = run.counter("perf.images.completed");
     let m_syncs = run.counter("perf.syncs");
+    let m_sync_cycles = run.counter("perf.sync.cycles");
+    let m_occupancy = run.histogram("perf.stage.occupancy");
     let stage_busy: Vec<_> = (0..n)
         .map(|s| run.counter(&format!("perf.stage.{s:02}.busy")))
         .collect();
@@ -191,6 +194,7 @@ pub fn run_pipeline_traced<S: TraceSink>(
                 let fin = start + service + toll;
                 stage_free[0] = fin;
                 run.add(stage_busy[0], service);
+                run.observe(m_occupancy, service as f64);
                 tracer.span(
                     start,
                     fin - start,
@@ -222,6 +226,7 @@ pub fn run_pipeline_traced<S: TraceSink>(
                     let fin = start + service + toll;
                     stage_free[s] = fin;
                     run.add(stage_busy[s], service);
+                    run.observe(m_occupancy, service as f64);
                     tracer.span(
                         start,
                         fin - start,
@@ -251,6 +256,7 @@ pub fn run_pipeline_traced<S: TraceSink>(
                     if barrier && completed.is_multiple_of(minibatch) {
                         let (retries, toll) = penalty(SYNC_SALT | syncs_started, &mut run);
                         let delay = sync.max(1) + toll;
+                        run.add(m_sync_cycles, delay);
                         tracer.span(
                             now,
                             delay,

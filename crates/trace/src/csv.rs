@@ -81,6 +81,27 @@ pub fn cycle_csv(events: &[Event], tracks: &TrackTable) -> String {
     out
 }
 
+/// Sums span durations per track: `busy[track_id]` is the total cycles
+/// the track's spans cover (instants contribute nothing, overlaps are
+/// not collapsed). The attribution layer reads measured busy time back
+/// out of a recorded event stream through this. The vector is indexed
+/// by `TrackId` and sized to cover every track in `tracks` as well as
+/// any out-of-table ids the events mention.
+pub fn busy_cycles_per_track(events: &[Event], tracks: &TrackTable) -> Vec<u64> {
+    let n = tracks.len().max(
+        events
+            .iter()
+            .map(|e| e.track as usize + 1)
+            .max()
+            .unwrap_or(0),
+    );
+    let mut busy = vec![0u64; n];
+    for e in events.iter().filter(|e| e.is_span()) {
+        busy[e.track as usize] = busy[e.track as usize].saturating_add(e.dur);
+    }
+    busy
+}
+
 /// Shade ramp for the heatmap, darkest-to-lightest occupancy.
 const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
 
@@ -196,6 +217,27 @@ mod tests {
         assert!(busy_line.contains("100.0%"), "{map}");
         assert!(half_line.contains("@@@@@     "), "{map}");
         assert!(half_line.contains("50.0%"), "{map}");
+    }
+
+    #[test]
+    fn busy_cycles_sum_spans_only() {
+        let mut tracks = TrackTable::new();
+        let a = tracks.track("a");
+        let b = tracks.track("b");
+        let events = vec![
+            Event::span(0, 10, a, Payload::Stage { stage: 0, image: 0 }),
+            Event::span(20, 5, a, Payload::Stage { stage: 0, image: 1 }),
+            Event::instant(3, a, Payload::Checkpoint),
+            Event::span(0, 7, b, Payload::Sync { index: 0 }),
+        ];
+        assert_eq!(busy_cycles_per_track(&events, &tracks), vec![15, 7]);
+    }
+
+    #[test]
+    fn busy_cycles_cover_out_of_table_tracks() {
+        let tracks = TrackTable::new();
+        let events = vec![Event::span(0, 4, 2, Payload::Sync { index: 0 })];
+        assert_eq!(busy_cycles_per_track(&events, &tracks), vec![0, 0, 4]);
     }
 
     #[test]

@@ -51,6 +51,125 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Renders compact JSON text. Deterministic for a fixed value:
+    /// object fields keep insertion order, numbers format integrally
+    /// when integral (`3` not `3.0`) and via shortest-round-trip `{:?}`
+    /// otherwise. Non-finite numbers (which JSON cannot express) render
+    /// as `null`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders indented JSON text (two spaces per level); same value
+    /// conventions as [`Json::render`].
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(&render_num(*n)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Builds a [`Json::Obj`] from `(key, value)` pairs, preserving order.
+pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Formats a number the way [`Json::render`] does: integral `f64`s in
+/// the exactly-representable range print without a fractional part,
+/// everything else via shortest-round-trip `{:?}`; non-finite → `null`.
+fn render_num(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_string();
+    }
+    // 2^53: the largest range where every integer is exactly
+    // representable, so printing without a fraction loses nothing.
+    if n.fract() == 0.0 && n.abs() < 9_007_199_254_740_992.0 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n:?}")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parses `text` into a [`Json`] value.
@@ -277,5 +396,58 @@ mod tests {
     #[test]
     fn unicode_escapes() {
         assert_eq!(parse("\"\\u0041\"").unwrap(), Json::Str("A".into()));
+    }
+
+    fn sample() -> Json {
+        obj([
+            ("s", Json::Str("a\"\\\n\tb".into())),
+            ("i", Json::Num(42.0)),
+            ("neg", Json::Num(-7.0)),
+            ("f", Json::Num(0.1)),
+            ("tiny", Json::Num(1e-9)),
+            ("b", Json::Bool(true)),
+            ("z", Json::Null),
+            (
+                "arr",
+                Json::Arr(vec![Json::Num(1.0), Json::Arr(vec![]), Json::Obj(vec![])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let v = sample();
+        assert_eq!(parse(&v.render()).unwrap(), v);
+        assert_eq!(parse(&v.render_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn render_formats_integers_without_fraction() {
+        assert_eq!(Json::Num(3.0).render(), "3");
+        assert_eq!(Json::Num(-3.0).render(), "-3");
+        assert_eq!(Json::Num(0.5).render(), "0.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_compact() {
+        let v = obj([("a", Json::Num(1.0)), ("b", Json::Arr(vec![Json::Null]))]);
+        assert_eq!(v.render(), r#"{"a":1,"b":[null]}"#);
+        assert_eq!(v.render(), v.render());
+    }
+
+    #[test]
+    fn render_escapes_control_chars() {
+        let v = Json::Str("\u{1}".into());
+        assert_eq!(v.render(), "\"\\u0001\"");
+        assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let text = sample().render_pretty();
+        assert!(text.contains("\n  \"i\": 42"), "{text}");
+        assert!(text.ends_with('}'));
     }
 }

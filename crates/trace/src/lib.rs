@@ -36,7 +36,7 @@ pub mod metrics;
 pub mod perfetto;
 pub mod sink;
 
-pub use csv::{cycle_csv, utilization_heatmap};
+pub use csv::{busy_cycles_per_track, cycle_csv, utilization_heatmap};
 pub use event::{Category, CategoryMask, Cycle, Event, Payload, TrackId, TrackTable};
 pub use metrics::{Hist, MetricId, MetricsRegistry, Value};
 pub use perfetto::{chrome_trace, validate_chrome_trace, TraceSummary};

@@ -76,6 +76,54 @@ impl Hist {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimates the `p`-th percentile (0–100) from the log2 buckets.
+    ///
+    /// The rank-`ceil(p/100 · count)` sample's bucket is located by a
+    /// cumulative walk; the estimate interpolates linearly inside the
+    /// bucket's `[2^(i-1), 2^i)` value range and is clamped to the
+    /// observed `[min, max]`, so single-valued distributions (and the
+    /// `p = 0` / `p = 100` edges) are exact. Returns `0.0` when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        if p == 0.0 {
+            return self.min;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        // The first and last order statistics are tracked exactly —
+        // this also keeps the saturation bucket (values >= 2^63, whose
+        // true spread the buckets cannot resolve) anchored to reality.
+        if rank >= self.count {
+            return self.max;
+        }
+        if rank == 1 {
+            return self.min;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            if seen < rank {
+                continue;
+            }
+            if i == 0 {
+                return 0.0;
+            }
+            // Bucket i covers [2^(i-1), 2^i); interpolate by the rank's
+            // position among the bucket's samples.
+            let lo = 2f64.powi(i as i32 - 1);
+            let hi = 2f64.powi(i as i32);
+            let into = (rank - (seen - n)) as f64 / n as f64;
+            let v = lo + (hi - lo) * into;
+            return v.clamp(self.min, self.max);
+        }
+        self.max
+    }
 }
 
 /// One metric's current value.
@@ -360,5 +408,158 @@ mod tests {
         r.set(c, 9.0);
         r.observe(c, 9.0);
         assert_eq!(r.counter_get(c), 0);
+    }
+
+    fn hist_of(samples: &[f64]) -> Hist {
+        let mut r = MetricsRegistry::new();
+        let id = r.histogram("h");
+        for &v in samples {
+            r.observe(id, v);
+        }
+        r.histogram_value("h").unwrap().clone()
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        let h = Hist::default();
+        assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.percentile(0.0), 0.0);
+        assert_eq!(h.percentile(100.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_single_value_is_exact() {
+        let h = hist_of(&[42.0; 100]);
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 42.0, "p{p}");
+        }
+    }
+
+    #[test]
+    fn percentile_edges_hit_min_and_max() {
+        let h = hist_of(&[1.0, 8.0, 64.0, 512.0]);
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(100.0), 512.0);
+        // Out-of-range p clamps rather than panicking.
+        assert_eq!(h.percentile(-5.0), 1.0);
+        assert_eq!(h.percentile(250.0), 512.0);
+    }
+
+    #[test]
+    fn percentile_uniform_is_within_bucket_resolution() {
+        // 1..=1024 uniformly: a log2-bucketed estimate can be off by at
+        // most a factor of 2 from the true percentile.
+        let samples: Vec<f64> = (1..=1024).map(|v| v as f64).collect();
+        let h = hist_of(&samples);
+        for (p, truth) in [(50.0, 512.0), (95.0, 973.0), (99.0, 1014.0)] {
+            let est = h.percentile(p);
+            assert!(
+                est >= truth / 2.0 && est <= truth * 2.0,
+                "p{p}: est {est} vs true {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p() {
+        let samples: Vec<f64> = (0..500).map(|v| (v * v) as f64).collect();
+        let h = hist_of(&samples);
+        let mut last = h.percentile(0.0);
+        for p in 1..=100 {
+            let v = h.percentile(p as f64);
+            assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn percentile_zeros_bucket() {
+        let h = hist_of(&[0.0, 0.0, 0.0, 16.0]);
+        assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.percentile(100.0), 16.0);
+    }
+
+    #[test]
+    fn percentile_saturation_bucket_clamps_to_max() {
+        // Values past 2^63 all land in the saturation bucket; the
+        // estimate must stay clamped to the observed max instead of
+        // extrapolating the bucket's nominal 2^64 upper edge.
+        let h = hist_of(&[1e300, 2e300]);
+        assert_eq!(h.percentile(99.0), 2e300);
+        assert_eq!(h.percentile(1.0), 1e300);
+    }
+
+    #[test]
+    fn merge_is_bucket_wise_for_histograms() {
+        let mut a = MetricsRegistry::new();
+        let ha = a.histogram("h");
+        for v in [1.0, 2.0, 1000.0] {
+            a.observe(ha, v);
+        }
+        let mut b = MetricsRegistry::new();
+        let hb = b.histogram("h");
+        for v in [0.0, 3.0] {
+            b.observe(hb, v);
+        }
+        let expect = hist_of(&[1.0, 2.0, 1000.0, 0.0, 3.0]);
+        a.merge(&b);
+        let merged = a.histogram_value("h").unwrap();
+        assert_eq!(merged.buckets, expect.buckets);
+        assert_eq!(merged.count, expect.count);
+        assert_eq!(merged.sum, expect.sum);
+        assert_eq!(merged.min, expect.min);
+        assert_eq!(merged.max, expect.max);
+    }
+
+    #[test]
+    fn merge_kind_collision_incoming_wins() {
+        let mut a = MetricsRegistry::new();
+        let c = a.counter("x");
+        a.add(c, 5);
+        let mut b = MetricsRegistry::new();
+        let g = b.gauge("x");
+        b.set(g, 2.5);
+        a.merge(&b);
+        assert_eq!(a.gauge_value("x"), Some(2.5));
+        assert_eq!(a.counter_value("x"), None);
+
+        // And the reverse: counter replaces gauge.
+        let mut c1 = MetricsRegistry::new();
+        let g1 = c1.gauge("y");
+        c1.set(g1, 7.0);
+        let mut c2 = MetricsRegistry::new();
+        let id = c2.counter("y");
+        c2.add(id, 3);
+        c1.merge(&c2);
+        assert_eq!(c1.counter_value("y"), Some(3));
+    }
+
+    #[test]
+    fn merge_into_empty_copies_everything() {
+        let mut src = MetricsRegistry::new();
+        let c = src.counter("c");
+        src.add(c, 11);
+        let g = src.gauge("g");
+        src.set(g, 0.25);
+        let h = src.histogram("h");
+        src.observe(h, 9.0);
+
+        let mut dst = MetricsRegistry::new();
+        dst.merge(&src);
+        assert_eq!(dst.counter_value("c"), Some(11));
+        assert_eq!(dst.gauge_value("g"), Some(0.25));
+        assert_eq!(dst.histogram_value("h"), src.histogram_value("h"));
+    }
+
+    #[test]
+    fn merge_saturates_counters() {
+        let mut a = MetricsRegistry::new();
+        let c = a.counter("c");
+        a.add(c, u64::MAX - 1);
+        let mut b = MetricsRegistry::new();
+        let c2 = b.counter("c");
+        b.add(c2, 10);
+        a.merge(&b);
+        assert_eq!(a.counter_value("c"), Some(u64::MAX));
     }
 }
