@@ -14,11 +14,18 @@
 //! repro --bench-json out.json --bench-net alexnet   # measured BENCH report
 //! repro --check BENCH_alexnet.json --tolerance 0.05 # regression gate
 //! ```
+//!
+//! `--tier interpreter|compiled` selects the functional execution tier
+//! for `--sweep`, `--bench-json`, and `--check` (default: interpreter).
+//! The tiers are bit-identical; they differ only in host wall-clock.
 
 use scaledeep::experiments::{run_by_id, EXPERIMENT_IDS};
 use scaledeep::{BenchReport, Session, TraceConfig};
+use scaledeep_compiler::codegen::CompiledNetwork;
 use scaledeep_compiler::FailedTiles;
 use scaledeep_dnn::zoo;
+use scaledeep_dnn::Layer;
+use scaledeep_sim::func::{ExecBackend, FuncSim};
 use scaledeep_trace::{validate_chrome_trace, CategoryMask};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -134,12 +141,13 @@ fn degraded_drill(name: &str, dead_cols: usize) -> Result<(), String> {
 /// the wall-clock went: compile time (the phase pipeline, first run only)
 /// versus simulate time, plus the session's compile-cache ledger. With
 /// the provenance-keyed cache the whole sweep compiles the network
-/// exactly once.
-fn sweep(name: &str) -> Result<(), String> {
+/// exactly once. Ends with the functional drill: the same training
+/// iteration on both execution tiers, wall-clocked head to head.
+fn sweep(name: &str, tier: ExecBackend) -> Result<(), String> {
     use std::time::Instant;
     type RunFn<'a> = &'a dyn Fn() -> Result<f64, String>;
     let net = zoo::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
-    let session = Session::single_precision();
+    let session = Session::single_precision().with_exec_backend(tier);
     let runs: [(&str, RunFn); 3] = [
         ("train", &|| {
             session
@@ -185,7 +193,105 @@ fn sweep(name: &str) -> Result<(), String> {
         "compile cache: {} miss(es), {} hit(s) — {} run kinds, 1 pipeline run",
         stats.misses, stats.hits, 3
     );
+
+    // The functional drill: the same training iteration on the
+    // interpreter tier and on the pre-decoded micro-op tier. Full-scale
+    // benchmarks that exceed the functional target fall back to their
+    // `-func` proxy (same layer cadence at functional scale).
+    let func_net = match session.compile(&net) {
+        Ok(a) if a.functional().is_ok() => Some(net),
+        _ => zoo::by_name(&format!("{name}-func")),
+    };
+    match func_net {
+        Some(func_net) => functional_drill(&func_net),
+        None => {
+            println!("functional drill: skipped (no functional compile, no `{name}-func` proxy)");
+            Ok(())
+        }
+    }
+}
+
+/// Timed iterations per tier in the functional drill — enough that the
+/// iteration loop, not simulator setup, dominates the wall-clock. Each
+/// tier additionally runs one untimed warm-up iteration first (caches,
+/// branch predictors, lazily-grown scratch), which still participates in
+/// the cross-tier identity check.
+const DRILL_ITERATIONS: u64 = 5;
+
+/// Runs one warm-up plus [`DRILL_ITERATIONS`] timed training iterations
+/// of `net` on each execution tier, verifies the tiers' statistics are
+/// identical, and reports the per-tier wall-clock and the resulting
+/// speedup.
+fn functional_drill(net: &scaledeep_dnn::Network) -> Result<(), String> {
+    use std::time::Instant;
+    let session = Session::single_precision();
+    let artifact = session.compile(net).map_err(|e| e.to_string())?;
+    let compiled = artifact.functional().map_err(|e| e.to_string())?;
+    let (image, golden) = drill_io(net, compiled)?;
+    let reference = scaledeep_tensor::Executor::new(net, 0xC0FFEE).map_err(|e| format!("{e:?}"))?;
+    let mut walls = [0u64; 2];
+    let mut runs = Vec::new();
+    for (i, tier) in [ExecBackend::Interpreter, ExecBackend::Compiled]
+        .into_iter()
+        .enumerate()
+    {
+        let mut fsim = FuncSim::from_artifact(net, &artifact)
+            .map_err(|e| e.to_string())?
+            .with_backend(tier);
+        fsim.import_params(&reference).map_err(|e| e.to_string())?;
+        let mut stats = Vec::new();
+        stats.push(
+            fsim.run_iteration(&image, &golden)
+                .map_err(|e| e.to_string())?,
+        );
+        let started = Instant::now();
+        for _ in 0..DRILL_ITERATIONS {
+            stats.push(
+                fsim.run_iteration(&image, &golden)
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        walls[i] = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        println!(
+            "{}: functional ({:<11}) {:>9} insts  {:>9} cycles  {:>6} stalls  ({} ns wall, {DRILL_ITERATIONS} iterations)",
+            net.name(),
+            tier.name(),
+            stats[0].instructions,
+            stats[0].cycles,
+            stats[0].stalls,
+            walls[i],
+        );
+        runs.push(stats);
+    }
+    if runs[0] != runs[1] {
+        return Err("execution tiers DIVERGED: per-iteration statistics differ".to_string());
+    }
+    println!(
+        "tiers bit-identical across {DRILL_ITERATIONS} iterations; compiled tier speedup {:.2}x",
+        walls[0] as f64 / walls[1].max(1) as f64
+    );
     Ok(())
+}
+
+/// The constant iteration inputs the drill feeds both tiers: sized from
+/// the compiled layout's input and golden buffers (mirrors the session's
+/// internal convention; values are arbitrary — cycle counts are
+/// data-independent and both tiers see the same words).
+fn drill_io(
+    net: &scaledeep_dnn::Network,
+    compiled: &CompiledNetwork,
+) -> Result<(Vec<f32>, Vec<f32>), String> {
+    let input_len = compiled.buffers[net.input().id().index()]
+        .output
+        .map(|loc| loc.len as usize)
+        .ok_or("input layer has no output buffer")?;
+    let golden_len = net
+        .layers()
+        .find(|n| matches!(n.layer(), Layer::Loss))
+        .and_then(|n| compiled.buffers[n.id().index()].golden)
+        .map(|loc| loc.len as usize)
+        .ok_or("network has no loss head; a training iteration needs one")?;
+    Ok((vec![0.5; input_len], vec![0.0; golden_len]))
 }
 
 /// Traces a training run of `name` through the performance pipeline,
@@ -254,10 +360,10 @@ fn session_for_precision(precision: &str) -> Result<Session, String> {
 /// `--bench-json`: runs `name` traced, joins the trace with the compile's
 /// provenance and the analytic costs into the versioned BENCH report, and
 /// writes it to `out` (validating it through the schema reader first).
-fn bench_json(name: &str, kind_str: &str, out: &str) -> Result<(), String> {
+fn bench_json(name: &str, kind_str: &str, out: &str, tier: ExecBackend) -> Result<(), String> {
     let net = zoo::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
     let kind = parse_kind(kind_str)?;
-    let session = Session::single_precision();
+    let session = Session::single_precision().with_exec_backend(tier);
     let report = session
         .bench_report(&net, kind)
         .map_err(|e| e.to_string())?;
@@ -292,14 +398,18 @@ fn bench_json(name: &str, kind_str: &str, out: &str) -> Result<(), String> {
 /// `--check`: re-runs the baseline's network/kind/precision on this tree
 /// and diffs the fresh report against the baseline with a relative
 /// tolerance. Returns the regression messages (empty = gate passes).
-fn bench_check(baseline_path: &str, tolerance: f64) -> Result<Vec<String>, String> {
+fn bench_check(
+    baseline_path: &str,
+    tolerance: f64,
+    tier: ExecBackend,
+) -> Result<Vec<String>, String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("reading {baseline_path}: {e}"))?;
     let baseline = BenchReport::from_json(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
     let net = zoo::by_name(&baseline.network)
         .ok_or_else(|| format!("{baseline_path}: unknown benchmark `{}`", baseline.network))?;
     let kind = parse_kind(&baseline.kind)?;
-    let session = session_for_precision(&baseline.precision)?;
+    let session = session_for_precision(&baseline.precision)?.with_exec_backend(tier);
     let fresh = session
         .bench_report(&net, kind)
         .map_err(|e| e.to_string())?;
@@ -323,7 +433,22 @@ fn bench_check(baseline_path: &str, tolerance: f64) -> Result<Vec<String>, Strin
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let tier = match args.iter().position(|a| a == "--tier") {
+        Some(pos) => {
+            let Some(name) = args.get(pos + 1) else {
+                eprintln!("--tier requires interpreter|compiled");
+                std::process::exit(1);
+            };
+            let Some(tier) = ExecBackend::parse(name) else {
+                eprintln!("unknown tier `{name}` (expected interpreter|compiled)");
+                std::process::exit(1);
+            };
+            args.drain(pos..pos + 2);
+            tier
+        }
+        None => ExecBackend::Interpreter,
+    };
     if args.iter().any(|a| a == "--list") {
         for id in EXPERIMENT_IDS {
             println!("{id}");
@@ -347,7 +472,7 @@ fn main() {
             .and_then(|p| args.get(p + 1))
             .map(String::as_str)
             .unwrap_or("training");
-        if let Err(e) = bench_json(name, kind, out) {
+        if let Err(e) = bench_json(name, kind, out, tier) {
             eprintln!("{e}");
             std::process::exit(1);
         }
@@ -372,7 +497,7 @@ fn main() {
             },
             None => 0.05,
         };
-        match bench_check(baseline, tolerance) {
+        match bench_check(baseline, tolerance, tier) {
             Ok(fails) if fails.is_empty() => {}
             Ok(fails) => {
                 for f in &fails {
@@ -421,7 +546,7 @@ fn main() {
     }
     if let Some(pos) = args.iter().position(|a| a == "--sweep") {
         let name = args.get(pos + 1).map(String::as_str).unwrap_or("alexnet");
-        if let Err(e) = sweep(name) {
+        if let Err(e) = sweep(name, tier) {
             eprintln!("{e}");
             std::process::exit(1);
         }

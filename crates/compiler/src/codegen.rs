@@ -50,7 +50,7 @@ impl Default for FuncTargetOptions {
 }
 
 /// A network compiled for the functional simulator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledNetwork {
     /// The source network's name.
     pub net_name: String,

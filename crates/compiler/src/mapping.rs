@@ -148,6 +148,18 @@ impl FailedTiles {
     pub fn func_tiles(&self) -> impl Iterator<Item = u16> + '_ {
         self.func_tiles.iter().copied()
     }
+
+    /// Reassembles a set from both granularities at once
+    /// (artifact deserialization — [`crate::artifact_io`]).
+    pub(crate) fn from_sets(
+        cols: impl IntoIterator<Item = usize>,
+        func_tiles: impl IntoIterator<Item = u16>,
+    ) -> Self {
+        Self {
+            cols: cols.into_iter().collect(),
+            func_tiles: func_tiles.into_iter().collect(),
+        }
+    }
 }
 
 /// The complete plan for one layer.

@@ -1,6 +1,6 @@
 //! The phase-structured compilation pipeline (paper §4, Figure 13 + §4.2).
 //!
-//! Compilation is one explicit pipeline of five phases, each consuming and
+//! Compilation is one explicit pipeline of six phases, each consuming and
 //! producing a typed intermediate artifact:
 //!
 //! 1. **analyze** — validate the node, run the network's FLOP/byte
@@ -15,7 +15,12 @@
 //! 4. **assign-compute** — configure the CompHeavy 2D arrays (STEP 5) and
 //!    assemble + validate the [`Mapping`];
 //! 5. **codegen** — instantiate the per-layer ISA program templates for
-//!    the functional target (§4.2).
+//!    the functional target (§4.2);
+//! 6. **lower** — pre-decode each generated program into its dense
+//!    micro-op stream ([`scaledeep_isa::LoweredProgram`]): operand ranges
+//!    resolved to typed locations, geometry unpacked, dispatch costs
+//!    pre-classified. This is the compiled execution tier's input — the
+//!    per-dispatch decode work the interpreter repeats is paid once here.
 //!
 //! The pipeline terminates in one [`CompiledArtifact`] bundling the
 //! mapping (the performance simulator's input), the functional
@@ -37,16 +42,18 @@ use crate::mapping::{
 };
 use scaledeep_arch::{ChipConfig, NodeConfig, Precision};
 use scaledeep_dnn::{Analysis, Layer, LayerId, Network, Step};
+use scaledeep_isa::LoweredProgram;
 use scaledeep_trace::{Payload, TraceSink, Tracer};
 
 /// The pipeline's phase names, in execution order (the `phase` field of
 /// the [`Payload::Phase`] spans [`compile_traced`] emits).
-pub const PHASES: [&str; 5] = [
+pub const PHASES: [&str; 6] = [
     "analyze",
     "allocate-columns",
     "partition-state",
     "assign-compute",
     "codegen",
+    "lower",
 ];
 
 /// Everything that parameterizes a compile besides the network and the
@@ -151,6 +158,7 @@ fn fingerprint<T: std::fmt::Debug>(v: &T) -> u64 {
 pub struct CompiledArtifact {
     mapping: Mapping,
     functional: std::result::Result<CompiledNetwork, Error>,
+    lowered: Option<Vec<LoweredProgram>>,
     provenance: Provenance,
 }
 
@@ -179,6 +187,13 @@ impl CompiledArtifact {
         self.functional.is_ok()
     }
 
+    /// The lower phase's micro-op streams — the compiled execution tier's
+    /// pre-decoded form of [`CompiledNetwork::programs`], in the same
+    /// order. `None` exactly when the artifact has no functional network.
+    pub fn lowered(&self) -> Option<&[LoweredProgram]> {
+        self.lowered.as_deref()
+    }
+
     /// What went into this compile.
     pub fn provenance(&self) -> &Provenance {
         &self.provenance
@@ -188,6 +203,23 @@ impl CompiledArtifact {
     /// granularity).
     pub fn is_degraded(&self) -> bool {
         !self.provenance.failed.is_empty()
+    }
+
+    /// Reassembles an artifact from serialized parts
+    /// ([`crate::artifact_io`]). The caller re-derives `lowered` from the
+    /// functional programs so the `Some`-iff-functional invariant holds.
+    pub(crate) fn from_parts(
+        mapping: Mapping,
+        functional: std::result::Result<CompiledNetwork, Error>,
+        lowered: Option<Vec<LoweredProgram>>,
+        provenance: Provenance,
+    ) -> Self {
+        Self {
+            mapping,
+            functional,
+            lowered,
+            provenance,
+        }
     }
 }
 
@@ -438,7 +470,8 @@ pub(crate) fn map_phases(
 }
 
 /// Runs the full pipeline: analyze → allocate-columns → partition-state →
-/// assign-compute → codegen. This is the single compile entry point; every
+/// assign-compute → codegen → lower. This is the single compile entry
+/// point; every
 /// run path (perf, functional, traced, degraded) consumes its
 /// [`CompiledArtifact`].
 ///
@@ -459,7 +492,7 @@ pub fn compile(
 
 /// [`compile`] with per-phase observability: one [`Payload::Phase`] span
 /// per phase lands on the tracer's `"compile"` track, stamped with the
-/// phase ordinal (0–4) so same-input compiles export byte-identically.
+/// phase ordinal (0–5) so same-input compiles export byte-identically.
 ///
 /// # Errors
 ///
@@ -497,9 +530,15 @@ pub fn compile_traced<S: TraceSink>(
     let functional =
         codegen::compile_functional_degraded(net, &opts.func, opts.minibatch, &dead_tiles);
     done(tracer, 4);
+    let lowered = functional
+        .as_ref()
+        .ok()
+        .map(|c| c.programs.iter().map(scaledeep_isa::micro::lower).collect());
+    done(tracer, 5);
     Ok(CompiledArtifact {
         mapping,
         functional,
+        lowered,
         provenance: Provenance::new(node, net, opts),
     })
 }
@@ -606,6 +645,9 @@ mod tests {
         // Mapping is untouched (func tiles are not mapping columns)...
         assert_eq!(healthy.mapping(), degraded.mapping());
         assert!(degraded.is_degraded());
+        // The lower phase ran on the functional programs.
+        let lowered = degraded.lowered().expect("functional compile lowers");
+        assert_eq!(lowered.len(), degraded.functional().unwrap().programs.len());
         // ...but no functional buffer lands on the dead tile.
         let compiled = degraded.functional().unwrap();
         for lb in &compiled.buffers {

@@ -264,18 +264,24 @@ impl Pool {
     /// Output shape for the given input shape. Ceil mode keeps partial
     /// windows at the border (Caffe-style), which several benchmark
     /// topologies rely on (e.g. GoogLeNet 3x3/2 pooling on 28x28 -> 14x14);
-    /// floor mode drops them (CNN-S).
+    /// floor mode drops them (CNN-S). Delegates per dimension to
+    /// [`scaledeep_isa::samp_out`] — the single definition the `NDSUBSAMP`
+    /// / `NDUPSAMP` execution semantics share.
     pub fn output_shape(&self, input: FeatureShape) -> FeatureShape {
-        let span_h = input.height + 2 * self.pad - self.window;
-        let span_w = input.width + 2 * self.pad - self.window;
-        let (h, w) = if self.ceil_mode {
-            (
-                span_h.div_ceil(self.stride) + 1,
-                span_w.div_ceil(self.stride) + 1,
-            )
-        } else {
-            (span_h / self.stride + 1, span_w / self.stride + 1)
-        };
+        let h = scaledeep_isa::samp_out(
+            input.height,
+            self.window,
+            self.stride,
+            self.pad,
+            self.ceil_mode,
+        );
+        let w = scaledeep_isa::samp_out(
+            input.width,
+            self.window,
+            self.stride,
+            self.pad,
+            self.ceil_mode,
+        );
         FeatureShape::new(input.features, h, w)
     }
 }

@@ -9,6 +9,7 @@
 mod alexnet;
 mod cnn_s;
 mod extras;
+mod func_proxy;
 mod googlenet;
 mod overfeat;
 mod resnet;
@@ -18,6 +19,7 @@ mod zf;
 pub use alexnet::alexnet;
 pub use cnn_s::cnn_s;
 pub use extras::{autoencoder, unrolled_lstm, unrolled_rnn};
+pub use func_proxy::alexnet_func;
 pub use googlenet::googlenet;
 pub use overfeat::{overfeat_accurate, overfeat_fast};
 pub use resnet::{resnet18, resnet34};
@@ -104,6 +106,8 @@ pub fn by_name(name: &str) -> Option<Network> {
         "vgg-e" => Some(vgg_e()),
         "resnet18" => Some(resnet18()),
         "resnet34" => Some(resnet34()),
+        // Functional-scale proxies (not part of the Figure 15 suite).
+        "alexnet-func" => Some(alexnet_func()),
         _ => None,
     }
 }

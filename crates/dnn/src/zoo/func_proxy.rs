@@ -1,0 +1,59 @@
+//! Functional-scale proxy networks: benchmark-shaped topologies reduced
+//! to dimensions the functional target can compile and execute.
+//!
+//! The reduced functional chip cannot express every benchmark network —
+//! AlexNet's stride-4 C1 and 37.7M-element F6 weight matrix both exceed
+//! it. These proxies keep the *shape* of the benchmark (layer sequence,
+//! kernel sizes, grouped towers, pooling cadence) while shrinking feature
+//! counts and forcing stride-1 convolutions, so end-to-end functional
+//! runs — tier cross-checks, bit-identity sweeps, wall-clock drills —
+//! exercise a benchmark-like instruction mix at tractable cost.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::Network;
+use crate::layer::{Conv, Fc, Pool};
+use crate::shape::FeatureShape;
+
+/// An AlexNet-shaped functional proxy: the same 5 CONV / 3 SAMP / 3 FC
+/// cadence (with the two-tower `groups = 2` on C2/C4/C5), at stride 1 and
+/// functional-chip scale.
+pub fn alexnet_func() -> Network {
+    let mut b = NetworkBuilder::new("alexnet-func", FeatureShape::new(3, 32, 32));
+    b.conv("c1", Conv::relu(16, 3, 1, 1)).expect("c1");
+    b.pool("s1", Pool::max(3, 2)).expect("s1");
+    b.conv("c2", Conv::relu_grouped(32, 3, 1, 1, 2))
+        .expect("c2");
+    b.pool("s2", Pool::max(3, 2)).expect("s2");
+    b.conv("c3", Conv::relu(48, 3, 1, 1)).expect("c3");
+    b.conv("c4", Conv::relu_grouped(48, 3, 1, 1, 2))
+        .expect("c4");
+    b.conv("c5", Conv::relu_grouped(32, 3, 1, 1, 2))
+        .expect("c5");
+    b.pool("s3", Pool::max(3, 2)).expect("s3");
+    b.fc("f6", Fc::relu(256)).expect("f6");
+    b.fc("f7", Fc::relu(128)).expect("f7");
+    let out = b.fc("f8", Fc::linear(10)).expect("f8");
+    b.finish_with_loss(out)
+        .expect("alexnet-func is a valid graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_alexnets_layer_cadence() {
+        let net = alexnet_func();
+        assert_eq!(net.layer_counts(), (5, 3, 3));
+    }
+
+    #[test]
+    fn all_convs_are_stride_one() {
+        let net = alexnet_func();
+        for n in net.layers() {
+            if let crate::layer::Layer::Conv(c) = n.layer() {
+                assert_eq!(c.stride, 1, "{} must be functional-compilable", n.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Pins `Pool::output_shape` to the shared `scaledeep_isa::samp_out`
+//! definition: the graph layer and the `NDSUBSAMP`/`NDUPSAMP` execution
+//! semantics must agree on the sampling output extent in both ceil and
+//! floor mode, across the window/stride/pad space.
+
+use proptest::prelude::*;
+use scaledeep_dnn::{FeatureShape, Pool, PoolKind};
+
+proptest! {
+    #[test]
+    fn output_shape_matches_shared_samp_out(
+        height in 1usize..64,
+        width in 1usize..64,
+        window in 1usize..8,
+        stride in 1usize..8,
+        pad in 0usize..4,
+        ceil in any::<bool>(),
+        features in 1usize..16,
+    ) {
+        // Only geometries where the window fits the padded input are
+        // valid pools (Pool::validate enforces this at build time).
+        prop_assume!(height + 2 * pad >= window && width + 2 * pad >= window);
+        let pool = Pool {
+            kind: PoolKind::Max,
+            window,
+            stride,
+            pad,
+            ceil_mode: ceil,
+        };
+        let out = pool.output_shape(FeatureShape::new(features, height, width));
+        prop_assert_eq!(out.features, features);
+        prop_assert_eq!(
+            out.height,
+            scaledeep_isa::samp_out(height, window, stride, pad, ceil)
+        );
+        prop_assert_eq!(
+            out.width,
+            scaledeep_isa::samp_out(width, window, stride, pad, ceil)
+        );
+        // The pre-delegation closed form, kept as an independent pin.
+        let span = height + 2 * pad - window;
+        let want_h = if ceil { span.div_ceil(stride) + 1 } else { span / stride + 1 };
+        prop_assert_eq!(out.height, want_h);
+    }
+}

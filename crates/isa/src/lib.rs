@@ -48,11 +48,13 @@ mod disasm;
 mod encode;
 mod error;
 mod inst;
+pub mod micro;
 mod program;
 mod reg;
 
 pub use builder::ProgramBuilder;
 pub use error::{Error, Result};
 pub use inst::{ActKind, Addr, DmaDir, Inst, InstGroup, MemRef, PoolMode, TileRef, EXT_MEM_TILE};
+pub use micro::{samp_out, Loc, LoweredProgram, MicroOp};
 pub use program::Program;
 pub use reg::{Reg, NUM_REGS};

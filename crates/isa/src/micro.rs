@@ -1,0 +1,725 @@
+//! Lowered micro-op form of a [`Program`] — the compiled execution tier's
+//! input.
+//!
+//! The functional simulator's interpreter re-matches [`Inst`] variants and
+//! re-derives operand ranges on every dispatch. [`lower`] performs that
+//! work once per program, at compile time, producing a dense stream of
+//! [`MicroOp`]s in which every data instruction carries:
+//!
+//! * its operand ranges as typed [`OperandSpec`]s — the tile/external
+//!   split is a [`Loc`] (no `u16::MAX` sentinel), lengths are
+//!   pre-computed, and only register-indirect addresses remain to be
+//!   resolved at run time;
+//! * a [`DataForm`] with all geometry immediates unpacked (including the
+//!   sampling output extents, via [`samp_out`]);
+//! * a [`CostClass`] with the work amount pre-multiplied, so pricing a
+//!   dispatch is one division instead of an instruction match.
+//!
+//! Lowering is purely mechanical — every field is copied or arithmetically
+//! derived from the instruction — so a lowered program is semantically
+//! identical to its source by construction. Scalar-control instructions
+//! pass through unchanged ([`MicroOp::Scalar`]): they touch only the
+//! register file and are already cheap to interpret.
+//!
+//! [`samp_out`] is also the single shared definition of the sampling
+//! output extent: `scaledeep_dnn::Pool::output_shape` and the simulator's
+//! subsample/upsample execution both delegate here.
+
+use crate::inst::{ActKind, Addr, Inst, MemRef, PoolMode, TileRef};
+use crate::program::Program;
+
+/// Where an operand lives: a MemHeavy tile or external memory. The typed
+/// replacement for the `u16::MAX` external-memory sentinel — lowering and
+/// execution cannot mis-encode the distinguished value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// A MemHeavy tile's scratchpad.
+    Tile(u16),
+    /// The external memory channel (host-managed, untracked).
+    External,
+}
+
+impl Loc {
+    /// The tile index, or `None` for external memory.
+    pub const fn tile(self) -> Option<u16> {
+        match self {
+            Loc::Tile(t) => Some(t),
+            Loc::External => None,
+        }
+    }
+
+    /// True for external memory.
+    pub const fn is_external(self) -> bool {
+        matches!(self, Loc::External)
+    }
+}
+
+impl From<TileRef> for Loc {
+    fn from(t: TileRef) -> Self {
+        if t.is_ext_mem() {
+            Loc::External
+        } else {
+            Loc::Tile(t.0)
+        }
+    }
+}
+
+impl From<Loc> for TileRef {
+    fn from(l: Loc) -> Self {
+        match l {
+            Loc::Tile(t) => TileRef(t),
+            Loc::External => crate::inst::EXT_MEM_TILE,
+        }
+    }
+}
+
+impl std::fmt::Display for Loc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        TileRef::from(*self).fmt(f)
+    }
+}
+
+/// One pre-resolved operand range of a data micro-op. The length and
+/// location are fixed at lowering; only an [`Addr::Reg`] address needs the
+/// register file at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OperandSpec {
+    /// Where the operand lives.
+    pub loc: Loc,
+    /// Element address within the location (immediate or register).
+    pub addr: Addr,
+    /// Element length.
+    pub len: u32,
+}
+
+impl OperandSpec {
+    fn new(m: MemRef, len: u32) -> Self {
+        Self {
+            loc: m.tile.into(),
+            addr: m.addr,
+            len,
+        }
+    }
+}
+
+/// The pre-classified cost of a micro-op: which rate of the cycle-cost
+/// table applies, with the work amount already multiplied out. Pricing a
+/// lowered dispatch is `work.div_ceil(rate).max(1)` — no instruction
+/// match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// One scalar-control instruction.
+    Scalar,
+    /// One tracker arm.
+    Track,
+    /// Convolution multiply-accumulates (ConvLayer column FMA rate).
+    ConvMacs(u64),
+    /// Matrix-multiply multiply-accumulates (FcLayer column FMA rate).
+    FcMacs(u64),
+    /// Special-function operations (MemHeavy SFU rate).
+    SfuOps(u64),
+    /// Elements moved (CompHeavy↔MemHeavy link rate).
+    TransferElems(u64),
+}
+
+/// The operation a data micro-op performs, with every geometry immediate
+/// unpacked to native widths and derived extents pre-computed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DataForm {
+    /// `NDCONV`: reads `[input, kernels]`, writes the output features.
+    Conv {
+        /// Input feature height.
+        in_h: usize,
+        /// Input feature width.
+        in_w: usize,
+        /// Kernel side length.
+        k: usize,
+        /// Convolution stride.
+        stride: usize,
+        /// Symmetric zero padding.
+        pad: usize,
+        /// Kernels convolved per instruction (output lanes).
+        lanes: usize,
+        /// Output feature height.
+        out_h: usize,
+        /// Output feature width.
+        out_w: usize,
+        /// Add into the destination instead of overwriting.
+        accumulate: bool,
+        /// Read the kernels reversed (transposed convolution of BP).
+        flip: bool,
+    },
+    /// `MATMUL`: reads `[input, matrix]`, writes the output vector.
+    MatMul {
+        /// Dot-product length.
+        n_in: usize,
+        /// Add into the destination instead of overwriting.
+        accumulate: bool,
+    },
+    /// `NDACTFN`: reads `[src]`, writes the activated elements.
+    ActFn {
+        /// Activation function.
+        kind: ActKind,
+    },
+    /// `NDACTFN` backward: reads `[pre, err]`, writes the scaled errors.
+    ActBwd {
+        /// Activation function whose derivative applies.
+        kind: ActKind,
+    },
+    /// `NDSUBSAMP`: reads `[src]`, writes the pooled feature.
+    Subsamp {
+        /// Pooling mode.
+        mode: PoolMode,
+        /// Input feature height.
+        in_h: usize,
+        /// Input feature width.
+        in_w: usize,
+        /// Window side length.
+        window: usize,
+        /// Window stride.
+        stride: usize,
+        /// Symmetric zero padding.
+        pad: usize,
+        /// Pre-computed output height ([`samp_out`]).
+        out_h: usize,
+        /// Pre-computed output width ([`samp_out`]).
+        out_w: usize,
+    },
+    /// `NDUPSAMP`: reads `[err, fwd]`, writes the routed errors.
+    Upsamp {
+        /// Pooling mode being reversed.
+        mode: PoolMode,
+        /// Forward input feature height.
+        in_h: usize,
+        /// Forward input feature width.
+        in_w: usize,
+        /// Window side length.
+        window: usize,
+        /// Window stride.
+        stride: usize,
+        /// Symmetric zero padding.
+        pad: usize,
+        /// Pre-computed pooled height ([`samp_out`]).
+        out_h: usize,
+        /// Pre-computed pooled width ([`samp_out`]).
+        out_w: usize,
+    },
+    /// `NDACC`: reads `[src]`, accumulates into the destination.
+    Acc,
+    /// `VECSCALEACC`: reads `[src, scale]`, accumulates `scale * src`.
+    ScaleAcc {
+        /// Whether `scale` is a full vector (Hadamard) or one broadcast
+        /// element.
+        elementwise: bool,
+    },
+    /// All four transfer forms (`DMALOAD`/`DMASTORE`/`PREFETCH`/
+    /// `PASSBUFF`): reads `[src]`, copies (or accumulates) into the
+    /// destination.
+    Copy {
+        /// Add into the destination instead of overwriting.
+        accumulate: bool,
+    },
+}
+
+/// One lowered data instruction: its form, pre-resolved operand ranges
+/// (reads in execution order, exactly one write), and pre-classified
+/// cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataOp {
+    /// What the op computes.
+    pub form: DataForm,
+    /// Read operands, in the order the form consumes them.
+    pub reads: Vec<OperandSpec>,
+    /// The single write operand.
+    pub write: OperandSpec,
+    /// Pre-classified dispatch cost.
+    pub cost: CostClass,
+}
+
+/// One element of a lowered program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MicroOp {
+    /// A scalar-control instruction, passed through unchanged.
+    Scalar(Inst),
+    /// A tracker arm (`MEMTRACK` / `DMA_MEMTRACK`), fields unpacked.
+    Track {
+        /// Tracked tile.
+        tile: u16,
+        /// Range start (elements).
+        addr: u32,
+        /// Range length (elements).
+        len: u32,
+        /// Writes required before the range is readable.
+        num_updates: u16,
+        /// Reads required before the range may be overwritten.
+        num_reads: u16,
+    },
+    /// A data instruction, fully lowered.
+    Data(DataOp),
+}
+
+/// A program lowered to its micro-op stream. Produced once per compile by
+/// [`lower`]; executed by the functional simulator's compiled tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredProgram {
+    name: String,
+    ops: Vec<MicroOp>,
+}
+
+impl LoweredProgram {
+    /// The source program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The micro-op stream.
+    pub fn ops(&self) -> &[MicroOp] {
+        &self.ops
+    }
+
+    /// Number of micro-ops (equals the source program's length).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Output spatial extent of a sampling window over one dimension: ceil
+/// mode keeps partial border windows (Caffe-style), floor mode drops
+/// them. The single shared definition used by the graph layer
+/// (`Pool::output_shape`), the lowering pass, and the simulator.
+pub fn samp_out(in_d: usize, window: usize, stride: usize, pad: usize, ceil: bool) -> usize {
+    let span = in_d + 2 * pad - window;
+    if ceil {
+        span.div_ceil(stride) + 1
+    } else {
+        span / stride + 1
+    }
+}
+
+/// Lowers a program to its micro-op stream. Positions map one-to-one
+/// (micro-op `i` is instruction `i`), so branch offsets keep their
+/// meaning.
+pub fn lower(program: &Program) -> LoweredProgram {
+    LoweredProgram {
+        name: program.name().to_string(),
+        ops: program.insts().iter().map(lower_inst).collect(),
+    }
+}
+
+/// Lowers one instruction.
+pub fn lower_inst(inst: &Inst) -> MicroOp {
+    let data = |form, reads, write, cost| {
+        MicroOp::Data(DataOp {
+            form,
+            reads,
+            write,
+            cost,
+        })
+    };
+    match *inst {
+        Inst::NdConv {
+            input,
+            in_h,
+            in_w,
+            kernel,
+            k,
+            stride,
+            pad,
+            lanes,
+            output,
+            out_h,
+            out_w,
+            accumulate,
+            flip,
+        } => {
+            let in_len = u32::from(in_h) * u32::from(in_w);
+            let ker_len = u32::from(lanes) * u32::from(k) * u32::from(k);
+            let out_len = u32::from(lanes) * u32::from(out_h) * u32::from(out_w);
+            let macs = u64::from(lanes)
+                * u64::from(out_h)
+                * u64::from(out_w)
+                * u64::from(k)
+                * u64::from(k);
+            data(
+                DataForm::Conv {
+                    in_h: in_h as usize,
+                    in_w: in_w as usize,
+                    k: k as usize,
+                    stride: stride as usize,
+                    pad: pad as usize,
+                    lanes: lanes as usize,
+                    out_h: out_h as usize,
+                    out_w: out_w as usize,
+                    accumulate,
+                    flip,
+                },
+                vec![
+                    OperandSpec::new(input, in_len),
+                    OperandSpec::new(kernel, ker_len),
+                ],
+                OperandSpec::new(output, out_len),
+                CostClass::ConvMacs(macs),
+            )
+        }
+        Inst::MatMul {
+            input,
+            n_in,
+            matrix,
+            rows,
+            output,
+            accumulate,
+        } => data(
+            DataForm::MatMul {
+                n_in: n_in as usize,
+                accumulate,
+            },
+            vec![
+                OperandSpec::new(input, n_in),
+                OperandSpec::new(matrix, rows * n_in),
+            ],
+            OperandSpec::new(output, rows),
+            CostClass::FcMacs(u64::from(rows) * u64::from(n_in)),
+        ),
+        Inst::NdActFn {
+            kind,
+            src,
+            len,
+            dst,
+        } => data(
+            DataForm::ActFn { kind },
+            vec![OperandSpec::new(src, len)],
+            OperandSpec::new(dst, len),
+            CostClass::SfuOps(u64::from(len)),
+        ),
+        Inst::NdActBwd {
+            kind,
+            pre,
+            err,
+            len,
+            dst,
+        } => data(
+            DataForm::ActBwd { kind },
+            vec![OperandSpec::new(pre, len), OperandSpec::new(err, len)],
+            OperandSpec::new(dst, len),
+            CostClass::SfuOps(u64::from(len)),
+        ),
+        Inst::NdSubsamp {
+            mode,
+            src,
+            in_h,
+            in_w,
+            window,
+            stride,
+            pad,
+            ceil,
+            dst,
+        } => {
+            let (ih, iw) = (in_h as usize, in_w as usize);
+            let (win, st, pd) = (window as usize, stride as usize, pad as usize);
+            let oh = samp_out(ih, win, st, pd, ceil);
+            let ow = samp_out(iw, win, st, pd, ceil);
+            data(
+                DataForm::Subsamp {
+                    mode,
+                    in_h: ih,
+                    in_w: iw,
+                    window: win,
+                    stride: st,
+                    pad: pd,
+                    out_h: oh,
+                    out_w: ow,
+                },
+                vec![OperandSpec::new(src, (ih * iw) as u32)],
+                OperandSpec::new(dst, (oh * ow) as u32),
+                CostClass::SfuOps((ih * iw) as u64),
+            )
+        }
+        Inst::NdUpsamp {
+            mode,
+            err,
+            fwd,
+            in_h,
+            in_w,
+            window,
+            stride,
+            pad,
+            ceil,
+            dst,
+        } => {
+            let (ih, iw) = (in_h as usize, in_w as usize);
+            let (win, st, pd) = (window as usize, stride as usize, pad as usize);
+            let oh = samp_out(ih, win, st, pd, ceil);
+            let ow = samp_out(iw, win, st, pd, ceil);
+            data(
+                DataForm::Upsamp {
+                    mode,
+                    in_h: ih,
+                    in_w: iw,
+                    window: win,
+                    stride: st,
+                    pad: pd,
+                    out_h: oh,
+                    out_w: ow,
+                },
+                vec![
+                    OperandSpec::new(err, (oh * ow) as u32),
+                    OperandSpec::new(fwd, (ih * iw) as u32),
+                ],
+                OperandSpec::new(dst, (ih * iw) as u32),
+                CostClass::SfuOps((ih * iw) as u64),
+            )
+        }
+        Inst::NdAcc { dst, src, len } => data(
+            DataForm::Acc,
+            vec![OperandSpec::new(src, len)],
+            OperandSpec::new(dst, len),
+            CostClass::SfuOps(u64::from(len)),
+        ),
+        Inst::VecScaleAcc {
+            src,
+            len,
+            scalar,
+            dst,
+            elementwise,
+        } => data(
+            DataForm::ScaleAcc { elementwise },
+            vec![
+                OperandSpec::new(src, len),
+                OperandSpec::new(scalar, if elementwise { len } else { 1 }),
+            ],
+            OperandSpec::new(dst, len),
+            CostClass::SfuOps(u64::from(len)),
+        ),
+        Inst::DmaLoad {
+            src,
+            dst,
+            len,
+            accumulate,
+        }
+        | Inst::DmaStore {
+            src,
+            dst,
+            len,
+            accumulate,
+        } => data(
+            DataForm::Copy { accumulate },
+            vec![OperandSpec::new(src, len)],
+            OperandSpec::new(dst, len),
+            CostClass::TransferElems(u64::from(len)),
+        ),
+        Inst::Prefetch { src, dst, len } | Inst::PassBuff { src, dst, len } => data(
+            DataForm::Copy { accumulate: false },
+            vec![OperandSpec::new(src, len)],
+            OperandSpec::new(dst, len),
+            CostClass::TransferElems(u64::from(len)),
+        ),
+        Inst::MemTrack {
+            tile,
+            addr,
+            len,
+            num_updates,
+            num_reads,
+        }
+        | Inst::DmaMemTrack {
+            tile,
+            addr,
+            len,
+            num_updates,
+            num_reads,
+        } => MicroOp::Track {
+            tile: tile.0,
+            addr,
+            len,
+            num_updates,
+            num_reads,
+        },
+        scalar => MicroOp::Scalar(scalar),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::EXT_MEM_TILE;
+    use crate::reg::Reg;
+
+    #[test]
+    fn loc_round_trips_through_tileref() {
+        assert_eq!(Loc::from(TileRef(3)), Loc::Tile(3));
+        assert_eq!(Loc::from(EXT_MEM_TILE), Loc::External);
+        assert_eq!(TileRef::from(Loc::Tile(3)), TileRef(3));
+        assert_eq!(TileRef::from(Loc::External), EXT_MEM_TILE);
+        assert!(Loc::External.is_external());
+        assert_eq!(Loc::Tile(7).tile(), Some(7));
+        assert_eq!(Loc::External.tile(), None);
+    }
+
+    #[test]
+    fn samp_out_matches_both_modes() {
+        // GoogLeNet-style 3x3/2 ceil pooling: 28 -> 14.
+        assert_eq!(samp_out(28, 3, 2, 0, true), 14);
+        // CNN-S-style floor pooling drops the partial window: 28 -> 13.
+        assert_eq!(samp_out(28, 3, 2, 0, false), 13);
+        assert_eq!(samp_out(2, 3, 3, 1, false), 1);
+    }
+
+    #[test]
+    fn scalar_instructions_pass_through() {
+        let i = Inst::Ldri {
+            rd: Reg::R0,
+            value: 7,
+        };
+        assert_eq!(lower_inst(&i), MicroOp::Scalar(i));
+        assert_eq!(lower_inst(&Inst::Halt), MicroOp::Scalar(Inst::Halt));
+    }
+
+    #[test]
+    fn track_fields_unpack() {
+        let i = Inst::DmaMemTrack {
+            tile: TileRef(2),
+            addr: 8,
+            len: 16,
+            num_updates: 3,
+            num_reads: 1,
+        };
+        assert_eq!(
+            lower_inst(&i),
+            MicroOp::Track {
+                tile: 2,
+                addr: 8,
+                len: 16,
+                num_updates: 3,
+                num_reads: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn conv_lowering_precomputes_lengths_and_macs() {
+        let i = Inst::NdConv {
+            input: MemRef::at(TileRef(0), 0),
+            in_h: 4,
+            in_w: 5,
+            kernel: MemRef::at(TileRef(1), 9),
+            k: 3,
+            stride: 1,
+            pad: 1,
+            lanes: 2,
+            output: MemRef::at(EXT_MEM_TILE, 13),
+            out_h: 4,
+            out_w: 5,
+            accumulate: true,
+            flip: true,
+        };
+        let MicroOp::Data(d) = lower_inst(&i) else {
+            panic!("conv lowers to data");
+        };
+        assert_eq!(d.reads.len(), 2);
+        assert_eq!(d.reads[0].len, 20);
+        assert_eq!(d.reads[1].len, 2 * 9);
+        assert_eq!(d.reads[1].loc, Loc::Tile(1));
+        assert_eq!(d.write.len, 2 * 20);
+        assert_eq!(d.write.loc, Loc::External);
+        assert_eq!(d.cost, CostClass::ConvMacs(2 * 4 * 5 * 9));
+        assert!(matches!(
+            d.form,
+            DataForm::Conv {
+                accumulate: true,
+                flip: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn subsamp_lowering_uses_samp_out() {
+        let i = Inst::NdSubsamp {
+            mode: PoolMode::Max,
+            src: MemRef::at(TileRef(0), 0),
+            in_h: 28,
+            in_w: 28,
+            window: 3,
+            stride: 2,
+            pad: 0,
+            ceil: true,
+            dst: MemRef::at(TileRef(0), 784),
+        };
+        let MicroOp::Data(d) = lower_inst(&i) else {
+            panic!("subsamp lowers to data");
+        };
+        assert_eq!(d.write.len, 14 * 14);
+        assert_eq!(d.cost, CostClass::SfuOps(784));
+        assert!(matches!(
+            d.form,
+            DataForm::Subsamp {
+                out_h: 14,
+                out_w: 14,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn every_transfer_form_lowers_to_copy() {
+        let src = MemRef::at(TileRef(0), 0);
+        let dst = MemRef::at(TileRef(1), 0);
+        for (inst, acc) in [
+            (
+                Inst::DmaLoad {
+                    src,
+                    dst,
+                    len: 4,
+                    accumulate: true,
+                },
+                true,
+            ),
+            (
+                Inst::DmaStore {
+                    src,
+                    dst,
+                    len: 4,
+                    accumulate: false,
+                },
+                false,
+            ),
+            (Inst::Prefetch { src, dst, len: 4 }, false),
+            (Inst::PassBuff { src, dst, len: 4 }, false),
+        ] {
+            let MicroOp::Data(d) = lower_inst(&inst) else {
+                panic!("transfer lowers to data");
+            };
+            assert_eq!(d.form, DataForm::Copy { accumulate: acc }, "{inst}");
+            assert_eq!(d.cost, CostClass::TransferElems(4));
+        }
+    }
+
+    #[test]
+    fn lowered_program_preserves_positions() {
+        let p = Program::new(
+            "t",
+            vec![
+                Inst::Ldri {
+                    rd: Reg::R0,
+                    value: 1,
+                },
+                Inst::NdAcc {
+                    dst: MemRef::at(TileRef(0), 0),
+                    src: MemRef::at(TileRef(0), 4),
+                    len: 4,
+                },
+                Inst::Halt,
+            ],
+        );
+        let l = lower(&p);
+        assert_eq!(l.name(), "t");
+        assert_eq!(l.len(), p.len());
+        assert!(matches!(l.ops()[0], MicroOp::Scalar(_)));
+        assert!(matches!(l.ops()[1], MicroOp::Data(_)));
+        assert!(matches!(l.ops()[2], MicroOp::Scalar(Inst::Halt)));
+    }
+}

@@ -130,9 +130,45 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     }
 }
 
-/// Version stamped into every BENCH JSON. Bump on any
-/// backwards-incompatible field change; the reader rejects mismatches.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// Version stamped into every BENCH JSON. Bump on any field change; the
+/// reader accepts the current version and every older one it can default
+/// forward (see [`BenchReport::from_json`]), rejecting the rest.
+///
+/// * v1 — perf-model attribution only.
+/// * v2 — adds the selected functional execution tier, the host
+///   wall-clock split (compile / perf-simulate / functional-simulate),
+///   and the functional drill's cycle-accurate statistics.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// Host wall-clock split of the run behind a BENCH report, in
+/// nanoseconds. Host time is machine-dependent; these fields are
+/// informational and never enter [`BenchReport::check_against`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BenchWall {
+    /// Wall-clock spent inside the compile pipeline (0 on a cache hit —
+    /// the ledger a stored-artifact session proves itself with).
+    pub compile_nanos: u64,
+    /// Wall-clock of the traced performance-model run.
+    pub perf_nanos: u64,
+    /// Wall-clock of the functional drill (0 when the network has no
+    /// functional compile).
+    pub functional_nanos: u64,
+}
+
+/// Cycle-accurate statistics of the functional drill — one training
+/// iteration executed on the selected tier. Both execution tiers are
+/// bit-identical by construction, so these fields diff at 0% tolerance
+/// across tiers; `None` when the functional target cannot express the
+/// network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchFunctional {
+    /// Simulated cycles of the iteration.
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Tracker-wait stalls.
+    pub stalls: u64,
+}
 
 /// Whole-run scalars of a BENCH report.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -241,12 +277,22 @@ pub struct BenchReport {
     pub cache_hits: u64,
     /// Compile-cache misses at report time.
     pub cache_misses: u64,
+    /// The functional execution tier the report's session selects
+    /// (`"interpreter"` / `"compiled"`). Informational: tiers are
+    /// bit-identical, so it never fails a check. (v2)
+    pub tier: String,
+    /// Host wall-clock split; informational. (v2)
+    pub wall: BenchWall,
+    /// Functional drill statistics, when the network functionally
+    /// compiles; cycle-accurate and checked. (v2)
+    pub functional: Option<BenchFunctional>,
     /// Per-layer rows, pipeline order.
     pub layers: Vec<BenchLayer>,
 }
 
 impl BenchReport {
     /// Assembles a report from a run's attribution and its context.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         attr: &Attribution,
         perf: &scaledeep_sim::perf::PerfResult,
@@ -254,6 +300,9 @@ impl BenchReport {
         seed: u64,
         provenance_key: u64,
         cache: CacheStats,
+        tier: &str,
+        wall: BenchWall,
+        functional: Option<BenchFunctional>,
     ) -> Self {
         BenchReport {
             schema_version: BENCH_SCHEMA_VERSION,
@@ -290,6 +339,9 @@ impl BenchReport {
             occupancy: attr.occupancy,
             cache_hits: cache.hits,
             cache_misses: cache.misses,
+            tier: tier.to_string(),
+            wall,
+            functional,
             layers: attr
                 .layers
                 .iter()
@@ -380,6 +432,28 @@ impl BenchReport {
                     ("misses", Json::Num(self.cache_misses as f64)),
                 ]),
             ),
+            ("tier", Json::Str(self.tier.clone())),
+            (
+                "wall",
+                json::obj([
+                    ("compile_nanos", Json::Num(self.wall.compile_nanos as f64)),
+                    ("perf_nanos", Json::Num(self.wall.perf_nanos as f64)),
+                    (
+                        "functional_nanos",
+                        Json::Num(self.wall.functional_nanos as f64),
+                    ),
+                ]),
+            ),
+            (
+                "functional",
+                self.functional.map_or(Json::Null, |f| {
+                    json::obj([
+                        ("cycles", Json::Num(f.cycles as f64)),
+                        ("instructions", Json::Num(f.instructions as f64)),
+                        ("stalls", Json::Num(f.stalls as f64)),
+                    ])
+                }),
+            ),
             ("layers", Json::Arr(layers)),
         ])
     }
@@ -393,11 +467,35 @@ impl BenchReport {
     pub fn from_json(text: &str) -> std::result::Result<Self, String> {
         let v = json::parse(text)?;
         let version = req_num(&v, "schema_version")? as u64;
-        if version != BENCH_SCHEMA_VERSION {
+        if version == 0 || version > BENCH_SCHEMA_VERSION {
             return Err(format!(
-                "unsupported schema_version {version} (reader supports {BENCH_SCHEMA_VERSION})"
+                "unsupported schema_version {version} (reader supports 1..={BENCH_SCHEMA_VERSION})"
             ));
         }
+        // v1 predates tier/wall/functional; default them forward.
+        let (tier, wall, functional) = if version < 2 {
+            ("interpreter".to_string(), BenchWall::default(), None)
+        } else {
+            let wall_v = v.get("wall").ok_or("missing field `wall`")?;
+            let functional = match v.get("functional") {
+                None => return Err("missing field `functional`".to_string()),
+                Some(Json::Null) => None,
+                Some(f) => Some(BenchFunctional {
+                    cycles: req_num(f, "cycles")? as u64,
+                    instructions: req_num(f, "instructions")? as u64,
+                    stalls: req_num(f, "stalls")? as u64,
+                }),
+            };
+            (
+                req_str(&v, "tier")?,
+                BenchWall {
+                    compile_nanos: req_num(wall_v, "compile_nanos")? as u64,
+                    perf_nanos: req_num(wall_v, "perf_nanos")? as u64,
+                    functional_nanos: req_num(wall_v, "functional_nanos")? as u64,
+                },
+                functional,
+            )
+        };
         let totals_v = v.get("totals").ok_or("missing field `totals`")?;
         let energy_v = v.get("energy").ok_or("missing field `energy`")?;
         let occ_v = v.get("occupancy").ok_or("missing field `occupancy`")?;
@@ -453,6 +551,9 @@ impl BenchReport {
             },
             cache_hits: req_num(cache_v, "hits")? as u64,
             cache_misses: req_num(cache_v, "misses")? as u64,
+            tier,
+            wall,
+            functional,
             layers,
         };
         let layer_sum: u64 = bench.layers.iter().map(|l| l.busy_cycles).sum();
@@ -559,6 +660,24 @@ impl BenchReport {
         ];
         for (what, got, want) in scalars {
             check_num(&mut fails, tolerance, what, got, want);
+        }
+        // Functional drill statistics are cycle-accurate and diff exactly
+        // across execution tiers; the tier and wall-clock fields are
+        // informational. A baseline without a drill constrains nothing.
+        if let (Some(got), Some(want)) = (&self.functional, &baseline.functional) {
+            for (what, g, w) in [
+                ("functional.cycles", got.cycles, want.cycles),
+                (
+                    "functional.instructions",
+                    got.instructions,
+                    want.instructions,
+                ),
+                ("functional.stalls", got.stalls, want.stalls),
+            ] {
+                check_num(&mut fails, tolerance, what, g as f64, w as f64);
+            }
+        } else if baseline.functional.is_some() {
+            fails.push("functional drill missing from the run".to_string());
         }
         for want in &baseline.layers {
             match self.layers.iter().find(|l| l.name == want.name) {
@@ -756,6 +875,17 @@ mod tests {
         assert_eq!(back, report);
         // Serialization is deterministic.
         assert_eq!(back.to_json(), text);
+
+        // A present functional drill round-trips too (the None case above
+        // exercises the `null` encoding).
+        let mut with_drill = report;
+        with_drill.functional = Some(BenchFunctional {
+            cycles: 12345,
+            instructions: 6789,
+            stalls: 42,
+        });
+        let back = BenchReport::from_json(&with_drill.to_json()).expect("drill parses");
+        assert_eq!(back, with_drill);
     }
 
     #[test]
@@ -773,7 +903,7 @@ mod tests {
         let report = sample_report();
         let future = report
             .to_json()
-            .replacen("\"schema_version\": 1", "\"schema_version\": 2", 1);
+            .replacen("\"schema_version\": 2", "\"schema_version\": 3", 1);
         let err = BenchReport::from_json(&future).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
 
@@ -786,6 +916,59 @@ mod tests {
 
         assert!(BenchReport::from_json("not json").is_err());
         assert!(BenchReport::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn reader_accepts_v1_documents_with_defaults() {
+        // A v1 document has no tier/wall/functional fields; the reader
+        // defaults them forward instead of rejecting the file.
+        let report = sample_report();
+        let Json::Obj(fields) = json::parse(&report.to_json()).unwrap() else {
+            panic!("report is an object");
+        };
+        let v1_fields: Vec<(String, Json)> = fields
+            .into_iter()
+            .map(|(k, v)| match k.as_str() {
+                "schema_version" => (k, Json::Num(1.0)),
+                _ => (k, v),
+            })
+            .filter(|(k, _)| !matches!(k.as_str(), "tier" | "wall" | "functional"))
+            .collect();
+        let v1_text = Json::Obj(v1_fields).render_pretty();
+        let back = BenchReport::from_json(&v1_text).expect("v1 documents parse");
+        assert_eq!(back.schema_version, 1);
+        assert_eq!(back.tier, "interpreter");
+        assert_eq!(back.wall, BenchWall::default());
+        assert_eq!(back.functional, None);
+        assert_eq!(back.totals, report.totals);
+        assert_eq!(back.layers, report.layers);
+    }
+
+    #[test]
+    fn check_flags_functional_drift_exactly() {
+        let mut report = sample_report();
+        // Full-scale AlexNet has no functional compile; graft drill stats
+        // on so the comparison path is exercised either way.
+        report.functional = Some(BenchFunctional {
+            cycles: 1000,
+            instructions: 900,
+            stalls: 10,
+        });
+        let mut drift = report.clone();
+        drift.functional.as_mut().unwrap().cycles += 1;
+        let fails = drift.check_against(&report, 0.0);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("functional.cycles"), "{fails:?}");
+
+        let mut none = report.clone();
+        none.functional = None;
+        let fails = none.check_against(&report, 0.0);
+        assert!(
+            fails.iter().any(|f| f.contains("functional drill missing")),
+            "{fails:?}"
+        );
+        // The reverse direction constrains nothing.
+        assert!(report.check_against(&none, 0.0).is_empty());
     }
 
     #[test]

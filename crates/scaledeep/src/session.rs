@@ -1,18 +1,20 @@
 //! The end-to-end session API.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use crate::{Error, Result};
 use scaledeep_arch::{presets, NodeConfig};
+use scaledeep_compiler::artifact_io;
 use scaledeep_compiler::codegen::CompiledNetwork;
 use scaledeep_compiler::pipeline::{self, Provenance};
 use scaledeep_compiler::{CompileOptions, CompiledArtifact, FailedTiles};
 use scaledeep_dnn::{Layer, Network};
 use scaledeep_sim::fault::FaultPlan;
-use scaledeep_sim::func::{FuncSim, RunStats};
+use scaledeep_sim::func::{ExecBackend, FuncSim, RunStats};
 use scaledeep_sim::perf::{PerfOptions, PerfResult, PerfSim, RunKind};
 use scaledeep_tensor::Executor;
 use scaledeep_trace::{
@@ -134,8 +136,18 @@ fn into_trace(tracer: Tracer<FilterSink<RingSink>>, metrics: MetricsRegistry) ->
 #[derive(Debug, Clone)]
 pub struct CycleCrossCheck {
     /// Statistics from the functional simulator's event-driven run of one
-    /// full training iteration (FP + BP + WG, single image).
+    /// full training iteration (FP + BP + WG, single image), executed on
+    /// the interpreter tier (the bit-identity oracle).
     pub functional: RunStats,
+    /// The same iteration — same artifact, parameters, and inputs — run
+    /// on the compiled micro-op tier.
+    pub compiled_tier: RunStats,
+    /// Whether the two tiers produced identical [`RunStats`] *and*
+    /// bit-identical final state (learning state plus every layer's
+    /// activations and errors). The compiled tier shares the
+    /// interpreter's arithmetic kernels, so anything but `true` is a
+    /// tiering regression.
+    pub tiers_identical: bool,
     /// The performance model's per-image service cycles: the sum of every
     /// pipeline stage's service time (the layer-sequential, single-image
     /// interpretation — the same quantity the A4 ablation uses).
@@ -213,8 +225,12 @@ pub struct ResilientRun {
 /// the counts aggregate across all of them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Compiles served from the cache without running the pipeline.
+    /// Compiles served from the in-memory cache without running the
+    /// pipeline.
     pub hits: u64,
+    /// Compiles served from the on-disk artifact store
+    /// ([`Session::with_artifact_dir`]) without running the pipeline.
+    pub disk_hits: u64,
     /// Compiles that ran the pipeline (including ones that erred).
     pub misses: u64,
     /// Total wall-clock nanoseconds spent inside the pipeline, summed
@@ -227,6 +243,7 @@ pub struct CacheStats {
 #[derive(Debug, Default)]
 struct CacheStatsCells {
     hits: AtomicU64,
+    disk_hits: AtomicU64,
     misses: AtomicU64,
     compile_nanos: AtomicU64,
 }
@@ -244,6 +261,8 @@ pub struct Session {
     sim: PerfSim,
     cache: Arc<Mutex<HashMap<u64, Arc<CompiledArtifact>>>>,
     stats: Arc<CacheStatsCells>,
+    artifact_dir: Option<PathBuf>,
+    exec_backend: ExecBackend,
 }
 
 impl Session {
@@ -264,7 +283,33 @@ impl Session {
             sim: PerfSim::new(&node),
             cache: Arc::new(Mutex::new(HashMap::new())),
             stats: Arc::new(CacheStatsCells::default()),
+            artifact_dir: None,
+            exec_backend: ExecBackend::default(),
         }
+    }
+
+    /// Backs the compile cache with an on-disk artifact store: every
+    /// pipeline run is persisted to `dir` (one JSON file per provenance
+    /// key), and a later session — this process or the next — finding a
+    /// stored artifact loads it without running a single pipeline phase.
+    /// The directory is created on first store.
+    pub fn with_artifact_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.artifact_dir = Some(dir.into());
+        self
+    }
+
+    /// Selects the execution tier every functional run of this session
+    /// uses ([`ExecBackend::Interpreter`] decodes instructions per step;
+    /// [`ExecBackend::Compiled`] executes the artifact's pre-decoded
+    /// micro-op streams — bit-identical results, lower dispatch cost).
+    pub fn with_exec_backend(mut self, backend: ExecBackend) -> Self {
+        self.exec_backend = backend;
+        self
+    }
+
+    /// The execution tier this session's functional runs use.
+    pub fn exec_backend(&self) -> ExecBackend {
+        self.exec_backend
     }
 
     /// Overrides the simulator options (minibatch, ablation knobs, ...).
@@ -284,17 +329,39 @@ impl Session {
         self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// The file a provenance key's artifact is stored under, when the
+    /// session has an artifact directory.
+    fn artifact_path(&self, key: u64) -> Option<PathBuf> {
+        self.artifact_dir
+            .as_ref()
+            .map(|d| d.join(format!("{key:016x}.artifact.json")))
+    }
+
+    /// Tries the on-disk artifact store. A stored artifact is trusted
+    /// only when its provenance re-derives the key it was filed under;
+    /// anything unreadable, malformed, or mismatched falls through to the
+    /// pipeline (and is overwritten by the fresh artifact).
+    fn load_from_disk(&self, key: u64) -> Option<CompiledArtifact> {
+        let path = self.artifact_path(key)?;
+        let artifact = artifact_io::load(&path).ok()?;
+        (artifact.provenance().cache_key() == key).then_some(artifact)
+    }
+
     /// The session's single compile entry point: runs the phase pipeline
     /// (analyze → allocate-columns → partition-state → assign-compute →
-    /// codegen) through the in-session cache, keyed on the compile's
-    /// [`Provenance`]. A repeat compile with the same network, node, and
-    /// options returns the cached [`CompiledArtifact`] without touching
-    /// the pipeline.
+    /// codegen → lower) through the in-session cache, keyed on the
+    /// compile's [`Provenance`]. A repeat compile with the same network,
+    /// node, and options returns the cached [`CompiledArtifact`] without
+    /// touching the pipeline; with an artifact directory configured
+    /// ([`Session::with_artifact_dir`]), the store extends across
+    /// processes — a repeat *session* loads the stored artifact and runs
+    /// zero pipeline phases.
     ///
     /// # Errors
     ///
-    /// Propagates mapping-phase failures. Errors are not cached; a
-    /// failing compile re-runs (and re-counts as a miss) on retry.
+    /// Propagates mapping-phase failures and artifact-store write
+    /// failures. Errors are not cached; a failing compile re-runs (and
+    /// re-counts as a miss) on retry.
     pub fn compile_with(
         &self,
         net: &Network,
@@ -305,12 +372,26 @@ impl Session {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
+        if let Some(stored) = self.load_from_disk(key) {
+            self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+            let artifact = Arc::new(stored);
+            self.lock_cache().insert(key, Arc::clone(&artifact));
+            return Ok(artifact);
+        }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
         let compiled = pipeline::compile(&self.node, net, opts);
         let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.stats.compile_nanos.fetch_add(nanos, Ordering::Relaxed);
         let artifact = Arc::new(compiled?);
+        if let Some(path) = self.artifact_path(key) {
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir).map_err(|e| Error::Setup {
+                    detail: format!("creating artifact dir {}: {e}", dir.display()),
+                })?;
+            }
+            artifact_io::save(&artifact, &path)?;
+        }
         self.lock_cache().insert(key, Arc::clone(&artifact));
         Ok(artifact)
     }
@@ -347,6 +428,7 @@ impl Session {
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.stats.hits.load(Ordering::Relaxed),
+            disk_hits: self.stats.disk_hits.load(Ordering::Relaxed),
             misses: self.stats.misses.load(Ordering::Relaxed),
             compile_nanos: self.stats.compile_nanos.load(Ordering::Relaxed),
         }
@@ -359,9 +441,11 @@ impl Session {
     pub fn record_cache_metrics(&self, reg: &mut MetricsRegistry) {
         let s = self.cache_stats();
         let hit = reg.counter("compile.cache.hit");
+        let disk = reg.counter("compile.cache.disk_hit");
         let miss = reg.counter("compile.cache.miss");
         let nanos = reg.counter("compile.nanos");
         reg.add(hit, s.hits);
+        reg.add(disk, s.disk_hits);
         reg.add(miss, s.misses);
         reg.add(nanos, s.compile_nanos);
     }
@@ -490,6 +574,7 @@ impl Session {
         let artifact = self.compile(net)?;
         let reference = Executor::new(net, 0xC0FFEE)?;
         let mut fsim = FuncSim::from_artifact(net, &artifact)?;
+        fsim.set_backend(self.exec_backend);
         fsim.import_params(&reference)?;
         let (image, golden) = iteration_io(net, artifact.functional()?)?;
         let session_track = if tracer.active() {
@@ -519,6 +604,7 @@ impl Session {
                     &FailedTiles::from_func_tiles(dead_tiles.iter().copied()),
                 )?;
                 let mut fsim = FuncSim::from_artifact(net, &degraded)?;
+                fsim.set_backend(self.exec_backend);
                 fsim.restore(&ckpt)?;
                 let retry_plan = plan.without_tile_failures();
                 // The retry restarts the machine clock at cycle 0; keep
@@ -558,6 +644,7 @@ impl Session {
         let artifact = self.compile(net)?;
         let reference = Executor::new(net, 0xC0FFEE)?;
         let mut fsim = FuncSim::from_artifact(net, &artifact)?;
+        fsim.set_backend(ExecBackend::Interpreter);
         fsim.import_params(&reference)?;
         let (image, golden) = iteration_io(net, artifact.functional()?)?;
         // A bounded flight recorder rides along so a divergence can be
@@ -568,6 +655,22 @@ impl Session {
         let mut reg = MetricsRegistry::new();
         let functional =
             fsim.run_iteration_traced(&image, &golden, &FaultPlan::none(), &mut tracer, &mut reg)?;
+
+        // The same iteration on the compiled micro-op tier: same
+        // artifact, same deterministic parameter seed, same inputs. Both
+        // tiers must agree bit for bit — on the statistics (cycles,
+        // stalls, instruction counts) and on every word of result state.
+        let mut csim = FuncSim::from_artifact(net, &artifact)?.with_backend(ExecBackend::Compiled);
+        csim.import_params(&reference)?;
+        let compiled_tier = csim.run_iteration(&image, &golden)?;
+        let bits =
+            |v: Option<Vec<f32>>| v.map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+        let state_identical = fsim.checkpoint() == csim.checkpoint()
+            && net.layers().all(|n| {
+                bits(fsim.layer_output(n.id())) == bits(csim.layer_output(n.id()))
+                    && bits(fsim.layer_error(n.id())) == bits(csim.layer_error(n.id()))
+            });
+        let tiers_identical = functional == compiled_tier && state_identical;
 
         // Per-image service cycles at minibatch 1, so neither batching
         // efficiency nor the pipeline overlap distorts the comparison.
@@ -582,6 +685,8 @@ impl Session {
         let trace = into_trace(tracer, reg);
         Ok(CycleCrossCheck {
             functional,
+            compiled_tier,
+            tiers_identical,
             perf_per_image_cycles,
             functional_metrics: trace.metrics,
             trace_tail: trace.events,
@@ -602,15 +707,52 @@ impl Session {
     /// version skew).
     pub fn bench_report(&self, net: &Network, kind: RunKind) -> Result<crate::report::BenchReport> {
         let artifact = self.compile(net)?;
+        let perf_started = Instant::now();
         let traced = self.run_traced(net, kind, &TraceConfig::default())?;
+        let perf_nanos = perf_started.elapsed().as_nanos() as u64;
         let attr = crate::attribution::Attribution::build(&traced, &artifact, net, &self.node)?;
+        // The functional drill: one training iteration on the session's
+        // selected tier, when the functional target can express the
+        // network. Its statistics are cycle-accurate (diffed at 0%
+        // tolerance across tiers); its wall-clock is the number the tiers
+        // compete on.
+        let (functional, functional_nanos) = match artifact.functional() {
+            Err(_) => (None, 0),
+            Ok(compiled) => {
+                let reference = Executor::new(net, 0xC0FFEE)?;
+                let mut fsim = FuncSim::from_artifact(net, &artifact)?;
+                fsim.set_backend(self.exec_backend);
+                fsim.import_params(&reference)?;
+                let (image, golden) = iteration_io(net, compiled)?;
+                let drill_started = Instant::now();
+                let stats = fsim.run_iteration(&image, &golden)?;
+                let nanos = drill_started.elapsed().as_nanos() as u64;
+                (
+                    Some(crate::report::BenchFunctional {
+                        cycles: stats.cycles,
+                        instructions: stats.instructions,
+                        stalls: stats.stalls,
+                    }),
+                    nanos,
+                )
+            }
+        };
+        let cache = self.cache_stats();
+        let wall = crate::report::BenchWall {
+            compile_nanos: cache.compile_nanos,
+            perf_nanos,
+            functional_nanos,
+        };
         Ok(crate::report::BenchReport::new(
             &attr,
             &traced.perf,
             &self.node,
             FaultPlan::none().seed(),
             artifact.provenance().cache_key(),
-            self.cache_stats(),
+            cache,
+            self.exec_backend.name(),
+            wall,
+            functional,
         ))
     }
 
@@ -882,6 +1024,77 @@ mod tests {
             trace.metrics.counter_value("func.instructions"),
             Some(run.stats.instructions)
         );
+    }
+
+    #[test]
+    fn artifact_dir_serves_repeat_sessions_without_pipeline_phases() {
+        let dir =
+            std::env::temp_dir().join(format!("scaledeep-artifact-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let net = zoo::alexnet_func();
+
+        // First session: pipeline runs once, artifact lands on disk.
+        let first = Session::single_precision().with_artifact_dir(&dir);
+        let a = first.compile(&net).unwrap();
+        let s = first.cache_stats();
+        assert_eq!((s.misses, s.disk_hits), (1, 0));
+
+        // Second session (fresh in-memory cache, same store): the
+        // artifact loads from disk — zero pipeline phases run.
+        let second = Session::single_precision().with_artifact_dir(&dir);
+        let b = second.compile(&net).unwrap();
+        let s = second.cache_stats();
+        assert_eq!(
+            (s.misses, s.disk_hits, s.hits),
+            (0, 1, 0),
+            "a repeat session must not touch the pipeline"
+        );
+        assert_eq!(s.compile_nanos, 0, "no wall-clock spent compiling");
+        assert_eq!(a.mapping(), b.mapping());
+        assert_eq!(a.provenance(), b.provenance());
+        assert_eq!(a.lowered(), b.lowered());
+
+        // Third compile in the second session hits memory, not disk.
+        second.compile(&net).unwrap();
+        assert_eq!(second.cache_stats().hits, 1);
+
+        let mut reg = MetricsRegistry::new();
+        second.record_cache_metrics(&mut reg);
+        assert_eq!(reg.counter_value("compile.cache.disk_hit"), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cross_check_tiers_are_bit_identical() {
+        let mut node = presets::single_precision();
+        node.cluster.spoke_bw = node.cluster.arc_bw;
+        let x = Session::with_node(node)
+            .cross_check(&zoo::alexnet_func())
+            .unwrap();
+        assert_eq!(
+            x.functional, x.compiled_tier,
+            "same-seed runs must report identical RunStats across tiers"
+        );
+        assert!(x.tiers_identical, "tier state diverged");
+        assert!(x.functional.cycles > 0);
+    }
+
+    #[test]
+    fn compiled_backend_session_runs_resilient_paths() {
+        use scaledeep_sim::fault::FaultKind;
+        let interp = Session::single_precision();
+        let comp = Session::single_precision().with_exec_backend(ExecBackend::Compiled);
+        assert_eq!(comp.exec_backend(), ExecBackend::Compiled);
+        let net = tiny_training_net();
+        let a = interp.run_resilient(&net, &FaultPlan::none()).unwrap();
+        let b = comp.run_resilient(&net, &FaultPlan::none()).unwrap();
+        assert_eq!(a.stats, b.stats, "clean runs must agree across tiers");
+        // The degraded-retry path also honours the tier selection.
+        let plan = FaultPlan::seeded(7).with_fault(1, FaultKind::TileFailure { tile: 0 });
+        let ra = interp.run_resilient(&net, &plan).unwrap();
+        let rb = comp.run_resilient(&net, &plan).unwrap();
+        assert!(ra.retried && rb.retried);
+        assert_eq!(ra.stats, rb.stats);
     }
 
     #[test]

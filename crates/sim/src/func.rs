@@ -32,7 +32,46 @@ use scaledeep_compiler::codegen::{
 };
 use scaledeep_compiler::CompiledArtifact;
 use scaledeep_dnn::{Layer, LayerId, Network};
+use scaledeep_isa::LoweredProgram;
 use scaledeep_tensor::Executor;
+
+/// Which execution tier dispatches a [`FuncSim`] run.
+///
+/// Both tiers share the event-driven scheduler, the tracker semantics and
+/// the arithmetic kernels, so results, [`RunStats`] and trace events are
+/// bit-identical; they differ only in per-dispatch decode work. The
+/// interpreter is the oracle the compiled tier is cross-checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecBackend {
+    /// Re-decode each [`scaledeep_isa::Inst`] on every dispatch (the
+    /// original tier; bit-identity oracle).
+    #[default]
+    Interpreter,
+    /// Dispatch pre-lowered micro-op streams
+    /// ([`scaledeep_isa::LoweredProgram`]) produced by the compiler's
+    /// `lower` phase.
+    Compiled,
+}
+
+impl ExecBackend {
+    /// Stable lowercase name (`"interpreter"` / `"compiled"`), used in
+    /// CLI flags and BENCH JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecBackend::Interpreter => "interpreter",
+            ExecBackend::Compiled => "compiled",
+        }
+    }
+
+    /// Parses [`ExecBackend::name`] output.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "interpreter" => Some(ExecBackend::Interpreter),
+            "compiled" => Some(ExecBackend::Compiled),
+            _ => None,
+        }
+    }
+}
 
 /// A host-side snapshot of the learning state: per-layer weights, FC
 /// weight transposes, and accumulated weight gradients, in their *raw*
@@ -92,6 +131,8 @@ struct LayerCheckpoint {
 pub struct FuncSim {
     net: Network,
     compiled: CompiledNetwork,
+    lowered: Vec<LoweredProgram>,
+    backend: ExecBackend,
     machine: Machine,
     capacity: u32,
 }
@@ -138,9 +179,19 @@ impl FuncSim {
         // on every tile keeps them in range regardless of rotation.
         capacity += 2;
         let machine = Machine::new(compiled.mem_tiles, capacity);
+        // Lower eagerly: one mechanical pass per program, so tier
+        // switches never recompile and the compiled tier is always
+        // available.
+        let lowered = compiled
+            .programs
+            .iter()
+            .map(scaledeep_isa::micro::lower)
+            .collect();
         let mut sim = Self {
             net: net.clone(),
             compiled: compiled.clone(),
+            lowered,
+            backend: ExecBackend::default(),
             machine,
             capacity,
         };
@@ -150,7 +201,9 @@ impl FuncSim {
 
     /// Builds the simulator from a pipeline [`CompiledArtifact`] — the
     /// preferred construction path: sessions compile once and every
-    /// consumer (perf, functional, traced) reads the same artifact.
+    /// consumer (perf, functional, traced) reads the same artifact. When
+    /// the artifact carries the lower phase's micro-op streams they are
+    /// used directly instead of re-lowering.
     ///
     /// # Errors
     ///
@@ -159,7 +212,28 @@ impl FuncSim {
     /// [`FuncSim::new`]'s setup errors.
     pub fn from_artifact(net: &Network, artifact: &CompiledArtifact) -> Result<Self> {
         let compiled = artifact.functional().map_err(Error::Compiler)?;
-        Self::new(net, compiled)
+        let mut sim = Self::new(net, compiled)?;
+        if let Some(lowered) = artifact.lowered() {
+            sim.lowered = lowered.to_vec();
+        }
+        Ok(sim)
+    }
+
+    /// Selects the execution tier for subsequent runs.
+    pub fn set_backend(&mut self, backend: ExecBackend) {
+        self.backend = backend;
+    }
+
+    /// Builder-style [`FuncSim::set_backend`].
+    #[must_use]
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The currently selected execution tier.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
     }
 
     /// Scratchpad capacity per tile, in elements.
@@ -321,13 +395,38 @@ impl FuncSim {
         golden: &[f32],
         plan: &FaultPlan,
     ) -> Result<RunStats> {
-        self.prepare_iteration(image, golden)?;
-        self.machine.run_faulted(
-            &self.compiled.programs,
-            &self.compiled.trackers,
-            &CycleCosts::default(),
-            plan,
-        )
+        let mut tracer = Tracer::disabled();
+        let mut reg = MetricsRegistry::new();
+        self.run_iteration_traced(image, golden, plan, &mut tracer, &mut reg)
+    }
+
+    /// Dispatches every compiled program through the selected
+    /// [`ExecBackend`].
+    fn dispatch_all<S: TraceSink>(
+        &mut self,
+        plan: &FaultPlan,
+        tracer: &mut Tracer<S>,
+        reg: &mut MetricsRegistry,
+    ) -> Result<RunStats> {
+        let costs = CycleCosts::default();
+        match self.backend {
+            ExecBackend::Interpreter => self.machine.run_traced(
+                &self.compiled.programs,
+                &self.compiled.trackers,
+                &costs,
+                plan,
+                tracer,
+                reg,
+            ),
+            ExecBackend::Compiled => self.machine.run_lowered_traced(
+                &self.lowered,
+                &self.compiled.trackers,
+                &costs,
+                plan,
+                tracer,
+                reg,
+            ),
+        }
     }
 
     /// [`FuncSim::run_iteration_faulted`] with observability: dispatches
@@ -347,14 +446,7 @@ impl FuncSim {
         reg: &mut MetricsRegistry,
     ) -> Result<RunStats> {
         self.prepare_iteration(image, golden)?;
-        self.machine.run_traced(
-            &self.compiled.programs,
-            &self.compiled.trackers,
-            &CycleCosts::default(),
-            plan,
-            tracer,
-            reg,
-        )
+        self.dispatch_all(plan, tracer, reg)
     }
 
     /// Snapshots the learning state (weights, FC transposes, gradient
@@ -473,8 +565,9 @@ impl FuncSim {
             });
         }
         self.write_buffer(golden_loc, goldens)?;
-        self.machine
-            .run(&self.compiled.programs, &self.compiled.trackers)
+        let mut tracer = Tracer::disabled();
+        let mut reg = MetricsRegistry::new();
+        self.dispatch_all(&FaultPlan::none(), &mut tracer, &mut reg)
     }
 
     /// Runs forward propagation only (network evaluation): executes the FP
@@ -491,18 +584,32 @@ impl FuncSim {
                 detail: "input layer has no output buffer".into(),
             })?;
         self.write_buffer(input_loc, image)?;
-        let fp_programs: Vec<_> = self
-            .compiled
-            .programs
-            .iter()
-            .filter(|p| p.name().ends_with(".FP"))
-            .cloned()
-            .collect();
         // The full-training tracker specs also serve FP-only runs: reads
         // become ready once all updates land, and within a single image no
         // buffer needs the (never-arriving) BP/WG reads before being
         // rewritten.
-        self.machine.run(&fp_programs, &self.compiled.trackers)
+        match self.backend {
+            ExecBackend::Interpreter => {
+                let fp_programs: Vec<_> = self
+                    .compiled
+                    .programs
+                    .iter()
+                    .filter(|p| p.name().ends_with(".FP"))
+                    .cloned()
+                    .collect();
+                self.machine.run(&fp_programs, &self.compiled.trackers)
+            }
+            ExecBackend::Compiled => {
+                let fp_programs: Vec<_> = self
+                    .lowered
+                    .iter()
+                    .filter(|p| p.name().ends_with(".FP"))
+                    .cloned()
+                    .collect();
+                self.machine
+                    .run_lowered(&fp_programs, &self.compiled.trackers)
+            }
+        }
     }
 
     /// The post-activation output of a layer after a run.

@@ -22,6 +22,7 @@
 
 use crate::engine::Cycle;
 use scaledeep_arch::NodeConfig;
+use scaledeep_isa::micro::CostClass;
 use scaledeep_isa::{Inst, InstGroup};
 
 /// Cycle-cost table for one chip column of CompHeavy/MemHeavy tile pairs.
@@ -103,6 +104,23 @@ impl CycleCosts {
             },
         }
     }
+
+    /// Cycles for a pre-classified micro-op cost, never less than one.
+    /// Identical pricing to [`CycleCosts::cost`] — the lowering
+    /// pre-multiplies the same work amounts the instruction match would
+    /// derive (pinned by the `lowered_costs_match_instruction_costs`
+    /// test), so both tiers report bit-identical cycle counts.
+    pub fn class_cost(&self, class: CostClass) -> Cycle {
+        let per = |work: u64, rate: u64| work.div_ceil(rate.max(1)).max(1);
+        match class {
+            CostClass::Scalar => self.scalar_cycles,
+            CostClass::Track => self.track_cycles,
+            CostClass::ConvMacs(macs) => per(macs, self.conv_macs_per_cycle),
+            CostClass::FcMacs(macs) => per(macs, self.fc_macs_per_cycle),
+            CostClass::SfuOps(ops) => per(ops, self.sfu_ops_per_cycle),
+            CostClass::TransferElems(elems) => per(elems, self.transfer_elems_per_cycle),
+        }
+    }
 }
 
 impl Default for CycleCosts {
@@ -140,6 +158,119 @@ mod tests {
         };
         assert_eq!(c.cost(&mk(1)), 1); // 192 MACs / 192 lanes
         assert_eq!(c.cost(&mk(10)), 10);
+    }
+
+    #[test]
+    fn lowered_costs_match_instruction_costs() {
+        use scaledeep_isa::micro::lower_inst;
+        use scaledeep_isa::{ActKind, MicroOp, PoolMode, Reg};
+        let c = CycleCosts::default();
+        let m = MemRef::at(TileRef(0), 0);
+        let insts = [
+            Inst::NdConv {
+                input: m,
+                in_h: 13,
+                in_w: 13,
+                kernel: m,
+                k: 3,
+                stride: 1,
+                pad: 1,
+                lanes: 7,
+                output: m,
+                out_h: 13,
+                out_w: 13,
+                accumulate: false,
+                flip: false,
+            },
+            Inst::MatMul {
+                input: m,
+                n_in: 300,
+                matrix: m,
+                rows: 17,
+                output: m,
+                accumulate: true,
+            },
+            Inst::NdActFn {
+                kind: ActKind::Relu,
+                src: m,
+                len: 1000,
+                dst: m,
+            },
+            Inst::NdActBwd {
+                kind: ActKind::Tanh,
+                pre: m,
+                err: m,
+                len: 77,
+                dst: m,
+            },
+            Inst::NdSubsamp {
+                mode: PoolMode::Max,
+                src: m,
+                in_h: 28,
+                in_w: 28,
+                window: 3,
+                stride: 2,
+                pad: 0,
+                ceil: true,
+                dst: m,
+            },
+            Inst::NdUpsamp {
+                mode: PoolMode::Avg,
+                err: m,
+                fwd: m,
+                in_h: 28,
+                in_w: 28,
+                window: 2,
+                stride: 2,
+                pad: 0,
+                ceil: false,
+                dst: m,
+            },
+            Inst::NdAcc {
+                dst: m,
+                src: m,
+                len: 500,
+            },
+            Inst::VecScaleAcc {
+                src: m,
+                len: 33,
+                scalar: m,
+                dst: m,
+                elementwise: false,
+            },
+            Inst::DmaLoad {
+                src: m,
+                dst: m,
+                len: 1234,
+                accumulate: false,
+            },
+            Inst::Prefetch {
+                src: m,
+                dst: m,
+                len: 5,
+            },
+            Inst::MemTrack {
+                tile: TileRef(0),
+                addr: 0,
+                len: 8,
+                num_updates: 1,
+                num_reads: 1,
+            },
+            Inst::Nop,
+            Inst::Ldri {
+                rd: Reg::R0,
+                value: 9,
+            },
+            Inst::Branch { offset: 1 },
+        ];
+        for inst in insts {
+            let class = match lower_inst(&inst) {
+                MicroOp::Data(d) => d.cost,
+                MicroOp::Track { .. } => CostClass::Track,
+                MicroOp::Scalar(_) => CostClass::Scalar,
+            };
+            assert_eq!(c.cost(&inst), c.class_cost(class), "{inst}");
+        }
     }
 
     #[test]

@@ -1,12 +1,26 @@
-//! Data-instruction semantics: operand range resolution and bit-accurate
-//! execution against the tile scratchpads.
+//! Data-instruction semantics, split into its resolve-time and run-time
+//! halves.
+//!
+//! * **Resolve time** — [`accesses`] derives the operand ranges of an
+//!   interpreted [`Inst`]; the compiled tier gets the same information
+//!   pre-computed in a [`DataOp`]'s [`OperandSpec`]s, leaving only
+//!   register-indirect addresses ([`spec_addr`]) for run time.
+//! * **Run time** — the arithmetic kernels ([`kernels`]) operate on plain
+//!   slices and are shared verbatim by both tiers: [`execute`] (the
+//!   interpreter, which re-derives everything per step) and
+//!   [`execute_data`] (the compiled tier, which dispatches directly on the
+//!   lowered [`DataForm`]) route to the same code, so the two tiers are
+//!   bit-identical by construction.
+//!
+//! Operand locations are the typed [`Loc`] — external memory is a variant,
+//! not a sentinel tile index.
 
 use crate::error::{Error, Result};
-use scaledeep_isa::{ActKind, Addr, Inst, MemRef, PoolMode, Reg};
+use scaledeep_isa::micro::{DataForm, DataOp, OperandSpec};
+use scaledeep_isa::{samp_out, ActKind, Addr, Inst, Loc, MemRef, PoolMode, Reg};
 
-/// A resolved operand range: (tile, element offset, element length).
-/// External memory uses `u16::MAX` as the tile index.
-pub(super) type Range = (u16, u32, u32);
+/// A resolved operand range: location, element offset, element length.
+pub(super) type Range = (Loc, u32, u32);
 
 /// The tracked accesses one data instruction performs.
 #[derive(Debug, Default, Clone)]
@@ -15,37 +29,31 @@ pub(super) struct Access {
     pub writes: Vec<Range>,
 }
 
-fn resolve(m: MemRef, regs: &[i64], program: &str) -> Result<(u16, u32)> {
-    let addr = match m.addr {
-        Addr::Imm(a) => a,
+/// Resolves an operand address: immediates pass through, register-indirect
+/// addresses read the register file.
+pub(super) fn spec_addr(addr: Addr, regs: &[i64], program: &str) -> Result<u32> {
+    match addr {
+        Addr::Imm(a) => Ok(a),
         Addr::Reg(r) => {
             let v = regs[r.index()];
             u32::try_from(v).map_err(|_| Error::ControlFault {
                 program: program.to_string(),
                 detail: format!("register {r} holds invalid address {v}"),
-            })?
+            })
         }
-    };
-    Ok((m.tile.0, addr))
+    }
 }
 
-/// Output spatial extent of a sampling window (matches
-/// `scaledeep_dnn::Pool::output_shape`).
-fn samp_out(in_d: usize, window: usize, stride: usize, pad: usize, ceil: bool) -> usize {
-    let span = in_d + 2 * pad - window;
-    if ceil {
-        span.div_ceil(stride) + 1
-    } else {
-        span / stride + 1
-    }
+fn resolve(m: MemRef, regs: &[i64], program: &str) -> Result<(Loc, u32)> {
+    Ok((m.tile.into(), spec_addr(m.addr, regs, program)?))
 }
 
 /// Resolves the tracked ranges of a data instruction; `None` for scalar,
 /// control and tracker instructions.
 pub(super) fn accesses(inst: &Inst, regs: &[i64], program: &str) -> Result<Option<Access>> {
     let r = |m: MemRef, len: u32, regs: &[i64]| -> Result<Range> {
-        let (tile, addr) = resolve(m, regs, program)?;
-        Ok((tile, addr, len))
+        let (loc, addr) = resolve(m, regs, program)?;
+        Ok((loc, addr, len))
     };
     let acc = match *inst {
         Inst::NdConv {
@@ -187,26 +195,29 @@ pub(super) struct MemView<'a> {
 }
 
 impl MemView<'_> {
-    fn slice(&mut self, tile: u16, addr: u32, len: u32, program: &str) -> Result<&mut [f32]> {
-        let (mem, cap): (&mut Vec<f32>, usize) = if tile == u16::MAX {
-            let cap = self.ext.len();
-            (self.ext, cap)
-        } else {
-            let m = self
-                .tiles
-                .get_mut(tile as usize)
-                .ok_or_else(|| Error::ControlFault {
-                    program: program.to_string(),
-                    detail: format!("tile M{tile} does not exist"),
-                })?;
-            let cap = m.len();
-            (m, cap)
+    fn slice(&mut self, loc: Loc, addr: u32, len: u32, program: &str) -> Result<&mut [f32]> {
+        let (mem, cap): (&mut Vec<f32>, usize) = match loc {
+            Loc::External => {
+                let cap = self.ext.len();
+                (self.ext, cap)
+            }
+            Loc::Tile(tile) => {
+                let m = self
+                    .tiles
+                    .get_mut(tile as usize)
+                    .ok_or_else(|| Error::ControlFault {
+                        program: program.to_string(),
+                        detail: format!("tile M{tile} does not exist"),
+                    })?;
+                let cap = m.len();
+                (m, cap)
+            }
         };
         let end = addr as u64 + len as u64;
         if end > cap as u64 {
             return Err(Error::OutOfBounds {
                 program: program.to_string(),
-                tile,
+                tile: loc.tile().unwrap_or(u16::MAX),
                 addr: end,
                 capacity: cap as u32,
             });
@@ -214,13 +225,446 @@ impl MemView<'_> {
         Ok(&mut mem[addr as usize..(addr + len) as usize])
     }
 
-    fn copy(&mut self, tile: u16, addr: u32, len: u32, program: &str) -> Result<Vec<f32>> {
-        Ok(self.slice(tile, addr, len, program)?.to_vec())
+    fn copy(&mut self, loc: Loc, addr: u32, len: u32, program: &str) -> Result<Vec<f32>> {
+        Ok(self.slice(loc, addr, len, program)?.to_vec())
+    }
+
+    /// Copies a range into a reusable scratch buffer (the compiled tier's
+    /// allocation-free read path). The value sequence is identical to
+    /// [`MemView::copy`].
+    fn copy_into(
+        &mut self,
+        loc: Loc,
+        addr: u32,
+        len: u32,
+        buf: &mut Vec<f32>,
+        program: &str,
+    ) -> Result<()> {
+        let src = self.slice(loc, addr, len, program)?;
+        buf.clear();
+        buf.extend_from_slice(src);
+        Ok(())
     }
 }
 
-/// Executes one data instruction. Operands were already resolved and
-/// bounds are checked on access.
+/// Reusable read-operand buffers for the compiled tier: data micro-ops
+/// have at most two reads, and reads are always copied out before the
+/// write slice is formed (preserving the interpreter's overlap
+/// semantics), so two buffers per run loop suffice. `acc` is the staged
+/// convolution's per-lane accumulator (see [`kernels::conv_staged`]).
+#[derive(Debug, Default)]
+pub(super) struct Scratch {
+    bufs: [Vec<f32>; 2],
+    acc: Vec<f32>,
+}
+
+/// The arithmetic kernels. Most are shared verbatim by the interpreter
+/// and the compiled tier: both copy their read operands out, then run
+/// these over plain slices. Convolution is the exception: the
+/// interpreter runs the simple per-MAC reference [`kernels::conv`] (the
+/// bit-identity oracle), while the compiled tier runs the staged
+/// [`kernels::conv_staged`] — the same floating-point operations in the
+/// same per-output order, restructured into branch-free row sweeps the
+/// compiler can vectorize. Their bit-equality is pinned by
+/// `conv_staged_matches_reference_bit_for_bit` and by every
+/// tier-cross-check above this layer.
+mod kernels {
+    use super::{act_derivative, apply_act, ActKind, PoolMode};
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn conv(
+        x: &[f32],
+        kers: &[f32],
+        out: &mut [f32],
+        ih: usize,
+        iw: usize,
+        oh: usize,
+        ow: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        lanes: usize,
+        accumulate: bool,
+        flip: bool,
+    ) {
+        for lane in 0..lanes {
+            let ker = &kers[lane * k * k..(lane + 1) * k * k];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut sum = 0.0f32;
+                    for ky in 0..k {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= ih as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= iw as isize {
+                                continue;
+                            }
+                            let kv = if flip {
+                                ker[(k - 1 - ky) * k + (k - 1 - kx)]
+                            } else {
+                                ker[ky * k + kx]
+                            };
+                            sum += x[iy as usize * iw + ix as usize] * kv;
+                        }
+                    }
+                    let o = &mut out[lane * oh * ow + oy * ow + ox];
+                    if accumulate {
+                        *o += sum;
+                    } else {
+                        *o = sum;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The compiled tier's convolution: bit-identical to [`conv`], fast.
+    ///
+    /// [`conv`] walks every (output, kernel-tap) pair and bounds-checks
+    /// each tap. This version picks one of two restructurings by shape —
+    /// both preserve, per output element, exactly the reference's
+    /// floating-point sequence (taps in ascending `(ky, kx)` order
+    /// accumulated from 0.0, then one combine with the destination), so
+    /// every result — including NaN/∞ propagation; zero-valued taps are
+    /// never skipped — is bit-identical by construction:
+    ///
+    /// * **Tap sweep** (wide outputs, the FP/BP shapes): loops are
+    ///   interchanged — kernel taps outside, outputs inside — so each tap
+    ///   contributes one branch-free sweep over a contiguous output row.
+    ///   Interchange alone would change an `accumulate` destination's
+    ///   addition order, so each lane stages into the zeroed `tmp`
+    ///   accumulator and folds into `out` at the end.
+    /// * **Row dot** (small outputs with large kernels, the WG shape,
+    ///   where per-tap sweeps degenerate to a few elements): per output,
+    ///   the valid tap rectangle is computed once and each kernel row
+    ///   becomes one branch-free slice dot in ascending `kx` order.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn conv_staged(
+        x: &[f32],
+        kers: &[f32],
+        out: &mut [f32],
+        tmp: &mut Vec<f32>,
+        ih: usize,
+        iw: usize,
+        oh: usize,
+        ow: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        lanes: usize,
+        accumulate: bool,
+        flip: bool,
+    ) {
+        let stride = stride.max(1);
+        if ow >= k {
+            conv_tap_sweep(
+                x, kers, out, tmp, ih, iw, oh, ow, k, stride, pad, lanes, accumulate, flip,
+            );
+        } else {
+            conv_row_dot(
+                x, kers, out, ih, iw, oh, ow, k, stride, pad, lanes, accumulate, flip,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn conv_tap_sweep(
+        x: &[f32],
+        kers: &[f32],
+        out: &mut [f32],
+        tmp: &mut Vec<f32>,
+        ih: usize,
+        iw: usize,
+        oh: usize,
+        ow: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        lanes: usize,
+        accumulate: bool,
+        flip: bool,
+    ) {
+        tmp.clear();
+        tmp.resize(oh * ow, 0.0);
+        for lane in 0..lanes {
+            let ker = &kers[lane * k * k..(lane + 1) * k * k];
+            tmp.fill(0.0);
+            for ky in 0..k {
+                for kx in 0..k {
+                    let kv = if flip {
+                        ker[(k - 1 - ky) * k + (k - 1 - kx)]
+                    } else {
+                        ker[ky * k + kx]
+                    };
+                    // Valid output columns for this tap:
+                    // 0 <= ox*stride + kx - pad < iw.
+                    let ox_lo = if kx >= pad {
+                        0
+                    } else {
+                        (pad - kx).div_ceil(stride)
+                    };
+                    let ox_hi = if iw + pad > kx {
+                        ow.min((iw + pad - kx - 1) / stride + 1)
+                    } else {
+                        0
+                    };
+                    if ox_lo >= ox_hi {
+                        continue;
+                    }
+                    for oy in 0..oh {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= ih as isize {
+                            continue;
+                        }
+                        let row = iy as usize * iw;
+                        let trow = &mut tmp[oy * ow + ox_lo..oy * ow + ox_hi];
+                        if stride == 1 {
+                            let xrow = &x[row + ox_lo + kx - pad..row + ox_hi - 1 + kx - pad + 1];
+                            for (t, xv) in trow.iter_mut().zip(xrow) {
+                                *t += xv * kv;
+                            }
+                        } else {
+                            for (i, t) in trow.iter_mut().enumerate() {
+                                *t += x[row + (ox_lo + i) * stride + kx - pad] * kv;
+                            }
+                        }
+                    }
+                }
+            }
+            let out_lane = &mut out[lane * oh * ow..(lane + 1) * oh * ow];
+            if accumulate {
+                for (o, t) in out_lane.iter_mut().zip(tmp.iter()) {
+                    *o += t;
+                }
+            } else {
+                out_lane.copy_from_slice(tmp);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn conv_row_dot(
+        x: &[f32],
+        kers: &[f32],
+        out: &mut [f32],
+        ih: usize,
+        iw: usize,
+        oh: usize,
+        ow: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        lanes: usize,
+        accumulate: bool,
+        flip: bool,
+    ) {
+        for lane in 0..lanes {
+            let ker = &kers[lane * k * k..(lane + 1) * k * k];
+            for oy in 0..oh {
+                let base_y = oy * stride;
+                // Valid kernel rows: 0 <= base_y + ky - pad < ih.
+                let ky_lo = pad.saturating_sub(base_y);
+                let ky_hi = k.min((ih + pad).saturating_sub(base_y));
+                for ox in 0..ow {
+                    let base_x = ox * stride;
+                    let kx_lo = pad.saturating_sub(base_x);
+                    let kx_hi = k.min((iw + pad).saturating_sub(base_x));
+                    let mut sum = 0.0f32;
+                    if kx_lo < kx_hi {
+                        for ky in ky_lo..ky_hi {
+                            let row = (base_y + ky - pad) * iw;
+                            let xrow = &x[row + base_x + kx_lo - pad..row + base_x + kx_hi - pad];
+                            if flip {
+                                let fr = (k - 1 - ky) * k;
+                                let krow = &ker[fr + k - kx_hi..fr + k - kx_lo];
+                                for (xv, kv) in xrow.iter().zip(krow.iter().rev()) {
+                                    sum += xv * kv;
+                                }
+                            } else {
+                                let krow = &ker[ky * k + kx_lo..ky * k + kx_hi];
+                                for (xv, kv) in xrow.iter().zip(krow) {
+                                    sum += xv * kv;
+                                }
+                            }
+                        }
+                    }
+                    let o = &mut out[lane * oh * ow + oy * ow + ox];
+                    if accumulate {
+                        *o += sum;
+                    } else {
+                        *o = sum;
+                    }
+                }
+            }
+        }
+    }
+
+    pub(super) fn matmul(x: &[f32], w: &[f32], out: &mut [f32], n_in: usize, accumulate: bool) {
+        for (o, row) in out.iter_mut().zip(w.chunks_exact(n_in)) {
+            let dot: f32 = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            if accumulate {
+                *o += dot;
+            } else {
+                *o = dot;
+            }
+        }
+    }
+
+    pub(super) fn act(kind: ActKind, x: &[f32], out: &mut [f32]) {
+        for (o, v) in out.iter_mut().zip(x) {
+            *o = apply_act(kind, *v);
+        }
+    }
+
+    pub(super) fn act_bwd(kind: ActKind, z: &[f32], e: &[f32], out: &mut [f32]) {
+        for ((o, z), e) in out.iter_mut().zip(z).zip(e) {
+            *o = e * act_derivative(kind, *z);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn subsamp(
+        mode: PoolMode,
+        x: &[f32],
+        out: &mut [f32],
+        ih: usize,
+        iw: usize,
+        oh: usize,
+        ow: usize,
+        win: usize,
+        stride: usize,
+        pad: usize,
+    ) {
+        // The valid window rows/cols are precomputed per output so the
+        // inner sweep is a branch-free pass over contiguous input rows;
+        // the traversal order (ascending wy, wx over the valid taps) is
+        // the natural one, so `sum`'s accumulation sequence — and with
+        // it every result bit — is independent of this restructuring.
+        for oy in 0..oh {
+            let base_y = oy * stride;
+            let wy_lo = pad.saturating_sub(base_y);
+            let wy_hi = win.min((ih + pad).saturating_sub(base_y));
+            for ox in 0..ow {
+                let base_x = ox * stride;
+                let wx_lo = pad.saturating_sub(base_x);
+                let wx_hi = win.min((iw + pad).saturating_sub(base_x));
+                let mut best = f32::NEG_INFINITY;
+                let mut sum = 0.0f32;
+                if wx_lo < wx_hi {
+                    for wy in wy_lo..wy_hi {
+                        let row = (base_y + wy - pad) * iw;
+                        for v in &x[row + base_x + wx_lo - pad..row + base_x + wx_hi - pad] {
+                            best = best.max(*v);
+                            sum += v;
+                        }
+                    }
+                }
+                let n = wy_hi.saturating_sub(wy_lo) * wx_hi.saturating_sub(wx_lo);
+                out[oy * ow + ox] = match (mode, n) {
+                    (_, 0) => 0.0,
+                    (PoolMode::Max, _) => best,
+                    (PoolMode::Avg, _) => sum / n as f32,
+                };
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn upsamp(
+        mode: PoolMode,
+        e: &[f32],
+        x: &[f32],
+        out: &mut [f32],
+        ih: usize,
+        iw: usize,
+        oh: usize,
+        ow: usize,
+        win: usize,
+        stride: usize,
+        pad: usize,
+    ) {
+        // Same valid-range precomputation as `subsamp`, with no per-pixel
+        // index buffer: max mode tracks the argmax directly, avg mode
+        // counts the window population and then re-walks the same taps in
+        // the same order to distribute the share — so every `out[idx]`
+        // receives its additions in the exact sequence the original
+        // collect-then-scatter form produced.
+        for oy in 0..oh {
+            let base_y = oy * stride;
+            let wy_lo = pad.saturating_sub(base_y);
+            let wy_hi = win.min((ih + pad).saturating_sub(base_y));
+            for ox in 0..ow {
+                let base_x = ox * stride;
+                let wx_lo = pad.saturating_sub(base_x);
+                let wx_hi = win.min((iw + pad).saturating_sub(base_x));
+                let ev = e[oy * ow + ox];
+                match mode {
+                    PoolMode::Max => {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = None;
+                        for wy in wy_lo..wy_hi {
+                            let row = (base_y + wy - pad) * iw;
+                            for wx in wx_lo..wx_hi {
+                                let idx = row + base_x + wx - pad;
+                                if x[idx] > best {
+                                    best = x[idx];
+                                    best_idx = Some(idx);
+                                }
+                            }
+                        }
+                        if let Some(idx) = best_idx {
+                            out[idx] += ev;
+                        }
+                    }
+                    PoolMode::Avg => {
+                        let n = wy_hi.saturating_sub(wy_lo) * wx_hi.saturating_sub(wx_lo);
+                        let share = ev / n.max(1) as f32;
+                        if wx_lo < wx_hi {
+                            for wy in wy_lo..wy_hi {
+                                let row = (base_y + wy - pad) * iw;
+                                for o in
+                                    &mut out[row + base_x + wx_lo - pad..row + base_x + wx_hi - pad]
+                                {
+                                    *o += share;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub(super) fn acc(x: &[f32], out: &mut [f32]) {
+        for (o, v) in out.iter_mut().zip(x) {
+            *o += v;
+        }
+    }
+
+    pub(super) fn scale_acc(x: &[f32], scales: &[f32], out: &mut [f32], elementwise: bool) {
+        for (i, (o, v)) in out.iter_mut().zip(x).enumerate() {
+            let s = if elementwise { scales[i] } else { scales[0] };
+            *o += s * v;
+        }
+    }
+
+    pub(super) fn copy(x: &[f32], out: &mut [f32], accumulate: bool) {
+        if accumulate {
+            for (o, v) in out.iter_mut().zip(x) {
+                *o += v;
+            }
+        } else {
+            out.copy_from_slice(x);
+        }
+    }
+}
+
+/// Executes one data instruction (the interpreter tier): operands are
+/// resolved from the instruction, reads copied out, and the shared kernel
+/// applied. Bounds are checked on access.
 pub(super) fn execute(
     inst: &Inst,
     regs: &[i64],
@@ -243,47 +687,30 @@ pub(super) fn execute(
             accumulate,
             flip,
         } => {
-            let (it, ia) = resolve(input, regs, program)?;
-            let (kt, ka) = resolve(kernel, regs, program)?;
-            let (ot, oa) = resolve(output, regs, program)?;
+            let (il, ia) = resolve(input, regs, program)?;
+            let (kl, ka) = resolve(kernel, regs, program)?;
+            let (ol, oa) = resolve(output, regs, program)?;
             let (ih, iw) = (in_h as usize, in_w as usize);
             let (oh, ow) = (out_h as usize, out_w as usize);
             let (k, stride, pad) = (k as usize, stride as usize, pad as usize);
-            let x = mem.copy(it, ia, (ih * iw) as u32, program)?;
-            let kers = mem.copy(kt, ka, (lanes as usize * k * k) as u32, program)?;
-            let out = mem.slice(ot, oa, (lanes as usize * oh * ow) as u32, program)?;
-            for lane in 0..lanes as usize {
-                let ker = &kers[lane * k * k..(lane + 1) * k * k];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut sum = 0.0f32;
-                        for ky in 0..k {
-                            let iy = (oy * stride + ky) as isize - pad as isize;
-                            if iy < 0 || iy >= ih as isize {
-                                continue;
-                            }
-                            for kx in 0..k {
-                                let ix = (ox * stride + kx) as isize - pad as isize;
-                                if ix < 0 || ix >= iw as isize {
-                                    continue;
-                                }
-                                let kv = if flip {
-                                    ker[(k - 1 - ky) * k + (k - 1 - kx)]
-                                } else {
-                                    ker[ky * k + kx]
-                                };
-                                sum += x[iy as usize * iw + ix as usize] * kv;
-                            }
-                        }
-                        let o = &mut out[lane * oh * ow + oy * ow + ox];
-                        if accumulate {
-                            *o += sum;
-                        } else {
-                            *o = sum;
-                        }
-                    }
-                }
-            }
+            let x = mem.copy(il, ia, (ih * iw) as u32, program)?;
+            let kers = mem.copy(kl, ka, (lanes as usize * k * k) as u32, program)?;
+            let out = mem.slice(ol, oa, (lanes as usize * oh * ow) as u32, program)?;
+            kernels::conv(
+                &x,
+                &kers,
+                out,
+                ih,
+                iw,
+                oh,
+                ow,
+                k,
+                stride,
+                pad,
+                lanes as usize,
+                accumulate,
+                flip,
+            );
         }
         Inst::MatMul {
             input,
@@ -293,20 +720,13 @@ pub(super) fn execute(
             output,
             accumulate,
         } => {
-            let (it, ia) = resolve(input, regs, program)?;
-            let (mt, ma) = resolve(matrix, regs, program)?;
-            let (ot, oa) = resolve(output, regs, program)?;
-            let x = mem.copy(it, ia, n_in, program)?;
-            let w = mem.copy(mt, ma, rows * n_in, program)?;
-            let out = mem.slice(ot, oa, rows, program)?;
-            for (o, row) in out.iter_mut().zip(w.chunks_exact(n_in as usize)) {
-                let dot: f32 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
-                if accumulate {
-                    *o += dot;
-                } else {
-                    *o = dot;
-                }
-            }
+            let (il, ia) = resolve(input, regs, program)?;
+            let (ml, ma) = resolve(matrix, regs, program)?;
+            let (ol, oa) = resolve(output, regs, program)?;
+            let x = mem.copy(il, ia, n_in, program)?;
+            let w = mem.copy(ml, ma, rows * n_in, program)?;
+            let out = mem.slice(ol, oa, rows, program)?;
+            kernels::matmul(&x, &w, out, n_in as usize, accumulate);
         }
         Inst::NdActFn {
             kind,
@@ -314,13 +734,11 @@ pub(super) fn execute(
             len,
             dst,
         } => {
-            let (st, sa) = resolve(src, regs, program)?;
-            let (dt, da) = resolve(dst, regs, program)?;
-            let x = mem.copy(st, sa, len, program)?;
-            let out = mem.slice(dt, da, len, program)?;
-            for (o, v) in out.iter_mut().zip(&x) {
-                *o = apply_act(kind, *v);
-            }
+            let (sl, sa) = resolve(src, regs, program)?;
+            let (dl, da) = resolve(dst, regs, program)?;
+            let x = mem.copy(sl, sa, len, program)?;
+            let out = mem.slice(dl, da, len, program)?;
+            kernels::act(kind, &x, out);
         }
         Inst::NdActBwd {
             kind,
@@ -329,15 +747,13 @@ pub(super) fn execute(
             len,
             dst,
         } => {
-            let (pt, pa) = resolve(pre, regs, program)?;
-            let (et, ea) = resolve(err, regs, program)?;
-            let (dt, da) = resolve(dst, regs, program)?;
-            let z = mem.copy(pt, pa, len, program)?;
-            let e = mem.copy(et, ea, len, program)?;
-            let out = mem.slice(dt, da, len, program)?;
-            for ((o, z), e) in out.iter_mut().zip(&z).zip(&e) {
-                *o = e * act_derivative(kind, *z);
-            }
+            let (pl, pa) = resolve(pre, regs, program)?;
+            let (el, ea) = resolve(err, regs, program)?;
+            let (dl, da) = resolve(dst, regs, program)?;
+            let z = mem.copy(pl, pa, len, program)?;
+            let e = mem.copy(el, ea, len, program)?;
+            let out = mem.slice(dl, da, len, program)?;
+            kernels::act_bwd(kind, &z, &e, out);
         }
         Inst::NdSubsamp {
             mode,
@@ -350,42 +766,15 @@ pub(super) fn execute(
             ceil,
             dst,
         } => {
-            let (st, sa) = resolve(src, regs, program)?;
-            let (dt, da) = resolve(dst, regs, program)?;
+            let (sl, sa) = resolve(src, regs, program)?;
+            let (dl, da) = resolve(dst, regs, program)?;
             let (ih, iw) = (in_h as usize, in_w as usize);
             let (win, stride, pad) = (window as usize, stride as usize, pad as usize);
             let oh = samp_out(ih, win, stride, pad, ceil);
             let ow = samp_out(iw, win, stride, pad, ceil);
-            let x = mem.copy(st, sa, (ih * iw) as u32, program)?;
-            let out = mem.slice(dt, da, (oh * ow) as u32, program)?;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut sum = 0.0f32;
-                    let mut n = 0u32;
-                    for wy in 0..win {
-                        let iy = (oy * stride + wy) as isize - pad as isize;
-                        if iy < 0 || iy >= ih as isize {
-                            continue;
-                        }
-                        for wx in 0..win {
-                            let ix = (ox * stride + wx) as isize - pad as isize;
-                            if ix < 0 || ix >= iw as isize {
-                                continue;
-                            }
-                            let v = x[iy as usize * iw + ix as usize];
-                            best = best.max(v);
-                            sum += v;
-                            n += 1;
-                        }
-                    }
-                    out[oy * ow + ox] = match (mode, n) {
-                        (_, 0) => 0.0,
-                        (PoolMode::Max, _) => best,
-                        (PoolMode::Avg, _) => sum / n as f32,
-                    };
-                }
-            }
+            let x = mem.copy(sl, sa, (ih * iw) as u32, program)?;
+            let out = mem.slice(dl, da, (oh * ow) as u32, program)?;
+            kernels::subsamp(mode, &x, out, ih, iw, oh, ow, win, stride, pad);
         }
         Inst::NdUpsamp {
             mode,
@@ -399,65 +788,24 @@ pub(super) fn execute(
             ceil,
             dst,
         } => {
-            let (et, ea) = resolve(err, regs, program)?;
-            let (ft, fa) = resolve(fwd, regs, program)?;
-            let (dt, da) = resolve(dst, regs, program)?;
+            let (el, ea) = resolve(err, regs, program)?;
+            let (fl, fa) = resolve(fwd, regs, program)?;
+            let (dl, da) = resolve(dst, regs, program)?;
             let (ih, iw) = (in_h as usize, in_w as usize);
             let (win, stride, pad) = (window as usize, stride as usize, pad as usize);
             let oh = samp_out(ih, win, stride, pad, ceil);
             let ow = samp_out(iw, win, stride, pad, ceil);
-            let e = mem.copy(et, ea, (oh * ow) as u32, program)?;
-            let x = mem.copy(ft, fa, (ih * iw) as u32, program)?;
-            let out = mem.slice(dt, da, (ih * iw) as u32, program)?;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    // Find the window population (and argmax for max mode).
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = None;
-                    let mut idxs: Vec<usize> = Vec::new();
-                    for wy in 0..win {
-                        let iy = (oy * stride + wy) as isize - pad as isize;
-                        if iy < 0 || iy >= ih as isize {
-                            continue;
-                        }
-                        for wx in 0..win {
-                            let ix = (ox * stride + wx) as isize - pad as isize;
-                            if ix < 0 || ix >= iw as isize {
-                                continue;
-                            }
-                            let idx = iy as usize * iw + ix as usize;
-                            idxs.push(idx);
-                            if x[idx] > best {
-                                best = x[idx];
-                                best_idx = Some(idx);
-                            }
-                        }
-                    }
-                    let ev = e[oy * ow + ox];
-                    match mode {
-                        PoolMode::Max => {
-                            if let Some(idx) = best_idx {
-                                out[idx] += ev;
-                            }
-                        }
-                        PoolMode::Avg => {
-                            let share = ev / idxs.len().max(1) as f32;
-                            for idx in idxs {
-                                out[idx] += share;
-                            }
-                        }
-                    }
-                }
-            }
+            let e = mem.copy(el, ea, (oh * ow) as u32, program)?;
+            let x = mem.copy(fl, fa, (ih * iw) as u32, program)?;
+            let out = mem.slice(dl, da, (ih * iw) as u32, program)?;
+            kernels::upsamp(mode, &e, &x, out, ih, iw, oh, ow, win, stride, pad);
         }
         Inst::NdAcc { dst, src, len } => {
-            let (st, sa) = resolve(src, regs, program)?;
-            let (dt, da) = resolve(dst, regs, program)?;
-            let x = mem.copy(st, sa, len, program)?;
-            let out = mem.slice(dt, da, len, program)?;
-            for (o, v) in out.iter_mut().zip(&x) {
-                *o += v;
-            }
+            let (sl, sa) = resolve(src, regs, program)?;
+            let (dl, da) = resolve(dst, regs, program)?;
+            let x = mem.copy(sl, sa, len, program)?;
+            let out = mem.slice(dl, da, len, program)?;
+            kernels::acc(&x, out);
         }
         Inst::VecScaleAcc {
             src,
@@ -466,16 +814,13 @@ pub(super) fn execute(
             dst,
             elementwise,
         } => {
-            let (st, sa) = resolve(src, regs, program)?;
-            let (ct, ca) = resolve(scalar, regs, program)?;
-            let (dt, da) = resolve(dst, regs, program)?;
-            let x = mem.copy(st, sa, len, program)?;
-            let scales = mem.copy(ct, ca, if elementwise { len } else { 1 }, program)?;
-            let out = mem.slice(dt, da, len, program)?;
-            for (i, (o, v)) in out.iter_mut().zip(&x).enumerate() {
-                let s = if elementwise { scales[i] } else { scales[0] };
-                *o += s * v;
-            }
+            let (sl, sa) = resolve(src, regs, program)?;
+            let (cl, ca) = resolve(scalar, regs, program)?;
+            let (dl, da) = resolve(dst, regs, program)?;
+            let x = mem.copy(sl, sa, len, program)?;
+            let scales = mem.copy(cl, ca, if elementwise { len } else { 1 }, program)?;
+            let out = mem.slice(dl, da, len, program)?;
+            kernels::scale_acc(&x, &scales, out, elementwise);
         }
         Inst::DmaLoad {
             src,
@@ -489,23 +834,18 @@ pub(super) fn execute(
             len,
             accumulate,
         } => {
-            let (st, sa) = resolve(src, regs, program)?;
-            let (dt, da) = resolve(dst, regs, program)?;
-            let x = mem.copy(st, sa, len, program)?;
-            let out = mem.slice(dt, da, len, program)?;
-            if accumulate {
-                for (o, v) in out.iter_mut().zip(&x) {
-                    *o += v;
-                }
-            } else {
-                out.copy_from_slice(&x);
-            }
+            let (sl, sa) = resolve(src, regs, program)?;
+            let (dl, da) = resolve(dst, regs, program)?;
+            let x = mem.copy(sl, sa, len, program)?;
+            let out = mem.slice(dl, da, len, program)?;
+            kernels::copy(&x, out, accumulate);
         }
         Inst::Prefetch { src, dst, len } | Inst::PassBuff { src, dst, len } => {
-            let (st, sa) = resolve(src, regs, program)?;
-            let (dt, da) = resolve(dst, regs, program)?;
-            let x = mem.copy(st, sa, len, program)?;
-            mem.slice(dt, da, len, program)?.copy_from_slice(&x);
+            let (sl, sa) = resolve(src, regs, program)?;
+            let (dl, da) = resolve(dst, regs, program)?;
+            let x = mem.copy(sl, sa, len, program)?;
+            let out = mem.slice(dl, da, len, program)?;
+            kernels::copy(&x, out, false);
         }
         _ => {
             return Err(Error::ControlFault {
@@ -513,6 +853,72 @@ pub(super) fn execute(
                 detail: format!("not a data instruction: {inst}"),
             })
         }
+    }
+    Ok(())
+}
+
+/// Executes one lowered data micro-op (the compiled tier): operand
+/// addresses were resolved by the caller ([`spec_addr`] per operand, in
+/// reads-then-write order), reads are copied into the run loop's
+/// [`Scratch`] buffers, and the same kernels as [`execute`] apply.
+pub(super) fn execute_data(
+    op: &DataOp,
+    read_addrs: &[u32],
+    write_addr: u32,
+    mem: &mut MemView<'_>,
+    scratch: &mut Scratch,
+    program: &str,
+) -> Result<()> {
+    let Scratch { bufs: [a, b], acc } = scratch;
+    debug_assert_eq!(op.reads.len(), read_addrs.len());
+    for ((spec, &addr), buf) in op.reads.iter().zip(read_addrs).zip([&mut *a, &mut *b]) {
+        mem.copy_into(spec.loc, addr, spec.len, buf, program)?;
+    }
+    let w: &OperandSpec = &op.write;
+    let out = mem.slice(w.loc, write_addr, w.len, program)?;
+    match op.form {
+        DataForm::Conv {
+            in_h,
+            in_w,
+            k,
+            stride,
+            pad,
+            lanes,
+            out_h,
+            out_w,
+            accumulate,
+            flip,
+        } => kernels::conv_staged(
+            a, b, out, acc, in_h, in_w, out_h, out_w, k, stride, pad, lanes, accumulate, flip,
+        ),
+        DataForm::MatMul { n_in, accumulate } => kernels::matmul(a, b, out, n_in, accumulate),
+        DataForm::ActFn { kind } => kernels::act(kind, a, out),
+        DataForm::ActBwd { kind } => kernels::act_bwd(kind, a, b, out),
+        DataForm::Subsamp {
+            mode,
+            in_h,
+            in_w,
+            window,
+            stride,
+            pad,
+            out_h,
+            out_w,
+        } => kernels::subsamp(mode, a, out, in_h, in_w, out_h, out_w, window, stride, pad),
+        DataForm::Upsamp {
+            mode,
+            in_h,
+            in_w,
+            window,
+            stride,
+            pad,
+            out_h,
+            out_w,
+        } => kernels::upsamp(
+            mode, a, b, out, in_h, in_w, out_h, out_w, window, stride, pad,
+        ),
+        DataForm::Acc => kernels::acc(a, out),
+        DataForm::ScaleAcc { elementwise } => kernels::scale_acc(a, b, out, elementwise),
+        DataForm::Copy { accumulate } => kernels::copy(a, out, accumulate),
     }
     Ok(())
 }
@@ -621,10 +1027,26 @@ fn branch(pc: usize, taken: bool, offset: i32) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scaledeep_isa::{MemRef, TileRef};
+    use scaledeep_isa::micro::lower_inst;
+    use scaledeep_isa::{MemRef, MicroOp, TileRef};
 
     fn mem1(data: Vec<f32>) -> Vec<Vec<f32>> {
         vec![data]
+    }
+
+    /// Runs an instruction through the compiled tier's lowering + data
+    /// executor (immediate addresses only).
+    fn execute_lowered(inst: &Inst, regs: &[i64], view: &mut MemView<'_>) -> Result<()> {
+        let MicroOp::Data(op) = lower_inst(inst) else {
+            panic!("not a data instruction");
+        };
+        let mut addrs = [0u32; 2];
+        for (i, r) in op.reads.iter().enumerate() {
+            addrs[i] = spec_addr(r.addr, regs, "t").unwrap();
+        }
+        let wa = spec_addr(op.write.addr, regs, "t").unwrap();
+        let mut scratch = Scratch::default();
+        execute_data(&op, &addrs[..op.reads.len()], wa, view, &mut scratch, "t")
     }
 
     #[test]
@@ -696,6 +1118,77 @@ mod tests {
         let flipped = tiles[0][8];
         assert_eq!(unflipped, 1.0); // impulse picks ker[0][0]
         assert_eq!(flipped, 4.0); // flipped picks ker[1][1]
+    }
+
+    #[test]
+    fn conv_staged_matches_reference_bit_for_bit() {
+        // The staged (compiled-tier) convolution must reproduce the
+        // reference kernel exactly — same bits, not just close — across
+        // geometry (kernel size, stride, padding, lanes), both flip and
+        // accumulate variants, and value patterns that expose any
+        // operation reordering: NaN/∞ (absorb everything downstream),
+        // signed zeros, and magnitude spreads that make addition order
+        // observable in the low mantissa bits.
+        let mut deterministic = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            deterministic ^= deterministic << 13;
+            deterministic ^= deterministic >> 7;
+            deterministic ^= deterministic << 17;
+            deterministic
+        };
+        let specials = [f32::NAN, f32::INFINITY, -0.0, 1e-30, -1e30];
+        for (k, stride, pad) in [
+            (1usize, 1usize, 0usize),
+            (2, 1, 0),
+            (3, 1, 1),
+            (3, 2, 1),
+            (5, 2, 2),
+            (3, 1, 2), // pad larger than needed: fully-padded border taps
+            (5, 1, 0), // WG-like: kernel wider than the output (row-dot path)
+            (6, 1, 1), // WG-like with padding, even kernel
+        ] {
+            for lanes in [1usize, 3] {
+                for (accumulate, flip) in
+                    [(false, false), (true, false), (false, true), (true, true)]
+                {
+                    let (ih, iw) = (7usize, 6usize);
+                    let oh = (ih + 2 * pad - k) / stride + 1;
+                    let ow = (iw + 2 * pad - k) / stride + 1;
+                    let mut x: Vec<f32> = (0..ih * iw)
+                        .map(|_| (next() % 2000) as f32 / 7.0 - 140.0)
+                        .collect();
+                    let mut kers: Vec<f32> = (0..lanes * k * k)
+                        .map(|_| (next() % 200) as f32 / 3.0 - 33.0)
+                        .collect();
+                    // Sprinkle the special values at varying positions.
+                    let (xn, kn) = (x.len(), kers.len());
+                    for (i, &s) in specials.iter().enumerate() {
+                        x[(i * 11) % xn] = s;
+                        kers[(i * 7) % kn] = s;
+                    }
+                    let init: Vec<f32> = (0..lanes * oh * ow)
+                        .map(|_| (next() % 100) as f32 - 50.0)
+                        .collect();
+                    let mut want = init.clone();
+                    kernels::conv(
+                        &x, &kers, &mut want, ih, iw, oh, ow, k, stride, pad, lanes, accumulate,
+                        flip,
+                    );
+                    let mut got = init;
+                    let mut tmp = Vec::new();
+                    kernels::conv_staged(
+                        &x, &kers, &mut got, &mut tmp, ih, iw, oh, ow, k, stride, pad, lanes,
+                        accumulate, flip,
+                    );
+                    let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                    let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(
+                        want_bits, got_bits,
+                        "k={k} stride={stride} pad={pad} lanes={lanes} acc={accumulate} flip={flip}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -908,5 +1401,116 @@ mod tests {
         };
         execute(&inst, &regs, &mut view, "t").unwrap();
         assert_eq!(tiles[0][1], 5.0);
+    }
+
+    #[test]
+    fn lowered_executor_matches_interpreter_per_form() {
+        // One representative per MemOffload / CoarseData / DataTransfer
+        // form, run through both tiers from the same initial memory.
+        let init: Vec<f32> = (0..32).map(|i| (i as f32) * 0.5 - 4.0).collect();
+        let insts = vec![
+            Inst::NdConv {
+                input: MemRef::at(TileRef(0), 0),
+                in_h: 3,
+                in_w: 3,
+                kernel: MemRef::at(TileRef(0), 9),
+                k: 2,
+                stride: 1,
+                pad: 1,
+                lanes: 2,
+                output: MemRef::at(TileRef(0), 0),
+                out_h: 4,
+                out_w: 4,
+                accumulate: true,
+                flip: true,
+            },
+            Inst::MatMul {
+                input: MemRef::at(TileRef(0), 0),
+                n_in: 3,
+                matrix: MemRef::at(TileRef(0), 4),
+                rows: 4,
+                output: MemRef::at(TileRef(0), 20),
+                accumulate: false,
+            },
+            Inst::NdActFn {
+                kind: ActKind::Tanh,
+                src: MemRef::at(TileRef(0), 0),
+                len: 8,
+                dst: MemRef::at(TileRef(0), 16),
+            },
+            Inst::NdActBwd {
+                kind: ActKind::Sigmoid,
+                pre: MemRef::at(TileRef(0), 0),
+                err: MemRef::at(TileRef(0), 8),
+                len: 8,
+                dst: MemRef::at(TileRef(0), 16),
+            },
+            Inst::NdSubsamp {
+                mode: PoolMode::Avg,
+                src: MemRef::at(TileRef(0), 0),
+                in_h: 4,
+                in_w: 4,
+                window: 2,
+                stride: 2,
+                pad: 0,
+                ceil: false,
+                dst: MemRef::at(TileRef(0), 20),
+            },
+            Inst::NdUpsamp {
+                mode: PoolMode::Max,
+                err: MemRef::at(TileRef(0), 16),
+                fwd: MemRef::at(TileRef(0), 0),
+                in_h: 4,
+                in_w: 4,
+                window: 2,
+                stride: 2,
+                pad: 0,
+                ceil: false,
+                dst: MemRef::at(TileRef(0), 8),
+            },
+            Inst::NdAcc {
+                dst: MemRef::at(TileRef(0), 16),
+                src: MemRef::at(TileRef(0), 0),
+                len: 8,
+            },
+            Inst::VecScaleAcc {
+                src: MemRef::at(TileRef(0), 0),
+                len: 4,
+                scalar: MemRef::at(TileRef(0), 8),
+                dst: MemRef::at(TileRef(0), 16),
+                elementwise: true,
+            },
+            Inst::DmaLoad {
+                src: MemRef::at(TileRef(0), 0),
+                dst: MemRef::at(TileRef(0), 16),
+                len: 8,
+                accumulate: true,
+            },
+            Inst::PassBuff {
+                src: MemRef::at(scaledeep_isa::EXT_MEM_TILE, 0),
+                dst: MemRef::at(TileRef(0), 24),
+                len: 4,
+            },
+        ];
+        for inst in insts {
+            let mut t_a = mem1(init.clone());
+            let mut ext_a = vec![1.0, 2.0, 3.0, 4.0];
+            let mut view = MemView {
+                tiles: &mut t_a,
+                ext: &mut ext_a,
+            };
+            execute(&inst, &[0; 64], &mut view, "t").unwrap();
+
+            let mut t_b = mem1(init.clone());
+            let mut ext_b = vec![1.0, 2.0, 3.0, 4.0];
+            let mut view = MemView {
+                tiles: &mut t_b,
+                ext: &mut ext_b,
+            };
+            execute_lowered(&inst, &[0; 64], &mut view).unwrap();
+
+            assert_eq!(t_a, t_b, "tile state diverged for {inst}");
+            assert_eq!(ext_a, ext_b, "ext state diverged for {inst}");
+        }
     }
 }

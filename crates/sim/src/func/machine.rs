@@ -11,13 +11,14 @@
 //! validation oracle for schedule-independence tests.
 
 use super::cost::CycleCosts;
-use super::exec::{self, MemView, Range, ScalarOutcome};
+use super::exec::{self, MemView, Range, ScalarOutcome, Scratch};
 use super::tracker::TrackerTable;
 use crate::engine::{Cycle, EventQueue, WaitMap, Watchdog};
 use crate::error::{Error, Result};
 use crate::fault::{FaultKind, FaultPlan};
 use scaledeep_compiler::codegen::TrackerSpec;
-use scaledeep_isa::{Inst, InstGroup, Program, NUM_REGS};
+use scaledeep_isa::micro::CostClass;
+use scaledeep_isa::{Inst, InstGroup, Loc, LoweredProgram, MicroOp, Program, NUM_REGS};
 use scaledeep_trace::{MetricId, MetricsRegistry, Payload, TraceSink, Tracer, TrackId};
 
 /// Default instruction budget per [`Machine::run`] call — a backstop
@@ -72,23 +73,52 @@ impl RunStats {
     }
 }
 
-struct Thread {
-    program: Program,
+struct Thread<C> {
+    code: C,
     pc: usize,
     regs: [i64; NUM_REGS],
     halted: bool,
 }
 
-impl Thread {
-    fn new(program: Program) -> Self {
-        let halted = program.is_empty();
+impl<C: Code> Thread<C> {
+    fn new(code: C) -> Self {
+        let halted = code.is_empty();
         Self {
-            program,
+            code,
             pc: 0,
             regs: [0; NUM_REGS],
             halted,
         }
     }
+}
+
+/// An executable program form — what a tile thread steps through. The two
+/// implementations are the execution tiers: [`Program`] is the
+/// interpreter (re-derives operand ranges and costs every dispatch, the
+/// bit-identity oracle), [`LoweredProgram`] is the compiled tier
+/// (pre-decoded micro-ops, specialized dispatch, and a restructured —
+/// but bit-identical — convolution kernel). Both drive the same
+/// event-driven run loop, so they differ only in per-step decode work
+/// and kernel loop structure, never in results.
+trait Code: Clone {
+    /// The program's name (used in diagnostics and errors).
+    fn name(&self) -> &str;
+    /// True when the program has no instructions (the thread starts
+    /// halted).
+    fn is_empty(&self) -> bool;
+    /// Executes one instruction of `t`, mutating thread and machine
+    /// state.
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        t: &mut Thread<Self>,
+        mems: &mut [Vec<f32>],
+        ext: &mut Vec<f32>,
+        trackers: &mut TrackerTable,
+        costs: &CycleCosts,
+        dead: &[bool],
+        now: Cycle,
+        scratch: &mut Scratch,
+    ) -> Result<StepOutcome>;
 }
 
 /// The functional machine: MemHeavy scratchpads, an external memory, the
@@ -253,8 +283,68 @@ impl Machine {
         tracer: &mut Tracer<S>,
         reg: &mut MetricsRegistry,
     ) -> Result<RunStats> {
+        self.run_generic(programs, specs, costs, plan, tracer, reg)
+    }
+
+    /// Runs pre-lowered micro-op streams (the compiled execution tier)
+    /// with the default cost table. Same scheduling, tracker semantics
+    /// and arithmetic as [`Machine::run`] — the lowered form removes
+    /// per-dispatch decode work and swaps in a restructured (but
+    /// FP-order-preserving) convolution kernel — so results, [`RunStats`]
+    /// and trace events are bit-identical to interpreting the source
+    /// programs.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::run`].
+    pub fn run_lowered(
+        &mut self,
+        programs: &[LoweredProgram],
+        specs: &[TrackerSpec],
+    ) -> Result<RunStats> {
+        let mut tracer = Tracer::disabled();
+        let mut reg = MetricsRegistry::new();
+        self.run_lowered_traced(
+            programs,
+            specs,
+            &CycleCosts::default(),
+            &FaultPlan::none(),
+            &mut tracer,
+            &mut reg,
+        )
+    }
+
+    /// [`Machine::run_traced`] over pre-lowered micro-op streams (the
+    /// compiled execution tier), with full fault-plan and observability
+    /// support.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::run_faulted`].
+    pub fn run_lowered_traced<S: TraceSink>(
+        &mut self,
+        programs: &[LoweredProgram],
+        specs: &[TrackerSpec],
+        costs: &CycleCosts,
+        plan: &FaultPlan,
+        tracer: &mut Tracer<S>,
+        reg: &mut MetricsRegistry,
+    ) -> Result<RunStats> {
+        self.run_generic(programs, specs, costs, plan, tracer, reg)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_generic<C: Code, S: TraceSink>(
+        &mut self,
+        programs: &[C],
+        specs: &[TrackerSpec],
+        costs: &CycleCosts,
+        plan: &FaultPlan,
+        tracer: &mut Tracer<S>,
+        reg: &mut MetricsRegistry,
+    ) -> Result<RunStats> {
         self.arm_from_specs(specs)?;
-        let mut threads: Vec<Thread> = programs.iter().cloned().map(Thread::new).collect();
+        let mut threads: Vec<Thread<C>> = programs.iter().cloned().map(Thread::new).collect();
         // Every run counter lives in this per-run registry; RunStats is
         // read back out of it at the end (no parallel bookkeeping).
         let mut run = MetricsRegistry::new();
@@ -282,7 +372,7 @@ impl Machine {
                         .collect(),
                     threads
                         .iter()
-                        .map(|t| tracer.track(&format!("thread {}", t.program.name())))
+                        .map(|t| tracer.track(&format!("thread {}", t.code.name())))
                         .collect(),
                     tracer.track("faults"),
                 )
@@ -297,6 +387,7 @@ impl Machine {
         let fault_events = plan.events();
         let mut next_fault = 0usize;
         let mut dead: Vec<bool> = vec![false; self.mems.len()];
+        let mut scratch = Scratch::default();
         // Tiles whose next tracker wake broadcast is scheduled to vanish.
         let mut pending_drops: Vec<u16> = Vec::new();
         for (i, t) in threads.iter().enumerate() {
@@ -345,14 +436,15 @@ impl Machine {
             }
             run.add(m_rounds, 1);
             let t = &mut threads[tid];
-            match Self::step(
+            match C::step(
+                t,
                 &mut self.mems,
                 &mut self.ext,
                 &mut self.trackers,
-                t,
                 costs,
                 &dead,
                 now,
+                &mut scratch,
             )? {
                 StepOutcome::Executed {
                     cost,
@@ -362,7 +454,7 @@ impl Machine {
                     run.add(m_insts, 1);
                     if run.counter_get(m_insts) > self.fuel {
                         return Err(Error::ControlFault {
-                            program: t.program.name().to_string(),
+                            program: t.code.name().to_string(),
                             detail: format!("fuel exhausted after {} instructions", self.fuel),
                         });
                     }
@@ -455,8 +547,8 @@ impl Machine {
     /// Names each non-halted thread, the tracker ranges it is parked on,
     /// and the nearest tracker's satisfaction watermark, e.g.
     /// `"L0.BP awaiting M2[0..512) (updates 3/4, reads 0/1)"`.
-    fn stuck_diagnostics(
-        threads: &[Thread],
+    fn stuck_diagnostics<C: Code>(
+        threads: &[Thread<C>],
         waits: &WaitMap,
         trackers: &TrackerTable,
     ) -> Vec<String> {
@@ -477,9 +569,9 @@ impl Machine {
                     })
                     .collect();
                 if ranges.is_empty() {
-                    t.program.name().to_string()
+                    t.code.name().to_string()
                 } else {
-                    format!("{} awaiting {}", t.program.name(), ranges.join(", "))
+                    format!("{} awaiting {}", t.code.name(), ranges.join(", "))
                 }
             })
             .collect()
@@ -501,7 +593,8 @@ impl Machine {
     ) -> Result<RunStats> {
         self.arm_from_specs(specs)?;
         let costs = CycleCosts::default();
-        let mut threads: Vec<Thread> = programs.iter().cloned().map(Thread::new).collect();
+        let mut scratch = Scratch::default();
+        let mut threads: Vec<Thread<Program>> = programs.iter().cloned().map(Thread::new).collect();
         let mut stats = RunStats::default();
         loop {
             if threads.iter().all(|t| t.halted) {
@@ -513,21 +606,22 @@ impl Machine {
                 if t.halted {
                     continue;
                 }
-                match Self::step(
+                match Program::step(
+                    t,
                     &mut self.mems,
                     &mut self.ext,
                     &mut self.trackers,
-                    t,
                     &costs,
                     &[],
                     0,
+                    &mut scratch,
                 )? {
                     StepOutcome::Executed { .. } => {
                         progressed = true;
                         stats.instructions += 1;
                         if stats.instructions > self.fuel {
                             return Err(Error::ControlFault {
-                                program: t.program.name().to_string(),
+                                program: t.code.name().to_string(),
                                 detail: format!("fuel exhausted after {} instructions", self.fuel),
                             });
                         }
@@ -542,25 +636,38 @@ impl Machine {
                 let stuck = threads
                     .iter()
                     .filter(|t| !t.halted)
-                    .map(|t| t.program.name().to_string())
+                    .map(|t| t.code.name().to_string())
                     .collect();
                 // The oracle has no timing model, so detection time is 0.
                 return Err(Error::Deadlock { stuck, at: 0 });
             }
         }
     }
+}
 
+impl Code for Program {
+    fn name(&self) -> &str {
+        Program::name(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        Program::is_empty(self)
+    }
+
+    /// The interpreter tier: re-fetches the [`Inst`], re-derives its
+    /// operand ranges and re-prices its cost on every dispatch.
     fn step(
+        t: &mut Thread<Self>,
         mems: &mut [Vec<f32>],
         ext: &mut Vec<f32>,
         trackers: &mut TrackerTable,
-        t: &mut Thread,
         costs: &CycleCosts,
         dead: &[bool],
         now: Cycle,
+        _scratch: &mut Scratch,
     ) -> Result<StepOutcome> {
-        let name = t.program.name().to_string();
-        let Some(&inst) = t.program.insts().get(t.pc) else {
+        let name = t.code.name().to_string();
+        let Some(&inst) = t.code.insts().get(t.pc) else {
             return Err(Error::ControlFault {
                 program: name,
                 detail: format!("fell off program end at pc {}", t.pc),
@@ -570,7 +677,7 @@ impl Machine {
             InstGroup::ScalarControl => {
                 match exec::execute_scalar(&inst, t.pc, &mut t.regs, &name)? {
                     ScalarOutcome::Next(pc) => {
-                        if pc > t.program.len() {
+                        if pc > t.code.len() {
                             return Err(Error::ControlFault {
                                 program: name,
                                 detail: format!("branch target {pc} out of range"),
@@ -625,15 +732,14 @@ impl Machine {
             _ => {
                 let access = exec::accesses(&inst, &t.regs, &name)?
                     .expect("data groups always resolve accesses");
-                // External-memory ranges (tile u16::MAX) are host-managed
-                // and untracked.
-                let tracked = |r: &&Range| r.0 != u16::MAX;
-                if let Some(&(tile, _, _)) = access
+                // External-memory ranges are host-managed and untracked.
+                let tracked = |r: &Range| r.0.tile().map(|tile| (tile, r.1, r.2));
+                if let Some((tile, _, _)) = access
                     .reads
                     .iter()
                     .chain(access.writes.iter())
-                    .filter(tracked)
-                    .find(|&&(tile, _, _)| dead.get(tile as usize).copied().unwrap_or(false))
+                    .filter_map(tracked)
+                    .find(|&(tile, _, _)| dead.get(tile as usize).copied().unwrap_or(false))
                 {
                     return Err(Error::TileFailed {
                         program: name,
@@ -644,22 +750,21 @@ impl Machine {
                 let ready = access
                     .reads
                     .iter()
-                    .filter(tracked)
-                    .all(|&(tile, addr, len)| trackers.read_ready(tile, addr, len))
+                    .filter_map(tracked)
+                    .all(|(tile, addr, len)| trackers.read_ready(tile, addr, len))
                     && access
                         .writes
                         .iter()
-                        .filter(tracked)
-                        .all(|&(tile, addr, len)| trackers.write_ready(tile, addr, len));
+                        .filter_map(tracked)
+                        .all(|(tile, addr, len)| trackers.write_ready(tile, addr, len));
                 if !ready {
                     // Park on every tracked operand range: whichever
                     // tracker record arrives first re-checks the lot.
-                    let awaited: Vec<Range> = access
+                    let awaited: Vec<(u16, u32, u32)> = access
                         .reads
                         .iter()
                         .chain(access.writes.iter())
-                        .filter(tracked)
-                        .copied()
+                        .filter_map(tracked)
                         .collect();
                     return Ok(StepOutcome::Blocked { awaited });
                 }
@@ -670,17 +775,17 @@ impl Machine {
                 // Wake on the full extents of the trackers each record
                 // touched: a tracker can span more than the accessed
                 // range, and its readiness flips as a whole.
-                let mut touched: Vec<Range> = Vec::new();
-                for &(tile, addr, len) in &access.reads {
-                    if tile != u16::MAX {
+                let mut touched: Vec<(u16, u32, u32)> = Vec::new();
+                for &(loc, addr, len) in &access.reads {
+                    if let Loc::Tile(tile) = loc {
                         for (t_addr, t_len) in trackers.record_read(tile, addr, len) {
                             touched.push((tile, t_addr, t_len));
                         }
                     }
                 }
                 let mut busy_tile = None;
-                for &(tile, addr, len) in &access.writes {
-                    if tile != u16::MAX {
+                for &(loc, addr, len) in &access.writes {
+                    if let Loc::Tile(tile) = loc {
                         for (t_addr, t_len) in trackers.record_write(tile, addr, len) {
                             touched.push((tile, t_addr, t_len));
                         }
@@ -690,6 +795,170 @@ impl Machine {
                 t.pc += 1;
                 Ok(StepOutcome::Executed {
                     cost: costs.cost(&inst),
+                    busy_tile,
+                    touched,
+                })
+            }
+        }
+    }
+}
+
+impl Code for LoweredProgram {
+    fn name(&self) -> &str {
+        LoweredProgram::name(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        LoweredProgram::is_empty(self)
+    }
+
+    /// The compiled tier: dispatches pre-decoded micro-ops. Operand
+    /// locations, lengths, geometry and cost class were fixed at
+    /// lowering; only register-indirect addresses are resolved here, and
+    /// the hot path performs no heap allocation (read operands go through
+    /// the run loop's [`Scratch`] buffers, and the blocked/touched lists
+    /// only materialize when trackers are actually involved).
+    fn step(
+        t: &mut Thread<Self>,
+        mems: &mut [Vec<f32>],
+        ext: &mut Vec<f32>,
+        trackers: &mut TrackerTable,
+        costs: &CycleCosts,
+        dead: &[bool],
+        now: Cycle,
+        scratch: &mut Scratch,
+    ) -> Result<StepOutcome> {
+        let Thread {
+            code,
+            pc,
+            regs,
+            halted,
+        } = t;
+        let Some(op) = code.ops().get(*pc) else {
+            return Err(Error::ControlFault {
+                program: code.name().to_string(),
+                detail: format!("fell off program end at pc {pc}"),
+            });
+        };
+        match op {
+            MicroOp::Scalar(inst) => match exec::execute_scalar(inst, *pc, regs, code.name())? {
+                ScalarOutcome::Next(next) => {
+                    if next > code.len() {
+                        return Err(Error::ControlFault {
+                            program: code.name().to_string(),
+                            detail: format!("branch target {next} out of range"),
+                        });
+                    }
+                    *pc = next;
+                    Ok(StepOutcome::Executed {
+                        cost: costs.class_cost(CostClass::Scalar),
+                        busy_tile: None,
+                        touched: Vec::new(),
+                    })
+                }
+                ScalarOutcome::Halt => {
+                    *halted = true;
+                    Ok(StepOutcome::Halted)
+                }
+            },
+            &MicroOp::Track {
+                tile,
+                addr,
+                len,
+                num_updates,
+                num_reads,
+            } => {
+                if dead.get(tile as usize).copied().unwrap_or(false) {
+                    return Err(Error::TileFailed {
+                        program: code.name().to_string(),
+                        tile,
+                        at: now,
+                    });
+                }
+                trackers.arm(tile, addr, len, num_updates, num_reads)?;
+                *pc += 1;
+                Ok(StepOutcome::Executed {
+                    cost: costs.class_cost(CostClass::Track),
+                    busy_tile: None,
+                    touched: Vec::new(),
+                })
+            }
+            MicroOp::Data(op) => {
+                // Resolve register-indirect addresses in the same
+                // reads-then-write order as the interpreter's access
+                // derivation, so faults surface identically.
+                let mut read_addrs = [0u32; 2];
+                for (i, r) in op.reads.iter().enumerate() {
+                    read_addrs[i] = exec::spec_addr(r.addr, regs, code.name())?;
+                }
+                let write_addr = exec::spec_addr(op.write.addr, regs, code.name())?;
+                for r in op.reads.iter().chain(std::iter::once(&op.write)) {
+                    if let Loc::Tile(tile) = r.loc {
+                        if dead.get(tile as usize).copied().unwrap_or(false) {
+                            return Err(Error::TileFailed {
+                                program: code.name().to_string(),
+                                tile,
+                                at: now,
+                            });
+                        }
+                    }
+                }
+                let ready = op
+                    .reads
+                    .iter()
+                    .zip(read_addrs)
+                    .all(|(r, addr)| match r.loc {
+                        Loc::Tile(tile) => trackers.read_ready(tile, addr, r.len),
+                        Loc::External => true,
+                    })
+                    && match op.write.loc {
+                        Loc::Tile(tile) => trackers.write_ready(tile, write_addr, op.write.len),
+                        Loc::External => true,
+                    };
+                if !ready {
+                    let awaited: Vec<(u16, u32, u32)> = op
+                        .reads
+                        .iter()
+                        .zip(read_addrs)
+                        .filter_map(|(r, addr)| r.loc.tile().map(|tile| (tile, addr, r.len)))
+                        .chain(
+                            op.write
+                                .loc
+                                .tile()
+                                .map(|tile| (tile, write_addr, op.write.len)),
+                        )
+                        .collect();
+                    return Ok(StepOutcome::Blocked { awaited });
+                }
+                {
+                    let mut view = MemView { tiles: mems, ext };
+                    exec::execute_data(
+                        op,
+                        &read_addrs[..op.reads.len()],
+                        write_addr,
+                        &mut view,
+                        scratch,
+                        code.name(),
+                    )?;
+                }
+                let mut touched: Vec<(u16, u32, u32)> = Vec::new();
+                for (r, addr) in op.reads.iter().zip(read_addrs) {
+                    if let Loc::Tile(tile) = r.loc {
+                        for (t_addr, t_len) in trackers.record_read(tile, addr, r.len) {
+                            touched.push((tile, t_addr, t_len));
+                        }
+                    }
+                }
+                let mut busy_tile = None;
+                if let Loc::Tile(tile) = op.write.loc {
+                    for (t_addr, t_len) in trackers.record_write(tile, write_addr, op.write.len) {
+                        touched.push((tile, t_addr, t_len));
+                    }
+                    busy_tile = Some(tile);
+                }
+                *pc += 1;
+                Ok(StepOutcome::Executed {
+                    cost: costs.class_cost(op.cost),
                     busy_tile,
                     touched,
                 })
@@ -716,14 +985,17 @@ fn fault_kind_tile(kind: &FaultKind) -> u16 {
     }
 }
 
+/// Result of one thread step. Touched/awaited ranges are always
+/// tracker-relevant, so they carry the bare tile index (external-memory
+/// operands never appear here).
 enum StepOutcome {
     Executed {
         cost: Cycle,
         busy_tile: Option<u16>,
-        touched: Vec<Range>,
+        touched: Vec<(u16, u32, u32)>,
     },
     Blocked {
-        awaited: Vec<Range>,
+        awaited: Vec<(u16, u32, u32)>,
     },
     Halted,
 }
@@ -996,6 +1268,75 @@ mod tests {
             m.run(&ordered, &specs).unwrap();
             assert_eq!(m.mem(0)[3], 42.0, "order {order:?}");
         }
+    }
+
+    #[test]
+    fn lowered_tier_matches_interpreter_bit_for_bit() {
+        // Producer/consumer with trackers, scalar loops and a mix of data
+        // forms: the compiled tier must reproduce the interpreter's
+        // memory image AND its RunStats (instructions, stalls, cycles,
+        // per-tile busy/stall split) exactly.
+        let producer = prog(
+            "producer",
+            vec![
+                Inst::Ldri {
+                    rd: Reg::R0,
+                    value: 2,
+                },
+                Inst::Subri {
+                    rd: Reg::R0,
+                    rs: Reg::R0,
+                    imm: 1,
+                },
+                Inst::Bnez {
+                    rs: Reg::R0,
+                    offset: -2,
+                },
+                Inst::DmaLoad {
+                    src: MemRef::at(TileRef(0), 8),
+                    dst: MemRef::at(TileRef(0), 0),
+                    len: 4,
+                    accumulate: false,
+                },
+                Inst::Halt,
+            ],
+        );
+        let consumer = prog(
+            "consumer",
+            vec![
+                Inst::NdActFn {
+                    kind: scaledeep_isa::ActKind::Relu,
+                    src: MemRef::at(TileRef(0), 0),
+                    len: 4,
+                    dst: MemRef::at(TileRef(1), 0),
+                },
+                Inst::Halt,
+            ],
+        );
+        let specs = [TrackerSpec {
+            tile: 0,
+            addr: 0,
+            len: 4,
+            num_updates: 1,
+            num_reads: 1,
+        }];
+        let programs = [consumer, producer];
+        let init = [-1.0f32, 2.0, -3.0, 4.0];
+
+        let mut interp = Machine::new(2, 16);
+        interp.mem_mut(0)[8..12].copy_from_slice(&init);
+        let a = interp.run(&programs, &specs).unwrap();
+
+        let lowered: Vec<LoweredProgram> =
+            programs.iter().map(scaledeep_isa::micro::lower).collect();
+        let mut compiled = Machine::new(2, 16);
+        compiled.mem_mut(0)[8..12].copy_from_slice(&init);
+        let b = compiled.run_lowered(&lowered, &specs).unwrap();
+
+        assert_eq!(a, b, "RunStats must be bit-identical across tiers");
+        assert_eq!(interp.mem(0), compiled.mem(0));
+        assert_eq!(interp.mem(1), compiled.mem(1));
+        assert!(a.stalls > 0, "the consumer parked in both tiers");
     }
 
     #[test]
