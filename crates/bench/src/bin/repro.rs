@@ -13,6 +13,9 @@
 //! repro --sweep alexnet      # run-kind sweep: compile/simulate split + cache
 //! repro --bench-json out.json --bench-net alexnet   # measured BENCH report
 //! repro --check BENCH_alexnet.json --tolerance 0.05 # regression gate
+//! repro serve --port 7878                           # job server (line JSON over TCP)
+//! repro serve-drill --seed 42                       # seeded chaos drill
+//! repro serve-drill --seed 42 --write-bench BENCH_serve-drill.json
 //! ```
 //!
 //! `--tier interpreter|compiled` selects the functional execution tier
@@ -338,6 +341,56 @@ fn csv_sidecar_path(path: &str) -> String {
     }
 }
 
+/// `repro serve`: binds the fault-tolerant job server to a local TCP
+/// port and serves the line-delimited JSON protocol until killed. One
+/// request object per line in, one typed reply/error object per line
+/// out, in order, per connection.
+fn serve(port: u16, workers: usize, queue_capacity: usize) -> Result<(), String> {
+    use scaledeep_serve::{Server, ServerConfig};
+    let cfg = ServerConfig {
+        workers,
+        queue_capacity,
+        ..ServerConfig::default()
+    };
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let server = Server::start(Session::single_precision(), cfg);
+    println!(
+        "serving on {addr} ({} workers, queue capacity {}, default deadline {} ms)",
+        cfg.workers, cfg.queue_capacity, cfg.default_deadline_ms
+    );
+    println!(r#"example: {{"tenant":"t0","op":"simulate","network":"alexnet","kind":"training"}}"#);
+    server.serve_tcp(&listener).map_err(|e| e.to_string())
+}
+
+/// `repro serve-drill`: runs the seeded chaos drill, prints the
+/// degradation table and deterministic verdict, optionally writes the
+/// BENCH JSON, and exits nonzero when any drill invariant is violated.
+fn serve_drill(seed: u64, write_bench: Option<&str>, summary_only: bool) -> Result<(), String> {
+    let cfg = scaledeep_serve::DrillConfig {
+        seed,
+        ..scaledeep_serve::DrillConfig::default()
+    };
+    let report = scaledeep_serve::run_drill(&cfg);
+    if summary_only {
+        print!("{}", report.deterministic_summary());
+    } else {
+        print!("{}", report.render());
+    }
+    if let Some(path) = write_bench {
+        let json = report.to_bench_json();
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    let violated = report.invariants();
+    if violated.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} drill invariant(s) violated", violated.len()))
+    }
+}
+
 fn parse_kind(s: &str) -> Result<scaledeep_sim::perf::RunKind, String> {
     match s {
         "training" => Ok(scaledeep_sim::perf::RunKind::Training),
@@ -452,6 +505,45 @@ fn main() {
     if args.iter().any(|a| a == "--list") {
         for id in EXPERIMENT_IDS {
             println!("{id}");
+        }
+        return;
+    }
+    let flag_value = |args: &[String], flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|p| args.get(p + 1))
+            .cloned()
+    };
+    let parse_or_die = |value: Option<String>, flag: &str, default: u64| -> u64 {
+        match value {
+            None => default,
+            Some(s) => s.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} requires a non-negative integer, got `{s}`");
+                std::process::exit(1);
+            }),
+        }
+    };
+    if args.first().map(String::as_str) == Some("serve") {
+        let port = parse_or_die(flag_value(&args, "--port"), "--port", 7878);
+        let Ok(port) = u16::try_from(port) else {
+            eprintln!("--port must fit in 16 bits, got {port}");
+            std::process::exit(1);
+        };
+        let workers = parse_or_die(flag_value(&args, "--workers"), "--workers", 4) as usize;
+        let queue = parse_or_die(flag_value(&args, "--queue"), "--queue", 16) as usize;
+        if let Err(e) = serve(port, workers.max(1), queue.max(1)) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("serve-drill") {
+        let seed = parse_or_die(flag_value(&args, "--seed"), "--seed", 0);
+        let write_bench = flag_value(&args, "--write-bench");
+        let summary_only = args.iter().any(|a| a == "--summary");
+        if let Err(e) = serve_drill(seed, write_bench.as_deref(), summary_only) {
+            eprintln!("{e}");
+            std::process::exit(1);
         }
         return;
     }

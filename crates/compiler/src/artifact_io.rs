@@ -84,14 +84,33 @@ pub fn from_json(doc: &Json) -> Result<CompiledArtifact> {
     ))
 }
 
-/// Writes an artifact to `path` as pretty-printed JSON.
+/// Writes an artifact to `path` as pretty-printed JSON, atomically: the
+/// document lands in a process-unique sibling temp file first and is
+/// renamed into place, so a concurrent reader (or a crash mid-write)
+/// never observes a torn half-document at `path` — it sees either the
+/// old artifact or the new one.
 ///
 /// # Errors
 ///
-/// Returns [`Error::Codegen`] describing any I/O failure.
+/// Returns [`Error::Codegen`] describing any I/O failure; the temp file
+/// is removed on a failed rename.
 pub fn save(artifact: &CompiledArtifact, path: &Path) -> Result<()> {
+    static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let text = to_json(artifact).render_pretty();
-    std::fs::write(path, text).map_err(|e| bad(format!("writing artifact {}: {e}", path.display())))
+    // Unique per process *and* per call, so two threads publishing the
+    // same key never race on one temp file.
+    let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
+    std::fs::write(&tmp, text)
+        .map_err(|e| bad(format!("writing artifact {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        bad(format!(
+            "publishing artifact {} -> {}: {e}",
+            tmp.display(),
+            path.display()
+        ))
+    })
 }
 
 /// Reads an artifact previously written by [`save`].
@@ -715,6 +734,49 @@ mod tests {
             a.provenance().failed.columns().collect::<Vec<_>>(),
             b.provenance().failed.columns().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_files() {
+        let node = presets::single_precision();
+        let net = small_net();
+        let a = compile(&node, &net, &CompileOptions::default()).expect("compiles");
+        let dir =
+            std::env::temp_dir().join(format!("scaledeep-atomic-save-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cnn-s.artifact.json");
+        // Save twice (fresh + overwrite); both must publish via rename.
+        save(&a, &path).expect("saves");
+        save(&a, &path).expect("overwrites");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.contains("tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        load(&path).expect("published artifact loads");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_or_garbage_files_fail_to_load() {
+        let node = presets::single_precision();
+        let net = small_net();
+        let a = compile(&node, &net, &CompileOptions::default()).expect("compiles");
+        let dir = std::env::temp_dir().join(format!("scaledeep-torn-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.artifact.json");
+        // A torn write: the front half of a valid document.
+        let text = to_json(&a).render_pretty();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(load(&path).is_err(), "half a document must not parse");
+        // Valid JSON that is not an artifact.
+        std::fs::write(&path, "{\"not\": \"an artifact\"}").unwrap();
+        assert!(load(&path).is_err(), "wrong shape must be rejected");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

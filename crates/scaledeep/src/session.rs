@@ -233,6 +233,9 @@ pub struct CacheStats {
     pub disk_hits: u64,
     /// Compiles that ran the pipeline (including ones that erred).
     pub misses: u64,
+    /// Stored artifacts that failed to load (torn write, malformed JSON,
+    /// key mismatch): each was quarantined and recompiled as a miss.
+    pub corrupt: u64,
     /// Total wall-clock nanoseconds spent inside the pipeline, summed
     /// over the misses. Host time, never simulated cycles — report it,
     /// don't trace it.
@@ -245,6 +248,7 @@ struct CacheStatsCells {
     hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
+    corrupt: AtomicU64,
     compile_nanos: AtomicU64,
 }
 
@@ -338,13 +342,25 @@ impl Session {
     }
 
     /// Tries the on-disk artifact store. A stored artifact is trusted
-    /// only when its provenance re-derives the key it was filed under;
-    /// anything unreadable, malformed, or mismatched falls through to the
-    /// pipeline (and is overwritten by the fresh artifact).
+    /// only when its provenance re-derives the key it was filed under; a
+    /// file that exists but is unreadable, malformed, or mismatched is
+    /// **corrupt** — it is quarantined (renamed aside for post-mortem),
+    /// counted, and treated as a plain miss, so a torn write can degrade
+    /// a session's cache but never its correctness.
     fn load_from_disk(&self, key: u64) -> Option<CompiledArtifact> {
         let path = self.artifact_path(key)?;
-        let artifact = artifact_io::load(&path).ok()?;
-        (artifact.provenance().cache_key() == key).then_some(artifact)
+        if !path.exists() {
+            return None;
+        }
+        match artifact_io::load(&path) {
+            Ok(artifact) if artifact.provenance().cache_key() == key => Some(artifact),
+            Ok(_) | Err(_) => {
+                self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+                let quarantine = path.with_extension("json.corrupt");
+                std::fs::rename(&path, &quarantine).ok();
+                None
+            }
+        }
     }
 
     /// The session's single compile entry point: runs the phase pipeline
@@ -430,6 +446,7 @@ impl Session {
             hits: self.stats.hits.load(Ordering::Relaxed),
             disk_hits: self.stats.disk_hits.load(Ordering::Relaxed),
             misses: self.stats.misses.load(Ordering::Relaxed),
+            corrupt: self.stats.corrupt.load(Ordering::Relaxed),
             compile_nanos: self.stats.compile_nanos.load(Ordering::Relaxed),
         }
     }
@@ -443,10 +460,12 @@ impl Session {
         let hit = reg.counter("compile.cache.hit");
         let disk = reg.counter("compile.cache.disk_hit");
         let miss = reg.counter("compile.cache.miss");
+        let corrupt = reg.counter("compile.cache.corrupt");
         let nanos = reg.counter("compile.nanos");
         reg.add(hit, s.hits);
         reg.add(disk, s.disk_hits);
         reg.add(miss, s.misses);
+        reg.add(corrupt, s.corrupt);
         reg.add(nanos, s.compile_nanos);
     }
 
@@ -1061,6 +1080,67 @@ mod tests {
         let mut reg = MetricsRegistry::new();
         second.record_cache_metrics(&mut reg);
         assert_eq!(reg.counter_value("compile.cache.disk_hit"), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn session_is_send_and_sync() {
+        // The job server shares one Session across a worker pool; any
+        // hidden Rc/RefCell/raw-pointer state would surface here at
+        // compile time.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
+        assert_send_sync::<CacheStats>();
+        assert_send_sync::<Arc<CompiledArtifact>>();
+        assert_send_sync::<scaledeep_sim::perf::PerfSim>();
+        assert_send_sync::<FaultPlan>();
+    }
+
+    #[test]
+    fn corrupt_disk_artifact_is_quarantined_and_recompiled() {
+        let dir =
+            std::env::temp_dir().join(format!("scaledeep-corrupt-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let net = zoo::alexnet_func();
+
+        // Seed the store with a valid artifact, then tear it.
+        let first = Session::single_precision().with_artifact_dir(&dir);
+        first.compile(&net).unwrap();
+        let stored: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect();
+        assert_eq!(stored.len(), 1);
+        let text = std::fs::read_to_string(&stored[0]).unwrap();
+        std::fs::write(&stored[0], &text[..text.len() / 3]).unwrap();
+
+        // A fresh session must treat the torn file as a miss: quarantine
+        // it, count it, recompile, and republish a loadable artifact.
+        let second = Session::single_precision().with_artifact_dir(&dir);
+        second.compile(&net).unwrap();
+        let s = second.cache_stats();
+        assert_eq!(
+            (s.misses, s.disk_hits, s.corrupt),
+            (1, 0, 1),
+            "a torn artifact must recompile as a miss, got {s:?}"
+        );
+        let quarantined: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "corrupt"))
+            .collect();
+        assert_eq!(quarantined.len(), 1, "torn file must be quarantined");
+
+        // The republished artifact serves the next session from disk.
+        let third = Session::single_precision().with_artifact_dir(&dir);
+        third.compile(&net).unwrap();
+        let s = third.cache_stats();
+        assert_eq!((s.misses, s.disk_hits, s.corrupt), (0, 1, 0));
+
+        let mut reg = MetricsRegistry::new();
+        second.record_cache_metrics(&mut reg);
+        assert_eq!(reg.counter_value("compile.cache.corrupt"), Some(1));
         std::fs::remove_dir_all(&dir).ok();
     }
 

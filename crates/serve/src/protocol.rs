@@ -1,0 +1,574 @@
+//! The server's wire protocol: line-delimited JSON requests and
+//! responses, built on the trace crate's zero-dependency JSON layer.
+//!
+//! One request per line, one response per line, in order. Every request
+//! resolves to exactly one response — an `ok` payload or a **typed**
+//! error (`overloaded`, `deadline_exceeded`, `cancelled`, `worker_lost`,
+//! `rejected`, `failed`); the server never answers a request with
+//! silence. `u64` fields ride as decimal strings (the JSON layer models
+//! numbers as `f64`, which cannot represent all of `u64`), the same
+//! convention the artifact store uses.
+
+use scaledeep_sim::perf::RunKind;
+use scaledeep_trace::json::{self, obj, Json};
+
+/// What one job asks the engine to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobKind {
+    /// Compile `network` through the session's provenance-keyed cache
+    /// (concurrent identical compiles collapse via singleflight).
+    Compile {
+        /// Zoo benchmark name.
+        network: String,
+    },
+    /// Compile (cached) and run the performance simulator.
+    Simulate {
+        /// Zoo benchmark name.
+        network: String,
+        /// Training or evaluation.
+        kind: RunKind,
+    },
+    /// One functional training iteration under a seeded [`FaultPlan`]
+    /// via the `Session::run_resilient` checkpoint/remap/retry path.
+    ///
+    /// [`FaultPlan`]: scaledeep_sim::fault::FaultPlan
+    Resilient {
+        /// Zoo benchmark name (must functional-compile).
+        network: String,
+        /// Fault-plan seed.
+        plan_seed: u64,
+        /// When set, schedules a permanent failure of this tile at cycle
+        /// 1, forcing the degraded recompile + checkpoint retry.
+        kill_tile: Option<u16>,
+    },
+}
+
+impl JobKind {
+    /// The benchmark the job targets.
+    pub fn network(&self) -> &str {
+        match self {
+            JobKind::Compile { network }
+            | JobKind::Simulate { network, .. }
+            | JobKind::Resilient { network, .. } => network,
+        }
+    }
+}
+
+/// A chaos directive riding on a job: the drill's deterministic way of
+/// making specific jobs die. The server executes directives faithfully —
+/// they model the failures a production fleet would see (a worker OOMing
+/// mid-job, a transient backend fault, a hung dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosDirective {
+    /// The first `panic_attempts` executions panic the worker thread
+    /// (the supervisor must restart it and recover the job).
+    pub panic_attempts: u32,
+    /// The first `fail_attempts` executions die to an injected transient
+    /// fault (the worker retries with seeded exponential backoff).
+    pub fail_attempts: u32,
+    /// Every execution stalls this long before doing work (a stall past
+    /// the deadline exercises the watchdog abandonment path).
+    pub stall_ms: u64,
+}
+
+impl ChaosDirective {
+    /// True when the directive injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+/// One client request: who is asking, what to do, and how long they are
+/// willing to wait.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Tenant identity — the fair scheduler's queueing key.
+    pub tenant: String,
+    /// The work.
+    pub kind: JobKind,
+    /// Deadline in milliseconds from admission (server default when
+    /// absent). Jobs past their deadline resolve `deadline_exceeded`,
+    /// queued or in flight — never a hang.
+    pub deadline_ms: Option<u64>,
+    /// Optional chaos directive (drills only).
+    pub chaos: Option<ChaosDirective>,
+}
+
+impl JobRequest {
+    /// A plain request with the server's default deadline and no chaos.
+    pub fn new(tenant: impl Into<String>, kind: JobKind) -> Self {
+        Self {
+            tenant: tenant.into(),
+            kind,
+            deadline_ms: None,
+            chaos: None,
+        }
+    }
+
+    /// Sets an explicit deadline.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Attaches a chaos directive.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosDirective) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+}
+
+/// A successful job's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobReply {
+    /// A compile completed (possibly served from cache / singleflight).
+    Compiled {
+        /// The artifact's provenance cache key.
+        provenance: u64,
+        /// ConvLayer columns the mapping uses.
+        conv_cols: usize,
+        /// Whether the artifact routes around failed tiles.
+        degraded: bool,
+    },
+    /// A performance simulation completed.
+    Simulated {
+        /// Training/evaluation throughput.
+        images_per_sec: f64,
+        /// Pipeline stages simulated.
+        stages: usize,
+    },
+    /// A resilient functional iteration completed.
+    Resilient {
+        /// Cycle count of the (possibly retried) iteration.
+        cycles: u64,
+        /// Whether a tile failure forced the degraded recompile + retry.
+        retried: bool,
+        /// Tiles condemned by the fault plan.
+        dead_tiles: usize,
+    },
+}
+
+/// The typed failure taxonomy — every way a job can resolve other than
+/// success. Clients can branch on the kind without parsing prose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue was full; the job was shed at admission.
+    Overloaded {
+        /// Jobs queued at the shed.
+        queued: usize,
+        /// The queue bound.
+        capacity: usize,
+    },
+    /// The job's deadline passed before it finished (in queue, in
+    /// backoff, or abandoned in flight by the supervisor watchdog).
+    DeadlineExceeded {
+        /// Milliseconds from admission to resolution.
+        waited_ms: u64,
+    },
+    /// The client cancelled the job before a worker finished it.
+    Cancelled,
+    /// The executing worker died (panicked) and the retry budget ran
+    /// out before the job completed.
+    WorkerLost {
+        /// Attempts consumed, including the fatal ones.
+        attempts: u32,
+    },
+    /// The request itself is invalid (unknown benchmark, bad fields).
+    Rejected {
+        /// Why.
+        detail: String,
+    },
+    /// The engine failed the job with a non-retryable error (compile
+    /// failure, simulator fault).
+    Failed {
+        /// Rendered engine error.
+        detail: String,
+    },
+}
+
+impl ServeError {
+    /// Short machine-readable kind tag (the wire `kind` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServeError::Cancelled => "cancelled",
+            ServeError::WorkerLost { .. } => "worker_lost",
+            ServeError::Rejected { .. } => "rejected",
+            ServeError::Failed { .. } => "failed",
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { queued, capacity } => {
+                write!(f, "overloaded: {queued} queued at capacity {capacity}")
+            }
+            ServeError::DeadlineExceeded { waited_ms } => {
+                write!(f, "deadline exceeded after {waited_ms} ms")
+            }
+            ServeError::Cancelled => write!(f, "cancelled"),
+            ServeError::WorkerLost { attempts } => {
+                write!(f, "worker lost after {attempts} attempt(s)")
+            }
+            ServeError::Rejected { detail } => write!(f, "rejected: {detail}"),
+            ServeError::Failed { detail } => write!(f, "failed: {detail}"),
+        }
+    }
+}
+
+/// How a job resolves: payload or typed error.
+pub type JobResult = Result<JobReply, ServeError>;
+
+// ------------------------------------------------------------- encoding
+
+fn u64s(v: u64) -> Json {
+    Json::Str(v.to_string())
+}
+
+fn num(v: usize) -> Json {
+    Json::Num(v as f64)
+}
+
+fn run_kind_name(kind: RunKind) -> &'static str {
+    match kind {
+        RunKind::Training => "training",
+        RunKind::Evaluation => "evaluation",
+    }
+}
+
+/// Renders a request as one JSON line (no trailing newline).
+pub fn request_to_json(req: &JobRequest) -> String {
+    let mut fields: Vec<(&'static str, Json)> = vec![("tenant", Json::Str(req.tenant.clone()))];
+    match &req.kind {
+        JobKind::Compile { network } => {
+            fields.push(("op", Json::Str("compile".into())));
+            fields.push(("network", Json::Str(network.clone())));
+        }
+        JobKind::Simulate { network, kind } => {
+            fields.push(("op", Json::Str("simulate".into())));
+            fields.push(("network", Json::Str(network.clone())));
+            fields.push(("kind", Json::Str(run_kind_name(*kind).into())));
+        }
+        JobKind::Resilient {
+            network,
+            plan_seed,
+            kill_tile,
+        } => {
+            fields.push(("op", Json::Str("resilient".into())));
+            fields.push(("network", Json::Str(network.clone())));
+            fields.push(("plan_seed", u64s(*plan_seed)));
+            fields.push((
+                "kill_tile",
+                kill_tile.map_or(Json::Null, |t| num(t as usize)),
+            ));
+        }
+    }
+    if let Some(ms) = req.deadline_ms {
+        fields.push(("deadline_ms", u64s(ms)));
+    }
+    if let Some(c) = req.chaos {
+        fields.push((
+            "chaos",
+            obj([
+                ("panic_attempts", num(c.panic_attempts as usize)),
+                ("fail_attempts", num(c.fail_attempts as usize)),
+                ("stall_ms", u64s(c.stall_ms)),
+            ]),
+        ));
+    }
+    obj(fields).render()
+}
+
+fn get_str<'j>(j: &'j Json, key: &str) -> Result<&'j str, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string `{key}`"))
+}
+
+fn get_u64(j: &Json, key: &str) -> Result<u64, String> {
+    get_str(j, key)?
+        .parse()
+        .map_err(|_| format!("`{key}` is not a decimal u64"))
+}
+
+fn get_usize(j: &Json, key: &str) -> Result<usize, String> {
+    let n = j
+        .get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing or non-number `{key}`"))?;
+    if n.fract() != 0.0 || n < 0.0 {
+        return Err(format!("`{key}` = {n} is not a valid index"));
+    }
+    Ok(n as usize)
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the malformed field; the
+/// server answers such lines with [`ServeError::Rejected`].
+pub fn request_from_json(line: &str) -> Result<JobRequest, String> {
+    let doc = json::parse(line)?;
+    let tenant = get_str(&doc, "tenant")?.to_string();
+    let network = get_str(&doc, "network")?.to_string();
+    let kind = match get_str(&doc, "op")? {
+        "compile" => JobKind::Compile { network },
+        "simulate" => JobKind::Simulate {
+            network,
+            kind: match get_str(&doc, "kind")? {
+                "training" => RunKind::Training,
+                "evaluation" => RunKind::Evaluation,
+                other => return Err(format!("unknown run kind `{other}`")),
+            },
+        },
+        "resilient" => JobKind::Resilient {
+            network,
+            plan_seed: get_u64(&doc, "plan_seed")?,
+            kill_tile: match doc.get("kill_tile") {
+                None | Some(Json::Null) => None,
+                Some(_) => Some(
+                    u16::try_from(get_usize(&doc, "kill_tile")?)
+                        .map_err(|_| "`kill_tile` exceeds u16".to_string())?,
+                ),
+            },
+        },
+        other => return Err(format!("unknown op `{other}`")),
+    };
+    let deadline_ms = match doc.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(_) => Some(get_u64(&doc, "deadline_ms")?),
+    };
+    let chaos = match doc.get("chaos") {
+        None | Some(Json::Null) => None,
+        Some(c) => Some(ChaosDirective {
+            panic_attempts: get_usize(c, "panic_attempts")? as u32,
+            fail_attempts: get_usize(c, "fail_attempts")? as u32,
+            stall_ms: get_u64(c, "stall_ms")?,
+        }),
+    };
+    Ok(JobRequest {
+        tenant,
+        kind,
+        deadline_ms,
+        chaos,
+    })
+}
+
+/// Renders a result as one JSON line (no trailing newline).
+pub fn result_to_json(result: &JobResult) -> String {
+    match result {
+        Ok(JobReply::Compiled {
+            provenance,
+            conv_cols,
+            degraded,
+        }) => obj([(
+            "ok",
+            obj([
+                ("op", Json::Str("compile".into())),
+                ("provenance", u64s(*provenance)),
+                ("conv_cols", num(*conv_cols)),
+                ("degraded", Json::Bool(*degraded)),
+            ]),
+        )]),
+        Ok(JobReply::Simulated {
+            images_per_sec,
+            stages,
+        }) => obj([(
+            "ok",
+            obj([
+                ("op", Json::Str("simulate".into())),
+                ("images_per_sec", Json::Num(*images_per_sec)),
+                ("stages", num(*stages)),
+            ]),
+        )]),
+        Ok(JobReply::Resilient {
+            cycles,
+            retried,
+            dead_tiles,
+        }) => obj([(
+            "ok",
+            obj([
+                ("op", Json::Str("resilient".into())),
+                ("cycles", u64s(*cycles)),
+                ("retried", Json::Bool(*retried)),
+                ("dead_tiles", num(*dead_tiles)),
+            ]),
+        )]),
+        Err(e) => {
+            let mut fields: Vec<(&'static str, Json)> = vec![("kind", Json::Str(e.kind().into()))];
+            match e {
+                ServeError::Overloaded { queued, capacity } => {
+                    fields.push(("queued", num(*queued)));
+                    fields.push(("capacity", num(*capacity)));
+                }
+                ServeError::DeadlineExceeded { waited_ms } => {
+                    fields.push(("waited_ms", u64s(*waited_ms)));
+                }
+                ServeError::WorkerLost { attempts } => {
+                    fields.push(("attempts", num(*attempts as usize)));
+                }
+                ServeError::Rejected { detail } | ServeError::Failed { detail } => {
+                    fields.push(("detail", Json::Str(detail.clone())));
+                }
+                ServeError::Cancelled => {}
+            }
+            obj([("err", obj(fields))])
+        }
+    }
+    .render()
+}
+
+/// Parses one response line.
+///
+/// # Errors
+///
+/// Returns a description of the malformed field.
+pub fn result_from_json(line: &str) -> Result<JobResult, String> {
+    let doc = json::parse(line)?;
+    if let Some(ok) = doc.get("ok") {
+        return Ok(Ok(match get_str(ok, "op")? {
+            "compile" => JobReply::Compiled {
+                provenance: get_u64(ok, "provenance")?,
+                conv_cols: get_usize(ok, "conv_cols")?,
+                degraded: matches!(ok.get("degraded"), Some(Json::Bool(true))),
+            },
+            "simulate" => JobReply::Simulated {
+                images_per_sec: ok
+                    .get("images_per_sec")
+                    .and_then(Json::as_num)
+                    .ok_or("missing `images_per_sec`")?,
+                stages: get_usize(ok, "stages")?,
+            },
+            "resilient" => JobReply::Resilient {
+                cycles: get_u64(ok, "cycles")?,
+                retried: matches!(ok.get("retried"), Some(Json::Bool(true))),
+                dead_tiles: get_usize(ok, "dead_tiles")?,
+            },
+            other => return Err(format!("unknown reply op `{other}`")),
+        }));
+    }
+    let err = doc
+        .get("err")
+        .ok_or("response has neither `ok` nor `err`")?;
+    Ok(Err(match get_str(err, "kind")? {
+        "overloaded" => ServeError::Overloaded {
+            queued: get_usize(err, "queued")?,
+            capacity: get_usize(err, "capacity")?,
+        },
+        "deadline_exceeded" => ServeError::DeadlineExceeded {
+            waited_ms: get_u64(err, "waited_ms")?,
+        },
+        "cancelled" => ServeError::Cancelled,
+        "worker_lost" => ServeError::WorkerLost {
+            attempts: get_usize(err, "attempts")? as u32,
+        },
+        "rejected" => ServeError::Rejected {
+            detail: get_str(err, "detail")?.to_string(),
+        },
+        "failed" => ServeError::Failed {
+            detail: get_str(err, "detail")?.to_string(),
+        },
+        other => return Err(format!("unknown error kind `{other}`")),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: JobRequest) {
+        let line = request_to_json(&req);
+        assert!(!line.contains('\n'), "one request per line: {line}");
+        assert_eq!(request_from_json(&line).expect(&line), req);
+    }
+
+    fn round_trip_result(res: JobResult) {
+        let line = result_to_json(&res);
+        assert!(!line.contains('\n'), "one response per line: {line}");
+        assert_eq!(result_from_json(&line).expect(&line), res);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(JobRequest::new(
+            "alice",
+            JobKind::Compile {
+                network: "alexnet".into(),
+            },
+        ));
+        round_trip_request(
+            JobRequest::new(
+                "bob",
+                JobKind::Simulate {
+                    network: "cnn-s".into(),
+                    kind: RunKind::Evaluation,
+                },
+            )
+            .with_deadline_ms(1500),
+        );
+        round_trip_request(
+            JobRequest::new(
+                "carol",
+                JobKind::Resilient {
+                    network: "alexnet-func".into(),
+                    plan_seed: u64::MAX,
+                    kill_tile: Some(3),
+                },
+            )
+            .with_chaos(ChaosDirective {
+                panic_attempts: 1,
+                fail_attempts: 2,
+                stall_ms: 10,
+            }),
+        );
+    }
+
+    #[test]
+    fn results_round_trip() {
+        round_trip_result(Ok(JobReply::Compiled {
+            provenance: u64::MAX - 1,
+            conv_cols: 48,
+            degraded: true,
+        }));
+        round_trip_result(Ok(JobReply::Simulated {
+            images_per_sec: 71744.5,
+            stages: 9,
+        }));
+        round_trip_result(Ok(JobReply::Resilient {
+            cycles: 123456789,
+            retried: true,
+            dead_tiles: 1,
+        }));
+        round_trip_result(Err(ServeError::Overloaded {
+            queued: 64,
+            capacity: 16,
+        }));
+        round_trip_result(Err(ServeError::DeadlineExceeded { waited_ms: 512 }));
+        round_trip_result(Err(ServeError::Cancelled));
+        round_trip_result(Err(ServeError::WorkerLost { attempts: 3 }));
+        round_trip_result(Err(ServeError::Rejected {
+            detail: "unknown benchmark `nope`".into(),
+        }));
+        round_trip_result(Err(ServeError::Failed {
+            detail: "does not fit".into(),
+        }));
+    }
+
+    #[test]
+    fn malformed_lines_are_described_not_panicked() {
+        assert!(request_from_json("not json").is_err());
+        assert!(request_from_json("{}").is_err());
+        assert!(
+            request_from_json("{\"tenant\": \"a\", \"op\": \"fry\", \"network\": \"x\"}")
+                .unwrap_err()
+                .contains("unknown op")
+        );
+        assert!(result_from_json("{\"err\": {\"kind\": \"mystery\"}}").is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Singleflight: collapse concurrent identical compiles into one
+//! pipeline run.
+//!
+//! The session cache dedupes *repeat* compiles, but two workers missing
+//! the cache at the same instant would both run the pipeline. The flight
+//! table closes that window: the first worker in becomes the **leader**
+//! and runs the compile; everyone else arriving with the same provenance
+//! key **waits** for the leader's result. A leader that dies (panics)
+//! drops its guard, which evicts the flight and wakes the waiters so one
+//! of them can take over — waiters never hang on a dead leader, and
+//! every wait is deadline-bounded regardless.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+/// The outcome of one [`Singleflight::join`] call.
+pub enum Flight<'a, V: Clone> {
+    /// This caller leads: run the work, then [`FlightGuard::publish`].
+    Lead(FlightGuard<'a, V>),
+    /// Another caller led and this one waited: the leader's result.
+    Shared(V),
+    /// The wait timed out (deadline) before the leader finished.
+    TimedOut,
+}
+
+struct FlightState<V> {
+    result: Mutex<FlightResult<V>>,
+    cv: Condvar,
+}
+
+enum FlightResult<V> {
+    Pending,
+    Done(V),
+    /// The leader died without publishing; waiters should retry.
+    Abandoned,
+}
+
+/// Deduplicates concurrent work by key (see module docs).
+pub struct Singleflight<V> {
+    flights: Mutex<HashMap<u64, Arc<FlightState<V>>>>,
+    leads: AtomicU64,
+    waits: AtomicU64,
+}
+
+impl<V: Clone> Default for Singleflight<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> Singleflight<V> {
+    /// An empty flight table.
+    pub fn new() -> Self {
+        Self {
+            flights: Mutex::new(HashMap::new()),
+            leads: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+        }
+    }
+
+    /// Joins the flight for `key`: lead it, or wait (until `deadline`)
+    /// for the current leader. A waiter whose leader dies re-joins
+    /// automatically until it leads, shares a result, or times out.
+    pub fn join(&self, key: u64, deadline: Instant) -> Flight<'_, V> {
+        loop {
+            let state = {
+                let mut g = self.flights.lock().unwrap_or_else(PoisonError::into_inner);
+                match g.get(&key) {
+                    Some(state) => Arc::clone(state),
+                    None => {
+                        let state = Arc::new(FlightState {
+                            result: Mutex::new(FlightResult::Pending),
+                            cv: Condvar::new(),
+                        });
+                        g.insert(key, Arc::clone(&state));
+                        self.leads.fetch_add(1, Ordering::Relaxed);
+                        return Flight::Lead(FlightGuard {
+                            key,
+                            state,
+                            flight: self,
+                            published: false,
+                        });
+                    }
+                }
+            };
+            self.waits.fetch_add(1, Ordering::Relaxed);
+            let mut r = state.result.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                match &*r {
+                    FlightResult::Done(v) => return Flight::Shared(v.clone()),
+                    FlightResult::Abandoned => break, // re-join; maybe lead now
+                    FlightResult::Pending => {
+                        let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                            return Flight::TimedOut;
+                        };
+                        let (guard, out) = state
+                            .cv
+                            .wait_timeout(r, left)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        r = guard;
+                        if out.timed_out() && matches!(&*r, FlightResult::Pending) {
+                            return Flight::TimedOut;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `(leads, waits)` so far: pipeline runs led vs. results shared by
+    /// waiting on another caller's flight.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.leads.load(Ordering::Relaxed),
+            self.waits.load(Ordering::Relaxed),
+        )
+    }
+
+    fn finish(&self, key: u64, state: &Arc<FlightState<V>>, outcome: FlightResult<V>) {
+        {
+            let mut g = self.flights.lock().unwrap_or_else(PoisonError::into_inner);
+            // Only evict our own flight (a successor may have re-led).
+            if g.get(&key).is_some_and(|s| Arc::ptr_eq(s, state)) {
+                g.remove(&key);
+            }
+        }
+        *state.result.lock().unwrap_or_else(PoisonError::into_inner) = outcome;
+        state.cv.notify_all();
+    }
+}
+
+/// The leader's obligation: publish a result, or — if dropped without
+/// publishing (unwind) — mark the flight abandoned so waiters retry.
+pub struct FlightGuard<'a, V: Clone> {
+    key: u64,
+    state: Arc<FlightState<V>>,
+    flight: &'a Singleflight<V>,
+    published: bool,
+}
+
+impl<V: Clone> FlightGuard<'_, V> {
+    /// Publishes the leader's result to every waiter and evicts the
+    /// flight (later callers start fresh — by then the session cache
+    /// serves them).
+    pub fn publish(mut self, value: V) {
+        self.published = true;
+        self.flight
+            .finish(self.key, &self.state, FlightResult::Done(value));
+    }
+}
+
+impl<V: Clone> Drop for FlightGuard<'_, V> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.flight
+                .finish(self.key, &self.state, FlightResult::Abandoned);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn soon() -> Instant {
+        Instant::now() + Duration::from_secs(5)
+    }
+
+    #[test]
+    fn concurrent_joins_share_one_lead() {
+        let flight = Arc::new(Singleflight::<u32>::new());
+        let Flight::Lead(guard) = flight.join(7, soon()) else {
+            panic!("first join must lead");
+        };
+        let mut waiters = Vec::new();
+        for _ in 0..4 {
+            let f = Arc::clone(&flight);
+            waiters.push(std::thread::spawn(move || match f.join(7, soon()) {
+                Flight::Shared(v) => v,
+                _ => panic!("concurrent join must wait, not lead"),
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        guard.publish(42);
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), 42);
+        }
+        assert_eq!(flight.stats(), (1, 4));
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let flight = Singleflight::<u32>::new();
+        let Flight::Lead(a) = flight.join(1, soon()) else {
+            panic!()
+        };
+        let Flight::Lead(b) = flight.join(2, soon()) else {
+            panic!("a different key must lead its own flight")
+        };
+        a.publish(1);
+        b.publish(2);
+        assert_eq!(flight.stats(), (2, 0));
+    }
+
+    #[test]
+    fn dead_leader_hands_over_to_a_waiter() {
+        let flight = Arc::new(Singleflight::<u32>::new());
+        let Flight::Lead(guard) = flight.join(9, soon()) else {
+            panic!()
+        };
+        let f = Arc::clone(&flight);
+        let waiter = std::thread::spawn(move || match f.join(9, soon()) {
+            Flight::Lead(g) => {
+                // Promoted after the leader died.
+                g.publish(5);
+                5
+            }
+            Flight::Shared(v) => v,
+            Flight::TimedOut => panic!("must not time out"),
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(guard); // leader dies without publishing
+        assert_eq!(waiter.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn waiting_is_deadline_bounded() {
+        let flight = Singleflight::<u32>::new();
+        let Flight::Lead(_guard) = flight.join(3, soon()) else {
+            panic!()
+        };
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let started = Instant::now();
+        assert!(matches!(flight.join(3, deadline), Flight::TimedOut));
+        assert!(started.elapsed() < Duration::from_secs(2), "bounded wait");
+    }
+}
