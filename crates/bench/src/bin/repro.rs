@@ -16,11 +16,17 @@
 //! repro serve --port 7878                           # job server (line JSON over TCP)
 //! repro serve-drill --seed 42                       # seeded chaos drill
 //! repro serve-drill --seed 42 --write-bench BENCH_serve-drill.json
+//! repro par-check                                   # sharded engine vs sequential oracle
 //! ```
 //!
 //! `--tier interpreter|compiled` selects the functional execution tier
 //! for `--sweep`, `--bench-json`, and `--check` (default: interpreter).
 //! The tiers are bit-identical; they differ only in host wall-clock.
+//!
+//! `--shards N` selects the parallel node engine's shard count for
+//! `--sweep`, `--degraded`, `par-check`, and `serve` (default: 0 =
+//! available cores). Shard count never changes results — only
+//! wall-clock; `par-check` enforces exactly that.
 
 use scaledeep::experiments::{run_by_id, EXPERIMENT_IDS};
 use scaledeep::{BenchReport, Session, TraceConfig};
@@ -28,6 +34,7 @@ use scaledeep_compiler::codegen::CompiledNetwork;
 use scaledeep_compiler::FailedTiles;
 use scaledeep_dnn::zoo;
 use scaledeep_dnn::Layer;
+use scaledeep_sim::fault::{FaultPlan, LinkFaults};
 use scaledeep_sim::func::{ExecBackend, FuncSim};
 use scaledeep_trace::{validate_chrome_trace, CategoryMask};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -109,9 +116,9 @@ fn drill_into(name: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn degraded_drill(name: &str, dead_cols: usize) -> Result<(), String> {
+fn degraded_drill(name: &str, dead_cols: usize, shards: usize) -> Result<(), String> {
     let net = zoo::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
-    let session = Session::single_precision();
+    let session = Session::single_precision().with_shards(shards);
     let healthy = session.compile(&net).map_err(|e| e.to_string())?;
     let failed = FailedTiles::from_columns(0..dead_cols);
     let degraded = session
@@ -136,6 +143,30 @@ fn degraded_drill(name: &str, dead_cols: usize) -> Result<(), String> {
         deg.images_per_sec,
         100.0 * deg.images_per_sec / base.images_per_sec
     );
+    // The faulted node-engine drill: both layouts under transient link
+    // faults on the sharded engine, each checked against the sequential
+    // oracle (the drill doubles as a determinism gate).
+    let plan = FaultPlan::seeded(42).with_link_faults(LinkFaults {
+        prob: 0.2,
+        base_backoff: 16,
+        max_retries: 4,
+    });
+    let kind = scaledeep_sim::perf::RunKind::Training;
+    for (label, artifact) in [("healthy", &healthy), ("degraded", &degraded)] {
+        let oracle = session.node_outcome_sequential(artifact, kind, &plan);
+        let got = session.node_outcome(artifact, kind, &plan);
+        if got != oracle {
+            return Err(format!(
+                "{label}: sharded node engine diverged from the sequential oracle"
+            ));
+        }
+        println!(
+            "{label} fault drill ({} shards): {} link retries, {} retry cycles — bit-identical to the sequential oracle",
+            session.resolved_shards(),
+            got.faults.link_retries,
+            got.faults.retry_cycles
+        );
+    }
     Ok(())
 }
 
@@ -146,11 +177,13 @@ fn degraded_drill(name: &str, dead_cols: usize) -> Result<(), String> {
 /// the provenance-keyed cache the whole sweep compiles the network
 /// exactly once. Ends with the functional drill: the same training
 /// iteration on both execution tiers, wall-clocked head to head.
-fn sweep(name: &str, tier: ExecBackend) -> Result<(), String> {
+fn sweep(name: &str, tier: ExecBackend, shards: usize) -> Result<(), String> {
     use std::time::Instant;
     type RunFn<'a> = &'a dyn Fn() -> Result<f64, String>;
     let net = zoo::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
-    let session = Session::single_precision().with_exec_backend(tier);
+    let session = Session::single_precision()
+        .with_exec_backend(tier)
+        .with_shards(shards);
     let runs: [(&str, RunFn); 3] = [
         ("train", &|| {
             session
@@ -195,6 +228,25 @@ fn sweep(name: &str, tier: ExecBackend) -> Result<(), String> {
     println!(
         "compile cache: {} miss(es), {} hit(s) — {} run kinds, 1 pipeline run",
         stats.misses, stats.hits, 3
+    );
+
+    // The parallel node engine rides along on every sweep: the training
+    // model on the sharded engine against the sequential oracle.
+    let artifact = session.compile(&net).map_err(|e| e.to_string())?;
+    let kind = scaledeep_sim::perf::RunKind::Training;
+    let oracle = session.node_outcome_sequential(&artifact, kind, &FaultPlan::none());
+    let sharded = session.node_outcome(&artifact, kind, &FaultPlan::none());
+    if sharded != oracle {
+        return Err(format!(
+            "{name}: sharded node engine diverged from the sequential oracle"
+        ));
+    }
+    println!(
+        "node engine ({} shards): makespan {} cycles, {} images, {} syncs — bit-identical to the sequential oracle",
+        session.resolved_shards(),
+        sharded.makespan,
+        sharded.images_done,
+        sharded.syncs
     );
 
     // The functional drill: the same training iteration on the
@@ -345,11 +397,12 @@ fn csv_sidecar_path(path: &str) -> String {
 /// port and serves the line-delimited JSON protocol until killed. One
 /// request object per line in, one typed reply/error object per line
 /// out, in order, per connection.
-fn serve(port: u16, workers: usize, queue_capacity: usize) -> Result<(), String> {
+fn serve(port: u16, workers: usize, queue_capacity: usize, shards: usize) -> Result<(), String> {
     use scaledeep_serve::{Server, ServerConfig};
     let cfg = ServerConfig {
         workers,
         queue_capacity,
+        shards,
         ..ServerConfig::default()
     };
     let listener = std::net::TcpListener::bind(("127.0.0.1", port))
@@ -357,8 +410,11 @@ fn serve(port: u16, workers: usize, queue_capacity: usize) -> Result<(), String>
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
     let server = Server::start(Session::single_precision(), cfg);
     println!(
-        "serving on {addr} ({} workers, queue capacity {}, default deadline {} ms)",
-        cfg.workers, cfg.queue_capacity, cfg.default_deadline_ms
+        "serving on {addr} ({} workers, queue capacity {}, default deadline {} ms, {} node-engine shards)",
+        cfg.workers,
+        cfg.queue_capacity,
+        cfg.default_deadline_ms,
+        if cfg.shards == 0 { "auto".to_string() } else { cfg.shards.to_string() }
     );
     println!(r#"example: {{"tenant":"t0","op":"simulate","network":"alexnet","kind":"training"}}"#);
     server.serve_tcp(&listener).map_err(|e| e.to_string())
@@ -389,6 +445,53 @@ fn serve_drill(seed: u64, write_bench: Option<&str>, summary_only: bool) -> Resu
     } else {
         Err(format!("{} drill invariant(s) violated", violated.len()))
     }
+}
+
+/// `repro par-check`: the CI gate over the sharded node engine. Runs the
+/// whole-node model of each small benchmark — fault-free and under
+/// transient link faults, training and evaluation — at shard counts 1,
+/// 2, 4, and the resolved `--shards` count, and verifies every outcome
+/// is bit-identical to the sequential oracle. Exits nonzero on the first
+/// divergence.
+fn par_check(shards: usize) -> Result<(), String> {
+    use scaledeep_sim::perf::RunKind;
+    let session = Session::single_precision().with_shards(shards);
+    let plans = [
+        ("fault-free", FaultPlan::none()),
+        (
+            "link-faults",
+            FaultPlan::seeded(42).with_link_faults(LinkFaults {
+                prob: 0.3,
+                base_backoff: 8,
+                max_retries: 4,
+            }),
+        ),
+    ];
+    let mut checked = 0u32;
+    for name in ["alexnet", "cnn-s"] {
+        let net = zoo::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+        let artifact = session.compile(&net).map_err(|e| e.to_string())?;
+        for (plan_name, plan) in &plans {
+            for kind in [RunKind::Training, RunKind::Evaluation] {
+                let oracle = session.node_outcome_sequential(&artifact, kind, plan);
+                for n in [1, 2, 4, session.resolved_shards().max(1)] {
+                    let got = session
+                        .clone()
+                        .with_shards(n)
+                        .node_outcome(&artifact, kind, plan);
+                    if got != oracle {
+                        return Err(format!(
+                            "{name} {kind:?} {plan_name}: {n}-shard run diverged from the sequential oracle"
+                        ));
+                    }
+                    checked += 1;
+                }
+            }
+        }
+        println!("{name}: sharded runs bit-identical to the sequential oracle");
+    }
+    println!("par-check: {checked} sharded runs verified");
+    Ok(())
 }
 
 fn parse_kind(s: &str) -> Result<scaledeep_sim::perf::RunKind, String> {
@@ -502,6 +605,18 @@ fn main() {
         }
         None => ExecBackend::Interpreter,
     };
+    let shards = match args.iter().position(|a| a == "--shards") {
+        Some(pos) => {
+            let parsed = args.get(pos + 1).and_then(|s| s.parse::<usize>().ok());
+            let Some(n) = parsed else {
+                eprintln!("--shards requires a non-negative integer (0 = auto)");
+                std::process::exit(1);
+            };
+            args.drain(pos..pos + 2);
+            n
+        }
+        None => 0,
+    };
     if args.iter().any(|a| a == "--list") {
         for id in EXPERIMENT_IDS {
             println!("{id}");
@@ -531,7 +646,14 @@ fn main() {
         };
         let workers = parse_or_die(flag_value(&args, "--workers"), "--workers", 4) as usize;
         let queue = parse_or_die(flag_value(&args, "--queue"), "--queue", 16) as usize;
-        if let Err(e) = serve(port, workers.max(1), queue.max(1)) {
+        if let Err(e) = serve(port, workers.max(1), queue.max(1), shards) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("par-check") {
+        if let Err(e) = par_check(shards) {
             eprintln!("{e}");
             std::process::exit(1);
         }
@@ -638,7 +760,7 @@ fn main() {
     }
     if let Some(pos) = args.iter().position(|a| a == "--sweep") {
         let name = args.get(pos + 1).map(String::as_str).unwrap_or("alexnet");
-        if let Err(e) = sweep(name, tier) {
+        if let Err(e) = sweep(name, tier, shards) {
             eprintln!("{e}");
             std::process::exit(1);
         }
@@ -650,7 +772,7 @@ fn main() {
             .get(pos + 2)
             .and_then(|s| s.parse::<usize>().ok())
             .unwrap_or(1);
-        if let Err(e) = degraded_drill(name, dead) {
+        if let Err(e) = degraded_drill(name, dead, shards) {
             eprintln!("{e}");
             std::process::exit(1);
         }

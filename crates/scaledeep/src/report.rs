@@ -138,7 +138,9 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
 /// * v2 — adds the selected functional execution tier, the host
 ///   wall-clock split (compile / perf-simulate / functional-simulate),
 ///   and the functional drill's cycle-accurate statistics.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// * v3 — adds the parallel node engine's shard count and measured
+///   wall-clock scaling (sequential oracle vs 1/2/4/8 shards).
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Host wall-clock split of the run behind a BENCH report, in
 /// nanoseconds. Host time is machine-dependent; these fields are
@@ -168,6 +170,35 @@ pub struct BenchFunctional {
     pub instructions: u64,
     /// Tracker-wait stalls.
     pub stalls: u64,
+}
+
+/// One row of the parallel node engine's measured wall-clock scaling:
+/// the whole-node model run at a fixed shard count. Every row's outcome
+/// was verified bit-identical to the sequential oracle before the report
+/// was assembled; the nanoseconds are host-dependent and informational,
+/// never entering [`BenchReport::check_against`]. (v3)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchShard {
+    /// Shard count of this row.
+    pub shards: u64,
+    /// Wall-clock per run at this shard count, in nanoseconds.
+    pub nanos: u64,
+    /// Sequential-oracle wall-clock over this row's wall-clock.
+    pub speedup: f64,
+}
+
+/// The parallel node engine's measurement group of a BENCH report:
+/// the session's resolved shard count, the sequential oracle's
+/// wall-clock, and the per-shard-count scaling rows. Informational. (v3)
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchPar {
+    /// The shard count the report's session resolves to (host cores when
+    /// configured as auto).
+    pub shards: u64,
+    /// Sequential-oracle wall-clock per run, in nanoseconds.
+    pub sequential_nanos: u64,
+    /// Measured scaling rows (shard counts 1/2/4/8).
+    pub scaling: Vec<BenchShard>,
 }
 
 /// Whole-run scalars of a BENCH report.
@@ -286,6 +317,9 @@ pub struct BenchReport {
     /// Functional drill statistics, when the network functionally
     /// compiles; cycle-accurate and checked. (v2)
     pub functional: Option<BenchFunctional>,
+    /// Parallel node engine shard count and measured wall-clock scaling;
+    /// informational. (v3)
+    pub par: BenchPar,
     /// Per-layer rows, pipeline order.
     pub layers: Vec<BenchLayer>,
 }
@@ -303,6 +337,7 @@ impl BenchReport {
         tier: &str,
         wall: BenchWall,
         functional: Option<BenchFunctional>,
+        par: BenchPar,
     ) -> Self {
         BenchReport {
             schema_version: BENCH_SCHEMA_VERSION,
@@ -342,6 +377,7 @@ impl BenchReport {
             tier: tier.to_string(),
             wall,
             functional,
+            par,
             layers: attr
                 .layers
                 .iter()
@@ -454,6 +490,32 @@ impl BenchReport {
                     ])
                 }),
             ),
+            (
+                "par",
+                json::obj([
+                    ("shards", Json::Num(self.par.shards as f64)),
+                    (
+                        "sequential_nanos",
+                        Json::Num(self.par.sequential_nanos as f64),
+                    ),
+                    (
+                        "scaling",
+                        Json::Arr(
+                            self.par
+                                .scaling
+                                .iter()
+                                .map(|s| {
+                                    json::obj([
+                                        ("shards", Json::Num(s.shards as f64)),
+                                        ("nanos", Json::Num(s.nanos as f64)),
+                                        ("speedup", Json::Num(s.speedup)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
             ("layers", Json::Arr(layers)),
         ])
     }
@@ -495,6 +557,31 @@ impl BenchReport {
                 },
                 functional,
             )
+        };
+        // v1/v2 predate the parallel node engine; default its group.
+        let par = if version < 3 {
+            BenchPar::default()
+        } else {
+            let par_v = v.get("par").ok_or("missing field `par`")?;
+            let scaling_v = par_v
+                .get("scaling")
+                .and_then(Json::as_arr)
+                .ok_or("missing or non-array field `par.scaling`")?;
+            let mut scaling = Vec::with_capacity(scaling_v.len());
+            for (i, s) in scaling_v.iter().enumerate() {
+                scaling.push(BenchShard {
+                    shards: req_num(s, "shards").map_err(|e| format!("par.scaling[{i}]: {e}"))?
+                        as u64,
+                    nanos: req_num(s, "nanos").map_err(|e| format!("par.scaling[{i}]: {e}"))?
+                        as u64,
+                    speedup: req_num(s, "speedup").map_err(|e| format!("par.scaling[{i}]: {e}"))?,
+                });
+            }
+            BenchPar {
+                shards: req_num(par_v, "shards")? as u64,
+                sequential_nanos: req_num(par_v, "sequential_nanos")? as u64,
+                scaling,
+            }
         };
         let totals_v = v.get("totals").ok_or("missing field `totals`")?;
         let energy_v = v.get("energy").ok_or("missing field `energy`")?;
@@ -554,6 +641,7 @@ impl BenchReport {
             tier,
             wall,
             functional,
+            par,
             layers,
         };
         let layer_sum: u64 = bench.layers.iter().map(|l| l.busy_cycles).sum();
@@ -903,7 +991,7 @@ mod tests {
         let report = sample_report();
         let future = report
             .to_json()
-            .replacen("\"schema_version\": 2", "\"schema_version\": 3", 1);
+            .replacen("\"schema_version\": 3", "\"schema_version\": 4", 1);
         let err = BenchReport::from_json(&future).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
 
@@ -920,8 +1008,8 @@ mod tests {
 
     #[test]
     fn reader_accepts_v1_documents_with_defaults() {
-        // A v1 document has no tier/wall/functional fields; the reader
-        // defaults them forward instead of rejecting the file.
+        // A v1 document has no tier/wall/functional/par fields; the
+        // reader defaults them forward instead of rejecting the file.
         let report = sample_report();
         let Json::Obj(fields) = json::parse(&report.to_json()).unwrap() else {
             panic!("report is an object");
@@ -932,7 +1020,7 @@ mod tests {
                 "schema_version" => (k, Json::Num(1.0)),
                 _ => (k, v),
             })
-            .filter(|(k, _)| !matches!(k.as_str(), "tier" | "wall" | "functional"))
+            .filter(|(k, _)| !matches!(k.as_str(), "tier" | "wall" | "functional" | "par"))
             .collect();
         let v1_text = Json::Obj(v1_fields).render_pretty();
         let back = BenchReport::from_json(&v1_text).expect("v1 documents parse");
@@ -940,8 +1028,48 @@ mod tests {
         assert_eq!(back.tier, "interpreter");
         assert_eq!(back.wall, BenchWall::default());
         assert_eq!(back.functional, None);
+        assert_eq!(back.par, BenchPar::default());
         assert_eq!(back.totals, report.totals);
         assert_eq!(back.layers, report.layers);
+    }
+
+    #[test]
+    fn reader_accepts_v2_documents_without_the_par_group() {
+        // A v2 document carries tier/wall/functional but predates the
+        // parallel node engine's scaling group.
+        let report = sample_report();
+        let Json::Obj(fields) = json::parse(&report.to_json()).unwrap() else {
+            panic!("report is an object");
+        };
+        let v2_fields: Vec<(String, Json)> = fields
+            .into_iter()
+            .map(|(k, v)| match k.as_str() {
+                "schema_version" => (k, Json::Num(2.0)),
+                _ => (k, v),
+            })
+            .filter(|(k, _)| k != "par")
+            .collect();
+        let v2_text = Json::Obj(v2_fields).render_pretty();
+        let back = BenchReport::from_json(&v2_text).expect("v2 documents parse");
+        assert_eq!(back.schema_version, 2);
+        assert_eq!(back.tier, report.tier);
+        assert_eq!(back.wall, report.wall);
+        assert_eq!(back.par, BenchPar::default());
+        assert_eq!(back.layers, report.layers);
+    }
+
+    #[test]
+    fn shard_scaling_is_informational_in_checks() {
+        // Host-dependent wall-clock numbers must never fail the gate.
+        let report = sample_report();
+        assert_eq!(report.par.scaling.len(), 4);
+        let mut other = report.clone();
+        other.par = BenchPar {
+            shards: report.par.shards + 7,
+            sequential_nanos: 1,
+            scaling: Vec::new(),
+        };
+        assert!(other.check_against(&report, 0.0).is_empty());
     }
 
     #[test]

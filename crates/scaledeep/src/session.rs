@@ -15,6 +15,7 @@ use scaledeep_compiler::{CompileOptions, CompiledArtifact, FailedTiles};
 use scaledeep_dnn::{Layer, Network};
 use scaledeep_sim::fault::FaultPlan;
 use scaledeep_sim::func::{ExecBackend, FuncSim, RunStats};
+use scaledeep_sim::par::{self, NodeOutcome};
 use scaledeep_sim::perf::{PerfOptions, PerfResult, PerfSim, RunKind};
 use scaledeep_tensor::Executor;
 use scaledeep_trace::{
@@ -267,6 +268,7 @@ pub struct Session {
     stats: Arc<CacheStatsCells>,
     artifact_dir: Option<PathBuf>,
     exec_backend: ExecBackend,
+    shards: usize,
 }
 
 impl Session {
@@ -289,6 +291,32 @@ impl Session {
             stats: Arc::new(CacheStatsCells::default()),
             artifact_dir: None,
             exec_backend: ExecBackend::default(),
+            shards: 0,
+        }
+    }
+
+    /// Selects how many event shards the parallel node engine
+    /// ([`Session::node_outcome`]) partitions the simulated node into.
+    /// `0` (the default) resolves to the host's available cores at run
+    /// time. Shard count never changes results — every shard count is
+    /// bit-identical to the sequential oracle — only wall-clock.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The configured shard count (`0` = auto).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard count runs actually use: the configured count, with `0`
+    /// resolved to the host's available cores.
+    pub fn resolved_shards(&self) -> usize {
+        if self.shards == 0 {
+            par::available_shards()
+        } else {
+            self.shards
         }
     }
 
@@ -505,6 +533,36 @@ impl Session {
         plan: &FaultPlan,
     ) -> PerfResult {
         self.sim.run_mapped_faulted(artifact.mapping(), kind, plan)
+    }
+
+    /// Runs the whole-node discrete-event model of an already-compiled
+    /// artifact on the sharded parallel engine, using the session's shard
+    /// count ([`Session::with_shards`]; `0` = available cores). The
+    /// outcome is bit-identical to [`Session::node_outcome_sequential`]
+    /// at every shard count — the conservative synchronization windows
+    /// are derived from the fixed minibatch-sync latency, which is exact,
+    /// not merely safe (see DESIGN.md §5h).
+    pub fn node_outcome(
+        &self,
+        artifact: &CompiledArtifact,
+        kind: RunKind,
+        plan: &FaultPlan,
+    ) -> NodeOutcome {
+        let model = self.sim.node_model(artifact.mapping(), kind, plan);
+        par::run_node_sharded(&model, self.resolved_shards())
+    }
+
+    /// The sequential (single event queue) run of the same whole-node
+    /// model — the bit-identity oracle the sharded engine is checked
+    /// against.
+    pub fn node_outcome_sequential(
+        &self,
+        artifact: &CompiledArtifact,
+        kind: RunKind,
+        plan: &FaultPlan,
+    ) -> NodeOutcome {
+        let model = self.sim.node_model(artifact.mapping(), kind, plan);
+        par::run_node_sequential(&model)
     }
 
     /// Compiles and simulates `net` with observability: the performance
@@ -756,6 +814,47 @@ impl Session {
                 )
             }
         };
+        // The parallel node engine's wall-clock scaling: the same
+        // whole-node model run sequentially and at 1/2/4/8 shards, every
+        // sharded outcome verified bit-identical to the sequential
+        // oracle. The nanoseconds are informational (host-dependent);
+        // the identity check is not.
+        let model = self
+            .sim
+            .node_model(artifact.mapping(), kind, &FaultPlan::none());
+        const SCALING_REPS: u32 = 3;
+        let started = Instant::now();
+        let mut oracle = par::run_node_sequential(&model);
+        for _ in 1..SCALING_REPS {
+            oracle = par::run_node_sequential(&model);
+        }
+        let sequential_nanos = (started.elapsed().as_nanos() / u128::from(SCALING_REPS)) as u64;
+        let mut scaling = Vec::new();
+        for shards in [1usize, 2, 4, 8] {
+            let started = Instant::now();
+            let mut out = par::run_node_sharded(&model, shards);
+            for _ in 1..SCALING_REPS {
+                out = par::run_node_sharded(&model, shards);
+            }
+            let nanos = (started.elapsed().as_nanos() / u128::from(SCALING_REPS)) as u64;
+            if out != oracle {
+                return Err(Error::Setup {
+                    detail: format!(
+                        "parallel node engine diverged from the sequential oracle at {shards} shards"
+                    ),
+                });
+            }
+            scaling.push(crate::report::BenchShard {
+                shards: shards as u64,
+                nanos,
+                speedup: sequential_nanos as f64 / nanos.max(1) as f64,
+            });
+        }
+        let par_scaling = crate::report::BenchPar {
+            shards: self.resolved_shards() as u64,
+            sequential_nanos,
+            scaling,
+        };
         let cache = self.cache_stats();
         let wall = crate::report::BenchWall {
             compile_nanos: cache.compile_nanos,
@@ -772,6 +871,7 @@ impl Session {
             self.exec_backend.name(),
             wall,
             functional,
+            par_scaling,
         ))
     }
 
@@ -992,6 +1092,56 @@ mod tests {
         // The retried iteration runs the same programs on the degraded
         // layout — same instruction count, possibly different cycles.
         assert_eq!(r.stats.instructions, clean.stats.instructions);
+    }
+
+    #[test]
+    fn node_outcome_is_shard_count_invariant() {
+        use scaledeep_sim::fault::LinkFaults;
+        let net = zoo::alexnet();
+        let base = Session::single_precision();
+        let artifact = base.compile(&net).unwrap();
+        let plans = [
+            FaultPlan::none(),
+            FaultPlan::seeded(11).with_link_faults(LinkFaults {
+                prob: 0.25,
+                base_backoff: 16,
+                max_retries: 4,
+            }),
+        ];
+        for plan in &plans {
+            for kind in [RunKind::Training, RunKind::Evaluation] {
+                let oracle = base.node_outcome_sequential(&artifact, kind, plan);
+                assert!(oracle.makespan > 0 && oracle.images_done > 0);
+                for shards in [0, 1, 2, 4] {
+                    let s = base.clone().with_shards(shards);
+                    assert_eq!(s.shards(), shards);
+                    assert!(s.resolved_shards() >= 1);
+                    let got = s.node_outcome(&artifact, kind, plan);
+                    assert_eq!(
+                        got, oracle,
+                        "sharded node outcome diverged at {shards} shards ({kind:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bench_report_records_shard_scaling() {
+        let report = Session::single_precision()
+            .bench_report(&zoo::alexnet(), RunKind::Training)
+            .unwrap();
+        assert!(report.par.shards >= 1);
+        assert_eq!(
+            report
+                .par
+                .scaling
+                .iter()
+                .map(|s| s.shards)
+                .collect::<Vec<_>>(),
+            vec![1, 2, 4, 8]
+        );
+        assert!(report.par.scaling.iter().all(|s| s.speedup > 0.0));
     }
 
     #[test]

@@ -78,6 +78,10 @@ pub struct ServerConfig {
     /// Supervisor poll cadence, in milliseconds (worker liveness,
     /// deadline sweeps).
     pub supervisor_poll_ms: u64,
+    /// Event-shard count the worker pool's shared session uses for the
+    /// parallel node engine (`0` keeps the session's own setting —
+    /// auto-resolved to available cores unless the caller configured it).
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +93,7 @@ impl Default for ServerConfig {
             default_deadline_ms: 30_000,
             seed: 0,
             supervisor_poll_ms: 2,
+            shards: 0,
         }
     }
 }
@@ -306,6 +311,11 @@ pub struct Server {
 impl Server {
     /// Starts `cfg.workers` workers and the supervisor over `session`.
     pub fn start(session: Session, cfg: ServerConfig) -> Self {
+        let session = if cfg.shards > 0 {
+            session.with_shards(cfg.shards)
+        } else {
+            session
+        };
         let shared = Arc::new(Shared {
             session,
             cfg,

@@ -271,6 +271,107 @@ pub(super) struct Scratch {
 mod kernels {
     use super::{act_derivative, apply_act, ActKind, PoolMode};
 
+    /// `v` with its quiet bit set (sign and payload preserved) —
+    /// what x86 returns when it propagates a NaN operand.
+    fn quiet(v: f32) -> f32 {
+        f32::from_bits(v.to_bits() | 0x0040_0000)
+    }
+
+    /// The x86 default quiet NaN ("real indefinite"), produced by
+    /// invalid operations like `inf * 0` or `inf - inf`. Note the
+    /// sign bit is set.
+    const INDEFINITE: u32 = 0xFFC0_0000;
+
+    /// Multiply with source-level-deterministic NaN results: a NaN
+    /// operand propagates in operand order (first wins, quietized), a
+    /// fresh invalid canonicalizes to the hardware default. For
+    /// non-NaN results this is exactly `a * b`.
+    ///
+    /// Why this exists: LLVM treats the sign/payload of a NaN
+    /// produced by `fadd`/`fmul` as nondeterministic and will commute
+    /// operands under optimization, so two textually-identical
+    /// accumulation loops can disagree on a NaN's sign bit depending
+    /// on how each inlining site was vectorized (observed in release
+    /// builds only). Source operand order cannot pin it; this helper
+    /// can, because the NaN case is decided by explicit branches.
+    fn mul_det(a: f32, b: f32) -> f32 {
+        let p = a * b;
+        if p.is_nan() {
+            if a.is_nan() {
+                return quiet(a);
+            }
+            if b.is_nan() {
+                return quiet(b);
+            }
+            return f32::from_bits(INDEFINITE);
+        }
+        p
+    }
+
+    /// Add with source-level-deterministic NaN results; see
+    /// [`mul_det`].
+    fn add_det(a: f32, b: f32) -> f32 {
+        let s = a + b;
+        if s.is_nan() {
+            if a.is_nan() {
+                return quiet(a);
+            }
+            if b.is_nan() {
+                return quiet(b);
+            }
+            return f32::from_bits(INDEFINITE);
+        }
+        s
+    }
+
+    /// Recomputes one convolution output element in the reference tap
+    /// order with [`mul_det`]/[`add_det`], giving a bit-deterministic
+    /// result even when NaNs flow through the accumulation. Both conv
+    /// kernels fall back to this for any output that lands on NaN, so
+    /// their NaN bits agree by construction at every optimization
+    /// level. `init` is the destination's pre-call value (used only
+    /// when `accumulate`).
+    #[allow(clippy::too_many_arguments)]
+    fn conv_element_det(
+        x: &[f32],
+        ker: &[f32],
+        init: f32,
+        ih: usize,
+        iw: usize,
+        oy: usize,
+        ox: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        accumulate: bool,
+        flip: bool,
+    ) -> f32 {
+        let mut sum = 0.0f32;
+        for ky in 0..k {
+            let iy = (oy * stride + ky) as isize - pad as isize;
+            if iy < 0 || iy >= ih as isize {
+                continue;
+            }
+            for kx in 0..k {
+                let ix = (ox * stride + kx) as isize - pad as isize;
+                if ix < 0 || ix >= iw as isize {
+                    continue;
+                }
+                let kv = if flip {
+                    ker[(k - 1 - ky) * k + (k - 1 - kx)]
+                } else {
+                    ker[ky * k + kx]
+                };
+                sum = add_det(sum, mul_det(x[iy as usize * iw + ix as usize], kv));
+            }
+        }
+        if accumulate {
+            add_det(init, sum)
+        } else {
+            sum
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     pub(super) fn conv(
         x: &[f32],
@@ -311,11 +412,14 @@ mod kernels {
                         }
                     }
                     let o = &mut out[lane * oh * ow + oy * ow + ox];
-                    if accumulate {
-                        *o += sum;
+                    let c = if accumulate { *o + sum } else { sum };
+                    *o = if c.is_nan() {
+                        conv_element_det(
+                            x, ker, *o, ih, iw, oy, ox, k, stride, pad, accumulate, flip,
+                        )
                     } else {
-                        *o = sum;
-                    }
+                        c
+                    };
                 }
             }
         }
@@ -328,8 +432,12 @@ mod kernels {
     /// both preserve, per output element, exactly the reference's
     /// floating-point sequence (taps in ascending `(ky, kx)` order
     /// accumulated from 0.0, then one combine with the destination), so
-    /// every result — including NaN/∞ propagation; zero-valued taps are
-    /// never skipped — is bit-identical by construction:
+    /// every non-NaN result — zero-valued taps are never skipped — is
+    /// bit-identical by construction. Outputs that land on NaN are
+    /// recomputed by [`conv_element_det`] in every kernel (reference
+    /// included), because optimized code may commute a two-NaN
+    /// `fadd`/`fmul` and flip the surviving NaN's sign (see
+    /// [`mul_det`]):
     ///
     /// * **Tap sweep** (wide outputs, the FP/BP shapes): loops are
     ///   interchanged — kernel taps outside, outputs inside — so each tap
@@ -435,12 +543,26 @@ mod kernels {
                 }
             }
             let out_lane = &mut out[lane * oh * ow..(lane + 1) * oh * ow];
-            if accumulate {
-                for (o, t) in out_lane.iter_mut().zip(tmp.iter()) {
-                    *o += t;
-                }
-            } else {
-                out_lane.copy_from_slice(tmp);
+            for (i, (o, t)) in out_lane.iter_mut().zip(tmp.iter()).enumerate() {
+                let c = if accumulate { *o + t } else { *t };
+                *o = if c.is_nan() {
+                    conv_element_det(
+                        x,
+                        ker,
+                        *o,
+                        ih,
+                        iw,
+                        i / ow,
+                        i % ow,
+                        k,
+                        stride,
+                        pad,
+                        accumulate,
+                        flip,
+                    )
+                } else {
+                    c
+                };
             }
         }
     }
@@ -492,11 +614,14 @@ mod kernels {
                         }
                     }
                     let o = &mut out[lane * oh * ow + oy * ow + ox];
-                    if accumulate {
-                        *o += sum;
+                    let c = if accumulate { *o + sum } else { sum };
+                    *o = if c.is_nan() {
+                        conv_element_det(
+                            x, ker, *o, ih, iw, oy, ox, k, stride, pad, accumulate, flip,
+                        )
                     } else {
-                        *o = sum;
-                    }
+                        c
+                    };
                 }
             }
         }
@@ -1189,6 +1314,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn conv_nan_sign_survives_optimization() {
+        // Regression for a release-only divergence: an accumulator
+        // holding -NaN (from `inf * -0.0`, the x86 "indefinite") added
+        // to a +NaN product is a two-NaN `fadd`, whose surviving sign
+        // LLVM may pick per call site. Both kernels must agree on the
+        // explicitly-defined first-operand-wins answer: -NaN.
+        let (ih, iw, k) = (2usize, 3usize, 2usize);
+        let (oh, ow) = (1usize, 2usize); // ow >= k: tap-sweep path
+                                         // Taps for output (0, 1) in reference order:
+                                         //   (0,0): 1 * 2      -> finite
+                                         //   (0,1): inf * -0.0 -> -NaN (invalid)
+                                         //   (1,0): 1 * 3      -> finite
+                                         //   (1,1): 1 * NaN    -> +NaN (propagated)
+                                         // With flip=true the kernel is indexed reversed, so lay the
+                                         // taps out so the *flipped* reads hit the values above.
+        let x = [1.0f32, 1.0, f32::INFINITY, 1.0, 1.0, 1.0];
+        let kers = [f32::NAN, 3.0, -0.0, 2.0];
+        let mut want = [0.0f32; 2];
+        kernels::conv(
+            &x, &kers, &mut want, ih, iw, oh, ow, k, 1, 0, 1, false, true,
+        );
+        let mut got = [0.0f32; 2];
+        let mut tmp = Vec::new();
+        kernels::conv_staged(
+            &x, &kers, &mut got, &mut tmp, ih, iw, oh, ow, k, 1, 0, 1, false, true,
+        );
+        assert_eq!(want[1].to_bits(), 0xFFC0_0000, "reference NaN sign");
+        assert_eq!(got[1].to_bits(), 0xFFC0_0000, "staged NaN sign");
+        assert_eq!(want[0].to_bits(), got[0].to_bits());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 mod metrics;
 mod pipeline;
+pub(crate) mod replica;
 mod stage;
 
 pub use metrics::{FaultStats, LinkUtilization, PerfResult, StageStat};
@@ -206,6 +207,37 @@ impl PerfSim {
             tracer,
             reg,
         )
+    }
+
+    /// Builds the [`crate::par`] node-level model for an already-mapped
+    /// network: the same stage costs, image stream, minibatch structure
+    /// and sync latency the single-replica engine simulates, replicated
+    /// over every concurrent pipeline the mapping runs node-wide. The
+    /// plan's seed and link-fault model carry over, so the `par` engines
+    /// reproduce [`PerfSim::run_mapped_faulted`]'s replica-0 dynamics
+    /// salt for salt.
+    pub fn node_model(
+        &self,
+        mapping: &Mapping,
+        kind: RunKind,
+        plan: &FaultPlan,
+    ) -> crate::par::NodeModel {
+        let barrier = kind == RunKind::Training;
+        let minibatch = self.opts.minibatch.max(1);
+        crate::par::NodeModel {
+            stages: stage::build_stages(mapping, &self.node, &self.opts, kind),
+            replicas: pipeline::total_pipelines(mapping, &self.node),
+            images: minibatch * (self.opts.minibatches.max(1) + 1),
+            minibatch,
+            sync: if barrier && !self.opts.ideal_sync {
+                pipeline::sync_cycles(mapping, &self.node)
+            } else {
+                0
+            },
+            barrier,
+            seed: plan.seed(),
+            link: plan.link_faults().copied(),
+        }
     }
 }
 

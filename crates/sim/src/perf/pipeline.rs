@@ -2,6 +2,7 @@
 //! pipeline stalls at minibatch boundaries for gradient aggregation.
 
 use super::metrics::{self, FaultStats, PerfResult};
+use super::replica::{Event, ReplicaCore, StageStart, Step};
 use super::stage::{RunKind, StageCost};
 use super::PerfOptions;
 use crate::engine::{Cycle, EventQueue};
@@ -10,22 +11,11 @@ use scaledeep_arch::{NodeConfig, PowerModel};
 use scaledeep_compiler::Mapping;
 use scaledeep_trace::{MetricsRegistry, Payload, TraceSink, Tracer, TrackId};
 
-/// Events of the pipeline simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Event {
-    /// Try to admit the next image into stage 0.
-    Admit,
-    /// Image `img` finished stage `stage`.
-    StageDone { stage: usize, img: usize },
-    /// A minibatch's gradient aggregation + weight distribution completed.
-    SyncDone,
-}
-
 /// Cycles spent aggregating weight gradients and distributing updated
 /// weights at a minibatch boundary: a reduce + broadcast of the CONV
 /// weights over the wheel arcs, then a multi-cluster reduction over the
 /// ring (paper §3.3).
-fn sync_cycles(mapping: &Mapping, node: &NodeConfig) -> Cycle {
+pub(super) fn sync_cycles(mapping: &Mapping, node: &NodeConfig) -> Cycle {
     let conv_w: u64 = mapping.conv_plans().map(|p| p.weight_bytes).sum();
     let arc_bpc = node.cluster.arc_bw / node.frequency_hz();
     let ring_bpc = node.ring_bw / node.frequency_hz();
@@ -119,12 +109,13 @@ pub fn run_pipeline_traced<S: TraceSink>(
     tracer: &mut Tracer<S>,
     reg: &mut MetricsRegistry,
 ) -> (Cycle, usize, Vec<f64>, FaultStats) {
-    assert!(!stages.is_empty(), "pipeline needs at least one stage");
-    assert!(images > 0, "need at least one image");
     let n = stages.len();
-    let minibatch = minibatch.max(1);
+    let mut core = ReplicaCore::new(stages, images, minibatch, barrier, seed, link, 0);
     // All run counters live here; utilizations and fault stats are read
-    // back out at the end (no parallel bookkeeping).
+    // back out at the end (no parallel bookkeeping). The core keeps its
+    // own accumulators for the node-level hosts; this host mirrors every
+    // draw into the registry so traced runs stay byte-identical to the
+    // pre-refactor loop.
     let mut run = MetricsRegistry::new();
     let m_retries = run.counter("perf.link.retries");
     let m_retry_cycles = run.counter("perf.link.retry_cycles");
@@ -149,120 +140,77 @@ pub fn run_pipeline_traced<S: TraceSink>(
         } else {
             (vec![0; n], 0, 0)
         };
+    // Mirrors one admission into the registry and tracer.
+    let emit_start =
+        |st: &StageStart, now: Cycle, run: &mut MetricsRegistry, tracer: &mut Tracer<S>| {
+            if st.retries > 0 {
+                run.add(m_retries, u64::from(st.retries));
+                run.add(m_retry_cycles, st.toll);
+            }
+            run.add(stage_busy[st.stage], st.service);
+            run.observe(m_occupancy, st.service as f64);
+            tracer.span(
+                st.start,
+                st.fin - st.start,
+                stage_tracks[st.stage],
+                Payload::Stage {
+                    stage: st.stage as u16,
+                    image: st.img as u32,
+                },
+            );
+            if st.retries > 0 {
+                tracer.instant(
+                    now,
+                    retry_track,
+                    Payload::Retry {
+                        retries: st.retries,
+                        cost: st.toll,
+                    },
+                );
+            }
+        };
     let mut q: EventQueue<Event> = EventQueue::new();
-    let mut stage_free: Vec<Cycle> = vec![0; n];
-    let mut next_admit = 0usize;
-    let mut completed = 0usize;
-    let mut syncs_completed = 0usize;
-    let mut syncs_started = 0u64;
-    let mut waiting_for_sync = false;
-    let mut first_done: Cycle = 0;
-    let mut last_done: Cycle = 0;
-    // Retry `(count, back-off cycles)` of the transfer identified by
-    // `salt`, accumulated into the run registry.
-    let penalty = |salt: u64, run: &mut MetricsRegistry| -> (u32, Cycle) {
-        let Some(lf) = link else { return (0, 0) };
-        let retries = lf.retries(seed, salt);
-        if retries == 0 {
-            return (0, 0);
-        }
-        let cost = lf.backoff_cycles(retries);
-        run.add(m_retries, u64::from(retries));
-        run.add(m_retry_cycles, cost);
-        (retries, cost)
-    };
-    let stage_salt = |stage: usize, img: usize| ((stage as u64) << 32) | img as u64;
-    const SYNC_SALT: u64 = 1 << 62;
-
     q.push(0, Event::Admit);
     while let Some((now, ev)) = q.pop() {
         match ev {
             Event::Admit => {
-                if next_admit >= images {
-                    continue;
-                }
-                let batch = next_admit / minibatch;
-                if barrier && batch > syncs_completed {
-                    waiting_for_sync = true;
-                    continue;
-                }
-                let img = next_admit;
-                next_admit += 1;
-                let start = stage_free[0].max(now);
-                let service = stages[0].service_cycles.max(1);
-                let (retries, toll) = penalty(stage_salt(0, img), &mut run);
-                let fin = start + service + toll;
-                stage_free[0] = fin;
-                run.add(stage_busy[0], service);
-                run.observe(m_occupancy, service as f64);
-                tracer.span(
-                    start,
-                    fin - start,
-                    stage_tracks[0],
-                    Payload::Stage {
-                        stage: 0,
-                        image: img as u32,
-                    },
-                );
-                if retries > 0 {
-                    tracer.instant(
-                        now,
-                        retry_track,
-                        Payload::Retry {
-                            retries,
-                            cost: toll,
+                if let Step::Start(st) = core.admit(now) {
+                    emit_start(&st, now, &mut run, tracer);
+                    q.push(
+                        st.fin,
+                        Event::StageDone {
+                            stage: 0,
+                            img: st.img,
                         },
                     );
+                    q.push(st.fin, Event::Admit);
                 }
-                q.push(fin, Event::StageDone { stage: 0, img });
-                q.push(fin, Event::Admit);
             }
-            Event::StageDone { stage, img } => {
-                if stage + 1 < n {
-                    let s = stage + 1;
-                    let start = stage_free[s].max(now);
-                    let service = stages[s].service_cycles.max(1);
-                    let (retries, toll) = penalty(stage_salt(s, img), &mut run);
-                    let fin = start + service + toll;
-                    stage_free[s] = fin;
-                    run.add(stage_busy[s], service);
-                    run.observe(m_occupancy, service as f64);
-                    tracer.span(
-                        start,
-                        fin - start,
-                        stage_tracks[s],
-                        Payload::Stage {
-                            stage: s as u16,
-                            image: img as u32,
+            Event::StageDone { stage, img } => match core.stage_done(now, stage, img) {
+                Step::Start(st) => {
+                    emit_start(&st, now, &mut run, tracer);
+                    q.push(
+                        st.fin,
+                        Event::StageDone {
+                            stage: st.stage,
+                            img,
                         },
                     );
-                    if retries > 0 {
-                        tracer.instant(
-                            now,
-                            retry_track,
-                            Payload::Retry {
-                                retries,
-                                cost: toll,
-                            },
-                        );
-                    }
-                    q.push(fin, Event::StageDone { stage: s, img });
-                } else {
-                    completed += 1;
-                    if completed == 1 {
-                        first_done = now;
-                    }
-                    last_done = now;
-                    if barrier && completed.is_multiple_of(minibatch) {
-                        let (retries, toll) = penalty(SYNC_SALT | syncs_started, &mut run);
-                        let delay = sync.max(1) + toll;
+                }
+                Step::Done { batch_done } => {
+                    if let Some(index) = batch_done {
+                        let (retries, toll, delay) = core.sync_penalty(index, sync);
+                        if retries > 0 {
+                            run.add(m_retries, u64::from(retries));
+                            run.add(m_retry_cycles, toll);
+                        }
                         run.add(m_sync_cycles, delay);
                         tracer.span(
                             now,
                             delay,
                             sync_track,
                             Payload::Sync {
-                                index: syncs_started as u32,
+                                index: index as u32,
                             },
                         );
                         if retries > 0 {
@@ -275,24 +223,23 @@ pub fn run_pipeline_traced<S: TraceSink>(
                                 },
                             );
                         }
-                        syncs_started += 1;
                         q.push(now + delay, Event::SyncDone);
                     }
                 }
-            }
+                Step::Gated => unreachable!("stage_done never gates"),
+            },
             Event::SyncDone => {
-                syncs_completed += 1;
-                if waiting_for_sync {
-                    waiting_for_sync = false;
+                if core.sync_completed() {
                     q.push(now, Event::Admit);
                 }
             }
         }
     }
-    debug_assert_eq!(completed, images, "all images must drain");
-    run.add(m_completed, completed as u64);
-    run.add(m_syncs, syncs_started);
-    let window = last_done.saturating_sub(first_done).max(1);
+    debug_assert_eq!(core.completed(), images, "all images must drain");
+    run.add(m_completed, core.completed() as u64);
+    run.add(m_syncs, core.syncs_started());
+    let last_done = core.last_done();
+    let window = last_done.saturating_sub(core.first_done()).max(1);
     let util = stage_busy
         .iter()
         .map(|&id| run.counter_get(id) as f64 / last_done.max(1) as f64)
