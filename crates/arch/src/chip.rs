@@ -116,10 +116,14 @@ impl ChipConfig {
         }
         self.comp_heavy.validate()?;
         self.mem_heavy.validate()?;
-        if self.ext_mem_bw <= 0.0 || self.comp_mem_bw <= 0.0 || self.mem_mem_bw <= 0.0 {
+        let finite_positive = |bw: f64| bw > 0.0 && bw.is_finite();
+        if !finite_positive(self.ext_mem_bw)
+            || !finite_positive(self.comp_mem_bw)
+            || !finite_positive(self.mem_mem_bw)
+        {
             return Err(crate::Error::InvalidConfig {
                 component: "chip",
-                detail: "bandwidths must be positive".into(),
+                detail: "bandwidths must be finite and positive".into(),
             });
         }
         Ok(())

@@ -61,10 +61,14 @@ impl ClusterConfig {
                 detail: "at least one ConvLayer chip is required".into(),
             });
         }
-        if self.spoke_bw <= 0.0 || self.arc_bw <= 0.0 {
+        if !(self.spoke_bw > 0.0
+            && self.spoke_bw.is_finite()
+            && self.arc_bw > 0.0
+            && self.arc_bw.is_finite())
+        {
             return Err(crate::Error::InvalidConfig {
                 component: "cluster",
-                detail: "spoke/arc bandwidths must be positive".into(),
+                detail: "spoke/arc bandwidths must be finite and positive".into(),
             });
         }
         self.conv_chip.validate()?;

@@ -1,0 +1,1086 @@
+//! Typed design-space layer: a design point is data, not code.
+//!
+//! The paper's §6 sensitivity studies sweep the architecture over memory
+//! capacity, bandwidth, precision and chip mix. This module promotes those
+//! sweeps into a first-class API:
+//!
+//! * [`DesignPoint`] — a validated [`NodeConfig`] with a canonical JSON
+//!   form and a structural fingerprint, so a point can flow into compiler
+//!   provenance and disk artifact caches as *data* rather than as the
+//!   `Debug` rendering of a Rust struct;
+//! * [`DesignPointBuilder`] — named, range-validated knob setters that
+//!   derive the dependent quantities (tile counts, peak FLOPs, power
+//!   envelope) the presets used to duplicate by hand;
+//! * [`Knob`] / [`KnobValue`] — the named parameter axes of the space;
+//! * [`ParamSpace`] — a base point plus axes, expanded into a full
+//!   cartesian grid or a seeded random sample of labeled [`Candidate`]s
+//!   for the DSE driver.
+//!
+//! The two Figure-14 presets are two points in this space:
+//! [`DesignPoint::figure14_sp`] and its FP16 derivation
+//! [`DesignPoint::derive_half_precision`] (halve memories and bandwidths,
+//! grow the grids back to the power envelope — §6.1).
+
+use crate::chip::{ChipConfig, ChipKind};
+use crate::cluster::ClusterConfig;
+use crate::error::{Error, Result};
+use crate::node::{NodeConfig, Precision};
+use crate::power::PowerModel;
+use crate::tile::{CompHeavyConfig, MemHeavyConfig};
+use scaledeep_trace::json::{obj, Json};
+use std::fmt;
+
+const KB: usize = 1024;
+const GB: f64 = 1e9;
+
+/// Largest f64 that still holds integers exactly (2^53) — the same bound
+/// the zero-dep JSON writer uses to pick its integer rendering.
+const MAX_EXACT_INT: f64 = 9_007_199_254_740_992.0;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte string — the workspace's standard fingerprint
+/// (the compiler uses the same constants for its cache keys).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, b| {
+        (h ^ u64::from(*b)).wrapping_mul(FNV_PRIME)
+    })
+}
+
+/// A point in the ScaleDeep design space: a [`NodeConfig`] promoted to
+/// data, with a canonical JSON rendering and a structural fingerprint.
+///
+/// Construct one by describing an existing config
+/// ([`DesignPoint::describe`], total), through the validating builder
+/// ([`DesignPointBuilder::build`]), or from its serialized form
+/// ([`DesignPoint::from_json`], validating).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    node: NodeConfig,
+}
+
+impl DesignPoint {
+    /// Wraps an existing configuration without validating it. Total: the
+    /// compiler stamps provenance before its own validation runs, so the
+    /// description of a degenerate config must still be well-defined.
+    pub fn describe(node: &NodeConfig) -> Self {
+        Self { node: *node }
+    }
+
+    /// The baseline single-precision design point of Figure 14: 4 clusters
+    /// × (4 ConvLayer + 1 FcLayer chips), 600 MHz, 680 TFLOPS peak, 7032
+    /// processing tiles.
+    pub fn figure14_sp() -> Self {
+        DesignPointBuilder::figure14_sp()
+            .build()
+            .expect("the Figure 14 preset validates")
+    }
+
+    /// Derives the half-precision point of §6.1 from this one: FP16
+    /// datapaths, MemHeavy capacity and every link bandwidth halved, chip
+    /// grids grown by 4/3 × 3/2 (6×16 → 8×24, 6×8 → 8×12) to spend the
+    /// freed power on more tiles. Applied to [`Self::figure14_sp`] this
+    /// reproduces the paper's 1.35 PFLOPS FP16 node bit-for-bit.
+    pub fn derive_half_precision(self) -> Self {
+        let mut node = self.node;
+        node.precision = Precision::Half;
+        for chip in [&mut node.cluster.conv_chip, &mut node.cluster.fc_chip] {
+            chip.rows = chip.rows * 4 / 3;
+            chip.cols = chip.cols * 3 / 2;
+            chip.mem_heavy.capacity_bytes /= 2;
+            chip.ext_mem_bw /= 2.0;
+            chip.comp_mem_bw /= 2.0;
+            chip.mem_mem_bw /= 2.0;
+        }
+        node.cluster.spoke_bw /= 2.0;
+        node.cluster.arc_bw /= 2.0;
+        node.ring_bw /= 2.0;
+        Self { node }
+    }
+
+    /// The underlying node configuration (by value; `NodeConfig` is
+    /// `Copy`).
+    pub fn node_config(&self) -> NodeConfig {
+        self.node
+    }
+
+    /// Borrow the underlying node configuration.
+    pub fn node(&self) -> &NodeConfig {
+        &self.node
+    }
+
+    /// Derived quantity: peak FLOPs of the node.
+    pub fn peak_flops(&self) -> f64 {
+        self.node.peak_flops()
+    }
+
+    /// Derived quantity: total processing tiles.
+    pub fn total_tiles(&self) -> usize {
+        self.node.total_tiles()
+    }
+
+    /// Derived quantity: the calibrated power model matching this point's
+    /// precision (Figure 14 SP table, or its iso-power FP16 scaling).
+    pub fn power_model(&self) -> PowerModel {
+        match self.node.precision {
+            Precision::Single => PowerModel::paper_sp(),
+            Precision::Half => PowerModel::paper_hp(),
+        }
+    }
+
+    /// Derived quantity: the node power envelope in watts.
+    pub fn peak_power_watts(&self) -> f64 {
+        self.power_model().node.peak_watts
+    }
+
+    /// Derived quantity: peak processing efficiency in GFLOPS/W
+    /// (Figure 14's 485.7 for the SP point).
+    pub fn peak_gflops_per_watt(&self) -> f64 {
+        self.peak_flops() / self.peak_power_watts() / 1e9
+    }
+
+    /// Canonical JSON form: the knobs only, in a fixed field order, so
+    /// that equal configurations render byte-identically. Derived
+    /// quantities are deliberately excluded — they would otherwise split
+    /// cache keys whenever a derivation rule is refined.
+    pub fn to_json(&self) -> Json {
+        let n = &self.node;
+        obj([
+            ("precision", Json::Str(n.precision.to_string())),
+            ("clusters", num_usize(n.clusters)),
+            ("frequency_mhz", Json::Num(n.frequency_mhz)),
+            ("ring_bw", Json::Num(n.ring_bw)),
+            (
+                "cluster",
+                obj([
+                    ("conv_chips", num_usize(n.cluster.conv_chips)),
+                    ("spoke_bw", Json::Num(n.cluster.spoke_bw)),
+                    ("arc_bw", Json::Num(n.cluster.arc_bw)),
+                    ("conv_chip", chip_to_json(&n.cluster.conv_chip)),
+                    ("fc_chip", chip_to_json(&n.cluster.fc_chip)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parses the canonical JSON form and validates the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when a field is missing or of the
+    /// wrong type, or when the decoded configuration fails
+    /// [`NodeConfig::validate`].
+    pub fn from_json(v: &Json) -> Result<Self> {
+        let cluster = get(v, "cluster")?;
+        let node = NodeConfig {
+            clusters: get_usize(v, "clusters")?,
+            cluster: ClusterConfig {
+                conv_chips: get_usize(cluster, "conv_chips")?,
+                conv_chip: chip_from_json(get(cluster, "conv_chip")?)?,
+                fc_chip: chip_from_json(get(cluster, "fc_chip")?)?,
+                spoke_bw: get_num(cluster, "spoke_bw")?,
+                arc_bw: get_num(cluster, "arc_bw")?,
+            },
+            ring_bw: get_num(v, "ring_bw")?,
+            frequency_mhz: get_num(v, "frequency_mhz")?,
+            precision: parse_precision(get_str(v, "precision")?)?,
+        };
+        node.validate()?;
+        Ok(Self { node })
+    }
+
+    /// Structural fingerprint: FNV-1a over the canonical JSON rendering.
+    /// Two configurations fingerprint equal iff their knobs are equal —
+    /// independent of how the Rust structs happen to `Debug`-format.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.to_json().render().as_bytes())
+    }
+}
+
+fn num_usize(v: usize) -> Json {
+    Json::Num(v as f64)
+}
+
+fn chip_to_json(c: &ChipConfig) -> Json {
+    obj([
+        ("kind", Json::Str(c.kind.to_string())),
+        ("rows", num_usize(c.rows)),
+        ("cols", num_usize(c.cols)),
+        (
+            "comp_heavy",
+            obj([
+                ("array_rows", num_usize(c.comp_heavy.array_rows)),
+                ("array_cols", num_usize(c.comp_heavy.array_cols)),
+                ("lanes", num_usize(c.comp_heavy.lanes)),
+                ("acc_units", num_usize(c.comp_heavy.acc_units)),
+                ("left_mem_bytes", num_usize(c.comp_heavy.left_mem_bytes)),
+                ("top_mem_bytes", num_usize(c.comp_heavy.top_mem_bytes)),
+                ("bottom_mem_bytes", num_usize(c.comp_heavy.bottom_mem_bytes)),
+                ("scratch_bytes", num_usize(c.comp_heavy.scratch_bytes)),
+            ]),
+        ),
+        (
+            "mem_heavy",
+            obj([
+                ("capacity_bytes", num_usize(c.mem_heavy.capacity_bytes)),
+                ("num_sfu", num_usize(c.mem_heavy.num_sfu)),
+                ("num_trackers", num_usize(c.mem_heavy.num_trackers)),
+            ]),
+        ),
+        ("ext_mem_bw", Json::Num(c.ext_mem_bw)),
+        ("comp_mem_bw", Json::Num(c.comp_mem_bw)),
+        ("mem_mem_bw", Json::Num(c.mem_mem_bw)),
+    ])
+}
+
+fn chip_from_json(v: &Json) -> Result<ChipConfig> {
+    let comp = get(v, "comp_heavy")?;
+    let mem = get(v, "mem_heavy")?;
+    Ok(ChipConfig {
+        kind: parse_kind(get_str(v, "kind")?)?,
+        rows: get_usize(v, "rows")?,
+        cols: get_usize(v, "cols")?,
+        comp_heavy: CompHeavyConfig {
+            array_rows: get_usize(comp, "array_rows")?,
+            array_cols: get_usize(comp, "array_cols")?,
+            lanes: get_usize(comp, "lanes")?,
+            acc_units: get_usize(comp, "acc_units")?,
+            left_mem_bytes: get_usize(comp, "left_mem_bytes")?,
+            top_mem_bytes: get_usize(comp, "top_mem_bytes")?,
+            bottom_mem_bytes: get_usize(comp, "bottom_mem_bytes")?,
+            scratch_bytes: get_usize(comp, "scratch_bytes")?,
+        },
+        mem_heavy: MemHeavyConfig {
+            capacity_bytes: get_usize(mem, "capacity_bytes")?,
+            num_sfu: get_usize(mem, "num_sfu")?,
+            num_trackers: get_usize(mem, "num_trackers")?,
+        },
+        ext_mem_bw: get_num(v, "ext_mem_bw")?,
+        comp_mem_bw: get_num(v, "comp_mem_bw")?,
+        mem_mem_bw: get_num(v, "mem_mem_bw")?,
+    })
+}
+
+fn bad(detail: String) -> Error {
+    Error::InvalidConfig {
+        component: "design",
+        detail,
+    }
+}
+
+fn get<'a>(v: &'a Json, key: &str) -> Result<&'a Json> {
+    v.get(key)
+        .ok_or_else(|| bad(format!("missing field {key:?}")))
+}
+
+fn get_num(v: &Json, key: &str) -> Result<f64> {
+    get(v, key)?
+        .as_num()
+        .ok_or_else(|| bad(format!("field {key:?} must be a number")))
+}
+
+fn get_usize(v: &Json, key: &str) -> Result<usize> {
+    let n = get_num(v, key)?;
+    if n < 0.0 || n.fract() != 0.0 || n >= MAX_EXACT_INT {
+        return Err(bad(format!(
+            "field {key:?} must be a non-negative integer, got {n}"
+        )));
+    }
+    Ok(n as usize)
+}
+
+fn get_str<'a>(v: &'a Json, key: &str) -> Result<&'a str> {
+    get(v, key)?
+        .as_str()
+        .ok_or_else(|| bad(format!("field {key:?} must be a string")))
+}
+
+fn parse_precision(s: &str) -> Result<Precision> {
+    match s {
+        "single" => Ok(Precision::Single),
+        "half" => Ok(Precision::Half),
+        other => Err(bad(format!("unknown precision {other:?}"))),
+    }
+}
+
+fn parse_kind(s: &str) -> Result<ChipKind> {
+    match s {
+        "ConvLayer" => Ok(ChipKind::ConvLayer),
+        "FcLayer" => Ok(ChipKind::FcLayer),
+        other => Err(bad(format!("unknown chip kind {other:?}"))),
+    }
+}
+
+/// Builder for [`DesignPoint`]s: named knob setters over a base
+/// configuration, with validation deferred to [`DesignPointBuilder::build`]
+/// so intermediate states may be degenerate.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignPointBuilder {
+    node: NodeConfig,
+}
+
+impl DesignPointBuilder {
+    /// Starts from an existing point.
+    pub fn from_point(point: DesignPoint) -> Self {
+        Self {
+            node: point.node_config(),
+        }
+    }
+
+    /// Starts from the Figure-14 single-precision baseline. This is where
+    /// the paper's published constants live; everything else in the
+    /// design space is expressed as edits of this literal.
+    pub fn figure14_sp() -> Self {
+        let conv_chip = ChipConfig {
+            kind: ChipKind::ConvLayer,
+            rows: 6,
+            cols: 16,
+            comp_heavy: CompHeavyConfig {
+                array_rows: 8,
+                array_cols: 3,
+                lanes: 4,
+                acc_units: 16,
+                left_mem_bytes: 8 * KB,
+                top_mem_bytes: 4 * KB,
+                bottom_mem_bytes: 4 * KB,
+                scratch_bytes: 16 * KB,
+            },
+            mem_heavy: MemHeavyConfig {
+                capacity_bytes: 512 * KB,
+                num_sfu: 32,
+                num_trackers: 16,
+            },
+            ext_mem_bw: 150.0 * GB,
+            comp_mem_bw: 24.0 * GB,
+            mem_mem_bw: 36.0 * GB,
+        };
+        let fc_chip = ChipConfig {
+            kind: ChipKind::FcLayer,
+            rows: 6,
+            cols: 8,
+            comp_heavy: CompHeavyConfig {
+                array_rows: 4,
+                array_cols: 8,
+                lanes: 1,
+                acc_units: 0,
+                left_mem_bytes: 8 * KB,
+                top_mem_bytes: 12 * KB,
+                bottom_mem_bytes: 12 * KB,
+                scratch_bytes: 0,
+            },
+            mem_heavy: MemHeavyConfig {
+                capacity_bytes: 1024 * KB,
+                num_sfu: 32,
+                num_trackers: 16,
+            },
+            ext_mem_bw: 300.0 * GB,
+            comp_mem_bw: 48.0 * GB,
+            mem_mem_bw: 144.0 * GB,
+        };
+        Self {
+            node: NodeConfig {
+                clusters: 4,
+                cluster: ClusterConfig {
+                    conv_chips: 4,
+                    conv_chip,
+                    fc_chip,
+                    spoke_bw: 0.5 * GB,
+                    arc_bw: 16.0 * GB,
+                },
+                ring_bw: 12.0 * GB,
+                frequency_mhz: 600.0,
+                precision: Precision::Single,
+            },
+        }
+    }
+
+    /// Sets the cluster count on the ring.
+    pub fn clusters(mut self, n: usize) -> Self {
+        self.node.clusters = n;
+        self
+    }
+
+    /// Sets the ConvLayer chip count per cluster (the wheel's rim size).
+    pub fn conv_chips(mut self, n: usize) -> Self {
+        self.node.cluster.conv_chips = n;
+        self
+    }
+
+    /// Sets the operating frequency in MHz.
+    pub fn frequency_mhz(mut self, mhz: f64) -> Self {
+        self.node.frequency_mhz = mhz;
+        self
+    }
+
+    /// Sets the datapath precision.
+    pub fn precision(mut self, p: Precision) -> Self {
+        self.node.precision = p;
+        self
+    }
+
+    /// Sets the ring bandwidth, bytes/second.
+    pub fn ring_bw(mut self, bw: f64) -> Self {
+        self.node.ring_bw = bw;
+        self
+    }
+
+    /// Sets the spoke (rim → hub) bandwidth, bytes/second.
+    pub fn spoke_bw(mut self, bw: f64) -> Self {
+        self.node.cluster.spoke_bw = bw;
+        self
+    }
+
+    /// Sets the arc (rim → rim) bandwidth, bytes/second.
+    pub fn arc_bw(mut self, bw: f64) -> Self {
+        self.node.cluster.arc_bw = bw;
+        self
+    }
+
+    /// Sets the ConvLayer chip grid dimensions.
+    pub fn conv_grid(mut self, rows: usize, cols: usize) -> Self {
+        self.node.cluster.conv_chip.rows = rows;
+        self.node.cluster.conv_chip.cols = cols;
+        self
+    }
+
+    /// Sets the FcLayer chip grid dimensions.
+    pub fn fc_grid(mut self, rows: usize, cols: usize) -> Self {
+        self.node.cluster.fc_chip.rows = rows;
+        self.node.cluster.fc_chip.cols = cols;
+        self
+    }
+
+    /// Sets the ConvLayer CompHeavy 2D-array shape (rows × cols × lanes).
+    pub fn conv_array(mut self, rows: usize, cols: usize, lanes: usize) -> Self {
+        let t = &mut self.node.cluster.conv_chip.comp_heavy;
+        t.array_rows = rows;
+        t.array_cols = cols;
+        t.lanes = lanes;
+        self
+    }
+
+    /// Sets the ConvLayer CompHeavy scratchpad size, bytes.
+    pub fn conv_scratch_bytes(mut self, bytes: usize) -> Self {
+        self.node.cluster.conv_chip.comp_heavy.scratch_bytes = bytes;
+        self
+    }
+
+    /// Sets the ConvLayer MemHeavy scratchpad capacity, bytes.
+    pub fn conv_mem_capacity_bytes(mut self, bytes: usize) -> Self {
+        self.node.cluster.conv_chip.mem_heavy.capacity_bytes = bytes;
+        self
+    }
+
+    /// Sets the FcLayer MemHeavy scratchpad capacity, bytes.
+    pub fn fc_mem_capacity_bytes(mut self, bytes: usize) -> Self {
+        self.node.cluster.fc_chip.mem_heavy.capacity_bytes = bytes;
+        self
+    }
+
+    /// Sets the ConvLayer external-memory bandwidth, bytes/second.
+    pub fn conv_ext_mem_bw(mut self, bw: f64) -> Self {
+        self.node.cluster.conv_chip.ext_mem_bw = bw;
+        self
+    }
+
+    /// Sets the FcLayer external-memory bandwidth, bytes/second.
+    pub fn fc_ext_mem_bw(mut self, bw: f64) -> Self {
+        self.node.cluster.fc_chip.ext_mem_bw = bw;
+        self
+    }
+
+    /// Applies one named knob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the value's type does not fit
+    /// the knob (a precision string on a numeric knob, a fractional number
+    /// on an integer knob).
+    pub fn set(mut self, knob: Knob, value: KnobValue) -> Result<Self> {
+        knob.apply(&mut self.node, value)?;
+        Ok(self)
+    }
+
+    /// Validates and seals the point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the assembled configuration
+    /// fails [`NodeConfig::validate`].
+    pub fn build(self) -> Result<DesignPoint> {
+        self.node.validate()?;
+        Ok(DesignPoint { node: self.node })
+    }
+}
+
+/// The named parameter axes of the design space. Each knob edits one
+/// field (or one small field group) of the configuration tree; ranges are
+/// enforced by [`NodeConfig::validate`] when the point is built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Knob {
+    /// Cluster count on the ring (`clusters`).
+    Clusters,
+    /// ConvLayer chips per cluster (`conv-chips`).
+    ConvChips,
+    /// Operating frequency in MHz (`frequency-mhz`).
+    FrequencyMhz,
+    /// Datapath precision (`precision`).
+    Precision,
+    /// Ring bandwidth, bytes/s (`ring-bw`).
+    RingBw,
+    /// Spoke bandwidth, bytes/s (`spoke-bw`).
+    SpokeBw,
+    /// Arc bandwidth, bytes/s (`arc-bw`).
+    ArcBw,
+    /// ConvLayer grid rows (`conv-rows`).
+    ConvRows,
+    /// ConvLayer grid compute columns (`conv-cols`).
+    ConvCols,
+    /// FcLayer grid rows (`fc-rows`).
+    FcRows,
+    /// FcLayer grid compute columns (`fc-cols`).
+    FcCols,
+    /// ConvLayer CompHeavy array rows (`conv-array-rows`).
+    ConvArrayRows,
+    /// ConvLayer CompHeavy array columns (`conv-array-cols`).
+    ConvArrayCols,
+    /// ConvLayer CompHeavy vector lanes (`conv-lanes`).
+    ConvLanes,
+    /// ConvLayer CompHeavy scratchpad bytes (`conv-scratch-bytes`).
+    ConvScratchBytes,
+    /// ConvLayer MemHeavy capacity bytes (`conv-mem-capacity-bytes`).
+    ConvMemCapacityBytes,
+    /// FcLayer MemHeavy capacity bytes (`fc-mem-capacity-bytes`).
+    FcMemCapacityBytes,
+    /// ConvLayer external-memory bandwidth, bytes/s (`conv-ext-mem-bw`).
+    ConvExtMemBw,
+    /// FcLayer external-memory bandwidth, bytes/s (`fc-ext-mem-bw`).
+    FcExtMemBw,
+}
+
+/// All knobs, in declaration order (the order `--list`-style help prints).
+pub const ALL_KNOBS: [Knob; 19] = [
+    Knob::Clusters,
+    Knob::ConvChips,
+    Knob::FrequencyMhz,
+    Knob::Precision,
+    Knob::RingBw,
+    Knob::SpokeBw,
+    Knob::ArcBw,
+    Knob::ConvRows,
+    Knob::ConvCols,
+    Knob::FcRows,
+    Knob::FcCols,
+    Knob::ConvArrayRows,
+    Knob::ConvArrayCols,
+    Knob::ConvLanes,
+    Knob::ConvScratchBytes,
+    Knob::ConvMemCapacityBytes,
+    Knob::FcMemCapacityBytes,
+    Knob::ConvExtMemBw,
+    Knob::FcExtMemBw,
+];
+
+impl Knob {
+    /// The knob's kebab-case name, as used on the `repro dse` command line.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Knob::Clusters => "clusters",
+            Knob::ConvChips => "conv-chips",
+            Knob::FrequencyMhz => "frequency-mhz",
+            Knob::Precision => "precision",
+            Knob::RingBw => "ring-bw",
+            Knob::SpokeBw => "spoke-bw",
+            Knob::ArcBw => "arc-bw",
+            Knob::ConvRows => "conv-rows",
+            Knob::ConvCols => "conv-cols",
+            Knob::FcRows => "fc-rows",
+            Knob::FcCols => "fc-cols",
+            Knob::ConvArrayRows => "conv-array-rows",
+            Knob::ConvArrayCols => "conv-array-cols",
+            Knob::ConvLanes => "conv-lanes",
+            Knob::ConvScratchBytes => "conv-scratch-bytes",
+            Knob::ConvMemCapacityBytes => "conv-mem-capacity-bytes",
+            Knob::FcMemCapacityBytes => "fc-mem-capacity-bytes",
+            Knob::ConvExtMemBw => "conv-ext-mem-bw",
+            Knob::FcExtMemBw => "fc-ext-mem-bw",
+        }
+    }
+
+    /// Looks a knob up by its kebab-case name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] listing the legal names when the
+    /// name is unknown.
+    pub fn parse(name: &str) -> Result<Self> {
+        ALL_KNOBS
+            .into_iter()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| {
+                let names: Vec<&str> = ALL_KNOBS.iter().map(|k| k.name()).collect();
+                bad(format!(
+                    "unknown knob {name:?}; expected one of {}",
+                    names.join(", ")
+                ))
+            })
+    }
+
+    /// Applies this knob to a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the value's type does not fit
+    /// the knob.
+    pub fn apply(self, node: &mut NodeConfig, value: KnobValue) -> Result<()> {
+        match self {
+            Knob::Precision => {
+                let KnobValue::Prec(p) = value else {
+                    return Err(bad(format!(
+                        "knob {:?} takes 'single' or 'half', got {value}",
+                        self.name()
+                    )));
+                };
+                node.precision = p;
+            }
+            Knob::FrequencyMhz
+            | Knob::RingBw
+            | Knob::SpokeBw
+            | Knob::ArcBw
+            | Knob::ConvExtMemBw
+            | Knob::FcExtMemBw => {
+                let n = self.numeric(value)?;
+                match self {
+                    Knob::FrequencyMhz => node.frequency_mhz = n,
+                    Knob::RingBw => node.ring_bw = n,
+                    Knob::SpokeBw => node.cluster.spoke_bw = n,
+                    Knob::ArcBw => node.cluster.arc_bw = n,
+                    Knob::ConvExtMemBw => node.cluster.conv_chip.ext_mem_bw = n,
+                    Knob::FcExtMemBw => node.cluster.fc_chip.ext_mem_bw = n,
+                    _ => unreachable!("outer match covers only f64 knobs"),
+                }
+            }
+            _ => {
+                let n = self.integral(value)?;
+                let conv = &mut node.cluster.conv_chip;
+                match self {
+                    Knob::Clusters => node.clusters = n,
+                    Knob::ConvChips => node.cluster.conv_chips = n,
+                    Knob::ConvRows => conv.rows = n,
+                    Knob::ConvCols => conv.cols = n,
+                    Knob::ConvArrayRows => conv.comp_heavy.array_rows = n,
+                    Knob::ConvArrayCols => conv.comp_heavy.array_cols = n,
+                    Knob::ConvLanes => conv.comp_heavy.lanes = n,
+                    Knob::ConvScratchBytes => conv.comp_heavy.scratch_bytes = n,
+                    Knob::ConvMemCapacityBytes => conv.mem_heavy.capacity_bytes = n,
+                    Knob::FcRows => node.cluster.fc_chip.rows = n,
+                    Knob::FcCols => node.cluster.fc_chip.cols = n,
+                    Knob::FcMemCapacityBytes => {
+                        node.cluster.fc_chip.mem_heavy.capacity_bytes = n;
+                    }
+                    _ => unreachable!("outer match covers only integer knobs"),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn numeric(self, value: KnobValue) -> Result<f64> {
+        match value {
+            KnobValue::Num(n) => Ok(n),
+            KnobValue::Prec(_) => Err(bad(format!(
+                "knob {:?} takes a number, got {value}",
+                self.name()
+            ))),
+        }
+    }
+
+    fn integral(self, value: KnobValue) -> Result<usize> {
+        let n = self.numeric(value)?;
+        if !n.is_finite() || n < 0.0 || n.fract() != 0.0 || n >= MAX_EXACT_INT {
+            return Err(bad(format!(
+                "knob {:?} takes a non-negative integer, got {n}",
+                self.name()
+            )));
+        }
+        Ok(n as usize)
+    }
+}
+
+impl fmt::Display for Knob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One value a knob can take: a number, or a precision name.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KnobValue {
+    /// A numeric value (integer knobs require it to be integral).
+    Num(f64),
+    /// A datapath precision (`single` / `half`).
+    Prec(Precision),
+}
+
+impl KnobValue {
+    /// Parses a command-line value: `single`/`half` become precisions,
+    /// anything else must parse as a finite number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for non-numeric, non-precision
+    /// input.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "single" => Ok(KnobValue::Prec(Precision::Single)),
+            "half" => Ok(KnobValue::Prec(Precision::Half)),
+            other => other
+                .parse::<f64>()
+                .ok()
+                .filter(|n| n.is_finite())
+                .map(KnobValue::Num)
+                .ok_or_else(|| bad(format!("knob value {other:?} is not a finite number"))),
+        }
+    }
+}
+
+impl fmt::Display for KnobValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnobValue::Num(n) => f.write_str(&fmt_num(*n)),
+            KnobValue::Prec(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// Formats a number the way labels and JSON do: integral values without a
+/// trailing `.0`, everything else via the shortest round-trip rendering.
+fn fmt_num(n: f64) -> String {
+    if n.is_finite() && n.fract() == 0.0 && n.abs() < MAX_EXACT_INT {
+        format!("{}", n as i64)
+    } else {
+        format!("{n:?}")
+    }
+}
+
+/// One expanded configuration of a [`ParamSpace`]: a human-readable label
+/// (`"clusters=2,frequency-mhz=450"`) plus either the validated point or
+/// the validation error that makes this corner of the space infeasible.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// `knob=value` pairs joined with `,`, in axis declaration order;
+    /// `"base"` when the space has no axes.
+    pub label: String,
+    /// The built point, or why this combination is invalid. Infeasible
+    /// corners of a grid are data too — the DSE driver reports them
+    /// rather than aborting the sweep.
+    pub point: Result<DesignPoint>,
+}
+
+/// A base design point plus named axes, expanded into candidates by
+/// cartesian product ([`ParamSpace::grid`]) or seeded random sampling
+/// ([`ParamSpace::sample`]).
+#[derive(Debug, Clone)]
+pub struct ParamSpace {
+    base: DesignPoint,
+    axes: Vec<(Knob, Vec<KnobValue>)>,
+}
+
+impl ParamSpace {
+    /// Creates a space around a base point with no axes yet.
+    pub fn new(base: DesignPoint) -> Self {
+        Self {
+            base,
+            axes: Vec::new(),
+        }
+    }
+
+    /// Adds an axis: the knob sweeps over `values`. Axis order is
+    /// significant — the grid iterates the last axis fastest.
+    pub fn axis(mut self, knob: Knob, values: Vec<KnobValue>) -> Self {
+        self.axes.push((knob, values));
+        self
+    }
+
+    /// The declared axes.
+    pub fn axes(&self) -> &[(Knob, Vec<KnobValue>)] {
+        &self.axes
+    }
+
+    /// The base point.
+    pub fn base(&self) -> DesignPoint {
+        self.base
+    }
+
+    /// Number of points in the full grid (product of axis lengths; 1 for
+    /// an axis-free space, 0 if any axis is empty).
+    pub fn grid_len(&self) -> usize {
+        self.axes.iter().map(|(_, v)| v.len()).product()
+    }
+
+    /// Expands the full cartesian grid, last axis fastest.
+    pub fn grid(&self) -> Vec<Candidate> {
+        let len = self.grid_len();
+        let mut out = Vec::with_capacity(len);
+        for flat in 0..len {
+            // Decompose the flat index with the last axis fastest.
+            let mut idx = vec![0usize; self.axes.len()];
+            let mut rem = flat;
+            for (slot, (_, values)) in idx.iter_mut().zip(&self.axes).rev() {
+                *slot = rem % values.len();
+                rem /= values.len();
+            }
+            out.push(self.candidate(&idx));
+        }
+        out
+    }
+
+    /// Draws `n` candidates with an xorshift64* generator seeded by
+    /// `seed`: deterministic for a given (space, n, seed), independent of
+    /// how the DSE driver later schedules the points.
+    pub fn sample(&self, n: usize, seed: u64) -> Vec<Candidate> {
+        // xorshift64* needs a non-zero state; fold seed 0 onto a fixed
+        // odd constant rather than rejecting it.
+        let mut state = if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        };
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        (0..n)
+            .map(|_| {
+                let idx: Vec<usize> = self
+                    .axes
+                    .iter()
+                    .map(|(_, values)| (next() % values.len() as u64) as usize)
+                    .collect();
+                self.candidate(&idx)
+            })
+            .collect()
+    }
+
+    fn candidate(&self, idx: &[usize]) -> Candidate {
+        let mut label_parts = Vec::with_capacity(self.axes.len());
+        let mut builder = DesignPointBuilder::from_point(self.base);
+        let mut point = Ok(());
+        for ((knob, values), &i) in self.axes.iter().zip(idx) {
+            let value = values[i];
+            label_parts.push(format!("{knob}={value}"));
+            if point.is_ok() {
+                point = knob.apply(&mut builder.node, value);
+            }
+        }
+        let label = if label_parts.is_empty() {
+            "base".to_string()
+        } else {
+            label_parts.join(",")
+        };
+        Candidate {
+            label,
+            point: point.and_then(|()| builder.build()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use scaledeep_trace::json;
+
+    #[test]
+    fn figure14_sp_matches_preset() {
+        assert_eq!(
+            DesignPoint::figure14_sp().node_config(),
+            presets::single_precision()
+        );
+    }
+
+    #[test]
+    fn hp_derivation_matches_preset() {
+        assert_eq!(
+            DesignPoint::figure14_sp()
+                .derive_half_precision()
+                .node_config(),
+            presets::half_precision()
+        );
+    }
+
+    #[test]
+    fn json_round_trips_bit_identically() {
+        for node in [presets::single_precision(), presets::half_precision()] {
+            let point = DesignPoint::describe(&node);
+            let text = point.to_json().render();
+            let parsed = json::parse(&text).expect("canonical JSON parses");
+            let back = DesignPoint::from_json(&parsed).expect("decodes");
+            assert_eq!(back.node_config(), node);
+            assert_eq!(back.fingerprint(), point.fingerprint());
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_structural_and_distinct() {
+        let sp = DesignPoint::figure14_sp();
+        let hp = sp.derive_half_precision();
+        assert_eq!(sp.fingerprint(), DesignPoint::figure14_sp().fingerprint());
+        assert_ne!(sp.fingerprint(), hp.fingerprint());
+        // One knob change moves the fingerprint.
+        let tweaked = DesignPointBuilder::from_point(sp)
+            .clusters(2)
+            .build()
+            .expect("2 clusters is valid");
+        assert_ne!(sp.fingerprint(), tweaked.fingerprint());
+    }
+
+    #[test]
+    fn derived_quantities_match_figure14() {
+        let sp = DesignPoint::figure14_sp();
+        assert_eq!(sp.total_tiles(), 7032);
+        assert!((sp.peak_flops() / 1e12 - 680.0).abs() < 5.0);
+        assert_eq!(sp.peak_power_watts(), 1400.0);
+        assert!((sp.peak_gflops_per_watt() - 485.7).abs() < 5.0);
+        let hp = sp.derive_half_precision();
+        assert!((hp.peak_flops() / 1e15 - 1.35).abs() < 0.01);
+        assert_eq!(hp.peak_power_watts(), 1400.0);
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_points() {
+        assert!(DesignPointBuilder::figure14_sp()
+            .clusters(0)
+            .build()
+            .is_err());
+        assert!(DesignPointBuilder::figure14_sp()
+            .frequency_mhz(-600.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn knob_names_round_trip() {
+        for knob in ALL_KNOBS {
+            assert_eq!(Knob::parse(knob.name()).expect("parses"), knob);
+        }
+        assert!(Knob::parse("warp-drive").is_err());
+    }
+
+    #[test]
+    fn knob_values_parse_and_display() {
+        assert_eq!(
+            KnobValue::parse("half").expect("parses"),
+            KnobValue::Prec(Precision::Half)
+        );
+        assert_eq!(
+            KnobValue::parse("450").expect("parses"),
+            KnobValue::Num(450.0)
+        );
+        assert_eq!(KnobValue::Num(450.0).to_string(), "450");
+        assert_eq!(KnobValue::Num(0.5).to_string(), "0.5");
+        assert_eq!(KnobValue::Prec(Precision::Single).to_string(), "single");
+        assert!(KnobValue::parse("NaN").is_err());
+        assert!(KnobValue::parse("not-a-number").is_err());
+    }
+
+    #[test]
+    fn precision_knob_rejects_numbers_and_vice_versa() {
+        let mut node = presets::single_precision();
+        assert!(Knob::Precision
+            .apply(&mut node, KnobValue::Num(1.0))
+            .is_err());
+        assert!(Knob::Clusters
+            .apply(&mut node, KnobValue::Prec(Precision::Half))
+            .is_err());
+        assert!(Knob::Clusters
+            .apply(&mut node, KnobValue::Num(2.5))
+            .is_err());
+        // The failed applications left the config untouched.
+        assert_eq!(node, presets::single_precision());
+    }
+
+    #[test]
+    fn grid_is_cartesian_last_axis_fastest() {
+        let space = ParamSpace::new(DesignPoint::figure14_sp())
+            .axis(
+                Knob::Clusters,
+                vec![KnobValue::Num(1.0), KnobValue::Num(2.0)],
+            )
+            .axis(
+                Knob::FrequencyMhz,
+                vec![KnobValue::Num(450.0), KnobValue::Num(600.0)],
+            );
+        assert_eq!(space.grid_len(), 4);
+        let grid = space.grid();
+        let labels: Vec<&str> = grid.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "clusters=1,frequency-mhz=450",
+                "clusters=1,frequency-mhz=600",
+                "clusters=2,frequency-mhz=450",
+                "clusters=2,frequency-mhz=600",
+            ]
+        );
+        let last = grid[3].point.as_ref().expect("valid corner");
+        assert_eq!(last.node_config().clusters, 2);
+        assert_eq!(last.node_config().frequency_mhz, 600.0);
+    }
+
+    #[test]
+    fn infeasible_grid_corners_are_reported_not_fatal() {
+        let space = ParamSpace::new(DesignPoint::figure14_sp()).axis(
+            Knob::Clusters,
+            vec![KnobValue::Num(0.0), KnobValue::Num(4.0)],
+        );
+        let grid = space.grid();
+        assert!(grid[0].point.is_err());
+        assert!(grid[1].point.is_ok());
+    }
+
+    #[test]
+    fn axis_free_space_yields_the_base() {
+        let grid = ParamSpace::new(DesignPoint::figure14_sp()).grid();
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid[0].label, "base");
+        assert_eq!(
+            grid[0].point.as_ref().expect("base is valid").node_config(),
+            presets::single_precision()
+        );
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let space = ParamSpace::new(DesignPoint::figure14_sp())
+            .axis(
+                Knob::Clusters,
+                vec![
+                    KnobValue::Num(1.0),
+                    KnobValue::Num(2.0),
+                    KnobValue::Num(4.0),
+                ],
+            )
+            .axis(
+                Knob::Precision,
+                vec![
+                    KnobValue::Prec(Precision::Single),
+                    KnobValue::Prec(Precision::Half),
+                ],
+            );
+        let a = space.sample(8, 42);
+        let b = space.sample(8, 42);
+        let labels =
+            |cs: &[Candidate]| -> Vec<String> { cs.iter().map(|c| c.label.clone()).collect() };
+        assert_eq!(labels(&a), labels(&b));
+        let c = space.sample(8, 43);
+        // A different seed draws a different sequence (overwhelmingly).
+        assert_ne!(labels(&a), labels(&c));
+        // Seed 0 is remapped, not degenerate.
+        assert_eq!(labels(&space.sample(4, 0)), labels(&space.sample(4, 0)));
+    }
+}

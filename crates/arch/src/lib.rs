@@ -28,6 +28,7 @@
 
 mod chip;
 mod cluster;
+pub mod design;
 mod error;
 mod link;
 mod node;
@@ -37,6 +38,9 @@ mod tile;
 
 pub use chip::{ChipConfig, ChipKind};
 pub use cluster::ClusterConfig;
+pub use design::{
+    Candidate, DesignPoint, DesignPointBuilder, Knob, KnobValue, ParamSpace, ALL_KNOBS,
+};
 pub use error::{Error, Result};
 pub use link::LinkClass;
 pub use node::{NodeConfig, Precision};

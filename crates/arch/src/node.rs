@@ -86,10 +86,14 @@ impl NodeConfig {
                 detail: "at least one cluster is required".into(),
             });
         }
-        if self.frequency_mhz <= 0.0 || self.ring_bw <= 0.0 {
+        if !(self.frequency_mhz > 0.0
+            && self.frequency_mhz.is_finite()
+            && self.ring_bw > 0.0
+            && self.ring_bw.is_finite())
+        {
             return Err(crate::Error::InvalidConfig {
                 component: "node",
-                detail: "frequency and ring bandwidth must be positive".into(),
+                detail: "frequency and ring bandwidth must be finite and positive".into(),
             });
         }
         self.cluster.validate()
@@ -138,5 +142,36 @@ mod tests {
         let mut node = presets::single_precision();
         node.clusters = 0;
         assert!(node.validate().is_err());
+    }
+
+    #[test]
+    fn non_finite_scalars_are_rejected() {
+        // NaN slips past `<= 0.0` checks (every NaN comparison is false),
+        // so the validators test finiteness explicitly.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1.0] {
+            let mut node = presets::single_precision();
+            node.frequency_mhz = bad;
+            assert!(node.validate().is_err(), "frequency {bad} accepted");
+
+            let mut node = presets::single_precision();
+            node.ring_bw = bad;
+            assert!(node.validate().is_err(), "ring_bw {bad} accepted");
+
+            let mut node = presets::single_precision();
+            node.cluster.spoke_bw = bad;
+            assert!(node.validate().is_err(), "spoke_bw {bad} accepted");
+
+            let mut node = presets::single_precision();
+            node.cluster.arc_bw = bad;
+            assert!(node.validate().is_err(), "arc_bw {bad} accepted");
+
+            let mut node = presets::single_precision();
+            node.cluster.conv_chip.ext_mem_bw = bad;
+            assert!(node.validate().is_err(), "ext_mem_bw {bad} accepted");
+
+            let mut node = presets::single_precision();
+            node.cluster.fc_chip.comp_mem_bw = bad;
+            assert!(node.validate().is_err(), "comp_mem_bw {bad} accepted");
+        }
     }
 }

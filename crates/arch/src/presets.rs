@@ -1,76 +1,17 @@
-//! The paper's two design points (Figure 14 and §6.1).
+//! The paper's two design points (Figure 14 and §6.1), expressed as two
+//! points in the [`crate::design`] space: the single-precision baseline is
+//! the builder's Figure-14 literal, and the half-precision point is derived
+//! from it by the §6.1 rule (halve memories and bandwidths, grow the grids)
+//! instead of repeating the constants by hand.
 
-use crate::chip::{ChipConfig, ChipKind};
-use crate::cluster::ClusterConfig;
-use crate::node::{NodeConfig, Precision};
-use crate::tile::{CompHeavyConfig, MemHeavyConfig};
-
-const KB: usize = 1024;
-const GB: f64 = 1e9;
+use crate::design::DesignPoint;
+use crate::node::NodeConfig;
 
 /// The baseline single-precision ScaleDeep node of Figure 14:
 /// 4 clusters × (4 ConvLayer + 1 FcLayer chips), 600 MHz, 680 TFLOPS peak,
 /// 7032 processing tiles.
 pub fn single_precision() -> NodeConfig {
-    let conv_chip = ChipConfig {
-        kind: ChipKind::ConvLayer,
-        rows: 6,
-        cols: 16,
-        comp_heavy: CompHeavyConfig {
-            array_rows: 8,
-            array_cols: 3,
-            lanes: 4,
-            acc_units: 16,
-            left_mem_bytes: 8 * KB,
-            top_mem_bytes: 4 * KB,
-            bottom_mem_bytes: 4 * KB,
-            scratch_bytes: 16 * KB,
-        },
-        mem_heavy: MemHeavyConfig {
-            capacity_bytes: 512 * KB,
-            num_sfu: 32,
-            num_trackers: 16,
-        },
-        ext_mem_bw: 150.0 * GB,
-        comp_mem_bw: 24.0 * GB,
-        mem_mem_bw: 36.0 * GB,
-    };
-    let fc_chip = ChipConfig {
-        kind: ChipKind::FcLayer,
-        rows: 6,
-        cols: 8,
-        comp_heavy: CompHeavyConfig {
-            array_rows: 4,
-            array_cols: 8,
-            lanes: 1,
-            acc_units: 0,
-            left_mem_bytes: 8 * KB,
-            top_mem_bytes: 12 * KB,
-            bottom_mem_bytes: 12 * KB,
-            scratch_bytes: 0,
-        },
-        mem_heavy: MemHeavyConfig {
-            capacity_bytes: 1024 * KB,
-            num_sfu: 32,
-            num_trackers: 16,
-        },
-        ext_mem_bw: 300.0 * GB,
-        comp_mem_bw: 48.0 * GB,
-        mem_mem_bw: 144.0 * GB,
-    };
-    NodeConfig {
-        clusters: 4,
-        cluster: ClusterConfig {
-            conv_chips: 4,
-            conv_chip,
-            fc_chip,
-            spoke_bw: 0.5 * GB,
-            arc_bw: 16.0 * GB,
-        },
-        ring_bw: 12.0 * GB,
-        frequency_mhz: 600.0,
-        precision: Precision::Single,
-    }
+    DesignPoint::figure14_sp().node_config()
 }
 
 /// The half-precision design point (§6.1): FP16 datapaths, per-tile memory
@@ -78,34 +19,19 @@ pub fn single_precision() -> NodeConfig {
 /// 8×12 (FcLayer) to return to the single-precision power envelope.
 /// Delivers ~1.35 PFLOPS peak.
 pub fn half_precision() -> NodeConfig {
-    let mut node = single_precision();
-    node.precision = Precision::Half;
-
-    let conv = &mut node.cluster.conv_chip;
-    conv.rows = 8;
-    conv.cols = 24;
-    conv.mem_heavy.capacity_bytes /= 2;
-    conv.ext_mem_bw /= 2.0;
-    conv.comp_mem_bw /= 2.0;
-    conv.mem_mem_bw /= 2.0;
-
-    let fc = &mut node.cluster.fc_chip;
-    fc.rows = 8;
-    fc.cols = 12;
-    fc.mem_heavy.capacity_bytes /= 2;
-    fc.ext_mem_bw /= 2.0;
-    fc.comp_mem_bw /= 2.0;
-    fc.mem_mem_bw /= 2.0;
-
-    node.cluster.spoke_bw /= 2.0;
-    node.cluster.arc_bw /= 2.0;
-    node.ring_bw /= 2.0;
-    node
+    DesignPoint::figure14_sp()
+        .derive_half_precision()
+        .node_config()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chip::ChipKind;
+    use crate::node::Precision;
+
+    const KB: usize = 1024;
+    const GB: f64 = 1e9;
 
     #[test]
     fn sp_matches_figure14_structure() {
@@ -154,5 +80,90 @@ mod tests {
             hp.cluster.conv_chip.comp_heavy_tiles(),
             2 * sp.cluster.conv_chip.comp_heavy_tiles()
         );
+    }
+
+    /// Pins every field of both presets against the values the hand-written
+    /// constructors produced before the design-layer refactor, so deriving
+    /// FP16 from SP through the builder is provably bit-identical to the
+    /// old copy-the-constants code.
+    #[test]
+    fn presets_are_bit_identical_to_the_pre_refactor_literals() {
+        let sp = single_precision();
+
+        let conv = sp.cluster.conv_chip;
+        assert_eq!(conv.kind, ChipKind::ConvLayer);
+        assert_eq!((conv.rows, conv.cols), (6, 16));
+        assert_eq!(conv.comp_heavy.array_rows, 8);
+        assert_eq!(conv.comp_heavy.array_cols, 3);
+        assert_eq!(conv.comp_heavy.lanes, 4);
+        assert_eq!(conv.comp_heavy.acc_units, 16);
+        assert_eq!(conv.comp_heavy.left_mem_bytes, 8 * KB);
+        assert_eq!(conv.comp_heavy.top_mem_bytes, 4 * KB);
+        assert_eq!(conv.comp_heavy.bottom_mem_bytes, 4 * KB);
+        assert_eq!(conv.comp_heavy.scratch_bytes, 16 * KB);
+        assert_eq!(conv.mem_heavy.capacity_bytes, 512 * KB);
+        assert_eq!(conv.mem_heavy.num_sfu, 32);
+        assert_eq!(conv.mem_heavy.num_trackers, 16);
+        assert_eq!(conv.ext_mem_bw, 150.0 * GB);
+        assert_eq!(conv.comp_mem_bw, 24.0 * GB);
+        assert_eq!(conv.mem_mem_bw, 36.0 * GB);
+
+        let fc = sp.cluster.fc_chip;
+        assert_eq!(fc.kind, ChipKind::FcLayer);
+        assert_eq!((fc.rows, fc.cols), (6, 8));
+        assert_eq!(fc.comp_heavy.array_rows, 4);
+        assert_eq!(fc.comp_heavy.array_cols, 8);
+        assert_eq!(fc.comp_heavy.lanes, 1);
+        assert_eq!(fc.comp_heavy.acc_units, 0);
+        assert_eq!(fc.comp_heavy.left_mem_bytes, 8 * KB);
+        assert_eq!(fc.comp_heavy.top_mem_bytes, 12 * KB);
+        assert_eq!(fc.comp_heavy.bottom_mem_bytes, 12 * KB);
+        assert_eq!(fc.comp_heavy.scratch_bytes, 0);
+        assert_eq!(fc.mem_heavy.capacity_bytes, 1024 * KB);
+        assert_eq!(fc.mem_heavy.num_sfu, 32);
+        assert_eq!(fc.mem_heavy.num_trackers, 16);
+        assert_eq!(fc.ext_mem_bw, 300.0 * GB);
+        assert_eq!(fc.comp_mem_bw, 48.0 * GB);
+        assert_eq!(fc.mem_mem_bw, 144.0 * GB);
+
+        assert_eq!(sp.clusters, 4);
+        assert_eq!(sp.cluster.conv_chips, 4);
+        assert_eq!(sp.cluster.spoke_bw, 0.5 * GB);
+        assert_eq!(sp.cluster.arc_bw, 16.0 * GB);
+        assert_eq!(sp.ring_bw, 12.0 * GB);
+        assert_eq!(sp.frequency_mhz, 600.0);
+        assert_eq!(sp.precision, Precision::Single);
+
+        let hp = half_precision();
+
+        let conv = hp.cluster.conv_chip;
+        assert_eq!(conv.kind, ChipKind::ConvLayer);
+        assert_eq!((conv.rows, conv.cols), (8, 24));
+        assert_eq!(conv.comp_heavy, sp.cluster.conv_chip.comp_heavy);
+        assert_eq!(conv.mem_heavy.capacity_bytes, 256 * KB);
+        assert_eq!(conv.mem_heavy.num_sfu, 32);
+        assert_eq!(conv.mem_heavy.num_trackers, 16);
+        assert_eq!(conv.ext_mem_bw, 75.0 * GB);
+        assert_eq!(conv.comp_mem_bw, 12.0 * GB);
+        assert_eq!(conv.mem_mem_bw, 18.0 * GB);
+
+        let fc = hp.cluster.fc_chip;
+        assert_eq!(fc.kind, ChipKind::FcLayer);
+        assert_eq!((fc.rows, fc.cols), (8, 12));
+        assert_eq!(fc.comp_heavy, sp.cluster.fc_chip.comp_heavy);
+        assert_eq!(fc.mem_heavy.capacity_bytes, 512 * KB);
+        assert_eq!(fc.mem_heavy.num_sfu, 32);
+        assert_eq!(fc.mem_heavy.num_trackers, 16);
+        assert_eq!(fc.ext_mem_bw, 150.0 * GB);
+        assert_eq!(fc.comp_mem_bw, 24.0 * GB);
+        assert_eq!(fc.mem_mem_bw, 72.0 * GB);
+
+        assert_eq!(hp.clusters, 4);
+        assert_eq!(hp.cluster.conv_chips, 4);
+        assert_eq!(hp.cluster.spoke_bw, 0.25 * GB);
+        assert_eq!(hp.cluster.arc_bw, 8.0 * GB);
+        assert_eq!(hp.ring_bw, 6.0 * GB);
+        assert_eq!(hp.frequency_mhz, 600.0);
+        assert_eq!(hp.precision, Precision::Half);
     }
 }

@@ -1,35 +1,13 @@
 //! `repro` — regenerates every table and figure of the ScaleDeep paper.
 //!
-//! Usage:
-//!
-//! ```text
-//! repro                      # run every experiment
-//! repro fig16 fig18          # run selected experiments
-//! repro --list               # list experiment ids
-//! repro --net alexnet        # drill into one benchmark's mapping & pipeline
-//! repro --degraded alexnet 2 # remap around 2 dead columns and compare
-//! repro --trace out.json     # trace a training run: Chrome JSON + CSV
-//! repro --trace out.json --trace-net vgg_a --trace-filter stage,fault
-//! repro --sweep alexnet      # run-kind sweep: compile/simulate split + cache
-//! repro --bench-json out.json --bench-net alexnet   # measured BENCH report
-//! repro --check BENCH_alexnet.json --tolerance 0.05 # regression gate
-//! repro serve --port 7878                           # job server (line JSON over TCP)
-//! repro serve-drill --seed 42                       # seeded chaos drill
-//! repro serve-drill --seed 42 --write-bench BENCH_serve-drill.json
-//! repro par-check                                   # sharded engine vs sequential oracle
-//! ```
-//!
-//! `--tier interpreter|compiled` selects the functional execution tier
-//! for `--sweep`, `--bench-json`, and `--check` (default: interpreter).
-//! The tiers are bit-identical; they differ only in host wall-clock.
-//!
-//! `--shards N` selects the parallel node engine's shard count for
-//! `--sweep`, `--degraded`, `par-check`, and `serve` (default: 0 =
-//! available cores). Shard count never changes results — only
-//! wall-clock; `par-check` enforces exactly that.
+//! Run `repro --help` (or see [`USAGE`]) for the full subcommand and
+//! gate listing.
 
+use scaledeep::dse::{self, DseConfig, DseReport, Expansion};
 use scaledeep::experiments::{run_by_id, EXPERIMENT_IDS};
+use scaledeep::report::Table;
 use scaledeep::{BenchReport, Session, TraceConfig};
+use scaledeep_arch::{DesignPoint, Knob, KnobValue, ParamSpace, ALL_KNOBS};
 use scaledeep_compiler::codegen::CompiledNetwork;
 use scaledeep_compiler::FailedTiles;
 use scaledeep_dnn::zoo;
@@ -39,6 +17,56 @@ use scaledeep_sim::func::{ExecBackend, FuncSim};
 use scaledeep_trace::{validate_chrome_trace, CategoryMask};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// The full usage text, printed by `--help`. Every subcommand and every
+/// CI gate the binary implements is enumerated here — when a new mode is
+/// added, it is added to this listing in the same change.
+const USAGE: &str = "\
+repro — regenerates every table and figure of the ScaleDeep paper.
+
+Experiments:
+  repro                      run every experiment
+  repro fig16 fig18          run selected experiments
+  repro --list               list experiment ids
+
+Drills:
+  repro --net alexnet        drill into one benchmark's mapping & pipeline
+  repro --degraded alexnet 2 remap around 2 dead columns and compare
+  repro --trace out.json [--trace-net vgg_a] [--trace-filter stage,fault]
+                             trace a training run: Chrome JSON + per-cycle CSV
+  repro --sweep alexnet      run-kind sweep: compile/simulate split + cache ledger
+
+Benchmark reports and gates (CI):
+  repro --bench-json out.json --bench-net alexnet [--bench-kind training]
+                             write the measured BENCH report
+  repro --check BENCH_alexnet.json [--tolerance 0.05]
+                             regression gate: re-run and diff vs the baseline
+  repro par-check            gate: sharded node engine vs the sequential oracle
+  repro serve-drill --seed 42 [--write-bench BENCH_serve-drill.json] [--summary]
+                             seeded chaos drill (gate: exits nonzero on violation)
+
+Design-space exploration:
+  repro dse [--net alexnet] [--kind training] [--suite dse]
+            [--axis knob=v1,v2]... [--sample N --seed S]
+            [--workers N] [--out BENCH_dse-<suite>.json]
+                             sweep a parameter grid (or seeded sample) and
+                             report the sample + its Pareto frontier
+  repro dse --check BENCH_dse-smoke.json
+                             gate: re-run the baseline's embedded sweep and
+                             require a byte-identical document
+  repro dse --knobs          list sweepable knob names
+
+Job server:
+  repro serve [--port 7878] [--workers 4] [--queue 16]
+                             line-JSON job server over TCP
+
+Global flags:
+  --tier interpreter|compiled  functional execution tier for --sweep,
+                               --bench-json, and --check (tiers are
+                               bit-identical; wall-clock only)
+  --shards N                   parallel node-engine shard count (0 = auto);
+                               never changes results — par-check enforces it
+";
 
 /// Runs every experiment in `ids` across a scoped worker pool. Each
 /// experiment's tables are rendered into a private buffer and printed in
@@ -494,6 +522,170 @@ fn par_check(shards: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses one `--axis` spec: `knob=v1,v2,...` with kebab-case knob
+/// names and `single`/`half` or finite numbers as values.
+fn parse_axis(spec: &str) -> Result<(Knob, Vec<KnobValue>), String> {
+    let (name, values) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("--axis expects knob=v1,v2,..., got `{spec}`"))?;
+    let knob = Knob::parse(name).map_err(|e| e.to_string())?;
+    let parsed: Result<Vec<KnobValue>, String> = values
+        .split(',')
+        .map(|v| KnobValue::parse(v).map_err(|e| e.to_string()))
+        .collect();
+    let parsed = parsed?;
+    if parsed.is_empty() {
+        return Err(format!("--axis {name} needs at least one value"));
+    }
+    Ok((knob, parsed))
+}
+
+/// `repro dse`: expands the requested parameter space around the paper's
+/// Figure 14 base point, evaluates every candidate in parallel, prints
+/// the sample with its Pareto frontier, and optionally writes the
+/// deterministic `BENCH_dse-<suite>.json` document.
+fn dse_cmd(args: &[String], shards: usize) -> Result<(), String> {
+    if args.iter().any(|a| a == "--knobs") {
+        for knob in ALL_KNOBS {
+            println!("{knob}");
+        }
+        return Ok(());
+    }
+    let flag = |name: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|p| args.get(p + 1))
+    };
+    let workers = match flag("--workers") {
+        Some(s) => s
+            .parse::<usize>()
+            .map_err(|_| format!("--workers requires a non-negative integer, got `{s}`"))?,
+        None => 0,
+    };
+    if let Some(baseline) = flag("--check") {
+        return dse_check(baseline, workers, shards);
+    }
+    let net_name = flag("--net").map(String::as_str).unwrap_or("alexnet");
+    let net = zoo::by_name(net_name).ok_or_else(|| format!("unknown benchmark `{net_name}`"))?;
+    let kind = parse_kind(flag("--kind").map(String::as_str).unwrap_or("training"))?;
+    let suite = flag("--suite").map(String::as_str).unwrap_or("dse");
+    let mut space = ParamSpace::new(DesignPoint::figure14_sp());
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--axis" {
+            let spec = args
+                .get(i + 1)
+                .ok_or("--axis requires a knob=v1,v2,... spec")?;
+            let (knob, values) = parse_axis(spec)?;
+            space = space.axis(knob, values);
+        }
+    }
+    let expansion = match flag("--sample") {
+        Some(s) => {
+            let n = s
+                .parse::<u64>()
+                .map_err(|_| format!("--sample requires a non-negative integer, got `{s}`"))?;
+            let seed = match flag("--seed") {
+                Some(s) => s
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed requires a non-negative integer, got `{s}`"))?,
+                None => 0,
+            };
+            Expansion::Sample { n, seed }
+        }
+        None => Expansion::Grid,
+    };
+    let cfg = DseConfig {
+        suite: suite.to_string(),
+        kind,
+        expansion,
+        workers,
+        shards,
+    };
+    let report = dse::run(&Session::single_precision(), &net, &space, &cfg);
+    print_dse(&report);
+    if let Some(out) = flag("--out") {
+        let text = report.to_json();
+        DseReport::from_json(&text)
+            .map_err(|e| format!("generated report failed validation: {e}"))?;
+        std::fs::write(out, &text).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out} (schema v{})", report.schema_version);
+    }
+    Ok(())
+}
+
+/// Renders a DSE report as the summary table plus the frontier line.
+fn print_dse(report: &DseReport) {
+    let mut t = Table::new(format!(
+        "dse {} ({}, {}): {} point(s), {} unique compile(s)",
+        report.suite,
+        report.network,
+        report.kind,
+        report.points.len(),
+        report.unique_compiles
+    ))
+    .headers(["label", "img/s", "GFLOPs/W", "J/img", "pareto"]);
+    for (i, p) in report.points.iter().enumerate() {
+        t.row([
+            p.label.clone(),
+            format!("{:.0}", p.images_per_sec),
+            format!("{:.1}", p.gflops_per_watt),
+            format!("{:.4}", p.joules_per_image),
+            if report.frontier.contains(&(i as u64)) {
+                "*".to_string()
+            } else {
+                String::new()
+            },
+        ]);
+    }
+    print!("{t}");
+    for inf in &report.infeasible {
+        println!("infeasible: {} — {}", inf.label, inf.error);
+    }
+    println!(
+        "frontier: {} of {} point(s) non-dominated",
+        report.frontier.len(),
+        report.points.len()
+    );
+}
+
+/// `repro dse --check`: re-runs the baseline's embedded sweep (base
+/// point, axes, expansion — no side channel) and requires the fresh
+/// document to be byte-identical. On mismatch, prints the first
+/// differing field and fails.
+fn dse_check(path: &str, workers: usize, shards: usize) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let baseline = DseReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let net = zoo::by_name(&baseline.network)
+        .ok_or_else(|| format!("{path}: unknown benchmark `{}`", baseline.network))?;
+    let cfg = DseConfig {
+        suite: baseline.suite.clone(),
+        kind: baseline.run_kind()?,
+        expansion: baseline.expansion,
+        workers,
+        shards,
+    };
+    let fresh = dse::run(&Session::single_precision(), &net, &baseline.space(), &cfg);
+    let fresh_text = fresh.to_json();
+    if fresh_text == text {
+        println!(
+            "{}: byte-identical to {path} ({} point(s), frontier of {})",
+            baseline.suite,
+            baseline.points.len(),
+            baseline.frontier.len()
+        );
+        return Ok(());
+    }
+    let a = scaledeep_trace::json::parse(&fresh_text).map_err(|e| e.to_string())?;
+    let b = scaledeep_trace::json::parse(&text).map_err(|e| e.to_string())?;
+    match dse::first_difference(&a, &b) {
+        Some(diff) => Err(format!("{path}: re-run diverged — {diff}")),
+        None => Err(format!(
+            "{path}: re-run is semantically equal but not byte-identical \
+             (formatting drift in the renderer?)"
+        )),
+    }
+}
+
 fn parse_kind(s: &str) -> Result<scaledeep_sim::perf::RunKind, String> {
     match s {
         "training" => Ok(scaledeep_sim::perf::RunKind::Training),
@@ -590,6 +782,10 @@ fn bench_check(
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
     let tier = match args.iter().position(|a| a == "--tier") {
         Some(pos) => {
             let Some(name) = args.get(pos + 1) else {
@@ -647,6 +843,13 @@ fn main() {
         let workers = parse_or_die(flag_value(&args, "--workers"), "--workers", 4) as usize;
         let queue = parse_or_die(flag_value(&args, "--queue"), "--queue", 16) as usize;
         if let Err(e) = serve(port, workers.max(1), queue.max(1), shards) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("dse") {
+        if let Err(e) = dse_cmd(&args[1..], shards) {
             eprintln!("{e}");
             std::process::exit(1);
         }
@@ -826,5 +1029,38 @@ mod tests {
         assert!(parse_kind("training").is_ok());
         assert!(parse_kind("evaluation").is_ok());
         assert!(parse_kind("Training").is_err());
+    }
+
+    #[test]
+    fn axis_specs_parse() {
+        let (knob, values) = parse_axis("clusters=1,2,4").expect("parses");
+        assert_eq!(knob, Knob::Clusters);
+        assert_eq!(values.len(), 3);
+        let (knob, values) = parse_axis("precision=single,half").expect("parses");
+        assert_eq!(knob, Knob::Precision);
+        assert_eq!(values.len(), 2);
+        assert!(parse_axis("clusters").is_err());
+        assert!(parse_axis("no-such-knob=1").is_err());
+        assert!(parse_axis("clusters=abc").is_err());
+    }
+
+    #[test]
+    fn usage_names_every_subcommand_and_gate() {
+        for needle in [
+            "serve",
+            "serve-drill",
+            "par-check",
+            "dse",
+            "--check",
+            "--bench-json",
+            "--sweep",
+            "--degraded",
+            "--trace",
+            "--list",
+            "--tier",
+            "--shards",
+        ] {
+            assert!(USAGE.contains(needle), "usage text lacks `{needle}`");
+        }
     }
 }

@@ -25,7 +25,7 @@ use crate::codegen::{BufferLoc, CompiledNetwork, FuncTargetOptions, LayerBuffers
 use crate::mapping::{ArrayPlan, FailedTiles, LayerPlan, Mapping, Placement};
 use crate::pipeline::{CompiledArtifact, Provenance};
 use crate::{Error, Result};
-use scaledeep_arch::Precision;
+use scaledeep_arch::{DesignPoint, Precision};
 use scaledeep_dnn::LayerId;
 use scaledeep_isa::Program;
 use scaledeep_trace::json::{self, obj, Json};
@@ -33,7 +33,13 @@ use std::path::Path;
 
 /// On-disk format version. Bumped on any schema change; [`load`] rejects
 /// files written by other versions rather than guessing.
-pub const ARTIFACT_FORMAT_VERSION: u32 = 1;
+///
+/// * v1 — initial format.
+/// * v2 — provenance carries the full node configuration as a structural
+///   `design` document; `node_fingerprint` is the FNV-1a hash of that
+///   document's canonical rendering and is re-derived (and checked) on
+///   load.
+pub const ARTIFACT_FORMAT_VERSION: u32 = 2;
 
 /// Serializes an artifact to its JSON document form.
 pub fn to_json(artifact: &CompiledArtifact) -> Json {
@@ -237,6 +243,7 @@ fn provenance_to_json(p: &Provenance) -> Json {
         ("network", Json::Str(p.network.clone())),
         ("net_fingerprint", u64s(p.net_fingerprint)),
         ("node_fingerprint", u64s(p.node_fingerprint)),
+        ("design", p.design.to_json()),
         (
             "precision",
             Json::Str(
@@ -280,10 +287,24 @@ fn provenance_from_json(j: &Json) -> Result<Provenance> {
             u16::try_from(n as u64).map_err(|_| bad("failed func tile exceeds u16".into()))
         })
         .collect::<Result<_>>()?;
+    let design = DesignPoint::from_json(field(j, "design")?)
+        .map_err(|e| bad(format!("provenance design: {e}")))?;
+    let node_fingerprint = get_u64(j, "node_fingerprint")?;
+    // The fingerprint is derivable from the design document; a stored
+    // value that disagrees means the file was edited or corrupted, and
+    // trusting it would poison every cache keyed on it.
+    if design.fingerprint() != node_fingerprint {
+        return Err(bad(format!(
+            "stored node_fingerprint {node_fingerprint:016x} does not match \
+             the design document ({:016x})",
+            design.fingerprint()
+        )));
+    }
     Ok(Provenance {
         network: get_str(j, "network")?.to_string(),
         net_fingerprint: get_u64(j, "net_fingerprint")?,
-        node_fingerprint: get_u64(j, "node_fingerprint")?,
+        node_fingerprint,
+        design,
         precision,
         failed: FailedTiles::from_sets(cols, tiles),
         func: FuncTargetOptions {
@@ -794,6 +815,41 @@ mod tests {
         }
         let err = from_json(&doc).expect_err("version 999 must be rejected");
         assert!(matches!(err, Error::Codegen { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn tampered_design_document_is_rejected() {
+        // Editing the stored design without re-deriving node_fingerprint
+        // must fail the load: the fingerprint is the cache identity, and
+        // a file claiming one identity while describing another config
+        // would poison every cache keyed on it.
+        let node = presets::single_precision();
+        let net = small_net();
+        let a = compile(&node, &net, &CompileOptions::default()).expect("compiles");
+        let mut doc = to_json(&a);
+        let mut patched = false;
+        if let Json::Obj(fields) = &mut doc {
+            for (_, v) in fields.iter_mut().filter(|(k, _)| k == "provenance") {
+                if let Json::Obj(prov) = v {
+                    for (_, pv) in prov.iter_mut().filter(|(k, _)| k == "design") {
+                        if let Json::Obj(design) = pv {
+                            for (dk, dv) in design.iter_mut() {
+                                if dk == "clusters" {
+                                    *dv = Json::Num(2.0);
+                                    patched = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(patched, "document layout changed; test needs updating");
+        let err = from_json(&doc).expect_err("tampered design must be rejected");
+        assert!(
+            err.to_string().contains("node_fingerprint"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

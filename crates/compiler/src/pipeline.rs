@@ -40,7 +40,7 @@ use crate::error::{Error, Result};
 use crate::mapping::{
     arrays, classify, columns, state, FailedTiles, LayerPlan, Mapping, Placement, Side, StateBudget,
 };
-use scaledeep_arch::{ChipConfig, NodeConfig, Precision};
+use scaledeep_arch::{ChipConfig, DesignPoint, NodeConfig, Precision};
 use scaledeep_dnn::{Analysis, Layer, LayerId, Network, Step};
 use scaledeep_isa::LoweredProgram;
 use scaledeep_trace::{Payload, TraceSink, Tracer};
@@ -100,8 +100,15 @@ pub struct Provenance {
     pub network: String,
     /// FNV-1a fingerprint of the network's full structure.
     pub net_fingerprint: u64,
-    /// FNV-1a fingerprint of the node configuration.
+    /// Structural FNV-1a fingerprint of the node configuration: hashed
+    /// over the design point's canonical JSON rendering, so the key is
+    /// stable across builds and across processes (unlike a `Debug`-format
+    /// hash) and identical for any two configs with equal knobs.
     pub node_fingerprint: u64,
+    /// The node configuration as a design point — the compile input
+    /// itself, serialized with the artifact so a stored compile can be
+    /// audited (and its key re-derived) without the originating code.
+    pub design: DesignPoint,
     /// The node's datapath precision.
     pub precision: Precision,
     /// The failed-tile input the pipeline routed around.
@@ -117,10 +124,12 @@ impl Provenance {
     /// [`compile`] would stamp into its artifact — so callers can key a
     /// cache without running the pipeline.
     pub fn new(node: &NodeConfig, net: &Network, opts: &CompileOptions) -> Self {
+        let design = DesignPoint::describe(node);
         Self {
             network: net.name().to_string(),
             net_fingerprint: fingerprint(net),
-            node_fingerprint: fingerprint(node),
+            node_fingerprint: design.fingerprint(),
+            design,
             precision: node.precision,
             failed: opts.failed.clone(),
             func: opts.func,
@@ -596,6 +605,23 @@ mod tests {
         assert_ne!(a.provenance().cache_key(), hp.provenance().cache_key());
         let other = compile(&node, &zoo::vgg_a(), &CompileOptions::default()).unwrap();
         assert_ne!(a.provenance().cache_key(), other.provenance().cache_key());
+    }
+
+    #[test]
+    fn node_fingerprint_is_structural() {
+        // The node fingerprint is derived from the design point's
+        // canonical JSON, so it matches a fingerprint computed directly on
+        // the design layer — and stays put for both presets regardless of
+        // how the structs Debug-format.
+        let net = zoo::alexnet();
+        for node in [presets::single_precision(), presets::half_precision()] {
+            let p = Provenance::new(&node, &net, &CompileOptions::default());
+            assert_eq!(
+                p.node_fingerprint,
+                scaledeep_arch::DesignPoint::describe(&node).fingerprint()
+            );
+            assert_eq!(p.design.node_config(), node);
+        }
     }
 
     #[test]

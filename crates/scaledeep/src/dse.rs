@@ -1,0 +1,853 @@
+//! Design-space exploration driver: expands a [`ParamSpace`] into
+//! candidate design points, evaluates every feasible point with the
+//! measured attribution pipeline on an independent [`Session`], and
+//! reports the sample plus its Pareto frontier over the paper's three
+//! headline objectives — images/second, GFLOPs/W, and joules/image
+//! (§6's sensitivity studies, run as one sweep instead of one preset at
+//! a time).
+//!
+//! Determinism is the contract: every metric in a [`DseReport`] comes
+//! from the deterministic performance model, never from host wall-clock,
+//! and the worker pool writes results into per-candidate slots so the
+//! document is byte-identical across runs and worker counts. The report
+//! embeds its own inputs (base point, axes, expansion mode), so a
+//! committed `BENCH_dse-<suite>.json` can be re-run and byte-compared by
+//! `repro dse --check` with no side channel.
+//!
+//! Candidate sessions are retargeted clones of one hub session
+//! ([`Session::retarget`]), so every point shares the hub's
+//! provenance-keyed compile cache: two candidates that collapse onto the
+//! same design point compile once.
+
+use crate::attribution::Attribution;
+use crate::session::{Session, TraceConfig};
+use scaledeep_arch::{Candidate, DesignPoint, Knob, KnobValue, ParamSpace, Precision};
+use scaledeep_dnn::Network;
+use scaledeep_sim::perf::RunKind;
+use scaledeep_trace::json::{self, Json};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Version stamped into every DSE JSON document. Bump on any field
+/// change; [`DseReport::from_json`] rejects versions it does not know.
+pub const DSE_SCHEMA_VERSION: u64 = 1;
+
+/// How a [`ParamSpace`] is expanded into candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expansion {
+    /// The full cartesian grid, last axis fastest.
+    Grid,
+    /// `n` seeded xorshift64* draws ([`ParamSpace::sample`]).
+    Sample {
+        /// Number of candidates to draw.
+        n: u64,
+        /// Generator seed (same seed, same draws).
+        seed: u64,
+    },
+}
+
+/// Configuration of one DSE run.
+#[derive(Debug, Clone)]
+pub struct DseConfig {
+    /// Suite name stamped into the report (`BENCH_dse-<suite>.json`).
+    pub suite: String,
+    /// Training or evaluation.
+    pub kind: RunKind,
+    /// Grid or seeded sample.
+    pub expansion: Expansion,
+    /// Worker threads (0 = available cores). Never affects results —
+    /// only wall-clock.
+    pub workers: usize,
+    /// Parallel node-engine shards per candidate session (0 = available
+    /// cores). Never affects results.
+    pub shards: usize,
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        DseConfig {
+            suite: "dse".to_string(),
+            kind: RunKind::Training,
+            expansion: Expansion::Grid,
+            workers: 0,
+            shards: 1,
+        }
+    }
+}
+
+/// One evaluated (feasible) design point: its identity, its derived
+/// architectural quantities, and the measured metrics of its run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DsePoint {
+    /// Candidate label (`knob=value` pairs, or `base`).
+    pub label: String,
+    /// Structural design fingerprint, 16 hex digits — the compile-cache
+    /// node identity, so equal fingerprints shared one compile.
+    pub fingerprint: String,
+    /// Datapath precision (`"single"` / `"half"`).
+    pub precision: String,
+    /// Total processing tiles of the point.
+    pub total_tiles: u64,
+    /// Peak FLOP/s derived from the point.
+    pub peak_flops: f64,
+    /// Peak node power in watts at the point's precision.
+    pub peak_power_watts: f64,
+    /// Measured node throughput.
+    pub images_per_sec: f64,
+    /// Measured 2D-PE lane utilization.
+    pub pe_utilization: f64,
+    /// Measured SFU utilization.
+    pub sfu_utilization: f64,
+    /// Measured achieved FLOP/s.
+    pub achieved_flops: f64,
+    /// Measured processing efficiency (objective 2).
+    pub gflops_per_watt: f64,
+    /// Measured energy per image (objective 3).
+    pub joules_per_image: f64,
+    /// Attribution: sum of every stage's busy cycles.
+    pub busy_cycles: u64,
+    /// Attribution: minibatch gradient-sync cycles.
+    pub sync_cycles: u64,
+    /// Attribution: compute-logic joules per image.
+    pub compute_joules: f64,
+    /// Attribution: memory joules per image.
+    pub memory_joules: f64,
+    /// Attribution: interconnect joules per image.
+    pub interconnect_joules: f64,
+}
+
+/// A candidate the sweep could not evaluate: the knob combination failed
+/// validation, or the point validated but could not map the network.
+/// Infeasible corners are data, not errors — the sweep reports them and
+/// keeps going.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseInfeasible {
+    /// Candidate label.
+    pub label: String,
+    /// Why it could not run.
+    pub error: String,
+}
+
+/// The deterministic result of one DSE run: the inputs (base point,
+/// axes, expansion), every evaluated point in candidate order, the
+/// infeasible candidates, and the Pareto frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseReport {
+    /// Schema version ([`DSE_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Suite name.
+    pub suite: String,
+    /// Benchmark network name.
+    pub network: String,
+    /// `"training"` or `"evaluation"`.
+    pub kind: String,
+    /// How the space was expanded.
+    pub expansion: Expansion,
+    /// The base design point the axes perturb.
+    pub base: DesignPoint,
+    /// The swept axes, declaration order.
+    pub axes: Vec<(Knob, Vec<KnobValue>)>,
+    /// Distinct design fingerprints among the evaluated points — the
+    /// number of compiles the provenance-keyed cache actually ran
+    /// (duplicate sample draws collapse onto one compile).
+    pub unique_compiles: u64,
+    /// Evaluated points, candidate order.
+    pub points: Vec<DsePoint>,
+    /// Candidates that could not run, candidate order.
+    pub infeasible: Vec<DseInfeasible>,
+    /// Indices into [`DseReport::points`] on the Pareto frontier,
+    /// ascending.
+    pub frontier: Vec<u64>,
+}
+
+/// True when `a` strictly Pareto-dominates `b` over the three
+/// objectives: at least as good on all of images/s (higher better),
+/// GFLOPs/W (higher better), and J/image (lower better), and strictly
+/// better on at least one.
+pub fn dominates(a: &DsePoint, b: &DsePoint) -> bool {
+    let no_worse = a.images_per_sec >= b.images_per_sec
+        && a.gflops_per_watt >= b.gflops_per_watt
+        && a.joules_per_image <= b.joules_per_image;
+    let better = a.images_per_sec > b.images_per_sec
+        || a.gflops_per_watt > b.gflops_per_watt
+        || a.joules_per_image < b.joules_per_image;
+    no_worse && better
+}
+
+/// Indices of the non-dominated points, ascending. Duplicated metric
+/// triples never dominate each other, so ties stay on the frontier —
+/// keeping the result independent of candidate order.
+pub fn pareto_frontier(points: &[DsePoint]) -> Vec<u64> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && dominates(other, &points[i]))
+        })
+        .map(|i| i as u64)
+        .collect()
+}
+
+/// The outcome of evaluating one candidate.
+enum Outcome {
+    Feasible(DsePoint),
+    Infeasible(DseInfeasible),
+}
+
+/// Evaluates one candidate: retargets the hub session onto the point,
+/// runs the traced performance model, and joins it with the attribution.
+fn evaluate(hub: &Session, net: &Network, cfg: &DseConfig, candidate: &Candidate) -> Outcome {
+    let point = match &candidate.point {
+        Ok(p) => *p,
+        Err(e) => {
+            return Outcome::Infeasible(DseInfeasible {
+                label: candidate.label.clone(),
+                error: e.to_string(),
+            })
+        }
+    };
+    let node = point.node_config();
+    let session = hub.retarget(node).with_shards(cfg.shards);
+    let run = || -> crate::Result<DsePoint> {
+        let traced = session.run_traced(net, cfg.kind, &TraceConfig::default())?;
+        let artifact = session.compile(net)?;
+        let attr = Attribution::build(&traced, &artifact, net, &node)?;
+        let perf = &traced.perf;
+        Ok(DsePoint {
+            label: candidate.label.clone(),
+            fingerprint: format!("{:016x}", point.fingerprint()),
+            precision: match node.precision {
+                Precision::Single => "single".to_string(),
+                Precision::Half => "half".to_string(),
+            },
+            total_tiles: point.total_tiles() as u64,
+            peak_flops: point.peak_flops(),
+            peak_power_watts: point.peak_power_watts(),
+            images_per_sec: perf.images_per_sec,
+            pe_utilization: perf.pe_utilization,
+            sfu_utilization: perf.sfu_utilization,
+            achieved_flops: perf.achieved_flops,
+            gflops_per_watt: perf.gflops_per_watt,
+            joules_per_image: perf.joules_per_image,
+            busy_cycles: attr.total_busy_cycles,
+            sync_cycles: attr.sync_cycles,
+            compute_joules: attr.energy_per_image.compute_joules,
+            memory_joules: attr.energy_per_image.memory_joules,
+            interconnect_joules: attr.energy_per_image.interconnect_joules,
+        })
+    };
+    match run() {
+        Ok(p) => Outcome::Feasible(p),
+        Err(e) => Outcome::Infeasible(DseInfeasible {
+            label: candidate.label.clone(),
+            error: e.to_string(),
+        }),
+    }
+}
+
+/// Runs the sweep: expands `space` per `cfg.expansion`, evaluates every
+/// candidate across a scoped worker pool (each on an independent session
+/// retargeted from `hub`, all sharing the hub's compile cache), and
+/// assembles the deterministic report. Worker and shard counts never
+/// change the result — candidates write into per-index slots collected
+/// in candidate order.
+pub fn run(hub: &Session, net: &Network, space: &ParamSpace, cfg: &DseConfig) -> DseReport {
+    let candidates = match cfg.expansion {
+        Expansion::Grid => space.grid(),
+        Expansion::Sample { n, seed } => space.sample(n as usize, seed),
+    };
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        cfg.workers
+    }
+    .min(candidates.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Outcome>>> = candidates.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(candidate) = candidates.get(i) else {
+                    break;
+                };
+                let outcome = evaluate(hub, net, cfg, candidate);
+                *slots[i].lock().expect("no panics hold this lock") = Some(outcome);
+            });
+        }
+    });
+    let mut points = Vec::new();
+    let mut infeasible = Vec::new();
+    for slot in slots {
+        match slot.into_inner().expect("workers joined") {
+            Some(Outcome::Feasible(p)) => points.push(p),
+            Some(Outcome::Infeasible(i)) => infeasible.push(i),
+            None => unreachable!("every candidate slot is filled before the scope ends"),
+        }
+    }
+    let frontier = pareto_frontier(&points);
+    let unique_compiles = distinct_fingerprints(&points);
+    DseReport {
+        schema_version: DSE_SCHEMA_VERSION,
+        suite: cfg.suite.clone(),
+        network: net.name().to_string(),
+        kind: match cfg.kind {
+            RunKind::Training => "training".to_string(),
+            RunKind::Evaluation => "evaluation".to_string(),
+        },
+        expansion: cfg.expansion,
+        base: space.base(),
+        axes: space.axes().to_vec(),
+        unique_compiles,
+        points,
+        infeasible,
+        frontier,
+    }
+}
+
+/// Number of distinct design fingerprints among the evaluated points.
+fn distinct_fingerprints(points: &[DsePoint]) -> u64 {
+    let mut seen: Vec<&str> = points.iter().map(|p| p.fingerprint.as_str()).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len() as u64
+}
+
+impl DseReport {
+    /// Rebuilds the parameter space this report was swept from — the
+    /// re-run input of `repro dse --check`.
+    pub fn space(&self) -> ParamSpace {
+        let mut space = ParamSpace::new(self.base);
+        for (knob, values) in &self.axes {
+            space = space.axis(*knob, values.clone());
+        }
+        space
+    }
+
+    /// The report's run kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown kind string (validated away by
+    /// [`DseReport::from_json`], so only hand-built reports can fail).
+    pub fn run_kind(&self) -> std::result::Result<RunKind, String> {
+        match self.kind.as_str() {
+            "training" => Ok(RunKind::Training),
+            "evaluation" => Ok(RunKind::Evaluation),
+            other => Err(format!("unknown run kind `{other}`")),
+        }
+    }
+
+    /// Renders the report as pretty-printed, deterministic JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = self.to_json_value().render_pretty();
+        out.push('\n');
+        out
+    }
+
+    fn to_json_value(&self) -> Json {
+        let expansion = match self.expansion {
+            Expansion::Grid => json::obj([("mode", Json::Str("grid".to_string()))]),
+            Expansion::Sample { n, seed } => json::obj([
+                ("mode", Json::Str("sample".to_string())),
+                ("n", Json::Num(n as f64)),
+                ("seed", Json::Num(seed as f64)),
+            ]),
+        };
+        let axes: Vec<Json> = self
+            .axes
+            .iter()
+            .map(|(knob, values)| {
+                json::obj([
+                    ("knob", Json::Str(knob.name().to_string())),
+                    (
+                        "values",
+                        Json::Arr(values.iter().map(knob_value_json).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let points: Vec<Json> = self
+            .points
+            .iter()
+            .map(|p| {
+                json::obj([
+                    ("label", Json::Str(p.label.clone())),
+                    ("fingerprint", Json::Str(p.fingerprint.clone())),
+                    ("precision", Json::Str(p.precision.clone())),
+                    ("total_tiles", Json::Num(p.total_tiles as f64)),
+                    ("peak_flops", Json::Num(p.peak_flops)),
+                    ("peak_power_watts", Json::Num(p.peak_power_watts)),
+                    ("images_per_sec", Json::Num(p.images_per_sec)),
+                    ("pe_utilization", Json::Num(p.pe_utilization)),
+                    ("sfu_utilization", Json::Num(p.sfu_utilization)),
+                    ("achieved_flops", Json::Num(p.achieved_flops)),
+                    ("gflops_per_watt", Json::Num(p.gflops_per_watt)),
+                    ("joules_per_image", Json::Num(p.joules_per_image)),
+                    ("busy_cycles", Json::Num(p.busy_cycles as f64)),
+                    ("sync_cycles", Json::Num(p.sync_cycles as f64)),
+                    ("compute_joules", Json::Num(p.compute_joules)),
+                    ("memory_joules", Json::Num(p.memory_joules)),
+                    ("interconnect_joules", Json::Num(p.interconnect_joules)),
+                ])
+            })
+            .collect();
+        let infeasible: Vec<Json> = self
+            .infeasible
+            .iter()
+            .map(|i| {
+                json::obj([
+                    ("label", Json::Str(i.label.clone())),
+                    ("error", Json::Str(i.error.clone())),
+                ])
+            })
+            .collect();
+        json::obj([
+            ("schema_version", Json::Num(self.schema_version as f64)),
+            ("suite", Json::Str(self.suite.clone())),
+            ("network", Json::Str(self.network.clone())),
+            ("kind", Json::Str(self.kind.clone())),
+            ("expansion", expansion),
+            ("base", self.base.to_json()),
+            ("axes", Json::Arr(axes)),
+            ("unique_compiles", Json::Num(self.unique_compiles as f64)),
+            ("points", Json::Arr(points)),
+            ("infeasible", Json::Arr(infeasible)),
+            (
+                "frontier",
+                Json::Arr(self.frontier.iter().map(|&i| Json::Num(i as f64)).collect()),
+            ),
+        ])
+    }
+
+    /// Parses and validates a DSE JSON document. Beyond field presence,
+    /// the reader recomputes the Pareto frontier and the distinct-
+    /// fingerprint count from the stored points and rejects a document
+    /// whose stored values disagree — a tampered or hand-edited frontier
+    /// cannot pass the gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn from_json(text: &str) -> std::result::Result<Self, String> {
+        let v = json::parse(text)?;
+        let version = req_num(&v, "schema_version")? as u64;
+        if version != DSE_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {version} (reader supports {DSE_SCHEMA_VERSION})"
+            ));
+        }
+        let kind = req_str(&v, "kind")?;
+        if kind != "training" && kind != "evaluation" {
+            return Err(format!("unknown run kind `{kind}`"));
+        }
+        let exp_v = v.get("expansion").ok_or("missing field `expansion`")?;
+        let expansion = match req_str(exp_v, "mode")?.as_str() {
+            "grid" => Expansion::Grid,
+            "sample" => Expansion::Sample {
+                n: req_num(exp_v, "n")? as u64,
+                seed: req_num(exp_v, "seed")? as u64,
+            },
+            other => return Err(format!("unknown expansion mode `{other}`")),
+        };
+        let base = DesignPoint::from_json(v.get("base").ok_or("missing field `base`")?)
+            .map_err(|e| format!("base: {e}"))?;
+        let axes_v = v
+            .get("axes")
+            .and_then(Json::as_arr)
+            .ok_or("missing or non-array field `axes`")?;
+        let mut axes = Vec::with_capacity(axes_v.len());
+        for (i, a) in axes_v.iter().enumerate() {
+            let knob = Knob::parse(&req_str(a, "knob").map_err(|e| format!("axes[{i}]: {e}"))?)
+                .map_err(|e| format!("axes[{i}]: {e}"))?;
+            let values_v = a
+                .get("values")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("axes[{i}]: missing or non-array field `values`"))?;
+            let mut values = Vec::with_capacity(values_v.len());
+            for (j, value) in values_v.iter().enumerate() {
+                values.push(
+                    knob_value_from_json(value)
+                        .map_err(|e| format!("axes[{i}].values[{j}]: {e}"))?,
+                );
+            }
+            axes.push((knob, values));
+        }
+        let points_v = v
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or("missing or non-array field `points`")?;
+        let mut points = Vec::with_capacity(points_v.len());
+        for (i, p) in points_v.iter().enumerate() {
+            points.push(DsePoint::from_json(p).map_err(|e| format!("points[{i}]: {e}"))?);
+        }
+        let infeasible_v = v
+            .get("infeasible")
+            .and_then(Json::as_arr)
+            .ok_or("missing or non-array field `infeasible`")?;
+        let mut infeasible = Vec::with_capacity(infeasible_v.len());
+        for (i, f) in infeasible_v.iter().enumerate() {
+            infeasible.push(DseInfeasible {
+                label: req_str(f, "label").map_err(|e| format!("infeasible[{i}]: {e}"))?,
+                error: req_str(f, "error").map_err(|e| format!("infeasible[{i}]: {e}"))?,
+            });
+        }
+        let frontier_v = v
+            .get("frontier")
+            .and_then(Json::as_arr)
+            .ok_or("missing or non-array field `frontier`")?;
+        let frontier: Vec<u64> = frontier_v
+            .iter()
+            .map(|f| {
+                f.as_num()
+                    .map(|n| n as u64)
+                    .ok_or("non-numeric frontier index".to_string())
+            })
+            .collect::<std::result::Result<_, _>>()?;
+        let recomputed = pareto_frontier(&points);
+        if frontier != recomputed {
+            return Err(format!(
+                "stored frontier {frontier:?} does not match the Pareto frontier \
+                 recomputed from the points ({recomputed:?})"
+            ));
+        }
+        let unique_compiles = req_num(&v, "unique_compiles")? as u64;
+        if unique_compiles != distinct_fingerprints(&points) {
+            return Err(format!(
+                "unique_compiles {unique_compiles} does not match the {} distinct \
+                 fingerprints among the points",
+                distinct_fingerprints(&points)
+            ));
+        }
+        Ok(DseReport {
+            schema_version: version,
+            suite: req_str(&v, "suite")?,
+            network: req_str(&v, "network")?,
+            kind,
+            expansion,
+            base,
+            axes,
+            unique_compiles,
+            points,
+            infeasible,
+            frontier,
+        })
+    }
+}
+
+impl DsePoint {
+    fn from_json(v: &Json) -> std::result::Result<Self, String> {
+        let fingerprint = req_str(v, "fingerprint")?;
+        if fingerprint.len() != 16 || !fingerprint.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!(
+                "fingerprint `{fingerprint}` is not a 16-hex-digit fingerprint"
+            ));
+        }
+        Ok(DsePoint {
+            label: req_str(v, "label")?,
+            fingerprint,
+            precision: req_str(v, "precision")?,
+            total_tiles: req_num(v, "total_tiles")? as u64,
+            peak_flops: req_num(v, "peak_flops")?,
+            peak_power_watts: req_num(v, "peak_power_watts")?,
+            images_per_sec: req_num(v, "images_per_sec")?,
+            pe_utilization: req_num(v, "pe_utilization")?,
+            sfu_utilization: req_num(v, "sfu_utilization")?,
+            achieved_flops: req_num(v, "achieved_flops")?,
+            gflops_per_watt: req_num(v, "gflops_per_watt")?,
+            joules_per_image: req_num(v, "joules_per_image")?,
+            busy_cycles: req_num(v, "busy_cycles")? as u64,
+            sync_cycles: req_num(v, "sync_cycles")? as u64,
+            compute_joules: req_num(v, "compute_joules")?,
+            memory_joules: req_num(v, "memory_joules")?,
+            interconnect_joules: req_num(v, "interconnect_joules")?,
+        })
+    }
+}
+
+/// Serializes a knob value: numbers as numbers, precisions as their
+/// names — the same tokens [`KnobValue::parse`] accepts.
+fn knob_value_json(value: &KnobValue) -> Json {
+    match value {
+        KnobValue::Num(n) => Json::Num(*n),
+        KnobValue::Prec(p) => Json::Str(p.to_string()),
+    }
+}
+
+/// Parses a knob value back from its JSON form.
+fn knob_value_from_json(v: &Json) -> std::result::Result<KnobValue, String> {
+    match v {
+        Json::Num(n) => Ok(KnobValue::Num(*n)),
+        Json::Str(s) => KnobValue::parse(s).map_err(|e| e.to_string()),
+        other => Err(format!(
+            "knob value must be a number or string, got {other:?}"
+        )),
+    }
+}
+
+/// Walks two JSON documents in parallel and returns the path and values
+/// of the first structural difference (`None` when identical) — the
+/// diagnostic `repro dse --check` prints when a re-run is not
+/// byte-identical to its baseline.
+pub fn first_difference(a: &Json, b: &Json) -> Option<String> {
+    diff_at("$", a, b)
+}
+
+fn diff_at(path: &str, a: &Json, b: &Json) -> Option<String> {
+    match (a, b) {
+        (Json::Obj(x), Json::Obj(y)) => {
+            for ((ka, va), (kb, vb)) in x.iter().zip(y) {
+                if ka != kb {
+                    return Some(format!("{path}: key `{ka}` vs `{kb}`"));
+                }
+                if let Some(d) = diff_at(&format!("{path}.{ka}"), va, vb) {
+                    return Some(d);
+                }
+            }
+            (x.len() != y.len()).then(|| format!("{path}: {} field(s) vs {}", x.len(), y.len()))
+        }
+        (Json::Arr(x), Json::Arr(y)) => {
+            for (i, (va, vb)) in x.iter().zip(y).enumerate() {
+                if let Some(d) = diff_at(&format!("{path}[{i}]"), va, vb) {
+                    return Some(d);
+                }
+            }
+            (x.len() != y.len()).then(|| format!("{path}: {} element(s) vs {}", x.len(), y.len()))
+        }
+        _ => (a != b).then(|| format!("{path}: {} vs {}", a.render(), b.render())),
+    }
+}
+
+fn req_num(v: &Json, key: &str) -> std::result::Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing or non-numeric field `{key}`"))
+}
+
+fn req_str(v: &Json, key: &str) -> std::result::Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field `{key}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use scaledeep_dnn::zoo;
+
+    fn smoke_space() -> ParamSpace {
+        ParamSpace::new(DesignPoint::figure14_sp())
+            .axis(
+                Knob::Clusters,
+                vec![KnobValue::Num(2.0), KnobValue::Num(4.0)],
+            )
+            .axis(
+                Knob::FrequencyMhz,
+                vec![KnobValue::Num(450.0), KnobValue::Num(600.0)],
+            )
+    }
+
+    fn smoke_cfg(workers: usize) -> DseConfig {
+        DseConfig {
+            suite: "test".to_string(),
+            workers,
+            ..DseConfig::default()
+        }
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_worker_counts_and_runs() {
+        let net = zoo::alexnet();
+        let space = smoke_space();
+        let hub = Session::single_precision();
+        let one = run(&hub, &net, &space, &smoke_cfg(1)).to_json();
+        for workers in [2, 4, 0] {
+            let many = run(&hub, &net, &space, &smoke_cfg(workers)).to_json();
+            assert_eq!(one, many, "worker count {workers} changed the document");
+        }
+        // A fresh hub (cold cache) reproduces the same bytes too.
+        let cold = run(&Session::single_precision(), &net, &space, &smoke_cfg(3));
+        assert_eq!(one, cold.to_json());
+    }
+
+    #[test]
+    fn report_round_trips_and_rebuilds_its_space() {
+        let net = zoo::alexnet();
+        let space = smoke_space();
+        let report = run(&Session::single_precision(), &net, &space, &smoke_cfg(0));
+        assert_eq!(report.points.len(), 4);
+        assert!(report.infeasible.is_empty());
+        assert!(!report.frontier.is_empty());
+        assert_eq!(report.unique_compiles, 4);
+
+        let text = report.to_json();
+        let back = DseReport::from_json(&text).expect("own output parses");
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), text);
+
+        // The embedded inputs rebuild the exact same sweep.
+        let rebuilt = back.space();
+        assert_eq!(rebuilt.base(), space.base());
+        assert_eq!(rebuilt.axes(), space.axes());
+        let cfg = DseConfig {
+            suite: back.suite.clone(),
+            kind: back.run_kind().expect("kind validated"),
+            expansion: back.expansion,
+            ..smoke_cfg(0)
+        };
+        let rerun = run(&Session::single_precision(), &net, &rebuilt, &cfg);
+        assert_eq!(rerun.to_json(), text);
+    }
+
+    #[test]
+    fn infeasible_corners_are_reported_not_fatal() {
+        // clusters=64 validates but AlexNet's FC stage cannot span it;
+        // a zero frequency fails validation outright. Both are data.
+        let net = zoo::alexnet();
+        let space = ParamSpace::new(DesignPoint::figure14_sp()).axis(
+            Knob::FrequencyMhz,
+            vec![KnobValue::Num(0.0), KnobValue::Num(600.0)],
+        );
+        let report = run(&Session::single_precision(), &net, &space, &smoke_cfg(0));
+        assert_eq!(report.points.len(), 1);
+        assert_eq!(report.infeasible.len(), 1);
+        assert_eq!(report.infeasible[0].label, "frequency-mhz=0");
+        assert_eq!(report.frontier, vec![0]);
+        // The document round-trips with the infeasible rows included.
+        let back = DseReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn sampled_expansion_is_seed_deterministic_and_collapses_compiles() {
+        let net = zoo::alexnet();
+        let space = smoke_space();
+        let cfg = DseConfig {
+            expansion: Expansion::Sample { n: 6, seed: 7 },
+            ..smoke_cfg(0)
+        };
+        let a = run(&Session::single_precision(), &net, &space, &cfg);
+        let b = run(&Session::single_precision(), &net, &space, &cfg);
+        assert_eq!(a.to_json(), b.to_json());
+        // 6 draws from a 4-point grid must repeat at least one point.
+        assert_eq!(a.points.len(), 6);
+        assert!(a.unique_compiles < 6, "{} unique", a.unique_compiles);
+    }
+
+    #[test]
+    fn reader_rejects_tampered_documents() {
+        let net = zoo::alexnet();
+        let report = run(
+            &Session::single_precision(),
+            &net,
+            &smoke_space(),
+            &smoke_cfg(0),
+        );
+
+        let mut wrong_frontier = report.clone();
+        wrong_frontier.frontier = Vec::new();
+        let err = DseReport::from_json(&wrong_frontier.to_json()).unwrap_err();
+        assert!(err.contains("frontier"), "{err}");
+
+        let mut wrong_compiles = report.clone();
+        wrong_compiles.unique_compiles += 1;
+        let err = DseReport::from_json(&wrong_compiles.to_json()).unwrap_err();
+        assert!(err.contains("unique_compiles"), "{err}");
+
+        let future = report
+            .to_json()
+            .replacen("\"schema_version\": 1", "\"schema_version\": 2", 1);
+        let err = DseReport::from_json(&future).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+
+        assert!(DseReport::from_json("not json").is_err());
+        assert!(DseReport::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn first_difference_names_the_leaf_path() {
+        let report = run(
+            &Session::single_precision(),
+            &zoo::alexnet(),
+            &smoke_space(),
+            &smoke_cfg(0),
+        );
+        let a = json::parse(&report.to_json()).expect("parses");
+        assert_eq!(first_difference(&a, &a), None);
+        let mut drifted = report;
+        drifted.points[2].images_per_sec += 1.0;
+        let b = json::parse(&drifted.to_json()).expect("parses");
+        let diff = first_difference(&a, &b).expect("documents differ");
+        assert!(diff.contains("points[2].images_per_sec"), "{diff}");
+    }
+
+    /// Deterministic metric triples from a seed (proptest drives only
+    /// the seed, matching the workspace's shrink-over-structure idiom).
+    fn synthetic_points(seed: u64, n: usize) -> Vec<DsePoint> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Small integer grids force plenty of ties and duplicates.
+            (state % 5) as f64
+        };
+        (0..n)
+            .map(|i| DsePoint {
+                label: format!("p{i}"),
+                fingerprint: format!("{i:016x}"),
+                precision: "single".to_string(),
+                total_tiles: 1,
+                peak_flops: 1.0,
+                peak_power_watts: 1.0,
+                images_per_sec: next(),
+                pe_utilization: 0.5,
+                sfu_utilization: 0.5,
+                achieved_flops: 1.0,
+                gflops_per_watt: next(),
+                joules_per_image: next(),
+                busy_cycles: 1,
+                sync_cycles: 0,
+                compute_joules: 0.0,
+                memory_joules: 0.0,
+                interconnect_joules: 0.0,
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The frontier is sound and complete: non-empty whenever any
+        /// point exists, no member is dominated, and every non-member is
+        /// dominated by some member.
+        #[test]
+        fn frontier_is_dominance_checked(seed in any::<u64>(), n in 1usize..24) {
+            let points = synthetic_points(seed, n);
+            let frontier = pareto_frontier(&points);
+            prop_assert!(!frontier.is_empty());
+            prop_assert!(frontier.windows(2).all(|w| w[0] < w[1]));
+            for &i in &frontier {
+                for (j, other) in points.iter().enumerate() {
+                    prop_assert!(
+                        j as u64 == i || !dominates(other, &points[i as usize]),
+                        "frontier member {i} is dominated by {j}"
+                    );
+                }
+            }
+            for j in 0..points.len() as u64 {
+                if !frontier.contains(&j) {
+                    prop_assert!(
+                        frontier.iter().any(|&i| dominates(&points[i as usize], &points[j as usize])),
+                        "non-member {j} is not dominated by any frontier member"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -34,11 +34,13 @@
 #![warn(missing_docs)]
 
 pub mod attribution;
+pub mod dse;
 pub mod experiments;
 pub mod report;
 mod session;
 
 pub use attribution::{Attribution, LayerAttribution, RooflineBound};
+pub use dse::{DseConfig, DsePoint, DseReport, Expansion, DSE_SCHEMA_VERSION};
 pub use report::{BenchReport, BENCH_SCHEMA_VERSION};
 pub use scaledeep_compiler::{CompileOptions, CompiledArtifact, FailedTiles, Provenance};
 pub use scaledeep_sim::{Error, Result};

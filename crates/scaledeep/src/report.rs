@@ -140,7 +140,11 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
 ///   and the functional drill's cycle-accurate statistics.
 /// * v3 — adds the parallel node engine's shard count and measured
 ///   wall-clock scaling (sequential oracle vs 1/2/4/8 shards).
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+/// * v4 — adds the `design` group: the structural design point the
+///   session ran on (the arch design layer's canonical document) plus
+///   its fingerprint, so a report names its architecture as data rather
+///   than only through the preset that happened to build it.
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
 
 /// Host wall-clock split of the run behind a BENCH report, in
 /// nanoseconds. Host time is machine-dependent; these fields are
@@ -199,6 +203,29 @@ pub struct BenchPar {
     pub sequential_nanos: u64,
     /// Measured scaling rows (shard counts 1/2/4/8).
     pub scaling: Vec<BenchShard>,
+}
+
+/// The design point a BENCH report's session ran on, serialized
+/// structurally by the arch design layer. The fingerprint doubles as the
+/// compile cache's node identity, so two reports with equal fingerprints
+/// measured the same architecture knobs. (v4)
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDesign {
+    /// Structural FNV-1a fingerprint of the point, as 16 hex digits.
+    pub fingerprint: String,
+    /// The design point itself (canonical knob document).
+    pub point: scaledeep_arch::DesignPoint,
+}
+
+impl BenchDesign {
+    /// Describes a node configuration as a report design group.
+    pub fn describe(node: &scaledeep_arch::NodeConfig) -> Self {
+        let point = scaledeep_arch::DesignPoint::describe(node);
+        BenchDesign {
+            fingerprint: format!("{:016x}", point.fingerprint()),
+            point,
+        }
+    }
 }
 
 /// Whole-run scalars of a BENCH report.
@@ -320,6 +347,9 @@ pub struct BenchReport {
     /// Parallel node engine shard count and measured wall-clock scaling;
     /// informational. (v3)
     pub par: BenchPar,
+    /// The design point the session ran on; `None` only for pre-v4
+    /// documents. Its fingerprint is an identity field in checks. (v4)
+    pub design: Option<BenchDesign>,
     /// Per-layer rows, pipeline order.
     pub layers: Vec<BenchLayer>,
 }
@@ -378,6 +408,7 @@ impl BenchReport {
             wall,
             functional,
             par,
+            design: Some(BenchDesign::describe(node)),
             layers: attr
                 .layers
                 .iter()
@@ -516,6 +547,15 @@ impl BenchReport {
                     ),
                 ]),
             ),
+            (
+                "design",
+                self.design.as_ref().map_or(Json::Null, |d| {
+                    json::obj([
+                        ("fingerprint", Json::Str(d.fingerprint.clone())),
+                        ("point", d.point.to_json()),
+                    ])
+                }),
+            ),
             ("layers", Json::Arr(layers)),
         ])
     }
@@ -583,6 +623,29 @@ impl BenchReport {
                 scaling,
             }
         };
+        // v1–v3 predate the structural design group; default it absent.
+        let design = if version < 4 {
+            None
+        } else {
+            match v.get("design") {
+                None => return Err("missing field `design`".to_string()),
+                Some(Json::Null) => None,
+                Some(d) => {
+                    let fingerprint = req_str(d, "fingerprint")?;
+                    let point_v = d.get("point").ok_or("missing field `design.point`")?;
+                    let point = scaledeep_arch::DesignPoint::from_json(point_v)
+                        .map_err(|e| format!("design.point: {e}"))?;
+                    let derived = format!("{:016x}", point.fingerprint());
+                    if derived != fingerprint {
+                        return Err(format!(
+                            "design fingerprint `{fingerprint}` does not match \
+                             the design point (`{derived}`)"
+                        ));
+                    }
+                    Some(BenchDesign { fingerprint, point })
+                }
+            }
+        };
         let totals_v = v.get("totals").ok_or("missing field `totals`")?;
         let energy_v = v.get("energy").ok_or("missing field `energy`")?;
         let occ_v = v.get("occupancy").ok_or("missing field `occupancy`")?;
@@ -642,6 +705,7 @@ impl BenchReport {
             wall,
             functional,
             par,
+            design,
             layers,
         };
         let layer_sum: u64 = bench.layers.iter().map(|l| l.busy_cycles).sum();
@@ -675,6 +739,17 @@ impl BenchReport {
         ] {
             if a != b {
                 fails.push(format!("{what} `{a}` vs baseline `{b}`"));
+            }
+        }
+        // The design fingerprint is identity, not measurement: two runs on
+        // different knobs are not comparable. A pre-v4 baseline without
+        // the group constrains nothing.
+        if let (Some(got), Some(want)) = (&self.design, &baseline.design) {
+            if got.fingerprint != want.fingerprint {
+                fails.push(format!(
+                    "design fingerprint {} vs baseline {}",
+                    got.fingerprint, want.fingerprint
+                ));
             }
         }
         if !fails.is_empty() {
@@ -991,7 +1066,7 @@ mod tests {
         let report = sample_report();
         let future = report
             .to_json()
-            .replacen("\"schema_version\": 3", "\"schema_version\": 4", 1);
+            .replacen("\"schema_version\": 4", "\"schema_version\": 5", 1);
         let err = BenchReport::from_json(&future).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
 
@@ -1020,7 +1095,12 @@ mod tests {
                 "schema_version" => (k, Json::Num(1.0)),
                 _ => (k, v),
             })
-            .filter(|(k, _)| !matches!(k.as_str(), "tier" | "wall" | "functional" | "par"))
+            .filter(|(k, _)| {
+                !matches!(
+                    k.as_str(),
+                    "tier" | "wall" | "functional" | "par" | "design"
+                )
+            })
             .collect();
         let v1_text = Json::Obj(v1_fields).render_pretty();
         let back = BenchReport::from_json(&v1_text).expect("v1 documents parse");
@@ -1029,6 +1109,7 @@ mod tests {
         assert_eq!(back.wall, BenchWall::default());
         assert_eq!(back.functional, None);
         assert_eq!(back.par, BenchPar::default());
+        assert_eq!(back.design, None);
         assert_eq!(back.totals, report.totals);
         assert_eq!(back.layers, report.layers);
     }
@@ -1047,7 +1128,7 @@ mod tests {
                 "schema_version" => (k, Json::Num(2.0)),
                 _ => (k, v),
             })
-            .filter(|(k, _)| k != "par")
+            .filter(|(k, _)| k != "par" && k != "design")
             .collect();
         let v2_text = Json::Obj(v2_fields).render_pretty();
         let back = BenchReport::from_json(&v2_text).expect("v2 documents parse");
@@ -1055,7 +1136,48 @@ mod tests {
         assert_eq!(back.tier, report.tier);
         assert_eq!(back.wall, report.wall);
         assert_eq!(back.par, BenchPar::default());
+        assert_eq!(back.design, None);
         assert_eq!(back.layers, report.layers);
+    }
+
+    #[test]
+    fn reader_accepts_v3_documents_without_the_design_group() {
+        // A v3 document carries the par group but predates the structural
+        // design group.
+        let report = sample_report();
+        let Json::Obj(fields) = json::parse(&report.to_json()).unwrap() else {
+            panic!("report is an object");
+        };
+        let v3_fields: Vec<(String, Json)> = fields
+            .into_iter()
+            .map(|(k, v)| match k.as_str() {
+                "schema_version" => (k, Json::Num(3.0)),
+                _ => (k, v),
+            })
+            .filter(|(k, _)| k != "design")
+            .collect();
+        let v3_text = Json::Obj(v3_fields).render_pretty();
+        let back = BenchReport::from_json(&v3_text).expect("v3 documents parse");
+        assert_eq!(back.schema_version, 3);
+        assert_eq!(back.par, report.par);
+        assert_eq!(back.design, None);
+        assert_eq!(back.layers, report.layers);
+        // A baseline without the group constrains nothing, but a v4
+        // baseline with different knobs fails the identity check.
+        let mut no_design = report.clone();
+        no_design.design = None;
+        assert!(!report
+            .check_against(&no_design, 0.5)
+            .iter()
+            .any(|f| f.contains("design fingerprint")));
+        let mut other_knobs = report.clone();
+        other_knobs.design = Some(BenchDesign::describe(
+            &scaledeep_arch::presets::half_precision(),
+        ));
+        assert!(other_knobs
+            .check_against(&report, 0.5)
+            .iter()
+            .any(|f| f.contains("design fingerprint")));
     }
 
     #[test]

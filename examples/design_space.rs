@@ -1,50 +1,58 @@
 //! Design-space exploration: ScaleDeep's architecture template is
 //! parametric — sweep cluster count, wheel size and operating frequency
-//! and chart the training-throughput/power frontier on OverFeat-Fast.
+//! through the typed parameter layer and chart the training-throughput /
+//! efficiency frontier on OverFeat-Fast.
 //!
 //! ```text
 //! cargo run --release --example design_space
 //! ```
 
-use scaledeep::report::Table;
+use scaledeep::dse::{self, DseConfig};
 use scaledeep::Session;
-use scaledeep_arch::presets;
+use scaledeep_arch::{DesignPoint, Knob, KnobValue, ParamSpace};
 use scaledeep_dnn::zoo;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let net = zoo::overfeat_fast();
-    let mut t = Table::new("Design space: OverFeat-Fast training").headers([
-        "clusters",
-        "wheel",
-        "MHz",
-        "peak TFLOPS",
-        "img/s",
-        "W",
-        "img/s/W",
-    ]);
+    let nums = |values: &[f64]| values.iter().copied().map(KnobValue::Num).collect();
+    let space = ParamSpace::new(DesignPoint::figure14_sp())
+        .axis(Knob::Clusters, nums(&[1.0, 2.0, 4.0]))
+        .axis(Knob::ConvChips, nums(&[2.0, 4.0]))
+        .axis(Knob::FrequencyMhz, nums(&[450.0, 600.0, 750.0]));
 
-    for clusters in [1usize, 2, 4] {
-        for wheel in [2usize, 4] {
-            for mhz in [450.0, 600.0, 750.0] {
-                let mut node = presets::single_precision();
-                node.clusters = clusters;
-                node.cluster.conv_chips = wheel;
-                node.frequency_mhz = mhz;
-                let session = Session::with_node(node);
-                let r = session.train(&net)?;
-                t.row([
-                    clusters.to_string(),
-                    wheel.to_string(),
-                    format!("{mhz:.0}"),
-                    format!("{:.0}", node.peak_flops() / 1e12),
-                    format!("{:.0}", r.images_per_sec),
-                    format!("{:.0}", r.avg_power.total()),
-                    format!("{:.1}", r.images_per_sec / r.avg_power.total()),
-                ]);
+    let cfg = DseConfig {
+        suite: "design-space".to_string(),
+        ..DseConfig::default()
+    };
+    let report = dse::run(
+        &Session::single_precision(),
+        &zoo::overfeat_fast(),
+        &space,
+        &cfg,
+    );
+
+    for (i, p) in report.points.iter().enumerate() {
+        println!(
+            "{:47} {:>6.0} img/s  {:>6.1} GFLOPs/W  {:.4} J/img{}",
+            p.label,
+            p.images_per_sec,
+            p.gflops_per_watt,
+            p.joules_per_image,
+            if report.frontier.contains(&(i as u64)) {
+                "  <- pareto"
+            } else {
+                ""
             }
-        }
+        );
     }
-    println!("{t}");
+    for inf in &report.infeasible {
+        println!("infeasible: {} — {}", inf.label, inf.error);
+    }
+    println!(
+        "\n{} points, {} unique compiles (shared provenance-keyed cache), frontier of {}",
+        report.points.len(),
+        report.unique_compiles,
+        report.frontier.len()
+    );
     println!(
         "note: the power model's component watts are calibrated at 600 MHz; rows at other\n\
          frequencies scale compute time only, so treat them as performance-scaling studies."
