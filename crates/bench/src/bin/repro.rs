@@ -43,7 +43,9 @@ Benchmark reports and gates (CI):
                              regression gate: re-run and diff vs the baseline
   repro par-check            gate: sharded node engine vs the sequential oracle
   repro serve-drill --seed 42 [--write-bench BENCH_serve-drill.json] [--summary]
-                             seeded chaos drill (gate: exits nonzero on violation)
+                    [--stats-json stats.json]
+                             seeded chaos drill (gate: exits nonzero on violation);
+                             --stats-json writes the final server stats snapshot
 
 Design-space exploration:
   repro dse [--net alexnet] [--kind training] [--suite dse]
@@ -59,6 +61,10 @@ Design-space exploration:
 Job server:
   repro serve [--port 7878] [--workers 4] [--queue 16]
                              line-JSON job server over TCP
+  repro watch [--port 7878] [--host 127.0.0.1] [--net cnn-s] [--jobs 3]
+                             live client: submit watched jobs to a running
+                             `repro serve`, stream their progress lines, and
+                             finish with a server stats snapshot
 
 Global flags:
   --tier interpreter|compiled  functional execution tier for --sweep,
@@ -448,10 +454,193 @@ fn serve(port: u16, workers: usize, queue_capacity: usize, shards: usize) -> Res
     server.serve_tcp(&listener).map_err(|e| e.to_string())
 }
 
+/// `repro watch`: the live telemetry client. Connects to a running
+/// `repro serve`, submits `jobs` progress-subscribed simulate jobs (one
+/// tenant each from a fixed rotation) plus a final `stats` request, then
+/// renders the interleaved per-job progress lines as they arrive, a
+/// per-job summary table, and the server-wide stats snapshot.
+fn watch(host: &str, port: u16, net: &str, jobs: usize) -> Result<(), String> {
+    use scaledeep_serve::protocol::{self, ServerLine};
+    use scaledeep_serve::{JobKind, JobRequest, StatValue};
+    use std::io::{BufRead, BufReader, Write as _};
+    let tenants = ["alpha", "beta", "gamma"];
+    let addr = format!("{host}:{port}");
+    let stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| format!("connecting {addr} (is `repro serve` running?): {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    for i in 0..jobs {
+        let req = JobRequest::new(
+            tenants[i % tenants.len()],
+            JobKind::Simulate {
+                network: net.into(),
+                kind: scaledeep_sim::perf::RunKind::Training,
+            },
+        )
+        .with_progress();
+        writeln!(writer, "{}", protocol::request_to_json(&req)).map_err(|e| e.to_string())?;
+    }
+    writeln!(writer, "{}", protocol::stats_request_json()).map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    println!("watching {addr}: {jobs} `{net}` job(s) + stats");
+
+    // One row per job id, in arrival order.
+    let mut table_rows: Vec<WatchRow> = Vec::new();
+    let mut finished = 0usize;
+    for line in BufReader::new(stream).lines() {
+        let line = line.map_err(|e| format!("reading {addr}: {e}"))?;
+        match protocol::server_line_from_json(&line).map_err(|e| format!("bad line: {e}"))? {
+            ServerLine::Progress(ev) => {
+                let what = match (ev.label, ev.value) {
+                    (Some(label), Some(v)) => format!("{} {label} #{v}", ev.kind),
+                    (Some(label), None) => format!("{} {label}", ev.kind),
+                    (None, Some(v)) => format!("{} {v}", ev.kind),
+                    (None, None) => ev.kind.clone(),
+                };
+                println!(
+                    "  job {} ({:<6}) seq {:>3}  cycle {:>10}  {:<24} syncs={} faults={} retries={}{}",
+                    ev.job,
+                    ev.tenant,
+                    ev.seq,
+                    ev.cycle,
+                    what,
+                    ev.syncs,
+                    ev.faults,
+                    ev.retries,
+                    if ev.dropped > 0 {
+                        format!("  ({} dropped)", ev.dropped)
+                    } else {
+                        String::new()
+                    }
+                );
+                let row = match table_rows.iter_mut().find(|r| r.job == ev.job) {
+                    Some(row) => row,
+                    None => {
+                        table_rows.push(WatchRow::new(ev.job, ev.tenant.clone()));
+                        table_rows.last_mut().expect("just pushed")
+                    }
+                };
+                row.updates += 1;
+                row.dropped = ev.dropped;
+                row.syncs = ev.syncs;
+                row.faults = ev.faults;
+                row.retries = ev.retries;
+            }
+            ServerLine::Result(result) => {
+                finished += 1;
+                let outcome = match &result {
+                    Ok(reply) => format!("{reply:?}"),
+                    Err(e) => format!("error: {e}"),
+                };
+                // Responses arrive in submission order; a job that never
+                // streamed (e.g. rejected at admission) gets its own row.
+                match table_rows.get_mut(finished - 1) {
+                    Some(row) => row.outcome = outcome,
+                    None => {
+                        let mut row = WatchRow::new(0, "?".into());
+                        row.outcome = outcome;
+                        table_rows.push(row);
+                    }
+                }
+            }
+            ServerLine::Stats(snap) => {
+                let mut t = Table::new("server stats snapshot")
+                    .headers(["metric", "count", "p50", "p99", "value"]);
+                for (name, v) in &snap.metrics {
+                    match v {
+                        StatValue::Counter(c) => t.row([
+                            name.clone(),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                            c.to_string(),
+                        ]),
+                        StatValue::Gauge(g) => t.row([
+                            name.clone(),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                            format!("{g:.0}"),
+                        ]),
+                        StatValue::Hist {
+                            count, p50, p99, ..
+                        } => t.row([
+                            name.clone(),
+                            count.to_string(),
+                            format!("{p50:.0}"),
+                            format!("{p99:.0}"),
+                            "-".into(),
+                        ]),
+                    };
+                }
+                print_watch_summary(&table_rows);
+                print!("{t}");
+                return Ok(());
+            }
+        }
+    }
+    Err(format!(
+        "{addr} closed after {finished} of {jobs} job(s) without answering stats"
+    ))
+}
+
+/// One `repro watch` summary row: the running progress totals and final
+/// outcome of a watched job.
+struct WatchRow {
+    job: u64,
+    tenant: String,
+    updates: u64,
+    dropped: u64,
+    syncs: u64,
+    faults: u64,
+    retries: u64,
+    outcome: String,
+}
+
+impl WatchRow {
+    fn new(job: u64, tenant: String) -> Self {
+        Self {
+            job,
+            tenant,
+            updates: 0,
+            dropped: 0,
+            syncs: 0,
+            faults: 0,
+            retries: 0,
+            outcome: "…".into(),
+        }
+    }
+}
+
+/// The per-job half of the `repro watch` output.
+fn print_watch_summary(rows: &[WatchRow]) {
+    let mut t = Table::new("watched jobs").headers([
+        "job", "tenant", "updates", "dropped", "syncs", "faults", "retries", "outcome",
+    ]);
+    for r in rows {
+        t.row([
+            r.job.to_string(),
+            r.tenant.clone(),
+            r.updates.to_string(),
+            r.dropped.to_string(),
+            r.syncs.to_string(),
+            r.faults.to_string(),
+            r.retries.to_string(),
+            r.outcome.clone(),
+        ]);
+    }
+    print!("{t}");
+}
+
 /// `repro serve-drill`: runs the seeded chaos drill, prints the
 /// degradation table and deterministic verdict, optionally writes the
-/// BENCH JSON, and exits nonzero when any drill invariant is violated.
-fn serve_drill(seed: u64, write_bench: Option<&str>, summary_only: bool) -> Result<(), String> {
+/// BENCH JSON and/or the final server stats snapshot (the CI artifact),
+/// and exits nonzero when any drill invariant is violated.
+fn serve_drill(
+    seed: u64,
+    write_bench: Option<&str>,
+    stats_json: Option<&str>,
+    summary_only: bool,
+) -> Result<(), String> {
     let cfg = scaledeep_serve::DrillConfig {
         seed,
         ..scaledeep_serve::DrillConfig::default()
@@ -464,6 +653,11 @@ fn serve_drill(seed: u64, write_bench: Option<&str>, summary_only: bool) -> Resu
     }
     if let Some(path) = write_bench {
         let json = report.to_bench_json();
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = stats_json {
+        let json = report.stats_json();
         std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
     }
@@ -848,6 +1042,21 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("watch") {
+        let port = parse_or_die(flag_value(&args, "--port"), "--port", 7878);
+        let Ok(port) = u16::try_from(port) else {
+            eprintln!("--port must fit in 16 bits, got {port}");
+            std::process::exit(1);
+        };
+        let host = flag_value(&args, "--host").unwrap_or_else(|| "127.0.0.1".into());
+        let net = flag_value(&args, "--net").unwrap_or_else(|| "cnn-s".into());
+        let jobs = parse_or_die(flag_value(&args, "--jobs"), "--jobs", 3) as usize;
+        if let Err(e) = watch(&host, port, &net, jobs.max(1)) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.first().map(String::as_str) == Some("dse") {
         if let Err(e) = dse_cmd(&args[1..], shards) {
             eprintln!("{e}");
@@ -865,8 +1074,14 @@ fn main() {
     if args.first().map(String::as_str) == Some("serve-drill") {
         let seed = parse_or_die(flag_value(&args, "--seed"), "--seed", 0);
         let write_bench = flag_value(&args, "--write-bench");
+        let stats_json = flag_value(&args, "--stats-json");
         let summary_only = args.iter().any(|a| a == "--summary");
-        if let Err(e) = serve_drill(seed, write_bench.as_deref(), summary_only) {
+        if let Err(e) = serve_drill(
+            seed,
+            write_bench.as_deref(),
+            stats_json.as_deref(),
+            summary_only,
+        ) {
             eprintln!("{e}");
             std::process::exit(1);
         }
@@ -1049,6 +1264,8 @@ mod tests {
         for needle in [
             "serve",
             "serve-drill",
+            "watch",
+            "--stats-json",
             "par-check",
             "dse",
             "--check",

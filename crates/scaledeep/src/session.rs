@@ -20,7 +20,7 @@ use scaledeep_sim::perf::{PerfOptions, PerfResult, PerfSim, RunKind};
 use scaledeep_tensor::Executor;
 use scaledeep_trace::{
     chrome_trace, cycle_csv, utilization_heatmap, CategoryMask, Event, FilterSink, MetricsRegistry,
-    Payload, RingSink, TraceSink, Tracer, TrackTable,
+    NullSink, Payload, ProgressSender, ProgressSink, RingSink, TraceSink, Tracer, TrackTable,
 };
 
 /// How a traced run records events: which categories pass, how densely
@@ -431,6 +431,33 @@ impl Session {
         net: &Network,
         opts: &CompileOptions,
     ) -> Result<Arc<CompiledArtifact>> {
+        self.compile_observed(net, opts, &mut Tracer::disabled())
+    }
+
+    /// [`Session::compile_with`] reporting pipeline phases through a
+    /// progress channel: on a cache miss, each phase entered becomes a
+    /// [`scaledeep_trace::ProgressKind::Phase`] update; cache hits (memory
+    /// or disk) emit nothing — progress reflects work actually done.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::compile_with`].
+    pub fn compile_with_progress(
+        &self,
+        net: &Network,
+        opts: &CompileOptions,
+        progress: &ProgressSender,
+    ) -> Result<Arc<CompiledArtifact>> {
+        let mut tracer = Tracer::new(ProgressSink::new(NullSink, progress.clone()));
+        self.compile_observed(net, opts, &mut tracer)
+    }
+
+    fn compile_observed<S: TraceSink>(
+        &self,
+        net: &Network,
+        opts: &CompileOptions,
+        tracer: &mut Tracer<S>,
+    ) -> Result<Arc<CompiledArtifact>> {
         let key = Provenance::new(&self.node, net, opts).cache_key();
         if let Some(hit) = self.lock_cache().get(&key).cloned() {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
@@ -444,7 +471,7 @@ impl Session {
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
-        let compiled = pipeline::compile(&self.node, net, opts);
+        let compiled = pipeline::compile_traced(&self.node, net, opts, tracer);
         let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.stats.compile_nanos.fetch_add(nanos, Ordering::Relaxed);
         let artifact = Arc::new(compiled?);
@@ -542,6 +569,28 @@ impl Session {
         self.sim.run_mapped(artifact.mapping(), kind)
     }
 
+    /// [`Session::run_mapped`] reporting live progress: the pipeline's
+    /// sync-window completions (and link retries) stream through
+    /// `progress` as deterministic, cycle-stamped updates. The result is
+    /// identical to the untraced run — progress is a tee over the
+    /// instrumentation, never a change to the model.
+    pub fn run_mapped_progress(
+        &self,
+        artifact: &CompiledArtifact,
+        kind: RunKind,
+        progress: &ProgressSender,
+    ) -> PerfResult {
+        let mut tracer = Tracer::new(ProgressSink::new(NullSink, progress.clone()));
+        let mut reg = MetricsRegistry::new();
+        self.sim.run_mapped_traced(
+            artifact.mapping(),
+            kind,
+            &FaultPlan::none(),
+            &mut tracer,
+            &mut reg,
+        )
+    }
+
     /// Simulates an already-compiled artifact under a fault plan:
     /// transient link errors charge retry/back-off latency, reported in
     /// the result's fault statistics. The empty plan is bit-identical to
@@ -633,6 +682,26 @@ impl Session {
     /// tile dead).
     pub fn run_resilient(&self, net: &Network, plan: &FaultPlan) -> Result<ResilientRun> {
         let mut tracer = Tracer::disabled();
+        let mut reg = MetricsRegistry::new();
+        self.run_resilient_impl(net, plan, &mut tracer, &mut reg)
+    }
+
+    /// [`Session::run_resilient`] reporting live progress: the first
+    /// attempt's checkpoint, instruction retirement (subsampled), faults,
+    /// and — on a tile failure — the remap all stream through `progress`.
+    /// The degraded retry contributes counters only (its machine clock
+    /// restarts at 0), matching the traced variant's event discipline.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run_resilient`].
+    pub fn run_resilient_progress(
+        &self,
+        net: &Network,
+        plan: &FaultPlan,
+        progress: &ProgressSender,
+    ) -> Result<ResilientRun> {
+        let mut tracer = Tracer::new(ProgressSink::new(NullSink, progress.clone()));
         let mut reg = MetricsRegistry::new();
         self.run_resilient_impl(net, plan, &mut tracer, &mut reg)
     }
@@ -1213,6 +1282,67 @@ mod tests {
             trace.metrics.counter_value("func.instructions"),
             Some(run.stats.instructions)
         );
+    }
+
+    #[test]
+    fn progress_run_matches_untraced_result_and_streams_deterministically() {
+        use scaledeep_sim::perf::RunKind;
+        use scaledeep_trace::progress_channel;
+        let s = Session::single_precision();
+        let net = zoo::alexnet();
+        let artifact = s.compile(&net).unwrap();
+        let (tx, rx) = progress_channel(4096);
+        let with = s.run_mapped_progress(&artifact, RunKind::Training, &tx);
+        let plain = s.run_mapped(&artifact, RunKind::Training);
+        assert_eq!(with, plain, "progress must not perturb the result");
+        let updates = rx.drain();
+        assert!(!updates.is_empty());
+        assert_eq!(rx.dropped(), 0);
+        assert!(
+            updates.windows(2).all(|w| w[0].seq < w[1].seq),
+            "sequence numbers must be strictly monotonic"
+        );
+        assert!(updates.iter().any(|u| u.kind.name() == "sync"));
+        // Same artifact, same kind, fresh channel: byte-identical stream.
+        let (tx2, rx2) = progress_channel(4096);
+        s.run_mapped_progress(&artifact, RunKind::Training, &tx2);
+        assert_eq!(updates, rx2.drain(), "progress must be seed-stable");
+    }
+
+    #[test]
+    fn progress_compile_reports_phases_only_on_miss() {
+        use scaledeep_trace::progress_channel;
+        let s = Session::single_precision();
+        let net = zoo::alexnet();
+        let (tx, rx) = progress_channel(64);
+        s.compile_with_progress(&net, &CompileOptions::default(), &tx)
+            .unwrap();
+        let phases: Vec<&str> = rx.drain().iter().filter_map(|u| u.kind.label()).collect();
+        assert_eq!(phases, pipeline::PHASES);
+        // A repeat compile is a cache hit: no phases run, none reported.
+        s.compile_with_progress(&net, &CompileOptions::default(), &tx)
+            .unwrap();
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn resilient_progress_reports_remap_and_matches_plain() {
+        use scaledeep_sim::fault::FaultKind;
+        use scaledeep_trace::progress_channel;
+        let s = Session::single_precision();
+        let net = tiny_training_net();
+        let plan = FaultPlan::seeded(7).with_fault(1, FaultKind::TileFailure { tile: 0 });
+        let (tx, rx) = progress_channel(1 << 16);
+        let run = s.run_resilient_progress(&net, &plan, &tx).unwrap();
+        assert!(run.retried);
+        let updates = rx.drain();
+        let saw = |name: &str| updates.iter().any(|u| u.kind.name() == name);
+        assert!(saw("checkpoint"));
+        assert!(saw("remap"));
+        assert!(saw("fault"));
+        assert!(saw("cycles"));
+        let plain = s.run_resilient(&net, &plan).unwrap();
+        assert_eq!(run.stats, plain.stats);
     }
 
     #[test]

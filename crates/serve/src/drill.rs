@@ -19,13 +19,15 @@
 //! the first degraded-recompile job runs alone to warm the cache before
 //! its siblings arrive.
 
-use crate::protocol::{ChaosDirective, JobKind, JobReply, JobRequest, JobResult, ServeError};
+use crate::protocol::{
+    ChaosDirective, JobKind, JobReply, JobRequest, JobResult, ServeError, StatsSnapshot,
+};
 use crate::retry::RetryPolicy;
 use crate::server::{install_chaos_panic_hook, JobHandle, Server, ServerConfig};
 use scaledeep::{report::Table, CacheStats, Session};
 use scaledeep_sim::perf::RunKind;
 use scaledeep_trace::json::{obj, Json};
-use scaledeep_trace::MetricsRegistry;
+use scaledeep_trace::{MetricsRegistry, ProgressUpdate};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -112,6 +114,53 @@ impl PhaseCounts {
     }
 }
 
+/// One watched job's progress-stream summary from the progress phase.
+/// Everything here is a pure function of the seed and drill shape, so it
+/// belongs to the deterministic half of the verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressProbe {
+    /// 0-based submission order within the phase.
+    pub ordinal: u64,
+    /// Updates the stream delivered.
+    pub updates: u64,
+    /// Updates the bounded channel evicted (must be 0 at drill capacity).
+    pub dropped: u64,
+    /// Whether sequence numbers were strictly monotonic.
+    pub monotonic: bool,
+    /// FNV-1a-64 over every update's full field set, in order — the
+    /// byte-identity witness same-seed replays must reproduce.
+    pub digest: u64,
+}
+
+impl ProgressProbe {
+    /// Summarizes one drained stream.
+    pub fn from_stream(ordinal: u64, updates: &[ProgressUpdate], dropped: u64) -> Self {
+        fn mix_bytes(digest: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+            bytes.into_iter().fold(digest, |d, b| {
+                (d ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+            })
+        }
+        let mix = |d: u64, v: u64| mix_bytes(d, v.to_le_bytes());
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for u in updates {
+            digest = mix(digest, u.seq);
+            digest = mix(digest, u.cycle);
+            digest = mix_bytes(digest, u.kind.name().bytes());
+            digest = mix(digest, u.kind.value().unwrap_or(u64::MAX));
+            digest = mix(digest, u.syncs);
+            digest = mix(digest, u.faults);
+            digest = mix(digest, u.retries);
+        }
+        Self {
+            ordinal,
+            updates: updates.len() as u64,
+            dropped,
+            monotonic: updates.windows(2).all(|w| w[0].seq < w[1].seq),
+            digest,
+        }
+    }
+}
+
 /// The drill's verdict: deterministic counts plus informational timing.
 #[derive(Debug, Clone)]
 pub struct DrillReport {
@@ -140,6 +189,8 @@ pub struct DrillReport {
     /// `(job id, backoff ladder ms)` for the transient-fault jobs: the
     /// seeded schedule same-seed replays must reproduce.
     pub schedules: Vec<(u64, Vec<u64>)>,
+    /// Per-watched-job stream summaries from the progress phase.
+    pub progress: Vec<ProgressProbe>,
     /// Final server metrics snapshot (latency histograms live here).
     pub metrics: MetricsRegistry,
 }
@@ -224,7 +275,21 @@ impl DrillReport {
             let ms: Vec<String> = ladder.iter().map(u64::to_string).collect();
             let _ = writeln!(out, "backoff job {id}: [{}]", ms.join(", "));
         }
+        for p in &self.progress {
+            let _ = writeln!(
+                out,
+                "progress job {}: updates={} dropped={} monotonic={} digest={:016x}",
+                p.ordinal, p.updates, p.dropped, p.monotonic, p.digest
+            );
+        }
         out
+    }
+
+    /// The final server metrics as a protocol `stats` line — what a live
+    /// `stats` request would have answered at drill end. CI uploads this
+    /// as a build artifact.
+    pub fn stats_json(&self) -> String {
+        crate::protocol::stats_to_json(&StatsSnapshot::from_registry(&self.metrics))
     }
 
     /// Violated drill invariants (empty = the storm degraded
@@ -328,6 +393,40 @@ impl DrillReport {
                  got {overload:?}"
             ),
         );
+        let watch = by_name("progress");
+        check(
+            watch.completed == watch.submitted,
+            format!("progress: expected all watched jobs completed, got {watch:?}"),
+        );
+        check(
+            self.progress.len() as u64 == watch.submitted,
+            format!(
+                "progress: expected {} stream probes, got {}",
+                watch.submitted,
+                self.progress.len()
+            ),
+        );
+        for p in &self.progress {
+            check(
+                p.updates > 0,
+                format!("progress job {}: empty stream", p.ordinal),
+            );
+            check(
+                p.monotonic,
+                format!("progress job {}: non-monotonic sequence", p.ordinal),
+            );
+            check(
+                p.dropped == 0,
+                format!(
+                    "progress job {}: {} updates dropped at drill capacity",
+                    p.ordinal, p.dropped
+                ),
+            );
+        }
+        check(
+            self.progress.windows(2).all(|w| w[0].digest == w[1].digest),
+            "progress: identical watched requests produced divergent streams".into(),
+        );
         bad
     }
 
@@ -377,6 +476,28 @@ impl DrillReport {
                 ]),
             ),
             ("backoff_ms", schedules),
+            (
+                "progress",
+                obj([
+                    ("jobs", n(self.progress.len() as u64)),
+                    (
+                        "updates",
+                        n(self.progress.iter().map(|p| p.updates).sum::<u64>()),
+                    ),
+                    (
+                        "dropped",
+                        n(self.progress.iter().map(|p| p.dropped).sum::<u64>()),
+                    ),
+                    (
+                        "digest",
+                        Json::Str(
+                            self.progress
+                                .first()
+                                .map_or_else(|| "-".into(), |p| format!("{:016x}", p.digest)),
+                        ),
+                    ),
+                ]),
+            ),
             (
                 "wall",
                 obj([
@@ -480,6 +601,7 @@ pub fn run_drill(cfg: &DrillConfig) -> DrillReport {
         seed: cfg.seed,
         supervisor_poll_ms: 2,
         shards: 0,
+        progress_capacity: 1024,
     };
     let server = Server::start(Session::single_precision(), server_cfg);
     let tenants = ["alpha", "beta", "gamma"];
@@ -639,6 +761,33 @@ pub fn run_drill(cfg: &DrillConfig) -> DrillReport {
     wait_all(&handles, &mut counts);
     phases.push(("overload", counts));
 
+    // Phase 8 — progress: three watched simulate jobs, run one at a
+    // time on the warmed compile cache (no fresh pipeline run, so the
+    // drill-wide miss count stays pinned). Each stream must be strictly
+    // monotonic and drop-free, and — same request against the same
+    // engine state — all three must digest identically; the digests
+    // land in the deterministic summary, so same-seed replays are held
+    // to byte-identical progress.
+    let mut counts = PhaseCounts::default();
+    let mut progress = Vec::new();
+    for ordinal in 0..3u64 {
+        let h = server.submit(
+            JobRequest::new(
+                tenants[ordinal as usize % tenants.len()],
+                simulate(PERF_NET),
+            )
+            .with_progress(),
+        );
+        counts.absorb(&h.wait());
+        let rx = h.progress().expect("watched job has a stream");
+        progress.push(ProgressProbe::from_stream(
+            ordinal,
+            &rx.drain(),
+            rx.dropped(),
+        ));
+    }
+    phases.push(("progress", counts));
+
     let metrics = server.metrics();
     let report = DrillReport {
         seed: cfg.seed,
@@ -655,6 +804,7 @@ pub fn run_drill(cfg: &DrillConfig) -> DrillReport {
         resilient_retried,
         resilient_dead_tiles,
         schedules,
+        progress,
         metrics,
     };
     server.shutdown();
@@ -688,6 +838,27 @@ mod tests {
     }
 
     #[test]
+    fn progress_probe_digest_is_field_sensitive() {
+        use scaledeep_trace::ProgressKind;
+        let mk = |seq, cycle| ProgressUpdate {
+            seq,
+            cycle,
+            kind: ProgressKind::Sync { index: 0 },
+            syncs: 1,
+            faults: 0,
+            retries: 0,
+        };
+        let a = ProgressProbe::from_stream(0, &[mk(0, 10), mk(1, 20)], 0);
+        let b = ProgressProbe::from_stream(0, &[mk(0, 10), mk(1, 20)], 0);
+        let c = ProgressProbe::from_stream(0, &[mk(0, 10), mk(1, 21)], 0);
+        assert_eq!(a, b, "same stream, same digest");
+        assert_ne!(a.digest, c.digest, "one cycle off flips the digest");
+        assert!(a.monotonic);
+        let d = ProgressProbe::from_stream(0, &[mk(1, 10), mk(1, 20)], 0);
+        assert!(!d.monotonic, "equal seqs are not monotonic");
+    }
+
+    #[test]
     fn report_renders_and_serializes() {
         let report = DrillReport {
             seed: 3,
@@ -704,6 +875,7 @@ mod tests {
             resilient_retried: 0,
             resilient_dead_tiles: 0,
             schedules: vec![(17, vec![3, 5])],
+            progress: vec![ProgressProbe::from_stream(0, &[], 0)],
             metrics: MetricsRegistry::new(),
         };
         let text = report.render();
@@ -717,6 +889,18 @@ mod tests {
         );
         assert!(parsed.get("jobs").is_some());
         assert!(parsed.get("wall").is_some());
+        assert_eq!(
+            parsed
+                .get("progress")
+                .and_then(|p| p.get("jobs"))
+                .and_then(Json::as_num),
+            Some(1.0)
+        );
+        let stats = report.stats_json();
+        assert!(
+            crate::protocol::stats_from_json(&stats).is_ok(),
+            "stats artifact round-trips as a protocol stats line: {stats}"
+        );
         assert_eq!(
             parsed
                 .get("backoff_ms")

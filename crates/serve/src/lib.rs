@@ -21,6 +21,13 @@
 //!   and the TCP front-end.
 //! * [`drill`] — the scripted chaos drill with a seed-deterministic
 //!   verdict and CI-gateable invariants.
+//!
+//! The telemetry plane rides the same boundary: jobs that opt in via
+//! [`protocol::JobRequest::progress`] stream bounded, monotonic
+//! [`protocol::ProgressEvent`] lines ahead of their terminal reply, and a
+//! `stats` request snapshots the server's metrics registry
+//! ([`protocol::StatsSnapshot`]) — counters, gauges, and latency
+//! histograms — as one wire line.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,7 +39,10 @@ pub mod retry;
 pub mod server;
 pub mod singleflight;
 
-pub use drill::{run_drill, DrillConfig, DrillReport, PhaseCounts};
-pub use protocol::{ChaosDirective, JobKind, JobReply, JobRequest, JobResult, ServeError};
+pub use drill::{run_drill, DrillConfig, DrillReport, PhaseCounts, ProgressProbe};
+pub use protocol::{
+    ChaosDirective, JobKind, JobReply, JobRequest, JobResult, ProgressEvent, Request, ServeError,
+    ServerLine, StatValue, StatsSnapshot,
+};
 pub use retry::RetryPolicy;
 pub use server::{install_chaos_panic_hook, JobHandle, Server, ServerConfig};

@@ -92,6 +92,9 @@ pub struct JobRequest {
     pub deadline_ms: Option<u64>,
     /// Optional chaos directive (drills only).
     pub chaos: Option<ChaosDirective>,
+    /// When true, the server interleaves [`ProgressEvent`] lines for this
+    /// job on the submitting connection, before the terminal response.
+    pub progress: bool,
 }
 
 impl JobRequest {
@@ -102,6 +105,7 @@ impl JobRequest {
             kind,
             deadline_ms: None,
             chaos: None,
+            progress: false,
         }
     }
 
@@ -116,6 +120,13 @@ impl JobRequest {
     #[must_use]
     pub fn with_chaos(mut self, chaos: ChaosDirective) -> Self {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Subscribes to interleaved progress lines.
+    #[must_use]
+    pub fn with_progress(mut self) -> Self {
+        self.progress = true;
         self
     }
 }
@@ -281,6 +292,9 @@ pub fn request_to_json(req: &JobRequest) -> String {
             ]),
         ));
     }
+    if req.progress {
+        fields.push(("progress", Json::Bool(true)));
+    }
     obj(fields).render()
 }
 
@@ -352,12 +366,48 @@ pub fn request_from_json(line: &str) -> Result<JobRequest, String> {
             stall_ms: get_u64(c, "stall_ms")?,
         }),
     };
+    let progress = match doc.get("progress") {
+        None | Some(Json::Null) | Some(Json::Bool(false)) => false,
+        Some(Json::Bool(true)) => true,
+        Some(_) => return Err("`progress` is not a boolean".to_string()),
+    };
     Ok(JobRequest {
         tenant,
         kind,
         deadline_ms,
         chaos,
+        progress,
     })
+}
+
+/// One line a client may send: a job submission or a server-wide stats
+/// snapshot request (`{"op": "stats"}` — answered inline on the
+/// connection, never queued).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job through the fair queue.
+    Job(JobRequest),
+    /// Snapshot the server's metrics registry.
+    Stats,
+}
+
+/// The stats request as one JSON line (no trailing newline).
+pub fn stats_request_json() -> String {
+    obj([("op", Json::Str("stats".into()))]).render()
+}
+
+/// Parses any client line: `stats` requests are recognized before job
+/// parsing (they carry no `tenant`/`network`).
+///
+/// # Errors
+///
+/// See [`request_from_json`].
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = json::parse(line)?;
+    if doc.get("op").and_then(Json::as_str) == Some("stats") {
+        return Ok(Request::Stats);
+    }
+    request_from_json(line).map(Request::Job)
 }
 
 /// Renders a result as one JSON line (no trailing newline).
@@ -478,6 +528,333 @@ pub fn result_from_json(line: &str) -> Result<JobResult, String> {
     }))
 }
 
+// ------------------------------------------------------- progress lines
+
+/// One interleaved progress line: a job's [`ProgressUpdate`], tenant-
+/// tagged and annotated with the channel's drop count so a client can
+/// tell a quiet stream from a lossy one. Sequence numbers are per-job
+/// and strictly monotonic; a gap means the bounded channel evicted
+/// updates.
+///
+/// [`ProgressUpdate`]: scaledeep_trace::ProgressUpdate
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressEvent {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// Per-job emission ordinal (strictly monotonic).
+    pub seq: u64,
+    /// Stable kind name (`"queued"`, `"attempt"`, `"phase"`, `"sync"`,
+    /// `"cycles"`, `"checkpoint"`, `"remap"`, `"fault"`).
+    pub kind: String,
+    /// Simulation cycle of the underlying event (0 for host-level kinds).
+    pub cycle: u64,
+    /// Kind-specific numeric detail (attempt number, sync index, retired
+    /// count, dead-tile count).
+    pub value: Option<u64>,
+    /// Kind-specific string detail (phase name, fault kind).
+    pub label: Option<String>,
+    /// Sync windows completed so far.
+    pub syncs: u64,
+    /// Faults observed so far.
+    pub faults: u64,
+    /// Link retries charged so far.
+    pub retries: u64,
+    /// Updates the bounded channel evicted so far (queue pressure, not
+    /// wire loss).
+    pub dropped: u64,
+}
+
+impl ProgressEvent {
+    /// Tags a channel update with its job identity and drop count.
+    pub fn from_update(
+        job: u64,
+        tenant: impl Into<String>,
+        update: &scaledeep_trace::ProgressUpdate,
+        dropped: u64,
+    ) -> Self {
+        Self {
+            job,
+            tenant: tenant.into(),
+            seq: update.seq,
+            kind: update.kind.name().to_string(),
+            cycle: update.cycle,
+            value: update.kind.value(),
+            label: update.kind.label().map(str::to_string),
+            syncs: update.syncs,
+            faults: update.faults,
+            retries: update.retries,
+            dropped,
+        }
+    }
+}
+
+/// Renders a progress event as one JSON line (no trailing newline).
+pub fn progress_to_json(ev: &ProgressEvent) -> String {
+    obj([(
+        "progress",
+        obj([
+            ("job", u64s(ev.job)),
+            ("tenant", Json::Str(ev.tenant.clone())),
+            ("seq", u64s(ev.seq)),
+            ("kind", Json::Str(ev.kind.clone())),
+            ("cycle", u64s(ev.cycle)),
+            ("value", ev.value.map_or(Json::Null, u64s)),
+            (
+                "label",
+                ev.label
+                    .as_ref()
+                    .map_or(Json::Null, |l| Json::Str(l.clone())),
+            ),
+            ("syncs", u64s(ev.syncs)),
+            ("faults", u64s(ev.faults)),
+            ("retries", u64s(ev.retries)),
+            ("dropped", u64s(ev.dropped)),
+        ]),
+    )])
+    .render()
+}
+
+/// Parses one progress line.
+///
+/// # Errors
+///
+/// Returns a description of the malformed field.
+pub fn progress_from_json(line: &str) -> Result<ProgressEvent, String> {
+    let doc = json::parse(line)?;
+    let p = doc.get("progress").ok_or("line has no `progress` object")?;
+    Ok(ProgressEvent {
+        job: get_u64(p, "job")?,
+        tenant: get_str(p, "tenant")?.to_string(),
+        seq: get_u64(p, "seq")?,
+        kind: get_str(p, "kind")?.to_string(),
+        cycle: get_u64(p, "cycle")?,
+        value: match p.get("value") {
+            None | Some(Json::Null) => None,
+            Some(_) => Some(get_u64(p, "value")?),
+        },
+        label: match p.get("label") {
+            None | Some(Json::Null) => None,
+            Some(_) => Some(get_str(p, "label")?.to_string()),
+        },
+        syncs: get_u64(p, "syncs")?,
+        faults: get_u64(p, "faults")?,
+        retries: get_u64(p, "retries")?,
+        dropped: get_u64(p, "dropped")?,
+    })
+}
+
+// ---------------------------------------------------------- stats lines
+
+/// One metric's value in a [`StatsSnapshot`]. Wire shapes are
+/// distinguished structurally: counters ride as decimal strings, gauges
+/// as numbers, histograms as objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatValue {
+    /// Monotonic accumulator.
+    Counter(u64),
+    /// Last-write-wins value.
+    Gauge(f64),
+    /// Distribution summary (count plus sum/min/max/mean and the exact
+    /// p50/p99 estimates from the log2 buckets).
+    Hist {
+        /// Number of samples.
+        count: u64,
+        /// Sum of all samples.
+        sum: f64,
+        /// Smallest sample (0 when empty).
+        min: f64,
+        /// Largest sample.
+        max: f64,
+        /// Mean sample.
+        mean: f64,
+        /// 50th-percentile estimate.
+        p50: f64,
+        /// 99th-percentile estimate.
+        p99: f64,
+    },
+}
+
+/// A server-wide metrics snapshot: every registry entry, name-ordered.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// `(name, value)` pairs in registry (name) order.
+    pub metrics: Vec<(String, StatValue)>,
+}
+
+impl StatsSnapshot {
+    /// Summarizes a registry: counters/gauges verbatim, histograms
+    /// reduced to their wire summary. Order follows the registry's
+    /// name-sorted iteration, so same-state snapshots render identically.
+    pub fn from_registry(reg: &scaledeep_trace::MetricsRegistry) -> Self {
+        use scaledeep_trace::Value;
+        let metrics = reg
+            .iter()
+            .map(|(name, value)| {
+                let v = match value {
+                    Value::Counter(c) => StatValue::Counter(*c),
+                    Value::Gauge(g) => StatValue::Gauge(*g),
+                    Value::Histogram(h) => StatValue::Hist {
+                        count: h.count,
+                        sum: h.sum,
+                        min: if h.count == 0 { 0.0 } else { h.min },
+                        max: h.max,
+                        mean: h.mean(),
+                        p50: h.percentile(50.0),
+                        p99: h.percentile(99.0),
+                    },
+                };
+                (name.to_string(), v)
+            })
+            .collect();
+        Self { metrics }
+    }
+
+    /// The named counter's value, when present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.metrics.iter().find_map(|(n, v)| match v {
+            StatValue::Counter(c) if n == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// The named gauge's value, when present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find_map(|(n, v)| match v {
+            StatValue::Gauge(g) if n == name => Some(*g),
+            _ => None,
+        })
+    }
+
+    /// The named histogram's sample count, when present.
+    pub fn hist_count(&self, name: &str) -> Option<u64> {
+        self.metrics.iter().find_map(|(n, v)| match v {
+            StatValue::Hist { count, .. } if n == name => Some(*count),
+            _ => None,
+        })
+    }
+}
+
+/// Renders a stats snapshot as one JSON response line (no trailing
+/// newline): `{"ok": {"op": "stats", "metrics": {...}}}`.
+pub fn stats_to_json(snapshot: &StatsSnapshot) -> String {
+    let metrics: Vec<(String, Json)> = snapshot
+        .metrics
+        .iter()
+        .map(|(name, v)| {
+            let j = match v {
+                StatValue::Counter(c) => u64s(*c),
+                StatValue::Gauge(g) => Json::Num(*g),
+                StatValue::Hist {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    mean,
+                    p50,
+                    p99,
+                } => obj([
+                    ("count", u64s(*count)),
+                    ("sum", Json::Num(*sum)),
+                    ("min", Json::Num(*min)),
+                    ("max", Json::Num(*max)),
+                    ("mean", Json::Num(*mean)),
+                    ("p50", Json::Num(*p50)),
+                    ("p99", Json::Num(*p99)),
+                ]),
+            };
+            (name.clone(), j)
+        })
+        .collect();
+    obj([(
+        "ok",
+        obj([
+            ("op", Json::Str("stats".into())),
+            ("metrics", Json::Obj(metrics)),
+        ]),
+    )])
+    .render()
+}
+
+fn get_num(j: &Json, key: &str) -> Result<f64, String> {
+    j.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing or non-number `{key}`"))
+}
+
+/// Parses one stats response line.
+///
+/// # Errors
+///
+/// Returns a description of the malformed field.
+pub fn stats_from_json(line: &str) -> Result<StatsSnapshot, String> {
+    let doc = json::parse(line)?;
+    let ok = doc.get("ok").ok_or("line has no `ok` object")?;
+    if get_str(ok, "op")? != "stats" {
+        return Err("`ok.op` is not `stats`".to_string());
+    }
+    let entries = match ok.get("metrics") {
+        Some(Json::Obj(entries)) => entries,
+        _ => return Err("missing or non-object `metrics`".to_string()),
+    };
+    let mut metrics = Vec::with_capacity(entries.len());
+    for (name, j) in entries {
+        let v = match j {
+            Json::Str(s) => StatValue::Counter(
+                s.parse()
+                    .map_err(|_| format!("counter `{name}` is not a decimal u64"))?,
+            ),
+            Json::Num(n) => StatValue::Gauge(*n),
+            Json::Obj(_) => StatValue::Hist {
+                count: get_u64(j, "count")?,
+                sum: get_num(j, "sum")?,
+                min: get_num(j, "min")?,
+                max: get_num(j, "max")?,
+                mean: get_num(j, "mean")?,
+                p50: get_num(j, "p50")?,
+                p99: get_num(j, "p99")?,
+            },
+            other => return Err(format!("metric `{name}` has unexpected shape {other:?}")),
+        };
+        metrics.push((name.clone(), v));
+    }
+    Ok(StatsSnapshot { metrics })
+}
+
+// -------------------------------------------------------- client decode
+
+/// Any line a server may send on a connection: interleaved progress, a
+/// stats snapshot, or a terminal job result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerLine {
+    /// An interleaved per-job progress event.
+    Progress(ProgressEvent),
+    /// A stats snapshot (terminal for a `stats` request).
+    Stats(StatsSnapshot),
+    /// A terminal job result.
+    Result(JobResult),
+}
+
+/// Parses any server line: progress first (cheap structural check), then
+/// stats, then the terminal result taxonomy.
+///
+/// # Errors
+///
+/// Returns a description of the malformed field.
+pub fn server_line_from_json(line: &str) -> Result<ServerLine, String> {
+    let doc = json::parse(line)?;
+    if doc.get("progress").is_some() {
+        return progress_from_json(line).map(ServerLine::Progress);
+    }
+    if let Some(ok) = doc.get("ok") {
+        if ok.get("op").and_then(Json::as_str) == Some("stats") {
+            return stats_from_json(line).map(ServerLine::Stats);
+        }
+    }
+    result_from_json(line).map(ServerLine::Result)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,5 +947,196 @@ mod tests {
                 .contains("unknown op")
         );
         assert!(result_from_json("{\"err\": {\"kind\": \"mystery\"}}").is_err());
+    }
+
+    #[test]
+    fn progress_requests_round_trip() {
+        let req = JobRequest::new(
+            "alice",
+            JobKind::Simulate {
+                network: "alexnet".into(),
+                kind: RunKind::Training,
+            },
+        )
+        .with_progress();
+        let line = request_to_json(&req);
+        assert!(line.contains("\"progress\":true"));
+        round_trip_request(req);
+        // A request without the flag stays flag-free on the wire.
+        let plain = JobRequest::new(
+            "alice",
+            JobKind::Compile {
+                network: "alexnet".into(),
+            },
+        );
+        assert!(!request_to_json(&plain).contains("progress"));
+        round_trip_request(plain);
+        assert!(request_from_json(
+            "{\"tenant\": \"a\", \"op\": \"compile\", \"network\": \"x\", \"progress\": 7}"
+        )
+        .unwrap_err()
+        .contains("progress"));
+    }
+
+    #[test]
+    fn stats_requests_parse_before_job_fields() {
+        assert_eq!(parse_request(&stats_request_json()), Ok(Request::Stats));
+        let job = "{\"tenant\": \"a\", \"op\": \"compile\", \"network\": \"x\"}";
+        assert!(matches!(parse_request(job), Ok(Request::Job(_))));
+        assert!(parse_request("{}").is_err());
+    }
+
+    #[test]
+    fn progress_events_round_trip() {
+        let full = ProgressEvent {
+            job: 42,
+            tenant: "alice".into(),
+            seq: 7,
+            kind: "sync".into(),
+            cycle: u64::MAX,
+            value: Some(3),
+            label: None,
+            syncs: 4,
+            faults: 1,
+            retries: 9,
+            dropped: 0,
+        };
+        let line = progress_to_json(&full);
+        assert!(!line.contains('\n'));
+        assert_eq!(progress_from_json(&line).expect(&line), full);
+        let labeled = ProgressEvent {
+            kind: "phase".into(),
+            value: None,
+            label: Some("analyze".into()),
+            ..full
+        };
+        let line = progress_to_json(&labeled);
+        assert_eq!(progress_from_json(&line).expect(&line), labeled);
+    }
+
+    #[test]
+    fn stats_snapshots_round_trip() {
+        let snap = StatsSnapshot {
+            metrics: vec![
+                ("serve.jobs.submitted".into(), StatValue::Counter(12)),
+                ("serve.queue.depth".into(), StatValue::Gauge(3.0)),
+                (
+                    "serve.lat.run_ns".into(),
+                    StatValue::Hist {
+                        count: 12,
+                        sum: 4096.0,
+                        min: 128.0,
+                        max: 512.0,
+                        mean: 341.25,
+                        p50: 256.0,
+                        p99: 512.0,
+                    },
+                ),
+            ],
+        };
+        let line = stats_to_json(&snap);
+        assert!(!line.contains('\n'));
+        assert_eq!(stats_from_json(&line).expect(&line), snap);
+        assert_eq!(snap.counter("serve.jobs.submitted"), Some(12));
+        assert_eq!(snap.gauge("serve.queue.depth"), Some(3.0));
+        assert_eq!(snap.hist_count("serve.lat.run_ns"), Some(12));
+        assert_eq!(snap.counter("serve.queue.depth"), None);
+    }
+
+    #[test]
+    fn stats_snapshot_summarizes_a_registry() {
+        let mut reg = scaledeep_trace::MetricsRegistry::new();
+        let c = reg.counter("a.count");
+        reg.add(c, 5);
+        let g = reg.gauge("b.gauge");
+        reg.set(g, 2.5);
+        let h = reg.histogram("c.hist");
+        reg.observe(h, 4.0);
+        reg.observe(h, 16.0);
+        let snap = StatsSnapshot::from_registry(&reg);
+        assert_eq!(snap.counter("a.count"), Some(5));
+        assert_eq!(snap.gauge("b.gauge"), Some(2.5));
+        match snap.metrics.iter().find(|(n, _)| n == "c.hist") {
+            Some((_, StatValue::Hist { count, sum, .. })) => {
+                assert_eq!(*count, 2);
+                assert_eq!(*sum, 20.0);
+            }
+            other => panic!("expected hist, got {other:?}"),
+        }
+        // Empty hists render a finite min (Infinity has no JSON form).
+        let mut reg = scaledeep_trace::MetricsRegistry::new();
+        reg.histogram("empty");
+        let snap = StatsSnapshot::from_registry(&reg);
+        let line = stats_to_json(&snap);
+        assert_eq!(stats_from_json(&line).expect(&line), snap);
+    }
+
+    #[test]
+    fn server_lines_dispatch_by_shape() {
+        let progress = progress_to_json(&ProgressEvent {
+            job: 1,
+            tenant: "t".into(),
+            seq: 0,
+            kind: "queued".into(),
+            cycle: 0,
+            value: None,
+            label: None,
+            syncs: 0,
+            faults: 0,
+            retries: 0,
+            dropped: 0,
+        });
+        assert!(matches!(
+            server_line_from_json(&progress),
+            Ok(ServerLine::Progress(_))
+        ));
+        let stats = stats_to_json(&StatsSnapshot::default());
+        assert!(matches!(
+            server_line_from_json(&stats),
+            Ok(ServerLine::Stats(_))
+        ));
+        let result = result_to_json(&Ok(JobReply::Compiled {
+            provenance: 1,
+            conv_cols: 2,
+            degraded: false,
+        }));
+        assert!(matches!(
+            server_line_from_json(&result),
+            Ok(ServerLine::Result(Ok(JobReply::Compiled { .. })))
+        ));
+        assert!(server_line_from_json("not json").is_err());
+    }
+
+    #[test]
+    fn malformed_progress_and_stats_lines_are_described() {
+        // Unknown shapes and missing fields come back as typed errors,
+        // never panics.
+        assert!(progress_from_json("{\"progress\": {}}")
+            .unwrap_err()
+            .contains("job"));
+        assert!(progress_from_json("{\"ok\": {}}").is_err());
+        assert!(
+            progress_from_json("{\"progress\": {\"job\": 3}}").is_err(),
+            "u64 fields must ride as decimal strings"
+        );
+        assert!(stats_from_json("{\"ok\": {\"op\": \"compile\"}}")
+            .unwrap_err()
+            .contains("stats"));
+        assert!(stats_from_json("{\"ok\": {\"op\": \"stats\"}}")
+            .unwrap_err()
+            .contains("metrics"));
+        assert!(stats_from_json(
+            "{\"ok\": {\"op\": \"stats\", \"metrics\": {\"x\": {\"count\": \"1\"}}}}"
+        )
+        .unwrap_err()
+        .contains("sum"));
+        assert!(
+            stats_from_json("{\"ok\": {\"op\": \"stats\", \"metrics\": {\"x\": true}}}")
+                .unwrap_err()
+                .contains("unexpected shape")
+        );
+        // A progress-shaped line with garbage inside never falls through
+        // to the result parser.
+        assert!(server_line_from_json("{\"progress\": 5}").is_err());
     }
 }

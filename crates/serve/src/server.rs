@@ -25,14 +25,18 @@
 //! * **Dedup**: concurrent compiles of the same provenance collapse to
 //!   one pipeline run via [`Singleflight`].
 
-use crate::protocol::{JobKind, JobReply, JobRequest, JobResult, ServeError};
+use crate::protocol::{
+    JobKind, JobReply, JobRequest, JobResult, ProgressEvent, Request, ServeError, StatsSnapshot,
+};
 use crate::queue::FairQueue;
 use crate::retry::RetryPolicy;
 use crate::singleflight::{Flight, Singleflight};
 use scaledeep::{CompileOptions, CompiledArtifact, Provenance, Session};
 use scaledeep_dnn::zoo;
 use scaledeep_sim::fault::{FaultKind, FaultPlan};
-use scaledeep_trace::MetricsRegistry;
+use scaledeep_trace::{
+    progress_channel, MetricsRegistry, ProgressKind, ProgressReceiver, ProgressSender,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -82,6 +86,10 @@ pub struct ServerConfig {
     /// parallel node engine (`0` keeps the session's own setting —
     /// auto-resolved to available cores unless the caller configured it).
     pub shards: usize,
+    /// Bound on undrained progress updates per job; the channel evicts
+    /// (and counts) the oldest past this, so a slow client loses history
+    /// but never stalls a worker.
+    pub progress_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +102,7 @@ impl Default for ServerConfig {
             seed: 0,
             supervisor_poll_ms: 2,
             shards: 0,
+            progress_capacity: 1024,
         }
     }
 }
@@ -115,12 +124,20 @@ impl Ticket {
     }
 
     fn resolve(&self, result: JobResult) -> bool {
+        self.resolve_with(result, || {})
+    }
+
+    /// Resolves with `result`, running `on_win` after the state is set
+    /// but before waiters are notified — bookkeeping a winner records is
+    /// visible to whoever the notification wakes.
+    fn resolve_with(&self, result: JobResult, on_win: impl FnOnce()) -> bool {
         let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if g.is_some() {
             return false;
         }
         *g = Some(result);
         drop(g);
+        on_win();
         self.cv.notify_all();
         true
     }
@@ -162,6 +179,10 @@ struct Job {
     admitted: Instant,
     deadline: Instant,
     ticket: Arc<Ticket>,
+    /// The progress channel's producing half, when the request subscribed
+    /// ([`JobRequest::progress`]). Cloned with the job, so a recovered
+    /// orphan keeps reporting into the same stream.
+    progress: Option<ProgressSender>,
 }
 
 impl Job {
@@ -196,6 +217,7 @@ struct Shared {
     shutdown: AtomicBool,
     paused: AtomicBool,
     restarts: AtomicU64,
+    started: Instant,
 }
 
 impl Shared {
@@ -209,12 +231,6 @@ impl Shared {
         let mut m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         let id = m.histogram(name);
         m.observe(id, v);
-    }
-
-    fn gauge(&self, name: &str, v: f64) {
-        let mut m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
-        let id = m.gauge(name);
-        m.set(id, v);
     }
 
     fn count_outcome(&self, result: &JobResult) {
@@ -235,11 +251,58 @@ impl Shared {
     }
 
     /// Resolves `job` and records the outcome iff this call won the
-    /// resolution race.
+    /// resolution race. The outcome counter lands before waiters wake,
+    /// so a client that just saw its result also sees it counted.
     fn finish(&self, job: &Job, result: JobResult) {
-        if job.ticket.resolve(result.clone()) {
-            self.count_outcome(&result);
-        }
+        job.ticket
+            .resolve_with(result.clone(), || self.count_outcome(&result));
+    }
+
+    /// The one place queue depth is recorded: gauge and histogram update
+    /// together, under one registry lock, so the enqueue and drain paths
+    /// can never leave the two views skewed.
+    fn note_queue_depth(&self) {
+        let depth = self.queue.len() as f64;
+        let mut m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
+        let g = m.gauge("serve.queue.depth");
+        m.set(g, depth);
+        let h = m.histogram("serve.queue.depth.hist");
+        m.observe(h, depth);
+    }
+
+    /// Snapshots the registry under a short-lived lock (just the clone),
+    /// then augments the copy outside it: atomically-tracked counters
+    /// (worker restarts, singleflight), the jobs-in-flight gauge read
+    /// from the worker slots, and server uptime.
+    fn metrics_snapshot(&self) -> MetricsRegistry {
+        let mut m = {
+            self.metrics
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone()
+        };
+        let restarts = m.counter("serve.worker.restarts");
+        m.add(restarts, self.restarts.load(Ordering::Relaxed));
+        let (leads, waits) = self.flights.stats();
+        let lead_id = m.counter("serve.singleflight.leads");
+        m.add(lead_id, leads);
+        let wait_id = m.counter("serve.singleflight.waits");
+        m.add(wait_id, waits);
+        let in_flight = self
+            .slots
+            .iter()
+            .filter(|s| {
+                s.current
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .is_some()
+            })
+            .count();
+        let g = m.gauge("serve.jobs.in_flight");
+        m.set(g, in_flight as f64);
+        let up = m.gauge("serve.uptime_ms");
+        m.set(up, self.started.elapsed().as_millis() as f64);
+        m
     }
 }
 
@@ -252,12 +315,28 @@ pub struct JobHandle {
     /// Wait slack past the deadline for the supervisor's sweep to land
     /// before the client resolves the timeout itself.
     grace: Duration,
+    /// The progress channel's consuming half, when the request subscribed.
+    progress: Option<ProgressReceiver>,
 }
 
 impl JobHandle {
     /// The job's server-assigned id.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The job's deadline (client-requested or the server default).
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+
+    /// The job's progress stream, when the request subscribed
+    /// ([`JobRequest::progress`]). Drain it while polling
+    /// [`JobHandle::try_result`]; the channel is bounded, so an undrained
+    /// stream loses (and counts) its oldest updates rather than stalling
+    /// the worker.
+    pub fn progress(&self) -> Option<&ProgressReceiver> {
+        self.progress.as_ref()
     }
 
     /// Blocks until the job resolves. Bounded: at the deadline (plus a
@@ -332,6 +411,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             paused: AtomicBool::new(false),
             restarts: AtomicU64::new(0),
+            started: Instant::now(),
         });
         for i in 0..shared.slots.len() {
             let handle = spawn_worker(&shared, i);
@@ -363,23 +443,12 @@ impl Server {
         &self.shared.session
     }
 
-    /// A snapshot of the server's metrics (counters, queue-depth gauge,
-    /// queue/service log2 latency histograms in microseconds).
+    /// A snapshot of the server's metrics: counters, gauges (queue depth,
+    /// jobs in flight, uptime), and log2 latency histograms (queue/service
+    /// microseconds plus queue-wait/compile/run nanoseconds). The registry
+    /// lock is held only for the clone; augmentation happens outside it.
     pub fn metrics(&self) -> MetricsRegistry {
-        let mut m = self
-            .shared
-            .metrics
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone();
-        let restarts = m.counter("serve.worker.restarts");
-        m.add(restarts, self.shared.restarts.load(Ordering::Relaxed));
-        let (leads, waits) = self.shared.flights.stats();
-        let lead_id = m.counter("serve.singleflight.leads");
-        m.add(lead_id, leads);
-        let wait_id = m.counter("serve.singleflight.waits");
-        m.add(wait_id, waits);
-        m
+        self.shared.metrics_snapshot()
     }
 
     /// `(leads, waits)` of the compile singleflight table.
@@ -484,14 +553,23 @@ fn submit_shared(shared: &Arc<Shared>, request: JobRequest) -> JobHandle {
         .unwrap_or(shared.cfg.default_deadline_ms);
     let deadline = now + Duration::from_millis(deadline_ms);
     let ticket = Ticket::new();
+    let (progress_tx, progress_rx) = if request.progress {
+        let (tx, rx) = progress_channel(shared.cfg.progress_capacity);
+        (Some(tx), Some(rx))
+    } else {
+        (None, None)
+    };
     let handle = JobHandle {
         id: shared.next_id.fetch_add(1, Ordering::Relaxed),
         deadline,
         ticket: Arc::clone(&ticket),
         shared: Arc::downgrade(shared),
         grace: Duration::from_millis(shared.cfg.supervisor_poll_ms * 10 + 200),
+        progress: progress_rx,
     };
     shared.count("serve.jobs.submitted", 1);
+    shared.count(&format!("serve.tenant.{}.submitted", request.tenant), 1);
+    let progress_ref = progress_tx.clone();
     let job = Job {
         id: handle.id,
         request,
@@ -499,6 +577,7 @@ fn submit_shared(shared: &Arc<Shared>, request: JobRequest) -> JobHandle {
         admitted: now,
         deadline,
         ticket,
+        progress: progress_tx,
     };
     if zoo::by_name(job.request.kind.network()).is_none() {
         shared.finish(
@@ -510,6 +589,13 @@ fn submit_shared(shared: &Arc<Shared>, request: JobRequest) -> JobHandle {
         return handle;
     }
     let tenant = job.request.tenant.clone();
+    // Admission marker *before* the push: once the job is in the queue a
+    // worker may pop it (and report an attempt) immediately, so emitting
+    // afterwards would race the stream's ordering. A shed job's stream
+    // reads `queued` then the typed `overloaded` terminal.
+    if let Some(tx) = &progress_ref {
+        tx.push(0, ProgressKind::Queued);
+    }
     if let Err(job) = shared.queue.push(&tenant, job) {
         let err = ServeError::Overloaded {
             queued: shared.queue.len(),
@@ -518,9 +604,7 @@ fn submit_shared(shared: &Arc<Shared>, request: JobRequest) -> JobHandle {
         shared.finish(&job, Err(err));
         return handle;
     }
-    let depth = shared.queue.len();
-    shared.gauge("serve.queue.depth", depth as f64);
-    shared.observe("serve.queue.depth.hist", depth as f64);
+    shared.note_queue_depth();
     handle
 }
 
@@ -554,7 +638,7 @@ fn worker_loop(shared: &Arc<Shared>, slot: usize) {
             std::thread::sleep(Duration::from_millis(1));
             continue;
         }
-        shared.gauge("serve.queue.depth", shared.queue.len() as f64);
+        shared.note_queue_depth();
         process_job(shared, slot, job);
     }
 }
@@ -570,6 +654,10 @@ fn process_job(shared: &Arc<Shared>, slot: usize, mut job: Job) {
     }
     if job.attempts == 0 {
         shared.observe("serve.queue_us", job.admitted.elapsed().as_micros() as f64);
+        shared.observe(
+            "serve.lat.queue_ns",
+            job.admitted.elapsed().as_nanos() as f64,
+        );
     }
     *shared.slots[slot]
         .current
@@ -638,15 +726,28 @@ fn run_attempts(shared: &Arc<Shared>, job: &mut Job) -> Option<JobResult> {
         if Instant::now() >= job.deadline {
             return Some(Err(job.deadline_error()));
         }
+        if let Some(tx) = &job.progress {
+            tx.push(
+                0,
+                ProgressKind::Attempt {
+                    attempt: job.attempts + 1,
+                },
+            );
+        }
         return Some(execute(shared, job));
     }
 }
 
-/// The engine call behind a job, with singleflight-deduped compiles.
+/// The engine call behind a job, with singleflight-deduped compiles,
+/// latency decomposition (`serve.lat.compile_ns` / `serve.lat.run_ns`),
+/// and — when the request subscribed — progress-teed engine runs.
 fn execute(shared: &Arc<Shared>, job: &Job) -> JobResult {
+    let progress = job.progress.as_ref();
     match &job.request.kind {
         JobKind::Compile { network } => {
-            let artifact = compile_deduped(shared, network, job.deadline)?;
+            let t0 = Instant::now();
+            let artifact = compile_deduped(shared, network, job.deadline, progress)?;
+            shared.observe("serve.lat.compile_ns", t0.elapsed().as_nanos() as f64);
             Ok(JobReply::Compiled {
                 provenance: artifact.provenance().cache_key(),
                 conv_cols: artifact.mapping().conv_cols_used(),
@@ -654,8 +755,15 @@ fn execute(shared: &Arc<Shared>, job: &Job) -> JobResult {
             })
         }
         JobKind::Simulate { network, kind } => {
-            let artifact = compile_deduped(shared, network, job.deadline)?;
-            let r = shared.session.run_mapped(&artifact, *kind);
+            let t0 = Instant::now();
+            let artifact = compile_deduped(shared, network, job.deadline, progress)?;
+            shared.observe("serve.lat.compile_ns", t0.elapsed().as_nanos() as f64);
+            let t1 = Instant::now();
+            let r = match progress {
+                Some(tx) => shared.session.run_mapped_progress(&artifact, *kind, tx),
+                None => shared.session.run_mapped(&artifact, *kind),
+            };
+            shared.observe("serve.lat.run_ns", t1.elapsed().as_nanos() as f64);
             Ok(JobReply::Simulated {
                 images_per_sec: r.images_per_sec,
                 stages: r.stages.len(),
@@ -671,7 +779,13 @@ fn execute(shared: &Arc<Shared>, job: &Job) -> JobResult {
             if let Some(tile) = kill_tile {
                 plan = plan.with_fault(1, FaultKind::TileFailure { tile: *tile });
             }
-            match shared.session.run_resilient(&net, &plan) {
+            let t1 = Instant::now();
+            let run = match progress {
+                Some(tx) => shared.session.run_resilient_progress(&net, &plan, tx),
+                None => shared.session.run_resilient(&net, &plan),
+            };
+            shared.observe("serve.lat.run_ns", t1.elapsed().as_nanos() as f64);
+            match run {
                 Ok(r) => Ok(JobReply::Resilient {
                     cycles: r.stats.cycles,
                     retried: r.retried,
@@ -693,23 +807,27 @@ fn lookup(network: &str) -> Result<scaledeep_dnn::Network, ServeError> {
 
 /// Compiles through the session cache with concurrent identical misses
 /// collapsed: the flight leader runs the pipeline, waiters share its
-/// artifact (bounded by their own deadline).
+/// artifact (bounded by their own deadline). A subscribed flight leader
+/// streams per-phase progress; waiters and cache hits stream nothing —
+/// progress reports work actually done, not work shared.
 fn compile_deduped(
     shared: &Arc<Shared>,
     network: &str,
     deadline: Instant,
+    progress: Option<&ProgressSender>,
 ) -> Result<Arc<CompiledArtifact>, ServeError> {
     let net = lookup(network)?;
     let opts = CompileOptions::default();
     let key = Provenance::new(shared.session.node(), &net, &opts).cache_key();
     match shared.flights.join(key, deadline) {
         Flight::Lead(guard) => {
-            let result = shared
-                .session
-                .compile_with(&net, &opts)
-                .map_err(|e| ServeError::Failed {
-                    detail: e.to_string(),
-                });
+            let compiled = match progress {
+                Some(tx) => shared.session.compile_with_progress(&net, &opts, tx),
+                None => shared.session.compile_with(&net, &opts),
+            };
+            let result = compiled.map_err(|e| ServeError::Failed {
+                detail: e.to_string(),
+            });
             guard.publish(result.clone());
             result
         }
@@ -821,18 +939,63 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
         if line.trim().is_empty() {
             continue;
         }
-        let result = match crate::protocol::request_from_json(&line) {
-            Err(detail) => Err(ServeError::Rejected { detail }),
-            Ok(request) => submit_shared(shared, request).wait(),
+        let ok = match crate::protocol::parse_request(&line) {
+            Err(detail) => write_line(
+                &mut writer,
+                &crate::protocol::result_to_json(&Err(ServeError::Rejected { detail })),
+            ),
+            Ok(Request::Stats) => {
+                // Count first so the stats endpoint observes itself in
+                // the very snapshot it returns.
+                shared.count("serve.stats.requests", 1);
+                let snap = StatsSnapshot::from_registry(&shared.metrics_snapshot());
+                write_line(&mut writer, &crate::protocol::stats_to_json(&snap))
+            }
+            Ok(Request::Job(request)) => serve_job(shared, &mut writer, request),
         };
-        let payload = crate::protocol::result_to_json(&result);
-        if writeln!(writer, "{payload}")
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
+        if !ok {
             return;
         }
     }
+}
+
+/// Submits one job and writes its lines: every buffered progress update
+/// (one line each, in sequence order) strictly before the single
+/// terminal result line.
+fn serve_job(shared: &Arc<Shared>, writer: &mut TcpStream, request: JobRequest) -> bool {
+    let tenant = request.tenant.clone();
+    let handle = submit_shared(shared, request);
+    let Some(rx) = handle.progress() else {
+        let result = handle.wait();
+        return write_line(writer, &crate::protocol::result_to_json(&result));
+    };
+    let result = loop {
+        // Take the result *before* draining: anything the worker pushed
+        // before resolving is in the channel by now, so the final drain
+        // below still runs and no update can land after the terminal
+        // line.
+        let done = handle.try_result();
+        for update in rx.drain() {
+            let ev = ProgressEvent::from_update(handle.id(), tenant.clone(), &update, rx.dropped());
+            if !write_line(writer, &crate::protocol::progress_to_json(&ev)) {
+                return false;
+            }
+        }
+        if let Some(result) = done {
+            break result;
+        }
+        if Instant::now() >= handle.deadline() + handle.grace {
+            break handle.wait();
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    write_line(writer, &crate::protocol::result_to_json(&result))
+}
+
+fn write_line(writer: &mut TcpStream, payload: &str) -> bool {
+    writeln!(writer, "{payload}")
+        .and_then(|()| writer.flush())
+        .is_ok()
 }
 
 #[cfg(test)]
@@ -1048,6 +1211,88 @@ mod tests {
     }
 
     #[test]
+    fn progress_job_streams_monotonic_deterministic_updates() {
+        let server = quick_server(small_cfg());
+        // Pre-warm the compile cache so the progress sequence reflects
+        // only the (deterministic) simulation, not a first-compile race.
+        server
+            .submit(JobRequest::new(
+                "warm",
+                JobKind::Compile {
+                    network: "cnn-s".into(),
+                },
+            ))
+            .wait()
+            .expect("warm compile");
+        let run = || {
+            let h = server.submit(
+                JobRequest::new(
+                    "a",
+                    JobKind::Simulate {
+                        network: "cnn-s".into(),
+                        kind: RunKind::Training,
+                    },
+                )
+                .with_progress(),
+            );
+            let r = h.wait();
+            assert!(matches!(r, Ok(JobReply::Simulated { .. })), "{r:?}");
+            let rx = h.progress().expect("subscribed job has a stream");
+            let updates = rx.drain();
+            assert_eq!(rx.dropped(), 0, "default capacity must not drop");
+            updates
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.is_empty(), "a simulate job must report progress");
+        assert!(
+            a.windows(2).all(|w| w[0].seq < w[1].seq),
+            "sequence numbers must be strictly monotonic"
+        );
+        assert_eq!(
+            a.first().map(|u| u.kind),
+            Some(ProgressKind::Queued),
+            "first update is admission"
+        );
+        // Same request, warmed cache: the engine-derived updates are
+        // byte-identical run to run (seqs, cycles, kinds, counters).
+        assert_eq!(a, b, "progress sequences must be deterministic");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_snapshot_latency_hists_are_consistent_with_job_counts() {
+        let server = quick_server(small_cfg());
+        for _ in 0..3 {
+            let r = server
+                .submit(JobRequest::new(
+                    "t",
+                    JobKind::Simulate {
+                        network: "cnn-s".into(),
+                        kind: RunKind::Training,
+                    },
+                ))
+                .wait();
+            assert!(r.is_ok(), "{r:?}");
+        }
+        let snap = crate::protocol::StatsSnapshot::from_registry(&server.metrics());
+        assert_eq!(snap.counter("serve.jobs.submitted"), Some(3));
+        assert_eq!(snap.counter("serve.jobs.completed"), Some(3));
+        assert_eq!(snap.counter("serve.tenant.t.submitted"), Some(3));
+        // Every completed job passed through the queue and ran exactly
+        // once, so the latency decomposition sums to the job count.
+        assert_eq!(snap.hist_count("serve.lat.queue_ns"), Some(3));
+        assert_eq!(snap.hist_count("serve.lat.compile_ns"), Some(3));
+        assert_eq!(snap.hist_count("serve.lat.run_ns"), Some(3));
+        assert_eq!(snap.gauge("serve.jobs.in_flight"), Some(0.0));
+        assert!(
+            snap.gauge("serve.uptime_ms").is_some(),
+            "uptime gauge present"
+        );
+        server.shutdown();
+    }
+
+    #[test]
     fn tcp_round_trip_serves_typed_lines() {
         let server = quick_server(small_cfg());
         let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
@@ -1084,6 +1329,67 @@ mod tests {
             matches!(parsed, Err(ServeError::Rejected { .. })),
             "{parsed:?}"
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_progress_lines_interleave_before_result_and_stats_round_trips() {
+        use crate::protocol::ServerLine;
+        let server = quick_server(small_cfg());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+        let addr = listener.local_addr().expect("bound addr");
+        let shared = Arc::clone(&server.shared);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { return };
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || handle_conn(&shared, stream));
+            }
+        });
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let req = JobRequest::new(
+            "watcher",
+            JobKind::Simulate {
+                network: "cnn-s".into(),
+                kind: RunKind::Evaluation,
+            },
+        )
+        .with_progress();
+        writeln!(client, "{}", crate::protocol::request_to_json(&req)).unwrap();
+        writeln!(client, "{}", crate::protocol::stats_request_json()).unwrap();
+        client.flush().unwrap();
+        let mut lines = BufReader::new(client).lines();
+        let mut progress_seen = 0u64;
+        let mut last_seq = None;
+        // Job lines: zero-or-more progress, then exactly one result.
+        loop {
+            let line = lines.next().expect("a line").expect("readable");
+            match crate::protocol::server_line_from_json(&line).expect("typed line") {
+                ServerLine::Progress(ev) => {
+                    assert_eq!(ev.tenant, "watcher");
+                    assert!(
+                        last_seq.is_none_or(|p| p < ev.seq),
+                        "wire sequence must be monotonic"
+                    );
+                    last_seq = Some(ev.seq);
+                    progress_seen += 1;
+                }
+                ServerLine::Result(r) => {
+                    assert!(matches!(r, Ok(JobReply::Simulated { .. })), "{r:?}");
+                    break;
+                }
+                ServerLine::Stats(_) => panic!("stats before the job resolved"),
+            }
+        }
+        assert!(progress_seen > 0, "subscribed job must stream progress");
+        // The stats line answers the second request.
+        let line = lines.next().expect("a stats line").expect("readable");
+        let Ok(ServerLine::Stats(snap)) = crate::protocol::server_line_from_json(&line) else {
+            panic!("expected a stats line, got {line}");
+        };
+        assert_eq!(snap.counter("serve.stats.requests"), Some(1));
+        assert_eq!(snap.counter("serve.tenant.watcher.submitted"), Some(1));
+        assert_eq!(snap.hist_count("serve.lat.run_ns"), Some(1));
         server.shutdown();
     }
 }

@@ -14,6 +14,12 @@
 //!   drop count, [`FilterSink`] layers a per-category mask and 1-in-N
 //!   sampling over any sink. Instrumented code talks to a [`Tracer`],
 //!   which owns the sink and the track table.
+//! - **Progress** ([`ProgressSink`], [`progress_channel`]): a tee that
+//!   forwards every event to the wrapped sink unchanged while subsampling
+//!   the stream into bounded, drop-counted [`ProgressUpdate`]s (phase
+//!   entered, sync windows completed, cycles retired, fault/retry counts)
+//!   for live consumers; the sender never blocks, so a slow consumer can
+//!   lose history but never stall the producer.
 //! - **Exporters**: [`chrome_trace`] renders Chrome/Perfetto trace JSON
 //!   (tracks as threads, spans as duration events);
 //!   [`validate_chrome_trace`] re-parses it with the bundled JSON parser
@@ -34,10 +40,14 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
+pub mod progress;
 pub mod sink;
 
 pub use csv::{busy_cycles_per_track, cycle_csv, utilization_heatmap};
 pub use event::{Category, CategoryMask, Cycle, Event, Payload, TrackId, TrackTable};
 pub use metrics::{Hist, MetricId, MetricsRegistry, Value};
 pub use perfetto::{chrome_trace, validate_chrome_trace, TraceSummary};
+pub use progress::{
+    progress_channel, ProgressKind, ProgressReceiver, ProgressSender, ProgressSink, ProgressUpdate,
+};
 pub use sink::{FilterSink, NullSink, RingSink, TraceSink, Tracer, VecSink};
